@@ -1,0 +1,126 @@
+// Experiment E9 (extension) — schema-free keyword search (SLCA). Compares
+// the indexed-lookup-eager algorithm (keyword/keyword_search.h) against a
+// naive baseline that tests every element's subtree interval against the
+// posting lists, across document sizes and keyword counts.
+//
+// Expected shape: the ILE algorithm's cost follows the *rarest* keyword's
+// posting list (sub-millisecond even at ~1M nodes), while the baseline
+// scales with document size; both return identical answer sets (checked).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "datagen/datagen.h"
+#include "index/indexed_document.h"
+#include "keyword/keyword_search.h"
+
+namespace lotusx {
+namespace {
+
+using bench::Fmt;
+using bench::MedianMillis;
+using bench::Table;
+using xml::NodeId;
+
+/// Naive SLCA: for every element, test whether each keyword has a posting
+/// inside the element's subtree interval (binary search per keyword),
+/// then keep the minimal qualifying elements.
+std::vector<NodeId> NaiveSlca(const index::IndexedDocument& indexed,
+                              const std::vector<std::string>& tokens) {
+  const xml::Document& document = indexed.document();
+  std::vector<std::span<const NodeId>> lists;
+  for (const std::string& token : tokens) {
+    lists.push_back(indexed.terms().Postings(token));
+    if (lists.back().empty()) return {};
+  }
+  std::vector<NodeId> qualifying;
+  for (NodeId e = 0; e < document.num_nodes(); ++e) {
+    if (document.node(e).kind == xml::NodeKind::kText) continue;
+    NodeId end = document.node(e).subtree_end;
+    bool all = true;
+    for (const auto& list : lists) {
+      auto it = std::lower_bound(list.begin(), list.end(), e);
+      if (it == list.end() || *it > end) {
+        all = false;
+        break;
+      }
+    }
+    if (all) qualifying.push_back(e);
+  }
+  // Minimal elements only: with preorder ids, e is non-minimal iff the
+  // next qualifying id lies inside e's subtree.
+  std::vector<NodeId> smallest;
+  for (size_t i = 0; i < qualifying.size(); ++i) {
+    if (i + 1 < qualifying.size() &&
+        document.IsAncestor(qualifying[i], qualifying[i + 1])) {
+      continue;
+    }
+    smallest.push_back(qualifying[i]);
+  }
+  return smallest;
+}
+
+/// Picks `k` keywords from the document vocabulary: one frequent anchor
+/// plus progressively rarer terms, so the query is selective but
+/// satisfiable.
+std::vector<std::string> PickKeywords(const index::IndexedDocument& indexed,
+                                      int k) {
+  std::vector<index::Completion> frequent =
+      indexed.terms().term_trie().Complete("", 50);
+  std::vector<std::string> tokens;
+  for (int i = 0; i < k && i * 7 < static_cast<int>(frequent.size()); ++i) {
+    tokens.push_back(frequent[static_cast<size_t>(i) * 7].key);
+  }
+  return tokens;
+}
+
+}  // namespace
+}  // namespace lotusx
+
+int main() {
+  std::printf(
+      "E9 (extension): SLCA keyword search — indexed (ILE) vs naive "
+      "subtree scan\n\n");
+  lotusx::bench::Table table({"doc nodes", "keywords", "answers", "ILE ms",
+                              "naive ms", "speedup"});
+  for (int64_t nodes : {20'000, 100'000, 500'000}) {
+    lotusx::index::IndexedDocument indexed(
+        lotusx::datagen::GenerateDblpWithApproxNodes(17, nodes));
+    for (int k : {1, 2, 3}) {
+      std::vector<std::string> tokens =
+          lotusx::PickKeywords(indexed, k);
+      std::string joined = lotusx::Join(tokens, " ");
+
+      lotusx::keyword::KeywordSearchOptions options;
+      options.limit = 1'000'000;
+      std::vector<lotusx::xml::NodeId> ile_nodes;
+      double ile_ms = lotusx::bench::MedianMillis(5, [&] {
+        auto hits = lotusx::keyword::SlcaSearch(indexed, joined, options);
+        CHECK(hits.ok());
+        ile_nodes.clear();
+        for (const auto& hit : *hits) ile_nodes.push_back(hit.node);
+      });
+      std::vector<lotusx::xml::NodeId> naive_nodes;
+      double naive_ms = lotusx::bench::MedianMillis(3, [&] {
+        naive_nodes = lotusx::NaiveSlca(indexed, tokens);
+      });
+      // Same answers (modulo ranking order).
+      std::sort(ile_nodes.begin(), ile_nodes.end());
+      CHECK(ile_nodes == naive_nodes)
+          << "SLCA mismatch on '" << joined << "': " << ile_nodes.size()
+          << " vs " << naive_nodes.size();
+
+      table.AddRow({std::to_string(indexed.document().num_nodes()),
+                    joined, std::to_string(ile_nodes.size()),
+                    lotusx::bench::Fmt(ile_ms, 2),
+                    lotusx::bench::Fmt(naive_ms, 2),
+                    lotusx::bench::Fmt(naive_ms / std::max(ile_ms, 1e-3), 1)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: naive cost grows linearly with document size;\n"
+      "ILE follows the rarest keyword's postings and stays interactive.\n");
+  return 0;
+}

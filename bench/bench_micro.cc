@@ -1,0 +1,163 @@
+// Microbenchmarks (google-benchmark) for the hot primitives underneath
+// the experiment harnesses: XML parsing throughput, label decoding, trie
+// completion, schema-level evaluation, posting intersection, and SLCA.
+// These are the numbers to watch when optimizing; the E1..E9 binaries
+// measure end-to-end behaviour.
+
+#include <benchmark/benchmark.h>
+
+#include "autocomplete/completion.h"
+#include "datagen/datagen.h"
+#include "index/indexed_document.h"
+#include "keyword/keyword_search.h"
+#include "labeling/extended_dewey.h"
+#include "twig/evaluator.h"
+#include "twig/query_parser.h"
+#include "twig/schema_match.h"
+#include "xml/dom_builder.h"
+#include "xml/writer.h"
+
+namespace lotusx {
+namespace {
+
+const index::IndexedDocument& SharedCorpus() {
+  static const index::IndexedDocument* corpus = [] {
+    datagen::DblpOptions options;
+    options.num_publications = 4000;
+    return new index::IndexedDocument(datagen::GenerateDblp(options));
+  }();
+  return *corpus;
+}
+
+void BM_XmlParse(benchmark::State& state) {
+  datagen::DblpOptions options;
+  options.num_publications = static_cast<int>(state.range(0));
+  std::string xml = xml::WriteXml(datagen::GenerateDblp(options));
+  int64_t nodes = 0;
+  for (auto _ : state) {
+    auto document = xml::ParseDocument(xml);
+    CHECK(document.ok());
+    nodes = document->num_nodes();
+    benchmark::DoNotOptimize(document);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xml.size()));
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_XmlParse)->Arg(100)->Arg(1000);
+
+void BM_IndexBuild(benchmark::State& state) {
+  datagen::DblpOptions options;
+  options.num_publications = static_cast<int>(state.range(0));
+  xml::Document reference = datagen::GenerateDblp(options);
+  std::string xml = xml::WriteXml(reference);
+  for (auto _ : state) {
+    auto document = xml::ParseDocument(xml);
+    CHECK(document.ok());
+    index::IndexedDocument indexed(std::move(document).value());
+    benchmark::DoNotOptimize(indexed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          reference.num_nodes());
+}
+BENCHMARK(BM_IndexBuild)->Arg(100)->Arg(1000);
+
+void BM_ExtendedDeweyDecode(benchmark::State& state) {
+  const index::IndexedDocument& corpus = SharedCorpus();
+  const xml::Document& document = corpus.document();
+  labeling::XTagId root_tag = document.node(0).tag;
+  xml::NodeId node = document.num_nodes() - 1;
+  for (auto _ : state) {
+    auto path = labeling::ExtendedDeweyStore::DecodeTagPath(
+        corpus.transducer(), root_tag, corpus.extended_dewey().label(node));
+    benchmark::DoNotOptimize(path);
+  }
+}
+BENCHMARK(BM_ExtendedDeweyDecode);
+
+void BM_TrieComplete(benchmark::State& state) {
+  const index::IndexedDocument& corpus = SharedCorpus();
+  for (auto _ : state) {
+    auto completions = corpus.terms().term_trie().Complete(
+        "a", static_cast<size_t>(state.range(0)));
+    benchmark::DoNotOptimize(completions);
+  }
+}
+BENCHMARK(BM_TrieComplete)->Arg(5)->Arg(50);
+
+void BM_SchemaBindings(benchmark::State& state) {
+  const index::IndexedDocument& corpus = SharedCorpus();
+  twig::TwigQuery query =
+      twig::ParseQuery("//article[author][year]/title").value();
+  for (auto _ : state) {
+    auto bindings = twig::SchemaBindings(corpus, query);
+    benchmark::DoNotOptimize(bindings);
+  }
+}
+BENCHMARK(BM_SchemaBindings);
+
+void BM_CompleteTagPositionAware(benchmark::State& state) {
+  const index::IndexedDocument& corpus = SharedCorpus();
+  autocomplete::CompletionEngine engine(corpus);
+  twig::TwigQuery query = twig::ParseQuery("//article[year]").value();
+  autocomplete::TagRequest request;
+  request.anchor = 0;
+  request.axis = twig::Axis::kChild;
+  for (auto _ : state) {
+    auto candidates = engine.CompleteTag(query, request);
+    CHECK(candidates.ok());
+    benchmark::DoNotOptimize(candidates);
+  }
+}
+BENCHMARK(BM_CompleteTagPositionAware);
+
+void BM_TwigEvaluate(benchmark::State& state) {
+  const index::IndexedDocument& corpus = SharedCorpus();
+  twig::TwigQuery query =
+      twig::ParseQuery("//article[author]/title").value();
+  twig::EvalOptions options;
+  options.algorithm = static_cast<twig::Algorithm>(state.range(0));
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    auto result = twig::Evaluate(corpus, query, options);
+    CHECK(result.ok());
+    matches = result->stats.matches;
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+  state.SetLabel(std::string(twig::AlgorithmName(
+      static_cast<twig::Algorithm>(state.range(0)))));
+}
+BENCHMARK(BM_TwigEvaluate)
+    ->Arg(static_cast<int>(twig::Algorithm::kStructuralJoin))
+    ->Arg(static_cast<int>(twig::Algorithm::kTwigStack))
+    ->Arg(static_cast<int>(twig::Algorithm::kTJFast));
+
+void BM_SlcaSearch(benchmark::State& state) {
+  const index::IndexedDocument& corpus = SharedCorpus();
+  // Two moderately frequent terms from the corpus vocabulary.
+  auto terms = corpus.terms().term_trie().Complete("", 20);
+  CHECK_GE(terms.size(), 12u);
+  std::string keywords = terms[3].key + " " + terms[11].key;
+  for (auto _ : state) {
+    auto hits = keyword::SlcaSearch(corpus, keywords);
+    CHECK(hits.ok());
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_SlcaSearch);
+
+void BM_QueryParse(benchmark::State& state) {
+  constexpr std::string_view kQuery =
+      R"(//article[ordered][author[~"lu"]][year[="2005"]]//title!)";
+  for (auto _ : state) {
+    auto query = twig::ParseQuery(kQuery);
+    CHECK(query.ok());
+    benchmark::DoNotOptimize(query);
+  }
+}
+BENCHMARK(BM_QueryParse);
+
+}  // namespace
+}  // namespace lotusx
+
+BENCHMARK_MAIN();

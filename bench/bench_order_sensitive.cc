@@ -1,0 +1,118 @@
+// Experiment E4 — order-sensitive queries. Measures (a) the selectivity
+// of order constraints (ordered vs unordered answer counts), (b) their
+// runtime overhead, and (c) the ablation the design calls out: enforcing
+// order inside the holistic merge phase (pruning partial tuples early)
+// vs naively post-filtering complete matches.
+//
+// Expected shape: integrated checking never loses to the post-filter and
+// wins clearly when the order constraint is selective (it keeps the
+// intermediate tuple count down); overall overhead vs unordered
+// evaluation is a small constant factor.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/datagen.h"
+#include "index/indexed_document.h"
+#include "twig/evaluator.h"
+#include "twig/order_filter.h"
+#include "twig/query_parser.h"
+
+namespace lotusx {
+namespace {
+
+using bench::Fmt;
+using bench::MedianMillis;
+using bench::Table;
+
+struct Workload {
+  std::string name;
+  std::string query;  // must carry [ordered]
+};
+
+void Run(const index::IndexedDocument& indexed, const Workload& workload,
+         Table* table) {
+  twig::TwigQuery query = twig::ParseQuery(workload.query).value();
+  CHECK(query.HasOrderConstraints());
+
+  twig::EvalOptions unordered;
+  unordered.apply_order = false;
+  twig::EvalOptions integrated;
+  integrated.integrate_order = true;
+  twig::EvalOptions post_filter;
+  post_filter.integrate_order = false;
+
+  uint64_t unordered_matches = 0;
+  uint64_t ordered_matches = 0;
+  uint64_t integrated_tuples = 0;
+  uint64_t post_tuples = 0;
+
+  double unordered_ms = MedianMillis(5, [&] {
+    auto result = twig::Evaluate(indexed, query, unordered);
+    CHECK(result.ok());
+    unordered_matches = result->stats.matches;
+  });
+  double integrated_ms = MedianMillis(5, [&] {
+    auto result = twig::Evaluate(indexed, query, integrated);
+    CHECK(result.ok());
+    ordered_matches = result->stats.matches;
+    integrated_tuples = result->stats.intermediate_tuples;
+  });
+  double post_ms = MedianMillis(5, [&] {
+    auto result = twig::Evaluate(indexed, query, post_filter);
+    CHECK(result.ok());
+    CHECK_EQ(result->stats.matches, ordered_matches);  // same answers
+    post_tuples = result->stats.intermediate_tuples;
+  });
+
+  table->AddRow({workload.name, std::to_string(unordered_matches),
+                 std::to_string(ordered_matches), Fmt(unordered_ms, 2),
+                 Fmt(integrated_ms, 2), Fmt(post_ms, 2),
+                 std::to_string(integrated_tuples),
+                 std::to_string(post_tuples)});
+}
+
+}  // namespace
+}  // namespace lotusx
+
+int main() {
+  std::printf(
+      "E4: order-sensitive queries — selectivity, overhead, and integrated\n"
+      "order checking vs naive post-filtering (same answers, different "
+      "work)\n\n");
+
+  const std::vector<lotusx::Workload> workloads = {
+      // Holds by generator schema: name < brand < price in every product.
+      {"name<price (always true)", "//product[ordered][name][price]"},
+      {"name<brand<price", "//product[ordered][name][brand][price]"},
+      // Impossible order: maximally selective.
+      {"price<name (never true)", "//product[ordered][price][name]"},
+      // Partially selective: review order among siblings varies... rating
+      // always precedes comment inside one review, but across reviews the
+      // pairing is free, so the constraint prunes cross pairs.
+      {"rating<comment (cross-review)",
+       "//product[ordered][review/rating][review/comment]"},
+      {"category: name<product", "//category[ordered][name][product]"},
+  };
+
+  for (int num_products : {500, 2000, 8000}) {
+    lotusx::datagen::StoreOptions options;
+    options.num_products = num_products;
+    lotusx::index::IndexedDocument indexed(
+        lotusx::datagen::GenerateStore(options));
+    std::printf("--- store, %d nodes ---\n", indexed.document().num_nodes());
+    lotusx::bench::Table table({"workload", "unord", "ordered", "unord ms",
+                                "integ ms", "postf ms", "integ tuples",
+                                "postf tuples"});
+    for (const lotusx::Workload& workload : workloads) {
+      lotusx::Run(indexed, workload, &table);
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "expected shape: ordered <= unord (order only filters); integ ms <=\n"
+      "postf ms with the gap widening on selective constraints, where\n"
+      "integrated pruning keeps 'integ tuples' well below 'postf tuples'.\n");
+  return 0;
+}

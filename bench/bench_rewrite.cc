@@ -1,0 +1,203 @@
+// Experiment E6 — effectiveness of the query rewriting solution. Gold
+// queries that do return answers are systematically perturbed into
+// failing queries (the mistakes a schema-unaware user makes); the
+// rewriter must recover. Metrics per perturbation class: success rate,
+// recall of the gold answers, rewrite-chain penalty, queries evaluated,
+// and latency.
+//
+// Expected shape: near-perfect recovery for axis and spelling mistakes
+// (cheap, targeted rules), high recovery for sibling-tag and
+// over-constrained-value mistakes, with few evaluations each.
+
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "datagen/datagen.h"
+#include "index/indexed_document.h"
+#include "rewrite/rewriter.h"
+#include "twig/evaluator.h"
+#include "twig/query_parser.h"
+
+namespace lotusx {
+namespace {
+
+using bench::Fmt;
+using bench::Table;
+
+struct Case {
+  std::string gold;       // query with answers
+  std::string perturbed;  // broken variant a user might draw
+};
+
+struct ClassResult {
+  int attempts = 0;
+  int succeeded = 0;
+  double recall_sum = 0;
+  double penalty_sum = 0;
+  double evaluations_sum = 0;
+  double latency_ms_sum = 0;
+};
+
+std::set<xml::NodeId> GoldAnswers(const index::IndexedDocument& indexed,
+                                  const twig::TwigQuery& query) {
+  auto result = twig::Evaluate(indexed, query);
+  CHECK(result.ok());
+  auto outputs = result->OutputNodes(query.output());
+  return {outputs.begin(), outputs.end()};
+}
+
+/// `top_k` > 1 lets recall be scored against the best of the first k
+/// successful rewrites (the alternatives a UI would offer), which is the
+/// fair metric for ambiguous perturbations like wrong-sibling tags.
+void RunClass(const index::IndexedDocument& indexed,
+              const std::vector<Case>& cases, ClassResult* out,
+              size_t top_k = 1) {
+  rewrite::Rewriter rewriter(indexed);
+  for (const Case& c : cases) {
+    twig::TwigQuery gold = twig::ParseQuery(c.gold).value();
+    twig::TwigQuery perturbed = twig::ParseQuery(c.perturbed).value();
+    std::set<xml::NodeId> gold_answers = GoldAnswers(indexed, gold);
+    CHECK(!gold_answers.empty()) << "gold query has no answers: " << c.gold;
+    // The perturbed query must actually fail, else it is not a test case.
+    auto direct = twig::Evaluate(indexed, perturbed);
+    CHECK(direct.ok());
+    CHECK(direct->matches.empty())
+        << "perturbed query unexpectedly matches: " << c.perturbed;
+
+    ++out->attempts;
+    Timer timer;
+    auto outcomes = rewriter.RewriteAll(perturbed, {}, top_k);
+    out->latency_ms_sum += timer.ElapsedMillis();
+    CHECK(outcomes.ok());
+    if (outcomes->empty()) continue;
+    ++out->succeeded;
+    out->penalty_sum += outcomes->front().penalty;
+    out->evaluations_sum += outcomes->back().evaluations;
+    double best_recall = 0;
+    for (const rewrite::RewriteOutcome& outcome : *outcomes) {
+      auto outputs = outcome.result.OutputNodes(outcome.query.output());
+      size_t recovered = 0;
+      for (xml::NodeId node : outputs) {
+        if (gold_answers.contains(node)) ++recovered;
+      }
+      best_recall = std::max(
+          best_recall,
+          static_cast<double>(recovered) / gold_answers.size());
+    }
+    out->recall_sum += best_recall;
+  }
+}
+
+void AddRow(Table* table, std::string_view name, const ClassResult& r) {
+  int n = std::max(r.succeeded, 1);
+  table->AddRow({std::string(name), std::to_string(r.attempts),
+                 Fmt(100.0 * r.succeeded / std::max(r.attempts, 1), 0),
+                 Fmt(100.0 * r.recall_sum / n, 1), Fmt(r.penalty_sum / n, 2),
+                 Fmt(r.evaluations_sum / n, 1),
+                 Fmt(r.latency_ms_sum / std::max(r.attempts, 1), 1)});
+}
+
+}  // namespace
+}  // namespace lotusx
+
+int main() {
+  std::printf(
+      "E6: query rewriting — recovery from user mistakes\n"
+      "(recall%% = gold answers recovered by the rewritten query)\n\n");
+
+  lotusx::datagen::StoreOptions store_options;
+  store_options.num_products = 1500;
+  lotusx::index::IndexedDocument store(
+      lotusx::datagen::GenerateStore(store_options));
+  lotusx::datagen::DblpOptions dblp_options;
+  dblp_options.num_publications = 3000;
+  lotusx::index::IndexedDocument dblp(
+      lotusx::datagen::GenerateDblp(dblp_options));
+
+  lotusx::bench::Table table({"perturbation class", "cases", "success%",
+                              "recall%", "avg penalty", "avg evals",
+                              "avg ms"});
+
+  // Class 1: wrong axis ('/' where the data needs '//').
+  {
+    lotusx::ClassResult result;
+    lotusx::RunClass(store,
+                     {{"//product//reviewer", "//product/reviewer"},
+                      {"//category//rating", "//category/rating"},
+                      {"//store//review/comment", "//store/review/comment"},
+                      {"//category//reviewer", "//category/reviewer"}},
+                     &result);
+    lotusx::RunClass(dblp,
+                     {{"//dblp//author", "/author"},
+                      {"//dblp//isbn", "//dblp/isbn"}},
+                     &result);
+    lotusx::AddRow(&table, "wrong axis", result);
+  }
+  // Class 2: misspelled tags (edit distance 1-2).
+  {
+    lotusx::ClassResult result;
+    lotusx::RunClass(store,
+                     {{"//product/price", "//product/prise"},
+                      {"//product/brand", "//product/brandt"},
+                      {"//review/rating", "//review/ratting"},
+                      {"//product/description", "//product/descripton"}},
+                     &result);
+    lotusx::RunClass(dblp,
+                     {{"//article/title", "//article/titel"},
+                      {"//article/author", "//article/autor"},
+                      {"//inproceedings/pages", "//inproceedings/pags"}},
+                     &result);
+    lotusx::AddRow(&table, "misspelled tag", result);
+  }
+  // Class 3: wrong sibling tag (user guesses a tag that exists elsewhere
+  // or not at all at this position).
+  {
+    lotusx::ClassResult result;
+    lotusx::RunClass(dblp,
+                     {{"//book/publisher", "//book/journal"},
+                      {"//article/journal", "//article/publisher"},
+                      {"//inproceedings/booktitle", "//inproceedings/journal"}},
+                     &result, /*top_k=*/5);
+    lotusx::RunClass(store, {{"//product/brand", "//product/reviewer"}},
+                     &result, /*top_k=*/5);
+    lotusx::AddRow(&table, "wrong sibling tag (recall@5)", result);
+  }
+  // Class 4: over-constrained value (equality instead of keywords).
+  // The keywords come from the generated corpus itself: the two most
+  // frequent title terms. Titles are always multi-word, so single-term
+  // equality fails while containment succeeds.
+  {
+    lotusx::ClassResult result;
+    const lotusx::index::Trie* title_trie = dblp.terms().term_trie_for_tag(
+        dblp.document().FindTag("title"));
+    CHECK(title_trie != nullptr);
+    std::vector<lotusx::Case> cases;
+    for (const lotusx::index::Completion& term :
+         title_trie->Complete("", 3)) {
+      cases.push_back(
+          lotusx::Case{"//article/title[~\"" + term.key + "\"]",
+                       "//article/title[=\"" + term.key + "\"]"});
+    }
+    lotusx::RunClass(dblp, cases, &result);
+    lotusx::AddRow(&table, "over-constrained value", result);
+  }
+  // Class 5: impossible branch (constraint that exists nowhere).
+  {
+    lotusx::ClassResult result;
+    lotusx::RunClass(store,
+                     {{"//product/name!", "//product[isbn]/name!"},
+                      {"//review/rating!", "//review[price]/rating!"}},
+                     &result);
+    lotusx::RunClass(dblp, {{"//book/title!", "//book[booktitle]/title!"}},
+                     &result);
+    lotusx::AddRow(&table, "impossible branch", result);
+  }
+
+  table.Print();
+  std::printf(
+      "\nexpected shape: axis and spelling classes recover with recall\n"
+      "near 100%% at penalty <= 2.5 and a handful of evaluations; branch\n"
+      "drops cost more; every class succeeds well above 50%%.\n");
+  return 0;
+}

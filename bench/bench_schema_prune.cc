@@ -1,0 +1,99 @@
+// Experiment E10 (ablation) — structural-summary stream pruning: before
+// any join runs, each query node's input stream is restricted to the
+// DataGuide positions the query can actually bind (SchemaBindings). The
+// optimization reuses LotusX's position-awareness machinery for
+// evaluation itself.
+//
+// Expected shape: identical answers (verified); big scan/time reductions
+// exactly where a tag is structurally overloaded (many positions, few
+// feasible) — recursive corpora and generic tags like name/title — and
+// no-ops (~1.0x) where the schema is already discriminating.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/datagen.h"
+#include "index/indexed_document.h"
+#include "twig/evaluator.h"
+#include "twig/query_parser.h"
+
+namespace lotusx {
+namespace {
+
+using bench::Fmt;
+using bench::MedianMillis;
+using bench::Table;
+
+void Run(std::string_view corpus, const index::IndexedDocument& indexed,
+         const std::vector<std::string>& queries, Table* table) {
+  for (const std::string& text : queries) {
+    twig::TwigQuery query = twig::ParseQuery(text).value();
+    twig::EvalOptions plain;
+    plain.schema_prune_streams = false;
+    twig::EvalOptions pruned;
+    pruned.schema_prune_streams = true;
+
+    twig::QueryResult plain_result;
+    double plain_ms = MedianMillis(5, [&] {
+      auto result = twig::Evaluate(indexed, query, plain);
+      CHECK(result.ok());
+      plain_result = std::move(result).value();
+    });
+    twig::QueryResult pruned_result;
+    double pruned_ms = MedianMillis(5, [&] {
+      auto result = twig::Evaluate(indexed, query, pruned);
+      CHECK(result.ok());
+      pruned_result = std::move(result).value();
+    });
+    CHECK(plain_result.matches == pruned_result.matches)
+        << "pruning changed answers: " << text;
+
+    table->AddRow(
+        {std::string(corpus), text,
+         std::to_string(plain_result.stats.candidates_scanned),
+         std::to_string(pruned_result.stats.candidates_scanned),
+         Fmt(plain_ms, 2), Fmt(pruned_ms, 2),
+         Fmt(plain_ms / std::max(pruned_ms, 1e-3), 2)});
+  }
+}
+
+}  // namespace
+}  // namespace lotusx
+
+int main() {
+  std::printf(
+      "E10 (ablation): structural-summary stream pruning "
+      "(schema_prune_streams)\n(answers verified identical in every "
+      "row)\n\n");
+  lotusx::bench::Table table({"corpus", "query", "scanned", "scanned+prune",
+                              "ms", "ms+prune", "speedup"});
+  {
+    lotusx::index::IndexedDocument store(
+        lotusx::datagen::GenerateStoreWithApproxNodes(31, 150'000));
+    // "name" lives under store/category/product: the query context rules
+    // most positions out.
+    lotusx::Run("store", store,
+                {"//product[review]/name", "//category/name",
+                 "//store/name", "//review[rating]/reviewer"},
+                &table);
+  }
+  {
+    lotusx::index::IndexedDocument treebank(
+        lotusx::datagen::GenerateTreebankWithApproxNodes(31, 120'000));
+    lotusx::Run("treebank", treebank,
+                {"//s/np/pp", "//sbar//whnp", "//vp[np]/pp"}, &table);
+  }
+  {
+    lotusx::index::IndexedDocument dblp(
+        lotusx::datagen::GenerateDblpWithApproxNodes(31, 150'000));
+    lotusx::Run("dblp", dblp,
+                {"//book/author", "//article[author]/title"}, &table);
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: order-of-magnitude wins where the context rules\n"
+      "out most of a tag's positions (store //category/name, //store/name)\n"
+      "and at worst a small constant overhead (the filter pass itself)\n"
+      "where the schema cannot prune anything.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+#ifndef LOTUSX_BENCH_BENCH_UTIL_H_
+#define LOTUSX_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace lotusx::bench {
+
+/// Median wall-clock milliseconds of `fn` over `repetitions` runs (after
+/// one warm-up run).
+inline double MedianMillis(int repetitions, const std::function<void()>& fn) {
+  fn();  // warm-up
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(repetitions));
+  for (int i = 0; i < repetitions; ++i) {
+    Timer timer;
+    fn();
+    samples.push_back(timer.ElapsedMillis());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Fixed-width table printer for the experiment reports.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("|");
+      for (size_t c = 0; c < widths.size(); ++c) {
+        std::printf(" %-*s |", static_cast<int>(widths[c]),
+                    c < row.size() ? row[c].c_str() : "");
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double value, int decimals = 3) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+}  // namespace lotusx::bench
+
+#endif  // LOTUSX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,94 @@
+// The GUI substitute: drives a LotusX session through the line protocol
+// (session/protocol.h) — exactly the operations the demo's browser canvas
+// performs. Reads commands from stdin; with no piped input it replays a
+// scripted session so the binary is self-demonstrating.
+//
+// Usage:
+//   interactive_repl [file.xml]        # index a file, then read commands
+//   echo "HELP" | interactive_repl     # scripted use
+
+#include <iostream>
+#include <string>
+#include <unistd.h>
+
+#include "datagen/datagen.h"
+#include "lotusx/engine.h"
+#include "session/protocol.h"
+#include "xml/writer.h"
+
+namespace {
+
+int RunLoop(lotusx::session::ProtocolInterpreter& interpreter,
+            std::istream& in, bool echo) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (echo) std::cout << "lotusx> " << line << "\n";
+    auto response = interpreter.Execute(line);
+    if (response.ok()) {
+      if (!response->empty()) std::cout << *response << "\n";
+    } else {
+      std::cout << "error: " << response.status().ToString() << "\n";
+    }
+    if (echo) std::cout << "\n";
+  }
+  return 0;
+}
+
+constexpr std::string_view kScriptedSession =
+    "HELP\n"
+    "FIND icde 2005\n"
+    "TYPE 0 // a\n"
+    "ADD 50 0 article\n"
+    "TYPE 1 / au\n"
+    "ACCEPT 1 10 130\n"
+    "TYPEVAL 2\n"
+    "ADD 90 100 title\n"
+    "EDGE 1 3 /\n"
+    "OUTPUT 3\n"
+    "ORDERED 1 ON\n"
+    "QUERY\n"
+    "RUN\n"
+    "CHECKPOINT\n"
+    "VALUE 2 ~ lu\n"
+    "RUN\n"
+    "UNDO\n"
+    "QUERY\n"
+    "EXPLAIN\n"
+    "XPATH\n"
+    "SHOW\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lotusx::StatusOr<lotusx::Engine> engine =
+      lotusx::Status::Internal("unset");
+  if (argc > 1) {
+    engine = lotusx::Engine::FromXmlFile(argv[1]);
+  } else {
+    lotusx::datagen::DblpOptions options;
+    options.num_publications = 500;
+    engine = lotusx::Engine::FromXmlText(
+        lotusx::xml::WriteXml(lotusx::datagen::GenerateDblp(options)));
+  }
+  if (!engine.ok()) {
+    std::cerr << "cannot build engine: " << engine.status().ToString()
+              << "\n";
+    return 1;
+  }
+  std::cout << "LotusX interactive session — " << engine->document().num_nodes()
+            << " nodes indexed. Type HELP for commands.\n\n";
+
+  lotusx::session::Session session = engine->NewSession();
+  lotusx::session::ProtocolInterpreter interpreter(&session);
+
+  if (isatty(STDIN_FILENO) == 0) {
+    // Piped input: consume it; if there is none at all, fall back to the
+    // scripted demo below.
+    if (std::cin.peek() != EOF) {
+      return RunLoop(interpreter, std::cin, /*echo=*/true);
+    }
+    std::istringstream script{std::string(kScriptedSession)};
+    return RunLoop(interpreter, script, /*echo=*/true);
+  }
+  return RunLoop(interpreter, std::cin, /*echo=*/false);
+}

@@ -1,0 +1,91 @@
+// Quickstart: load an XML document, run twig queries, print ranked
+// answers. Exercises the three calls every LotusX user starts with:
+// Engine::FromXmlText, Engine::Search, Engine::Snippet.
+
+#include <iostream>
+
+#include "lotusx/engine.h"
+
+namespace {
+
+constexpr std::string_view kBibliography = R"(<dblp>
+  <article key="lu05">
+    <author>jiaheng lu</author>
+    <author>ting chen</author>
+    <title>from region encoding to extended dewey</title>
+    <year>2005</year>
+    <journal>vldb</journal>
+  </article>
+  <article key="lin12">
+    <author>chunbin lin</author>
+    <author>jiaheng lu</author>
+    <title>lotusx a position aware xml graphical search system</title>
+    <year>2012</year>
+    <journal>icde</journal>
+  </article>
+  <book key="ling09">
+    <author>tok wang ling</author>
+    <title>advances in xml data management</title>
+    <year>2009</year>
+    <publisher>springer</publisher>
+  </book>
+</dblp>)";
+
+}  // namespace
+
+int main() {
+  // 1. Build an engine (parses the XML and constructs every index).
+  auto engine = lotusx::Engine::FromXmlText(kBibliography);
+  if (!engine.ok()) {
+    std::cerr << "failed to load: " << engine.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "indexed " << engine->document().num_nodes()
+            << " nodes, " << engine->indexed().dataguide().num_paths()
+            << " distinct paths\n\n";
+
+  // 2. A twig query: articles by an author whose name contains "lu",
+  //    returning their titles.
+  const std::string query = R"(//article[author[~"lu"]]/title)";
+  std::cout << "query: " << query << "\n";
+  auto result = engine->Search(query);
+  if (!result.ok()) {
+    std::cerr << "query failed: " << result.status().ToString() << "\n";
+    return 1;
+  }
+  for (const auto& hit : result->results) {
+    std::cout << "  score " << hit.score << "  "
+              << engine->Snippet(hit.output) << "\n";
+  }
+
+  // 3. A misspelled query: the rewriter repairs it automatically.
+  const std::string typo = "//article/titel";
+  std::cout << "\nquery: " << typo << "\n";
+  auto repaired = engine->Search(typo);
+  if (!repaired.ok()) {
+    std::cerr << "query failed: " << repaired.status().ToString() << "\n";
+    return 1;
+  }
+  if (!repaired->rewrites_applied.empty()) {
+    std::cout << "  (rewritten as " << repaired->executed_query.ToString()
+              << ", penalty " << repaired->rewrite_penalty << ")\n";
+  }
+  for (const auto& hit : repaired->results) {
+    std::cout << "  score " << hit.score << "  "
+              << engine->Snippet(hit.output) << "\n";
+  }
+
+  // 4. Position-aware completion: what can follow //article/ ?
+  lotusx::twig::TwigQuery partial;
+  partial.AddRoot("article");
+  lotusx::autocomplete::TagRequest request;
+  request.anchor = 0;
+  request.axis = lotusx::twig::Axis::kChild;
+  auto candidates = engine->CompleteTag(partial, request);
+  std::cout << "\ncandidates under //article/:";
+  for (const auto& candidate : *candidates) {
+    std::cout << " " << candidate.text << "(" << candidate.frequency << ")";
+  }
+  std::cout << "\n";
+  return 0;
+}

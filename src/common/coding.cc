@@ -1,0 +1,169 @@
+#include "common/coding.h"
+
+#include <cstdio>
+
+namespace lotusx {
+
+void Encoder::PutFixed32(uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out_->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void Encoder::PutFixed64(uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out_->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void Encoder::PutVarint32(uint32_t value) { PutVarint64(value); }
+
+void Encoder::PutVarint64(uint64_t value) {
+  while (value >= 0x80) {
+    out_->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out_->push_back(static_cast<char>(value));
+}
+
+void Encoder::PutString(std::string_view value) {
+  PutVarint32(static_cast<uint32_t>(value.size()));
+  out_->append(value.data(), value.size());
+}
+
+void Encoder::PutSortedU32List(const std::vector<uint32_t>& values) {
+  PutVarint64(values.size());
+  uint32_t previous = 0;
+  for (uint32_t v : values) {
+    PutVarint32(v - previous);
+    previous = v;
+  }
+}
+
+void Encoder::PutU32List(const std::vector<uint32_t>& values) {
+  PutVarint64(values.size());
+  for (uint32_t v : values) PutVarint32(v);
+}
+
+Status Decoder::GetFixed32(uint32_t* value) {
+  if (remaining() < 4) return Status::Corruption("truncated fixed32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  *value = v;
+  return Status::OK();
+}
+
+Status Decoder::GetFixed64(uint64_t* value) {
+  if (remaining() < 8) return Status::Corruption("truncated fixed64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  *value = v;
+  return Status::OK();
+}
+
+Status Decoder::GetVarint32(uint32_t* value) {
+  uint64_t v = 0;
+  LOTUSX_RETURN_IF_ERROR(GetVarint64(&v));
+  if (v > UINT32_MAX) return Status::Corruption("varint32 overflow");
+  *value = static_cast<uint32_t>(v);
+  return Status::OK();
+}
+
+Status Decoder::GetVarint64(uint64_t* value) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= data_.size()) return Status::Corruption("truncated varint");
+    if (shift >= 64) return Status::Corruption("varint too long");
+    unsigned char byte = static_cast<unsigned char>(data_[pos_++]);
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *value = v;
+  return Status::OK();
+}
+
+Status Decoder::GetString(std::string* value) {
+  uint32_t size = 0;
+  LOTUSX_RETURN_IF_ERROR(GetVarint32(&size));
+  if (remaining() < size) return Status::Corruption("truncated string");
+  value->assign(data_.data() + pos_, size);
+  pos_ += size;
+  return Status::OK();
+}
+
+Status Decoder::GetSortedU32List(std::vector<uint32_t>* values) {
+  uint64_t count = 0;
+  LOTUSX_RETURN_IF_ERROR(GetVarint64(&count));
+  if (count > remaining()) {
+    // Each element takes at least one byte; reject absurd counts before
+    // reserving memory for them.
+    return Status::Corruption("sorted list count exceeds buffer");
+  }
+  values->clear();
+  values->reserve(count);
+  uint32_t current = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t delta = 0;
+    LOTUSX_RETURN_IF_ERROR(GetVarint32(&delta));
+    current += delta;
+    values->push_back(current);
+  }
+  return Status::OK();
+}
+
+Status Decoder::GetU32List(std::vector<uint32_t>* values) {
+  uint64_t count = 0;
+  LOTUSX_RETURN_IF_ERROR(GetVarint64(&count));
+  if (count > remaining()) {
+    return Status::Corruption("list count exceeds buffer");
+  }
+  values->clear();
+  values->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t v = 0;
+    LOTUSX_RETURN_IF_ERROR(GetVarint32(&v));
+    values->push_back(v);
+  }
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* contents) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  contents->clear();
+  char buffer[1 << 16];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents->append(buffer, read);
+  }
+  bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) return Status::IOError("read error: " + path);
+  return Status::OK();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  bool failed = written != contents.size();
+  failed |= std::fclose(file) != 0;
+  if (failed) return Status::IOError("write error: " + path);
+  return Status::OK();
+}
+
+}  // namespace lotusx

@@ -1,0 +1,66 @@
+#ifndef LOTUSX_COMMON_CODING_H_
+#define LOTUSX_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lotusx {
+
+/// Append-only little-endian binary encoder used by index persistence.
+/// Varints use the LEB128 wire format (protobuf-compatible).
+class Encoder {
+ public:
+  explicit Encoder(std::string* out) : out_(out) {}
+
+  void PutFixed32(uint32_t value);
+  void PutFixed64(uint64_t value);
+  void PutVarint32(uint32_t value);
+  void PutVarint64(uint64_t value);
+  /// Length-prefixed (varint32) byte string.
+  void PutString(std::string_view value);
+  /// Varint64 count followed by delta-encoded varints; `values` must be
+  /// non-decreasing (posting lists are).
+  void PutSortedU32List(const std::vector<uint32_t>& values);
+  /// Varint64 count followed by plain varints (no ordering requirement).
+  void PutU32List(const std::vector<uint32_t>& values);
+
+ private:
+  std::string* out_;
+};
+
+/// Streaming decoder over an immutable buffer; every Get reports
+/// truncation/corruption via Status instead of crashing.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  Status GetFixed32(uint32_t* value);
+  Status GetFixed64(uint64_t* value);
+  Status GetVarint32(uint32_t* value);
+  Status GetVarint64(uint64_t* value);
+  Status GetString(std::string* value);
+  Status GetSortedU32List(std::vector<uint32_t>* values);
+  Status GetU32List(std::vector<uint32_t>* values);
+
+  bool Done() const { return pos_ >= data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Reads an entire file into `contents`.
+Status ReadFileToString(const std::string& path, std::string* contents);
+
+/// Atomically-ish writes `contents` to `path` (write then rename is not
+/// needed offline; plain truncate+write with error checking).
+Status WriteStringToFile(const std::string& path, std::string_view contents);
+
+}  // namespace lotusx
+
+#endif  // LOTUSX_COMMON_CODING_H_

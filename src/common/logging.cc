@@ -1,0 +1,49 @@
+#include "common/logging.h"
+
+namespace lotusx {
+
+namespace {
+LogSeverity g_min_severity = LogSeverity::kWarning;
+
+std::string_view SeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARN";
+    case LogSeverity::kError:
+      return "ERROR";
+    case LogSeverity::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+}  // namespace
+
+LogSeverity SetMinLogSeverity(LogSeverity severity) {
+  LogSeverity previous = g_min_severity;
+  g_min_severity = severity;
+  return previous;
+}
+
+LogSeverity MinLogSeverity() { return g_min_severity; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << "[" << SeverityName(severity) << " " << file << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= g_min_severity || severity_ == LogSeverity::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace lotusx

@@ -1,0 +1,97 @@
+#ifndef LOTUSX_COMMON_LOGGING_H_
+#define LOTUSX_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace lotusx {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+namespace internal_logging {
+
+/// Stream-style message collector; flushes to stderr on destruction and
+/// aborts the process for kFatal messages (used by CHECK failures).
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// glog-style helper: `&` binds looser than `<<`, so the entire streamed
+/// chain is evaluated before being discarded as void inside the ternary
+/// CHECK expansion.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+  void operator&(NullStream&) {}
+};
+
+inline NullStream& GetNullStream() {
+  static NullStream stream;
+  return stream;
+}
+
+}  // namespace internal_logging
+
+/// Minimum severity that actually reaches stderr (default: kWarning so that
+/// tests and benchmarks stay quiet). Returns the previous threshold.
+LogSeverity SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+}  // namespace lotusx
+
+#define LOTUSX_LOG(severity)                                          \
+  ::lotusx::internal_logging::LogMessage(                             \
+      ::lotusx::LogSeverity::k##severity, __FILE__, __LINE__)         \
+      .stream()
+
+/// Aborts with a message when `cond` is false. Active in all build modes —
+/// index and join invariants are cheap relative to the work they guard.
+#define CHECK(cond)                                                   \
+  (cond) ? (void)0                                                    \
+         : ::lotusx::internal_logging::Voidify() &                    \
+               ::lotusx::internal_logging::LogMessage(                \
+                   ::lotusx::LogSeverity::kFatal, __FILE__, __LINE__) \
+                       .stream()                                      \
+                   << "Check failed: " #cond " "
+
+#define CHECK_EQ(a, b) CHECK((a) == (b))
+#define CHECK_NE(a, b) CHECK((a) != (b))
+#define CHECK_LT(a, b) CHECK((a) < (b))
+#define CHECK_LE(a, b) CHECK((a) <= (b))
+#define CHECK_GT(a, b) CHECK((a) > (b))
+#define CHECK_GE(a, b) CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define DCHECK(cond) CHECK(cond)
+#else
+// Release builds: `cond` stays syntactically checked (inside sizeof, never
+// evaluated) and the streamed message compiles against NullStream.
+#define DCHECK(cond)                                \
+  true ? (void)sizeof((cond) ? 1 : 0)               \
+       : ::lotusx::internal_logging::Voidify() &    \
+             ::lotusx::internal_logging::GetNullStream()
+#endif
+
+#endif  // LOTUSX_COMMON_LOGGING_H_

@@ -1,0 +1,99 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lotusx {
+
+namespace {
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  state_[0] = SplitMix64(sm);
+  state_[1] = SplitMix64(sm);
+  if (state_[0] == 0 && state_[1] == 0) state_[0] = 1;  // avoid all-zero
+}
+
+uint64_t Random::NextUint64() {
+  // xoroshiro128+.
+  uint64_t s0 = state_[0];
+  uint64_t s1 = state_[1];
+  uint64_t result = s0 + s1;
+  s1 ^= s0;
+  state_[0] = RotL(s0, 55) ^ s1 ^ (s1 << 14);
+  state_[1] = RotL(s1, 36);
+  return result;
+}
+
+uint64_t Random::NextBounded(uint64_t bound) {
+  CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  while (true) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Random::NextInRange(int64_t lo, int64_t hi) {
+  CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextUint64());  // full range
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Random::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+size_t Random::NextZipf(size_t n, double skew) {
+  CHECK_GT(n, 0u);
+  if (n == 1) return 0;
+  if (skew <= 0.0) return NextBounded(n);
+  if (zipf_n_ != n || zipf_skew_ != skew) {
+    zipf_cdf_.resize(n);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+      zipf_cdf_[i] = total;
+    }
+    for (double& c : zipf_cdf_) c /= total;
+    zipf_n_ = n;
+    zipf_skew_ = skew;
+  }
+  double u = NextDouble();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  if (it == zipf_cdf_.end()) return n - 1;
+  return static_cast<size_t>(it - zipf_cdf_.begin());
+}
+
+std::string Random::NextWord(int min_len, int max_len) {
+  CHECK_GE(min_len, 1);
+  CHECK_LE(min_len, max_len);
+  int len = static_cast<int>(NextInRange(min_len, max_len));
+  std::string word(static_cast<size_t>(len), 'a');
+  for (char& c : word) {
+    c = static_cast<char>('a' + NextBounded(26));
+  }
+  return word;
+}
+
+}  // namespace lotusx

@@ -1,0 +1,61 @@
+#ifndef LOTUSX_COMMON_RANDOM_H_
+#define LOTUSX_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lotusx {
+
+/// Deterministic 64-bit PRNG (splitmix64 seeding + xoshiro-style output).
+/// Every generator and benchmark in this repository takes an explicit seed
+/// so runs are reproducible across machines.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Zipf-distributed rank in [0, n) with exponent `skew` (skew=0 is
+  /// uniform; typical text skew is ~1.0). Exact sampling via a cached
+  /// cumulative-weight table and binary search; the table is rebuilt only
+  /// when (n, skew) changes.
+  size_t NextZipf(size_t n, double skew);
+
+  /// Random lowercase ASCII word of length in [min_len, max_len].
+  std::string NextWord(int min_len, int max_len);
+
+  /// Shuffles `items` in place (Fisher-Yates).
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[2];
+
+  // Lazily built Zipf CDF for the most recent (n, skew) pair.
+  size_t zipf_n_ = 0;
+  double zipf_skew_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace lotusx
+
+#endif  // LOTUSX_COMMON_RANDOM_H_

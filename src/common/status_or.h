@@ -1,0 +1,73 @@
+#ifndef LOTUSX_COMMON_STATUS_OR_H_
+#define LOTUSX_COMMON_STATUS_OR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace lotusx {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Mirrors absl::StatusOr semantics; accessing the value of
+/// an errored StatusOr aborts via CHECK.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a non-OK status. A default StatusOr is an Internal
+  /// error rather than a value, so the "empty" state is never silently OK.
+  StatusOr() : status_(Status::Internal("uninitialized StatusOr")) {}
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    CHECK(!status_.ok()) << "StatusOr constructed with OK status but no value";
+  }
+  StatusOr(T value)  // NOLINT
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CHECK(ok()) << "value() on errored StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CHECK(ok()) << "value() on errored StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CHECK(ok()) << "value() on errored StatusOr: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace lotusx
+
+/// Assigns the value of a StatusOr expression to `lhs`, or returns its
+/// status from the enclosing function.
+#define LOTUSX_ASSIGN_OR_RETURN(lhs, expr)             \
+  LOTUSX_ASSIGN_OR_RETURN_IMPL_(                       \
+      LOTUSX_STATUS_CONCAT_(_status_or_, __LINE__), lhs, expr)
+
+#define LOTUSX_STATUS_CONCAT_INNER_(a, b) a##b
+#define LOTUSX_STATUS_CONCAT_(a, b) LOTUSX_STATUS_CONCAT_INNER_(a, b)
+#define LOTUSX_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#endif  // LOTUSX_COMMON_STATUS_OR_H_

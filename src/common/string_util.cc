@@ -1,0 +1,111 @@
+#include "common/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace lotusx {
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(text.substr(start));
+      return pieces;
+    }
+    pieces.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> SplitSkipEmpty(std::string_view text, char sep) {
+  std::vector<std::string> pieces;
+  for (std::string& piece : Split(text, sep)) {
+    if (!piece.empty()) pieces.push_back(std::move(piece));
+  }
+  return pieces;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result += sep;
+    result += parts[i];
+  }
+  return result;
+}
+
+std::string ToLowerAscii(std::string_view text) {
+  std::string result(text);
+  std::transform(result.begin(), result.end(), result.begin(), [](char c) {
+    return static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  });
+  return result;
+}
+
+std::string_view TrimAscii(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() && IsXmlWhitespace(text[begin])) ++begin;
+  size_t end = text.size();
+  while (end > begin && IsXmlWhitespace(text[end - 1])) --end;
+  return text.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::vector<std::string> TokenizeKeywords(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+bool PrefixMatchesAsciiCaseInsensitive(std::string_view candidate,
+                                       std::string_view prefix) {
+  if (candidate.size() < prefix.size()) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(candidate[i])) !=
+        std::tolower(static_cast<unsigned char>(prefix[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int EditDistance(std::string_view a, std::string_view b) {
+  // Single-row dynamic program; O(|a|*|b|) time, O(|b|) space.
+  std::vector<int> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    int diagonal = row[0];
+    row[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= b.size(); ++j) {
+      int substitute = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace lotusx

@@ -1,0 +1,50 @@
+#ifndef LOTUSX_COMMON_STRING_UTIL_H_
+#define LOTUSX_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lotusx {
+
+/// Splits `text` on every occurrence of `sep`. Empty pieces are kept, so
+/// Split("a,,b", ',') == {"a", "", "b"} and Split("", ',') == {""}.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits and drops empty pieces: SplitSkipEmpty("a,,b", ',') == {"a","b"}.
+std::vector<std::string> SplitSkipEmpty(std::string_view text, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII-only lowercase copy (XML tag matching in this library is
+/// case-sensitive; lowering is used only for keyword normalization).
+std::string ToLowerAscii(std::string_view text);
+
+/// Trims ASCII whitespace (space, \t, \r, \n) from both ends.
+std::string_view TrimAscii(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// True for ASCII whitespace as defined by the XML spec (space \t \r \n).
+inline bool IsXmlWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+/// Breaks free text into lowercase alphanumeric keyword tokens; everything
+/// else is a separator. "Data-Engineering 2012" -> {"data","engineering",
+/// "2012"}. This is the tokenizer used by the term index and completion.
+std::vector<std::string> TokenizeKeywords(std::string_view text);
+
+/// Case-insensitive (ASCII) prefix test used by auto-completion.
+bool PrefixMatchesAsciiCaseInsensitive(std::string_view candidate,
+                                       std::string_view prefix);
+
+/// Edit (Levenshtein) distance; used by rewrite's tag-substitution rule.
+/// Cost 1 per insert/delete/substitute.
+int EditDistance(std::string_view a, std::string_view b);
+
+}  // namespace lotusx
+
+#endif  // LOTUSX_COMMON_STRING_UTIL_H_

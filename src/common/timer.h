@@ -1,0 +1,39 @@
+#ifndef LOTUSX_COMMON_TIMER_H_
+#define LOTUSX_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace lotusx {
+
+/// Monotonic wall-clock stopwatch used by benchmarks and EXPLAIN-style
+/// statistics. Started on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) / 1e3;
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lotusx
+
+#endif  // LOTUSX_COMMON_TIMER_H_

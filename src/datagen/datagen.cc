@@ -1,0 +1,410 @@
+#include "datagen/datagen.h"
+
+#include <array>
+#include <functional>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace lotusx::datagen {
+
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+/// Deterministic word pool: `size` distinct pseudo-words drawn once, then
+/// sampled with Zipf skew so a few words dominate (text-like statistics).
+class WordPool {
+ public:
+  WordPool(Random* random, int size, double skew)
+      : random_(random), skew_(skew) {
+    words_.reserve(static_cast<size_t>(size));
+    for (int i = 0; i < size; ++i) {
+      words_.push_back(random_->NextWord(3, 9));
+    }
+  }
+
+  const std::string& Sample() {
+    return words_[random_->NextZipf(words_.size(), skew_)];
+  }
+
+  std::string Sentence(int min_words, int max_words) {
+    int n = static_cast<int>(random_->NextInRange(min_words, max_words));
+    std::string out;
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) out += ' ';
+      out += Sample();
+    }
+    return out;
+  }
+
+  const std::string& word(size_t i) const { return words_[i]; }
+  size_t size() const { return words_.size(); }
+
+ private:
+  Random* random_;
+  double skew_;
+  std::vector<std::string> words_;
+};
+
+void AppendTextChild(Document* doc, NodeId parent, std::string_view tag,
+                     std::string_view text) {
+  NodeId element = doc->AppendElement(parent, tag);
+  doc->AppendText(element, text);
+}
+
+}  // namespace
+
+Document GenerateDblp(const DblpOptions& options) {
+  CHECK_GT(options.num_publications, 0);
+  Random random(options.seed);
+  Document doc;
+  WordPool names(&random, options.author_pool_size, options.zipf_skew);
+  WordPool title_words(&random, options.title_vocabulary, options.zipf_skew);
+  static constexpr std::array<std::string_view, 3> kKinds = {
+      "article", "inproceedings", "book"};
+  static constexpr std::array<std::string_view, 5> kJournals = {
+      "tods", "vldbj", "tkde", "sigmod record", "jacm"};
+  static constexpr std::array<std::string_view, 5> kVenues = {
+      "icde", "vldb", "sigmod", "edbt", "cikm"};
+
+  NodeId root = doc.AppendElement(xml::kInvalidNodeId, "dblp");
+  for (int i = 0; i < options.num_publications; ++i) {
+    size_t kind = random.NextZipf(kKinds.size(), 1.0);
+    NodeId pub = doc.AppendElement(root, kKinds[kind]);
+    doc.AppendAttribute(pub, "key",
+                        std::string(kKinds[kind]) + "/" +
+                            std::to_string(options.seed % 97) + "/" +
+                            std::to_string(i));
+    int num_authors = static_cast<int>(random.NextInRange(1, 4));
+    for (int a = 0; a < num_authors; ++a) {
+      AppendTextChild(&doc, pub, "author",
+                      names.Sample() + " " + names.Sample());
+    }
+    AppendTextChild(&doc, pub, "title", title_words.Sentence(3, 9));
+    AppendTextChild(&doc, pub, "year",
+                    std::to_string(random.NextInRange(1990, 2012)));
+    if (kind == 0) {
+      AppendTextChild(&doc, pub, "journal",
+                      kJournals[random.NextBounded(kJournals.size())]);
+      AppendTextChild(&doc, pub, "volume",
+                      std::to_string(random.NextInRange(1, 40)));
+    } else if (kind == 1) {
+      AppendTextChild(&doc, pub, "booktitle",
+                      kVenues[random.NextBounded(kVenues.size())]);
+      AppendTextChild(&doc, pub, "pages",
+                      std::to_string(random.NextInRange(1, 600)) + "-" +
+                          std::to_string(random.NextInRange(601, 1200)));
+    } else {
+      AppendTextChild(&doc, pub, "publisher", names.Sample());
+      AppendTextChild(&doc, pub, "isbn",
+                      std::to_string(random.NextInRange(1000000, 9999999)));
+    }
+    if (random.NextBool(0.4)) {
+      AppendTextChild(&doc, pub, "ee",
+                      "db/" + std::string(kKinds[kind]) + "/" +
+                          std::to_string(i) + ".html");
+    }
+  }
+  doc.Finalize();
+  return doc;
+}
+
+Document GenerateStore(const StoreOptions& options) {
+  CHECK_GT(options.num_products, 0);
+  Random random(options.seed);
+  Document doc;
+  WordPool words(&random, 300, options.zipf_skew);
+  WordPool brands(&random, 40, options.zipf_skew);
+
+  NodeId root = doc.AppendElement(xml::kInvalidNodeId, "store");
+  AppendTextChild(&doc, root, "name", "lotus " + words.Sample() + " store");
+
+  int products_left = options.num_products;
+  auto make_product = [&](NodeId parent) {
+    NodeId product = doc.AppendElement(parent, "product");
+    doc.AppendAttribute(
+        product, "sku",
+        "p" + std::to_string(options.num_products - products_left));
+    // Fixed child order: name, brand, price, description, stock,
+    // reviews — the document-order regularity E4 queries rely on.
+    AppendTextChild(&doc, product, "name", words.Sentence(1, 3));
+    AppendTextChild(&doc, product, "brand", brands.Sample());
+    AppendTextChild(&doc, product, "price",
+                    std::to_string(random.NextInRange(1, 999)) + "." +
+                        std::to_string(random.NextInRange(10, 99)));
+    AppendTextChild(&doc, product, "description", words.Sentence(4, 14));
+    NodeId stock = doc.AppendElement(product, "stock");
+    doc.AppendAttribute(stock, "units",
+                        std::to_string(random.NextInRange(0, 500)));
+    int reviews = static_cast<int>(random.NextInRange(0, 4));
+    for (int r = 0; r < reviews; ++r) {
+      NodeId review = doc.AppendElement(product, "review");
+      AppendTextChild(&doc, review, "rating",
+                      std::to_string(random.NextInRange(1, 5)));
+      AppendTextChild(&doc, review, "comment", words.Sentence(3, 10));
+      AppendTextChild(&doc, review, "reviewer", words.Sample());
+    }
+  };
+
+  // Recursive category tree, filled depth-first so the preorder append
+  // discipline holds; products are concentrated at the leaves. The leaf
+  // batch size scales with the requested product count so large catalogs
+  // spread across the tree instead of piling into the overflow category.
+  int leaf_batch = std::max(2, options.num_products / 40);
+  std::function<void(NodeId, int)> fill = [&](NodeId parent, int depth) {
+    int categories = depth >= options.max_category_depth
+                         ? 0
+                         : static_cast<int>(random.NextInRange(
+                               0, options.categories_per_level));
+    if (depth == 0) categories = options.categories_per_level;
+    for (int c = 0; c < categories; ++c) {
+      NodeId category = doc.AppendElement(parent, "category");
+      doc.AppendAttribute(category, "id",
+                          "c" + std::to_string(doc.num_nodes()));
+      AppendTextChild(&doc, category, "name", words.Sample());
+      fill(category, depth + 1);
+    }
+    // Products at this level.
+    int here =
+        categories == 0
+            ? std::min(products_left,
+                       static_cast<int>(random.NextInRange(2, leaf_batch)))
+            : std::min(products_left,
+                       static_cast<int>(random.NextInRange(0, 3)));
+    for (int p = 0; p < here && products_left > 0; ++p, --products_left) {
+      make_product(parent);
+    }
+  };
+  fill(root, 0);
+  // Any remainder goes into a final overflow category (same full product
+  // structure as everywhere else).
+  if (products_left > 0) {
+    NodeId category = doc.AppendElement(root, "category");
+    AppendTextChild(&doc, category, "name", "misc");
+    while (products_left > 0) {
+      --products_left;
+      make_product(category);
+    }
+  }
+  doc.Finalize();
+  return doc;
+}
+
+Document GenerateXmark(const XmarkOptions& options) {
+  Random random(options.seed);
+  Document doc;
+  WordPool words(&random, 400, options.zipf_skew);
+  static constexpr std::array<std::string_view, 6> kRegions = {
+      "africa", "asia", "australia", "europe", "namerica", "samerica"};
+
+  NodeId root = doc.AppendElement(xml::kInvalidNodeId, "site");
+
+  // Recursive parlist/listitem description bodies.
+  std::function<void(NodeId, int)> parlist = [&](NodeId parent, int depth) {
+    NodeId list = doc.AppendElement(parent, "parlist");
+    int items = static_cast<int>(random.NextInRange(1, 3));
+    for (int i = 0; i < items; ++i) {
+      NodeId item = doc.AppendElement(list, "listitem");
+      if (depth < 4 && random.NextBool(options.recursion_probability)) {
+        parlist(item, depth + 1);
+      } else {
+        AppendTextChild(&doc, item, "text", words.Sentence(3, 10));
+      }
+    }
+  };
+
+  NodeId regions = doc.AppendElement(root, "regions");
+  for (size_t r = 0; r < kRegions.size(); ++r) {
+    NodeId region = doc.AppendElement(regions, kRegions[r]);
+    int items = options.num_items / static_cast<int>(kRegions.size()) +
+                (static_cast<size_t>(options.num_items %
+                                     static_cast<int>(kRegions.size())) > r
+                     ? 1
+                     : 0);
+    for (int i = 0; i < items; ++i) {
+      NodeId item = doc.AppendElement(region, "item");
+      doc.AppendAttribute(item, "id",
+                          "item" + std::to_string(doc.num_nodes()));
+      AppendTextChild(&doc, item, "location", words.Sample());
+      AppendTextChild(&doc, item, "name", words.Sentence(1, 3));
+      NodeId payment = doc.AppendElement(item, "payment");
+      doc.AppendText(payment, random.NextBool(0.5) ? "creditcard" : "cash");
+      NodeId description = doc.AppendElement(item, "description");
+      parlist(description, 0);
+      if (random.NextBool(0.5)) {
+        NodeId mailbox = doc.AppendElement(item, "mailbox");
+        int mails = static_cast<int>(random.NextInRange(1, 3));
+        for (int m = 0; m < mails; ++m) {
+          NodeId mail = doc.AppendElement(mailbox, "mail");
+          AppendTextChild(&doc, mail, "from", words.Sample());
+          AppendTextChild(&doc, mail, "to", words.Sample());
+          AppendTextChild(&doc, mail, "date",
+                          std::to_string(random.NextInRange(1, 28)) + "/" +
+                              std::to_string(random.NextInRange(1, 12)) +
+                              "/2011");
+          AppendTextChild(&doc, mail, "text", words.Sentence(4, 12));
+        }
+      }
+    }
+  }
+
+  NodeId people = doc.AppendElement(root, "people");
+  for (int p = 0; p < options.num_people; ++p) {
+    NodeId person = doc.AppendElement(people, "person");
+    doc.AppendAttribute(person, "id", "person" + std::to_string(p));
+    AppendTextChild(&doc, person, "name",
+                    words.Sample() + " " + words.Sample());
+    AppendTextChild(&doc, person, "emailaddress",
+                    words.Sample() + "@" + words.Sample() + ".org");
+    if (random.NextBool(0.6)) {
+      NodeId profile = doc.AppendElement(person, "profile");
+      AppendTextChild(&doc, profile, "education", words.Sample());
+      AppendTextChild(&doc, profile, "income",
+                      std::to_string(random.NextInRange(20000, 200000)));
+      int interests = static_cast<int>(random.NextInRange(0, 3));
+      for (int i = 0; i < interests; ++i) {
+        NodeId interest = doc.AppendElement(profile, "interest");
+        doc.AppendAttribute(interest, "category",
+                            "cat" + std::to_string(random.NextBounded(20)));
+      }
+    }
+  }
+
+  NodeId auctions = doc.AppendElement(root, "open_auctions");
+  for (int a = 0; a < options.num_auctions; ++a) {
+    NodeId auction = doc.AppendElement(auctions, "open_auction");
+    doc.AppendAttribute(auction, "id", "auction" + std::to_string(a));
+    AppendTextChild(&doc, auction, "initial",
+                    std::to_string(random.NextInRange(1, 500)) + ".00");
+    int bidders = static_cast<int>(random.NextInRange(0, 5));
+    for (int b = 0; b < bidders; ++b) {
+      NodeId bidder = doc.AppendElement(auction, "bidder");
+      AppendTextChild(&doc, bidder, "date",
+                      std::to_string(random.NextInRange(1, 28)) + "/" +
+                          std::to_string(random.NextInRange(1, 12)) +
+                          "/2011");
+      AppendTextChild(&doc, bidder, "increase",
+                      std::to_string(random.NextInRange(1, 50)) + ".00");
+    }
+    NodeId seller = doc.AppendElement(auction, "seller");
+    doc.AppendAttribute(
+        seller, "person",
+        "person" + std::to_string(random.NextBounded(
+                       std::max(1, options.num_people))));
+    NodeId quantity = doc.AppendElement(auction, "quantity");
+    doc.AppendText(quantity, std::to_string(random.NextInRange(1, 10)));
+  }
+
+  doc.Finalize();
+  return doc;
+}
+
+Document GenerateTreebank(const TreebankOptions& options) {
+  CHECK_GT(options.num_sentences, 0);
+  Random random(options.seed);
+  Document doc;
+  WordPool words(&random, 500, options.zipf_skew);
+  // Nonterminals with grammar-flavoured expansion preferences: index into
+  // kNonterminals; each row lists the tags a constituent tends to expand
+  // into (cyclic references make the structure recursive).
+  static constexpr std::array<std::string_view, 8> kNonterminals = {
+      "s", "np", "vp", "pp", "sbar", "adjp", "advp", "whnp"};
+  static constexpr std::array<std::array<int, 3>, 8> kExpansions = {{
+      {1, 2, 4},  // s    -> np vp sbar
+      {1, 3, 5},  // np   -> np pp adjp
+      {2, 1, 3},  // vp   -> vp np pp
+      {1, 3, 6},  // pp   -> np pp advp
+      {0, 2, 7},  // sbar -> s vp whnp
+      {5, 6, 1},  // adjp -> adjp advp np
+      {6, 3, 2},  // advp -> advp pp vp
+      {1, 4, 0},  // whnp -> np sbar s
+  }};
+
+  NodeId root = doc.AppendElement(xml::kInvalidNodeId, "treebank");
+  std::function<void(NodeId, int, int)> expand = [&](NodeId parent,
+                                                     int nonterminal,
+                                                     int depth) {
+    NodeId node = doc.AppendElement(parent, kNonterminals[
+        static_cast<size_t>(nonterminal)]);
+    bool expand_further =
+        depth < options.max_depth &&
+        random.NextBool(options.expand_probability /
+                        (1.0 + depth / 12.0));  // taper with depth
+    if (!expand_further) {
+      doc.AppendText(node, words.Sentence(1, 3));
+      return;
+    }
+    int children = static_cast<int>(random.NextInRange(1, 3));
+    for (int c = 0; c < children; ++c) {
+      int next = kExpansions[static_cast<size_t>(nonterminal)]
+                            [random.NextBounded(3)];
+      expand(node, next, depth + 1);
+    }
+  };
+  for (int s = 0; s < options.num_sentences; ++s) {
+    expand(root, /*nonterminal=*/0, /*depth=*/1);
+  }
+  doc.Finalize();
+  return doc;
+}
+
+namespace {
+
+/// Measures nodes-per-unit for a generator at a small pilot size, then
+/// scales the count knob linearly.
+template <typename MakeDoc>
+Document ScaleToNodes(int64_t target_nodes, int pilot_count,
+                      MakeDoc make_doc) {
+  Document pilot = make_doc(pilot_count);
+  double per_unit =
+      static_cast<double>(pilot.num_nodes()) / pilot_count;
+  int count = static_cast<int>(
+      std::max<int64_t>(1, static_cast<int64_t>(
+                               static_cast<double>(target_nodes) / per_unit)));
+  return make_doc(count);
+}
+
+}  // namespace
+
+Document GenerateDblpWithApproxNodes(uint64_t seed, int64_t target_nodes) {
+  return ScaleToNodes(target_nodes, 200, [seed](int count) {
+    DblpOptions options;
+    options.seed = seed;
+    options.num_publications = count;
+    return GenerateDblp(options);
+  });
+}
+
+Document GenerateStoreWithApproxNodes(uint64_t seed, int64_t target_nodes) {
+  return ScaleToNodes(target_nodes, 200, [seed](int count) {
+    StoreOptions options;
+    options.seed = seed;
+    options.num_products = count;
+    return GenerateStore(options);
+  });
+}
+
+Document GenerateXmarkWithApproxNodes(uint64_t seed, int64_t target_nodes) {
+  return ScaleToNodes(target_nodes, 100, [seed](int count) {
+    XmarkOptions options;
+    options.seed = seed;
+    options.num_items = count;
+    options.num_people = count / 2;
+    options.num_auctions = count / 2;
+    return GenerateXmark(options);
+  });
+}
+
+Document GenerateTreebankWithApproxNodes(uint64_t seed,
+                                         int64_t target_nodes) {
+  return ScaleToNodes(target_nodes, 200, [seed](int count) {
+    TreebankOptions options;
+    options.seed = seed;
+    options.num_sentences = count;
+    return GenerateTreebank(options);
+  });
+}
+
+}  // namespace lotusx::datagen

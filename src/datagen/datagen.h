@@ -1,0 +1,87 @@
+#ifndef LOTUSX_DATAGEN_DATAGEN_H_
+#define LOTUSX_DATAGEN_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xml/dom.h"
+
+namespace lotusx::datagen {
+
+/// Deterministic synthetic datasets standing in for the corpora the LotusX
+/// demo indexed (DBLP, XMark and store-style catalogs are the staple
+/// datasets of the twig-search literature). Same options + same seed =>
+/// byte-identical document. See DESIGN.md "Substitutions".
+
+/// DBLP-like bibliography:
+///   dblp > (article|inproceedings|book)* each with @key, author+, title,
+///   year, and journal/booktitle/publisher; titles and author names drawn
+///   from Zipf-skewed pools so term statistics look text-like.
+struct DblpOptions {
+  uint64_t seed = 42;
+  int num_publications = 1000;
+  int author_pool_size = 200;
+  int title_vocabulary = 400;
+  double zipf_skew = 0.9;
+};
+xml::Document GenerateDblp(const DblpOptions& options);
+
+/// Online-store catalog with recursive category nesting:
+///   store > category+ (category*) > product* with name, brand, price,
+///   description, stock @units, review* (rating, comment). Product
+///   children always appear in the same document order, which makes this
+///   the dataset of choice for order-sensitive queries (E4), and its
+///   heterogeneous paths (same tags under different parents) stress
+///   position-aware completion (E2).
+struct StoreOptions {
+  uint64_t seed = 42;
+  int num_products = 500;
+  int max_category_depth = 3;
+  int categories_per_level = 4;
+  double zipf_skew = 1.0;
+};
+xml::Document GenerateStore(const StoreOptions& options);
+
+/// XMark-like auction site (Schmidt et al.): site > regions (6 continents
+/// with item*), people (person* with profile), open_auctions (auction*
+/// with bidder*). Descriptions contain recursive parlist/listitem
+/// structure, exercising deep and recursive paths.
+struct XmarkOptions {
+  uint64_t seed = 42;
+  int num_items = 200;
+  int num_people = 100;
+  int num_auctions = 100;
+  double recursion_probability = 0.35;
+  double zipf_skew = 0.8;
+};
+xml::Document GenerateXmark(const XmarkOptions& options);
+
+/// Treebank-like corpus: deeply recursive parse trees over a small
+/// nonterminal vocabulary (S, NP, VP, PP, ...), the classic stress corpus
+/// of the twig-join literature — the same tag appears at many depths, and
+/// paths run 10-30 levels deep. Leaves carry word text.
+struct TreebankOptions {
+  uint64_t seed = 42;
+  int num_sentences = 200;
+  int max_depth = 24;
+  /// Probability that a constituent expands into further constituents
+  /// rather than a terminal word.
+  double expand_probability = 0.7;
+  double zipf_skew = 0.9;
+};
+xml::Document GenerateTreebank(const TreebankOptions& options);
+
+/// Scales any generator to approximately `target_nodes` document nodes by
+/// adjusting its count knob; used by size-sweep experiments (E1/E3/E7).
+xml::Document GenerateDblpWithApproxNodes(uint64_t seed, int64_t target_nodes);
+xml::Document GenerateStoreWithApproxNodes(uint64_t seed,
+                                           int64_t target_nodes);
+xml::Document GenerateXmarkWithApproxNodes(uint64_t seed,
+                                           int64_t target_nodes);
+xml::Document GenerateTreebankWithApproxNodes(uint64_t seed,
+                                              int64_t target_nodes);
+
+}  // namespace lotusx::datagen
+
+#endif  // LOTUSX_DATAGEN_DATAGEN_H_

@@ -1,0 +1,228 @@
+#include "index/dataguide.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace lotusx::index {
+
+DataGuide DataGuide::Build(const xml::Document& document) {
+  CHECK(document.finalized());
+  DataGuide guide;
+  guide.path_of_.assign(static_cast<size_t>(document.num_nodes()),
+                        kInvalidPathId);
+  if (document.empty()) {
+    guide.BuildDerivedData();
+    return guide;
+  }
+
+  // Root path node.
+  PathNode root;
+  root.tag = document.node(0).tag;
+  root.count = 1;
+  guide.nodes_.push_back(root);
+  guide.path_of_[0] = 0;
+
+  for (xml::NodeId id = 1; id < document.num_nodes(); ++id) {
+    const xml::Document::Node& node = document.node(id);
+    PathId parent_path = guide.path_of_[static_cast<size_t>(node.parent)];
+    DCHECK(parent_path != kInvalidPathId);
+    if (node.kind == xml::NodeKind::kText) {
+      ++guide.nodes_[static_cast<size_t>(parent_path)].text_count;
+      continue;
+    }
+    PathId path = guide.FindChild(parent_path, node.tag);
+    if (path == kInvalidPathId) {
+      path = static_cast<PathId>(guide.nodes_.size());
+      PathNode fresh;
+      fresh.tag = node.tag;
+      fresh.parent = parent_path;
+      fresh.depth = guide.nodes_[static_cast<size_t>(parent_path)].depth + 1;
+      guide.nodes_.push_back(fresh);
+      guide.nodes_[static_cast<size_t>(parent_path)].children.push_back(
+          path);
+    }
+    ++guide.nodes_[static_cast<size_t>(path)].count;
+    guide.path_of_[static_cast<size_t>(id)] = path;
+  }
+  guide.BuildDerivedData();
+  return guide;
+}
+
+void DataGuide::BuildDerivedData() {
+  // paths_by_tag_.
+  xml::TagId max_tag = -1;
+  for (const PathNode& node : nodes_) max_tag = std::max(max_tag, node.tag);
+  paths_by_tag_.assign(max_tag < 0 ? 0 : static_cast<size_t>(max_tag) + 1,
+                       {});
+  for (PathId id = 0; id < num_paths(); ++id) {
+    paths_by_tag_[static_cast<size_t>(nodes_[static_cast<size_t>(id)].tag)]
+        .push_back(id);
+  }
+
+  // descendant_tags_: bottom-up merge. PathIds are created parents-first,
+  // so iterating in reverse resolves children before parents.
+  descendant_tags_.assign(nodes_.size(), {});
+  descendant_keys_.assign(nodes_.size(), {});
+  for (PathId id = num_paths() - 1; id >= 0; --id) {
+    std::map<xml::TagId, uint64_t> merged;
+    for (PathId child : nodes_[static_cast<size_t>(id)].children) {
+      const PathNode& child_node = nodes_[static_cast<size_t>(child)];
+      merged[child_node.tag] += child_node.count;
+      for (const auto& [tag, count] :
+           descendant_tags_[static_cast<size_t>(child)]) {
+        merged[tag] += count;
+      }
+    }
+    auto& flat = descendant_tags_[static_cast<size_t>(id)];
+    auto& keys = descendant_keys_[static_cast<size_t>(id)];
+    flat.assign(merged.begin(), merged.end());
+    keys.reserve(flat.size());
+    for (const auto& [tag, count] : flat) keys.push_back(tag);
+  }
+}
+
+PathId DataGuide::FindChild(PathId path, xml::TagId tag) const {
+  if (path == kInvalidPathId) return kInvalidPathId;
+  for (PathId child : nodes_[static_cast<size_t>(path)].children) {
+    if (nodes_[static_cast<size_t>(child)].tag == tag) return child;
+  }
+  return kInvalidPathId;
+}
+
+const std::vector<PathId>& DataGuide::PathsWithTag(xml::TagId tag) const {
+  if (tag < 0 || static_cast<size_t>(tag) >= paths_by_tag_.size()) {
+    return empty_paths_;
+  }
+  return paths_by_tag_[static_cast<size_t>(tag)];
+}
+
+std::vector<xml::TagId> DataGuide::ChildTags(PathId path) const {
+  std::vector<xml::TagId> tags;
+  for (PathId child : node(path).children) {
+    tags.push_back(node(child).tag);
+  }
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+  return tags;
+}
+
+const std::vector<xml::TagId>& DataGuide::DescendantTags(PathId path) const {
+  DCHECK(path >= 0 && path < num_paths());
+  return descendant_keys_[static_cast<size_t>(path)];
+}
+
+uint64_t DataGuide::DescendantTagCount(PathId path, xml::TagId tag) const {
+  const auto& flat = descendant_tags_[static_cast<size_t>(path)];
+  auto it = std::lower_bound(
+      flat.begin(), flat.end(), tag,
+      [](const auto& entry, xml::TagId t) { return entry.first < t; });
+  if (it == flat.end() || it->first != tag) return 0;
+  return it->second;
+}
+
+uint64_t DataGuide::ChildTagCount(PathId path, xml::TagId tag) const {
+  uint64_t total = 0;
+  for (PathId child : node(path).children) {
+    if (node(child).tag == tag) total += node(child).count;
+  }
+  return total;
+}
+
+std::vector<xml::TagId> DataGuide::TagPath(PathId path) const {
+  std::vector<xml::TagId> tags;
+  for (PathId p = path; p != kInvalidPathId; p = node(p).parent) {
+    tags.push_back(node(p).tag);
+  }
+  std::reverse(tags.begin(), tags.end());
+  return tags;
+}
+
+std::string DataGuide::PathString(const xml::Document& document,
+                                  PathId path) const {
+  std::string out;
+  for (xml::TagId tag : TagPath(path)) {
+    out += '/';
+    out += document.tag_name(tag);
+  }
+  return out;
+}
+
+size_t DataGuide::MemoryUsage() const {
+  size_t bytes = nodes_.capacity() * sizeof(PathNode) +
+                 path_of_.capacity() * sizeof(PathId);
+  for (const PathNode& node : nodes_) {
+    bytes += node.children.capacity() * sizeof(PathId);
+  }
+  for (const auto& v : paths_by_tag_) bytes += v.capacity() * sizeof(PathId);
+  for (const auto& v : descendant_tags_) {
+    bytes += v.capacity() * sizeof(std::pair<xml::TagId, uint64_t>);
+  }
+  for (const auto& v : descendant_keys_) {
+    bytes += v.capacity() * sizeof(xml::TagId);
+  }
+  return bytes;
+}
+
+void DataGuide::EncodeTo(Encoder* encoder) const {
+  encoder->PutVarint64(nodes_.size());
+  for (const PathNode& node : nodes_) {
+    encoder->PutVarint32(static_cast<uint32_t>(node.tag));
+    encoder->PutVarint32(static_cast<uint32_t>(node.parent + 1));
+    encoder->PutVarint32(static_cast<uint32_t>(node.count));
+    encoder->PutVarint32(static_cast<uint32_t>(node.text_count));
+  }
+  encoder->PutVarint64(path_of_.size());
+  for (PathId p : path_of_) {
+    encoder->PutVarint32(static_cast<uint32_t>(p + 1));
+  }
+}
+
+StatusOr<DataGuide> DataGuide::DecodeFrom(Decoder* decoder) {
+  DataGuide guide;
+  uint64_t node_count = 0;
+  LOTUSX_RETURN_IF_ERROR(decoder->GetVarint64(&node_count));
+  guide.nodes_.resize(node_count);
+  for (size_t i = 0; i < node_count; ++i) {
+    PathNode& node = guide.nodes_[i];
+    uint32_t tag = 0;
+    uint32_t parent_plus1 = 0;
+    uint32_t count = 0;
+    uint32_t text_count = 0;
+    LOTUSX_RETURN_IF_ERROR(decoder->GetVarint32(&tag));
+    LOTUSX_RETURN_IF_ERROR(decoder->GetVarint32(&parent_plus1));
+    LOTUSX_RETURN_IF_ERROR(decoder->GetVarint32(&count));
+    LOTUSX_RETURN_IF_ERROR(decoder->GetVarint32(&text_count));
+    node.tag = static_cast<xml::TagId>(tag);
+    node.parent = static_cast<PathId>(parent_plus1) - 1;
+    node.count = count;
+    node.text_count = text_count;
+    if (node.parent >= static_cast<PathId>(i)) {
+      return Status::Corruption("dataguide parent not before child");
+    }
+    if (node.parent != kInvalidPathId) {
+      node.depth = guide.nodes_[static_cast<size_t>(node.parent)].depth + 1;
+      guide.nodes_[static_cast<size_t>(node.parent)].children.push_back(
+          static_cast<PathId>(i));
+    } else if (i != 0) {
+      return Status::Corruption("dataguide has multiple roots");
+    }
+  }
+  uint64_t doc_nodes = 0;
+  LOTUSX_RETURN_IF_ERROR(decoder->GetVarint64(&doc_nodes));
+  guide.path_of_.resize(doc_nodes);
+  for (size_t i = 0; i < doc_nodes; ++i) {
+    uint32_t p = 0;
+    LOTUSX_RETURN_IF_ERROR(decoder->GetVarint32(&p));
+    PathId path = static_cast<PathId>(p) - 1;
+    if (path >= static_cast<PathId>(node_count)) {
+      return Status::Corruption("dataguide path_of out of range");
+    }
+    guide.path_of_[i] = path;
+  }
+  guide.BuildDerivedData();
+  return guide;
+}
+
+}  // namespace lotusx::index

@@ -1,0 +1,94 @@
+#ifndef LOTUSX_INDEX_DATAGUIDE_H_
+#define LOTUSX_INDEX_DATAGUIDE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/status_or.h"
+#include "xml/dom.h"
+
+namespace lotusx::index {
+
+/// Identifier of a DataGuide path node (a distinct root-to-node tag path).
+using PathId = int32_t;
+inline constexpr PathId kInvalidPathId = -1;
+
+/// Strong DataGuide: a summary tree with exactly one node per distinct
+/// root-to-node *label path* in the document, annotated with occurrence
+/// statistics. This is LotusX's position-awareness oracle: given the query
+/// position a user is extending, the DataGuide says which tags can
+/// actually appear there (as children or descendants) and how often —
+/// so only satisfiable candidates are suggested, ranked by frequency.
+class DataGuide {
+ public:
+  struct PathNode {
+    xml::TagId tag = xml::kInvalidTagId;
+    PathId parent = kInvalidPathId;
+    int32_t depth = 0;           // root path has depth 0
+    uint32_t count = 0;          // document nodes with this exact path
+    uint32_t text_count = 0;     // of those, how many have direct text
+    std::vector<PathId> children;
+  };
+
+  /// Builds the DataGuide over a finalized document (covers element and
+  /// attribute nodes; text nodes contribute text_count on their parent).
+  static DataGuide Build(const xml::Document& document);
+
+  PathId root() const { return nodes_.empty() ? kInvalidPathId : 0; }
+  int32_t num_paths() const { return static_cast<int32_t>(nodes_.size()); }
+  const PathNode& node(PathId id) const {
+    DCHECK(id >= 0 && id < num_paths());
+    return nodes_[static_cast<size_t>(id)];
+  }
+
+  /// Child path with tag `tag`, or kInvalidPathId.
+  PathId FindChild(PathId path, xml::TagId tag) const;
+
+  /// All paths whose final tag is `tag` (a tag may occur at many paths).
+  const std::vector<PathId>& PathsWithTag(xml::TagId tag) const;
+
+  /// DataGuide path of a document node (kInvalidPathId for text nodes).
+  PathId PathOf(xml::NodeId id) const {
+    return path_of_[static_cast<size_t>(id)];
+  }
+
+  /// Distinct tags occurring as children of `path`, ascending TagId.
+  std::vector<xml::TagId> ChildTags(PathId path) const;
+
+  /// Distinct tags occurring strictly below `path` (any depth), ascending.
+  const std::vector<xml::TagId>& DescendantTags(PathId path) const;
+
+  /// Total count of descendant occurrences of `tag` below `path` — the
+  /// frequency weight used to rank position-aware candidates.
+  uint64_t DescendantTagCount(PathId path, xml::TagId tag) const;
+  /// Same for direct children only.
+  uint64_t ChildTagCount(PathId path, xml::TagId tag) const;
+
+  /// Tag path from the root to `path` (inclusive), as tag ids.
+  std::vector<xml::TagId> TagPath(PathId path) const;
+  /// "/dblp/article/author" rendering.
+  std::string PathString(const xml::Document& document, PathId path) const;
+
+  size_t MemoryUsage() const;
+
+  void EncodeTo(Encoder* encoder) const;
+  static StatusOr<DataGuide> DecodeFrom(Decoder* decoder);
+
+ private:
+  void BuildDerivedData();
+
+  std::vector<PathNode> nodes_;
+  std::vector<PathId> path_of_;                    // by NodeId
+  std::vector<std::vector<PathId>> paths_by_tag_;  // by TagId
+  // Per path: sorted (tag, total count) pairs of strict-descendant
+  // occurrences, plus just the keys for DescendantTags().
+  std::vector<std::vector<std::pair<xml::TagId, uint64_t>>> descendant_tags_;
+  std::vector<std::vector<xml::TagId>> descendant_keys_;
+  std::vector<PathId> empty_paths_;
+};
+
+}  // namespace lotusx::index
+
+#endif  // LOTUSX_INDEX_DATAGUIDE_H_

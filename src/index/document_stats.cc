@@ -1,0 +1,78 @@
+#include "index/document_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lotusx::index {
+
+DocumentStats ComputeDocumentStats(const IndexedDocument& indexed,
+                                   size_t top_k) {
+  DocumentStats stats;
+  const xml::Document& document = indexed.document();
+  int64_t depth_sum = 0;
+  for (xml::NodeId id = 0; id < document.num_nodes(); ++id) {
+    const xml::Document::Node& node = document.node(id);
+    switch (node.kind) {
+      case xml::NodeKind::kElement:
+        ++stats.elements;
+        break;
+      case xml::NodeKind::kAttribute:
+        ++stats.attributes;
+        break;
+      case xml::NodeKind::kText:
+        ++stats.text_nodes;
+        break;
+    }
+    stats.max_depth = std::max(stats.max_depth, node.depth);
+    depth_sum += node.depth;
+    if (node.kind == xml::NodeKind::kElement) {
+      if (static_cast<size_t>(node.depth) >=
+          stats.depth_histogram.size()) {
+        stats.depth_histogram.resize(static_cast<size_t>(node.depth) + 1,
+                                     0);
+      }
+      ++stats.depth_histogram[static_cast<size_t>(node.depth)];
+    }
+  }
+  if (document.num_nodes() > 0) {
+    stats.avg_depth =
+        static_cast<double>(depth_sum) / document.num_nodes();
+  }
+  stats.distinct_tags = document.num_tags();
+  stats.distinct_paths = indexed.dataguide().num_paths();
+  stats.distinct_terms = static_cast<int64_t>(indexed.terms().num_terms());
+
+  for (const Completion& completion :
+       indexed.tag_trie().Complete("", top_k)) {
+    stats.top_tags.emplace_back(completion.key, completion.weight);
+  }
+  for (const Completion& completion :
+       indexed.terms().term_trie().Complete("", top_k)) {
+    stats.top_terms.emplace_back(completion.key, completion.weight);
+  }
+  return stats;
+}
+
+std::string RenderDocumentStats(const DocumentStats& stats) {
+  std::ostringstream out;
+  out << "elements: " << stats.elements
+      << ", attributes: " << stats.attributes
+      << ", text nodes: " << stats.text_nodes << "\n";
+  out << "distinct tags: " << stats.distinct_tags
+      << ", distinct paths: " << stats.distinct_paths
+      << ", distinct terms: " << stats.distinct_terms << "\n";
+  out << "depth: max " << stats.max_depth << ", avg " << stats.avg_depth
+      << "\n";
+  out << "top tags:";
+  for (const auto& [tag, count] : stats.top_tags) {
+    out << " " << tag << "(" << count << ")";
+  }
+  out << "\ntop terms:";
+  for (const auto& [term, count] : stats.top_terms) {
+    out << " " << term << "(" << count << ")";
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace lotusx::index

@@ -1,0 +1,40 @@
+#ifndef LOTUSX_INDEX_DOCUMENT_STATS_H_
+#define LOTUSX_INDEX_DOCUMENT_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/indexed_document.h"
+
+namespace lotusx::index {
+
+/// Corpus overview shown to a user before they draw anything — the
+/// "what is in this document?" panel of the demo UI.
+struct DocumentStats {
+  int64_t elements = 0;
+  int64_t attributes = 0;
+  int64_t text_nodes = 0;
+  int32_t distinct_tags = 0;
+  int32_t distinct_paths = 0;
+  int64_t distinct_terms = 0;
+  int32_t max_depth = 0;
+  double avg_depth = 0;
+  /// Number of elements at each depth (index = depth).
+  std::vector<int64_t> depth_histogram;
+  /// Most frequent tags, descending (name, count).
+  std::vector<std::pair<std::string, uint64_t>> top_tags;
+  /// Most frequent value terms, descending (term, collection frequency).
+  std::vector<std::pair<std::string, uint64_t>> top_terms;
+};
+
+/// Computes the overview; `top_k` bounds the top_tags/top_terms lists.
+DocumentStats ComputeDocumentStats(const IndexedDocument& indexed,
+                                   size_t top_k = 10);
+
+/// Multi-line human-readable rendering (the STATS protocol command).
+std::string RenderDocumentStats(const DocumentStats& stats);
+
+}  // namespace lotusx::index
+
+#endif  // LOTUSX_INDEX_DOCUMENT_STATS_H_

@@ -1,0 +1,47 @@
+#include "index/tag_streams.h"
+
+namespace lotusx::index {
+
+TagStreams TagStreams::Build(const xml::Document& document) {
+  CHECK(document.finalized());
+  TagStreams streams;
+  streams.streams_.resize(static_cast<size_t>(document.num_tags()));
+  for (xml::NodeId id = 0; id < document.num_nodes(); ++id) {
+    const xml::Document::Node& node = document.node(id);
+    if (node.kind == xml::NodeKind::kText) continue;
+    streams.streams_[static_cast<size_t>(node.tag)].push_back(id);
+  }
+  return streams;
+}
+
+size_t TagStreams::MemoryUsage() const {
+  size_t bytes = streams_.capacity() * sizeof(std::vector<xml::NodeId>);
+  for (const auto& stream : streams_) {
+    bytes += stream.capacity() * sizeof(xml::NodeId);
+  }
+  return bytes;
+}
+
+void TagStreams::EncodeTo(Encoder* encoder) const {
+  encoder->PutVarint64(streams_.size());
+  for (const auto& stream : streams_) {
+    // NodeIds are non-negative and strictly increasing: delta-encode.
+    std::vector<uint32_t> ids(stream.begin(), stream.end());
+    encoder->PutSortedU32List(ids);
+  }
+}
+
+StatusOr<TagStreams> TagStreams::DecodeFrom(Decoder* decoder) {
+  TagStreams streams;
+  uint64_t tag_count = 0;
+  LOTUSX_RETURN_IF_ERROR(decoder->GetVarint64(&tag_count));
+  streams.streams_.resize(tag_count);
+  for (auto& stream : streams.streams_) {
+    std::vector<uint32_t> ids;
+    LOTUSX_RETURN_IF_ERROR(decoder->GetSortedU32List(&ids));
+    stream.assign(ids.begin(), ids.end());
+  }
+  return streams;
+}
+
+}  // namespace lotusx::index

@@ -1,0 +1,43 @@
+#ifndef LOTUSX_INDEX_TAG_STREAMS_H_
+#define LOTUSX_INDEX_TAG_STREAMS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/status_or.h"
+#include "xml/dom.h"
+
+namespace lotusx::index {
+
+/// Per-tag posting lists of element/attribute nodes in document order —
+/// the input streams of every twig join algorithm (TwigStack reads
+/// containment labels off them; TJFast reads extended Dewey labels).
+class TagStreams {
+ public:
+  static TagStreams Build(const xml::Document& document);
+
+  /// Document-order NodeIds of all elements/attributes with tag `tag`.
+  /// Empty span for out-of-range tags.
+  std::span<const xml::NodeId> stream(xml::TagId tag) const {
+    if (tag < 0 || static_cast<size_t>(tag) >= streams_.size()) return {};
+    return streams_[static_cast<size_t>(tag)];
+  }
+
+  /// Occurrence count of `tag`.
+  uint64_t count(xml::TagId tag) const { return stream(tag).size(); }
+
+  int32_t num_tags() const { return static_cast<int32_t>(streams_.size()); }
+  size_t MemoryUsage() const;
+
+  void EncodeTo(Encoder* encoder) const;
+  static StatusOr<TagStreams> DecodeFrom(Decoder* decoder);
+
+ private:
+  std::vector<std::vector<xml::NodeId>> streams_;
+};
+
+}  // namespace lotusx::index
+
+#endif  // LOTUSX_INDEX_TAG_STREAMS_H_

@@ -1,0 +1,144 @@
+#include "index/term_index.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace lotusx::index {
+
+TermIndex TermIndex::Build(const xml::Document& document) {
+  CHECK(document.finalized());
+  TermIndex index;
+  for (xml::NodeId id = 0; id < document.num_nodes(); ++id) {
+    const xml::Document::Node& node = document.node(id);
+    std::string content;
+    if (node.kind == xml::NodeKind::kElement) {
+      content = document.ContentString(id);
+      if (content.empty()) continue;
+    } else if (node.kind == xml::NodeKind::kAttribute) {
+      content = std::string(document.Value(id));
+    } else {
+      continue;
+    }
+    std::vector<std::string> tokens = TokenizeKeywords(content);
+    if (tokens.empty()) continue;
+    ++index.num_value_nodes_;
+    // Aggregate term frequencies within this value node.
+    std::map<std::string, uint32_t> frequencies;
+    for (std::string& token : tokens) ++frequencies[std::move(token)];
+    for (const auto& [term, tf] : frequencies) {
+      PostingList& list = index.postings_[term];
+      list.nodes.push_back(id);
+      list.frequencies.push_back(tf);
+      list.collection_frequency += tf;
+      index.term_trie_.Insert(term, tf);
+      index.tag_tries_[node.tag].Insert(term, tf);
+    }
+  }
+  return index;
+}
+
+std::span<const xml::NodeId> TermIndex::Postings(
+    std::string_view term) const {
+  auto it = postings_.find(std::string(term));
+  if (it == postings_.end()) return {};
+  return it->second.nodes;
+}
+
+uint32_t TermIndex::DocFrequency(std::string_view term) const {
+  auto it = postings_.find(std::string(term));
+  return it == postings_.end()
+             ? 0
+             : static_cast<uint32_t>(it->second.nodes.size());
+}
+
+uint64_t TermIndex::CollectionFrequency(std::string_view term) const {
+  auto it = postings_.find(std::string(term));
+  return it == postings_.end() ? 0 : it->second.collection_frequency;
+}
+
+uint32_t TermIndex::TermFrequencyIn(std::string_view term,
+                                    xml::NodeId node) const {
+  auto it = postings_.find(std::string(term));
+  if (it == postings_.end()) return 0;
+  const PostingList& list = it->second;
+  auto pos = std::lower_bound(list.nodes.begin(), list.nodes.end(), node);
+  if (pos == list.nodes.end() || *pos != node) return 0;
+  return list.frequencies[static_cast<size_t>(pos - list.nodes.begin())];
+}
+
+const Trie* TermIndex::term_trie_for_tag(xml::TagId tag) const {
+  auto it = tag_tries_.find(tag);
+  return it == tag_tries_.end() ? nullptr : &it->second;
+}
+
+size_t TermIndex::MemoryUsage() const {
+  size_t bytes = term_trie_.MemoryUsage();
+  for (const auto& [tag, trie] : tag_tries_) bytes += trie.MemoryUsage();
+  for (const auto& [term, list] : postings_) {
+    bytes += term.capacity() + list.nodes.capacity() * sizeof(xml::NodeId) +
+             list.frequencies.capacity() * sizeof(uint32_t) + 64;
+  }
+  return bytes;
+}
+
+void TermIndex::EncodeTo(Encoder* encoder) const {
+  encoder->PutVarint32(num_value_nodes_);
+  // Terms in sorted order for a deterministic byte image.
+  std::vector<const std::string*> terms;
+  terms.reserve(postings_.size());
+  for (const auto& [term, list] : postings_) terms.push_back(&term);
+  std::sort(terms.begin(), terms.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  encoder->PutVarint64(terms.size());
+  for (const std::string* term : terms) {
+    const PostingList& list = postings_.at(*term);
+    encoder->PutString(*term);
+    std::vector<uint32_t> ids(list.nodes.begin(), list.nodes.end());
+    encoder->PutSortedU32List(ids);
+    encoder->PutU32List(list.frequencies);
+  }
+  term_trie_.EncodeTo(encoder);
+  encoder->PutVarint64(tag_tries_.size());
+  std::vector<xml::TagId> tags;
+  for (const auto& [tag, trie] : tag_tries_) tags.push_back(tag);
+  std::sort(tags.begin(), tags.end());
+  for (xml::TagId tag : tags) {
+    encoder->PutVarint32(static_cast<uint32_t>(tag));
+    tag_tries_.at(tag).EncodeTo(encoder);
+  }
+}
+
+StatusOr<TermIndex> TermIndex::DecodeFrom(Decoder* decoder) {
+  TermIndex index;
+  LOTUSX_RETURN_IF_ERROR(decoder->GetVarint32(&index.num_value_nodes_));
+  uint64_t term_count = 0;
+  LOTUSX_RETURN_IF_ERROR(decoder->GetVarint64(&term_count));
+  for (uint64_t i = 0; i < term_count; ++i) {
+    std::string term;
+    LOTUSX_RETURN_IF_ERROR(decoder->GetString(&term));
+    PostingList list;
+    std::vector<uint32_t> ids;
+    LOTUSX_RETURN_IF_ERROR(decoder->GetSortedU32List(&ids));
+    list.nodes.assign(ids.begin(), ids.end());
+    LOTUSX_RETURN_IF_ERROR(decoder->GetU32List(&list.frequencies));
+    if (list.frequencies.size() != list.nodes.size()) {
+      return Status::Corruption("posting list length mismatch: " + term);
+    }
+    for (uint32_t tf : list.frequencies) list.collection_frequency += tf;
+    index.postings_.emplace(std::move(term), std::move(list));
+  }
+  LOTUSX_ASSIGN_OR_RETURN(index.term_trie_, Trie::DecodeFrom(decoder));
+  uint64_t trie_count = 0;
+  LOTUSX_RETURN_IF_ERROR(decoder->GetVarint64(&trie_count));
+  for (uint64_t i = 0; i < trie_count; ++i) {
+    uint32_t tag = 0;
+    LOTUSX_RETURN_IF_ERROR(decoder->GetVarint32(&tag));
+    LOTUSX_ASSIGN_OR_RETURN(Trie trie, Trie::DecodeFrom(decoder));
+    index.tag_tries_.emplace(static_cast<xml::TagId>(tag), std::move(trie));
+  }
+  return index;
+}
+
+}  // namespace lotusx::index

@@ -1,0 +1,192 @@
+#include "index/trie.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace lotusx::index {
+
+Trie::Trie() : nodes_(1) {}
+
+int32_t Trie::ChildOf(int32_t node, char byte) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  for (const auto& [c, child] : n.children) {
+    if (c == byte) return child;
+    if (c > byte) break;
+  }
+  return -1;
+}
+
+void Trie::Insert(std::string_view key, uint64_t weight) {
+  int32_t node = 0;
+  // First pass: create the path.
+  for (char byte : key) {
+    int32_t child = ChildOf(node, byte);
+    if (child < 0) {
+      child = static_cast<int32_t>(nodes_.size());
+      nodes_.emplace_back();
+      Node& parent = nodes_[static_cast<size_t>(node)];
+      auto it = std::lower_bound(
+          parent.children.begin(), parent.children.end(), byte,
+          [](const auto& entry, char b) { return entry.first < b; });
+      parent.children.insert(it, {byte, child});
+    }
+    node = child;
+  }
+  Node& terminal = nodes_[static_cast<size_t>(node)];
+  if (terminal.terminal_weight == 0) ++num_keys_;
+  terminal.terminal_weight += weight;
+  // Second pass: refresh subtree maxima along the path.
+  uint64_t best = terminal.terminal_weight;
+  node = 0;
+  if (best > nodes_[0].subtree_best) nodes_[0].subtree_best = best;
+  for (char byte : key) {
+    node = ChildOf(node, byte);
+    Node& n = nodes_[static_cast<size_t>(node)];
+    if (best > n.subtree_best) n.subtree_best = best;
+  }
+}
+
+int32_t Trie::Find(std::string_view key) const {
+  int32_t node = 0;
+  for (char byte : key) {
+    node = ChildOf(node, byte);
+    if (node < 0) return -1;
+  }
+  return node;
+}
+
+bool Trie::Contains(std::string_view key) const {
+  int32_t node = Find(key);
+  return node >= 0 && nodes_[static_cast<size_t>(node)].terminal_weight > 0;
+}
+
+uint64_t Trie::WeightOf(std::string_view key) const {
+  int32_t node = Find(key);
+  return node < 0 ? 0 : nodes_[static_cast<size_t>(node)].terminal_weight;
+}
+
+std::vector<Completion> Trie::Complete(std::string_view prefix,
+                                       size_t limit) const {
+  std::vector<Completion> results;
+  if (limit == 0) return results;
+  int32_t start = Find(prefix);
+  if (start < 0) return results;
+
+  // Best-first search. Entries are either an unexpanded subtree (priority
+  // = subtree_best) or a concrete key emission (priority = its weight).
+  // Because an emission's weight never exceeds the subtree_best of the
+  // node it came from, popping in priority order yields keys heaviest
+  // first.
+  struct Entry {
+    uint64_t priority;
+    bool is_emission;
+    int32_t node;     // subtree entries
+    std::string key;  // path from root for both kinds
+  };
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.key > b.key;  // lexicographic tie-break (smaller key first)
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> queue(cmp);
+  queue.push(Entry{nodes_[static_cast<size_t>(start)].subtree_best, false,
+                   start, std::string(prefix)});
+  while (!queue.empty() && results.size() < limit) {
+    Entry entry = queue.top();
+    queue.pop();
+    if (entry.is_emission) {
+      results.push_back(Completion{entry.key, entry.priority});
+      continue;
+    }
+    const Node& node = nodes_[static_cast<size_t>(entry.node)];
+    if (node.terminal_weight > 0) {
+      queue.push(Entry{node.terminal_weight, true, -1, entry.key});
+    }
+    for (const auto& [byte, child] : node.children) {
+      const Node& c = nodes_[static_cast<size_t>(child)];
+      queue.push(Entry{c.subtree_best, false, child, entry.key + byte});
+    }
+  }
+  return results;
+}
+
+std::vector<Completion> Trie::Enumerate(std::string_view prefix) const {
+  std::vector<Completion> results;
+  int32_t start = Find(prefix);
+  if (start < 0) return results;
+  // Iterative DFS; children are sorted, so push in reverse for
+  // lexicographic emission order.
+  std::vector<std::pair<int32_t, std::string>> stack = {
+      {start, std::string(prefix)}};
+  while (!stack.empty()) {
+    auto [node_id, key] = std::move(stack.back());
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<size_t>(node_id)];
+    if (node.terminal_weight > 0) {
+      results.push_back(Completion{key, node.terminal_weight});
+    }
+    for (auto it = node.children.rbegin(); it != node.children.rend();
+         ++it) {
+      stack.emplace_back(it->second, key + it->first);
+    }
+  }
+  return results;
+}
+
+size_t Trie::MemoryUsage() const {
+  size_t bytes = nodes_.capacity() * sizeof(Node);
+  for (const Node& node : nodes_) {
+    bytes += node.children.capacity() * sizeof(std::pair<char, int32_t>);
+  }
+  return bytes;
+}
+
+void Trie::EncodeTo(Encoder* encoder) const {
+  encoder->PutVarint64(nodes_.size());
+  encoder->PutVarint64(num_keys_);
+  for (const Node& node : nodes_) {
+    encoder->PutVarint64(node.terminal_weight);
+    encoder->PutVarint64(node.subtree_best);
+    encoder->PutVarint64(node.children.size());
+    for (const auto& [byte, child] : node.children) {
+      encoder->PutVarint32(static_cast<unsigned char>(byte));
+      encoder->PutVarint32(static_cast<uint32_t>(child));
+    }
+  }
+}
+
+StatusOr<Trie> Trie::DecodeFrom(Decoder* decoder) {
+  uint64_t node_count = 0;
+  uint64_t key_count = 0;
+  LOTUSX_RETURN_IF_ERROR(decoder->GetVarint64(&node_count));
+  LOTUSX_RETURN_IF_ERROR(decoder->GetVarint64(&key_count));
+  if (node_count == 0) return Status::Corruption("trie has no root");
+  Trie trie;
+  trie.nodes_.resize(node_count);
+  trie.num_keys_ = key_count;
+  for (Node& node : trie.nodes_) {
+    LOTUSX_RETURN_IF_ERROR(decoder->GetVarint64(&node.terminal_weight));
+    LOTUSX_RETURN_IF_ERROR(decoder->GetVarint64(&node.subtree_best));
+    uint64_t child_count = 0;
+    LOTUSX_RETURN_IF_ERROR(decoder->GetVarint64(&child_count));
+    if (child_count > node_count) {
+      return Status::Corruption("trie child count exceeds node count");
+    }
+    node.children.resize(child_count);
+    for (auto& [byte, child] : node.children) {
+      uint32_t b = 0;
+      uint32_t c = 0;
+      LOTUSX_RETURN_IF_ERROR(decoder->GetVarint32(&b));
+      LOTUSX_RETURN_IF_ERROR(decoder->GetVarint32(&c));
+      if (b > 255 || c >= node_count) {
+        return Status::Corruption("trie child out of range");
+      }
+      byte = static_cast<char>(b);
+      child = static_cast<int32_t>(c);
+    }
+  }
+  return trie;
+}
+
+}  // namespace lotusx::index

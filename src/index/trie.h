@@ -1,0 +1,82 @@
+#ifndef LOTUSX_INDEX_TRIE_H_
+#define LOTUSX_INDEX_TRIE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/status_or.h"
+
+namespace lotusx::index {
+
+/// One ranked completion produced by Trie::Complete.
+struct Completion {
+  std::string key;
+  uint64_t weight = 0;
+
+  friend bool operator==(const Completion&, const Completion&) = default;
+};
+
+/// Byte-wise frequency trie supporting weighted top-k prefix completion —
+/// the core data structure behind LotusX's auto-completion. Each inserted
+/// key accumulates a weight (its occurrence count in the document);
+/// Complete() returns the `limit` heaviest keys extending a prefix in
+/// O(prefix + k log k + visited) via best-first search over per-subtree
+/// weight maxima, without enumerating the whole subtree.
+class Trie {
+ public:
+  Trie();
+
+  Trie(Trie&&) noexcept = default;
+  Trie& operator=(Trie&&) noexcept = default;
+  Trie(const Trie&) = delete;
+  Trie& operator=(const Trie&) = delete;
+
+  /// Adds `weight` to the key's accumulated weight.
+  void Insert(std::string_view key, uint64_t weight = 1);
+
+  /// True when `key` was inserted at least once.
+  bool Contains(std::string_view key) const;
+
+  /// Accumulated weight of `key`; 0 when absent.
+  uint64_t WeightOf(std::string_view key) const;
+
+  /// The `limit` heaviest keys that start with `prefix`, heaviest first;
+  /// ties broken lexicographically. `prefix` itself is included when it is
+  /// a key.
+  std::vector<Completion> Complete(std::string_view prefix,
+                                   size_t limit) const;
+
+  /// All keys under `prefix` in lexicographic order (testing/debugging).
+  std::vector<Completion> Enumerate(std::string_view prefix) const;
+
+  size_t num_keys() const { return num_keys_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t MemoryUsage() const;
+
+  /// Persistence (versionless inner section; the caller frames it).
+  void EncodeTo(Encoder* encoder) const;
+  static StatusOr<Trie> DecodeFrom(Decoder* decoder);
+
+ private:
+  struct Node {
+    // Sorted by byte for deterministic traversal; linear scan is fine for
+    // the small fan-outs of tag/term vocabularies.
+    std::vector<std::pair<char, int32_t>> children;
+    uint64_t terminal_weight = 0;  // 0 means "not a key"
+    uint64_t subtree_best = 0;     // max terminal weight in this subtree
+  };
+
+  /// Node index for `key`'s end, or -1.
+  int32_t Find(std::string_view key) const;
+  int32_t ChildOf(int32_t node, char byte) const;
+
+  std::vector<Node> nodes_;
+  size_t num_keys_ = 0;
+};
+
+}  // namespace lotusx::index
+
+#endif  // LOTUSX_INDEX_TRIE_H_

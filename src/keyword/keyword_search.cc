@@ -1,0 +1,169 @@
+#include "keyword/keyword_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace lotusx::keyword {
+
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+NodeId Lca(const Document& document, NodeId a, NodeId b) {
+  int32_t da = document.node(a).depth;
+  int32_t db = document.node(b).depth;
+  while (da > db) {
+    a = document.node(a).parent;
+    --da;
+  }
+  while (db > da) {
+    b = document.node(b).parent;
+    --db;
+  }
+  while (a != b) {
+    a = document.node(a).parent;
+    b = document.node(b).parent;
+  }
+  return a;
+}
+
+/// Closest posting <= v (kInvalidNodeId if none).
+NodeId ClosestLeft(std::span<const NodeId> postings, NodeId v) {
+  auto it = std::upper_bound(postings.begin(), postings.end(), v);
+  if (it == postings.begin()) return xml::kInvalidNodeId;
+  return *(it - 1);
+}
+
+/// Closest posting >= v (kInvalidNodeId if none).
+NodeId ClosestRight(std::span<const NodeId> postings, NodeId v) {
+  auto it = std::lower_bound(postings.begin(), postings.end(), v);
+  if (it == postings.end()) return xml::kInvalidNodeId;
+  return *it;
+}
+
+}  // namespace
+
+StatusOr<std::vector<KeywordHit>> SlcaSearch(
+    const index::IndexedDocument& indexed, std::string_view keywords,
+    const KeywordSearchOptions& options) {
+  std::vector<std::string> tokens = TokenizeKeywords(keywords);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("no searchable keyword in input");
+  }
+  // Deduplicate tokens (a repeated keyword adds no constraint).
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+
+  const Document& document = indexed.document();
+  const index::TermIndex& terms = indexed.terms();
+  std::vector<std::span<const NodeId>> lists;
+  lists.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    std::span<const NodeId> postings = terms.Postings(token);
+    if (postings.empty()) return std::vector<KeywordHit>{};
+    lists.push_back(postings);
+  }
+  // Drive the scan from the rarest keyword (XKSearch's indexed lookup
+  // eager strategy): every SLCA contains one of its occurrences.
+  size_t smallest = 0;
+  for (size_t i = 1; i < lists.size(); ++i) {
+    if (lists[i].size() < lists[smallest].size()) smallest = i;
+  }
+
+  struct Candidate {
+    NodeId node;
+    std::vector<NodeId> witnesses;  // aligned with `tokens`
+  };
+  std::vector<Candidate> candidates;
+  for (NodeId v : lists[smallest]) {
+    // Per-list anchor: the deeper of lca(v, closest-left), lca(v,
+    // closest-right). All anchors are ancestors-or-self of v, hence form
+    // a chain; the shallowest anchor covers one witness of every list.
+    Candidate candidate;
+    candidate.node = v;
+    candidate.witnesses.assign(tokens.size(), xml::kInvalidNodeId);
+    candidate.witnesses[smallest] = v;
+    int32_t best_depth = document.node(v).depth;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (i == smallest) continue;
+      NodeId left = ClosestLeft(lists[i], v);
+      NodeId right = ClosestRight(lists[i], v);
+      NodeId anchor = xml::kInvalidNodeId;
+      NodeId witness = xml::kInvalidNodeId;
+      if (left != xml::kInvalidNodeId) {
+        anchor = Lca(document, v, left);
+        witness = left;
+      }
+      if (right != xml::kInvalidNodeId) {
+        NodeId right_anchor = Lca(document, v, right);
+        if (anchor == xml::kInvalidNodeId ||
+            document.node(right_anchor).depth >
+                document.node(anchor).depth) {
+          anchor = right_anchor;
+          witness = right;
+        }
+      }
+      DCHECK(anchor != xml::kInvalidNodeId);
+      candidate.witnesses[i] = witness;
+      if (document.node(anchor).depth < best_depth) {
+        best_depth = document.node(anchor).depth;
+        candidate.node = anchor;
+      }
+    }
+    candidates.push_back(std::move(candidate));
+  }
+
+  // Keep the *smallest* LCAs: drop a candidate when another candidate
+  // lies strictly inside its subtree. Candidates sorted by preorder rank;
+  // by the interval property the immediate next distinct candidate is
+  // inside iff any is.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.node < b.node;
+            });
+  candidates.erase(std::unique(candidates.begin(), candidates.end(),
+                               [](const Candidate& a, const Candidate& b) {
+                                 return a.node == b.node;
+                               }),
+                   candidates.end());
+  std::vector<Candidate> slcas;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (i + 1 < candidates.size() &&
+        document.IsAncestor(candidates[i].node, candidates[i + 1].node)) {
+      continue;  // a smaller LCA exists inside
+    }
+    slcas.push_back(std::move(candidates[i]));
+  }
+
+  // Score: summed keyword rarity, damped by how large the connecting
+  // subtree is (tight connections rank first).
+  double n = std::max<uint32_t>(terms.num_value_nodes(), 1);
+  double idf_sum = 0;
+  for (const std::string& token : tokens) {
+    idf_sum += std::log(1.0 + n / terms.DocFrequency(token));
+  }
+  std::vector<KeywordHit> hits;
+  hits.reserve(slcas.size());
+  for (Candidate& candidate : slcas) {
+    KeywordHit hit;
+    hit.node = candidate.node;
+    hit.witnesses = std::move(candidate.witnesses);
+    double subtree_size =
+        document.node(hit.node).subtree_end - hit.node + 1;
+    hit.score = idf_sum / (1.0 + std::log(subtree_size));
+    hits.push_back(std::move(hit));
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const KeywordHit& a, const KeywordHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.node < b.node;
+            });
+  if (hits.size() > options.limit) hits.resize(options.limit);
+  return hits;
+}
+
+}  // namespace lotusx::keyword

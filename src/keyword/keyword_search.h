@@ -1,0 +1,46 @@
+#ifndef LOTUSX_KEYWORD_KEYWORD_SEARCH_H_
+#define LOTUSX_KEYWORD_KEYWORD_SEARCH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status_or.h"
+#include "index/indexed_document.h"
+
+namespace lotusx::keyword {
+
+/// One keyword-search answer: the SLCA element whose subtree covers every
+/// query keyword, with a relevance score.
+struct KeywordHit {
+  xml::NodeId node = xml::kInvalidNodeId;
+  double score = 0;
+  /// One witness value node per query keyword (document order of the
+  /// keywords as typed), for snippet highlighting.
+  std::vector<xml::NodeId> witnesses;
+};
+
+struct KeywordSearchOptions {
+  size_t limit = 20;
+};
+
+/// Schema-free keyword search with Smallest-LCA semantics (XKSearch, Xu &
+/// Papakonstantinou, SIGMOD 2005): an element qualifies when its subtree
+/// contains every keyword and no proper descendant's subtree also does.
+/// This is the zero-knowledge entry point of the LotusX workflow — a user
+/// can type plain words first, inspect which elements connect them, and
+/// then refine the hit's structure into a twig on the canvas.
+///
+/// Keywords are tokenized like indexed text (lowercase alphanumerics).
+/// Returns InvalidArgument when no keyword survives tokenization; an
+/// unknown keyword yields an empty hit list.
+///
+/// Hits are scored by keyword rarity (summed IDF) damped by subtree size
+/// (a tighter connection is worth more), best first.
+StatusOr<std::vector<KeywordHit>> SlcaSearch(
+    const index::IndexedDocument& indexed, std::string_view keywords,
+    const KeywordSearchOptions& options = {});
+
+}  // namespace lotusx::keyword
+
+#endif  // LOTUSX_KEYWORD_KEYWORD_SEARCH_H_

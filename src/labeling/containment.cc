@@ -1,0 +1,17 @@
+#include "labeling/containment.h"
+
+namespace lotusx::labeling {
+
+ContainmentLabels ContainmentLabels::Build(const xml::Document& document) {
+  CHECK(document.finalized());
+  ContainmentLabels result;
+  result.labels_.resize(static_cast<size_t>(document.num_nodes()));
+  for (xml::NodeId id = 0; id < document.num_nodes(); ++id) {
+    const xml::Document::Node& node = document.node(id);
+    result.labels_[static_cast<size_t>(id)] = ContainmentLabel{
+        .start = id, .end = node.subtree_end, .level = node.depth};
+  }
+  return result;
+}
+
+}  // namespace lotusx::labeling

@@ -1,0 +1,60 @@
+#ifndef LOTUSX_LABELING_CONTAINMENT_H_
+#define LOTUSX_LABELING_CONTAINMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "xml/dom.h"
+
+namespace lotusx::labeling {
+
+/// Region (containment) label: the classic (start, end, level) interval
+/// encoding. `start` is the node's preorder rank, `end` the largest
+/// preorder rank in its subtree, `level` its depth. Structural
+/// relationships reduce to interval containment, which is what TwigStack
+/// and the binary structural joins operate on.
+struct ContainmentLabel {
+  int32_t start = 0;
+  int32_t end = 0;
+  int32_t level = 0;
+
+  friend bool operator==(const ContainmentLabel&,
+                         const ContainmentLabel&) = default;
+};
+
+/// a proper-ancestor-of b.
+inline bool IsAncestor(const ContainmentLabel& a, const ContainmentLabel& b) {
+  return a.start < b.start && b.end <= a.end;
+}
+
+/// a parent-of b.
+inline bool IsParent(const ContainmentLabel& a, const ContainmentLabel& b) {
+  return IsAncestor(a, b) && a.level + 1 == b.level;
+}
+
+/// Document-order comparison (preorder rank).
+inline bool Precedes(const ContainmentLabel& a, const ContainmentLabel& b) {
+  return a.start < b.start;
+}
+
+/// Per-document containment label table, indexed by NodeId.
+class ContainmentLabels {
+ public:
+  /// Builds labels for every node of a finalized document.
+  static ContainmentLabels Build(const xml::Document& document);
+
+  const ContainmentLabel& label(xml::NodeId id) const {
+    return labels_[static_cast<size_t>(id)];
+  }
+  size_t size() const { return labels_.size(); }
+  size_t MemoryUsage() const {
+    return labels_.capacity() * sizeof(ContainmentLabel);
+  }
+
+ private:
+  std::vector<ContainmentLabel> labels_;
+};
+
+}  // namespace lotusx::labeling
+
+#endif  // LOTUSX_LABELING_CONTAINMENT_H_

@@ -1,0 +1,72 @@
+#include "labeling/dewey.h"
+
+#include <algorithm>
+
+namespace lotusx::labeling {
+
+bool IsAncestorLabel(DeweyView a, DeweyView b) {
+  if (a.size() >= b.size()) return false;
+  return std::equal(a.begin(), a.end(), b.begin());
+}
+
+bool IsParentLabel(DeweyView a, DeweyView b) {
+  return a.size() + 1 == b.size() && IsAncestorLabel(a, b);
+}
+
+int CompareLabels(DeweyView a, DeweyView b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+size_t CommonPrefixLength(DeweyView a, DeweyView b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+std::string LabelToString(DeweyView label) {
+  if (label.empty()) return "<root>";
+  std::string out;
+  for (size_t i = 0; i < label.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(label[i]);
+  }
+  return out;
+}
+
+DeweyStore DeweyStore::Build(const xml::Document& document) {
+  CHECK(document.finalized());
+  DeweyStore store;
+  int32_t n = document.num_nodes();
+  store.offsets_.resize(static_cast<size_t>(n) + 1, 0);
+  // First pass: each node's label length equals its depth.
+  int64_t total = 0;
+  for (xml::NodeId id = 0; id < n; ++id) {
+    store.offsets_[static_cast<size_t>(id)] = static_cast<int32_t>(total);
+    total += document.node(id).depth;
+  }
+  store.offsets_[static_cast<size_t>(n)] = static_cast<int32_t>(total);
+  store.components_.resize(static_cast<size_t>(total));
+  // Second pass: child ordinal = position among all siblings; the parent's
+  // label is already complete because parents precede children.
+  std::vector<int32_t> next_ordinal(static_cast<size_t>(n), 0);
+  for (xml::NodeId id = 1; id < n; ++id) {
+    xml::NodeId parent = document.node(id).parent;
+    int32_t ordinal = next_ordinal[static_cast<size_t>(parent)]++;
+    int32_t offset = store.offsets_[static_cast<size_t>(id)];
+    int32_t parent_offset = store.offsets_[static_cast<size_t>(parent)];
+    int32_t parent_len = document.node(parent).depth;
+    std::copy(store.components_.begin() + parent_offset,
+              store.components_.begin() + parent_offset + parent_len,
+              store.components_.begin() + offset);
+    store.components_[static_cast<size_t>(offset + parent_len)] = ordinal;
+  }
+  return store;
+}
+
+}  // namespace lotusx::labeling

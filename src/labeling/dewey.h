@@ -1,0 +1,63 @@
+#ifndef LOTUSX_LABELING_DEWEY_H_
+#define LOTUSX_LABELING_DEWEY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "xml/dom.h"
+
+namespace lotusx::labeling {
+
+/// A Dewey label is the sequence of per-level components on the path from
+/// the root (exclusive) to a node; the root's label is empty. Views are
+/// spans into a flat per-document store (DeweyStore).
+using DeweyView = std::span<const int32_t>;
+
+/// True when `a` is a proper ancestor of `b`: a is a proper prefix of b.
+bool IsAncestorLabel(DeweyView a, DeweyView b);
+
+/// True when `a` is the parent of `b`.
+bool IsParentLabel(DeweyView a, DeweyView b);
+
+/// Document-order comparison: negative / 0 / positive like strcmp. A
+/// proper prefix precedes its extensions (ancestors come first in
+/// document order).
+int CompareLabels(DeweyView a, DeweyView b);
+
+/// Number of leading components shared by `a` and `b` — the label length
+/// of their lowest common ancestor.
+size_t CommonPrefixLength(DeweyView a, DeweyView b);
+
+/// "1.3.0" rendering for debugging and EXPLAIN output; "<root>" for empty.
+std::string LabelToString(DeweyView label);
+
+/// Flat storage of one label per document node.
+class DeweyStore {
+ public:
+  /// Ordinal Dewey: the i-th child (counting all node kinds) gets
+  /// component i.
+  static DeweyStore Build(const xml::Document& document);
+
+  DeweyView label(xml::NodeId id) const {
+    size_t i = static_cast<size_t>(id);
+    return DeweyView(components_).subspan(
+        static_cast<size_t>(offsets_[i]),
+        static_cast<size_t>(offsets_[i + 1] - offsets_[i]));
+  }
+  size_t size() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  size_t MemoryUsage() const {
+    return offsets_.capacity() * sizeof(int32_t) +
+           components_.capacity() * sizeof(int32_t);
+  }
+
+ protected:
+  friend class ExtendedDeweyStore;
+  std::vector<int32_t> offsets_;     // size num_nodes + 1
+  std::vector<int32_t> components_;  // concatenated labels
+};
+
+}  // namespace lotusx::labeling
+
+#endif  // LOTUSX_LABELING_DEWEY_H_

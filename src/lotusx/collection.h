@@ -1,0 +1,75 @@
+#ifndef LOTUSX_LOTUSX_COLLECTION_H_
+#define LOTUSX_LOTUSX_COLLECTION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lotusx/engine.h"
+
+namespace lotusx {
+
+/// One hit from a collection-wide search: which document it came from
+/// plus the ranked result within it.
+struct CollectionHit {
+  std::string document_name;
+  ranking::RankedResult result;
+};
+
+/// Outcome of Collection::Search.
+struct CollectionSearchResult {
+  std::vector<CollectionHit> hits;  // best first, across all documents
+  /// Documents whose evaluation used a rewrite, with the applied steps.
+  std::map<std::string, std::vector<std::string>> rewrites;
+};
+
+/// A set of named, independently indexed XML documents searched as one
+/// corpus — the multi-document deployment the demo site implies (DBLP,
+/// XMark, ... selectable in one UI). Scores are comparable across
+/// documents because the ranking signals are normalized per document.
+class Collection {
+ public:
+  Collection() = default;
+
+  Collection(Collection&&) noexcept = default;
+  Collection& operator=(Collection&&) noexcept = default;
+  Collection(const Collection&) = delete;
+  Collection& operator=(const Collection&) = delete;
+
+  /// Adds a document under `name`. AlreadyExists if the name is taken.
+  Status AddXmlText(const std::string& name, std::string_view xml);
+  Status AddXmlFile(const std::string& name, const std::string& path);
+  Status AddIndexFile(const std::string& name, const std::string& path);
+  Status AddEngine(const std::string& name, Engine engine);
+
+  /// Removes a document; NotFound when absent.
+  Status Remove(const std::string& name);
+
+  std::vector<std::string> DocumentNames() const;
+  size_t size() const { return engines_.size(); }
+
+  /// Engine of one document; NotFound when absent.
+  StatusOr<const Engine*> Find(const std::string& name) const;
+
+  /// Evaluates `query_text` over every document, merging ranked results.
+  /// `top_k` bounds the merged hit list (0 = unlimited). Documents where
+  /// the query's tags do not exist simply contribute nothing.
+  StatusOr<CollectionSearchResult> Search(std::string_view query_text,
+                                          size_t top_k = 20,
+                                          const SearchOptions& options = {}) const;
+
+  /// Tag completion across all documents: candidates merged by summed
+  /// frequency. `query` provides position context per document (documents
+  /// where the context is unsatisfiable contribute nothing).
+  StatusOr<std::vector<autocomplete::Candidate>> CompleteTag(
+      const twig::TwigQuery& query,
+      const autocomplete::TagRequest& request) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Engine>> engines_;
+};
+
+}  // namespace lotusx
+
+#endif  // LOTUSX_LOTUSX_COLLECTION_H_

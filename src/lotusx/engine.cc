@@ -1,0 +1,149 @@
+#include "lotusx/engine.h"
+
+#include "twig/query_parser.h"
+#include "xml/dom_builder.h"
+#include "xml/escape.h"
+#include "xml/writer.h"
+
+namespace lotusx {
+
+Engine::Engine(index::IndexedDocument indexed)
+    : indexed_(std::make_unique<index::IndexedDocument>(std::move(indexed))) {
+  completion_ = std::make_unique<autocomplete::CompletionEngine>(*indexed_);
+  ranker_ = std::make_unique<ranking::Ranker>(*indexed_);
+  rewriter_ = std::make_unique<rewrite::Rewriter>(*indexed_);
+}
+
+StatusOr<Engine> Engine::FromXmlText(std::string_view xml) {
+  LOTUSX_ASSIGN_OR_RETURN(xml::Document document, xml::ParseDocument(xml));
+  return Engine(index::IndexedDocument(std::move(document)));
+}
+
+StatusOr<Engine> Engine::FromXmlFile(const std::string& path) {
+  LOTUSX_ASSIGN_OR_RETURN(xml::Document document,
+                          xml::ParseDocumentFile(path));
+  return Engine(index::IndexedDocument(std::move(document)));
+}
+
+StatusOr<Engine> Engine::FromIndexFile(const std::string& path) {
+  LOTUSX_ASSIGN_OR_RETURN(index::IndexedDocument indexed,
+                          index::IndexedDocument::LoadFrom(path));
+  return Engine(std::move(indexed));
+}
+
+Status Engine::SaveIndex(const std::string& path) const {
+  return indexed_->SaveTo(path);
+}
+
+StatusOr<SearchResult> Engine::Search(std::string_view query_text,
+                                      const SearchOptions& options) const {
+  LOTUSX_ASSIGN_OR_RETURN(twig::TwigQuery query,
+                          twig::ParseQuery(query_text));
+  return Search(query, options);
+}
+
+void Engine::EnableResultCache(size_t capacity) {
+  cache_ = capacity == 0
+               ? nullptr
+               : std::make_unique<LruCache<SearchResult>>(capacity);
+}
+
+namespace {
+/// Cache key: canonical query plus every option that changes the answer.
+std::string CacheKey(const twig::TwigQuery& query,
+                     const SearchOptions& options) {
+  std::string key = query.ToString();
+  key += '|';
+  key += std::to_string(static_cast<int>(options.eval.algorithm));
+  key += options.eval.apply_order ? 'o' : '-';
+  key += options.rewrite_on_empty ? 'r' : '-';
+  key += '|';
+  key += std::to_string(options.ranking.content_weight) + ',' +
+         std::to_string(options.ranking.structure_weight) + ',' +
+         std::to_string(options.ranking.specificity_weight) + ',' +
+         std::to_string(options.ranking.top_k);
+  return key;
+}
+}  // namespace
+
+StatusOr<SearchResult> Engine::Search(const twig::TwigQuery& query,
+                                      const SearchOptions& options) const {
+  std::string cache_key;
+  if (cache_ != nullptr) {
+    cache_key = CacheKey(query, options);
+    if (const SearchResult* cached = cache_->Lookup(cache_key)) {
+      return *cached;
+    }
+  }
+  LOTUSX_ASSIGN_OR_RETURN(twig::QueryResult result,
+                          twig::Evaluate(*indexed_, query, options.eval));
+  SearchResult search;
+  search.executed_query = query;
+  if (result.matches.empty() && options.rewrite_on_empty) {
+    StatusOr<rewrite::RewriteOutcome> rewritten =
+        rewriter_->Rewrite(query, options.rewrite);
+    if (rewritten.ok()) {
+      search.executed_query = rewritten->query;
+      search.rewrites_applied = rewritten->applied;
+      search.rewrite_penalty = rewritten->penalty;
+      result = std::move(rewritten->result);
+    }
+  }
+  search.stats = result.stats;
+  search.results =
+      ranker_->Rank(search.executed_query, result.matches, options.ranking);
+  if (cache_ != nullptr) cache_->Insert(cache_key, search);
+  return search;
+}
+
+std::string Engine::MaterializeResults(const SearchResult& result,
+                                        size_t max_results) const {
+  const xml::Document& document = indexed_->document();
+  std::string out = "<results query=\"" +
+                    xml::EscapeAttribute(result.executed_query.ToString()) +
+                    "\">\n";
+  size_t count = 0;
+  for (const ranking::RankedResult& hit : result.results) {
+    if (max_results > 0 && count >= max_results) break;
+    ++count;
+    char score[32];
+    std::snprintf(score, sizeof(score), "%.4f", hit.score);
+    out += "  <result rank=\"" + std::to_string(count) + "\" score=\"" +
+           score + "\">";
+    const xml::Document::Node& node = document.node(hit.output);
+    if (node.kind == xml::NodeKind::kElement) {
+      out += xml::WriteXml(document, hit.output,
+                           xml::WriterOptions{.declaration = false});
+    } else {
+      // Attribute output: render as an element carrying the value.
+      out += "<attribute name=\"" +
+             xml::EscapeAttribute(document.TagName(hit.output).substr(1)) +
+             "\">" + xml::EscapeText(document.Value(hit.output)) +
+             "</attribute>";
+    }
+    out += "</result>\n";
+  }
+  out += "</results>\n";
+  return out;
+}
+
+std::string Engine::Snippet(xml::NodeId node, size_t max_chars) const {
+  const xml::Document& document = indexed_->document();
+  std::string rendered;
+  if (document.node(node).kind == xml::NodeKind::kText) {
+    rendered = std::string(document.Value(node));
+  } else if (document.node(node).kind == xml::NodeKind::kAttribute) {
+    rendered = std::string(document.TagName(node)) + "=\"" +
+               std::string(document.Value(node)) + "\"";
+  } else {
+    rendered =
+        xml::WriteXml(document, node, xml::WriterOptions{.declaration = false});
+  }
+  if (rendered.size() > max_chars) {
+    rendered.resize(max_chars - 3);
+    rendered += "...";
+  }
+  return rendered;
+}
+
+}  // namespace lotusx

@@ -1,0 +1,137 @@
+#ifndef LOTUSX_LOTUSX_ENGINE_H_
+#define LOTUSX_LOTUSX_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "autocomplete/completion.h"
+#include "common/status_or.h"
+#include "index/indexed_document.h"
+#include "keyword/keyword_search.h"
+#include "ranking/ranker.h"
+#include "rewrite/rewriter.h"
+#include "lotusx/query_cache.h"
+#include "session/session.h"
+#include "twig/evaluator.h"
+
+namespace lotusx {
+
+/// Options of Engine::Search.
+struct SearchOptions {
+  twig::EvalOptions eval;
+  ranking::RankingOptions ranking;
+  /// Invoke the rewriter when the query returns no matches.
+  bool rewrite_on_empty = true;
+  rewrite::RewriteOptions rewrite;
+};
+
+/// Outcome of Engine::Search: the query that ultimately ran, its ranked
+/// answers, engine statistics, and the rewrite chain if one was needed.
+struct SearchResult {
+  twig::TwigQuery executed_query;
+  std::vector<ranking::RankedResult> results;
+  twig::EvalStats stats;
+  std::vector<std::string> rewrites_applied;
+  double rewrite_penalty = 0;
+};
+
+/// The LotusX engine: the public facade of this library, owning one
+/// indexed XML document and exposing the paper's four capabilities —
+/// position-aware auto-completion, twig query evaluation (including
+/// order-sensitive queries), result ranking, and query rewriting.
+///
+/// Quickstart:
+///   auto engine = lotusx::Engine::FromXmlFile("dblp.xml");
+///   auto hits = engine->Search("//article[author[~\"lu\"]]/title");
+///   for (const auto& hit : hits->results)
+///     std::cout << engine->Snippet(hit.output) << "\n";
+class Engine {
+ public:
+  /// Builds an engine from XML text / a file / a saved index image.
+  static StatusOr<Engine> FromXmlText(std::string_view xml);
+  static StatusOr<Engine> FromXmlFile(const std::string& path);
+  static StatusOr<Engine> FromIndexFile(const std::string& path);
+
+  Engine(Engine&&) noexcept = default;
+  Engine& operator=(Engine&&) noexcept = default;
+
+  /// Persists the index for FromIndexFile.
+  Status SaveIndex(const std::string& path) const;
+
+  const index::IndexedDocument& indexed() const { return *indexed_; }
+  const xml::Document& document() const { return indexed_->document(); }
+
+  /// Parses the textual twig syntax (see twig/query_parser.h), evaluates,
+  /// ranks, and rewrites on empty results when enabled.
+  StatusOr<SearchResult> Search(std::string_view query_text,
+                                const SearchOptions& options = {}) const;
+  /// Same for an already-built query.
+  StatusOr<SearchResult> Search(const twig::TwigQuery& query,
+                                const SearchOptions& options = {}) const;
+
+  /// Position-aware tag completion (see autocomplete/completion.h).
+  StatusOr<std::vector<autocomplete::Candidate>> CompleteTag(
+      const twig::TwigQuery& query,
+      const autocomplete::TagRequest& request) const {
+    return completion_->CompleteTag(query, request);
+  }
+  StatusOr<std::vector<autocomplete::Candidate>> CompleteValue(
+      const twig::TwigQuery& query, twig::QueryNodeId node,
+      std::string_view prefix, size_t limit = 10,
+      bool position_aware = true) const {
+    return completion_->CompleteValue(query, node, prefix, limit,
+                                      position_aware);
+  }
+
+  /// Schema-free keyword search with SLCA semantics (see
+  /// keyword/keyword_search.h) — the zero-knowledge entry point.
+  StatusOr<std::vector<keyword::KeywordHit>> KeywordSearch(
+      std::string_view keywords, size_t limit = 20) const {
+    keyword::KeywordSearchOptions options;
+    options.limit = limit;
+    return keyword::SlcaSearch(*indexed_, keywords, options);
+  }
+
+  /// Enables an LRU cache of Search results with the given capacity
+  /// (entries never go stale: the index is immutable). Pass 0 to disable.
+  void EnableResultCache(size_t capacity);
+  /// Cache statistics; zeros when disabled.
+  uint64_t cache_hits() const { return cache_ ? cache_->hits() : 0; }
+  uint64_t cache_misses() const { return cache_ ? cache_->misses() : 0; }
+
+  /// A fresh interactive canvas session over this engine's document.
+  session::Session NewSession(session::SessionOptions options = {}) const {
+    return session::Session(*indexed_, std::move(options));
+  }
+
+  /// One-line XML rendering of a result node (for display), truncated to
+  /// `max_chars`.
+  std::string Snippet(xml::NodeId node, size_t max_chars = 120) const;
+
+  /// Materializes ranked answers as an XML document:
+  ///   <results query="..."><result rank="1" score="...">subtree</result>
+  ///   ...</results>
+  /// `max_results` bounds the output (0 = all). The output re-parses with
+  /// this library's own parser (tested) — the machine-readable export of
+  /// a search.
+  std::string MaterializeResults(const SearchResult& result,
+                                 size_t max_results = 0) const;
+
+ private:
+  explicit Engine(index::IndexedDocument indexed);
+
+  // unique_ptr keeps Engine movable while engines hold references into
+  // the index.
+  std::unique_ptr<index::IndexedDocument> indexed_;
+  std::unique_ptr<autocomplete::CompletionEngine> completion_;
+  std::unique_ptr<ranking::Ranker> ranker_;
+  std::unique_ptr<rewrite::Rewriter> rewriter_;
+  // mutable: Search() is logically const; the cache is an optimization.
+  mutable std::unique_ptr<LruCache<SearchResult>> cache_;
+};
+
+}  // namespace lotusx
+
+#endif  // LOTUSX_LOTUSX_ENGINE_H_

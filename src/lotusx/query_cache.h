@@ -1,0 +1,76 @@
+#ifndef LOTUSX_LOTUSX_QUERY_CACHE_H_
+#define LOTUSX_LOTUSX_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace lotusx {
+
+/// Bounded LRU cache of search results, keyed by a canonical string
+/// (query rendering + options signature). Because an IndexedDocument is
+/// immutable, cached entries never go stale; capacity alone bounds
+/// memory. Not thread-safe (matches the rest of the engine).
+template <typename Value>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {
+    CHECK_GT(capacity, 0u);
+  }
+
+  /// Returns the cached value and refreshes its recency, or nullptr.
+  const Value* Lookup(const std::string& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts (or refreshes) `key`, evicting the least recently used entry
+  /// beyond capacity.
+  void Insert(const std::string& key, Value value) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    entries_.emplace_front(key, std::move(value));
+    map_[key] = entries_.begin();
+    if (entries_.size() > capacity_) {
+      map_.erase(entries_.back().first);
+      entries_.pop_back();
+    }
+  }
+
+  void Clear() {
+    entries_.clear();
+    map_.clear();
+  }
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<std::string, Value>> entries_;  // MRU at the front
+  std::unordered_map<std::string,
+                     typename std::list<std::pair<std::string, Value>>::iterator>
+      map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace lotusx
+
+#endif  // LOTUSX_LOTUSX_QUERY_CACHE_H_

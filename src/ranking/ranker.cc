@@ -1,0 +1,107 @@
+#include "ranking/ranker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace lotusx::ranking {
+
+namespace {
+
+/// TF-IDF of `term` within value node `node`: tf * ln(1 + N/df).
+double TfIdf(const index::TermIndex& terms, std::string_view term,
+             xml::NodeId node) {
+  uint32_t tf = terms.TermFrequencyIn(term, node);
+  if (tf == 0) return 0;
+  uint32_t df = terms.DocFrequency(term);
+  double n = std::max<uint32_t>(terms.num_value_nodes(), 1);
+  return (1.0 + std::log(static_cast<double>(tf))) *
+         std::log(1.0 + n / static_cast<double>(df));
+}
+
+}  // namespace
+
+RankedResult Ranker::Score(const twig::TwigQuery& query,
+                           const twig::Match& match,
+                           const RankingOptions& options) const {
+  const xml::Document& document = indexed_.document();
+  const index::DataGuide& guide = indexed_.dataguide();
+  RankedResult result;
+  result.match = match;
+  result.output =
+      match.bindings[static_cast<size_t>(query.output())];
+
+  // 1. Content relevance.
+  for (twig::QueryNodeId q = 0; q < query.size(); ++q) {
+    const twig::ValuePredicate& predicate = query.node(q).predicate;
+    xml::NodeId bound = match.bindings[static_cast<size_t>(q)];
+    if (predicate.op == twig::ValuePredicate::Op::kContains) {
+      for (const std::string& term : TokenizeKeywords(predicate.text)) {
+        result.content_score += TfIdf(indexed_.terms(), term, bound);
+      }
+    } else if (predicate.op == twig::ValuePredicate::Op::kEquals) {
+      // Exact matches are maximally relevant for that node.
+      result.content_score += 2.0;
+    }
+  }
+
+  // 2. Structural compactness. Root span: fraction of the document the
+  // match covers (smaller is tighter); edge slack: depth gap on
+  // descendant edges beyond the minimal 1.
+  xml::NodeId root_binding = match.bindings[0];
+  double span =
+      static_cast<double>(document.node(root_binding).subtree_end -
+                          root_binding + 1);
+  double span_score =
+      1.0 / (1.0 + std::log(span));
+  double slack = 0;
+  for (twig::QueryNodeId q = 1; q < query.size(); ++q) {
+    xml::NodeId child = match.bindings[static_cast<size_t>(q)];
+    xml::NodeId parent =
+        match.bindings[static_cast<size_t>(query.node(q).parent)];
+    slack += document.node(child).depth - document.node(parent).depth - 1;
+  }
+  double slack_score = 1.0 / (1.0 + slack);
+  result.structure_score = 0.5 * span_score + 0.5 * slack_score;
+
+  // 3. Position specificity: -log of the relative frequency of the bound
+  // paths (rare positions are more informative), averaged over nodes.
+  double total_nodes = std::max(1, document.num_nodes());
+  double specificity = 0;
+  for (twig::QueryNodeId q = 0; q < query.size(); ++q) {
+    xml::NodeId bound = match.bindings[static_cast<size_t>(q)];
+    index::PathId path = guide.PathOf(bound);
+    if (path == index::kInvalidPathId) continue;
+    double frequency = guide.node(path).count / total_nodes;
+    specificity += -std::log(frequency);
+  }
+  result.specificity_score = specificity / query.size();
+
+  result.score = options.content_weight * result.content_score +
+                 options.structure_weight * result.structure_score +
+                 options.specificity_weight * result.specificity_score;
+  return result;
+}
+
+std::vector<RankedResult> Ranker::Rank(
+    const twig::TwigQuery& query, const std::vector<twig::Match>& matches,
+    const RankingOptions& options) const {
+  std::vector<RankedResult> results;
+  results.reserve(matches.size());
+  for (const twig::Match& match : matches) {
+    results.push_back(Score(query, match, options));
+  }
+  std::sort(results.begin(), results.end(),
+            [](const RankedResult& a, const RankedResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.output != b.output) return a.output < b.output;
+              return a.match < b.match;
+            });
+  if (options.top_k > 0 && results.size() > options.top_k) {
+    results.resize(options.top_k);
+  }
+  return results;
+}
+
+}  // namespace lotusx::ranking

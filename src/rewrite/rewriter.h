@@ -1,0 +1,86 @@
+#ifndef LOTUSX_REWRITE_REWRITER_H_
+#define LOTUSX_REWRITE_REWRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "index/indexed_document.h"
+#include "twig/evaluator.h"
+#include "twig/twig_query.h"
+
+namespace lotusx::rewrite {
+
+/// A single-step rewrite of a query, with the penalty its application
+/// adds and a human-readable explanation shown in the UI / REPL.
+struct RewriteCandidate {
+  twig::TwigQuery query;
+  double penalty = 0;
+  std::string description;
+};
+
+struct RewriteOptions {
+  /// Stop as soon as a rewrite yields at least this many matches.
+  size_t min_results = 1;
+  /// Evaluation budget: how many rewritten queries may be executed.
+  size_t max_evaluations = 32;
+  /// Rewrites whose cumulative penalty exceeds this are not explored.
+  double max_penalty = 8.0;
+  /// Rule toggles (the E6 bench ablates them).
+  bool relax_axes = true;         // '/'  ->  '//'
+  bool substitute_tags = true;    // misspelled / sibling tags
+  bool relax_predicates = true;   // '='  ->  '~'  -> none
+  bool drop_leaves = true;        // remove non-output leaf branches
+};
+
+/// Result of the rewrite search: the query that produced answers, those
+/// answers, the cumulative penalty, and the chain of applied rewrites
+/// (empty when the original query already had enough results).
+struct RewriteOutcome {
+  twig::TwigQuery query;
+  twig::QueryResult result;
+  double penalty = 0;
+  std::vector<std::string> applied;
+  /// Rewritten queries evaluated before success (0 = original sufficed).
+  size_t evaluations = 0;
+};
+
+/// LotusX's query rewriting solution: when a (typically over-constrained
+/// or slightly wrong) twig query returns too few results, relax it along
+/// penalty-ordered rewrite rules until it produces answers. Best-first
+/// search over rewrite chains; deterministic.
+class Rewriter {
+ public:
+  explicit Rewriter(const index::IndexedDocument& indexed)
+      : indexed_(indexed) {}
+
+  /// All single-step rewrites of `query`, cheapest first.
+  std::vector<RewriteCandidate> Propose(const twig::TwigQuery& query,
+                                        const RewriteOptions& options = {}) const;
+
+  /// Runs the search. Returns NotFound when no rewrite within budget
+  /// produces min_results matches; InvalidArgument for invalid queries.
+  StatusOr<RewriteOutcome> Rewrite(const twig::TwigQuery& query,
+                                   const RewriteOptions& options = {}) const;
+
+  /// Like Rewrite but keeps searching and returns up to `max_outcomes`
+  /// distinct successful rewrites in ascending penalty order — what a UI
+  /// shows the user to pick from ("did you mean ...?"). Successful
+  /// queries are not expanded further. Empty vector when nothing within
+  /// budget succeeds (never an error for valid queries).
+  StatusOr<std::vector<RewriteOutcome>> RewriteAll(
+      const twig::TwigQuery& query, const RewriteOptions& options,
+      size_t max_outcomes) const;
+
+  /// Removes leaf `leaf` (must not be the root or the output node),
+  /// renumbering nodes. Exposed for tests.
+  static twig::TwigQuery RemoveLeaf(const twig::TwigQuery& query,
+                                    twig::QueryNodeId leaf);
+
+ private:
+  const index::IndexedDocument& indexed_;
+};
+
+}  // namespace lotusx::rewrite
+
+#endif  // LOTUSX_REWRITE_REWRITER_H_

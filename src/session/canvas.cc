@@ -1,0 +1,231 @@
+#include "session/canvas.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace lotusx::session {
+
+CanvasNodeId Canvas::AddNode(double x, double y, std::string_view tag) {
+  CanvasNode node;
+  node.id = next_id_++;
+  node.x = x;
+  node.y = y;
+  node.tag = std::string(tag);
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+Status Canvas::AddNodeWithId(CanvasNodeId id, double x, double y,
+                             std::string_view tag) {
+  if (id <= 0) {
+    return Status::InvalidArgument("canvas ids must be positive");
+  }
+  if (FindNode(id) != nullptr) {
+    return Status::AlreadyExists("canvas id " + std::to_string(id) +
+                                 " already in use");
+  }
+  CanvasNode node;
+  node.id = id;
+  node.x = x;
+  node.y = y;
+  node.tag = std::string(tag);
+  nodes_.push_back(std::move(node));
+  next_id_ = std::max(next_id_, id + 1);
+  return Status::OK();
+}
+
+const CanvasNode* Canvas::FindNode(CanvasNodeId id) const {
+  for (const CanvasNode& node : nodes_) {
+    if (node.id == id) return &node;
+  }
+  return nullptr;
+}
+
+CanvasNode* Canvas::MutableNode(CanvasNodeId id) {
+  for (CanvasNode& node : nodes_) {
+    if (node.id == id) return &node;
+  }
+  return nullptr;
+}
+
+Status Canvas::RemoveNode(CanvasNodeId id) {
+  if (FindNode(id) == nullptr) {
+    return Status::NotFound("no canvas node " + std::to_string(id));
+  }
+  std::erase_if(nodes_, [&](const CanvasNode& n) { return n.id == id; });
+  std::erase_if(edges_, [&](const CanvasEdge& e) {
+    return e.from == id || e.to == id;
+  });
+  return Status::OK();
+}
+
+Status Canvas::MoveNode(CanvasNodeId id, double x, double y) {
+  CanvasNode* node = MutableNode(id);
+  if (node == nullptr) {
+    return Status::NotFound("no canvas node " + std::to_string(id));
+  }
+  node->x = x;
+  node->y = y;
+  return Status::OK();
+}
+
+Status Canvas::SetTag(CanvasNodeId id, std::string_view tag) {
+  CanvasNode* node = MutableNode(id);
+  if (node == nullptr) {
+    return Status::NotFound("no canvas node " + std::to_string(id));
+  }
+  node->tag = std::string(tag);
+  return Status::OK();
+}
+
+Status Canvas::SetPredicate(CanvasNodeId id,
+                            twig::ValuePredicate predicate) {
+  CanvasNode* node = MutableNode(id);
+  if (node == nullptr) {
+    return Status::NotFound("no canvas node " + std::to_string(id));
+  }
+  node->predicate = std::move(predicate);
+  return Status::OK();
+}
+
+Status Canvas::SetOrdered(CanvasNodeId id, bool ordered) {
+  CanvasNode* node = MutableNode(id);
+  if (node == nullptr) {
+    return Status::NotFound("no canvas node " + std::to_string(id));
+  }
+  node->ordered = ordered;
+  return Status::OK();
+}
+
+Status Canvas::SetOutput(CanvasNodeId id) {
+  if (FindNode(id) == nullptr) {
+    return Status::NotFound("no canvas node " + std::to_string(id));
+  }
+  for (CanvasNode& node : nodes_) node.output = node.id == id;
+  return Status::OK();
+}
+
+Status Canvas::Connect(CanvasNodeId from, CanvasNodeId to,
+                       twig::Axis axis) {
+  if (FindNode(from) == nullptr || FindNode(to) == nullptr) {
+    return Status::NotFound("edge endpoint does not exist");
+  }
+  if (from == to) return Status::InvalidArgument("self edge");
+  for (const CanvasEdge& edge : edges_) {
+    if (edge.to == to) {
+      return Status::AlreadyExists("node " + std::to_string(to) +
+                                   " already has a parent");
+    }
+  }
+  // Cycle check: walk up from `from`; if we reach `to`, adding the edge
+  // would close a loop.
+  CanvasNodeId walk = from;
+  while (true) {
+    CanvasNodeId parent = 0;
+    bool found = false;
+    for (const CanvasEdge& edge : edges_) {
+      if (edge.to == walk) {
+        parent = edge.from;
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;
+    if (parent == to) return Status::InvalidArgument("edge would form a cycle");
+    walk = parent;
+  }
+  edges_.push_back(CanvasEdge{from, to, axis});
+  return Status::OK();
+}
+
+Status Canvas::Disconnect(CanvasNodeId from, CanvasNodeId to) {
+  size_t before = edges_.size();
+  std::erase_if(edges_, [&](const CanvasEdge& e) {
+    return e.from == from && e.to == to;
+  });
+  if (edges_.size() == before) return Status::NotFound("no such edge");
+  return Status::OK();
+}
+
+std::vector<CanvasNodeId> Canvas::ChildrenLeftToRight(
+    CanvasNodeId id) const {
+  std::vector<const CanvasNode*> children;
+  for (const CanvasEdge& edge : edges_) {
+    if (edge.from == id) children.push_back(FindNode(edge.to));
+  }
+  std::sort(children.begin(), children.end(),
+            [](const CanvasNode* a, const CanvasNode* b) {
+              if (a->x != b->x) return a->x < b->x;
+              return a->id < b->id;
+            });
+  std::vector<CanvasNodeId> ids;
+  ids.reserve(children.size());
+  for (const CanvasNode* child : children) ids.push_back(child->id);
+  return ids;
+}
+
+StatusOr<twig::TwigQuery> Canvas::Compile(
+    std::map<CanvasNodeId, twig::QueryNodeId>* mapping) const {
+  if (nodes_.empty()) return Status::FailedPrecondition("empty canvas");
+  // Find the root: exactly one node without incoming edge.
+  std::set<CanvasNodeId> has_parent;
+  for (const CanvasEdge& edge : edges_) has_parent.insert(edge.to);
+  std::vector<CanvasNodeId> roots;
+  for (const CanvasNode& node : nodes_) {
+    if (!has_parent.contains(node.id)) roots.push_back(node.id);
+  }
+  if (roots.size() != 1) {
+    return Status::FailedPrecondition(
+        "canvas must have exactly one root box; found " +
+        std::to_string(roots.size()));
+  }
+  for (const CanvasNode& node : nodes_) {
+    if (node.tag.empty()) {
+      return Status::FailedPrecondition(
+          "box " + std::to_string(node.id) + " has no tag yet");
+    }
+  }
+
+  twig::TwigQuery query;
+  std::map<CanvasNodeId, twig::QueryNodeId> local_mapping;
+  // DFS from the root, children in left-to-right spatial order.
+  std::function<void(CanvasNodeId, twig::QueryNodeId)> build =
+      [&](CanvasNodeId id, twig::QueryNodeId parent_q) {
+        const CanvasNode* node = FindNode(id);
+        twig::Axis axis = twig::Axis::kDescendant;
+        for (const CanvasEdge& edge : edges_) {
+          if (edge.to == id) axis = edge.axis;
+        }
+        twig::QueryNodeId q =
+            parent_q == twig::kInvalidQueryNode
+                ? query.AddRoot(node->tag)
+                : query.AddChild(parent_q, axis, node->tag);
+        local_mapping[id] = q;
+        if (node->predicate.active()) query.SetPredicate(q, node->predicate);
+        if (node->ordered) query.SetOrdered(q, true);
+        if (node->output) query.SetOutput(q);
+        for (CanvasNodeId child : ChildrenLeftToRight(id)) {
+          build(child, q);
+        }
+      };
+  build(roots[0], twig::kInvalidQueryNode);
+
+  if (static_cast<int>(local_mapping.size()) != static_cast<int>(nodes_.size())) {
+    return Status::FailedPrecondition(
+        "canvas has disconnected boxes: " +
+        std::to_string(nodes_.size() - local_mapping.size()) +
+        " unreachable from the root");
+  }
+  LOTUSX_RETURN_IF_ERROR(query.Validate());
+  if (mapping != nullptr) *mapping = std::move(local_mapping);
+  return query;
+}
+
+void Canvas::Reset() {
+  nodes_.clear();
+  edges_.clear();
+  next_id_ = 1;
+}
+
+}  // namespace lotusx::session

@@ -1,0 +1,99 @@
+#ifndef LOTUSX_SESSION_CANVAS_H_
+#define LOTUSX_SESSION_CANVAS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "twig/twig_query.h"
+
+namespace lotusx::session {
+
+/// Identifier of a node on the canvas (user-visible, stable across edits;
+/// unrelated to twig::QueryNodeId).
+using CanvasNodeId = int;
+
+/// One box the user placed on the drawing area.
+struct CanvasNode {
+  CanvasNodeId id = 0;
+  double x = 0;
+  double y = 0;
+  /// Tag text typed so far; may be empty while the user is still typing.
+  std::string tag;
+  twig::ValuePredicate predicate;
+  bool ordered = false;
+  bool output = false;
+};
+
+/// Directed edge drawn between two boxes ('single line' = child axis,
+/// 'double line' = descendant axis, per the LotusX UI convention).
+struct CanvasEdge {
+  CanvasNodeId from = 0;
+  CanvasNodeId to = 0;
+  twig::Axis axis = twig::Axis::kChild;
+};
+
+/// In-memory model of LotusX's graphical query canvas — the data half of
+/// the paper's GUI (see DESIGN.md "Substitutions"). The user creates
+/// boxes, types tags (with auto-completion), connects boxes with
+/// single/double edges, toggles order-sensitivity and picks the output
+/// box; Compile() turns the drawing into a TwigQuery.
+class Canvas {
+ public:
+  Canvas() = default;
+
+  /// Adds a box at (x, y); `tag` may be empty while still typing.
+  CanvasNodeId AddNode(double x, double y, std::string_view tag = "");
+
+  /// Adds a box with a caller-chosen id (canvas restore); rejects ids
+  /// that are non-positive or already taken.
+  Status AddNodeWithId(CanvasNodeId id, double x, double y,
+                       std::string_view tag = "");
+
+  /// Removes a box and every edge touching it.
+  Status RemoveNode(CanvasNodeId id);
+
+  Status MoveNode(CanvasNodeId id, double x, double y);
+  Status SetTag(CanvasNodeId id, std::string_view tag);
+  Status SetPredicate(CanvasNodeId id, twig::ValuePredicate predicate);
+  Status SetOrdered(CanvasNodeId id, bool ordered);
+  /// Marks `id` as the output box (clears any previous mark).
+  Status SetOutput(CanvasNodeId id);
+
+  /// Connects `from` (parent) to `to` (child). Rejects self-loops,
+  /// duplicate edges into the same child, and cycles.
+  Status Connect(CanvasNodeId from, CanvasNodeId to, twig::Axis axis);
+  Status Disconnect(CanvasNodeId from, CanvasNodeId to);
+
+  const std::vector<CanvasNode>& nodes() const { return nodes_; }
+  const std::vector<CanvasEdge>& edges() const { return edges_; }
+  bool empty() const { return nodes_.empty(); }
+  const CanvasNode* FindNode(CanvasNodeId id) const;
+
+  /// Children of `id` ordered left-to-right by x coordinate — the spatial
+  /// layout determines query child order, which is what makes
+  /// order-sensitive queries drawable.
+  std::vector<CanvasNodeId> ChildrenLeftToRight(CanvasNodeId id) const;
+
+  /// Compiles the drawing into a twig query. Requirements: non-empty,
+  /// exactly one root (box with no incoming edge), all boxes connected,
+  /// every box tagged. Returns the query plus the mapping canvas id ->
+  /// query node id via `mapping` (optional).
+  StatusOr<twig::TwigQuery> Compile(
+      std::map<CanvasNodeId, twig::QueryNodeId>* mapping = nullptr) const;
+
+  /// Clears everything.
+  void Reset();
+
+ private:
+  CanvasNode* MutableNode(CanvasNodeId id);
+
+  std::vector<CanvasNode> nodes_;
+  std::vector<CanvasEdge> edges_;
+  CanvasNodeId next_id_ = 1;
+};
+
+}  // namespace lotusx::session
+
+#endif  // LOTUSX_SESSION_CANVAS_H_

@@ -1,0 +1,237 @@
+#include "session/canvas_io.h"
+
+#include <charconv>
+#include <functional>
+
+#include "common/coding.h"
+#include "xml/dom.h"
+#include "xml/dom_builder.h"
+#include "xml/writer.h"
+
+namespace lotusx::session {
+
+namespace {
+
+std::string Num(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+StatusOr<double> ParseNum(std::string_view text) {
+  std::string copy(text);
+  char* end = nullptr;
+  double value = std::strtod(copy.c_str(), &end);
+  if (copy.empty() || end != copy.c_str() + copy.size()) {
+    return Status::Corruption("bad number in canvas file: '" + copy + "'");
+  }
+  return value;
+}
+
+StatusOr<int> ParseId(std::string_view text) {
+  int value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::Corruption("bad id in canvas file: '" +
+                              std::string(text) + "'");
+  }
+  return value;
+}
+
+/// Attribute lookup on an element of the parsed canvas document.
+StatusOr<std::string> RequiredAttr(const xml::Document& document,
+                                   xml::NodeId element,
+                                   std::string_view name) {
+  std::string wanted = "@" + std::string(name);
+  for (xml::NodeId child : document.Children(element)) {
+    if (document.node(child).kind == xml::NodeKind::kAttribute &&
+        document.TagName(child) == wanted) {
+      return std::string(document.Value(child));
+    }
+  }
+  return Status::Corruption("canvas file: missing attribute '" +
+                            std::string(name) + "'");
+}
+
+std::string OptionalAttr(const xml::Document& document, xml::NodeId element,
+                         std::string_view name, std::string fallback) {
+  std::string wanted = "@" + std::string(name);
+  for (xml::NodeId child : document.Children(element)) {
+    if (document.node(child).kind == xml::NodeKind::kAttribute &&
+        document.TagName(child) == wanted) {
+      return std::string(document.Value(child));
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+std::string SerializeCanvas(const Canvas& canvas) {
+  xml::Document doc;
+  xml::NodeId root = doc.AppendElement(xml::kInvalidNodeId, "canvas");
+  for (const CanvasNode& node : canvas.nodes()) {
+    xml::NodeId box = doc.AppendElement(root, "box");
+    doc.AppendAttribute(box, "id", std::to_string(node.id));
+    doc.AppendAttribute(box, "x", Num(node.x));
+    doc.AppendAttribute(box, "y", Num(node.y));
+    doc.AppendAttribute(box, "tag", node.tag);
+    if (node.ordered) doc.AppendAttribute(box, "ordered", "true");
+    if (node.output) doc.AppendAttribute(box, "output", "true");
+    if (node.predicate.active()) {
+      doc.AppendAttribute(
+          box, "op",
+          node.predicate.op == twig::ValuePredicate::Op::kEquals ? "="
+                                                                 : "~");
+      doc.AppendAttribute(box, "text", node.predicate.text);
+    }
+  }
+  for (const CanvasEdge& edge : canvas.edges()) {
+    xml::NodeId e = doc.AppendElement(root, "edge");
+    doc.AppendAttribute(e, "from", std::to_string(edge.from));
+    doc.AppendAttribute(e, "to", std::to_string(edge.to));
+    doc.AppendAttribute(e, "axis",
+                        edge.axis == twig::Axis::kChild ? "/" : "//");
+  }
+  doc.Finalize();
+  return xml::WriteXml(doc, xml::WriterOptions{.indent = 2});
+}
+
+StatusOr<Canvas> DeserializeCanvas(std::string_view xml) {
+  LOTUSX_ASSIGN_OR_RETURN(xml::Document doc, xml::ParseDocument(xml));
+  if (doc.TagName(doc.root()) != "canvas") {
+    return Status::Corruption("not a canvas file (root is <" +
+                              std::string(doc.TagName(doc.root())) + ">)");
+  }
+  Canvas canvas;
+  for (xml::NodeId child : doc.Children(doc.root())) {
+    if (doc.node(child).kind != xml::NodeKind::kElement) continue;
+    std::string_view kind = doc.TagName(child);
+    if (kind == "box") {
+      LOTUSX_ASSIGN_OR_RETURN(std::string id_text,
+                              RequiredAttr(doc, child, "id"));
+      LOTUSX_ASSIGN_OR_RETURN(int id, ParseId(id_text));
+      LOTUSX_ASSIGN_OR_RETURN(std::string x_text,
+                              RequiredAttr(doc, child, "x"));
+      LOTUSX_ASSIGN_OR_RETURN(double x, ParseNum(x_text));
+      LOTUSX_ASSIGN_OR_RETURN(std::string y_text,
+                              RequiredAttr(doc, child, "y"));
+      LOTUSX_ASSIGN_OR_RETURN(double y, ParseNum(y_text));
+      std::string tag = OptionalAttr(doc, child, "tag", "");
+      LOTUSX_RETURN_IF_ERROR(canvas.AddNodeWithId(id, x, y, tag));
+      if (OptionalAttr(doc, child, "ordered", "") == "true") {
+        LOTUSX_RETURN_IF_ERROR(canvas.SetOrdered(id, true));
+      }
+      if (OptionalAttr(doc, child, "output", "") == "true") {
+        LOTUSX_RETURN_IF_ERROR(canvas.SetOutput(id));
+      }
+      std::string op = OptionalAttr(doc, child, "op", "");
+      if (!op.empty()) {
+        twig::ValuePredicate predicate;
+        if (op == "=") {
+          predicate.op = twig::ValuePredicate::Op::kEquals;
+        } else if (op == "~") {
+          predicate.op = twig::ValuePredicate::Op::kContains;
+        } else {
+          return Status::Corruption("canvas file: bad predicate op '" +
+                                    op + "'");
+        }
+        predicate.text = OptionalAttr(doc, child, "text", "");
+        LOTUSX_RETURN_IF_ERROR(canvas.SetPredicate(id, predicate));
+      }
+    } else if (kind == "edge") {
+      LOTUSX_ASSIGN_OR_RETURN(std::string from_text,
+                              RequiredAttr(doc, child, "from"));
+      LOTUSX_ASSIGN_OR_RETURN(int from, ParseId(from_text));
+      LOTUSX_ASSIGN_OR_RETURN(std::string to_text,
+                              RequiredAttr(doc, child, "to"));
+      LOTUSX_ASSIGN_OR_RETURN(int to, ParseId(to_text));
+      LOTUSX_ASSIGN_OR_RETURN(std::string axis_text,
+                              RequiredAttr(doc, child, "axis"));
+      twig::Axis axis;
+      if (axis_text == "/") {
+        axis = twig::Axis::kChild;
+      } else if (axis_text == "//") {
+        axis = twig::Axis::kDescendant;
+      } else {
+        return Status::Corruption("canvas file: bad axis '" + axis_text +
+                                  "'");
+      }
+      LOTUSX_RETURN_IF_ERROR(canvas.Connect(from, to, axis));
+    } else {
+      return Status::Corruption("canvas file: unknown element <" +
+                                std::string(kind) + ">");
+    }
+  }
+  return canvas;
+}
+
+Canvas CanvasFromQuery(const twig::TwigQuery& query) {
+  Canvas canvas;
+  if (query.empty()) return canvas;
+  constexpr double kRowHeight = 130;
+  constexpr double kLeafSpacing = 150;
+  // Post-order x assignment: leaves take successive slots, parents sit at
+  // the midpoint of their children.
+  std::vector<double> x(static_cast<size_t>(query.size()), 0);
+  double next_leaf_x = 0;
+  std::function<void(twig::QueryNodeId)> place =
+      [&](twig::QueryNodeId q) {
+        const twig::QueryNode& node = query.node(q);
+        if (node.children.empty()) {
+          x[static_cast<size_t>(q)] = next_leaf_x;
+          next_leaf_x += kLeafSpacing;
+          return;
+        }
+        for (twig::QueryNodeId child : node.children) place(child);
+        x[static_cast<size_t>(q)] =
+            (x[static_cast<size_t>(node.children.front())] +
+             x[static_cast<size_t>(node.children.back())]) /
+            2;
+      };
+  place(query.root());
+
+  // Depth of each query node (root = 0).
+  std::vector<int> depth(static_cast<size_t>(query.size()), 0);
+  for (twig::QueryNodeId q = 1; q < query.size(); ++q) {
+    depth[static_cast<size_t>(q)] =
+        depth[static_cast<size_t>(query.node(q).parent)] + 1;
+  }
+
+  std::vector<CanvasNodeId> ids(static_cast<size_t>(query.size()));
+  for (twig::QueryNodeId q = 0; q < query.size(); ++q) {
+    const twig::QueryNode& node = query.node(q);
+    ids[static_cast<size_t>(q)] = canvas.AddNode(
+        x[static_cast<size_t>(q)],
+        depth[static_cast<size_t>(q)] * kRowHeight, node.tag);
+    if (node.predicate.active()) {
+      CHECK(canvas.SetPredicate(ids[static_cast<size_t>(q)],
+                                node.predicate)
+                .ok());
+    }
+    if (node.ordered) {
+      CHECK(canvas.SetOrdered(ids[static_cast<size_t>(q)], true).ok());
+    }
+    if (q != query.root()) {
+      CHECK(canvas
+                .Connect(ids[static_cast<size_t>(node.parent)],
+                         ids[static_cast<size_t>(q)], node.incoming_axis)
+                .ok());
+    }
+  }
+  CHECK(canvas.SetOutput(ids[static_cast<size_t>(query.output())]).ok());
+  return canvas;
+}
+
+Status SaveCanvasToFile(const Canvas& canvas, const std::string& path) {
+  return WriteStringToFile(path, SerializeCanvas(canvas));
+}
+
+StatusOr<Canvas> LoadCanvasFromFile(const std::string& path) {
+  std::string contents;
+  LOTUSX_RETURN_IF_ERROR(ReadFileToString(path, &contents));
+  return DeserializeCanvas(contents);
+}
+
+}  // namespace lotusx::session

@@ -1,0 +1,44 @@
+#ifndef LOTUSX_SESSION_CANVAS_IO_H_
+#define LOTUSX_SESSION_CANVAS_IO_H_
+
+#include <string>
+
+#include "common/status_or.h"
+#include "session/canvas.h"
+#include "twig/twig_query.h"
+
+namespace lotusx::session {
+
+/// Serializes a canvas drawing as an XML document (using this library's
+/// own writer), so user sessions can be saved and restored — box ids,
+/// positions, tags, predicates, order flags, output mark, and edges all
+/// survive the round trip:
+///
+///   <canvas>
+///     <box id="1" x="50" y="0" tag="article" ordered="true"/>
+///     <box id="2" x="10" y="120" tag="year" op="=" text="2012"/>
+///     <edge from="1" to="2" axis="/"/>
+///   </canvas>
+std::string SerializeCanvas(const Canvas& canvas);
+
+/// Parses a SerializeCanvas image back into a canvas. Rejects malformed
+/// XML, unknown elements, missing/duplicate ids, and edges that the
+/// canvas itself would reject (cycles, double parents) with a clean
+/// Status.
+StatusOr<Canvas> DeserializeCanvas(std::string_view xml);
+
+/// Builds a canvas drawing from a twig query with a simple tidy tree
+/// layout (depth -> rows, leaves spaced evenly, parents centered over
+/// their children) — used by the EXAMPLE protocol command to put a
+/// query-by-example onto the drawing surface, and generally to visualize
+/// any parsed query. CanvasFromQuery(q).Compile() reproduces q's
+/// canonical form (tested).
+Canvas CanvasFromQuery(const twig::TwigQuery& query);
+
+/// File convenience wrappers.
+Status SaveCanvasToFile(const Canvas& canvas, const std::string& path);
+StatusOr<Canvas> LoadCanvasFromFile(const std::string& path);
+
+}  // namespace lotusx::session
+
+#endif  // LOTUSX_SESSION_CANVAS_IO_H_

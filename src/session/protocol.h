@@ -1,0 +1,59 @@
+#ifndef LOTUSX_SESSION_PROTOCOL_H_
+#define LOTUSX_SESSION_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status_or.h"
+#include "session/session.h"
+
+namespace lotusx::session {
+
+/// Line-oriented command protocol over a Session — the scriptable stand-in
+/// for the demo's browser front end (the REPL example wires it to stdin).
+///
+/// Commands (case-insensitive verb; <axis> is '/' or '//'):
+///   ADD <x> <y> [tag]           create a box, returns its id
+///   TAG <id> <tag>              set a box's tag
+///   EDGE <from> <to> <axis>     connect boxes
+///   TYPE <anchor> <axis> [pfx]  tag suggestions (anchor 0 = query root)
+///   ACCEPT <n> [x y]            accept candidate n of the last TYPE: adds
+///                               the box (at x,y or auto-placed) and
+///                               connects it to the typed anchor
+///   TYPEVAL <id> [pfx]          value-keyword suggestions for a box
+///   VALUE <id> = <text>         set equality predicate
+///   VALUE <id> ~ <text>         set contains predicate
+///   VALUE <id> NONE             clear predicate
+///   ORDERED <id> ON|OFF         toggle order sensitivity
+///   OUTPUT <id>                 choose the output box
+///   MOVE <id> <x> <y>           reposition (affects child order)
+///   REMOVE <id>                 delete a box
+///   QUERY                       show the compiled twig query
+///   RUN                         execute + rank (+ rewrite when empty)
+///   CHECKPOINT / UNDO           canvas history
+///   SHOW                        dump the canvas
+///   RESET                       clear the canvas
+///   HELP                        this text
+///
+/// Execute() returns the textual response for one command line, or an
+/// error Status for malformed/failed commands (the REPL prints either).
+class ProtocolInterpreter {
+ public:
+  explicit ProtocolInterpreter(Session* session) : session_(session) {}
+
+  StatusOr<std::string> Execute(std::string_view line);
+
+ private:
+  Session* session_;
+  // Context of the most recent TYPE command, consumed by ACCEPT.
+  struct TypeContext {
+    CanvasNodeId anchor = 0;
+    twig::Axis axis = twig::Axis::kChild;
+    std::vector<autocomplete::Candidate> candidates;
+  };
+  std::optional<TypeContext> last_type_;
+};
+
+}  // namespace lotusx::session
+
+#endif  // LOTUSX_SESSION_PROTOCOL_H_

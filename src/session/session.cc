@@ -1,0 +1,131 @@
+#include "session/session.h"
+
+#include "twig/evaluator.h"
+#include "twig/query_export.h"
+#include "twig/selectivity.h"
+
+namespace lotusx::session {
+
+Session::Session(const index::IndexedDocument& indexed,
+                 SessionOptions options)
+    : indexed_(indexed),
+      options_(std::move(options)),
+      completion_(indexed),
+      ranker_(indexed),
+      rewriter_(indexed) {}
+
+StatusOr<std::vector<autocomplete::Candidate>> Session::SuggestTags(
+    CanvasNodeId anchor, twig::Axis axis, std::string_view prefix) const {
+  autocomplete::TagRequest request;
+  request.axis = axis;
+  request.prefix = std::string(prefix);
+  request.limit = options_.completion_limit;
+
+  if (canvas_.empty() || anchor == 0) {
+    return completion_.CompleteTag(twig::TwigQuery(), request);
+  }
+  if (canvas_.FindNode(anchor) == nullptr) {
+    return Status::NotFound("no canvas node " + std::to_string(anchor));
+  }
+  std::map<CanvasNodeId, twig::QueryNodeId> mapping;
+  StatusOr<twig::TwigQuery> compiled = canvas_.Compile(&mapping);
+  if (!compiled.ok()) {
+    // Canvas not yet compilable (e.g., another box is still untagged):
+    // degrade to global completion rather than blocking the user.
+    request.position_aware = false;
+    return completion_.CompleteTag(twig::TwigQuery(), request);
+  }
+  request.anchor = mapping.at(anchor);
+  return completion_.CompleteTag(*compiled, request);
+}
+
+StatusOr<std::vector<autocomplete::Candidate>> Session::SuggestValues(
+    CanvasNodeId id, std::string_view prefix) const {
+  if (canvas_.FindNode(id) == nullptr) {
+    return Status::NotFound("no canvas node " + std::to_string(id));
+  }
+  std::map<CanvasNodeId, twig::QueryNodeId> mapping;
+  StatusOr<twig::TwigQuery> compiled = canvas_.Compile(&mapping);
+  if (!compiled.ok()) {
+    // Global term completion as the fallback.
+    twig::TwigQuery any;
+    any.AddRoot("*");
+    return completion_.CompleteValue(any, 0, prefix,
+                                     options_.completion_limit,
+                                     /*position_aware=*/false);
+  }
+  return completion_.CompleteValue(*compiled, mapping.at(id), prefix,
+                                   options_.completion_limit,
+                                   /*position_aware=*/true);
+}
+
+StatusOr<SearchResponse> Session::Run() const {
+  LOTUSX_ASSIGN_OR_RETURN(twig::TwigQuery query, canvas_.Compile());
+  SearchResponse response;
+  LOTUSX_ASSIGN_OR_RETURN(twig::QueryResult result,
+                          twig::Evaluate(indexed_, query));
+  response.executed_query = query;
+  if (result.matches.empty() && options_.rewrite_on_empty) {
+    StatusOr<rewrite::RewriteOutcome> rewritten =
+        rewriter_.Rewrite(query, options_.rewrite);
+    if (rewritten.ok()) {
+      response.executed_query = rewritten->query;
+      response.rewrites_applied = rewritten->applied;
+      response.rewrite_penalty = rewritten->penalty;
+      result = std::move(rewritten->result);
+    }
+    // A failed rewrite search simply leaves the empty original result.
+  }
+  executed_queries_.Insert(response.executed_query.ToString());
+  response.stats = result.stats;
+  ranking::RankingOptions ranking_options = options_.ranking;
+  if (ranking_options.top_k == 0) ranking_options.top_k = options_.top_k;
+  response.results =
+      ranker_.Rank(response.executed_query, result.matches, ranking_options);
+  return response;
+}
+
+StatusOr<std::vector<keyword::KeywordHit>> Session::FindKeywords(
+    std::string_view keywords) const {
+  keyword::KeywordSearchOptions options;
+  options.limit = options_.top_k;
+  return keyword::SlcaSearch(indexed_, keywords, options);
+}
+
+StatusOr<std::string> Session::ExplainCanvas() const {
+  LOTUSX_ASSIGN_OR_RETURN(twig::TwigQuery query, canvas_.Compile());
+  return twig::Explain(indexed_, query);
+}
+
+StatusOr<std::string> Session::CanvasToXPath() const {
+  LOTUSX_ASSIGN_OR_RETURN(twig::TwigQuery query, canvas_.Compile());
+  return twig::ToXPath(query);
+}
+
+StatusOr<std::string> Session::CanvasToXQuery() const {
+  LOTUSX_ASSIGN_OR_RETURN(twig::TwigQuery query, canvas_.Compile());
+  return twig::ToXQuery(query);
+}
+
+std::vector<std::string> Session::QueryHistory(std::string_view prefix,
+                                               size_t limit) const {
+  std::vector<std::string> queries;
+  for (const index::Completion& completion :
+       executed_queries_.Complete(prefix, limit)) {
+    queries.push_back(completion.key);
+  }
+  return queries;
+}
+
+void Session::Checkpoint() { history_.push_back(canvas_); }
+
+Status Session::Undo() {
+  if (history_.empty()) {
+    return Status::FailedPrecondition("nothing to undo");
+  }
+  canvas_ = std::move(history_.back());
+  history_.pop_back();
+  return Status::OK();
+}
+
+}  // namespace lotusx::session

@@ -1,0 +1,107 @@
+#ifndef LOTUSX_SESSION_SESSION_H_
+#define LOTUSX_SESSION_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "autocomplete/completion.h"
+#include "common/status_or.h"
+#include "index/indexed_document.h"
+#include "keyword/keyword_search.h"
+#include "ranking/ranker.h"
+#include "rewrite/rewriter.h"
+#include "index/trie.h"
+#include "session/canvas.h"
+
+namespace lotusx::session {
+
+/// What Run() hands back to the UI: ranked answers plus provenance (which
+/// query actually ran — the drawn one or a rewrite — and the engine
+/// statistics).
+struct SearchResponse {
+  twig::TwigQuery executed_query;
+  std::vector<ranking::RankedResult> results;
+  twig::EvalStats stats;
+  /// Non-empty when the rewriter had to step in.
+  std::vector<std::string> rewrites_applied;
+  double rewrite_penalty = 0;
+};
+
+struct SessionOptions {
+  size_t completion_limit = 10;
+  size_t top_k = 20;
+  /// Fall back to query rewriting when the drawn query has no answers.
+  bool rewrite_on_empty = true;
+  rewrite::RewriteOptions rewrite;
+  ranking::RankingOptions ranking;
+};
+
+/// One interactive LotusX session: a canvas being edited against an
+/// indexed document, with position-aware completion at every step, and
+/// execute/rank/rewrite behind Run(). This is the programmatic equivalent
+/// of the demo's browser session; the REPL example drives it over a text
+/// protocol.
+class Session {
+ public:
+  Session(const index::IndexedDocument& indexed,
+          SessionOptions options = {});
+
+  Canvas& canvas() { return canvas_; }
+  const Canvas& canvas() const { return canvas_; }
+  const SessionOptions& options() const { return options_; }
+  const index::IndexedDocument& indexed() const { return indexed_; }
+
+  /// Tag suggestions for a new box connected under `anchor` with `axis`
+  /// given the typed `prefix`. anchor == 0 (no box selected) suggests
+  /// query-root tags. The current canvas must compile *ignoring* empty
+  /// boxes for position context; boxes other than the anchor that are
+  /// still untagged make the context unavailable and fall back to global
+  /// suggestions.
+  StatusOr<std::vector<autocomplete::Candidate>> SuggestTags(
+      CanvasNodeId anchor, twig::Axis axis, std::string_view prefix) const;
+
+  /// Value-keyword suggestions for the value editor of box `id`.
+  StatusOr<std::vector<autocomplete::Candidate>> SuggestValues(
+      CanvasNodeId id, std::string_view prefix) const;
+
+  /// Compiles the canvas, executes, ranks, and (when enabled and the
+  /// result set is empty) rewrites.
+  StatusOr<SearchResponse> Run() const;
+
+  /// Schema-free SLCA keyword search over the session's document; the
+  /// FIND protocol command. Results let the user discover structure
+  /// before drawing any box.
+  StatusOr<std::vector<keyword::KeywordHit>> FindKeywords(
+      std::string_view keywords) const;
+
+  /// Plan report for the compiled canvas query (twig/selectivity.h).
+  StatusOr<std::string> ExplainCanvas() const;
+  /// W3C XPath / XQuery exports of the compiled canvas query.
+  StatusOr<std::string> CanvasToXPath() const;
+  StatusOr<std::string> CanvasToXQuery() const;
+
+  /// Previously executed queries matching `prefix`, most frequent first —
+  /// the search-box history dropdown.
+  std::vector<std::string> QueryHistory(std::string_view prefix,
+                                        size_t limit = 5) const;
+
+  /// Snapshot / undo support: the canvas state stack.
+  void Checkpoint();
+  Status Undo();
+  size_t undo_depth() const { return history_.size(); }
+
+ private:
+  const index::IndexedDocument& indexed_;
+  SessionOptions options_;
+  Canvas canvas_;
+  autocomplete::CompletionEngine completion_;
+  ranking::Ranker ranker_;
+  rewrite::Rewriter rewriter_;
+  std::vector<Canvas> history_;
+  // Run() is logically const; recording executed queries is bookkeeping.
+  mutable index::Trie executed_queries_;
+};
+
+}  // namespace lotusx::session
+
+#endif  // LOTUSX_SESSION_SESSION_H_

@@ -1,0 +1,106 @@
+#include "session/svg_export.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "xml/escape.h"
+
+namespace lotusx::session {
+
+namespace {
+
+std::string Num(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string RenderCanvasSvg(const Canvas& canvas, const SvgOptions& options) {
+  // Bounding box over scaled coordinates.
+  double min_x = 0;
+  double min_y = 0;
+  double max_x = options.box_width;
+  double max_y = options.box_height;
+  for (const CanvasNode& node : canvas.nodes()) {
+    min_x = std::min(min_x, node.x * options.scale);
+    min_y = std::min(min_y, node.y * options.scale);
+    max_x = std::max(max_x, node.x * options.scale + options.box_width);
+    max_y = std::max(max_y, node.y * options.scale + options.box_height);
+  }
+  double width = max_x - min_x + 2 * options.margin;
+  double height = max_y - min_y + 2 * options.margin;
+  double dx = options.margin - min_x;
+  double dy = options.margin - min_y;
+
+  auto box_center_x = [&](const CanvasNode& node) {
+    return node.x * options.scale + dx + options.box_width / 2;
+  };
+  auto box_top_y = [&](const CanvasNode& node) {
+    return node.y * options.scale + dy;
+  };
+
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << Num(width)
+      << "\" height=\"" << Num(height) << "\" viewBox=\"0 0 " << Num(width)
+      << " " << Num(height) << "\">\n";
+  out << "  <style>text{font-family:sans-serif;font-size:13px}"
+         ".tag{font-weight:bold}.pred{font-size:10px;fill:#555}</style>\n";
+
+  // Edges first (under the boxes). Child = single line, descendant =
+  // double line, following the twig-pattern drawing convention.
+  for (const CanvasEdge& edge : canvas.edges()) {
+    const CanvasNode* from = canvas.FindNode(edge.from);
+    const CanvasNode* to = canvas.FindNode(edge.to);
+    double x1 = box_center_x(*from);
+    double y1 = box_top_y(*from) + options.box_height;
+    double x2 = box_center_x(*to);
+    double y2 = box_top_y(*to);
+    if (edge.axis == twig::Axis::kChild) {
+      out << "  <line x1=\"" << Num(x1) << "\" y1=\"" << Num(y1)
+          << "\" x2=\"" << Num(x2) << "\" y2=\"" << Num(y2)
+          << "\" stroke=\"#333\" stroke-width=\"1.5\"/>\n";
+    } else {
+      for (double offset : {-2.0, 2.0}) {
+        out << "  <line x1=\"" << Num(x1 + offset) << "\" y1=\"" << Num(y1)
+            << "\" x2=\"" << Num(x2 + offset) << "\" y2=\"" << Num(y2)
+            << "\" stroke=\"#333\" stroke-width=\"1.2\"/>\n";
+      }
+    }
+  }
+
+  for (const CanvasNode& node : canvas.nodes()) {
+    double x = node.x * options.scale + dx;
+    double y = node.y * options.scale + dy;
+    out << "  <g>\n";
+    out << "    <rect x=\"" << Num(x) << "\" y=\"" << Num(y) << "\" width=\""
+        << Num(options.box_width) << "\" height=\""
+        << Num(options.box_height)
+        << "\" rx=\"6\" fill=\"#eef4ff\" stroke=\""
+        << (node.output ? "#c02020" : "#4060a0") << "\" stroke-width=\""
+        << (node.output ? "3" : "1.5") << "\"/>\n";
+    std::string label = node.tag.empty() ? "(typing...)" : node.tag;
+    out << "    <text class=\"tag\" x=\"" << Num(x + 8) << "\" y=\""
+        << Num(y + 18) << "\">" << xml::EscapeText(label) << "</text>\n";
+    if (node.predicate.active()) {
+      std::string pred =
+          (node.predicate.op == twig::ValuePredicate::Op::kEquals ? "= "
+                                                                  : "~ ") +
+          node.predicate.text;
+      if (pred.size() > 22) pred = pred.substr(0, 19) + "...";
+      out << "    <text class=\"pred\" x=\"" << Num(x + 8) << "\" y=\""
+          << Num(y + 34) << "\">" << xml::EscapeText(pred) << "</text>\n";
+    }
+    if (node.ordered) {
+      out << "    <text class=\"pred\" x=\""
+          << Num(x + options.box_width - 52) << "\" y=\"" << Num(y + 34)
+          << "\">ordered</text>\n";
+    }
+    out << "  </g>\n";
+  }
+  out << "</svg>\n";
+  return out.str();
+}
+
+}  // namespace lotusx::session

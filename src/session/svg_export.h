@@ -1,0 +1,29 @@
+#ifndef LOTUSX_SESSION_SVG_EXPORT_H_
+#define LOTUSX_SESSION_SVG_EXPORT_H_
+
+#include <string>
+
+#include "session/canvas.h"
+
+namespace lotusx::session {
+
+struct SvgOptions {
+  double box_width = 120;
+  double box_height = 44;
+  /// Canvas coordinates are scaled by this factor.
+  double scale = 1.0;
+  double margin = 24;
+};
+
+/// Renders the canvas as a standalone SVG image — boxes with tag text and
+/// predicate summaries, single lines for child edges, double lines for
+/// descendant edges, a ring for the output box and an "ordered" badge —
+/// the same visual vocabulary as the LotusX demo UI. The output is
+/// well-formed XML (round-trips through this library's own parser,
+/// tested).
+std::string RenderCanvasSvg(const Canvas& canvas,
+                            const SvgOptions& options = {});
+
+}  // namespace lotusx::session
+
+#endif  // LOTUSX_SESSION_SVG_EXPORT_H_

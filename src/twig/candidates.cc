@@ -1,0 +1,147 @@
+#include "twig/candidates.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace lotusx::twig {
+
+namespace {
+
+/// Sorted intersection of `a` and `b` into `out`.
+std::vector<xml::NodeId> Intersect(std::span<const xml::NodeId> a,
+                                   std::span<const xml::NodeId> b) {
+  std::vector<xml::NodeId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// Value-node ids satisfying a kContains/kEquals predicate's keyword part:
+/// the intersection of all token posting lists. Empty `tokens` yields an
+/// empty result (callers special-case it).
+std::vector<xml::NodeId> TokenIntersection(
+    const index::IndexedDocument& indexed,
+    const std::vector<std::string>& tokens) {
+  std::vector<xml::NodeId> result;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    std::span<const xml::NodeId> postings =
+        indexed.terms().Postings(tokens[i]);
+    if (postings.empty()) return {};
+    if (i == 0) {
+      result.assign(postings.begin(), postings.end());
+    } else {
+      result = Intersect(result, postings);
+      if (result.empty()) return {};
+    }
+  }
+  return result;
+}
+
+/// The node's "value" under the predicate model: direct-text content for
+/// elements, the attribute value for attributes.
+std::string NodeValue(const xml::Document& document, xml::NodeId node) {
+  if (document.node(node).kind == xml::NodeKind::kAttribute) {
+    return std::string(TrimAscii(document.Value(node)));
+  }
+  return document.ContentString(node);
+}
+
+}  // namespace
+
+bool NodeSatisfies(const index::IndexedDocument& indexed,
+                   const TwigQuery& query, QueryNodeId q, xml::NodeId node) {
+  const QueryNode& query_node = query.node(q);
+  const xml::Document& document = indexed.document();
+  const xml::Document::Node& doc_node = document.node(node);
+  if (doc_node.kind == xml::NodeKind::kText) return false;
+  if (query_node.tag == "*") {
+    if (doc_node.kind != xml::NodeKind::kElement) return false;
+  } else if (document.TagName(node) != query_node.tag) {
+    return false;
+  }
+  switch (query_node.predicate.op) {
+    case ValuePredicate::Op::kNone:
+      return true;
+    case ValuePredicate::Op::kEquals:
+      return NodeValue(document, node) ==
+             TrimAscii(query_node.predicate.text);
+    case ValuePredicate::Op::kContains: {
+      std::vector<std::string> tokens =
+          TokenizeKeywords(query_node.predicate.text);
+      if (tokens.empty()) return false;
+      std::vector<std::string> node_tokens =
+          TokenizeKeywords(NodeValue(document, node));
+      for (const std::string& token : tokens) {
+        if (std::find(node_tokens.begin(), node_tokens.end(), token) ==
+            node_tokens.end()) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<xml::NodeId> CandidatesFor(
+    const index::IndexedDocument& indexed, const TwigQuery& query,
+    QueryNodeId node, const std::vector<index::PathId>* allowed_paths) {
+  const QueryNode& query_node = query.node(node);
+  const xml::Document& document = indexed.document();
+
+  // Tag stream (or all elements for the wildcard).
+  std::vector<xml::NodeId> stream;
+  if (query_node.tag == "*") {
+    stream.reserve(static_cast<size_t>(document.num_nodes()));
+    for (xml::NodeId id = 0; id < document.num_nodes(); ++id) {
+      if (document.node(id).kind == xml::NodeKind::kElement) {
+        stream.push_back(id);
+      }
+    }
+  } else {
+    xml::TagId tag = document.FindTag(query_node.tag);
+    if (tag == xml::kInvalidTagId) return {};
+    std::span<const xml::NodeId> s = indexed.tag_streams().stream(tag);
+    stream.assign(s.begin(), s.end());
+  }
+  // A child-axis query root must be the document root itself.
+  if (node == query.root() && query.root_axis() == Axis::kChild) {
+    std::erase_if(stream,
+                  [&](xml::NodeId id) { return id != document.root(); });
+  }
+  // Structural-summary pruning: drop elements at infeasible paths.
+  if (allowed_paths != nullptr) {
+    const index::DataGuide& guide = indexed.dataguide();
+    std::erase_if(stream, [&](xml::NodeId id) {
+      return !std::binary_search(allowed_paths->begin(),
+                                 allowed_paths->end(), guide.PathOf(id));
+    });
+  }
+  if (!query_node.predicate.active()) return stream;
+
+  std::vector<std::string> tokens =
+      TokenizeKeywords(query_node.predicate.text);
+  if (tokens.empty()) {
+    if (query_node.predicate.op == ValuePredicate::Op::kContains) return {};
+    // Equality against a token-free string: verify directly.
+    std::vector<xml::NodeId> result;
+    std::string_view want = TrimAscii(query_node.predicate.text);
+    for (xml::NodeId id : stream) {
+      if (NodeValue(document, id) == want) result.push_back(id);
+    }
+    return result;
+  }
+
+  std::vector<xml::NodeId> with_tokens = TokenIntersection(indexed, tokens);
+  std::vector<xml::NodeId> result = Intersect(stream, with_tokens);
+  if (query_node.predicate.op == ValuePredicate::Op::kEquals) {
+    std::string_view want = TrimAscii(query_node.predicate.text);
+    std::erase_if(result, [&](xml::NodeId id) {
+      return NodeValue(document, id) != want;
+    });
+  }
+  return result;
+}
+
+}  // namespace lotusx::twig

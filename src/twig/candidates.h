@@ -1,0 +1,40 @@
+#ifndef LOTUSX_TWIG_CANDIDATES_H_
+#define LOTUSX_TWIG_CANDIDATES_H_
+
+#include <vector>
+
+#include "index/indexed_document.h"
+#include "twig/twig_query.h"
+
+namespace lotusx::twig {
+
+/// Produces the candidate stream for one query node: document-order
+/// NodeIds whose tag matches (all elements for "*") and whose value
+/// satisfies the node's predicate.
+///
+/// Equality predicates are evaluated by intersecting the keyword postings
+/// of the predicate's tokens and verifying the full content string;
+/// containment predicates require every token's posting list to contain
+/// the node. A predicate whose text has no indexable token matches only
+/// nodes whose content equals it verbatim (kEquals) or nothing
+/// (kContains).
+///
+/// When `allowed_paths` is non-null (sorted ascending PathIds, typically
+/// the node's SchemaBindings), the stream is additionally restricted to
+/// nodes at those DataGuide paths — structural-summary stream pruning:
+/// elements that cannot participate in any embedding (wrong context)
+/// never reach the join at all. EvalOptions::schema_prune_streams turns
+/// this on engine-wide.
+std::vector<xml::NodeId> CandidatesFor(
+    const index::IndexedDocument& indexed, const TwigQuery& query,
+    QueryNodeId node,
+    const std::vector<index::PathId>* allowed_paths = nullptr);
+
+/// True when document node `node` satisfies query node `q`'s tag and value
+/// predicate (used by rewriting and by tests as the oracle definition).
+bool NodeSatisfies(const index::IndexedDocument& indexed,
+                   const TwigQuery& query, QueryNodeId q, xml::NodeId node);
+
+}  // namespace lotusx::twig
+
+#endif  // LOTUSX_TWIG_CANDIDATES_H_

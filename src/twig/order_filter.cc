@@ -1,0 +1,30 @@
+#include "twig/order_filter.h"
+
+#include <algorithm>
+
+namespace lotusx::twig {
+
+bool SatisfiesOrderConstraints(const xml::Document& document,
+                               const TwigQuery& query, const Match& match) {
+  for (QueryNodeId q = 0; q < query.size(); ++q) {
+    const QueryNode& node = query.node(q);
+    if (!node.ordered || node.children.size() < 2) continue;
+    for (size_t i = 0; i + 1 < node.children.size(); ++i) {
+      xml::NodeId left =
+          match.bindings[static_cast<size_t>(node.children[i])];
+      xml::NodeId right =
+          match.bindings[static_cast<size_t>(node.children[i + 1])];
+      if (document.node(left).subtree_end >= right) return false;
+    }
+  }
+  return true;
+}
+
+void FilterByOrder(const xml::Document& document, const TwigQuery& query,
+                   std::vector<Match>* matches) {
+  std::erase_if(*matches, [&](const Match& match) {
+    return !SatisfiesOrderConstraints(document, query, match);
+  });
+}
+
+}  // namespace lotusx::twig

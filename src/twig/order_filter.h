@@ -1,0 +1,25 @@
+#ifndef LOTUSX_TWIG_ORDER_FILTER_H_
+#define LOTUSX_TWIG_ORDER_FILTER_H_
+
+#include "twig/match.h"
+#include "twig/twig_query.h"
+#include "xml/dom.h"
+
+namespace lotusx::twig {
+
+/// True when `match` satisfies every order constraint of `query`: for
+/// each query node with `ordered` set, the bindings of its children must
+/// appear left-to-right in document order with disjoint subtrees —
+/// binding(c_i).subtree_end < binding(c_{i+1}) ("following" semantics,
+/// the order-sensitive query model of LotusX).
+bool SatisfiesOrderConstraints(const xml::Document& document,
+                               const TwigQuery& query, const Match& match);
+
+/// Removes matches violating order constraints (the naive post-filter the
+/// E4 experiment compares against integrated checking).
+void FilterByOrder(const xml::Document& document, const TwigQuery& query,
+                   std::vector<Match>* matches);
+
+}  // namespace lotusx::twig
+
+#endif  // LOTUSX_TWIG_ORDER_FILTER_H_

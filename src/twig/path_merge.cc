@@ -1,0 +1,114 @@
+#include "twig/path_merge.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace lotusx::twig {
+
+namespace {
+
+/// Drops tuples violating an order constraint among nodes bound so far.
+void PruneByPartialOrder(const TwigQuery& query,
+                         const xml::Document& document,
+                         std::vector<Match>* tuples) {
+  std::erase_if(*tuples, [&](const Match& match) {
+    for (QueryNodeId q = 0; q < query.size(); ++q) {
+      const QueryNode& node = query.node(q);
+      if (!node.ordered || node.children.size() < 2) continue;
+      for (size_t i = 0; i + 1 < node.children.size(); ++i) {
+        xml::NodeId left =
+            match.bindings[static_cast<size_t>(node.children[i])];
+        xml::NodeId right =
+            match.bindings[static_cast<size_t>(node.children[i + 1])];
+        if (left == xml::kInvalidNodeId || right == xml::kInvalidNodeId) {
+          continue;  // not both bound yet
+        }
+        if (document.node(left).subtree_end >= right) return true;
+      }
+    }
+    return false;
+  });
+}
+
+}  // namespace
+
+std::vector<Match> MergePathSolutions(
+    const TwigQuery& query,
+    const std::vector<std::vector<QueryNodeId>>& paths,
+    const std::vector<std::vector<std::vector<xml::NodeId>>>& solutions,
+    uint64_t* join_tuples, const MergeOptions& options) {
+  CHECK_EQ(paths.size(), solutions.size());
+  bool prune = options.prune_order && options.document != nullptr &&
+               query.HasOrderConstraints();
+  std::vector<Match> tuples;
+  if (paths.empty()) return tuples;
+
+  std::vector<bool> bound(static_cast<size_t>(query.size()), false);
+
+  // Seed with the first path.
+  for (const std::vector<xml::NodeId>& solution : solutions[0]) {
+    Match match;
+    match.bindings.assign(static_cast<size_t>(query.size()),
+                          xml::kInvalidNodeId);
+    for (size_t i = 0; i < paths[0].size(); ++i) {
+      match.bindings[static_cast<size_t>(paths[0][i])] = solution[i];
+    }
+    tuples.push_back(std::move(match));
+  }
+  for (QueryNodeId q : paths[0]) bound[static_cast<size_t>(q)] = true;
+  if (prune) PruneByPartialOrder(query, *options.document, &tuples);
+  if (join_tuples != nullptr) *join_tuples += tuples.size();
+
+  for (size_t p = 1; p < paths.size() && !tuples.empty(); ++p) {
+    const std::vector<QueryNodeId>& path = paths[p];
+    // Positions of this path's nodes that the joined prefix already binds
+    // (always a non-empty prefix: at least the query root).
+    std::vector<size_t> shared_positions;
+    std::vector<size_t> new_positions;
+    for (size_t i = 0; i < path.size(); ++i) {
+      if (bound[static_cast<size_t>(path[i])]) {
+        shared_positions.push_back(i);
+      } else {
+        new_positions.push_back(i);
+      }
+    }
+    // Hash existing tuples by their bindings of the shared nodes.
+    std::map<std::vector<xml::NodeId>, std::vector<size_t>> table;
+    for (size_t t = 0; t < tuples.size(); ++t) {
+      std::vector<xml::NodeId> key;
+      key.reserve(shared_positions.size());
+      for (size_t i : shared_positions) {
+        key.push_back(
+            tuples[t].bindings[static_cast<size_t>(path[i])]);
+      }
+      table[std::move(key)].push_back(t);
+    }
+    std::vector<Match> next;
+    for (const std::vector<xml::NodeId>& solution : solutions[p]) {
+      std::vector<xml::NodeId> key;
+      key.reserve(shared_positions.size());
+      for (size_t i : shared_positions) key.push_back(solution[i]);
+      auto it = table.find(key);
+      if (it == table.end()) continue;
+      for (size_t t : it->second) {
+        Match merged = tuples[t];
+        for (size_t i : new_positions) {
+          merged.bindings[static_cast<size_t>(path[i])] = solution[i];
+        }
+        next.push_back(std::move(merged));
+      }
+    }
+    tuples = std::move(next);
+    for (QueryNodeId q : path) bound[static_cast<size_t>(q)] = true;
+    if (prune) PruneByPartialOrder(query, *options.document, &tuples);
+    if (join_tuples != nullptr) *join_tuples += tuples.size();
+  }
+
+  std::sort(tuples.begin(), tuples.end());
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  return tuples;
+}
+
+}  // namespace lotusx::twig

@@ -1,0 +1,36 @@
+#ifndef LOTUSX_TWIG_PATH_MERGE_H_
+#define LOTUSX_TWIG_PATH_MERGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "twig/match.h"
+#include "twig/twig_query.h"
+
+namespace lotusx::twig {
+
+struct MergeOptions {
+  /// When set (and `document` provided), partial tuples violating an
+  /// order constraint between two already-bound children are pruned after
+  /// every join step instead of post-filtering complete matches — the
+  /// "integrated" order evaluation of experiment E4.
+  bool prune_order = false;
+  const xml::Document* document = nullptr;
+};
+
+/// Joins per-root-to-leaf-path solution lists into complete twig matches.
+/// `paths[i]` lists the query nodes of path i (root first) and
+/// `solutions[i]` its binding vectors (aligned with `paths[i]`). Paths are
+/// joined left to right with a hash join on the query nodes they share
+/// with the already-joined prefix (at least the query root, typically the
+/// common branch prefix). This is the merge phase of TwigStack and of the
+/// TJFast-style evaluator. `join_tuples`, when non-null, accumulates the
+/// number of tuples materialized across all join steps.
+std::vector<Match> MergePathSolutions(
+    const TwigQuery& query, const std::vector<std::vector<QueryNodeId>>& paths,
+    const std::vector<std::vector<std::vector<xml::NodeId>>>& solutions,
+    uint64_t* join_tuples, const MergeOptions& options = {});
+
+}  // namespace lotusx::twig
+
+#endif  // LOTUSX_TWIG_PATH_MERGE_H_

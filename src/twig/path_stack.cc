@@ -1,0 +1,103 @@
+#include "twig/path_stack.h"
+
+#include "common/timer.h"
+#include "twig/candidates.h"
+#include "twig/stack_common.h"
+
+namespace lotusx::twig {
+
+namespace {
+using internal_stack::CleanStack;
+using internal_stack::Stack;
+using internal_stack::StackEntry;
+}  // namespace
+
+StatusOr<QueryResult> PathStackEvaluate(
+    const index::IndexedDocument& indexed, const TwigQuery& query,
+    const std::vector<std::vector<index::PathId>>* schema_bindings) {
+  if (!query.IsPath()) {
+    return Status::InvalidArgument(
+        "PathStack handles path queries only; use TwigStack or TJFast");
+  }
+  Timer timer;
+  const xml::Document& document = indexed.document();
+  QueryResult result;
+  result.stats.algorithm = "pathstack";
+
+  std::vector<std::vector<xml::NodeId>> streams(
+      static_cast<size_t>(query.size()));
+  std::vector<size_t> cursors(static_cast<size_t>(query.size()), 0);
+  std::vector<Stack> stacks(static_cast<size_t>(query.size()));
+  for (QueryNodeId q = 0; q < query.size(); ++q) {
+    streams[static_cast<size_t>(q)] = CandidatesFor(
+        indexed, query, q,
+        schema_bindings == nullptr
+            ? nullptr
+            : &(*schema_bindings)[static_cast<size_t>(q)]);
+    result.stats.candidates_scanned += streams[static_cast<size_t>(q)].size();
+  }
+  std::vector<QueryNodeId> path = query.RootToLeafPaths().front();
+  QueryNodeId leaf = path.back();
+  std::vector<std::vector<xml::NodeId>> solutions;
+
+  while (true) {
+    // qmin: node whose head element is earliest in document order.
+    QueryNodeId qmin = kInvalidQueryNode;
+    for (QueryNodeId q = 0; q < query.size(); ++q) {
+      if (cursors[static_cast<size_t>(q)] >=
+          streams[static_cast<size_t>(q)].size()) {
+        continue;
+      }
+      if (qmin == kInvalidQueryNode ||
+          streams[static_cast<size_t>(q)][cursors[static_cast<size_t>(q)]] <
+              streams[static_cast<size_t>(qmin)]
+                     [cursors[static_cast<size_t>(qmin)]]) {
+        qmin = q;
+      }
+    }
+    if (qmin == kInvalidQueryNode) break;
+    xml::NodeId element =
+        streams[static_cast<size_t>(qmin)][cursors[static_cast<size_t>(qmin)]];
+    ++cursors[static_cast<size_t>(qmin)];
+
+    // Close every stack entry that ends before this element starts.
+    for (Stack& stack : stacks) CleanStack(document, &stack, element);
+
+    QueryNodeId parent = query.node(qmin).parent;
+    int parent_top =
+        parent == kInvalidQueryNode
+            ? -1
+            : static_cast<int>(stacks[static_cast<size_t>(parent)].size()) -
+                  1;
+    // An element whose parent stack is empty cannot extend to the root;
+    // pushing it would only grow the stack uselessly.
+    if (parent != kInvalidQueryNode && parent_top < 0) continue;
+    stacks[static_cast<size_t>(qmin)].push_back(
+        StackEntry{element, parent_top});
+    if (qmin == leaf) {
+      internal_stack::EmitPathSolutions(
+          document, query, path, stacks,
+          static_cast<int>(stacks[static_cast<size_t>(leaf)].size()) - 1,
+          &solutions);
+      stacks[static_cast<size_t>(leaf)].pop_back();
+    }
+  }
+
+  result.stats.intermediate_tuples = solutions.size();
+  result.matches.reserve(solutions.size());
+  for (const std::vector<xml::NodeId>& solution : solutions) {
+    Match match;
+    match.bindings.assign(static_cast<size_t>(query.size()),
+                          xml::kInvalidNodeId);
+    for (size_t i = 0; i < path.size(); ++i) {
+      match.bindings[static_cast<size_t>(path[i])] = solution[i];
+    }
+    result.matches.push_back(std::move(match));
+  }
+  std::sort(result.matches.begin(), result.matches.end());
+  result.stats.matches = result.matches.size();
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace lotusx::twig

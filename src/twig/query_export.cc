@@ -1,0 +1,150 @@
+#include "twig/query_export.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace lotusx::twig {
+
+namespace {
+
+/// XPath 1.0 string literals have no escape mechanism; reject texts that
+/// would need one.
+Status CheckLiteral(const std::string& text) {
+  if (text.find('"') != std::string::npos) {
+    return Status::Unimplemented(
+        "predicate text contains '\"', not expressible as an XPath 1.0 "
+        "literal");
+  }
+  return Status::OK();
+}
+
+/// Appends `[pred]` qualifiers for a node's value predicate.
+Status AppendValuePredicates(const QueryNode& node, std::string* out) {
+  switch (node.predicate.op) {
+    case ValuePredicate::Op::kNone:
+      return Status::OK();
+    case ValuePredicate::Op::kEquals:
+      LOTUSX_RETURN_IF_ERROR(CheckLiteral(node.predicate.text));
+      *out += "[normalize-space(.) = \"" + node.predicate.text + "\"]";
+      return Status::OK();
+    case ValuePredicate::Op::kContains: {
+      LOTUSX_RETURN_IF_ERROR(CheckLiteral(node.predicate.text));
+      for (const std::string& token :
+           TokenizeKeywords(node.predicate.text)) {
+        *out += "[contains(., \"" + token + "\")]";
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown predicate op");
+}
+
+/// Renders query node `q` and its whole subtree as a relative expression
+/// (used inside predicates, where only existence matters, so all children
+/// become nested predicates).
+Status RenderRelative(const TwigQuery& query, QueryNodeId q,
+                      std::string* out) {
+  const QueryNode& node = query.node(q);
+  if (node.incoming_axis == Axis::kDescendant) *out += ".//";
+  *out += node.tag;
+  LOTUSX_RETURN_IF_ERROR(AppendValuePredicates(node, out));
+  for (QueryNodeId child : node.children) {
+    *out += "[";
+    LOTUSX_RETURN_IF_ERROR(RenderRelative(query, child, out));
+    *out += "]";
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::string> ToXPath(const TwigQuery& query) {
+  LOTUSX_RETURN_IF_ERROR(query.Validate());
+  if (query.HasOrderConstraints()) {
+    return Status::Unimplemented(
+        "order constraints are not expressible in XPath 1.0; use ToXQuery");
+  }
+  // Spine: root -> output node.
+  std::vector<QueryNodeId> spine;
+  for (QueryNodeId q = query.output(); q != kInvalidQueryNode;
+       q = query.node(q).parent) {
+    spine.push_back(q);
+  }
+  std::reverse(spine.begin(), spine.end());
+
+  std::string out;
+  for (size_t i = 0; i < spine.size(); ++i) {
+    const QueryNode& node = query.node(spine[i]);
+    Axis axis = i == 0 ? query.root_axis() : node.incoming_axis;
+    out += axis == Axis::kDescendant ? "//" : "/";
+    out += node.tag;
+    LOTUSX_RETURN_IF_ERROR(AppendValuePredicates(node, &out));
+    QueryNodeId next_on_spine =
+        i + 1 < spine.size() ? spine[i + 1] : kInvalidQueryNode;
+    for (QueryNodeId child : node.children) {
+      if (child == next_on_spine) continue;
+      out += "[";
+      LOTUSX_RETURN_IF_ERROR(RenderRelative(query, child, &out));
+      out += "]";
+    }
+  }
+  return out;
+}
+
+StatusOr<std::string> ToXQuery(const TwigQuery& query) {
+  LOTUSX_RETURN_IF_ERROR(query.Validate());
+  std::ostringstream out;
+  // for clauses, one variable per query node, in node order (parents
+  // precede children by construction).
+  for (QueryNodeId q = 0; q < query.size(); ++q) {
+    const QueryNode& node = query.node(q);
+    out << (q == 0 ? "for" : ",\n   ") << " $n" << q << " in ";
+    if (q == 0) {
+      out << (query.root_axis() == Axis::kDescendant ? "//" : "/")
+          << node.tag;
+    } else {
+      out << "$n" << node.parent
+          << (node.incoming_axis == Axis::kDescendant ? "//" : "/")
+          << node.tag;
+    }
+  }
+  // where clauses: value predicates and order constraints.
+  std::vector<std::string> conditions;
+  for (QueryNodeId q = 0; q < query.size(); ++q) {
+    const QueryNode& node = query.node(q);
+    std::string var = "$n" + std::to_string(q);
+    if (node.predicate.op == ValuePredicate::Op::kEquals) {
+      LOTUSX_RETURN_IF_ERROR(CheckLiteral(node.predicate.text));
+      conditions.push_back("normalize-space(" + var + ") = \"" +
+                           node.predicate.text + "\"");
+    } else if (node.predicate.op == ValuePredicate::Op::kContains) {
+      LOTUSX_RETURN_IF_ERROR(CheckLiteral(node.predicate.text));
+      for (const std::string& token :
+           TokenizeKeywords(node.predicate.text)) {
+        conditions.push_back("contains(lower-case(string(" + var +
+                             ")), \"" + token + "\")");
+      }
+    }
+    if (node.ordered && node.children.size() >= 2) {
+      // LotusX order semantics requires disjoint, strictly preceding
+      // subtrees; '<<' compares start positions, and the descendant
+      // exclusion supplies the disjointness.
+      for (size_t i = 0; i + 1 < node.children.size(); ++i) {
+        std::string left = "$n" + std::to_string(node.children[i]);
+        std::string right = "$n" + std::to_string(node.children[i + 1]);
+        conditions.push_back("(" + left + " << " + right +
+                             " and empty(" + left + "//. intersect " +
+                             right + "))");
+      }
+    }
+  }
+  if (!conditions.empty()) {
+    out << "\nwhere " << Join(conditions, "\n  and ");
+  }
+  out << "\nreturn $n" << query.output();
+  return out.str();
+}
+
+}  // namespace lotusx::twig

@@ -1,0 +1,30 @@
+#ifndef LOTUSX_TWIG_QUERY_EXPORT_H_
+#define LOTUSX_TWIG_QUERY_EXPORT_H_
+
+#include <string>
+
+#include "common/status_or.h"
+#include "twig/twig_query.h"
+
+namespace lotusx::twig {
+
+/// Renders a twig query as standard W3C XPath 1.0, so a query drawn on
+/// the LotusX canvas can run on any XPath engine. The output node becomes
+/// the selected node; branches become predicates.
+///
+/// Semantics mapping:
+///   value equality     -> [normalize-space(.) = "text"]
+///   keyword contains   -> [contains(., "kw")] per keyword (lowercase not
+///                         applied: XPath 1.0 lacks lower-case())
+///   order constraints  -> not expressible in XPath 1.0: returns
+///                         Unimplemented (use ToXQuery)
+StatusOr<std::string> ToXPath(const TwigQuery& query);
+
+/// Renders a twig query as an XQuery FLWOR expression, covering the full
+/// query model including order-sensitive constraints (via the << node
+/// order comparator). Every query node becomes a bound variable.
+StatusOr<std::string> ToXQuery(const TwigQuery& query);
+
+}  // namespace lotusx::twig
+
+#endif  // LOTUSX_TWIG_QUERY_EXPORT_H_

@@ -1,0 +1,70 @@
+#include "twig/query_from_example.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace lotusx::twig {
+
+StatusOr<TwigQuery> QueryFromExample(
+    const index::IndexedDocument& indexed, xml::NodeId example,
+    const QueryFromExampleOptions& options) {
+  const xml::Document& document = indexed.document();
+  if (example < 0 || example >= document.num_nodes()) {
+    return Status::InvalidArgument("example node out of range");
+  }
+  const xml::Document::Node& node = document.node(example);
+  if (node.kind == xml::NodeKind::kText) {
+    return Status::InvalidArgument(
+        "text nodes have no tag; pick their parent element");
+  }
+
+  // Spine: the example's tag path, truncated to `ancestor_levels` above
+  // the node. The topmost included ancestor is anchored with '//' (its
+  // own context stays open); everything below uses '/' because the path
+  // is concrete.
+  std::vector<xml::NodeId> spine_nodes;
+  xml::NodeId walk = example;
+  for (int i = 0; i <= std::max(options.ancestor_levels, 0) &&
+                  walk != xml::kInvalidNodeId;
+       ++i) {
+    spine_nodes.push_back(walk);
+    walk = document.node(walk).parent;
+  }
+  std::reverse(spine_nodes.begin(), spine_nodes.end());
+
+  TwigQuery query;
+  QueryNodeId q = query.AddRoot(document.TagName(spine_nodes.front()),
+                                Axis::kDescendant);
+  for (size_t i = 1; i < spine_nodes.size(); ++i) {
+    q = query.AddChild(q, Axis::kChild, document.TagName(spine_nodes[i]));
+  }
+  QueryNodeId example_q = q;
+  query.SetOutput(example_q);
+
+  // Value predicate from the example's own content.
+  if (options.include_value) {
+    std::string value =
+        node.kind == xml::NodeKind::kAttribute
+            ? std::string(TrimAscii(document.Value(example)))
+            : document.ContentString(example);
+    if (!value.empty()) {
+      query.SetPredicate(example_q,
+                         ValuePredicate{ValuePredicate::Op::kEquals, value});
+    }
+  }
+
+  // One distinguishing child branch (first element/attribute child).
+  if (options.include_child_branch &&
+      node.kind == xml::NodeKind::kElement) {
+    for (xml::NodeId child : document.Children(example)) {
+      if (document.node(child).kind == xml::NodeKind::kText) continue;
+      query.AddChild(example_q, Axis::kChild, document.TagName(child));
+      break;
+    }
+  }
+  LOTUSX_RETURN_IF_ERROR(query.Validate());
+  return query;
+}
+
+}  // namespace lotusx::twig

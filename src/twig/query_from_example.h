@@ -1,0 +1,40 @@
+#ifndef LOTUSX_TWIG_QUERY_FROM_EXAMPLE_H_
+#define LOTUSX_TWIG_QUERY_FROM_EXAMPLE_H_
+
+#include "common/status_or.h"
+#include "index/indexed_document.h"
+#include "twig/twig_query.h"
+
+namespace lotusx::twig {
+
+struct QueryFromExampleOptions {
+  /// How many ancestors above the example node to include in the query
+  /// spine (0 = just the node's tag; large values reach the root). More
+  /// context = more specific query.
+  int ancestor_levels = 2;
+  /// Attach the example node's own value (if any) as an equality
+  /// predicate, so the query initially selects nodes "like this one".
+  bool include_value = true;
+  /// Also attach one distinguishing child branch (the example's first
+  /// element/attribute child), making the query a proper twig.
+  bool include_child_branch = true;
+};
+
+/// "Query by example": builds the twig query that selects nodes like a
+/// given document node — the reverse gear of the LotusX workflow. A user
+/// finds something via keyword search (FIND), picks a hit, and this turns
+/// it into an editable canvas query: the hit's tag path becomes the
+/// spine (child axes, since the path is concrete), its value becomes an
+/// equality predicate, and a child becomes a branch. The output node is
+/// the one corresponding to the example.
+///
+/// Returns InvalidArgument for text nodes or out-of-range ids. The
+/// produced query is always satisfiable (the example itself matches it —
+/// a property the tests assert).
+StatusOr<TwigQuery> QueryFromExample(
+    const index::IndexedDocument& indexed, xml::NodeId example,
+    const QueryFromExampleOptions& options = {});
+
+}  // namespace lotusx::twig
+
+#endif  // LOTUSX_TWIG_QUERY_FROM_EXAMPLE_H_

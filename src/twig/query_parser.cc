@@ -1,0 +1,175 @@
+#include "twig/query_parser.h"
+
+#include <cctype>
+
+namespace lotusx::twig {
+
+namespace {
+
+/// Recursive-descent parser over the twig syntax.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<TwigQuery> Parse() {
+    TwigQuery query;
+    Axis axis = Axis::kDescendant;
+    LOTUSX_RETURN_IF_ERROR(ParseAxis(&axis));
+    QueryNodeId last = kInvalidQueryNode;
+    LOTUSX_RETURN_IF_ERROR(ParseStepInto(&query, kInvalidQueryNode, axis,
+                                         &last));
+    while (!AtEnd()) {
+      LOTUSX_RETURN_IF_ERROR(ParseAxis(&axis));
+      LOTUSX_RETURN_IF_ERROR(ParseStepInto(&query, last, axis, &last));
+    }
+    if (!explicit_output_) query.SetOutput(last);
+    LOTUSX_RETURN_IF_ERROR(query.Validate());
+    return query;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  Status Error(std::string_view message) const {
+    return Status::InvalidArgument("query syntax error at offset " +
+                                   std::to_string(pos_) + ": " +
+                                   std::string(message));
+  }
+
+  Status ParseAxis(Axis* axis) {
+    if (AtEnd() || Peek() != '/') return Error("expected '/' or '//'");
+    ++pos_;
+    if (!AtEnd() && Peek() == '/') {
+      ++pos_;
+      *axis = Axis::kDescendant;
+    } else {
+      *axis = Axis::kChild;
+    }
+    return Status::OK();
+  }
+
+  /// Axis inside a branch qualifier: optional, default child.
+  Status ParseBranchAxis(Axis* axis) {
+    if (!AtEnd() && Peek() == '/') return ParseAxis(axis);
+    *axis = Axis::kChild;
+    return Status::OK();
+  }
+
+  Status ParseName(std::string* name) {
+    name->clear();
+    if (!AtEnd() && Peek() == '*') {
+      ++pos_;
+      *name = "*";
+      return Status::OK();
+    }
+    if (!AtEnd() && Peek() == '@') {
+      name->push_back('@');
+      ++pos_;
+    }
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == '.' || c == ':') {
+        name->push_back(c);
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (name->empty() || *name == "@") return Error("expected tag name");
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (AtEnd() || Peek() != '"') return Error("expected '\"'");
+    ++pos_;
+    out->clear();
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (AtEnd()) return Error("dangling escape");
+        c = text_[pos_++];
+        if (c != '"' && c != '\\') return Error("bad escape");
+      }
+      out->push_back(c);
+    }
+  }
+
+  /// Parses one step and attaches it under `parent` (kInvalidQueryNode for
+  /// the root). Returns the new node id via `out_node`.
+  Status ParseStepInto(TwigQuery* query, QueryNodeId parent, Axis axis,
+                       QueryNodeId* out_node) {
+    std::string name;
+    LOTUSX_RETURN_IF_ERROR(ParseName(&name));
+    QueryNodeId node = parent == kInvalidQueryNode
+                           ? query->AddRoot(name, axis)
+                           : query->AddChild(parent, axis, name);
+    if (!AtEnd() && Peek() == '!') {
+      ++pos_;
+      if (explicit_output_) return Error("multiple '!' output markers");
+      explicit_output_ = true;
+      query->SetOutput(node);
+    }
+    while (!AtEnd() && Peek() == '[') {
+      ++pos_;
+      LOTUSX_RETURN_IF_ERROR(ParseQualifier(query, node));
+      if (AtEnd() || Peek() != ']') return Error("expected ']'");
+      ++pos_;
+    }
+    *out_node = node;
+    return Status::OK();
+  }
+
+  Status ParseQualifier(TwigQuery* query, QueryNodeId node) {
+    if (AtEnd()) return Error("empty qualifier");
+    char c = Peek();
+    if (c == '=' || c == '~') {
+      ++pos_;
+      ValuePredicate predicate;
+      predicate.op = c == '=' ? ValuePredicate::Op::kEquals
+                              : ValuePredicate::Op::kContains;
+      LOTUSX_RETURN_IF_ERROR(ParseString(&predicate.text));
+      if (query->node(node).predicate.active()) {
+        return Error("node already has a value predicate");
+      }
+      query->SetPredicate(node, std::move(predicate));
+      return Status::OK();
+    }
+    // 'ordered' keyword — but only when followed by ']', so a branch step
+    // named "ordered" is still expressible as [ordered/...] etc.
+    if (text_.substr(pos_, 7) == "ordered" &&
+        (pos_ + 7 >= text_.size() || text_[pos_ + 7] == ']')) {
+      pos_ += 7;
+      query->SetOrdered(node, true);
+      return Status::OK();
+    }
+    // Branch: a relative path under `node`.
+    Axis axis = Axis::kChild;
+    LOTUSX_RETURN_IF_ERROR(ParseBranchAxis(&axis));
+    QueryNodeId last = kInvalidQueryNode;
+    LOTUSX_RETURN_IF_ERROR(ParseStepInto(query, node, axis, &last));
+    while (!AtEnd() && Peek() == '/') {
+      LOTUSX_RETURN_IF_ERROR(ParseAxis(&axis));
+      LOTUSX_RETURN_IF_ERROR(ParseStepInto(query, last, axis, &last));
+    }
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  bool explicit_output_ = false;
+};
+
+}  // namespace
+
+StatusOr<TwigQuery> ParseQuery(std::string_view text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty query string");
+  }
+  return Parser(text).Parse();
+}
+
+}  // namespace lotusx::twig

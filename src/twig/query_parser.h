@@ -1,0 +1,35 @@
+#ifndef LOTUSX_TWIG_QUERY_PARSER_H_
+#define LOTUSX_TWIG_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status_or.h"
+#include "twig/twig_query.h"
+
+namespace lotusx::twig {
+
+/// Parses the XPath-like twig syntax used throughout LotusX:
+///
+///   query     := axis step (axis step)*
+///   axis      := '//' | '/'
+///   step      := name '!'? qualifier*
+///   name      := TAG | '@' TAG | '*'
+///   qualifier := '[' 'ordered' ']'
+///             |  '[' '=' STRING ']'            value equality
+///             |  '[' '~' STRING ']'            keyword containment
+///             |  '[' axis? step (axis step)* ']'   branch (default: '/')
+///   STRING    := '"' chars with \" and \\ escapes '"'
+///
+/// Examples:
+///   //book/title
+///   //book[ordered][author[~"lu"]]/title!
+///   //dblp//article[year[="2012"]]/title
+///
+/// The output node defaults to the last step of the spine unless some step
+/// carries '!'. ParseQuery(query.ToString()) == query for every valid
+/// query (round-trip property, tested).
+StatusOr<TwigQuery> ParseQuery(std::string_view text);
+
+}  // namespace lotusx::twig
+
+#endif  // LOTUSX_TWIG_QUERY_PARSER_H_

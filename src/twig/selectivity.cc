@@ -1,0 +1,179 @@
+#include "twig/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "twig/schema_match.h"
+
+namespace lotusx::twig {
+
+namespace {
+
+/// Selectivity of a value predicate under term independence. Where the
+/// node has a concrete tag, token frequencies are conditioned on values
+/// of *that tag* (the per-tag tries of the term index) — "2001" is rare
+/// globally but common inside <year> — falling back to global document
+/// frequencies for wildcards. Equality gets a mild damping on top of the
+/// token match because it additionally pins the full string.
+double PredicateSelectivity(const index::IndexedDocument& indexed,
+                            const QueryNode& node) {
+  const ValuePredicate& predicate = node.predicate;
+  if (!predicate.active()) return 1.0;
+  const index::TermIndex& terms = indexed.terms();
+  const index::Trie* tag_trie = nullptr;
+  double tag_count = 0;
+  if (node.tag != "*") {
+    xml::TagId tag = indexed.document().FindTag(node.tag);
+    tag_trie = terms.term_trie_for_tag(tag);
+    tag_count = static_cast<double>(indexed.tag_streams().count(tag));
+  }
+  double n = std::max<uint32_t>(terms.num_value_nodes(), 1);
+  std::vector<std::string> tokens = TokenizeKeywords(predicate.text);
+  if (tokens.empty()) {
+    return predicate.op == ValuePredicate::Op::kEquals ? 1.0 / n : 0.0;
+  }
+  double selectivity = 1.0;
+  for (const std::string& token : tokens) {
+    double fraction;
+    if (tag_trie != nullptr && tag_count > 0) {
+      fraction = static_cast<double>(tag_trie->WeightOf(token)) / tag_count;
+    } else {
+      fraction = static_cast<double>(terms.DocFrequency(token)) / n;
+    }
+    selectivity *= std::min(fraction, 1.0);
+  }
+  if (predicate.op == ValuePredicate::Op::kEquals) selectivity *= 0.9;
+  return selectivity;
+}
+
+}  // namespace
+
+SelectivityEstimate EstimateSelectivity(
+    const index::IndexedDocument& indexed, const TwigQuery& query) {
+  SelectivityEstimate estimate;
+  estimate.node_cardinality.assign(static_cast<size_t>(query.size()), 0.0);
+  if (query.Validate() != Status::OK()) return estimate;
+
+  const index::DataGuide& guide = indexed.dataguide();
+  std::vector<std::vector<index::PathId>> bindings =
+      SchemaBindings(indexed, query);
+
+  // Per-node expected bindings: occurrences over the node's feasible
+  // paths, scaled by its predicate's selectivity.
+  for (QueryNodeId q = 0; q < query.size(); ++q) {
+    double occurrences = 0;
+    for (index::PathId p : bindings[static_cast<size_t>(q)]) {
+      occurrences += guide.node(p).count;
+    }
+    estimate.node_cardinality[static_cast<size_t>(q)] =
+        occurrences * PredicateSelectivity(indexed, query.node(q));
+  }
+
+  // Match estimate: root cardinality times the per-edge fanout factors
+  // (child bindings per parent binding), independence across branches.
+  double matches = estimate.node_cardinality[0];
+  for (QueryNodeId q = 1; q < query.size(); ++q) {
+    double parent = estimate.node_cardinality[static_cast<size_t>(
+        query.node(q).parent)];
+    if (parent <= 0) {
+      matches = 0;
+      break;
+    }
+    matches *= estimate.node_cardinality[static_cast<size_t>(q)] / parent;
+  }
+  // Along a chain the product telescopes to f(leaf); every branch
+  // multiplies in its own fanout — the classic independence estimate.
+  estimate.match_cardinality = std::max(matches, 0.0);
+
+  // Stream sizes the algorithms would read.
+  const xml::Document& document = indexed.document();
+  for (QueryNodeId q = 0; q < query.size(); ++q) {
+    const QueryNode& node = query.node(q);
+    double stream;
+    if (node.tag == "*") {
+      stream = document.num_nodes();  // upper bound: wildcard stream
+    } else {
+      stream = static_cast<double>(
+          indexed.tag_streams().count(document.FindTag(node.tag)));
+    }
+    estimate.total_stream_size += stream;
+    if (node.children.empty()) estimate.leaf_stream_size += stream;
+  }
+  return estimate;
+}
+
+Algorithm ChooseAlgorithm(const index::IndexedDocument& indexed,
+                          const TwigQuery& query) {
+  if (query.IsPath()) return Algorithm::kPathStack;
+  SelectivityEstimate estimate = EstimateSelectivity(indexed, query);
+  // TJFast reads only the leaf streams but pays a label-decode per
+  // element; prefer it when that saves a substantial fraction of the
+  // scan. Deep documents make decodes costlier, but depth is bounded in
+  // practice; the 60% threshold is calibrated by bench_selectivity.
+  if (estimate.total_stream_size > 0 &&
+      estimate.leaf_stream_size < 0.6 * estimate.total_stream_size) {
+    return Algorithm::kTJFast;
+  }
+  return Algorithm::kTwigStack;
+}
+
+StatusOr<std::string> Explain(const index::IndexedDocument& indexed,
+                              const TwigQuery& query) {
+  LOTUSX_RETURN_IF_ERROR(query.Validate());
+  SelectivityEstimate estimate = EstimateSelectivity(indexed, query);
+  std::vector<std::vector<index::PathId>> bindings =
+      SchemaBindings(indexed, query);
+  const index::DataGuide& guide = indexed.dataguide();
+  const xml::Document& document = indexed.document();
+
+  std::ostringstream out;
+  out << "query: " << query.ToString() << "\n";
+  for (QueryNodeId q = 0; q < query.size(); ++q) {
+    const QueryNode& node = query.node(q);
+    out << "  node " << q << " <" << node.tag << ">";
+    if (q != query.root()) {
+      out << " (" << (node.incoming_axis == Axis::kChild ? "/" : "//")
+          << " under node " << node.parent << ")";
+    }
+    if (node.predicate.active()) {
+      out << (node.predicate.op == ValuePredicate::Op::kEquals ? " ="
+                                                               : " ~")
+          << "\"" << node.predicate.text << "\"";
+    }
+    const std::vector<index::PathId>& paths =
+        bindings[static_cast<size_t>(q)];
+    out << ": " << paths.size() << " position(s), est. "
+        << estimate.node_cardinality[static_cast<size_t>(q)]
+        << " bindings\n";
+    for (size_t i = 0; i < paths.size() && i < 4; ++i) {
+      out << "      " << guide.PathString(document, paths[i]) << " (x"
+          << guide.node(paths[i]).count << ")\n";
+    }
+    if (paths.size() > 4) {
+      out << "      ... " << (paths.size() - 4) << " more\n";
+    }
+  }
+  Algorithm algorithm = ChooseAlgorithm(indexed, query);
+  out << "estimated matches: " << estimate.match_cardinality << "\n";
+  out << "streams: total " << estimate.total_stream_size << ", leaves "
+      << estimate.leaf_stream_size << "\n";
+  out << "algorithm: " << AlgorithmName(algorithm);
+  if (algorithm == Algorithm::kPathStack) {
+    out << " (path query)";
+  } else if (algorithm == Algorithm::kTJFast) {
+    int percent = estimate.total_stream_size > 0
+                      ? static_cast<int>(100.0 * estimate.leaf_stream_size /
+                                         estimate.total_stream_size)
+                      : 0;
+    out << " (leaf streams are " << percent
+        << "% of total; decoding from leaf labels pays off)";
+  } else {
+    out << " (leaf streams dominate; containment-label join is cheaper)";
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace lotusx::twig

@@ -1,0 +1,50 @@
+#ifndef LOTUSX_TWIG_SELECTIVITY_H_
+#define LOTUSX_TWIG_SELECTIVITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "index/indexed_document.h"
+#include "twig/evaluator.h"
+#include "twig/twig_query.h"
+
+namespace lotusx::twig {
+
+/// Cardinality estimates for one twig query, derived purely from the
+/// DataGuide (path occurrence counts) and term statistics — no data
+/// access. The per-node estimate counts expected bindings of that node;
+/// the match estimate uses the classic independence assumption across
+/// branches.
+struct SelectivityEstimate {
+  /// Expected bindings per query node (schema-filtered, predicate-scaled).
+  std::vector<double> node_cardinality;
+  /// Expected number of complete twig matches.
+  double match_cardinality = 0;
+  /// Candidate stream sizes the algorithms would read: all nodes
+  /// (TwigStack/structural join) vs leaves only (TJFast).
+  double total_stream_size = 0;
+  double leaf_stream_size = 0;
+};
+
+/// Estimates cardinalities for `query` over `indexed`. Always succeeds
+/// for valid queries; an unsatisfiable query estimates 0 everywhere.
+SelectivityEstimate EstimateSelectivity(
+    const index::IndexedDocument& indexed, const TwigQuery& query);
+
+/// Cost-based algorithm choice: PathStack for paths; otherwise TJFast
+/// when the query's leaf streams are substantially smaller than the total
+/// streams (its decode work pays off), else TwigStack. This is what
+/// EvalOptions{.algorithm = kAuto} resolves to.
+Algorithm ChooseAlgorithm(const index::IndexedDocument& indexed,
+                          const TwigQuery& query);
+
+/// Human-readable plan report: per-node positions and estimates, the
+/// chosen algorithm with its reason, and the match estimate. Does not
+/// execute the query.
+StatusOr<std::string> Explain(const index::IndexedDocument& indexed,
+                              const TwigQuery& query);
+
+}  // namespace lotusx::twig
+
+#endif  // LOTUSX_TWIG_SELECTIVITY_H_

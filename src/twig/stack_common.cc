@@ -1,0 +1,57 @@
+#include "twig/stack_common.h"
+
+#include "common/logging.h"
+
+namespace lotusx::twig::internal_stack {
+
+namespace {
+
+/// Recursive expansion: `position` indexes into `path`; `entry_index` is
+/// the chosen stack entry for path[position]. `partial` is filled from the
+/// leaf backwards.
+void Expand(const xml::Document& document, const TwigQuery& query,
+            const std::vector<QueryNodeId>& path,
+            const std::vector<Stack>& stacks, size_t position,
+            int entry_index, std::vector<xml::NodeId>* partial,
+            std::vector<std::vector<xml::NodeId>>* solutions) {
+  QueryNodeId q = path[position];
+  const StackEntry& entry =
+      stacks[static_cast<size_t>(q)][static_cast<size_t>(entry_index)];
+  (*partial)[position] = entry.element;
+  if (position == 0) {
+    solutions->push_back(*partial);
+    return;
+  }
+  QueryNodeId parent_q = path[position - 1];
+  Axis axis = query.node(q).incoming_axis;
+  int32_t child_depth = document.node(entry.element).depth;
+  // Entries 0..entry.parent_top of the parent stack all contain this
+  // element (push-time invariant) — except that when the query repeats a
+  // tag (//s//s), the element itself may sit on the parent stack; it is
+  // not a *proper* ancestor of itself and must be skipped.
+  for (int j = 0; j <= entry.parent_top; ++j) {
+    const StackEntry& candidate =
+        stacks[static_cast<size_t>(parent_q)][static_cast<size_t>(j)];
+    if (candidate.element == entry.element) continue;
+    if (axis == Axis::kChild &&
+        document.node(candidate.element).depth != child_depth - 1) {
+      continue;
+    }
+    Expand(document, query, path, stacks, position - 1, j, partial,
+           solutions);
+  }
+}
+
+}  // namespace
+
+void EmitPathSolutions(const xml::Document& document, const TwigQuery& query,
+                       const std::vector<QueryNodeId>& path,
+                       const std::vector<Stack>& stacks, int leaf_index,
+                       std::vector<std::vector<xml::NodeId>>* solutions) {
+  DCHECK(!path.empty());
+  std::vector<xml::NodeId> partial(path.size(), xml::kInvalidNodeId);
+  Expand(document, query, path, stacks, path.size() - 1, leaf_index,
+         &partial, solutions);
+}
+
+}  // namespace lotusx::twig::internal_stack

@@ -1,0 +1,45 @@
+#ifndef LOTUSX_TWIG_STACK_COMMON_H_
+#define LOTUSX_TWIG_STACK_COMMON_H_
+
+#include <vector>
+
+#include "twig/twig_query.h"
+#include "xml/dom.h"
+
+namespace lotusx::twig::internal_stack {
+
+/// Stack entry of the holistic algorithms (TwigStack / PathStack). The
+/// parent pointer records how much of the parent query node's stack
+/// contained this element at push time: entries 0..parent_top (inclusive)
+/// all contain it.
+struct StackEntry {
+  xml::NodeId element = xml::kInvalidNodeId;
+  int parent_top = -1;
+};
+
+/// Per-query-node stack.
+using Stack = std::vector<StackEntry>;
+
+/// Pops entries whose subtree ends before `next_start` (they can contain
+/// nothing that starts later).
+inline void CleanStack(const xml::Document& document, Stack* stack,
+                       xml::NodeId next_start) {
+  while (!stack->empty() &&
+         document.node(stack->back().element).subtree_end < next_start) {
+    stack->pop_back();
+  }
+}
+
+/// Expands every root-to-leaf solution ending at `stacks[path.back()]`'s
+/// entry `leaf_index`, appending one binding vector (aligned with `path`,
+/// root first) per solution to `solutions`. Parent-child edges are
+/// verified by depth (stack entries are ancestors of the leaf element, so
+/// depth equality implies parenthood).
+void EmitPathSolutions(const xml::Document& document, const TwigQuery& query,
+                       const std::vector<QueryNodeId>& path,
+                       const std::vector<Stack>& stacks, int leaf_index,
+                       std::vector<std::vector<xml::NodeId>>* solutions);
+
+}  // namespace lotusx::twig::internal_stack
+
+#endif  // LOTUSX_TWIG_STACK_COMMON_H_

@@ -1,0 +1,175 @@
+#include "twig/structural_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "twig/candidates.h"
+
+namespace lotusx::twig {
+
+namespace {
+
+/// (ancestor, descendant) pair produced by one edge join.
+struct EdgePair {
+  xml::NodeId ancestor;
+  xml::NodeId descendant;
+};
+
+/// Stack-tree structural join between a sorted unique list of potential
+/// ancestors and a sorted candidate descendant stream. Emits every pair
+/// satisfying the axis. Output is grouped by descendant in document order.
+std::vector<EdgePair> StackTreeJoin(const xml::Document& document,
+                                    const std::vector<xml::NodeId>& ancestors,
+                                    const std::vector<xml::NodeId>& stream,
+                                    Axis axis) {
+  std::vector<EdgePair> pairs;
+  std::vector<xml::NodeId> stack;  // chain of nested open ancestors
+  size_t next_ancestor = 0;
+  for (xml::NodeId d : stream) {
+    // Open every ancestor starting before d, closing finished ones first.
+    while (next_ancestor < ancestors.size() &&
+           ancestors[next_ancestor] < d) {
+      xml::NodeId a = ancestors[next_ancestor++];
+      while (!stack.empty() &&
+             document.node(stack.back()).subtree_end < a) {
+        stack.pop_back();
+      }
+      stack.push_back(a);
+    }
+    // Close ancestors that end before d.
+    while (!stack.empty() && document.node(stack.back()).subtree_end < d) {
+      stack.pop_back();
+    }
+    // Every remaining stack entry contains d (nested-chain invariant).
+    if (axis == Axis::kDescendant) {
+      for (xml::NodeId a : stack) {
+        pairs.push_back(EdgePair{a, d});
+      }
+    } else {
+      // Parent-child: among a chain of ancestors of d at distinct depths,
+      // only the one at depth(d) - 1 can be the parent.
+      int32_t want_depth = document.node(d).depth - 1;
+      for (xml::NodeId a : stack) {
+        if (document.node(a).depth == want_depth) {
+          pairs.push_back(EdgePair{a, d});
+          break;
+        }
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
+QueryResult StructuralJoinEvaluate(
+    const index::IndexedDocument& indexed, const TwigQuery& query,
+    const std::vector<std::vector<index::PathId>>* schema_bindings,
+    bool reorder_joins) {
+  Timer timer;
+  QueryResult result;
+  result.stats.algorithm =
+      reorder_joins ? "structural-join+reorder" : "structural-join";
+  const xml::Document& document = indexed.document();
+
+  // Candidate streams.
+  std::vector<std::vector<xml::NodeId>> candidates(
+      static_cast<size_t>(query.size()));
+  for (QueryNodeId q = 0; q < query.size(); ++q) {
+    candidates[static_cast<size_t>(q)] = CandidatesFor(
+        indexed, query, q,
+        schema_bindings == nullptr
+            ? nullptr
+            : &(*schema_bindings)[static_cast<size_t>(q)]);
+    result.stats.candidates_scanned +=
+        candidates[static_cast<size_t>(q)].size();
+    if (candidates[static_cast<size_t>(q)].empty()) {
+      result.stats.elapsed_ms = timer.ElapsedMillis();
+      return result;
+    }
+  }
+
+  // Seed with root bindings.
+  std::vector<Match> partials;
+  partials.reserve(candidates[0].size());
+  for (xml::NodeId c : candidates[0]) {
+    Match match;
+    match.bindings.assign(static_cast<size_t>(query.size()),
+                          xml::kInvalidNodeId);
+    match.bindings[0] = c;
+    partials.push_back(std::move(match));
+  }
+  result.stats.intermediate_tuples += partials.size();
+
+  // Edge processing order: query order by default; with reorder_joins, a
+  // greedy order that always joins the joinable node (parent already
+  // bound) with the smallest candidate stream next.
+  std::vector<QueryNodeId> join_order;
+  if (!reorder_joins) {
+    for (QueryNodeId q = 1; q < query.size(); ++q) join_order.push_back(q);
+  } else {
+    std::vector<bool> bound(static_cast<size_t>(query.size()), false);
+    bound[0] = true;
+    while (static_cast<int>(join_order.size()) + 1 < query.size()) {
+      QueryNodeId best = kInvalidQueryNode;
+      for (QueryNodeId q = 1; q < query.size(); ++q) {
+        if (bound[static_cast<size_t>(q)] ||
+            !bound[static_cast<size_t>(query.node(q).parent)]) {
+          continue;
+        }
+        if (best == kInvalidQueryNode ||
+            candidates[static_cast<size_t>(q)].size() <
+                candidates[static_cast<size_t>(best)].size()) {
+          best = q;
+        }
+      }
+      CHECK(best != kInvalidQueryNode);
+      bound[static_cast<size_t>(best)] = true;
+      join_order.push_back(best);
+    }
+  }
+
+  for (QueryNodeId q : join_order) {
+    if (partials.empty()) break;
+    QueryNodeId p = query.node(q).parent;
+    // Distinct parent bindings, sorted, with the partials bound to each.
+    std::vector<xml::NodeId> ancestors;
+    ancestors.reserve(partials.size());
+    for (const Match& match : partials) {
+      ancestors.push_back(match.bindings[static_cast<size_t>(p)]);
+    }
+    std::sort(ancestors.begin(), ancestors.end());
+    ancestors.erase(std::unique(ancestors.begin(), ancestors.end()),
+                    ancestors.end());
+
+    std::vector<EdgePair> pairs =
+        StackTreeJoin(document, ancestors, candidates[static_cast<size_t>(q)],
+                      query.node(q).incoming_axis);
+
+    // Bucket descendants per ancestor, then expand partials.
+    std::unordered_map<xml::NodeId, std::vector<xml::NodeId>> by_ancestor;
+    for (const EdgePair& pair : pairs) {
+      by_ancestor[pair.ancestor].push_back(pair.descendant);
+    }
+    std::vector<Match> next;
+    for (const Match& match : partials) {
+      auto it = by_ancestor.find(match.bindings[static_cast<size_t>(p)]);
+      if (it == by_ancestor.end()) continue;
+      for (xml::NodeId d : it->second) {
+        Match extended = match;
+        extended.bindings[static_cast<size_t>(q)] = d;
+        next.push_back(std::move(extended));
+      }
+    }
+    partials = std::move(next);
+    result.stats.intermediate_tuples += partials.size();
+  }
+
+  result.matches = std::move(partials);
+  result.stats.matches = result.matches.size();
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace lotusx::twig

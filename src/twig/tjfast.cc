@@ -1,0 +1,181 @@
+#include "twig/tjfast.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "twig/candidates.h"
+#include "twig/path_merge.h"
+
+namespace lotusx::twig {
+
+namespace {
+
+/// Alignment machinery: match the query path pattern (root-to-leaf tags
+/// with axes) against a decoded tag path. Pattern position i corresponds
+/// to query node path[i]; alignment[i] is the depth (index into the tag
+/// path) assigned to it. The last pattern position is pinned to the last
+/// tag-path position (the leaf element itself).
+class PathAligner {
+ public:
+  PathAligner(const xml::Document& document, const TwigQuery& query,
+              const std::vector<QueryNodeId>& path)
+      : document_(document), query_(query), path_(path) {
+    // Pre-resolve pattern tags: kInvalidTagId means the tag does not occur
+    // in the document at all (no alignment possible), -2 means wildcard.
+    for (QueryNodeId q : path_) {
+      const std::string& tag = query_.node(q).tag;
+      pattern_tags_.push_back(tag == "*" ? kWildcard
+                                         : document_.FindTag(tag));
+    }
+  }
+
+  static constexpr xml::TagId kWildcard = -2;
+
+  /// All alignments of the pattern onto `tag_path` (tags of the decoded
+  /// root-to-element path). Each result has path_.size() entries.
+  std::vector<std::vector<int32_t>> Align(
+      const std::vector<xml::TagId>& tag_path) const {
+    std::vector<std::vector<int32_t>> alignments;
+    if (tag_path.empty()) return alignments;
+    int32_t last = static_cast<int32_t>(tag_path.size()) - 1;
+    if (!TagMatches(pattern_tags_.back(), tag_path[static_cast<size_t>(last)])) {
+      return alignments;
+    }
+    std::vector<int32_t> current(path_.size(), -1);
+    current[path_.size() - 1] = last;
+    Extend(tag_path, static_cast<int32_t>(path_.size()) - 1, &current,
+           &alignments);
+    return alignments;
+  }
+
+ private:
+  static bool TagMatches(xml::TagId pattern, xml::TagId actual) {
+    return pattern == kWildcard || pattern == actual;
+  }
+
+  /// Fills positions pattern_index-1 .. 0 given that pattern_index is
+  /// already placed at (*current)[pattern_index].
+  void Extend(const std::vector<xml::TagId>& tag_path, int32_t pattern_index,
+              std::vector<int32_t>* current,
+              std::vector<std::vector<int32_t>>* alignments) const {
+    if (pattern_index == 0) {
+      // The query root placement must respect the root axis: '/' anchors
+      // it at the document root.
+      int32_t pos = (*current)[0];
+      if (query_.root_axis() == Axis::kChild && pos != 0) return;
+      alignments->push_back(*current);
+      return;
+    }
+    int32_t child_pos = (*current)[static_cast<size_t>(pattern_index)];
+    Axis axis =
+        query_.node(path_[static_cast<size_t>(pattern_index)]).incoming_axis;
+    xml::TagId want = pattern_tags_[static_cast<size_t>(pattern_index - 1)];
+    if (axis == Axis::kChild) {
+      int32_t pos = child_pos - 1;
+      if (pos < 0 ||
+          !TagMatches(want, tag_path[static_cast<size_t>(pos)])) {
+        return;
+      }
+      (*current)[static_cast<size_t>(pattern_index - 1)] = pos;
+      Extend(tag_path, pattern_index - 1, current, alignments);
+    } else {
+      for (int32_t pos = child_pos - 1;
+           pos >= pattern_index - 1;  // need room for the remaining prefix
+           --pos) {
+        if (!TagMatches(want, tag_path[static_cast<size_t>(pos)])) continue;
+        (*current)[static_cast<size_t>(pattern_index - 1)] = pos;
+        Extend(tag_path, pattern_index - 1, current, alignments);
+      }
+    }
+  }
+
+  const xml::Document& document_;
+  const TwigQuery& query_;
+  const std::vector<QueryNodeId>& path_;
+  std::vector<xml::TagId> pattern_tags_;
+};
+
+}  // namespace
+
+QueryResult TjFastEvaluate(
+    const index::IndexedDocument& indexed, const TwigQuery& query,
+    bool integrate_order,
+    const std::vector<std::vector<index::PathId>>* schema_bindings) {
+  Timer timer;
+  QueryResult result;
+  result.stats.algorithm = "tjfast";
+  const xml::Document& document = indexed.document();
+  const labeling::TagTransducer& transducer = indexed.transducer();
+  const labeling::ExtendedDeweyStore& labels = indexed.extended_dewey();
+  labeling::XTagId root_tag =
+      document.empty() ? -1 : document.node(document.root()).tag;
+
+  std::vector<std::vector<QueryNodeId>> paths = query.RootToLeafPaths();
+  std::vector<std::vector<std::vector<xml::NodeId>>> solutions(paths.size());
+
+  for (size_t p = 0; p < paths.size(); ++p) {
+    const std::vector<QueryNodeId>& path = paths[p];
+    QueryNodeId leaf = path.back();
+    std::vector<xml::NodeId> stream = CandidatesFor(
+        indexed, query, leaf,
+        schema_bindings == nullptr
+            ? nullptr
+            : &(*schema_bindings)[static_cast<size_t>(leaf)]);
+    result.stats.candidates_scanned += stream.size();
+    PathAligner aligner(document, query, path);
+
+    for (xml::NodeId element : stream) {
+      // Decode the element's root-to-node tag path from its extended
+      // Dewey label alone (this is the TJFast trick: no ancestor streams).
+      std::vector<labeling::XTagId> tag_path =
+          labeling::ExtendedDeweyStore::DecodeTagPath(
+              transducer, root_tag, labels.label(element));
+      for (const std::vector<int32_t>& alignment : aligner.Align(tag_path)) {
+        // Materialize the ancestor at each aligned depth by walking the
+        // parent chain once from the element.
+        std::vector<xml::NodeId> binding(path.size(), xml::kInvalidNodeId);
+        binding[path.size() - 1] = element;
+        {
+          xml::NodeId walk = element;
+          int32_t walk_depth = document.node(element).depth;
+          size_t i = path.size() - 1;
+          while (i > 0) {
+            --i;
+            int32_t want_depth = alignment[i];
+            while (walk_depth > want_depth) {
+              walk = document.node(walk).parent;
+              --walk_depth;
+            }
+            binding[i] = walk;
+          }
+        }
+        // Verify internal value predicates (not attested by the label).
+        bool ok = true;
+        for (size_t i = 0; ok && i + 1 < path.size(); ++i) {
+          if (query.node(path[i]).predicate.active() &&
+              !NodeSatisfies(indexed, query, path[i], binding[i])) {
+            ok = false;
+          }
+        }
+        if (ok) solutions[p].push_back(std::move(binding));
+      }
+    }
+    result.stats.intermediate_tuples += solutions[p].size();
+    // Distinct alignments can yield identical bindings only when depths
+    // coincide, which they cannot; still, keep the lists sorted for a
+    // deterministic merge.
+    std::sort(solutions[p].begin(), solutions[p].end());
+  }
+
+  MergeOptions merge_options;
+  merge_options.prune_order = integrate_order;
+  merge_options.document = &document;
+  result.matches =
+      MergePathSolutions(query, paths, solutions,
+                         &result.stats.intermediate_tuples, merge_options);
+  result.stats.matches = result.matches.size();
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace lotusx::twig

@@ -1,0 +1,38 @@
+#ifndef LOTUSX_TWIG_TJFAST_H_
+#define LOTUSX_TWIG_TJFAST_H_
+
+#include "index/indexed_document.h"
+#include "twig/match.h"
+#include "twig/twig_query.h"
+
+namespace lotusx::twig {
+
+/// Extended-Dewey twig join in the style of TJFast (Lu et al., VLDB 2005)
+/// — the engine family LotusX builds on. Only the streams of the query's
+/// *leaf* nodes are read; each leaf element's extended Dewey label is
+/// decoded into its full root-to-node tag path via the tag transducer, the
+/// query's root-to-leaf path pattern is aligned against it (all
+/// alignments, respecting '/' vs '//' and '*'), and every alignment
+/// directly yields bindings for all ancestor query nodes on that path.
+/// Per-path solution lists are then merge-joined (path_merge.h) exactly as
+/// in TwigStack's second phase.
+///
+/// Internal-node value predicates, which a leaf label cannot attest, are
+/// verified against the materialized ancestor before a solution is kept.
+///
+/// Simplification vs the paper: the final merge is a hash join on shared
+/// query nodes rather than the paper's set-merge; the headline property —
+/// non-leaf streams are never scanned, so parent-child-rich queries avoid
+/// the TwigStack useless-path problem — is preserved (see DESIGN.md).
+///
+/// Order constraints are NOT applied here; the evaluator post-filters.
+/// With integrate_order, order constraints are pruned during the merge
+/// phase (partial tuples) instead of post-filtered by the evaluator.
+QueryResult TjFastEvaluate(
+    const index::IndexedDocument& indexed, const TwigQuery& query,
+    bool integrate_order = false,
+    const std::vector<std::vector<index::PathId>>* schema_bindings = nullptr);
+
+}  // namespace lotusx::twig
+
+#endif  // LOTUSX_TWIG_TJFAST_H_

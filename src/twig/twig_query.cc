@@ -1,0 +1,197 @@
+#include "twig/twig_query.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lotusx::twig {
+
+namespace {
+
+/// Quotes `text` with '"' and backslash-escapes '"' and '\'.
+std::string QuoteText(std::string_view text) {
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+QueryNodeId TwigQuery::AddRoot(std::string_view tag,
+                               Axis axis_from_document_root) {
+  CHECK(nodes_.empty()) << "AddRoot on non-empty query";
+  QueryNode node;
+  node.tag = std::string(tag);
+  node.incoming_axis = axis_from_document_root;
+  root_axis_ = axis_from_document_root;
+  nodes_.push_back(std::move(node));
+  return 0;
+}
+
+QueryNodeId TwigQuery::AddChild(QueryNodeId parent, Axis axis,
+                                std::string_view tag) {
+  CHECK(parent >= 0 && parent < size());
+  QueryNode node;
+  node.tag = std::string(tag);
+  node.incoming_axis = axis;
+  node.parent = parent;
+  QueryNodeId id = size();
+  nodes_.push_back(std::move(node));
+  nodes_[static_cast<size_t>(parent)].children.push_back(id);
+  return id;
+}
+
+void TwigQuery::SetPredicate(QueryNodeId node, ValuePredicate predicate) {
+  nodes_[static_cast<size_t>(node)].predicate = std::move(predicate);
+}
+
+void TwigQuery::SetOrdered(QueryNodeId node, bool ordered) {
+  nodes_[static_cast<size_t>(node)].ordered = ordered;
+}
+
+void TwigQuery::SetOutput(QueryNodeId node) {
+  for (QueryNode& n : nodes_) n.is_output = false;
+  nodes_[static_cast<size_t>(node)].is_output = true;
+}
+
+void TwigQuery::SetTag(QueryNodeId node, std::string_view tag) {
+  nodes_[static_cast<size_t>(node)].tag = std::string(tag);
+}
+
+void TwigQuery::SetIncomingAxis(QueryNodeId node, Axis axis) {
+  nodes_[static_cast<size_t>(node)].incoming_axis = axis;
+  if (node == root()) root_axis_ = axis;
+}
+
+QueryNodeId TwigQuery::output() const {
+  for (QueryNodeId id = 0; id < size(); ++id) {
+    if (nodes_[static_cast<size_t>(id)].is_output) return id;
+  }
+  return root();
+}
+
+Status TwigQuery::Validate() const {
+  if (nodes_.empty()) return Status::InvalidArgument("empty query");
+  for (QueryNodeId id = 0; id < size(); ++id) {
+    const QueryNode& node = nodes_[static_cast<size_t>(id)];
+    if (node.tag.empty()) {
+      return Status::InvalidArgument("query node with empty tag");
+    }
+    if (node.tag == "*" && node.predicate.op == ValuePredicate::Op::kEquals) {
+      return Status::InvalidArgument(
+          "wildcard node cannot carry an equality predicate");
+    }
+    if (id == 0) {
+      if (node.parent != kInvalidQueryNode) {
+        return Status::InvalidArgument("root with a parent");
+      }
+    } else {
+      if (node.parent < 0 || node.parent >= size() || node.parent >= id) {
+        return Status::InvalidArgument("parent must precede child");
+      }
+      const QueryNode& parent = nodes_[static_cast<size_t>(node.parent)];
+      if (std::find(parent.children.begin(), parent.children.end(), id) ==
+          parent.children.end()) {
+        return Status::InvalidArgument("inconsistent parent/child links");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<QueryNodeId> TwigQuery::Leaves() const {
+  std::vector<QueryNodeId> leaves;
+  for (QueryNodeId id = 0; id < size(); ++id) {
+    if (nodes_[static_cast<size_t>(id)].children.empty()) {
+      leaves.push_back(id);
+    }
+  }
+  return leaves;
+}
+
+std::vector<std::vector<QueryNodeId>> TwigQuery::RootToLeafPaths() const {
+  std::vector<std::vector<QueryNodeId>> paths;
+  for (QueryNodeId leaf : Leaves()) {
+    std::vector<QueryNodeId> path;
+    for (QueryNodeId id = leaf; id != kInvalidQueryNode;
+         id = nodes_[static_cast<size_t>(id)].parent) {
+      path.push_back(id);
+    }
+    std::reverse(path.begin(), path.end());
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+bool TwigQuery::IsPath() const {
+  for (const QueryNode& node : nodes_) {
+    if (node.children.size() > 1) return false;
+  }
+  return true;
+}
+
+bool TwigQuery::HasOrderConstraints() const {
+  for (const QueryNode& node : nodes_) {
+    if (node.ordered && node.children.size() > 1) return true;
+  }
+  return false;
+}
+
+std::vector<QueryNodeId> TwigQuery::TopologicalOrder() const {
+  std::vector<QueryNodeId> order(nodes_.size());
+  for (QueryNodeId id = 0; id < size(); ++id) {
+    order[static_cast<size_t>(id)] = id;
+  }
+  return order;
+}
+
+void TwigQuery::AppendNodeString(QueryNodeId id, bool /*as_spine*/,
+                                 std::string* out) const {
+  const QueryNode& node = nodes_[static_cast<size_t>(id)];
+  QueryNodeId out_node = output();
+  *out += node.tag;
+  if (id == out_node) *out += '!';
+  if (node.ordered) *out += "[ordered]";
+  switch (node.predicate.op) {
+    case ValuePredicate::Op::kNone:
+      break;
+    case ValuePredicate::Op::kEquals:
+      *out += "[=" + QuoteText(node.predicate.text) + "]";
+      break;
+    case ValuePredicate::Op::kContains:
+      *out += "[~" + QuoteText(node.predicate.text) + "]";
+      break;
+  }
+  // The spine always continues through the LAST child so that re-parsing
+  // reconstructs children in the same order (which matters for ordered
+  // nodes); earlier children render as [branch] qualifiers. The output
+  // node is marked with '!' wherever it sits.
+  QueryNodeId spine_child =
+      node.children.empty() ? kInvalidQueryNode : node.children.back();
+  for (QueryNodeId child : node.children) {
+    if (child == spine_child) continue;
+    const QueryNode& c = nodes_[static_cast<size_t>(child)];
+    *out += '[';
+    if (c.incoming_axis == Axis::kDescendant) *out += "//";
+    AppendNodeString(child, /*as_spine=*/false, out);
+    *out += ']';
+  }
+  if (spine_child != kInvalidQueryNode) {
+    const QueryNode& c = nodes_[static_cast<size_t>(spine_child)];
+    *out += c.incoming_axis == Axis::kDescendant ? "//" : "/";
+    AppendNodeString(spine_child, /*as_spine=*/true, out);
+  }
+}
+
+std::string TwigQuery::ToString() const {
+  if (nodes_.empty()) return "";
+  std::string out = root_axis_ == Axis::kDescendant ? "//" : "/";
+  AppendNodeString(root(), /*as_spine=*/true, &out);
+  return out;
+}
+
+}  // namespace lotusx::twig

@@ -1,0 +1,128 @@
+#ifndef LOTUSX_TWIG_TWIG_QUERY_H_
+#define LOTUSX_TWIG_TWIG_QUERY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lotusx::twig {
+
+/// Edge axis between a query node and its parent.
+enum class Axis {
+  kChild,       // '/'  : parent-child
+  kDescendant,  // '//' : ancestor-descendant
+};
+
+/// Value condition attached to a query node.
+struct ValuePredicate {
+  enum class Op {
+    kNone,      // no condition
+    kEquals,    // node value equals `text` (whitespace-trimmed)
+    kContains,  // node value contains every keyword of `text`
+  };
+  Op op = Op::kNone;
+  std::string text;
+
+  bool active() const { return op != Op::kNone; }
+  friend bool operator==(const ValuePredicate&,
+                         const ValuePredicate&) = default;
+};
+
+/// Index of a node within its TwigQuery.
+using QueryNodeId = int;
+inline constexpr QueryNodeId kInvalidQueryNode = -1;
+
+/// One node of a twig pattern. `tag` is an element tag, an attribute name
+/// with "@" prefix, or "*" (any element).
+struct QueryNode {
+  std::string tag;
+  ValuePredicate predicate;
+  Axis incoming_axis = Axis::kChild;  // axis of the edge from the parent
+  QueryNodeId parent = kInvalidQueryNode;
+  std::vector<QueryNodeId> children;
+  /// When set, this node's query children must match document-order
+  /// siblings-or-cousins left to right: for consecutive children c1, c2,
+  /// the match of c1 must entirely precede the match of c2 ("following"
+  /// semantics). This is LotusX's order-sensitive query support.
+  bool ordered = false;
+  /// The node whose matches are returned to the user.
+  bool is_output = false;
+
+  friend bool operator==(const QueryNode&, const QueryNode&) = default;
+};
+
+/// A twig (tree) pattern query. Node 0 is always the root. Built
+/// programmatically (by the canvas/session layer) or parsed from the
+/// XPath-like text syntax in query_parser.h.
+class TwigQuery {
+ public:
+  TwigQuery() = default;
+
+  /// Adds the root node; must be the first call. Returns node 0.
+  QueryNodeId AddRoot(std::string_view tag,
+                      Axis axis_from_document_root = Axis::kDescendant);
+
+  /// Adds a child of `parent` connected with `axis`.
+  QueryNodeId AddChild(QueryNodeId parent, Axis axis, std::string_view tag);
+
+  void SetPredicate(QueryNodeId node, ValuePredicate predicate);
+  void SetOrdered(QueryNodeId node, bool ordered);
+  /// Marks `node` as the output node, clearing any previous output mark.
+  void SetOutput(QueryNodeId node);
+  /// Replaces a node's tag (used by query rewriting).
+  void SetTag(QueryNodeId node, std::string_view tag);
+  /// Replaces the axis of the edge above `node` (used by rewriting).
+  void SetIncomingAxis(QueryNodeId node, Axis axis);
+
+  /// The root's incoming axis describes how the query root relates to the
+  /// document root: kDescendant for the usual "//a...", kChild for "/a...".
+  Axis root_axis() const { return root_axis_; }
+  void set_root_axis(Axis axis) { root_axis_ = axis; }
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  bool empty() const { return nodes_.empty(); }
+  const QueryNode& node(QueryNodeId id) const {
+    return nodes_[static_cast<size_t>(id)];
+  }
+  QueryNodeId root() const { return nodes_.empty() ? kInvalidQueryNode : 0; }
+
+  /// The output node: the explicitly marked one, else the root.
+  QueryNodeId output() const;
+
+  /// Structural sanity: non-empty, every tag non-empty, no "*" with a
+  /// value predicate of kEquals (ambiguous), parent links consistent.
+  Status Validate() const;
+
+  /// Query node ids of all leaves, ascending.
+  std::vector<QueryNodeId> Leaves() const;
+  /// Root-to-leaf node id sequences, one per leaf, in leaf order.
+  std::vector<std::vector<QueryNodeId>> RootToLeafPaths() const;
+  /// True when the query is a simple path (every node has <= 1 child).
+  bool IsPath() const;
+  /// True when any node has `ordered` set.
+  bool HasOrderConstraints() const;
+
+  /// Nodes in a topological order with parents before children (in fact
+  /// insertion order already guarantees this; provided for clarity).
+  std::vector<QueryNodeId> TopologicalOrder() const;
+
+  /// XPath-like rendering, re-parseable by ParseQuery. Example:
+  /// //book[ordered][title="XML"]//author[~"lu"]!
+  /// ('!' marks a non-root output node).
+  std::string ToString() const;
+
+  friend bool operator==(const TwigQuery&, const TwigQuery&) = default;
+
+ private:
+  void AppendNodeString(QueryNodeId id, bool as_spine,
+                        std::string* out) const;
+
+  std::vector<QueryNode> nodes_;
+  Axis root_axis_ = Axis::kDescendant;
+};
+
+}  // namespace lotusx::twig
+
+#endif  // LOTUSX_TWIG_TWIG_QUERY_H_

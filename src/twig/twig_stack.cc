@@ -1,0 +1,192 @@
+#include "twig/twig_stack.h"
+
+#include <limits>
+
+#include "common/timer.h"
+#include "twig/candidates.h"
+#include "twig/path_merge.h"
+#include "twig/stack_common.h"
+
+namespace lotusx::twig {
+
+namespace {
+
+using internal_stack::CleanStack;
+using internal_stack::Stack;
+using internal_stack::StackEntry;
+
+constexpr xml::NodeId kExhausted = std::numeric_limits<xml::NodeId>::max();
+
+/// Runtime state of one TwigStack execution.
+class TwigStackRun {
+ public:
+  TwigStackRun(const index::IndexedDocument& indexed, const TwigQuery& query,
+               bool integrate_order,
+               const std::vector<std::vector<index::PathId>>* schema_bindings)
+      : document_(indexed.document()),
+        query_(query),
+        integrate_order_(integrate_order),
+        streams_(static_cast<size_t>(query.size())),
+        cursors_(static_cast<size_t>(query.size()), 0),
+        stacks_(static_cast<size_t>(query.size())) {
+    for (QueryNodeId q = 0; q < query.size(); ++q) {
+      streams_[static_cast<size_t>(q)] = CandidatesFor(
+          indexed, query, q,
+          schema_bindings == nullptr
+              ? nullptr
+              : &(*schema_bindings)[static_cast<size_t>(q)]);
+    }
+    paths_ = query.RootToLeafPaths();
+    // Leaf -> index of its root-to-leaf path.
+    path_of_leaf_.assign(static_cast<size_t>(query.size()), -1);
+    for (size_t p = 0; p < paths_.size(); ++p) {
+      path_of_leaf_[static_cast<size_t>(paths_[p].back())] =
+          static_cast<int>(p);
+    }
+    path_solutions_.resize(paths_.size());
+  }
+
+  QueryResult Run() {
+    Timer timer;
+    QueryResult result;
+    result.stats.algorithm = "twigstack";
+    for (const auto& stream : streams_) {
+      result.stats.candidates_scanned += stream.size();
+    }
+
+    while (!End(query_.root())) {
+      QueryNodeId q = GetNext(query_.root());
+      CHECK(!Exhausted(q)) << "getNext returned exhausted node " << q;
+      xml::NodeId element = Current(q);
+      QueryNodeId parent = query_.node(q).parent;
+      if (parent != kInvalidQueryNode) {
+        CleanStack(document_, &stacks_[static_cast<size_t>(parent)],
+                   element);
+      }
+      if (parent == kInvalidQueryNode ||
+          !stacks_[static_cast<size_t>(parent)].empty()) {
+        CleanStack(document_, &stacks_[static_cast<size_t>(q)], element);
+        MoveStreamToStack(q);
+        if (query_.node(q).children.empty()) {
+          int path = path_of_leaf_[static_cast<size_t>(q)];
+          internal_stack::EmitPathSolutions(
+              document_, query_, paths_[static_cast<size_t>(path)], stacks_,
+              static_cast<int>(stacks_[static_cast<size_t>(q)].size()) - 1,
+              &path_solutions_[static_cast<size_t>(path)]);
+          stacks_[static_cast<size_t>(q)].pop_back();
+        }
+      } else {
+        Advance(q);
+      }
+    }
+
+    for (const auto& solutions : path_solutions_) {
+      result.stats.intermediate_tuples += solutions.size();
+    }
+    MergeOptions merge_options;
+    merge_options.prune_order = integrate_order_;
+    merge_options.document = &document_;
+    result.matches =
+        MergePathSolutions(query_, paths_, path_solutions_,
+                           &result.stats.intermediate_tuples, merge_options);
+    result.stats.matches = result.matches.size();
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+
+ private:
+  bool Exhausted(QueryNodeId q) const {
+    return cursors_[static_cast<size_t>(q)] >=
+           streams_[static_cast<size_t>(q)].size();
+  }
+  /// Current element, or kExhausted as +infinity sentinel.
+  xml::NodeId Current(QueryNodeId q) const {
+    return Exhausted(q)
+               ? kExhausted
+               : streams_[static_cast<size_t>(q)]
+                         [cursors_[static_cast<size_t>(q)]];
+  }
+  /// End of the current element's subtree (+infinity when exhausted).
+  xml::NodeId CurrentEnd(QueryNodeId q) const {
+    return Exhausted(q) ? kExhausted
+                        : document_.node(Current(q)).subtree_end;
+  }
+  void Advance(QueryNodeId q) { ++cursors_[static_cast<size_t>(q)]; }
+
+  /// True when every leaf stream in q's subtree is exhausted.
+  bool End(QueryNodeId q) const {
+    const QueryNode& node = query_.node(q);
+    if (node.children.empty()) return Exhausted(q);
+    for (QueryNodeId child : node.children) {
+      if (!End(child)) return false;
+    }
+    return true;
+  }
+
+  /// The getNext of the TwigStack paper: returns a query node in q's
+  /// subtree whose head element is guaranteed to have a descendant
+  /// extension for every ancestor-descendant sub-edge. Dead subtrees —
+  /// those whose leaf streams are all exhausted, so no *future* element
+  /// can create a new path solution for them — are masked out; without
+  /// this, exhausting one branch would wedge or terminate the whole run
+  /// while sibling branches still have solutions to emit.
+  /// Must only be called on a live (non-End) node; the returned node
+  /// always has a valid head element.
+  QueryNodeId GetNext(QueryNodeId q) {
+    const QueryNode& node = query_.node(q);
+    if (node.children.empty()) return q;
+    QueryNodeId n_min = kInvalidQueryNode;
+    QueryNodeId n_max = kInvalidQueryNode;
+    for (QueryNodeId child : node.children) {
+      if (End(child)) continue;  // dead branch
+      QueryNodeId n = GetNext(child);
+      if (n != child) return n;
+      if (n_min == kInvalidQueryNode || Current(child) < Current(n_min)) {
+        n_min = child;
+      }
+      if (n_max == kInvalidQueryNode || Current(child) > Current(n_max)) {
+        n_max = child;
+      }
+    }
+    CHECK(n_min != kInvalidQueryNode) << "GetNext on dead subtree";
+    // Skip q's elements that end before the latest live child head begins
+    // — they cannot contain all child heads.
+    while (CurrentEnd(q) < Current(n_max)) Advance(q);
+    if (Current(q) < Current(n_min)) return q;
+    return n_min;
+  }
+
+  void MoveStreamToStack(QueryNodeId q) {
+    QueryNodeId parent = query_.node(q).parent;
+    int parent_top =
+        parent == kInvalidQueryNode
+            ? -1
+            : static_cast<int>(stacks_[static_cast<size_t>(parent)].size()) -
+                  1;
+    stacks_[static_cast<size_t>(q)].push_back(
+        StackEntry{Current(q), parent_top});
+    Advance(q);
+  }
+
+  const xml::Document& document_;
+  const TwigQuery& query_;
+  bool integrate_order_;
+  std::vector<std::vector<xml::NodeId>> streams_;
+  std::vector<size_t> cursors_;
+  std::vector<Stack> stacks_;
+  std::vector<std::vector<QueryNodeId>> paths_;
+  std::vector<int> path_of_leaf_;
+  std::vector<std::vector<std::vector<xml::NodeId>>> path_solutions_;
+};
+
+}  // namespace
+
+QueryResult TwigStackEvaluate(
+    const index::IndexedDocument& indexed, const TwigQuery& query,
+    bool integrate_order,
+    const std::vector<std::vector<index::PathId>>* schema_bindings) {
+  return TwigStackRun(indexed, query, integrate_order, schema_bindings)
+      .Run();
+}
+
+}  // namespace lotusx::twig

@@ -1,0 +1,138 @@
+#include "xml/dom.h"
+
+#include <string>
+
+#include "common/string_util.h"
+
+namespace lotusx::xml {
+
+TagId Document::InternTag(std::string_view tag) {
+  auto it = tag_ids_.find(std::string(tag));
+  if (it != tag_ids_.end()) return it->second;
+  TagId id = static_cast<TagId>(tag_names_.size());
+  tag_names_.emplace_back(tag);
+  tag_ids_.emplace(std::string(tag), id);
+  return id;
+}
+
+int32_t Document::InternText(std::string_view text) {
+  texts_.emplace_back(text);
+  return static_cast<int32_t>(texts_.size() - 1);
+}
+
+NodeId Document::AppendNode(NodeId parent, Node node) {
+  CHECK(!finalized_) << "Append on finalized Document";
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  if (parent == kInvalidNodeId) {
+    CHECK(nodes_.empty()) << "only the first node may be the root";
+    node.depth = 0;
+  } else {
+    CHECK(parent >= 0 && parent < id) << "parent must precede child";
+    // Preorder (document-order) append discipline: the parent must still
+    // be "open", i.e. lie on the ancestor spine of the last appended node.
+    DCHECK([&] {
+      NodeId walk = id - 1;
+      while (walk != kInvalidNodeId && walk != parent) {
+        walk = nodes_[static_cast<size_t>(walk)].parent;
+      }
+      return walk == parent;
+    }()) << "append violates document order: parent "
+         << parent << " is closed";
+    node.parent = parent;
+    node.depth = nodes_[static_cast<size_t>(parent)].depth + 1;
+    NodeId last = last_child_[static_cast<size_t>(parent)];
+    if (last == kInvalidNodeId) {
+      nodes_[static_cast<size_t>(parent)].first_child = id;
+    } else {
+      // Document-order discipline: the previous child's subtree must be
+      // complete, i.e. no node after `last` has a parent outside
+      // last's subtree... enforced implicitly by sibling chaining.
+      nodes_[static_cast<size_t>(last)].next_sibling = id;
+    }
+    last_child_[static_cast<size_t>(parent)] = id;
+  }
+  nodes_.push_back(node);
+  last_child_.push_back(kInvalidNodeId);
+  return id;
+}
+
+NodeId Document::AppendElement(NodeId parent, std::string_view tag) {
+  Node node;
+  node.kind = NodeKind::kElement;
+  node.tag = InternTag(tag);
+  return AppendNode(parent, node);
+}
+
+NodeId Document::AppendAttribute(NodeId parent, std::string_view name,
+                                 std::string_view value) {
+  CHECK(parent != kInvalidNodeId);
+  CHECK(nodes_[static_cast<size_t>(parent)].kind == NodeKind::kElement);
+  Node node;
+  node.kind = NodeKind::kAttribute;
+  // Attributes are distinguished from elements by an "@" tag prefix, the
+  // convention used by twig-pattern literature and by the query syntax.
+  node.tag = InternTag("@" + std::string(name));
+  node.value = InternText(value);
+  return AppendNode(parent, node);
+}
+
+NodeId Document::AppendText(NodeId parent, std::string_view text) {
+  CHECK(parent != kInvalidNodeId);
+  CHECK(nodes_[static_cast<size_t>(parent)].kind == NodeKind::kElement);
+  Node node;
+  node.kind = NodeKind::kText;
+  node.value = InternText(text);
+  return AppendNode(parent, node);
+}
+
+void Document::Finalize() {
+  CHECK(!finalized_) << "Finalize called twice";
+  // With preorder ids, a node's subtree extent is its own id if it is a
+  // leaf, else the extent of its last child; computed back to front so
+  // children are resolved before parents.
+  for (int32_t i = num_nodes() - 1; i >= 0; --i) {
+    NodeId last = last_child_[static_cast<size_t>(i)];
+    nodes_[static_cast<size_t>(i)].subtree_end =
+        last == kInvalidNodeId ? i
+                               : nodes_[static_cast<size_t>(last)].subtree_end;
+  }
+  finalized_ = true;
+}
+
+TagId Document::FindTag(std::string_view tag) const {
+  auto it = tag_ids_.find(std::string(tag));
+  return it == tag_ids_.end() ? kInvalidTagId : it->second;
+}
+
+std::string Document::ContentString(NodeId element) const {
+  DCHECK(IsElement(element));
+  std::string content;
+  for (NodeId child = node(element).first_child; child != kInvalidNodeId;
+       child = node(child).next_sibling) {
+    if (node(child).kind == NodeKind::kText) {
+      if (!content.empty()) content += ' ';
+      content.append(TrimAscii(Value(child)));
+    }
+  }
+  return content;
+}
+
+std::vector<NodeId> Document::Children(NodeId id) const {
+  std::vector<NodeId> children;
+  for (NodeId child = node(id).first_child; child != kInvalidNodeId;
+       child = node(child).next_sibling) {
+    children.push_back(child);
+  }
+  return children;
+}
+
+size_t Document::MemoryUsage() const {
+  size_t bytes = nodes_.capacity() * sizeof(Node) +
+                 last_child_.capacity() * sizeof(NodeId);
+  for (const std::string& s : tag_names_) bytes += s.capacity();
+  for (const std::string& s : texts_) bytes += s.capacity() + sizeof(s);
+  bytes += tag_ids_.size() * (sizeof(std::string) + sizeof(TagId) + 32);
+  return bytes;
+}
+
+}  // namespace lotusx::xml

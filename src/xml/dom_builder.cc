@@ -1,0 +1,80 @@
+#include "xml/dom_builder.h"
+
+#include <vector>
+
+#include "common/coding.h"
+#include "common/string_util.h"
+#include "xml/pull_parser.h"
+
+namespace lotusx::xml {
+
+namespace {
+
+/// Local part of a possibly-prefixed name ("dblp:article" -> "article").
+std::string_view LocalName(std::string_view name) {
+  size_t colon = name.find(':');
+  return colon == std::string_view::npos ? name : name.substr(colon + 1);
+}
+
+/// True for xmlns="..." and xmlns:prefix="..." declarations.
+bool IsNamespaceDeclaration(std::string_view attribute_name) {
+  return attribute_name == "xmlns" ||
+         attribute_name.substr(0, 6) == "xmlns:";
+}
+
+}  // namespace
+
+StatusOr<Document> ParseDocument(std::string_view input,
+                                 const DomBuilderOptions& options) {
+  PullParser parser(input);
+  Document document;
+  std::vector<NodeId> stack;
+  bool strip = options.namespaces == NamespaceHandling::kStripPrefixes;
+  Event event;
+  while (true) {
+    LOTUSX_RETURN_IF_ERROR(parser.Next(&event));
+    switch (event.kind) {
+      case EventKind::kStartElement: {
+        NodeId parent = stack.empty() ? kInvalidNodeId : stack.back();
+        NodeId element = document.AppendElement(
+            parent, strip ? LocalName(event.name) : event.name);
+        if (options.keep_attributes) {
+          for (const Attribute& attribute : event.attributes) {
+            if (strip && IsNamespaceDeclaration(attribute.name)) continue;
+            document.AppendAttribute(
+                element, strip ? LocalName(attribute.name) : attribute.name,
+                attribute.value);
+          }
+        }
+        stack.push_back(element);
+        break;
+      }
+      case EventKind::kEndElement:
+        stack.pop_back();
+        break;
+      case EventKind::kText: {
+        if (options.skip_whitespace_text &&
+            TrimAscii(event.text).empty()) {
+          break;
+        }
+        document.AppendText(stack.back(), event.text);
+        break;
+      }
+      case EventKind::kComment:
+      case EventKind::kProcessingInstruction:
+        break;
+      case EventKind::kEndDocument:
+        document.Finalize();
+        return document;
+    }
+  }
+}
+
+StatusOr<Document> ParseDocumentFile(const std::string& path,
+                                     const DomBuilderOptions& options) {
+  std::string contents;
+  LOTUSX_RETURN_IF_ERROR(ReadFileToString(path, &contents));
+  return ParseDocument(contents, options);
+}
+
+}  // namespace lotusx::xml

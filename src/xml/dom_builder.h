@@ -1,0 +1,44 @@
+#ifndef LOTUSX_XML_DOM_BUILDER_H_
+#define LOTUSX_XML_DOM_BUILDER_H_
+
+#include <string_view>
+
+#include "common/status_or.h"
+#include "xml/dom.h"
+
+namespace lotusx::xml {
+
+/// How XML namespace prefixes in element/attribute names are treated.
+enum class NamespaceHandling {
+  /// Names kept exactly as written ("dblp:article"); xmlns attributes are
+  /// ordinary attributes. Lossless round-trip.
+  kKeepPrefixes,
+  /// Prefixes stripped ("dblp:article" -> "article") and xmlns /
+  /// xmlns:* declarations dropped — the right mode for twig search,
+  /// where users query by local name. Lossy.
+  kStripPrefixes,
+};
+
+/// Options controlling Document construction from parsed XML.
+struct DomBuilderOptions {
+  /// Drop text nodes that contain only whitespace (indentation). On by
+  /// default: twig search treats such nodes as noise.
+  bool skip_whitespace_text = true;
+  /// Keep attribute nodes (as "@name" children). On by default.
+  bool keep_attributes = true;
+  NamespaceHandling namespaces = NamespaceHandling::kKeepPrefixes;
+};
+
+/// Parses `input` with PullParser and materializes a finalized Document.
+/// Comments and processing instructions are discarded. Returns the parse
+/// error (with position) for malformed input.
+StatusOr<Document> ParseDocument(std::string_view input,
+                                 const DomBuilderOptions& options = {});
+
+/// Convenience wrapper: reads `path` and parses it.
+StatusOr<Document> ParseDocumentFile(const std::string& path,
+                                     const DomBuilderOptions& options = {});
+
+}  // namespace lotusx::xml
+
+#endif  // LOTUSX_XML_DOM_BUILDER_H_

@@ -1,0 +1,146 @@
+#include "xml/escape.h"
+
+#include <cctype>
+
+namespace lotusx::xml {
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+bool AppendUtf8(uint32_t code_point, std::string* out) {
+  if (code_point > 0x10FFFF ||
+      (code_point >= 0xD800 && code_point <= 0xDFFF)) {
+    return false;
+  }
+  if (code_point < 0x80) {
+    out->push_back(static_cast<char>(code_point));
+  } else if (code_point < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+    out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else if (code_point < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  }
+  return true;
+}
+
+Status UnescapeEntities(std::string_view input, std::string* output) {
+  output->clear();
+  output->reserve(input.size());
+  size_t i = 0;
+  while (i < input.size()) {
+    char c = input[i];
+    if (c != '&') {
+      output->push_back(c);
+      ++i;
+      continue;
+    }
+    size_t end = input.find(';', i + 1);
+    if (end == std::string_view::npos || end == i + 1) {
+      return Status::Corruption("unterminated entity reference");
+    }
+    std::string_view name = input.substr(i + 1, end - i - 1);
+    if (name == "amp") {
+      output->push_back('&');
+    } else if (name == "lt") {
+      output->push_back('<');
+    } else if (name == "gt") {
+      output->push_back('>');
+    } else if (name == "apos") {
+      output->push_back('\'');
+    } else if (name == "quot") {
+      output->push_back('"');
+    } else if (name.size() >= 2 && name[0] == '#') {
+      uint32_t code = 0;
+      bool valid = true;
+      if (name[1] == 'x' || name[1] == 'X') {
+        if (name.size() == 2) valid = false;
+        for (size_t j = 2; valid && j < name.size(); ++j) {
+          char h = name[j];
+          uint32_t digit;
+          if (h >= '0' && h <= '9') {
+            digit = static_cast<uint32_t>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            digit = static_cast<uint32_t>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            digit = static_cast<uint32_t>(h - 'A' + 10);
+          } else {
+            valid = false;
+            break;
+          }
+          code = code * 16 + digit;
+          if (code > 0x10FFFF) valid = false;
+        }
+      } else {
+        for (size_t j = 1; valid && j < name.size(); ++j) {
+          char d = name[j];
+          if (d < '0' || d > '9') {
+            valid = false;
+            break;
+          }
+          code = code * 10 + static_cast<uint32_t>(d - '0');
+          if (code > 0x10FFFF) valid = false;
+        }
+      }
+      if (!valid || !AppendUtf8(code, output)) {
+        return Status::Corruption("invalid character reference: &" +
+                                  std::string(name) + ";");
+      }
+    } else {
+      return Status::Corruption("unknown entity: &" + std::string(name) +
+                                ";");
+    }
+    i = end + 1;
+  }
+  return Status::OK();
+}
+
+}  // namespace lotusx::xml

@@ -1,0 +1,28 @@
+#ifndef LOTUSX_XML_ESCAPE_H_
+#define LOTUSX_XML_ESCAPE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace lotusx::xml {
+
+/// Escapes `&`, `<`, `>` for element text content.
+std::string EscapeText(std::string_view text);
+
+/// Escapes `&`, `<`, `>`, `"` for double-quoted attribute values.
+std::string EscapeAttribute(std::string_view text);
+
+/// Expands the five predefined XML entities (&amp; &lt; &gt; &apos;
+/// &quot;) and numeric character references (&#ddd; / &#xhh;, emitted as
+/// UTF-8). Returns Corruption for malformed or unknown references.
+Status UnescapeEntities(std::string_view input, std::string* output);
+
+/// Appends the UTF-8 encoding of `code_point` to `out`. Returns false for
+/// values outside the Unicode scalar range.
+bool AppendUtf8(uint32_t code_point, std::string* out);
+
+}  // namespace lotusx::xml
+
+#endif  // LOTUSX_XML_ESCAPE_H_

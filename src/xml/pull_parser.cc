@@ -1,0 +1,340 @@
+#include "xml/pull_parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "xml/escape.h"
+
+namespace lotusx::xml {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return std::isalpha(u) != 0 || c == '_' || c == ':' || u >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return IsNameStartChar(c) || std::isdigit(u) != 0 || c == '-' || c == '.';
+}
+
+bool IsWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+constexpr size_t kMaxDepth = 4096;
+
+}  // namespace
+
+PullParser::PullParser(std::string_view input) : input_(input) {
+  // Skip a UTF-8 byte-order mark if present.
+  if (input_.size() >= 3 && static_cast<unsigned char>(input_[0]) == 0xEF &&
+      static_cast<unsigned char>(input_[1]) == 0xBB &&
+      static_cast<unsigned char>(input_[2]) == 0xBF) {
+    pos_ = 3;
+  }
+}
+
+char PullParser::Advance() {
+  char c = input_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool PullParser::ConsumeIf(std::string_view literal) {
+  if (input_.substr(pos_, literal.size()) != literal) return false;
+  for (size_t i = 0; i < literal.size(); ++i) Advance();
+  return true;
+}
+
+void PullParser::SkipWhitespace() {
+  while (!AtEnd() && IsWhitespace(Peek())) Advance();
+}
+
+Status PullParser::Error(std::string_view message) const {
+  return Status::Corruption("XML parse error at " + std::to_string(line_) +
+                            ":" + std::to_string(column_) + ": " +
+                            std::string(message));
+}
+
+Status PullParser::Next(Event* event) {
+  if (!sticky_error_.ok()) return sticky_error_;
+  event->attributes.clear();
+  event->name.clear();
+  event->text.clear();
+
+  Status status = [&]() -> Status {
+    if (pending_self_close_) {
+      pending_self_close_ = false;
+      event->kind = EventKind::kEndElement;
+      event->name = pending_end_name_;
+      return Status::OK();
+    }
+    if (done_) {
+      event->kind = EventKind::kEndDocument;
+      return Status::OK();
+    }
+    if (in_prolog_) {
+      LOTUSX_RETURN_IF_ERROR(ParseProlog());
+      in_prolog_ = false;
+    }
+    while (true) {
+      if (AtEnd()) {
+        if (!open_elements_.empty()) {
+          return Error("unexpected end of input; unclosed <" +
+                       open_elements_.back() + ">");
+        }
+        if (!seen_root_) return Error("document has no root element");
+        done_ = true;
+        event->kind = EventKind::kEndDocument;
+        return Status::OK();
+      }
+      if (Peek() != '<') {
+        if (open_elements_.empty()) {
+          // Only whitespace is allowed outside the root element.
+          char c = Peek();
+          if (!IsWhitespace(c)) {
+            return Error("character data outside root element");
+          }
+          SkipWhitespace();
+          continue;
+        }
+        return ParseText(event);
+      }
+      // Dispatch on what follows '<'.
+      if (ConsumeIf("<!--")) return ParseComment(event);
+      if (ConsumeIf("<![CDATA[")) {
+        if (open_elements_.empty()) {
+          return Error("CDATA section outside root element");
+        }
+        event->kind = EventKind::kText;
+        return ParseCData(&event->text);
+      }
+      if (ConsumeIf("<?")) return ParseProcessingInstruction(event);
+      if (input_.substr(pos_, 2) == "</") {
+        Advance();
+        Advance();
+        return ParseEndTag(event);
+      }
+      if (input_.substr(pos_, 2) == "<!") {
+        return Error("unexpected markup declaration in content");
+      }
+      Advance();  // consume '<'
+      return ParseStartTag(event);
+    }
+  }();
+
+  if (!status.ok()) {
+    sticky_error_ = status;
+  }
+  return status;
+}
+
+Status PullParser::ParseProlog() {
+  // Optional XML declaration.
+  if (input_.substr(pos_, 5) == "<?xml" &&
+      (pos_ + 5 >= input_.size() || IsWhitespace(input_[pos_ + 5]))) {
+    size_t end = input_.find("?>", pos_);
+    if (end == std::string_view::npos) {
+      return Error("unterminated XML declaration");
+    }
+    while (pos_ < end + 2) Advance();
+  }
+  // Misc and optional DOCTYPE.
+  while (true) {
+    SkipWhitespace();
+    if (ConsumeIf("<!--")) {
+      Event ignored;
+      LOTUSX_RETURN_IF_ERROR(ParseComment(&ignored));
+      continue;
+    }
+    if (input_.substr(pos_, 2) == "<?") {
+      Advance();
+      Advance();
+      Event ignored;
+      LOTUSX_RETURN_IF_ERROR(ParseProcessingInstruction(&ignored));
+      continue;
+    }
+    if (input_.substr(pos_, 9) == "<!DOCTYPE") {
+      LOTUSX_RETURN_IF_ERROR(ParseDoctype());
+      continue;
+    }
+    return Status::OK();
+  }
+}
+
+Status PullParser::ParseDoctype() {
+  // Skip "<!DOCTYPE ... >" including an optional [internal subset],
+  // respecting quoted strings.
+  int bracket_depth = 0;
+  char quote = '\0';
+  while (!AtEnd()) {
+    char c = Advance();
+    if (quote != '\0') {
+      if (c == quote) quote = '\0';
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      quote = c;
+    } else if (c == '[') {
+      ++bracket_depth;
+    } else if (c == ']') {
+      --bracket_depth;
+      if (bracket_depth < 0) return Error("unbalanced ']' in DOCTYPE");
+    } else if (c == '>' && bracket_depth == 0) {
+      return Status::OK();
+    }
+  }
+  return Error("unterminated DOCTYPE");
+}
+
+Status PullParser::ParseName(std::string* name) {
+  if (AtEnd() || !IsNameStartChar(Peek())) {
+    return Error("expected name");
+  }
+  name->clear();
+  while (!AtEnd() && IsNameChar(Peek())) {
+    name->push_back(Advance());
+  }
+  return Status::OK();
+}
+
+Status PullParser::ParseAttributeValue(std::string* value) {
+  if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+    return Error("attribute value must be quoted");
+  }
+  char quote = Advance();
+  std::string raw;
+  while (true) {
+    if (AtEnd()) return Error("unterminated attribute value");
+    char c = Peek();
+    if (c == quote) {
+      Advance();
+      break;
+    }
+    if (c == '<') return Error("'<' in attribute value");
+    raw.push_back(Advance());
+  }
+  Status unescape = UnescapeEntities(raw, value);
+  if (!unescape.ok()) return Error(unescape.message());
+  return Status::OK();
+}
+
+Status PullParser::ParseStartTag(Event* event) {
+  if (open_elements_.empty() && seen_root_) {
+    return Error("multiple root elements");
+  }
+  if (open_elements_.size() >= kMaxDepth) {
+    return Error("maximum element nesting depth exceeded");
+  }
+  event->kind = EventKind::kStartElement;
+  LOTUSX_RETURN_IF_ERROR(ParseName(&event->name));
+  while (true) {
+    bool had_space = !AtEnd() && IsWhitespace(Peek());
+    SkipWhitespace();
+    if (AtEnd()) return Error("unterminated start tag");
+    char c = Peek();
+    if (c == '>') {
+      Advance();
+      open_elements_.push_back(event->name);
+      seen_root_ = true;
+      return Status::OK();
+    }
+    if (c == '/') {
+      Advance();
+      if (AtEnd() || Peek() != '>') return Error("expected '>' after '/'");
+      Advance();
+      seen_root_ = true;
+      pending_self_close_ = true;
+      pending_end_name_ = event->name;
+      return Status::OK();
+    }
+    if (!had_space) return Error("expected whitespace before attribute");
+    Attribute attribute;
+    LOTUSX_RETURN_IF_ERROR(ParseName(&attribute.name));
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '=') return Error("expected '=' in attribute");
+    Advance();
+    SkipWhitespace();
+    LOTUSX_RETURN_IF_ERROR(ParseAttributeValue(&attribute.value));
+    for (const Attribute& existing : event->attributes) {
+      if (existing.name == attribute.name) {
+        return Error("duplicate attribute: " + attribute.name);
+      }
+    }
+    event->attributes.push_back(std::move(attribute));
+  }
+}
+
+Status PullParser::ParseEndTag(Event* event) {
+  event->kind = EventKind::kEndElement;
+  LOTUSX_RETURN_IF_ERROR(ParseName(&event->name));
+  SkipWhitespace();
+  if (AtEnd() || Peek() != '>') return Error("expected '>' in end tag");
+  Advance();
+  if (open_elements_.empty()) {
+    return Error("unmatched end tag </" + event->name + ">");
+  }
+  if (open_elements_.back() != event->name) {
+    return Error("mismatched end tag: expected </" + open_elements_.back() +
+                 ">, found </" + event->name + ">");
+  }
+  open_elements_.pop_back();
+  return Status::OK();
+}
+
+Status PullParser::ParseComment(Event* event) {
+  event->kind = EventKind::kComment;
+  size_t end = input_.find("-->", pos_);
+  if (end == std::string_view::npos) return Error("unterminated comment");
+  // Per the XML spec "--" must not appear inside a comment.
+  std::string_view body = input_.substr(pos_, end - pos_);
+  if (body.find("--") != std::string_view::npos) {
+    return Error("'--' inside comment");
+  }
+  event->text.assign(body);
+  while (pos_ < end + 3) Advance();
+  return Status::OK();
+}
+
+Status PullParser::ParseProcessingInstruction(Event* event) {
+  event->kind = EventKind::kProcessingInstruction;
+  LOTUSX_RETURN_IF_ERROR(ParseName(&event->name));
+  if (event->name == "xml" || event->name == "XML") {
+    return Error("reserved PI target 'xml'");
+  }
+  size_t end = input_.find("?>", pos_);
+  if (end == std::string_view::npos) {
+    return Error("unterminated processing instruction");
+  }
+  std::string_view body = input_.substr(pos_, end - pos_);
+  event->text.assign(TrimAscii(body));
+  while (pos_ < end + 2) Advance();
+  return Status::OK();
+}
+
+Status PullParser::ParseCData(std::string* text) {
+  size_t end = input_.find("]]>", pos_);
+  if (end == std::string_view::npos) return Error("unterminated CDATA");
+  text->assign(input_.substr(pos_, end - pos_));
+  while (pos_ < end + 3) Advance();
+  return Status::OK();
+}
+
+Status PullParser::ParseText(Event* event) {
+  event->kind = EventKind::kText;
+  size_t start = pos_;
+  while (!AtEnd() && Peek() != '<') Advance();
+  std::string_view raw = input_.substr(start, pos_ - start);
+  Status unescape = UnescapeEntities(raw, &event->text);
+  if (!unescape.ok()) return Error(unescape.message());
+  return Status::OK();
+}
+
+}  // namespace lotusx::xml

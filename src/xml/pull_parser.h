@@ -1,0 +1,107 @@
+#ifndef LOTUSX_XML_PULL_PARSER_H_
+#define LOTUSX_XML_PULL_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lotusx::xml {
+
+enum class EventKind {
+  kStartElement,
+  kEndElement,
+  kText,
+  kComment,
+  kProcessingInstruction,
+  kEndDocument,
+};
+
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+/// One parse event. `name` holds the tag for Start/EndElement and the
+/// target for processing instructions; `text` holds character data, comment
+/// bodies, or PI data.
+struct Event {
+  EventKind kind = EventKind::kEndDocument;
+  std::string name;
+  std::string text;
+  std::vector<Attribute> attributes;
+};
+
+/// From-scratch streaming XML parser over an in-memory buffer.
+///
+/// Supported: UTF-8 documents, XML declaration, comments, processing
+/// instructions, CDATA sections, DOCTYPE declarations (skipped, including
+/// internal subsets), the five predefined entities, and numeric character
+/// references. Checks well-formedness: tag balance, single root element,
+/// attribute-name uniqueness, name syntax, and content after the root.
+///
+/// Usage:
+///   PullParser parser(xml_text);
+///   Event event;
+///   while (true) {
+///     Status s = parser.Next(&event);
+///     if (!s.ok() || event.kind == EventKind::kEndDocument) break;
+///     ...
+///   }
+///
+/// The input buffer must outlive the parser.
+class PullParser {
+ public:
+  explicit PullParser(std::string_view input);
+
+  PullParser(const PullParser&) = delete;
+  PullParser& operator=(const PullParser&) = delete;
+
+  /// Produces the next event. Returns Corruption with a line:column
+  /// diagnostic on malformed input; after an error or kEndDocument, further
+  /// calls keep returning the same outcome.
+  Status Next(Event* event);
+
+  /// 1-based position of the next unread byte, for error reporting.
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char Advance();
+  bool ConsumeIf(std::string_view literal);
+  void SkipWhitespace();
+
+  Status Error(std::string_view message) const;
+  Status ParseProlog();
+  Status ParseDoctype();
+  Status ParseName(std::string* name);
+  Status ParseStartTag(Event* event);
+  Status ParseEndTag(Event* event);
+  Status ParseComment(Event* event);
+  Status ParseProcessingInstruction(Event* event);
+  Status ParseCData(std::string* text);
+  Status ParseText(Event* event);
+  Status ParseAttributeValue(std::string* value);
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+
+  std::vector<std::string> open_elements_;
+  bool seen_root_ = false;
+  bool in_prolog_ = true;
+  bool done_ = false;
+  // Set when a self-closing tag was emitted as kStartElement; the next call
+  // synthesizes the matching kEndElement.
+  bool pending_self_close_ = false;
+  std::string pending_end_name_;
+  Status sticky_error_;
+};
+
+}  // namespace lotusx::xml
+
+#endif  // LOTUSX_XML_PULL_PARSER_H_

@@ -1,0 +1,89 @@
+#include "xml/writer.h"
+
+#include "xml/escape.h"
+
+namespace lotusx::xml {
+
+namespace {
+
+void AppendIndent(int depth, const WriterOptions& options,
+                  std::string* out) {
+  if (options.indent <= 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(depth * options.indent), ' ');
+}
+
+void WriteNode(const Document& document, NodeId id, int depth,
+               const WriterOptions& options, std::string* out) {
+  const Document::Node& node = document.node(id);
+  if (node.kind == NodeKind::kText) {
+    *out += EscapeText(document.Value(id));
+    return;
+  }
+  DCHECK(node.kind == NodeKind::kElement);
+  if (depth > 0 || options.indent > 0) AppendIndent(depth, options, out);
+  out->push_back('<');
+  out->append(document.TagName(id));
+
+  // Attributes first (they are always the leading children).
+  NodeId child = node.first_child;
+  while (child != kInvalidNodeId &&
+         document.node(child).kind == NodeKind::kAttribute) {
+    out->push_back(' ');
+    // Strip the "@" interning prefix.
+    out->append(document.TagName(child).substr(1));
+    out->append("=\"");
+    out->append(EscapeAttribute(document.Value(child)));
+    out->push_back('"');
+    child = document.node(child).next_sibling;
+  }
+
+  if (child == kInvalidNodeId) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+  bool has_element_child = false;
+  for (NodeId c = child; c != kInvalidNodeId;
+       c = document.node(c).next_sibling) {
+    if (document.node(c).kind == NodeKind::kElement) {
+      has_element_child = true;
+    }
+    WriteNode(document, c, depth + 1, options, out);
+  }
+  if (has_element_child) AppendIndent(depth, options, out);
+  out->append("</");
+  out->append(document.TagName(id));
+  out->push_back('>');
+}
+
+}  // namespace
+
+std::string WriteXml(const Document& document, NodeId root,
+                     const WriterOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (options.indent <= 0) out += "\n";
+  }
+  if (root != kInvalidNodeId) {
+    // Suppress the very first indent newline by writing at depth 0.
+    std::string body;
+    WriteNode(document, root, 0, options, &body);
+    // Strip a leading newline added by pretty-printing at depth 0.
+    if (!body.empty() && body[0] == '\n') {
+      size_t start = body.find_first_not_of(" \n");
+      body.erase(0, start == std::string::npos ? body.size() : start);
+    }
+    if (options.declaration && options.indent > 0) out += "\n";
+    out += body;
+  }
+  if (options.indent > 0) out += "\n";
+  return out;
+}
+
+std::string WriteXml(const Document& document, const WriterOptions& options) {
+  return WriteXml(document, document.root(), options);
+}
+
+}  // namespace lotusx::xml

@@ -1,0 +1,31 @@
+#ifndef LOTUSX_XML_WRITER_H_
+#define LOTUSX_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/dom.h"
+
+namespace lotusx::xml {
+
+struct WriterOptions {
+  /// Pretty-print with this many spaces per depth level; 0 writes the
+  /// document on a single line with no inserted whitespace.
+  int indent = 0;
+  /// Emit an `<?xml version="1.0" encoding="UTF-8"?>` declaration.
+  bool declaration = true;
+};
+
+/// Serializes the subtree rooted at `root` back to XML text, re-escaping
+/// text and attribute values. With indent=0 the output of
+/// ParseDocument(WriteXml(doc)) is structurally identical to `doc`
+/// (round-trip property, tested).
+std::string WriteXml(const Document& document, NodeId root,
+                     const WriterOptions& options = {});
+
+/// Serializes the whole document.
+std::string WriteXml(const Document& document,
+                     const WriterOptions& options = {});
+
+}  // namespace lotusx::xml
+
+#endif  // LOTUSX_XML_WRITER_H_

@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/coding.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/status_or.h"
+#include "common/string_util.h"
+
+namespace lotusx {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::NotFound("missing index");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsNotFound());
+  EXPECT_EQ(status.message(), "missing index");
+  EXPECT_EQ(status.ToString(), "NotFound: missing index");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::Corruption("x"), Status::Corruption("x"));
+  EXPECT_FALSE(Status::Corruption("x") == Status::Corruption("y"));
+  EXPECT_FALSE(Status::Corruption("x") == Status::IOError("x"));
+}
+
+TEST(StatusTest, AllFactoryCodesRoundTrip) {
+  EXPECT_TRUE(Status::InvalidArgument("m").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("m").IsCorruption());
+  EXPECT_TRUE(Status::IOError("m").IsIOError());
+  EXPECT_EQ(Status::Unimplemented("m").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("m").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::OutOfRange("m").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::AlreadyExists("m").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("m").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+Status FailsIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnIfError(int x) {
+  LOTUSX_RETURN_IF_ERROR(FailsIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_TRUE(UsesReturnIfError(-1).IsInvalidArgument());
+}
+
+// -------------------------------------------------------------- StatusOr
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x;
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = ParsePositive(5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 5);
+  EXPECT_EQ(result.value(), 5);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = ParsePositive(-1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+StatusOr<int> UsesAssignOrReturn(int x) {
+  LOTUSX_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v + 1;
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  EXPECT_EQ(UsesAssignOrReturn(1).value(), 2);
+  EXPECT_FALSE(UsesAssignOrReturn(0).ok());
+}
+
+TEST(StatusOrTest, MoveOnlyType) {
+  StatusOr<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorDies) {
+  StatusOr<int> result = Status::NotFound("gone");
+  EXPECT_DEATH(result.value(), "NotFound");
+}
+
+// ------------------------------------------------------------ StringUtil
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringUtilTest, SplitSkipEmpty) {
+  EXPECT_EQ(SplitSkipEmpty(",a,,b,", ','),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(Join({}, "/"), "");
+  EXPECT_EQ(Join({"x"}, "/"), "x");
+}
+
+TEST(StringUtilTest, CaseAndTrim) {
+  EXPECT_EQ(ToLowerAscii("AbC-12"), "abc-12");
+  EXPECT_EQ(TrimAscii("  \t x y \r\n"), "x y");
+  EXPECT_EQ(TrimAscii(""), "");
+  EXPECT_EQ(TrimAscii("   "), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("lotusx", "lotus"));
+  EXPECT_FALSE(StartsWith("lo", "lotus"));
+  EXPECT_TRUE(EndsWith("query.xml", ".xml"));
+  EXPECT_FALSE(EndsWith("xml", ".xml"));
+}
+
+TEST(StringUtilTest, TokenizeKeywords) {
+  EXPECT_EQ(TokenizeKeywords("Data-Engineering 2012, XML!"),
+            (std::vector<std::string>{"data", "engineering", "2012", "xml"}));
+  EXPECT_TRUE(TokenizeKeywords("  ,;! ").empty());
+  EXPECT_EQ(TokenizeKeywords("a"), (std::vector<std::string>{"a"}));
+}
+
+TEST(StringUtilTest, PrefixMatchCaseInsensitive) {
+  EXPECT_TRUE(PrefixMatchesAsciiCaseInsensitive("Title", "ti"));
+  EXPECT_TRUE(PrefixMatchesAsciiCaseInsensitive("title", "TITLE"));
+  EXPECT_FALSE(PrefixMatchesAsciiCaseInsensitive("tit", "title"));
+  EXPECT_TRUE(PrefixMatchesAsciiCaseInsensitive("anything", ""));
+}
+
+TEST(StringUtilTest, EditDistance) {
+  EXPECT_EQ(EditDistance("", ""), 0);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(EditDistance("", "abc"), 3);
+  EXPECT_EQ(EditDistance("author", "auhtor"), 2);  // transposition = 2 ops
+}
+
+// ---------------------------------------------------------------- Random
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RandomTest, BoundedStaysInRange) {
+  Random random(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(random.NextBounded(17), 17u);
+    int64_t v = random.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Random random(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = random.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, ZipfSkewsTowardLowRanks) {
+  Random random(11);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[random.NextZipf(100, 1.0)];
+  // Rank 0 must dominate rank 50 by a wide margin under skew 1.0.
+  EXPECT_GT(counts[0], counts[50] * 5);
+  for (const auto& [rank, count] : counts) EXPECT_LT(rank, 100u);
+}
+
+TEST(RandomTest, ZipfZeroSkewIsUniformish) {
+  Random random(13);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 10000; ++i) ++counts[random.NextZipf(10, 0.0)];
+  for (size_t rank = 0; rank < 10; ++rank) {
+    EXPECT_GT(counts[rank], 700);
+    EXPECT_LT(counts[rank], 1300);
+  }
+}
+
+TEST(RandomTest, WordRespectsLengthBounds) {
+  Random random(15);
+  for (int i = 0; i < 200; ++i) {
+    std::string word = random.NextWord(3, 9);
+    EXPECT_GE(word.size(), 3u);
+    EXPECT_LE(word.size(), 9u);
+    for (char c : word) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+TEST(RandomTest, ShuffleKeepsElements) {
+  Random random(17);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = items;
+  random.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+// ---------------------------------------------------------------- Coding
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::string buffer;
+  Encoder encoder(&buffer);
+  encoder.PutFixed32(0xDEADBEEF);
+  encoder.PutFixed64(0x0123456789ABCDEFULL);
+  Decoder decoder(buffer);
+  uint32_t v32 = 0;
+  uint64_t v64 = 0;
+  ASSERT_TRUE(decoder.GetFixed32(&v32).ok());
+  ASSERT_TRUE(decoder.GetFixed64(&v64).ok());
+  EXPECT_EQ(v32, 0xDEADBEEF);
+  EXPECT_EQ(v64, 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(decoder.Done());
+}
+
+TEST(CodingTest, VarintRoundTripBoundaries) {
+  std::vector<uint64_t> values = {0,       1,        127,        128,
+                                  16383,   16384,    UINT32_MAX, 1ull << 40,
+                                  UINT64_MAX};
+  std::string buffer;
+  Encoder encoder(&buffer);
+  for (uint64_t v : values) encoder.PutVarint64(v);
+  Decoder decoder(buffer);
+  for (uint64_t want : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(decoder.GetVarint64(&got).ok());
+    EXPECT_EQ(got, want);
+  }
+  EXPECT_TRUE(decoder.Done());
+}
+
+TEST(CodingTest, StringRoundTrip) {
+  std::string buffer;
+  Encoder encoder(&buffer);
+  encoder.PutString("");
+  encoder.PutString("hello\0world");
+  encoder.PutString(std::string(1000, 'x'));
+  Decoder decoder(buffer);
+  std::string s;
+  ASSERT_TRUE(decoder.GetString(&s).ok());
+  EXPECT_EQ(s, "");
+  ASSERT_TRUE(decoder.GetString(&s).ok());
+  EXPECT_EQ(s, "hello");  // string_view of literal stops at NUL
+  ASSERT_TRUE(decoder.GetString(&s).ok());
+  EXPECT_EQ(s, std::string(1000, 'x'));
+}
+
+TEST(CodingTest, SortedListRoundTrip) {
+  std::vector<uint32_t> values = {0, 0, 3, 3, 10, 1000, 1000000};
+  std::string buffer;
+  Encoder encoder(&buffer);
+  encoder.PutSortedU32List(values);
+  Decoder decoder(buffer);
+  std::vector<uint32_t> decoded;
+  ASSERT_TRUE(decoder.GetSortedU32List(&decoded).ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(CodingTest, PlainListRoundTrip) {
+  std::vector<uint32_t> values = {5, 1, 0, 42, 42};
+  std::string buffer;
+  Encoder encoder(&buffer);
+  encoder.PutU32List(values);
+  Decoder decoder(buffer);
+  std::vector<uint32_t> decoded;
+  ASSERT_TRUE(decoder.GetU32List(&decoded).ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(CodingTest, TruncationIsCorruption) {
+  std::string buffer;
+  Encoder encoder(&buffer);
+  encoder.PutFixed64(1);
+  Decoder decoder(std::string_view(buffer).substr(0, 3));
+  uint64_t v = 0;
+  EXPECT_TRUE(decoder.GetFixed64(&v).IsCorruption());
+}
+
+TEST(CodingTest, UnterminatedVarintIsCorruption) {
+  std::string buffer = "\xFF\xFF";  // continuation bits set, then EOF
+  Decoder decoder(buffer);
+  uint64_t v = 0;
+  EXPECT_TRUE(decoder.GetVarint64(&v).IsCorruption());
+}
+
+TEST(CodingTest, OverlongVarintIsCorruption) {
+  std::string buffer(11, '\x80');  // >64 bits of continuation
+  Decoder decoder(buffer);
+  uint64_t v = 0;
+  EXPECT_TRUE(decoder.GetVarint64(&v).IsCorruption());
+}
+
+TEST(CodingTest, StringLengthBeyondBufferIsCorruption) {
+  std::string buffer;
+  Encoder encoder(&buffer);
+  encoder.PutVarint32(100);  // claims 100 bytes follow
+  buffer += "short";
+  Decoder decoder(buffer);
+  std::string s;
+  EXPECT_TRUE(decoder.GetString(&s).IsCorruption());
+}
+
+TEST(CodingTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/lotusx_coding_test.bin";
+  std::string payload = "binary\x01\x02payload";
+  ASSERT_TRUE(WriteStringToFile(path, payload).ok());
+  std::string read;
+  ASSERT_TRUE(ReadFileToString(path, &read).ok());
+  EXPECT_EQ(read, payload);
+  std::remove(path.c_str());
+}
+
+TEST(CodingTest, MissingFileIsIOError) {
+  std::string contents;
+  EXPECT_TRUE(
+      ReadFileToString("/nonexistent/lotusx/file", &contents).IsIOError());
+}
+
+}  // namespace
+}  // namespace lotusx

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "xml/writer.h"
+
+namespace lotusx::datagen {
+namespace {
+
+TEST(DatagenTest, DblpIsDeterministic) {
+  DblpOptions options;
+  options.num_publications = 50;
+  xml::Document a = GenerateDblp(options);
+  xml::Document b = GenerateDblp(options);
+  EXPECT_EQ(xml::WriteXml(a), xml::WriteXml(b));
+}
+
+TEST(DatagenTest, DblpSeedChangesContent) {
+  DblpOptions a_options;
+  a_options.num_publications = 50;
+  DblpOptions b_options = a_options;
+  b_options.seed = 43;
+  EXPECT_NE(xml::WriteXml(GenerateDblp(a_options)),
+            xml::WriteXml(GenerateDblp(b_options)));
+}
+
+TEST(DatagenTest, DblpStructure) {
+  DblpOptions options;
+  options.num_publications = 100;
+  xml::Document doc = GenerateDblp(options);
+  EXPECT_TRUE(doc.finalized());
+  EXPECT_EQ(doc.TagName(doc.root()), "dblp");
+  EXPECT_EQ(doc.Children(doc.root()).size(), 100u);
+  // Every publication has a key attribute, >=1 author, title, year.
+  for (xml::NodeId pub : doc.Children(doc.root())) {
+    bool has_key = false;
+    bool has_author = false;
+    bool has_title = false;
+    bool has_year = false;
+    for (xml::NodeId child : doc.Children(pub)) {
+      std::string_view tag = doc.TagName(child);
+      has_key |= tag == "@key";
+      has_author |= tag == "author";
+      has_title |= tag == "title";
+      has_year |= tag == "year";
+    }
+    EXPECT_TRUE(has_key && has_author && has_title && has_year);
+  }
+}
+
+TEST(DatagenTest, StoreIsDeterministicAndOrdered) {
+  StoreOptions options;
+  options.num_products = 80;
+  xml::Document a = GenerateStore(options);
+  xml::Document b = GenerateStore(options);
+  EXPECT_EQ(xml::WriteXml(a), xml::WriteXml(b));
+  // All requested products exist, and name precedes brand precedes price
+  // inside every product (the E4 order property).
+  int products = 0;
+  for (xml::NodeId id = 0; id < a.num_nodes(); ++id) {
+    if (a.node(id).kind != xml::NodeKind::kElement ||
+        a.TagName(id) != "product") {
+      continue;
+    }
+    ++products;
+    int name_pos = -1;
+    int brand_pos = -1;
+    int price_pos = -1;
+    std::vector<xml::NodeId> children = a.Children(id);
+    for (size_t i = 0; i < children.size(); ++i) {
+      std::string_view tag = a.TagName(children[i]);
+      if (tag == "name") name_pos = static_cast<int>(i);
+      if (tag == "brand") brand_pos = static_cast<int>(i);
+      if (tag == "price") price_pos = static_cast<int>(i);
+    }
+    ASSERT_GE(name_pos, 0);
+    EXPECT_LT(name_pos, brand_pos);
+    EXPECT_LT(brand_pos, price_pos);
+  }
+  EXPECT_EQ(products, 80);
+}
+
+TEST(DatagenTest, StoreHasHeterogeneousPaths) {
+  StoreOptions options;
+  options.num_products = 60;
+  xml::Document doc = GenerateStore(options);
+  // "name" occurs under store, category, and product — the path
+  // heterogeneity that position-aware completion exploits.
+  xml::TagId name = doc.FindTag("name");
+  ASSERT_NE(name, xml::kInvalidTagId);
+  std::set<xml::TagId> parents;
+  for (xml::NodeId id = 0; id < doc.num_nodes(); ++id) {
+    if (doc.node(id).kind == xml::NodeKind::kElement &&
+        doc.node(id).tag == name) {
+      parents.insert(doc.node(doc.node(id).parent).tag);
+    }
+  }
+  EXPECT_GE(parents.size(), 3u);
+}
+
+TEST(DatagenTest, XmarkHasRecursiveParlists) {
+  XmarkOptions options;
+  options.num_items = 60;
+  options.recursion_probability = 0.6;
+  xml::Document doc = GenerateXmark(options);
+  xml::TagId parlist = doc.FindTag("parlist");
+  ASSERT_NE(parlist, xml::kInvalidTagId);
+  bool nested = false;
+  for (xml::NodeId id = 0; id < doc.num_nodes() && !nested; ++id) {
+    if (doc.node(id).kind != xml::NodeKind::kElement ||
+        doc.node(id).tag != parlist) {
+      continue;
+    }
+    for (xml::NodeId walk = doc.node(id).parent;
+         walk != xml::kInvalidNodeId; walk = doc.node(walk).parent) {
+      if (doc.node(walk).kind == xml::NodeKind::kElement &&
+          doc.node(walk).tag == parlist) {
+        nested = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(nested) << "expected nested parlist at p=0.6";
+}
+
+TEST(DatagenTest, XmarkStructure) {
+  XmarkOptions options;
+  options.num_items = 30;
+  options.num_people = 15;
+  options.num_auctions = 12;
+  xml::Document doc = GenerateXmark(options);
+  EXPECT_EQ(doc.TagName(doc.root()), "site");
+  // items spread across 6 regions.
+  xml::TagId item = doc.FindTag("item");
+  int items = 0;
+  for (xml::NodeId id = 0; id < doc.num_nodes(); ++id) {
+    if (doc.node(id).kind == xml::NodeKind::kElement &&
+        doc.node(id).tag == item) {
+      ++items;
+    }
+  }
+  EXPECT_EQ(items, 30);
+}
+
+TEST(DatagenTest, TreebankIsDeepAndRecursive) {
+  TreebankOptions options;
+  options.num_sentences = 150;
+  xml::Document doc = GenerateTreebank(options);
+  EXPECT_EQ(xml::WriteXml(doc), xml::WriteXml(GenerateTreebank(options)));
+  EXPECT_EQ(doc.TagName(doc.root()), "treebank");
+  int32_t max_depth = 0;
+  for (xml::NodeId id = 0; id < doc.num_nodes(); ++id) {
+    max_depth = std::max(max_depth, doc.node(id).depth);
+  }
+  EXPECT_GE(max_depth, 8) << "treebank should be deep";
+  // Same tag at multiple depths (recursion), e.g. np inside np.
+  xml::TagId np = doc.FindTag("np");
+  ASSERT_NE(np, xml::kInvalidTagId);
+  bool nested = false;
+  for (xml::NodeId id = 0; id < doc.num_nodes() && !nested; ++id) {
+    if (doc.node(id).kind != xml::NodeKind::kElement ||
+        doc.node(id).tag != np) {
+      continue;
+    }
+    for (xml::NodeId walk = doc.node(id).parent;
+         walk != xml::kInvalidNodeId; walk = doc.node(walk).parent) {
+      if (doc.node(walk).kind == xml::NodeKind::kElement &&
+          doc.node(walk).tag == np) {
+        nested = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(nested);
+}
+
+TEST(DatagenTest, TreebankScaling) {
+  xml::Document doc = GenerateTreebankWithApproxNodes(1, 10000);
+  EXPECT_GT(doc.num_nodes(), 5000);
+  EXPECT_LT(doc.num_nodes(), 20000);
+}
+
+TEST(DatagenTest, ApproxNodeScalingIsReasonable) {
+  for (int64_t target : {5000, 20000}) {
+    xml::Document doc = GenerateDblpWithApproxNodes(1, target);
+    EXPECT_GT(doc.num_nodes(), target / 2) << target;
+    EXPECT_LT(doc.num_nodes(), target * 2) << target;
+  }
+  xml::Document store = GenerateStoreWithApproxNodes(1, 10000);
+  EXPECT_GT(store.num_nodes(), 5000);
+  EXPECT_LT(store.num_nodes(), 20000);
+  xml::Document xmark = GenerateXmarkWithApproxNodes(1, 10000);
+  EXPECT_GT(xmark.num_nodes(), 5000);
+  EXPECT_LT(xmark.num_nodes(), 20000);
+}
+
+}  // namespace
+}  // namespace lotusx::datagen

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "index/document_stats.h"
+#include "session/protocol.h"
+#include "session/session.h"
+#include "tests/test_util.h"
+
+namespace lotusx::index {
+namespace {
+
+using lotusx::testing::MustIndex;
+
+constexpr std::string_view kXml = R"(<dblp>
+  <article key="a1">
+    <author>lu</author>
+    <title>twig search twig</title>
+  </article>
+  <book>
+    <author>ling</author>
+  </book>
+</dblp>)";
+
+TEST(DocumentStatsTest, CountsNodeKinds) {
+  auto indexed = MustIndex(kXml);
+  DocumentStats stats = ComputeDocumentStats(indexed);
+  // dblp, article, author, title, book, author = 6 elements.
+  EXPECT_EQ(stats.elements, 6);
+  EXPECT_EQ(stats.attributes, 1);
+  EXPECT_EQ(stats.text_nodes, 3);
+  EXPECT_EQ(stats.distinct_tags, indexed.document().num_tags());
+  EXPECT_EQ(stats.distinct_paths, indexed.dataguide().num_paths());
+}
+
+TEST(DocumentStatsTest, DepthStatistics) {
+  auto indexed = MustIndex(kXml);
+  DocumentStats stats = ComputeDocumentStats(indexed);
+  EXPECT_EQ(stats.max_depth, 3);  // text under author/title
+  ASSERT_GE(stats.depth_histogram.size(), 3u);
+  EXPECT_EQ(stats.depth_histogram[0], 1);  // dblp
+  EXPECT_EQ(stats.depth_histogram[1], 2);  // article, book
+  EXPECT_EQ(stats.depth_histogram[2], 3);  // author, title, author
+  EXPECT_GT(stats.avg_depth, 0);
+  EXPECT_LT(stats.avg_depth, stats.max_depth);
+}
+
+TEST(DocumentStatsTest, TopTagsAndTerms) {
+  auto indexed = MustIndex(kXml);
+  DocumentStats stats = ComputeDocumentStats(indexed, /*top_k=*/3);
+  ASSERT_FALSE(stats.top_tags.empty());
+  EXPECT_EQ(stats.top_tags[0].first, "author");
+  EXPECT_EQ(stats.top_tags[0].second, 2u);
+  ASSERT_FALSE(stats.top_terms.empty());
+  EXPECT_EQ(stats.top_terms[0].first, "twig");
+  EXPECT_EQ(stats.top_terms[0].second, 2u);
+  EXPECT_LE(stats.top_tags.size(), 3u);
+}
+
+TEST(DocumentStatsTest, RenderMentionsEverything) {
+  auto indexed = MustIndex(kXml);
+  std::string rendered =
+      RenderDocumentStats(ComputeDocumentStats(indexed));
+  EXPECT_NE(rendered.find("elements: 6"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("top tags:"), std::string::npos);
+  EXPECT_NE(rendered.find("author(2)"), std::string::npos);
+}
+
+TEST(DocumentStatsTest, ProtocolStatsCommand) {
+  auto indexed = MustIndex(kXml);
+  session::Session session(indexed);
+  session::ProtocolInterpreter interpreter(&session);
+  auto response = interpreter.Execute("STATS");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_NE(response->find("distinct paths"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lotusx::index

@@ -1,0 +1,162 @@
+// Robustness ("fuzz-lite") tests: randomly mutated inputs must produce
+// clean Status errors — never crashes, hangs, or CHECK failures — across
+// the XML parser, the index decoder, the query parser, and the protocol
+// interpreter. Deterministic seeds; each seed is an independent case.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/datagen.h"
+#include "index/indexed_document.h"
+#include "session/protocol.h"
+#include "session/session.h"
+#include "tests/test_util.h"
+#include "twig/query_parser.h"
+#include "xml/dom_builder.h"
+#include "xml/writer.h"
+
+namespace lotusx {
+namespace {
+
+std::string Mutate(Random& random, std::string input) {
+  int mutations = 1 + static_cast<int>(random.NextBounded(6));
+  for (int m = 0; m < mutations && !input.empty(); ++m) {
+    size_t pos = random.NextBounded(input.size());
+    switch (random.NextBounded(4)) {
+      case 0:  // flip a byte
+        input[pos] = static_cast<char>(random.NextBounded(256));
+        break;
+      case 1:  // delete a byte
+        input.erase(pos, 1);
+        break;
+      case 2:  // duplicate a chunk
+        input.insert(pos, input.substr(pos, random.NextBounded(8) + 1));
+        break;
+      case 3:  // truncate
+        input.resize(pos);
+        break;
+    }
+  }
+  return input;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSweep, MutatedXmlNeverCrashesParser) {
+  Random random(GetParam() * 1009 + 1);
+  datagen::DblpOptions options;
+  options.num_publications = 5;
+  options.seed = GetParam();
+  std::string valid = xml::WriteXml(datagen::GenerateDblp(options));
+  for (int i = 0; i < 60; ++i) {
+    std::string mutated = Mutate(random, valid);
+    auto result = xml::ParseDocument(mutated);
+    // Either it parses (mutation kept well-formedness) or it reports a
+    // clean error; both are fine. Reaching the next loop iteration is
+    // the assertion.
+    if (result.ok()) {
+      EXPECT_GT(result->num_nodes(), 0);
+    } else {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST_P(FuzzSweep, MutatedIndexImageNeverCrashesLoader) {
+  Random random(GetParam() * 2003 + 7);
+  datagen::StoreOptions options;
+  options.num_products = 8;
+  options.seed = GetParam();
+  index::IndexedDocument indexed(datagen::GenerateStore(options));
+  std::string path = ::testing::TempDir() + "/lotusx_fuzz_" +
+                     std::to_string(GetParam()) + ".ltsx";
+  ASSERT_TRUE(indexed.SaveTo(path).ok());
+  std::string image;
+  ASSERT_TRUE(ReadFileToString(path, &image).ok());
+  for (int i = 0; i < 40; ++i) {
+    std::string mutated = Mutate(random, image);
+    ASSERT_TRUE(WriteStringToFile(path, mutated).ok());
+    auto loaded = index::IndexedDocument::LoadFrom(path);
+    if (!loaded.ok()) {
+      EXPECT_FALSE(loaded.status().message().empty());
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_P(FuzzSweep, RandomQueryStringsNeverCrashParser) {
+  Random random(GetParam() * 31337 + 3);
+  const std::string alphabet = "ab*/[]\"=~!@ \\.1ordered";
+  for (int i = 0; i < 200; ++i) {
+    std::string text;
+    size_t length = random.NextBounded(30);
+    for (size_t c = 0; c < length; ++c) {
+      text += alphabet[random.NextBounded(alphabet.size())];
+    }
+    auto result = twig::ParseQuery(text);
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok()) << text;
+    }
+  }
+}
+
+TEST_P(FuzzSweep, MutatedValidQueriesNeverCrashParser) {
+  Random random(GetParam() * 17 + 11);
+  const std::vector<std::string> seeds = {
+      "//book[author][//year]/title!",
+      R"(//a[ordered][b[="x y"]]/c[~"k"])",
+      "//*/@key",
+  };
+  for (int i = 0; i < 150; ++i) {
+    std::string mutated =
+        Mutate(random, seeds[random.NextBounded(seeds.size())]);
+    auto result = twig::ParseQuery(mutated);
+    if (result.ok()) {
+      // Whatever parsed must re-parse from its own rendering.
+      EXPECT_TRUE(twig::ParseQuery(result->ToString()).ok())
+          << mutated << " -> " << result->ToString();
+    }
+  }
+}
+
+TEST_P(FuzzSweep, RandomProtocolLinesNeverCrashInterpreter) {
+  Random random(GetParam() * 77 + 5);
+  index::IndexedDocument indexed = testing::MustIndex(
+      "<r><a>x</a><b><c>y</c></b></r>");
+  session::Session session(indexed);
+  session::ProtocolInterpreter interpreter(&session);
+  const std::vector<std::string> verbs = {
+      "ADD",  "TAG",    "EDGE",       "TYPE", "TYPEVAL", "VALUE",
+      "RUN",  "QUERY",  "ORDERED",    "OUTPUT", "MOVE",  "REMOVE",
+      "UNDO", "CHECKPOINT", "SHOW",   "RESET",  "HELP",  "BOGUS"};
+  for (int i = 0; i < 300; ++i) {
+    std::string line = verbs[random.NextBounded(verbs.size())];
+    int args = static_cast<int>(random.NextBounded(5));
+    for (int a = 0; a < args; ++a) {
+      switch (random.NextBounded(4)) {
+        case 0:
+          line += " " + std::to_string(random.NextInRange(-3, 9));
+          break;
+        case 1:
+          line += " " + random.NextWord(1, 5);
+          break;
+        case 2:
+          line += random.NextBool(0.5) ? " /" : " //";
+          break;
+        case 3:
+          line += random.NextBool(0.5) ? " =" : " ~";
+          break;
+      }
+    }
+    auto result = interpreter.Execute(line);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty()) << line;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Range<uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace lotusx

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "datagen/datagen.h"
+#include "keyword/keyword_search.h"
+#include "lotusx/engine.h"
+#include "tests/test_util.h"
+
+namespace lotusx::keyword {
+namespace {
+
+using lotusx::testing::MustIndex;
+using xml::NodeId;
+
+constexpr std::string_view kXml = R"(<dblp>
+  <article>
+    <author>jiaheng lu</author>
+    <title>holistic twig joins</title>
+    <year>2005</year>
+  </article>
+  <article>
+    <author>chunbin lin</author>
+    <title>lotusx demo with twig search</title>
+    <year>2012</year>
+  </article>
+  <book>
+    <author>tok wang ling</author>
+    <title>xml data management</title>
+    <chapter>
+      <title>twig basics by lu</title>
+    </chapter>
+  </book>
+</dblp>)";
+
+std::vector<NodeId> Nodes(const std::vector<KeywordHit>& hits) {
+  std::vector<NodeId> nodes;
+  for (const KeywordHit& hit : hits) nodes.push_back(hit.node);
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+/// Reference SLCA: every element whose subtree contains all keywords and
+/// no proper descendant of which also does.
+std::vector<NodeId> OracleSlca(const index::IndexedDocument& indexed,
+                               const std::vector<std::string>& tokens) {
+  const xml::Document& document = indexed.document();
+  std::vector<NodeId> all;
+  for (NodeId e = 0; e < document.num_nodes(); ++e) {
+    if (document.node(e).kind == xml::NodeKind::kText) continue;
+    bool covers_all = true;
+    for (const std::string& token : tokens) {
+      bool found = false;
+      for (NodeId v : indexed.terms().Postings(token)) {
+        if (v == e || document.IsAncestor(e, v)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        covers_all = false;
+        break;
+      }
+    }
+    if (covers_all) all.push_back(e);
+  }
+  std::vector<NodeId> smallest;
+  for (NodeId u : all) {
+    bool has_inner = false;
+    for (NodeId w : all) {
+      if (indexed.document().IsAncestor(u, w)) {
+        has_inner = true;
+        break;
+      }
+    }
+    if (!has_inner) smallest.push_back(u);
+  }
+  return smallest;
+}
+
+TEST(SlcaSearchTest, SingleKeywordReturnsValueNodes) {
+  auto indexed = MustIndex(kXml);
+  auto hits = SlcaSearch(indexed, "lotusx");
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ(indexed.document().TagName((*hits)[0].node), "title");
+}
+
+TEST(SlcaSearchTest, ConnectsKeywordsAtTheirSmallestScope) {
+  auto indexed = MustIndex(kXml);
+  // "twig" + "2005" connect inside the first article only (the other twig
+  // occurrences lack a 2005 sibling).
+  auto hits = SlcaSearch(indexed, "twig 2005");
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ(indexed.document().TagName((*hits)[0].node), "article");
+}
+
+TEST(SlcaSearchTest, SlcaExcludesAncestorsOfSmallerAnswers) {
+  auto indexed = MustIndex(kXml);
+  // "twig lu": connects inside chapter/title ("twig basics by lu") — and
+  // within article 1 (author lu + title twig). dblp also contains both but
+  // is an ancestor of smaller answers, so it must not appear.
+  auto hits = SlcaSearch(indexed, "twig lu");
+  ASSERT_TRUE(hits.ok());
+  std::vector<std::string> tags;
+  for (const KeywordHit& hit : *hits) {
+    tags.emplace_back(indexed.document().TagName(hit.node));
+  }
+  std::sort(tags.begin(), tags.end());
+  EXPECT_EQ(tags, (std::vector<std::string>{"article", "title"}));
+}
+
+TEST(SlcaSearchTest, UnknownKeywordYieldsNothing) {
+  auto indexed = MustIndex(kXml);
+  auto hits = SlcaSearch(indexed, "zeppelin");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+  auto mixed = SlcaSearch(indexed, "twig zeppelin");
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_TRUE(mixed->empty());
+}
+
+TEST(SlcaSearchTest, EmptyOrUntokenizableInputRejected) {
+  auto indexed = MustIndex(kXml);
+  EXPECT_FALSE(SlcaSearch(indexed, "").ok());
+  EXPECT_FALSE(SlcaSearch(indexed, " ,;! ").ok());
+}
+
+TEST(SlcaSearchTest, DuplicateKeywordsAreHarmless) {
+  auto indexed = MustIndex(kXml);
+  auto once = SlcaSearch(indexed, "twig lu");
+  auto twice = SlcaSearch(indexed, "twig lu twig LU");
+  ASSERT_TRUE(once.ok());
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(Nodes(*once), Nodes(*twice));
+}
+
+TEST(SlcaSearchTest, WitnessesCoverEveryKeyword) {
+  auto indexed = MustIndex(kXml);
+  auto hits = SlcaSearch(indexed, "twig 2005");
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  for (const KeywordHit& hit : *hits) {
+    ASSERT_EQ(hit.witnesses.size(), 2u);
+    for (NodeId witness : hit.witnesses) {
+      ASSERT_NE(witness, xml::kInvalidNodeId);
+      EXPECT_TRUE(witness == hit.node ||
+                  indexed.document().IsAncestor(hit.node, witness));
+    }
+  }
+}
+
+TEST(SlcaSearchTest, TighterConnectionsScoreHigher) {
+  auto indexed = MustIndex(kXml);
+  auto hits = SlcaSearch(indexed, "twig lu");
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 2u);
+  // The single title (subtree of 2 nodes) beats the whole article.
+  EXPECT_EQ(indexed.document().TagName((*hits)[0].node), "title");
+  EXPECT_GT((*hits)[0].score, (*hits)[1].score);
+}
+
+TEST(SlcaSearchTest, LimitTruncates) {
+  auto indexed = MustIndex(kXml);
+  KeywordSearchOptions options;
+  options.limit = 1;
+  auto hits = SlcaSearch(indexed, "twig", options);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+}
+
+class SlcaOracleSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SlcaOracleSweep, MatchesBruteForceOracle) {
+  uint64_t seed = GetParam();
+  datagen::DblpOptions options;
+  options.seed = seed;
+  options.num_publications = 15;
+  options.title_vocabulary = 30;  // dense co-occurrence
+  options.author_pool_size = 15;
+  index::IndexedDocument indexed(datagen::GenerateDblp(options));
+  Random random(seed * 37 + 3);
+
+  // Random 1-3 keyword queries from the document's own vocabulary.
+  std::vector<index::Completion> vocabulary =
+      indexed.terms().term_trie().Complete("", 200);
+  ASSERT_FALSE(vocabulary.empty());
+  for (int i = 0; i < 15; ++i) {
+    int k = 1 + static_cast<int>(random.NextBounded(3));
+    std::vector<std::string> tokens;
+    std::string joined;
+    for (int j = 0; j < k; ++j) {
+      tokens.push_back(
+          vocabulary[random.NextBounded(vocabulary.size())].key);
+      joined += tokens.back() + " ";
+    }
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    KeywordSearchOptions search_options;
+    search_options.limit = 10'000;
+    auto hits = SlcaSearch(indexed, joined, search_options);
+    ASSERT_TRUE(hits.ok());
+    EXPECT_EQ(Nodes(*hits), OracleSlca(indexed, tokens)) << joined;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlcaOracleSweep,
+                         ::testing::Range<uint64_t>(0, 6));
+
+TEST(EngineKeywordTest, WrapperWorks) {
+  auto engine = Engine::FromXmlText(kXml);
+  ASSERT_TRUE(engine.ok());
+  auto hits = engine->KeywordSearch("twig 2005");
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ(engine->Snippet((*hits)[0].node).substr(0, 8), "<article");
+}
+
+}  // namespace
+}  // namespace lotusx::keyword

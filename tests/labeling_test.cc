@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "labeling/containment.h"
+#include "labeling/dewey.h"
+#include "labeling/extended_dewey.h"
+#include "tests/test_util.h"
+
+namespace lotusx::labeling {
+namespace {
+
+using lotusx::testing::MustParse;
+using xml::Document;
+using xml::NodeId;
+
+constexpr std::string_view kSample =
+    "<a><b><c>x</c><c>y</c></b><b><d/></b><e/></a>";
+
+// ----------------------------------------------------------- Containment
+
+TEST(ContainmentTest, LabelsAgreeWithDom) {
+  Document doc = MustParse(kSample);
+  ContainmentLabels labels = ContainmentLabels::Build(doc);
+  ASSERT_EQ(labels.size(), static_cast<size_t>(doc.num_nodes()));
+  for (NodeId a = 0; a < doc.num_nodes(); ++a) {
+    for (NodeId b = 0; b < doc.num_nodes(); ++b) {
+      EXPECT_EQ(IsAncestor(labels.label(a), labels.label(b)),
+                doc.IsAncestor(a, b))
+          << "a=" << a << " b=" << b;
+      EXPECT_EQ(IsParent(labels.label(a), labels.label(b)),
+                doc.node(b).parent == a)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(ContainmentTest, PrecedesIsDocumentOrder) {
+  Document doc = MustParse(kSample);
+  ContainmentLabels labels = ContainmentLabels::Build(doc);
+  for (NodeId a = 0; a + 1 < doc.num_nodes(); ++a) {
+    EXPECT_TRUE(Precedes(labels.label(a), labels.label(a + 1)));
+  }
+}
+
+// ----------------------------------------------------------------- Dewey
+
+TEST(DeweyTest, RootLabelIsEmpty) {
+  Document doc = MustParse(kSample);
+  DeweyStore store = DeweyStore::Build(doc);
+  EXPECT_TRUE(store.label(doc.root()).empty());
+  EXPECT_EQ(LabelToString(store.label(doc.root())), "<root>");
+}
+
+TEST(DeweyTest, LabelLengthEqualsDepth) {
+  Document doc = MustParse(kSample);
+  DeweyStore store = DeweyStore::Build(doc);
+  for (NodeId id = 0; id < doc.num_nodes(); ++id) {
+    EXPECT_EQ(store.label(id).size(),
+              static_cast<size_t>(doc.node(id).depth));
+  }
+}
+
+TEST(DeweyTest, SiblingOrdinalsIncrease) {
+  Document doc = MustParse(kSample);
+  DeweyStore store = DeweyStore::Build(doc);
+  std::vector<NodeId> children = doc.Children(doc.root());
+  ASSERT_EQ(children.size(), 3u);
+  for (size_t i = 0; i < children.size(); ++i) {
+    DeweyView label = store.label(children[i]);
+    ASSERT_EQ(label.size(), 1u);
+    EXPECT_EQ(label[0], static_cast<int32_t>(i));
+  }
+}
+
+TEST(DeweyTest, RelationshipsAgreeWithDom) {
+  Document doc = MustParse(kSample);
+  DeweyStore store = DeweyStore::Build(doc);
+  for (NodeId a = 0; a < doc.num_nodes(); ++a) {
+    for (NodeId b = 0; b < doc.num_nodes(); ++b) {
+      EXPECT_EQ(IsAncestorLabel(store.label(a), store.label(b)),
+                doc.IsAncestor(a, b));
+      EXPECT_EQ(IsParentLabel(store.label(a), store.label(b)),
+                doc.node(b).parent == a);
+    }
+  }
+}
+
+TEST(DeweyTest, CompareMatchesDocumentOrder) {
+  Document doc = MustParse(kSample);
+  DeweyStore store = DeweyStore::Build(doc);
+  for (NodeId a = 0; a < doc.num_nodes(); ++a) {
+    for (NodeId b = 0; b < doc.num_nodes(); ++b) {
+      int cmp = CompareLabels(store.label(a), store.label(b));
+      if (a < b) EXPECT_LT(cmp, 0);
+      if (a == b) EXPECT_EQ(cmp, 0);
+      if (a > b) EXPECT_GT(cmp, 0);
+    }
+  }
+}
+
+TEST(DeweyTest, CommonPrefixIsLcaDepth) {
+  Document doc = MustParse(kSample);
+  DeweyStore store = DeweyStore::Build(doc);
+  // c(x) and c(y) share parent b at depth 1 -> common prefix length 1.
+  xml::TagId c_tag = doc.FindTag("c");
+  ASSERT_NE(c_tag, xml::kInvalidTagId);
+  std::vector<NodeId> cs;
+  for (NodeId id = 0; id < doc.num_nodes(); ++id) {
+    if (doc.node(id).kind == xml::NodeKind::kElement &&
+        doc.node(id).tag == c_tag) {
+      cs.push_back(id);
+    }
+  }
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_EQ(CommonPrefixLength(store.label(cs[0]), store.label(cs[1])), 1u);
+}
+
+TEST(DeweyTest, LabelToString) {
+  Document doc = MustParse(kSample);
+  DeweyStore store = DeweyStore::Build(doc);
+  // First c element: path a(root) -> b(0) -> c(0) => "0.0".
+  xml::TagId c_tag = doc.FindTag("c");
+  for (NodeId id = 0; id < doc.num_nodes(); ++id) {
+    if (doc.node(id).kind == xml::NodeKind::kElement &&
+        doc.node(id).tag == c_tag) {
+      EXPECT_EQ(LabelToString(store.label(id)), "0.0");
+      break;
+    }
+  }
+}
+
+// ------------------------------------------------------------ Transducer
+
+TEST(TransducerTest, ChildTagsAreSortedAndComplete) {
+  Document doc = MustParse(kSample);
+  TagTransducer transducer = TagTransducer::Build(doc);
+  xml::TagId a = doc.FindTag("a");
+  const std::vector<XTagId>& children = transducer.ChildTags(a);
+  // a's children: b, e.
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(children.begin(), children.end()));
+  for (XTagId child : children) {
+    EXPECT_GE(transducer.ChildIndex(a, child), 0);
+  }
+  EXPECT_EQ(transducer.ChildIndex(a, doc.FindTag("c")), -1);
+}
+
+TEST(TransducerTest, TextChildrenUseSyntheticTag) {
+  Document doc = MustParse(kSample);
+  TagTransducer transducer = TagTransducer::Build(doc);
+  xml::TagId c = doc.FindTag("c");
+  ASSERT_EQ(transducer.ChildTags(c).size(), 1u);
+  EXPECT_EQ(transducer.ChildTags(c)[0], transducer.text_tag());
+}
+
+// --------------------------------------------------------- ExtendedDewey
+
+TEST(ExtendedDeweyTest, StructuralSemanticsMatchOrdinalDewey) {
+  Document doc = MustParse(kSample);
+  TagTransducer transducer = TagTransducer::Build(doc);
+  ExtendedDeweyStore store = ExtendedDeweyStore::Build(doc, transducer);
+  for (NodeId a = 0; a < doc.num_nodes(); ++a) {
+    for (NodeId b = 0; b < doc.num_nodes(); ++b) {
+      EXPECT_EQ(IsAncestorLabel(store.label(a), store.label(b)),
+                doc.IsAncestor(a, b));
+    }
+    if (a + 1 < doc.num_nodes()) {
+      EXPECT_LT(CompareLabels(store.label(a), store.label(a + 1)), 0);
+    }
+  }
+}
+
+TEST(ExtendedDeweyTest, DecodesFullTagPath) {
+  Document doc = MustParse(kSample);
+  TagTransducer transducer = TagTransducer::Build(doc);
+  ExtendedDeweyStore store = ExtendedDeweyStore::Build(doc, transducer);
+  XTagId root_tag = doc.node(doc.root()).tag;
+  for (NodeId id = 0; id < doc.num_nodes(); ++id) {
+    std::vector<XTagId> decoded = ExtendedDeweyStore::DecodeTagPath(
+        transducer, root_tag, store.label(id));
+    // Compare against the true tag path from the DOM.
+    std::vector<XTagId> expected;
+    for (NodeId walk = id; walk != xml::kInvalidNodeId;
+         walk = doc.node(walk).parent) {
+      expected.push_back(doc.node(walk).kind == xml::NodeKind::kText
+                             ? transducer.text_tag()
+                             : doc.node(walk).tag);
+    }
+    std::reverse(expected.begin(), expected.end());
+    EXPECT_EQ(decoded, expected) << "node " << id;
+  }
+}
+
+TEST(ExtendedDeweyTest, DecodesOnLargerGeneratedDocument) {
+  // A denser structure with attributes and repeated tags at many paths.
+  std::string xml = "<r>";
+  for (int i = 0; i < 20; ++i) {
+    xml += "<s id=\"" + std::to_string(i) + "\"><t><u>v</u></t>";
+    if (i % 2 == 0) xml += "<t>direct</t>";
+    if (i % 3 == 0) xml += "<w><t><w/></t></w>";
+    xml += "</s>";
+  }
+  xml += "</r>";
+  Document doc = MustParse(xml);
+  TagTransducer transducer = TagTransducer::Build(doc);
+  ExtendedDeweyStore store = ExtendedDeweyStore::Build(doc, transducer);
+  XTagId root_tag = doc.node(doc.root()).tag;
+  for (NodeId id = 0; id < doc.num_nodes(); ++id) {
+    std::vector<XTagId> decoded = ExtendedDeweyStore::DecodeTagPath(
+        transducer, root_tag, store.label(id));
+    ASSERT_EQ(decoded.size(), static_cast<size_t>(doc.node(id).depth) + 1);
+    XTagId own = doc.node(id).kind == xml::NodeKind::kText
+                     ? transducer.text_tag()
+                     : doc.node(id).tag;
+    EXPECT_EQ(decoded.back(), own);
+    EXPECT_EQ(decoded.front(), root_tag);
+  }
+}
+
+}  // namespace
+}  // namespace lotusx::labeling

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "lotusx/engine.h"
+#include "lotusx/query_cache.h"
+
+namespace lotusx {
+namespace {
+
+// ------------------------------------------------------------- LruCache
+
+TEST(LruCacheTest, InsertLookup) {
+  LruCache<int> cache(2);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  cache.Insert("a", 1);
+  ASSERT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(*cache.Lookup("a"), 1);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int> cache(2);
+  cache.Insert("a", 1);
+  cache.Insert("b", 2);
+  ASSERT_NE(cache.Lookup("a"), nullptr);  // refresh a
+  cache.Insert("c", 3);                   // evicts b
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, InsertRefreshesExistingKey) {
+  LruCache<int> cache(2);
+  cache.Insert("a", 1);
+  cache.Insert("b", 2);
+  cache.Insert("a", 10);  // refresh, not duplicate
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(*cache.Lookup("a"), 10);
+  cache.Insert("c", 3);  // evicts b (a was refreshed)
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+}
+
+TEST(LruCacheTest, Clear) {
+  LruCache<int> cache(4);
+  cache.Insert("a", 1);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+}
+
+TEST(LruCacheTest, CapacityOneWorks) {
+  LruCache<int> cache(1);
+  cache.Insert("a", 1);
+  cache.Insert("b", 2);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(*cache.Lookup("b"), 2);
+}
+
+// ------------------------------------------------------ Engine integration
+
+constexpr std::string_view kXml = R"(<dblp>
+  <article><author>lu</author><title>one</title></article>
+  <article><author>lin</author><title>two</title></article>
+</dblp>)";
+
+TEST(EngineCacheTest, HitsServeIdenticalResults) {
+  auto engine = Engine::FromXmlText(kXml);
+  ASSERT_TRUE(engine.ok());
+  engine->EnableResultCache(8);
+  auto first = engine->Search("//article/title");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(engine->cache_hits(), 0u);
+  EXPECT_EQ(engine->cache_misses(), 1u);
+  auto second = engine->Search("//article/title");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(engine->cache_hits(), 1u);
+  ASSERT_EQ(second->results.size(), first->results.size());
+  for (size_t i = 0; i < first->results.size(); ++i) {
+    EXPECT_EQ(second->results[i].output, first->results[i].output);
+    EXPECT_DOUBLE_EQ(second->results[i].score, first->results[i].score);
+  }
+}
+
+TEST(EngineCacheTest, DifferentOptionsMissTheCache) {
+  auto engine = Engine::FromXmlText(kXml);
+  ASSERT_TRUE(engine.ok());
+  engine->EnableResultCache(8);
+  ASSERT_TRUE(engine->Search("//article/title").ok());
+  SearchOptions options;
+  options.ranking.top_k = 1;
+  ASSERT_TRUE(engine->Search("//article/title", options).ok());
+  EXPECT_EQ(engine->cache_hits(), 0u);
+  EXPECT_EQ(engine->cache_misses(), 2u);
+}
+
+TEST(EngineCacheTest, DisabledByDefaultAndDisableable) {
+  auto engine = Engine::FromXmlText(kXml);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->Search("//article").ok());
+  EXPECT_EQ(engine->cache_misses(), 0u);
+  engine->EnableResultCache(4);
+  ASSERT_TRUE(engine->Search("//article").ok());
+  EXPECT_EQ(engine->cache_misses(), 1u);
+  engine->EnableResultCache(0);
+  ASSERT_TRUE(engine->Search("//article").ok());
+  EXPECT_EQ(engine->cache_misses(), 0u);
+}
+
+}  // namespace
+}  // namespace lotusx

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "twig/query_export.h"
+#include "twig/query_parser.h"
+
+namespace lotusx::twig {
+namespace {
+
+TwigQuery Q(std::string_view text) {
+  auto result = ParseQuery(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+// ------------------------------------------------------------------ XPath
+
+TEST(ToXPathTest, SimplePath) {
+  EXPECT_EQ(*ToXPath(Q("//book/title")), "//book/title");
+  EXPECT_EQ(*ToXPath(Q("/dblp//author")), "/dblp//author");
+}
+
+TEST(ToXPathTest, BranchesBecomePredicates) {
+  EXPECT_EQ(*ToXPath(Q("//article[author]/title")),
+            "//article[author]/title");
+  EXPECT_EQ(*ToXPath(Q("//article[//year]/title")),
+            "//article[.//year]/title");
+  EXPECT_EQ(*ToXPath(Q("//a[b/c]/d")), "//a[b[c]]/d");
+}
+
+TEST(ToXPathTest, OutputSelectsTheSpine) {
+  // Output on the branch: the branch becomes the spine, the old spine a
+  // predicate.
+  EXPECT_EQ(*ToXPath(Q("//article[author!]/title")),
+            "//article[title]/author");
+}
+
+TEST(ToXPathTest, ValuePredicates) {
+  EXPECT_EQ(*ToXPath(Q(R"(//year[="2012"])")),
+            "//year[normalize-space(.) = \"2012\"]");
+  EXPECT_EQ(*ToXPath(Q(R"(//title[~"xml twig"])")),
+            "//title[contains(., \"xml\")][contains(., \"twig\")]");
+}
+
+TEST(ToXPathTest, AttributesAndWildcards) {
+  EXPECT_EQ(*ToXPath(Q("//*/@key")), "//*/@key");
+  EXPECT_EQ(*ToXPath(Q(R"(//book[@id[="b1"]]/title)")),
+            "//book[@id[normalize-space(.) = \"b1\"]]/title");
+}
+
+TEST(ToXPathTest, OrderedQueriesRejected) {
+  auto result = ToXPath(Q("//a[ordered][b][c]"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(ToXPathTest, QuoteInLiteralRejected) {
+  TwigQuery query = Q("//a");
+  query.SetPredicate(0, {ValuePredicate::Op::kEquals, "say \"hi\""});
+  EXPECT_FALSE(ToXPath(query).ok());
+}
+
+// ----------------------------------------------------------------- XQuery
+
+TEST(ToXQueryTest, FlworShape) {
+  std::string xq = *ToXQuery(Q("//article[author]/title"));
+  EXPECT_NE(xq.find("for $n0 in //article"), std::string::npos) << xq;
+  EXPECT_NE(xq.find("$n1 in $n0/author"), std::string::npos);
+  EXPECT_NE(xq.find("$n2 in $n0/title"), std::string::npos);
+  EXPECT_NE(xq.find("return $n2"), std::string::npos);
+}
+
+TEST(ToXQueryTest, ValueConditions) {
+  std::string xq = *ToXQuery(Q(R"(//article[year[="2012"]]/title[~"xml"])"));
+  EXPECT_NE(xq.find("normalize-space($n1) = \"2012\""), std::string::npos)
+      << xq;
+  EXPECT_NE(xq.find("contains(lower-case(string($n2)), \"xml\")"),
+            std::string::npos);
+}
+
+TEST(ToXQueryTest, OrderConstraintsUseNodeOrder) {
+  std::string xq = *ToXQuery(Q("//product[ordered][name][price]"));
+  EXPECT_NE(xq.find("$n1 << $n2"), std::string::npos) << xq;
+  EXPECT_NE(xq.find("intersect"), std::string::npos);
+}
+
+TEST(ToXQueryTest, DescendantAxis) {
+  std::string xq = *ToXQuery(Q("//book//title"));
+  EXPECT_NE(xq.find("$n1 in $n0//title"), std::string::npos) << xq;
+}
+
+TEST(ToXQueryTest, RootAnchoring) {
+  std::string xq = *ToXQuery(Q("/dblp/article"));
+  EXPECT_NE(xq.find("for $n0 in /dblp"), std::string::npos) << xq;
+}
+
+}  // namespace
+}  // namespace lotusx::twig

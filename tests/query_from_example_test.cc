@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/datagen.h"
+#include "session/canvas_io.h"
+#include "session/protocol.h"
+#include "session/session.h"
+#include "tests/test_util.h"
+#include "twig/evaluator.h"
+#include "twig/query_from_example.h"
+#include "twig/query_parser.h"
+
+namespace lotusx::twig {
+namespace {
+
+using lotusx::testing::MustIndex;
+
+constexpr std::string_view kXml = R"(<dblp>
+  <article key="a1">
+    <author>jiaheng lu</author>
+    <title>twig joins</title>
+    <year>2005</year>
+  </article>
+  <article key="a2">
+    <author>chunbin lin</author>
+    <title>lotusx</title>
+    <year>2012</year>
+  </article>
+</dblp>)";
+
+xml::NodeId FindElement(const xml::Document& document, std::string_view tag,
+                        std::string_view content) {
+  for (xml::NodeId id = 0; id < document.num_nodes(); ++id) {
+    if (document.node(id).kind == xml::NodeKind::kElement &&
+        document.TagName(id) == tag &&
+        document.ContentString(id) == content) {
+      return id;
+    }
+  }
+  return xml::kInvalidNodeId;
+}
+
+TEST(QueryFromExampleTest, BuildsPathValueAndBranch) {
+  auto indexed = MustIndex(kXml);
+  xml::NodeId title = FindElement(indexed.document(), "title", "lotusx");
+  ASSERT_NE(title, xml::kInvalidNodeId);
+  auto query = QueryFromExample(indexed, title);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  // Spine dblp/article/title with equality on the title value.
+  EXPECT_EQ(query->ToString(), R"(//dblp/article/title![="lotusx"])");
+}
+
+TEST(QueryFromExampleTest, ExampleAlwaysMatchesItsOwnQuery) {
+  datagen::StoreOptions options;
+  options.num_products = 40;
+  index::IndexedDocument indexed(datagen::GenerateStore(options));
+  const xml::Document& document = indexed.document();
+  lotusx::Random random(5);
+  int checked = 0;
+  while (checked < 30) {
+    xml::NodeId node = static_cast<xml::NodeId>(
+        random.NextBounded(static_cast<uint64_t>(document.num_nodes())));
+    if (document.node(node).kind == xml::NodeKind::kText) continue;
+    ++checked;
+    QueryFromExampleOptions example_options;
+    example_options.ancestor_levels =
+        static_cast<int>(random.NextBounded(4));
+    example_options.include_value = random.NextBool(0.5);
+    example_options.include_child_branch = random.NextBool(0.5);
+    auto query = QueryFromExample(indexed, node, example_options);
+    ASSERT_TRUE(query.ok()) << query.status().ToString();
+    auto result = Evaluate(indexed, *query);
+    ASSERT_TRUE(result.ok());
+    auto outputs = result->OutputNodes(query->output());
+    EXPECT_TRUE(std::find(outputs.begin(), outputs.end(), node) !=
+                outputs.end())
+        << "node " << node << " not matched by its own query "
+        << query->ToString();
+  }
+}
+
+TEST(QueryFromExampleTest, AttributesWork) {
+  auto indexed = MustIndex(kXml);
+  xml::TagId key = indexed.document().FindTag("@key");
+  ASSERT_NE(key, xml::kInvalidTagId);
+  xml::NodeId attr = indexed.tag_streams().stream(key)[0];
+  auto query = QueryFromExample(indexed, attr);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->ToString(), R"(//dblp/article/@key![="a1"])");
+}
+
+TEST(QueryFromExampleTest, RejectsTextNodesAndBadIds) {
+  auto indexed = MustIndex(kXml);
+  xml::NodeId text = xml::kInvalidNodeId;
+  for (xml::NodeId id = 0; id < indexed.document().num_nodes(); ++id) {
+    if (indexed.document().node(id).kind == xml::NodeKind::kText) {
+      text = id;
+      break;
+    }
+  }
+  ASSERT_NE(text, xml::kInvalidNodeId);
+  EXPECT_FALSE(QueryFromExample(indexed, text).ok());
+  EXPECT_FALSE(QueryFromExample(indexed, -1).ok());
+  EXPECT_FALSE(QueryFromExample(indexed, 99999).ok());
+}
+
+TEST(QueryFromExampleTest, AncestorLevelsZeroIsJustTheTag) {
+  auto indexed = MustIndex(kXml);
+  xml::NodeId title = FindElement(indexed.document(), "title", "lotusx");
+  QueryFromExampleOptions options;
+  options.ancestor_levels = 0;
+  options.include_value = false;
+  options.include_child_branch = false;
+  auto query = QueryFromExample(indexed, title, options);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->ToString(), "//title!");
+}
+
+// --------------------------------------------------------- CanvasFromQuery
+
+TEST(CanvasFromQueryTest, CompilesBackToTheSameCanonicalForm) {
+  for (std::string_view text :
+       {"//a/b", "//a[b][c]/d!", R"(//a[ordered][b[="x"]][~"kw"]//c)",
+        "//article[author][year]/title!", "//*/@key"}) {
+    TwigQuery query = ParseQuery(text).value();
+    session::Canvas canvas = session::CanvasFromQuery(query);
+    auto compiled = canvas.Compile();
+    ASSERT_TRUE(compiled.ok()) << text << ": "
+                               << compiled.status().ToString();
+    EXPECT_EQ(compiled->ToString(), query.ToString()) << text;
+  }
+}
+
+TEST(CanvasFromQueryTest, LayoutPutsParentsAboveChildren) {
+  TwigQuery query = ParseQuery("//a[b][c]/d").value();
+  session::Canvas canvas = session::CanvasFromQuery(query);
+  for (const session::CanvasEdge& edge : canvas.edges()) {
+    EXPECT_LT(canvas.FindNode(edge.from)->y, canvas.FindNode(edge.to)->y);
+  }
+  // Siblings left to right in query-child order.
+  auto children = canvas.ChildrenLeftToRight(1);
+  ASSERT_EQ(children.size(), 3u);
+}
+
+// ------------------------------------------------------------ Protocol
+
+TEST(ExampleProtocolTest, ExampleAndParseCommands) {
+  auto indexed = MustIndex(kXml);
+  session::Session session(indexed);
+  session::ProtocolInterpreter interpreter(&session);
+  xml::NodeId title = FindElement(indexed.document(), "title", "lotusx");
+  auto response =
+      interpreter.Execute("EXAMPLE " + std::to_string(title));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  auto query = interpreter.Execute("QUERY");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(*query, R"(//dblp/article/title![="lotusx"])");
+
+  auto parsed = interpreter.Execute("PARSE //article[year]/title!");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  query = interpreter.Execute("QUERY");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(*query, "//article[year]/title!");
+
+  EXPECT_FALSE(interpreter.Execute("EXAMPLE notanumber").ok());
+  EXPECT_FALSE(interpreter.Execute("PARSE ][").ok());
+}
+
+}  // namespace
+}  // namespace lotusx::twig

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "ranking/ranker.h"
+#include "tests/test_util.h"
+#include "twig/evaluator.h"
+#include "twig/query_parser.h"
+
+namespace lotusx::ranking {
+namespace {
+
+using lotusx::testing::MustIndex;
+using twig::TwigQuery;
+
+TwigQuery Q(std::string_view text) {
+  auto result = twig::ParseQuery(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+std::vector<RankedResult> RunAndRank(const index::IndexedDocument& indexed,
+                                     std::string_view query_text,
+                                     const RankingOptions& options = {}) {
+  TwigQuery query = Q(query_text);
+  auto result = twig::Evaluate(indexed, query);
+  EXPECT_TRUE(result.ok());
+  Ranker ranker(indexed);
+  return ranker.Rank(query, result->matches, options);
+}
+
+constexpr std::string_view kXml = R"(<dblp>
+  <article>
+    <title>xml xml xml query processing</title>
+    <year>2010</year>
+  </article>
+  <article>
+    <title>databases with a mention of xml</title>
+    <year>2011</year>
+  </article>
+  <article>
+    <title>graph processing</title>
+    <year>2012</year>
+  </article>
+</dblp>)";
+
+TEST(RankerTest, ContentScoreFavorsHigherTermFrequency) {
+  auto indexed = MustIndex(kXml);
+  std::vector<RankedResult> ranked =
+      RunAndRank(indexed, R"(//title[~"xml"])");
+  ASSERT_EQ(ranked.size(), 2u);
+  // The title with tf=3 outranks the one with tf=1.
+  EXPECT_GT(ranked[0].content_score, ranked[1].content_score);
+  EXPECT_EQ(indexed.document().ContentString(ranked[0].output),
+            "xml xml xml query processing");
+}
+
+TEST(RankerTest, RareTermsScoreHigherThanCommonOnes) {
+  auto indexed = MustIndex(R"(<r>
+    <d>common common rare</d>
+    <d>common</d>
+    <d>common</d>
+    <d>common</d>
+  </r>)");
+  Ranker ranker(indexed);
+  TwigQuery rare = Q(R"(//d[~"rare"])");
+  TwigQuery common = Q(R"(//d[~"common"])");
+  auto rare_result = twig::Evaluate(indexed, rare);
+  auto common_result = twig::Evaluate(indexed, common);
+  ASSERT_TRUE(rare_result.ok());
+  ASSERT_TRUE(common_result.ok());
+  double rare_score =
+      ranker.Score(rare, rare_result->matches[0]).content_score;
+  // The same node matched via the common term scores lower.
+  double common_score =
+      ranker.Score(common, common_result->matches[0]).content_score;
+  EXPECT_GT(rare_score, common_score);
+}
+
+TEST(RankerTest, StructureScoreFavorsTightMatches) {
+  auto indexed = MustIndex(R"(<r>
+    <a><b><c><d><t>deep</t></d></c></b></a>
+    <a><t>shallow</t></a>
+  </r>)");
+  std::vector<RankedResult> ranked = RunAndRank(indexed, "//a//t");
+  ASSERT_EQ(ranked.size(), 2u);
+  // The parent-child pair (slack 0, small span) outranks the distant one.
+  EXPECT_EQ(indexed.document().ContentString(ranked[0].output), "shallow");
+  EXPECT_GT(ranked[0].structure_score, ranked[1].structure_score);
+}
+
+TEST(RankerTest, SpecificityFavorsRarePaths) {
+  auto indexed = MustIndex(R"(<r>
+    <common/><common/><common/><common/><common/><common/><common/>
+    <nest><special/></nest>
+  </r>)");
+  Ranker ranker(indexed);
+  TwigQuery special = Q("//special");
+  TwigQuery common = Q("//common");
+  auto special_result = twig::Evaluate(indexed, special);
+  auto common_result = twig::Evaluate(indexed, common);
+  double special_score =
+      ranker.Score(special, special_result->matches[0]).specificity_score;
+  double common_score =
+      ranker.Score(common, common_result->matches[0]).specificity_score;
+  EXPECT_GT(special_score, common_score);
+}
+
+TEST(RankerTest, EqualsPredicateGetsContentBonus) {
+  auto indexed = MustIndex(kXml);
+  Ranker ranker(indexed);
+  TwigQuery with_eq = Q(R"(//article[year[="2012"]])");
+  TwigQuery without = Q("//article[year]");
+  auto eq_result = twig::Evaluate(indexed, with_eq);
+  ASSERT_TRUE(eq_result.ok());
+  ASSERT_EQ(eq_result->matches.size(), 1u);
+  double eq_content =
+      ranker.Score(with_eq, eq_result->matches[0]).content_score;
+  EXPECT_GT(eq_content, 0.0);
+}
+
+TEST(RankerTest, WeightsChangeOrdering) {
+  auto indexed = MustIndex(R"(<r>
+    <a><t>needle</t></a>
+    <a><deep><t>needle needle needle</t></deep></a>
+  </r>)");
+  RankingOptions content_heavy;
+  content_heavy.content_weight = 10;
+  content_heavy.structure_weight = 0;
+  content_heavy.specificity_weight = 0;
+  std::vector<RankedResult> by_content =
+      RunAndRank(indexed, R"(//a//t[~"needle"])", content_heavy);
+  ASSERT_EQ(by_content.size(), 2u);
+  EXPECT_EQ(indexed.document().ContentString(by_content[0].output),
+            "needle needle needle");
+
+  RankingOptions structure_heavy;
+  structure_heavy.content_weight = 0;
+  structure_heavy.structure_weight = 10;
+  structure_heavy.specificity_weight = 0;
+  std::vector<RankedResult> by_structure =
+      RunAndRank(indexed, R"(//a//t[~"needle"])", structure_heavy);
+  EXPECT_EQ(indexed.document().ContentString(by_structure[0].output),
+            "needle");
+}
+
+TEST(RankerTest, TopKTruncates) {
+  auto indexed = MustIndex(kXml);
+  RankingOptions options;
+  options.top_k = 1;
+  std::vector<RankedResult> ranked = RunAndRank(indexed, "//title", options);
+  EXPECT_EQ(ranked.size(), 1u);
+}
+
+TEST(RankerTest, DeterministicTieBreakByDocumentOrder) {
+  auto indexed = MustIndex("<r><x/><x/><x/></r>");
+  std::vector<RankedResult> ranked = RunAndRank(indexed, "//x");
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_LT(ranked[0].output, ranked[1].output);
+  EXPECT_LT(ranked[1].output, ranked[2].output);
+}
+
+TEST(RankerTest, ScoreIsComposedOfWeightedSignals) {
+  auto indexed = MustIndex(kXml);
+  Ranker ranker(indexed);
+  TwigQuery query = Q(R"(//title[~"xml"])");
+  auto result = twig::Evaluate(indexed, query);
+  RankingOptions options;
+  options.content_weight = 2;
+  options.structure_weight = 3;
+  options.specificity_weight = 5;
+  RankedResult scored = ranker.Score(query, result->matches[0], options);
+  EXPECT_NEAR(scored.score,
+              2 * scored.content_score + 3 * scored.structure_score +
+                  5 * scored.specificity_score,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace lotusx::ranking

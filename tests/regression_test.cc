@@ -1,0 +1,138 @@
+// Named regressions for bugs found during development (each one was
+// caught by an oracle or fuzz sweep, fixed, and is pinned here with the
+// smallest reproducer so it can never silently return).
+
+#include <gtest/gtest.h>
+
+#include "common/coding.h"
+#include "index/indexed_document.h"
+#include "tests/test_util.h"
+#include "twig/evaluator.h"
+#include "rewrite/rewriter.h"
+#include "twig/query_parser.h"
+
+namespace lotusx {
+namespace {
+
+using lotusx::testing::BruteForceMatches;
+using lotusx::testing::MustIndex;
+
+twig::TwigQuery Q(std::string_view text) {
+  auto result = twig::ParseQuery(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+// Bug 1: recursive same-tag queries (//s//s) paired a stack element with
+// *itself* during path-solution expansion — an element is not a proper
+// ancestor of itself, but the push-time containment invariant admitted
+// it. Fixed in stack_common.cc with an explicit self-exclusion.
+// Symptom: PathStack/TwigStack returned 7 matches instead of 2 on this
+// document.
+TEST(RegressionTest, RecursiveTagSelfPairing) {
+  auto indexed = MustIndex(R"(<r>
+    <s><s><t>one</t></s><t>two</t></s>
+    <s><u><s><t>three</t><u/></s></u></s>
+    <t>four</t>
+  </r>)");
+  twig::TwigQuery query = Q("//s//s//t");
+  std::vector<twig::Match> expected = BruteForceMatches(indexed, query);
+  ASSERT_EQ(expected.size(), 2u);
+  for (twig::Algorithm algorithm :
+       {twig::Algorithm::kPathStack, twig::Algorithm::kTwigStack,
+        twig::Algorithm::kTJFast, twig::Algorithm::kStructuralJoin}) {
+    twig::EvalOptions options;
+    options.algorithm = algorithm;
+    auto result = twig::Evaluate(indexed, query, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->matches, expected)
+        << twig::AlgorithmName(algorithm);
+  }
+}
+
+// Bug 2: when one branch's leaf stream was exhausted, TwigStack's getNext
+// recursed into the dead branch and returned an exhausted node, and the
+// run terminated while the *sibling* branch still had path solutions to
+// emit (here: the (r, t4) solution for the r/t branch). Fixed by masking
+// dead subtrees in getNext. Symptom: 0 matches instead of 3.
+TEST(RegressionTest, TwigStackDeadBranchMasking) {
+  auto indexed = MustIndex(R"(<r>
+    <s><s><t>one</t></s><t>two</t></s>
+    <s><u><s><t>three</t><u/></s></u></s>
+    <t>four</t>
+  </r>)");
+  twig::TwigQuery query = Q("//r[t]//s[t]");
+  twig::EvalOptions options;
+  options.algorithm = twig::Algorithm::kTwigStack;
+  auto result = twig::Evaluate(indexed, query, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->matches.size(), 3u);
+  EXPECT_EQ(result->matches, BruteForceMatches(indexed, query));
+}
+
+// Bug 3 (found by the index-image fuzzer): DecodeDocument accepted images
+// whose node table named a text/attribute node as a parent, or violated
+// document order — both then aborted inside Document's internal CHECKs
+// instead of returning Status::Corruption. The decoder now validates
+// kinds and the preorder discipline itself.
+TEST(RegressionTest, CorruptIndexImageParentKinds) {
+  std::string buffer;
+  Encoder encoder(&buffer);
+  encoder.PutVarint64(2);  // tag table: "a", "@k"
+  encoder.PutString("a");
+  encoder.PutString("@k");
+  encoder.PutVarint64(2);  // two nodes
+  // Node 0: TEXT as the root.
+  encoder.PutVarint32(2);
+  encoder.PutVarint32(0);
+  encoder.PutString("boom");
+  // Node 1 irrelevant; decoding must already have failed.
+  encoder.PutVarint32(0);
+  encoder.PutVarint32(1);
+  encoder.PutVarint32(0);
+  Decoder decoder(buffer);
+  auto decoded = index::DecodeDocument(&decoder);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+// Bug 4 (design, caught by the randomized round-trip sweep): parsing
+// query.ToString() renumbers nodes (the parser builds branch subtrees
+// depth-first), so object equality is the wrong round-trip property; the
+// canonical form must be a fixed point instead.
+TEST(RegressionTest, CanonicalFormIsFixpointUnderRenumbering) {
+  // A query whose branch subtree is built *after* the spine: the reparse
+  // assigns different node ids but must render identically.
+  twig::TwigQuery query;
+  twig::QueryNodeId category = query.AddRoot("category");
+  query.AddChild(category, twig::Axis::kDescendant, "@id");  // spine first
+  twig::QueryNodeId product =
+      query.AddChild(category, twig::Axis::kChild, "product");
+  query.AddChild(product, twig::Axis::kDescendant, "name");
+  query.SetOutput(product);
+  std::string rendered = query.ToString();
+  auto reparsed = twig::ParseQuery(rendered);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->ToString(), rendered);
+}
+
+// Bug 5 (tuning, caught by integration test): "drop branch" (penalty 2.0)
+// tied with "respell" for a 1-edit typo and won the tie-break, so the
+// rewriter deleted the user's box instead of fixing the spelling. Typo
+// repair must now always be cheaper than structural surgery.
+TEST(RegressionTest, RespellBeatsBranchDropOnTypos) {
+  auto indexed = MustIndex(R"(<dblp>
+    <article><title>x</title></article>
+    <article><title>y</title></article>
+  </dblp>)");
+  rewrite::Rewriter rewriter(indexed);
+  auto outcome = rewriter.Rewrite(Q("//article/titel"));
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->applied.size(), 1u);
+  EXPECT_NE(outcome->applied[0].find("respell"), std::string::npos)
+      << outcome->applied[0];
+  EXPECT_EQ(outcome->result.matches.size(), 2u);
+}
+
+}  // namespace
+}  // namespace lotusx

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "rewrite/rewriter.h"
+#include "tests/test_util.h"
+#include "twig/query_parser.h"
+
+namespace lotusx::rewrite {
+namespace {
+
+using lotusx::testing::MustIndex;
+using twig::TwigQuery;
+
+TwigQuery Q(std::string_view text) {
+  auto result = twig::ParseQuery(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+constexpr std::string_view kXml = R"(<dblp>
+  <article>
+    <author>jiaheng lu</author>
+    <title>holistic twig joins</title>
+    <year>2005</year>
+    <meta><venue>vldb</venue></meta>
+  </article>
+  <article>
+    <author>chunbin lin</author>
+    <title>lotusx demo</title>
+    <year>2012</year>
+  </article>
+  <book>
+    <writer>tok wang ling</writer>
+    <title>xml data management</title>
+  </book>
+</dblp>)";
+
+TEST(RewriterTest, OriginalQueryWithResultsIsUntouched) {
+  auto indexed = MustIndex(kXml);
+  Rewriter rewriter(indexed);
+  auto outcome = rewriter.Rewrite(Q("//article/title"));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->applied.empty());
+  EXPECT_EQ(outcome->penalty, 0.0);
+  EXPECT_EQ(outcome->evaluations, 0u);
+  EXPECT_EQ(outcome->result.matches.size(), 2u);
+}
+
+TEST(RewriterTest, AxisRelaxationRecoversNestedMatch) {
+  auto indexed = MustIndex(kXml);
+  Rewriter rewriter(indexed);
+  // venue is under meta, not a direct child of article.
+  auto outcome = rewriter.Rewrite(Q("//article/venue"));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->result.matches.size(), 1u);
+  ASSERT_EQ(outcome->applied.size(), 1u);
+  EXPECT_NE(outcome->applied[0].find("relax"), std::string::npos);
+  EXPECT_EQ(outcome->penalty, 1.0);
+}
+
+TEST(RewriterTest, MisspelledTagIsRespelled) {
+  auto indexed = MustIndex(kXml);
+  Rewriter rewriter(indexed);
+  auto outcome = rewriter.Rewrite(Q("//article/titel"));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->query.node(1).tag, "title");
+  EXPECT_EQ(outcome->result.matches.size(), 2u);
+}
+
+TEST(RewriterTest, SiblingTagSubstitution) {
+  auto indexed = MustIndex(kXml);
+  Rewriter rewriter(indexed);
+  // book has writer, not author; they are DataGuide siblings of the book
+  // paths? ("author" under book does not exist; "writer" is a sibling of
+  // title under book).
+  auto outcome = rewriter.Rewrite(Q("//book/author"));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_GE(outcome->result.matches.size(), 1u);
+}
+
+TEST(RewriterTest, EqualsRelaxesToContains) {
+  auto indexed = MustIndex(kXml);
+  Rewriter rewriter(indexed);
+  // No title equals exactly "twig joins", but both keywords occur.
+  auto outcome = rewriter.Rewrite(Q(R"(//title[="twig joins"])"));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->result.matches.size(), 1u);
+  ASSERT_FALSE(outcome->applied.empty());
+  EXPECT_NE(outcome->applied[0].find("keywords"), std::string::npos);
+}
+
+TEST(RewriterTest, DropsUnsatisfiableBranch) {
+  auto indexed = MustIndex(kXml);
+  Rewriter rewriter(indexed);
+  // article never has an isbn; the branch gets dropped (or substituted).
+  auto outcome = rewriter.Rewrite(Q("//article[isbn]/title!"));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_GE(outcome->result.matches.size(), 1u);
+}
+
+TEST(RewriterTest, ChainsMultipleRewrites) {
+  auto indexed = MustIndex(kXml);
+  Rewriter rewriter(indexed);
+  // Both a wrong axis and a misspelling; the value predicate rules out
+  // every single-step rewrite (no direct child of article is "vldb"), so
+  // only the respell + axis-relax chain succeeds.
+  auto outcome = rewriter.Rewrite(Q(R"(//article/venu[="vldb"])"));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->result.matches.size(), 1u);
+  EXPECT_GE(outcome->applied.size(), 2u);
+  EXPECT_EQ(outcome->query.ToString(), R"(//article//venue![="vldb"])");
+}
+
+TEST(RewriterTest, RespectsEvaluationBudget) {
+  auto indexed = MustIndex(kXml);
+  Rewriter rewriter(indexed);
+  RewriteOptions options;
+  options.max_evaluations = 1;
+  options.max_penalty = 100;
+  auto outcome = rewriter.Rewrite(Q("//zzz/qqq[xxx]"), options);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_TRUE(outcome.status().IsNotFound());
+}
+
+TEST(RewriterTest, RespectsPenaltyBudget) {
+  auto indexed = MustIndex(kXml);
+  Rewriter rewriter(indexed);
+  RewriteOptions options;
+  options.max_penalty = 0.5;  // below every rule's penalty
+  auto outcome = rewriter.Rewrite(Q("//article/venue"), options);
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST(RewriterTest, RuleTogglesDisableRules) {
+  auto indexed = MustIndex(kXml);
+  Rewriter rewriter(indexed);
+  RewriteOptions no_axis;
+  no_axis.relax_axes = false;
+  no_axis.substitute_tags = false;
+  no_axis.drop_leaves = false;
+  no_axis.relax_predicates = false;
+  auto outcome = rewriter.Rewrite(Q("//article/venue"), no_axis);
+  EXPECT_FALSE(outcome.ok());
+  std::vector<RewriteCandidate> proposals =
+      rewriter.Propose(Q("//article/venue"), no_axis);
+  EXPECT_TRUE(proposals.empty());
+}
+
+TEST(RewriterTest, ProposalsAreOrderedByPenalty) {
+  auto indexed = MustIndex(kXml);
+  Rewriter rewriter(indexed);
+  std::vector<RewriteCandidate> proposals =
+      rewriter.Propose(Q(R"(//article[year[="1999"]]/title)"));
+  ASSERT_GT(proposals.size(), 1u);
+  for (size_t i = 1; i < proposals.size(); ++i) {
+    EXPECT_LE(proposals[i - 1].penalty, proposals[i].penalty);
+  }
+}
+
+TEST(RewriterTest, MinResultsThreshold) {
+  auto indexed = MustIndex(kXml);
+  Rewriter rewriter(indexed);
+  RewriteOptions options;
+  options.min_results = 3;
+  // //article/title has only 2 matches; relaxing article to // any title
+  // position should eventually reach 3 titles.
+  auto outcome = rewriter.Rewrite(Q("//article/title"), options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_GE(outcome->result.matches.size(), 3u);
+  EXPECT_FALSE(outcome->applied.empty());
+}
+
+TEST(RemoveLeafTest, RenumbersAndPreservesEverythingElse) {
+  TwigQuery query = Q(R"(//a[b[="x"]][c]/d!)");
+  // Remove leaf c (node 2).
+  TwigQuery pruned = Rewriter::RemoveLeaf(query, 2);
+  EXPECT_EQ(pruned.size(), 3);
+  EXPECT_EQ(pruned.node(0).tag, "a");
+  EXPECT_EQ(pruned.node(1).tag, "b");
+  EXPECT_EQ(pruned.node(1).predicate.text, "x");
+  EXPECT_EQ(pruned.node(2).tag, "d");
+  EXPECT_EQ(pruned.output(), 2);
+  EXPECT_TRUE(pruned.Validate().ok());
+}
+
+TEST(RemoveLeafDeathTest, RefusesRootAndOutput) {
+  TwigQuery query = Q("//a/b");
+  EXPECT_DEATH(Rewriter::RemoveLeaf(query, 1), "output");
+  TwigQuery single = Q("//a");
+  EXPECT_DEATH(Rewriter::RemoveLeaf(single, 0), "root|output");
+}
+
+}  // namespace
+}  // namespace lotusx::rewrite

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "session/svg_export.h"
+#include "xml/dom_builder.h"
+
+namespace lotusx::session {
+namespace {
+
+Canvas MakeCanvas() {
+  Canvas canvas;
+  CanvasNodeId article = canvas.AddNode(50, 0, "article");
+  CanvasNodeId author = canvas.AddNode(0, 120, "author");
+  CanvasNodeId title = canvas.AddNode(120, 120, "title");
+  EXPECT_TRUE(canvas.Connect(article, author, twig::Axis::kChild).ok());
+  EXPECT_TRUE(canvas.Connect(article, title, twig::Axis::kDescendant).ok());
+  EXPECT_TRUE(canvas.SetOutput(title).ok());
+  EXPECT_TRUE(canvas.SetOrdered(article, true).ok());
+  EXPECT_TRUE(canvas
+                  .SetPredicate(author,
+                                {twig::ValuePredicate::Op::kContains, "lu"})
+                  .ok());
+  return canvas;
+}
+
+TEST(SvgExportTest, OutputIsWellFormedXml) {
+  std::string svg = RenderCanvasSvg(MakeCanvas());
+  auto parsed = xml::ParseDocument(svg);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << svg;
+  EXPECT_EQ(parsed->TagName(parsed->root()), "svg");
+}
+
+TEST(SvgExportTest, DrawsOneRectPerBoxAndEdges) {
+  Canvas canvas = MakeCanvas();
+  std::string svg = RenderCanvasSvg(canvas);
+  auto doc = xml::ParseDocument(svg);
+  ASSERT_TRUE(doc.ok());
+  int rects = 0;
+  int lines = 0;
+  for (xml::NodeId id = 0; id < doc->num_nodes(); ++id) {
+    if (doc->node(id).kind != xml::NodeKind::kElement) continue;
+    if (doc->TagName(id) == "rect") ++rects;
+    if (doc->TagName(id) == "line") ++lines;
+  }
+  EXPECT_EQ(rects, 3);
+  // child edge = 1 line, descendant edge = double line.
+  EXPECT_EQ(lines, 3);
+}
+
+TEST(SvgExportTest, MarksOutputOrderedAndPredicates) {
+  std::string svg = RenderCanvasSvg(MakeCanvas());
+  EXPECT_NE(svg.find("ordered"), std::string::npos);
+  EXPECT_NE(svg.find("~ lu"), std::string::npos);
+  EXPECT_NE(svg.find("#c02020"), std::string::npos);  // output ring color
+}
+
+TEST(SvgExportTest, EscapesTagText) {
+  Canvas canvas;
+  canvas.AddNode(0, 0, "a<b");  // not a legal XML tag, but legal canvas text
+  std::string svg = RenderCanvasSvg(canvas);
+  auto parsed = xml::ParseDocument(svg);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_NE(svg.find("a&lt;b"), std::string::npos);
+}
+
+TEST(SvgExportTest, EmptyCanvasStillRenders) {
+  Canvas canvas;
+  std::string svg = RenderCanvasSvg(canvas);
+  EXPECT_TRUE(xml::ParseDocument(svg).ok());
+}
+
+TEST(SvgExportTest, NegativeCoordinatesAreShifted) {
+  Canvas canvas;
+  canvas.AddNode(-500, -300, "far");
+  std::string svg = RenderCanvasSvg(canvas);
+  auto parsed = xml::ParseDocument(svg);
+  ASSERT_TRUE(parsed.ok());
+  // No negative x/y on the rect.
+  EXPECT_EQ(svg.find("x=\"-"), std::string::npos) << svg;
+  EXPECT_EQ(svg.find("y=\"-"), std::string::npos) << svg;
+}
+
+}  // namespace
+}  // namespace lotusx::session

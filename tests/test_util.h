@@ -1,0 +1,30 @@
+#ifndef LOTUSX_TESTS_TEST_UTIL_H_
+#define LOTUSX_TESTS_TEST_UTIL_H_
+
+#include <string_view>
+#include <vector>
+
+#include "index/indexed_document.h"
+#include "twig/match.h"
+#include "twig/twig_query.h"
+#include "xml/dom.h"
+#include "xml/dom_builder.h"
+
+namespace lotusx::testing {
+
+/// Parses `xml` or dies; convenience for test fixtures.
+xml::Document MustParse(std::string_view xml);
+
+/// Builds a fully indexed document from XML text or dies.
+index::IndexedDocument MustIndex(std::string_view xml);
+
+/// Reference twig matcher: recursive brute force over the DOM with no
+/// index, no labels and no cleverness — the correctness oracle every real
+/// algorithm is compared against. Returns matches sorted.
+std::vector<twig::Match> BruteForceMatches(
+    const index::IndexedDocument& indexed, const twig::TwigQuery& query,
+    bool apply_order = true);
+
+}  // namespace lotusx::testing
+
+#endif  // LOTUSX_TESTS_TEST_UTIL_H_

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "index/trie.h"
+
+namespace lotusx::index {
+namespace {
+
+TEST(TrieTest, EmptyTrie) {
+  Trie trie;
+  EXPECT_EQ(trie.num_keys(), 0u);
+  EXPECT_FALSE(trie.Contains("x"));
+  EXPECT_EQ(trie.WeightOf("x"), 0u);
+  EXPECT_TRUE(trie.Complete("", 10).empty());
+}
+
+TEST(TrieTest, InsertAndLookup) {
+  Trie trie;
+  trie.Insert("author", 5);
+  trie.Insert("article", 3);
+  trie.Insert("author", 2);  // accumulates
+  EXPECT_EQ(trie.num_keys(), 2u);
+  EXPECT_TRUE(trie.Contains("author"));
+  EXPECT_EQ(trie.WeightOf("author"), 7u);
+  EXPECT_EQ(trie.WeightOf("article"), 3u);
+  EXPECT_FALSE(trie.Contains("aut"));  // prefix, not a key
+}
+
+TEST(TrieTest, EmptyKeyIsValid) {
+  Trie trie;
+  trie.Insert("", 4);
+  EXPECT_TRUE(trie.Contains(""));
+  EXPECT_EQ(trie.WeightOf(""), 4u);
+}
+
+TEST(TrieTest, CompleteReturnsHeaviestFirst) {
+  Trie trie;
+  trie.Insert("title", 100);
+  trie.Insert("time", 50);
+  trie.Insert("tiny", 75);
+  trie.Insert("total", 200);
+  std::vector<Completion> completions = trie.Complete("ti", 10);
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0].key, "title");
+  EXPECT_EQ(completions[0].weight, 100u);
+  EXPECT_EQ(completions[1].key, "tiny");
+  EXPECT_EQ(completions[2].key, "time");
+}
+
+TEST(TrieTest, CompleteRespectsLimit) {
+  Trie trie;
+  for (int i = 0; i < 20; ++i) {
+    trie.Insert("key" + std::to_string(i), static_cast<uint64_t>(i + 1));
+  }
+  EXPECT_EQ(trie.Complete("key", 5).size(), 5u);
+  EXPECT_EQ(trie.Complete("key", 0).size(), 0u);
+  EXPECT_EQ(trie.Complete("key", 100).size(), 20u);
+}
+
+TEST(TrieTest, CompleteIncludesPrefixItself) {
+  Trie trie;
+  trie.Insert("auth", 1);
+  trie.Insert("author", 9);
+  std::vector<Completion> completions = trie.Complete("auth", 10);
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[0].key, "author");
+  EXPECT_EQ(completions[1].key, "auth");
+}
+
+TEST(TrieTest, TiesBrokenLexicographically) {
+  Trie trie;
+  trie.Insert("beta", 5);
+  trie.Insert("alpha", 5);
+  trie.Insert("gamma", 5);
+  std::vector<Completion> completions = trie.Complete("", 3);
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0].key, "alpha");
+  EXPECT_EQ(completions[1].key, "beta");
+  EXPECT_EQ(completions[2].key, "gamma");
+}
+
+TEST(TrieTest, UnknownPrefixYieldsNothing) {
+  Trie trie;
+  trie.Insert("abc", 1);
+  EXPECT_TRUE(trie.Complete("abd", 5).empty());
+  EXPECT_TRUE(trie.Complete("abcd", 5).empty());
+}
+
+TEST(TrieTest, EnumerateIsLexicographic) {
+  Trie trie;
+  trie.Insert("b", 1);
+  trie.Insert("ab", 2);
+  trie.Insert("a", 3);
+  trie.Insert("abc", 4);
+  std::vector<Completion> all = trie.Enumerate("");
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].key, "a");
+  EXPECT_EQ(all[1].key, "ab");
+  EXPECT_EQ(all[2].key, "abc");
+  EXPECT_EQ(all[3].key, "b");
+}
+
+TEST(TrieTest, CompleteAgreesWithEnumerateOnRandomData) {
+  Random random(99);
+  Trie trie;
+  std::map<std::string, uint64_t> reference;
+  for (int i = 0; i < 500; ++i) {
+    std::string key = random.NextWord(1, 6);
+    uint64_t weight = random.NextBounded(1000) + 1;
+    trie.Insert(key, weight);
+    reference[key] += weight;
+  }
+  EXPECT_EQ(trie.num_keys(), reference.size());
+  for (std::string_view prefix : {"", "a", "ab", "z", "qx"}) {
+    std::vector<Completion> enumerated = trie.Enumerate(prefix);
+    // Reference: filter + sort by (-weight, key).
+    std::vector<Completion> expected;
+    for (const auto& [key, weight] : reference) {
+      if (key.starts_with(prefix)) expected.push_back({key, weight});
+    }
+    EXPECT_EQ(enumerated.size(), expected.size());
+    std::sort(expected.begin(), expected.end(),
+              [](const Completion& a, const Completion& b) {
+                if (a.weight != b.weight) return a.weight > b.weight;
+                return a.key < b.key;
+              });
+    std::vector<Completion> completed = trie.Complete(prefix, 25);
+    ASSERT_LE(completed.size(), 25u);
+    for (size_t i = 0; i < completed.size(); ++i) {
+      EXPECT_EQ(completed[i], expected[i]) << "prefix=" << prefix << " i=" << i;
+    }
+  }
+}
+
+TEST(TrieTest, PersistenceRoundTrip) {
+  Trie trie;
+  trie.Insert("author", 10);
+  trie.Insert("article", 7);
+  trie.Insert("title", 3);
+  trie.Insert("", 1);
+  std::string buffer;
+  Encoder encoder(&buffer);
+  trie.EncodeTo(&encoder);
+  Decoder decoder(buffer);
+  auto decoded = Trie::DecodeFrom(&decoder);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->num_keys(), trie.num_keys());
+  EXPECT_EQ(decoded->WeightOf("author"), 10u);
+  EXPECT_EQ(decoded->Complete("a", 10), trie.Complete("a", 10));
+  EXPECT_TRUE(decoder.Done());
+}
+
+TEST(TrieTest, DecodeRejectsCorruptImages) {
+  Trie trie;
+  trie.Insert("ok", 1);
+  std::string buffer;
+  Encoder encoder(&buffer);
+  trie.EncodeTo(&encoder);
+  {
+    Decoder decoder(std::string_view(buffer).substr(0, buffer.size() / 2));
+    EXPECT_FALSE(Trie::DecodeFrom(&decoder).ok());
+  }
+  {
+    std::string empty;
+    Encoder e2(&empty);
+    e2.PutVarint64(0);  // zero nodes: no root
+    e2.PutVarint64(0);
+    Decoder decoder(empty);
+    EXPECT_FALSE(Trie::DecodeFrom(&decoder).ok());
+  }
+}
+
+TEST(TrieTest, MemoryUsageGrowsWithContent) {
+  Trie small;
+  small.Insert("a", 1);
+  Trie large;
+  for (int i = 0; i < 100; ++i) {
+    large.Insert("key" + std::to_string(i), 1);
+  }
+  EXPECT_GT(large.MemoryUsage(), small.MemoryUsage());
+}
+
+}  // namespace
+}  // namespace lotusx::index

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "tests/test_util.h"
+#include "twig/evaluator.h"
+#include "twig/query_parser.h"
+
+namespace lotusx::twig {
+namespace {
+
+using lotusx::testing::BruteForceMatches;
+using lotusx::testing::MustIndex;
+
+constexpr std::string_view kBibXml = R"(<dblp>
+  <article key="a1">
+    <author>jiaheng lu</author>
+    <author>chunbin lin</author>
+    <title>twig pattern matching</title>
+    <year>2005</year>
+  </article>
+  <article key="a2">
+    <author>chunbin lin</author>
+    <title>lotusx graphical search</title>
+    <year>2012</year>
+  </article>
+  <book key="b1">
+    <author>tok wang ling</author>
+    <title>xml databases</title>
+    <year>2012</year>
+    <chapter><title>twig basics</title><section><title>stacks</title>
+    </section></chapter>
+  </book>
+</dblp>)";
+
+// Nested/recursive structure that stresses AD semantics.
+constexpr std::string_view kNestedXml = R"(<r>
+  <s><s><t>one</t></s><t>two</t></s>
+  <s><u><s><t>three</t><u/></s></u></s>
+  <t>four</t>
+</r>)";
+
+TwigQuery Q(std::string_view text) {
+  auto result = ParseQuery(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+class AlgorithmTest : public ::testing::TestWithParam<Algorithm> {
+ protected:
+  /// Evaluates with the parameterized algorithm and checks the result set
+  /// equals the brute-force oracle.
+  void CheckAgainstOracle(const index::IndexedDocument& indexed,
+                          std::string_view query_text) {
+    TwigQuery query = Q(query_text);
+    if (GetParam() == Algorithm::kPathStack && !query.IsPath()) {
+      GTEST_SKIP() << "PathStack only handles paths";
+    }
+    EvalOptions options;
+    options.algorithm = GetParam();
+    auto result = Evaluate(indexed, query, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    std::vector<Match> expected = BruteForceMatches(indexed, query);
+    EXPECT_EQ(result->matches, expected)
+        << "algorithm=" << AlgorithmName(GetParam()) << " query="
+        << query_text << " got=" << result->matches.size()
+        << " want=" << expected.size();
+  }
+};
+
+TEST_P(AlgorithmTest, SingleNodeQuery) {
+  auto indexed = MustIndex(kBibXml);
+  CheckAgainstOracle(indexed, "//author");
+  CheckAgainstOracle(indexed, "//title");
+  CheckAgainstOracle(indexed, "//dblp");
+}
+
+TEST_P(AlgorithmTest, ChildPath) {
+  auto indexed = MustIndex(kBibXml);
+  CheckAgainstOracle(indexed, "//article/title");
+  CheckAgainstOracle(indexed, "//book/chapter/title");
+  CheckAgainstOracle(indexed, "/dblp/article/author");
+}
+
+TEST_P(AlgorithmTest, DescendantPath) {
+  auto indexed = MustIndex(kBibXml);
+  CheckAgainstOracle(indexed, "//book//title");
+  CheckAgainstOracle(indexed, "//dblp//title");
+  CheckAgainstOracle(indexed, "//chapter//title");
+}
+
+TEST_P(AlgorithmTest, RecursiveTags) {
+  auto indexed = MustIndex(kNestedXml);
+  CheckAgainstOracle(indexed, "//s//t");
+  CheckAgainstOracle(indexed, "//s/s/t");
+  CheckAgainstOracle(indexed, "//s//s//t");
+  CheckAgainstOracle(indexed, "//r//s/t");
+  CheckAgainstOracle(indexed, "//s//u");
+}
+
+TEST_P(AlgorithmTest, BranchingTwigs) {
+  auto indexed = MustIndex(kBibXml);
+  CheckAgainstOracle(indexed, "//article[author]/title");
+  CheckAgainstOracle(indexed, "//dblp[article][book]");
+  CheckAgainstOracle(indexed, "//book[chapter//title]/year");
+  CheckAgainstOracle(indexed, "//article[author][year]/title");
+}
+
+TEST_P(AlgorithmTest, BranchingOnRecursiveData) {
+  auto indexed = MustIndex(kNestedXml);
+  CheckAgainstOracle(indexed, "//s[t]//u");
+  CheckAgainstOracle(indexed, "//s[//t][//u]");
+  CheckAgainstOracle(indexed, "//r[t]//s[t]");
+}
+
+TEST_P(AlgorithmTest, ValuePredicates) {
+  auto indexed = MustIndex(kBibXml);
+  CheckAgainstOracle(indexed, R"(//article[year[="2012"]]/title)");
+  CheckAgainstOracle(indexed, R"(//title[~"twig"])");
+  CheckAgainstOracle(indexed, R"(//article[author[~"lin"]]/title[~"search"])");
+  CheckAgainstOracle(indexed, R"(//author[="jiaheng lu"])");
+  CheckAgainstOracle(indexed, R"(//year[="1999"])");  // no matches
+}
+
+TEST_P(AlgorithmTest, AttributesAndWildcards) {
+  auto indexed = MustIndex(kBibXml);
+  CheckAgainstOracle(indexed, "//article/@key");
+  CheckAgainstOracle(indexed, R"(//*[@key[="b1"]]/title)");
+  CheckAgainstOracle(indexed, "//*/title");
+  CheckAgainstOracle(indexed, "//book/*");
+}
+
+TEST_P(AlgorithmTest, EmptyResults) {
+  auto indexed = MustIndex(kBibXml);
+  CheckAgainstOracle(indexed, "//nonexistent");
+  CheckAgainstOracle(indexed, "//article/chapter");
+  CheckAgainstOracle(indexed, "/article");  // root is dblp
+}
+
+TEST_P(AlgorithmTest, OrderSensitiveQueries) {
+  auto indexed = MustIndex(kBibXml);
+  // author before title holds; title before author does not.
+  CheckAgainstOracle(indexed, "//article[ordered][author][title]");
+  CheckAgainstOracle(indexed, "//article[ordered][title][author]");
+  CheckAgainstOracle(indexed, "//book[ordered][year][chapter]");
+}
+
+TEST_P(AlgorithmTest, GeneratedDblpCorpus) {
+  datagen::DblpOptions options;
+  options.num_publications = 60;
+  options.seed = 7;
+  index::IndexedDocument indexed(datagen::GenerateDblp(options));
+  CheckAgainstOracle(indexed, "//article[author]/title");
+  CheckAgainstOracle(indexed, "//inproceedings[booktitle]/year");
+  CheckAgainstOracle(indexed, "//dblp/*[author][title]/year");
+}
+
+TEST_P(AlgorithmTest, GeneratedXmarkCorpus) {
+  datagen::XmarkOptions options;
+  options.num_items = 20;
+  options.num_people = 10;
+  options.num_auctions = 10;
+  options.seed = 3;
+  index::IndexedDocument indexed(datagen::GenerateXmark(options));
+  CheckAgainstOracle(indexed, "//item[payment]//text");
+  CheckAgainstOracle(indexed, "//listitem//listitem");
+  CheckAgainstOracle(indexed, "//parlist[listitem//parlist]");
+  CheckAgainstOracle(indexed, "//person[profile/interest]/name");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, AlgorithmTest,
+    ::testing::Values(Algorithm::kStructuralJoin, Algorithm::kPathStack,
+                      Algorithm::kTwigStack, Algorithm::kTJFast),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      std::string name(AlgorithmName(info.param));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+// ------------------------------------------------- evaluator-level tests
+
+TEST(EvaluatorTest, AutoPicksPathStackForPaths) {
+  auto indexed = MustIndex(kBibXml);
+  auto result = Evaluate(indexed, Q("//book/title"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.algorithm, "pathstack");
+}
+
+TEST(EvaluatorTest, AutoPicksHolisticForTwigs) {
+  auto indexed = MustIndex(kBibXml);
+  auto result = Evaluate(indexed, Q("//book[year]/title"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->stats.algorithm == "twigstack" ||
+              result->stats.algorithm == "tjfast")
+      << result->stats.algorithm;
+}
+
+TEST(EvaluatorTest, AutoPrefersTjFastWhenInternalStreamsDominate) {
+  // The internal query tag 'a' floods the document; the leaves are rare.
+  // Cost-based selection must avoid scanning the huge internal stream.
+  std::string xml = "<r>";
+  for (int i = 0; i < 50; ++i) {
+    xml += "<a><a><a>";
+    if (i % 10 == 0) xml += "<b/><c/>";
+    xml += "</a></a></a>";
+  }
+  xml += "</r>";
+  auto indexed = MustIndex(xml);
+  auto result = Evaluate(indexed, Q("//a[b]/c"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.algorithm, "tjfast");
+}
+
+TEST(EvaluatorTest, PathStackRejectsTwigs) {
+  auto indexed = MustIndex(kBibXml);
+  EvalOptions options;
+  options.algorithm = Algorithm::kPathStack;
+  auto result = Evaluate(indexed, Q("//book[year]/title"), options);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(EvaluatorTest, InvalidQueryRejected) {
+  auto indexed = MustIndex(kBibXml);
+  TwigQuery query;  // empty
+  EXPECT_FALSE(Evaluate(indexed, query).ok());
+}
+
+TEST(EvaluatorTest, OrderFilterCanBeDisabled) {
+  auto indexed = MustIndex(kBibXml);
+  TwigQuery ordered = Q("//article[ordered][title][author]");
+  EvalOptions with;
+  with.apply_order = true;
+  EvalOptions without;
+  without.apply_order = false;
+  auto filtered = Evaluate(indexed, ordered, with);
+  auto unfiltered = Evaluate(indexed, ordered, without);
+  ASSERT_TRUE(filtered.ok());
+  ASSERT_TRUE(unfiltered.ok());
+  EXPECT_LT(filtered->matches.size(), unfiltered->matches.size());
+  EXPECT_TRUE(filtered->matches.empty());  // title never precedes author
+}
+
+TEST(EvaluatorTest, OutputNodesProjectsAndDeduplicates) {
+  auto indexed = MustIndex(kBibXml);
+  TwigQuery query = Q("//article[author]/title");
+  auto result = Evaluate(indexed, query);
+  ASSERT_TRUE(result.ok());
+  // a1 has two authors -> two matches, one title; a2 one author.
+  EXPECT_EQ(result->matches.size(), 3u);
+  std::vector<xml::NodeId> titles = result->OutputNodes(query.output());
+  EXPECT_EQ(titles.size(), 2u);
+}
+
+TEST(EvaluatorTest, StatsArePopulated) {
+  auto indexed = MustIndex(kBibXml);
+  auto result = Evaluate(indexed, Q("//article[author]/title"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.candidates_scanned, 0u);
+  EXPECT_EQ(result->stats.matches, result->matches.size());
+  EXPECT_GE(result->stats.elapsed_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace lotusx::twig

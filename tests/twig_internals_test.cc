@@ -1,0 +1,215 @@
+// Unit tests for the twig engine's internal building blocks: candidate
+// generation, the path-solution merge, and the order filter. These are
+// exercised indirectly by every algorithm test; here their individual
+// contracts are pinned down.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "twig/candidates.h"
+#include "twig/order_filter.h"
+#include "twig/path_merge.h"
+#include "twig/query_parser.h"
+
+namespace lotusx::twig {
+namespace {
+
+using lotusx::testing::MustIndex;
+using xml::NodeId;
+
+constexpr std::string_view kXml = R"(<r>
+  <a k="v1"><b>one two</b><c>three</c></a>
+  <a k="v2"><b>two</b></a>
+  <a><b>one</b><b>two three</b></a>
+</r>)";
+
+TwigQuery Q(std::string_view text) {
+  auto result = ParseQuery(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+// ------------------------------------------------------------- Candidates
+
+TEST(CandidatesTest, TagStreamWithoutPredicate) {
+  auto indexed = MustIndex(kXml);
+  TwigQuery query = Q("//b");
+  std::vector<NodeId> candidates = CandidatesFor(indexed, query, 0);
+  EXPECT_EQ(candidates.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+}
+
+TEST(CandidatesTest, WildcardYieldsAllElements) {
+  auto indexed = MustIndex(kXml);
+  TwigQuery query = Q("//*");
+  std::vector<NodeId> candidates = CandidatesFor(indexed, query, 0);
+  int elements = 0;
+  for (NodeId id = 0; id < indexed.document().num_nodes(); ++id) {
+    if (indexed.document().node(id).kind == xml::NodeKind::kElement) {
+      ++elements;
+    }
+  }
+  EXPECT_EQ(candidates.size(), static_cast<size_t>(elements));
+}
+
+TEST(CandidatesTest, ContainsPredicateRequiresAllTokens) {
+  auto indexed = MustIndex(kXml);
+  TwigQuery query = Q(R"(//b[~"one two"])");
+  std::vector<NodeId> candidates = CandidatesFor(indexed, query, 0);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(indexed.document().ContentString(candidates[0]), "one two");
+}
+
+TEST(CandidatesTest, EqualsPredicateIsExact) {
+  auto indexed = MustIndex(kXml);
+  EXPECT_EQ(CandidatesFor(indexed, Q(R"(//b[="two"])"), 0).size(), 1u);
+  EXPECT_EQ(CandidatesFor(indexed, Q(R"(//b[="two "])"), 0).size(), 1u);
+  EXPECT_EQ(CandidatesFor(indexed, Q(R"(//b[="tw"])"), 0).size(), 0u);
+}
+
+TEST(CandidatesTest, AttributePredicates) {
+  auto indexed = MustIndex(kXml);
+  EXPECT_EQ(CandidatesFor(indexed, Q(R"(//@k[="v1"])"), 0).size(), 1u);
+  EXPECT_EQ(CandidatesFor(indexed, Q("//@k"), 0).size(), 2u);
+}
+
+TEST(CandidatesTest, UnknownTagYieldsNothing) {
+  auto indexed = MustIndex(kXml);
+  EXPECT_TRUE(CandidatesFor(indexed, Q("//zzz"), 0).empty());
+}
+
+TEST(CandidatesTest, ChildRootAxisPinsDocumentRoot) {
+  auto indexed = MustIndex(kXml);
+  EXPECT_EQ(CandidatesFor(indexed, Q("/r"), 0).size(), 1u);
+  EXPECT_TRUE(CandidatesFor(indexed, Q("/a"), 0).empty());
+}
+
+TEST(CandidatesTest, NodeSatisfiesAgreesWithCandidates) {
+  auto indexed = MustIndex(kXml);
+  TwigQuery query = Q(R"(//b[~"two"])");
+  std::vector<NodeId> candidates = CandidatesFor(indexed, query, 0);
+  std::set<NodeId> set(candidates.begin(), candidates.end());
+  for (NodeId id = 0; id < indexed.document().num_nodes(); ++id) {
+    EXPECT_EQ(NodeSatisfies(indexed, query, 0, id), set.contains(id))
+        << "node " << id;
+  }
+}
+
+// -------------------------------------------------------------- PathMerge
+
+TEST(PathMergeTest, SinglePathPassesThrough) {
+  TwigQuery query = Q("//a/b");
+  std::vector<std::vector<QueryNodeId>> paths = {{0, 1}};
+  std::vector<std::vector<std::vector<NodeId>>> solutions = {
+      {{10, 11}, {20, 21}}};
+  uint64_t tuples = 0;
+  std::vector<Match> merged =
+      MergePathSolutions(query, paths, solutions, &tuples);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].bindings, (std::vector<NodeId>{10, 11}));
+  EXPECT_EQ(tuples, 2u);
+}
+
+TEST(PathMergeTest, JoinsOnSharedPrefix) {
+  TwigQuery query = Q("//a[b]/c");  // paths (a,b) and (a,c) share a
+  std::vector<std::vector<QueryNodeId>> paths = {{0, 1}, {0, 2}};
+  std::vector<std::vector<std::vector<NodeId>>> solutions = {
+      {{10, 11}, {20, 21}},          // (a,b)
+      {{10, 12}, {10, 13}, {30, 31}}  // (a,c); 30 has no b partner
+  };
+  uint64_t tuples = 0;
+  std::vector<Match> merged =
+      MergePathSolutions(query, paths, solutions, &tuples);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].bindings, (std::vector<NodeId>{10, 11, 12}));
+  EXPECT_EQ(merged[1].bindings, (std::vector<NodeId>{10, 11, 13}));
+}
+
+TEST(PathMergeTest, EmptySolutionListKillsEverything) {
+  TwigQuery query = Q("//a[b]/c");
+  std::vector<std::vector<QueryNodeId>> paths = {{0, 1}, {0, 2}};
+  std::vector<std::vector<std::vector<NodeId>>> solutions = {
+      {{10, 11}}, {}};
+  uint64_t tuples = 0;
+  EXPECT_TRUE(
+      MergePathSolutions(query, paths, solutions, &tuples).empty());
+}
+
+TEST(PathMergeTest, OrderPruningDropsViolatingPartials) {
+  auto indexed = MustIndex("<r><a><b>x</b><c>y</c></a></r>");
+  const xml::Document& document = indexed.document();
+  // b precedes c in the document; demand the reverse.
+  TwigQuery query = Q("//a[ordered][c][b]");
+  NodeId a = 1;
+  NodeId b = 2;  // element b
+  NodeId c = 4;  // element c
+  ASSERT_EQ(document.TagName(b), "b");
+  ASSERT_EQ(document.TagName(c), "c");
+  std::vector<std::vector<QueryNodeId>> paths = {{0, 1}, {0, 2}};
+  std::vector<std::vector<std::vector<NodeId>>> solutions = {{{a, c}},
+                                                             {{a, b}}};
+  uint64_t tuples = 0;
+  MergeOptions options;
+  options.prune_order = true;
+  options.document = &document;
+  EXPECT_TRUE(
+      MergePathSolutions(query, paths, solutions, &tuples, options).empty());
+  // Without pruning the (invalid) tuple survives the merge.
+  EXPECT_EQ(MergePathSolutions(query, paths, solutions, &tuples).size(), 1u);
+}
+
+// ------------------------------------------------------------ OrderFilter
+
+TEST(OrderFilterTest, DisjointPrecedingSiblingsPass) {
+  auto indexed = MustIndex("<r><a><b>x</b><c>y</c></a></r>");
+  TwigQuery query = Q("//a[ordered][b][c]");
+  auto oracle = lotusx::testing::BruteForceMatches(indexed, query,
+                                                   /*apply_order=*/false);
+  ASSERT_EQ(oracle.size(), 1u);
+  EXPECT_TRUE(
+      SatisfiesOrderConstraints(indexed.document(), query, oracle[0]));
+  TwigQuery reversed = Q("//a[ordered][c][b]");
+  auto reversed_oracle = lotusx::testing::BruteForceMatches(
+      indexed, reversed, /*apply_order=*/false);
+  ASSERT_EQ(reversed_oracle.size(), 1u);
+  EXPECT_FALSE(SatisfiesOrderConstraints(indexed.document(), reversed,
+                                         reversed_oracle[0]));
+}
+
+TEST(OrderFilterTest, NestedBindingsViolateOrder) {
+  // b contains c: they are not disjoint, so neither order holds.
+  auto indexed = MustIndex("<r><a><b><c>x</c></b></a></r>");
+  for (std::string_view text :
+       {"//a[ordered][b][//c]", "//a[ordered][//c][b]"}) {
+    TwigQuery query = Q(text);
+    auto unordered = lotusx::testing::BruteForceMatches(
+        indexed, query, /*apply_order=*/false);
+    ASSERT_EQ(unordered.size(), 1u) << text;
+    EXPECT_FALSE(SatisfiesOrderConstraints(indexed.document(), query,
+                                           unordered[0]))
+        << text;
+  }
+}
+
+TEST(OrderFilterTest, FilterByOrderRemovesInPlace) {
+  auto indexed = MustIndex("<r><a><b>x</b><c>y</c><b>z</b></a></r>");
+  TwigQuery query = Q("//a[ordered][b][c]");
+  std::vector<Match> matches = lotusx::testing::BruteForceMatches(
+      indexed, query, /*apply_order=*/false);
+  ASSERT_EQ(matches.size(), 2u);  // two b choices
+  FilterByOrder(indexed.document(), query, &matches);
+  ASSERT_EQ(matches.size(), 1u);  // only the first b precedes c
+}
+
+TEST(OrderFilterTest, UnorderedNodesAreIgnored) {
+  auto indexed = MustIndex("<r><a><c>y</c><b>x</b></a></r>");
+  TwigQuery query = Q("//a[b][c]");  // no [ordered]
+  std::vector<Match> matches = lotusx::testing::BruteForceMatches(
+      indexed, query, /*apply_order=*/false);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_TRUE(
+      SatisfiesOrderConstraints(indexed.document(), query, matches[0]));
+}
+
+}  // namespace
+}  // namespace lotusx::twig

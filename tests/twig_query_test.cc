@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "twig/query_parser.h"
+#include "twig/twig_query.h"
+
+namespace lotusx::twig {
+namespace {
+
+TwigQuery MustParseQuery(std::string_view text) {
+  auto result = ParseQuery(text);
+  EXPECT_TRUE(result.ok()) << text << " -> " << result.status().ToString();
+  return std::move(result).value();
+}
+
+// ------------------------------------------------------------- TwigQuery
+
+TEST(TwigQueryTest, BuildProgrammatically) {
+  TwigQuery query;
+  QueryNodeId book = query.AddRoot("book");
+  QueryNodeId title = query.AddChild(book, Axis::kChild, "title");
+  QueryNodeId author = query.AddChild(book, Axis::kDescendant, "author");
+  query.SetOutput(title);
+  EXPECT_EQ(query.size(), 3);
+  EXPECT_EQ(query.output(), title);
+  EXPECT_EQ(query.node(author).incoming_axis, Axis::kDescendant);
+  EXPECT_TRUE(query.Validate().ok());
+  EXPECT_FALSE(query.IsPath());
+  EXPECT_EQ(query.Leaves(), (std::vector<QueryNodeId>{title, author}));
+}
+
+TEST(TwigQueryTest, ValidateRejectsBadQueries) {
+  TwigQuery empty;
+  EXPECT_TRUE(empty.Validate().IsInvalidArgument());
+
+  TwigQuery wildcard_eq;
+  QueryNodeId node = wildcard_eq.AddRoot("*");
+  wildcard_eq.SetPredicate(
+      node, ValuePredicate{ValuePredicate::Op::kEquals, "x"});
+  EXPECT_TRUE(wildcard_eq.Validate().IsInvalidArgument());
+}
+
+TEST(TwigQueryTest, DefaultOutputIsRoot) {
+  TwigQuery query;
+  query.AddRoot("a");
+  query.AddChild(0, Axis::kChild, "b");
+  EXPECT_EQ(query.output(), 0);
+}
+
+TEST(TwigQueryTest, RootToLeafPaths) {
+  TwigQuery query;
+  QueryNodeId a = query.AddRoot("a");
+  QueryNodeId b = query.AddChild(a, Axis::kChild, "b");
+  QueryNodeId c = query.AddChild(b, Axis::kChild, "c");
+  QueryNodeId d = query.AddChild(a, Axis::kDescendant, "d");
+  std::vector<std::vector<QueryNodeId>> paths = query.RootToLeafPaths();
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], (std::vector<QueryNodeId>{a, b, c}));
+  EXPECT_EQ(paths[1], (std::vector<QueryNodeId>{a, d}));
+}
+
+TEST(TwigQueryTest, HasOrderConstraintsNeedsTwoChildren) {
+  TwigQuery query;
+  QueryNodeId a = query.AddRoot("a");
+  query.AddChild(a, Axis::kChild, "b");
+  query.SetOrdered(a, true);
+  EXPECT_FALSE(query.HasOrderConstraints());  // single child: vacuous
+  query.AddChild(a, Axis::kChild, "c");
+  EXPECT_TRUE(query.HasOrderConstraints());
+}
+
+// ---------------------------------------------------------------- Parser
+
+TEST(QueryParserTest, SimplePath) {
+  TwigQuery query = MustParseQuery("//book/title");
+  ASSERT_EQ(query.size(), 2);
+  EXPECT_EQ(query.node(0).tag, "book");
+  EXPECT_EQ(query.root_axis(), Axis::kDescendant);
+  EXPECT_EQ(query.node(1).tag, "title");
+  EXPECT_EQ(query.node(1).incoming_axis, Axis::kChild);
+  EXPECT_EQ(query.output(), 1);  // last spine step by default
+  EXPECT_TRUE(query.IsPath());
+}
+
+TEST(QueryParserTest, AbsoluteRoot) {
+  TwigQuery query = MustParseQuery("/dblp//author");
+  EXPECT_EQ(query.root_axis(), Axis::kChild);
+  EXPECT_EQ(query.node(1).incoming_axis, Axis::kDescendant);
+}
+
+TEST(QueryParserTest, Branches) {
+  TwigQuery query = MustParseQuery("//book[author][//year]/title");
+  ASSERT_EQ(query.size(), 4);
+  EXPECT_EQ(query.node(0).tag, "book");
+  EXPECT_EQ(query.node(1).tag, "author");
+  EXPECT_EQ(query.node(1).incoming_axis, Axis::kChild);
+  EXPECT_EQ(query.node(2).tag, "year");
+  EXPECT_EQ(query.node(2).incoming_axis, Axis::kDescendant);
+  EXPECT_EQ(query.node(3).tag, "title");
+  EXPECT_EQ(query.output(), 3);
+}
+
+TEST(QueryParserTest, MultiStepBranch) {
+  TwigQuery query = MustParseQuery("//a[b/c//d]/e");
+  ASSERT_EQ(query.size(), 5);
+  EXPECT_EQ(query.node(1).tag, "b");
+  EXPECT_EQ(query.node(2).tag, "c");
+  EXPECT_EQ(query.node(2).parent, 1);
+  EXPECT_EQ(query.node(3).tag, "d");
+  EXPECT_EQ(query.node(3).incoming_axis, Axis::kDescendant);
+  EXPECT_EQ(query.node(4).tag, "e");
+  EXPECT_EQ(query.node(4).parent, 0);
+}
+
+TEST(QueryParserTest, ValuePredicates) {
+  TwigQuery query = MustParseQuery(R"(//book[year[="2012"]]/title[~"xml"])");
+  ASSERT_EQ(query.size(), 3);
+  EXPECT_EQ(query.node(1).predicate.op, ValuePredicate::Op::kEquals);
+  EXPECT_EQ(query.node(1).predicate.text, "2012");
+  EXPECT_EQ(query.node(2).predicate.op, ValuePredicate::Op::kContains);
+  EXPECT_EQ(query.node(2).predicate.text, "xml");
+}
+
+TEST(QueryParserTest, StringEscapes) {
+  TwigQuery query = MustParseQuery(R"(//t[="a\"b\\c"])");
+  EXPECT_EQ(query.node(0).predicate.text, "a\"b\\c");
+}
+
+TEST(QueryParserTest, OrderedMarker) {
+  TwigQuery query = MustParseQuery("//book[ordered][title][author]");
+  EXPECT_TRUE(query.node(0).ordered);
+  EXPECT_TRUE(query.HasOrderConstraints());
+}
+
+TEST(QueryParserTest, ExplicitOutputMarker) {
+  TwigQuery query = MustParseQuery("//book[author!]/title");
+  EXPECT_EQ(query.node(query.output()).tag, "author");
+}
+
+TEST(QueryParserTest, WildcardAndAttribute) {
+  TwigQuery query = MustParseQuery("//*/@key");
+  EXPECT_EQ(query.node(0).tag, "*");
+  EXPECT_EQ(query.node(1).tag, "@key");
+}
+
+TEST(QueryParserTest, RejectsBadSyntax) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("book").ok());          // missing axis
+  EXPECT_FALSE(ParseQuery("//").ok());            // missing name
+  EXPECT_FALSE(ParseQuery("//a[").ok());          // unclosed qualifier
+  EXPECT_FALSE(ParseQuery("//a[=]").ok());        // missing string
+  EXPECT_FALSE(ParseQuery("//a[=\"x]").ok());     // unterminated string
+  EXPECT_FALSE(ParseQuery("//a!//b!").ok());      // two output markers
+  EXPECT_FALSE(ParseQuery("//a//").ok());         // trailing axis
+  EXPECT_FALSE(ParseQuery("//@").ok());           // bare @
+}
+
+TEST(QueryParserTest, RejectsDoublePredicate) {
+  EXPECT_FALSE(ParseQuery(R"(//a[="x"][="y"])").ok());
+}
+
+// ------------------------------------------------------------ Round trip
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, ParseToStringParse) {
+  TwigQuery query = MustParseQuery(GetParam());
+  std::string rendered = query.ToString();
+  TwigQuery reparsed = MustParseQuery(rendered);
+  EXPECT_EQ(reparsed, query) << GetParam() << " -> " << rendered;
+  // ToString must be a fixed point.
+  EXPECT_EQ(reparsed.ToString(), rendered);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, RoundTripTest,
+    ::testing::Values(
+        "//book/title", "/dblp//article", "//a[b][c]/d",
+        R"(//book[year[="2012"]]/title)", R"(//t[~"xml twig"])",
+        "//book[ordered][title][author]", "//a[b/c//d]/e",
+        "//book[author!]/title", "//*/@key", "//a",
+        R"(//product[brand[="acme"]][//rating]/name!)",
+        "//site//item[payment][description//text]/name"));
+
+}  // namespace
+}  // namespace lotusx::twig

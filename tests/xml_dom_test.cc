@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "xml/dom.h"
+#include "xml/dom_builder.h"
+#include "xml/writer.h"
+
+namespace lotusx::xml {
+namespace {
+
+constexpr std::string_view kSample = R"(<dblp>
+  <article key="a1">
+    <author>jiaheng lu</author>
+    <title>twig joins</title>
+    <year>2005</year>
+  </article>
+  <book key="b1">
+    <author>tok wang ling</author>
+    <title>xml databases</title>
+  </book>
+</dblp>)";
+
+Document Parse(std::string_view xml) {
+  auto result = ParseDocument(xml);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(DomTest, BuildsPreorderStructure) {
+  Document doc = Parse(kSample);
+  ASSERT_FALSE(doc.empty());
+  EXPECT_EQ(doc.root(), 0);
+  EXPECT_EQ(doc.TagName(doc.root()), "dblp");
+  // dblp + 2 pubs + 2 key attrs + (3+2) child elements + 5 texts = 15.
+  EXPECT_EQ(doc.num_nodes(), 15);
+  EXPECT_TRUE(doc.finalized());
+}
+
+TEST(DomTest, AttributesAreAtPrefixedChildren) {
+  Document doc = Parse(kSample);
+  std::vector<NodeId> children = doc.Children(doc.root());
+  ASSERT_EQ(children.size(), 2u);
+  NodeId article = children[0];
+  std::vector<NodeId> article_children = doc.Children(article);
+  ASSERT_EQ(article_children.size(), 4u);  // @key, author, title, year
+  EXPECT_EQ(doc.node(article_children[0]).kind, NodeKind::kAttribute);
+  EXPECT_EQ(doc.TagName(article_children[0]), "@key");
+  EXPECT_EQ(doc.Value(article_children[0]), "a1");
+}
+
+TEST(DomTest, DepthAndParentLinks) {
+  Document doc = Parse(kSample);
+  for (NodeId id = 1; id < doc.num_nodes(); ++id) {
+    NodeId parent = doc.node(id).parent;
+    EXPECT_GE(parent, 0);
+    EXPECT_LT(parent, id);
+    EXPECT_EQ(doc.node(id).depth, doc.node(parent).depth + 1);
+  }
+}
+
+TEST(DomTest, SubtreeExtentsAreConsistent) {
+  Document doc = Parse(kSample);
+  for (NodeId id = 0; id < doc.num_nodes(); ++id) {
+    NodeId end = doc.node(id).subtree_end;
+    EXPECT_GE(end, id);
+    // Every node in (id, end] must be a descendant; the one after must not.
+    for (NodeId other = id + 1; other <= end; ++other) {
+      EXPECT_TRUE(doc.IsAncestor(id, other));
+    }
+    if (end + 1 < doc.num_nodes()) {
+      EXPECT_FALSE(doc.IsAncestor(id, end + 1));
+    }
+  }
+}
+
+TEST(DomTest, ContentString) {
+  Document doc = Parse(kSample);
+  std::vector<NodeId> children = doc.Children(doc.root());
+  NodeId article = children[0];
+  EXPECT_EQ(doc.ContentString(article), "");  // no direct text
+  NodeId author = doc.Children(article)[1];
+  EXPECT_EQ(doc.ContentString(author), "jiaheng lu");
+}
+
+TEST(DomTest, TagInterning) {
+  Document doc = Parse(kSample);
+  TagId author = doc.FindTag("author");
+  ASSERT_NE(author, kInvalidTagId);
+  EXPECT_EQ(doc.tag_name(author), "author");
+  EXPECT_EQ(doc.FindTag("nonexistent"), kInvalidTagId);
+  // "author" appears twice but is interned once.
+  int author_tags = 0;
+  for (TagId t = 0; t < doc.num_tags(); ++t) {
+    if (doc.tag_name(t) == "author") ++author_tags;
+  }
+  EXPECT_EQ(author_tags, 1);
+}
+
+TEST(DomTest, WhitespaceTextSkippedByDefault) {
+  Document doc = Parse("<a>\n  <b>x</b>\n</a>");
+  // Only a, b, and the "x" text node.
+  EXPECT_EQ(doc.num_nodes(), 3);
+}
+
+TEST(DomTest, WhitespaceTextKeptOnRequest) {
+  DomBuilderOptions options;
+  options.skip_whitespace_text = false;
+  auto result = ParseDocument("<a>\n  <b>x</b>\n</a>", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_nodes(), 5);
+}
+
+TEST(DomTest, AttributesDroppedOnRequest) {
+  DomBuilderOptions options;
+  options.keep_attributes = false;
+  auto result = ParseDocument(R"(<a k="v"><b x="y"/></a>)", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_nodes(), 2);
+}
+
+TEST(DomTest, NamespacePrefixesKeptByDefault) {
+  Document doc = Parse(
+      R"(<d:dblp xmlns:d="http://dblp.org"><d:article d:key="a"/></d:dblp>)");
+  EXPECT_EQ(doc.TagName(doc.root()), "d:dblp");
+  EXPECT_NE(doc.FindTag("@xmlns:d"), kInvalidTagId);
+  EXPECT_NE(doc.FindTag("d:article"), kInvalidTagId);
+}
+
+TEST(DomTest, NamespacePrefixStrippingForSearch) {
+  DomBuilderOptions options;
+  options.namespaces = NamespaceHandling::kStripPrefixes;
+  auto result = ParseDocument(
+      R"(<d:dblp xmlns:d="http://dblp.org" xmlns="http://x">)"
+      R"(<d:article d:key="a1"><title>x</title></d:article></d:dblp>)",
+      options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Document& doc = *result;
+  EXPECT_EQ(doc.TagName(doc.root()), "dblp");
+  EXPECT_NE(doc.FindTag("article"), kInvalidTagId);
+  EXPECT_NE(doc.FindTag("@key"), kInvalidTagId);
+  // xmlns declarations are dropped entirely.
+  EXPECT_EQ(doc.FindTag("@xmlns:d"), kInvalidTagId);
+  EXPECT_EQ(doc.FindTag("@xmlns"), kInvalidTagId);
+  EXPECT_EQ(doc.FindTag("d:article"), kInvalidTagId);
+}
+
+TEST(DomTest, ParseErrorPropagates) {
+  auto result = ParseDocument("<a><b></a>");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+}
+
+TEST(DomDeathTest, AppendAfterFinalizeDies) {
+  Document doc;
+  doc.AppendElement(kInvalidNodeId, "a");
+  doc.Finalize();
+  EXPECT_DEATH(doc.AppendElement(0, "b"), "finalized");
+}
+
+TEST(DomDeathTest, SecondRootDies) {
+  Document doc;
+  doc.AppendElement(kInvalidNodeId, "a");
+  EXPECT_DEATH(doc.AppendElement(kInvalidNodeId, "b"), "root");
+}
+
+// ---------------------------------------------------------------- Writer
+
+TEST(WriterTest, RoundTripPreservesStructure) {
+  Document original = Parse(kSample);
+  std::string serialized = WriteXml(original);
+  Document reparsed = Parse(serialized);
+  ASSERT_EQ(reparsed.num_nodes(), original.num_nodes());
+  for (NodeId id = 0; id < original.num_nodes(); ++id) {
+    EXPECT_EQ(reparsed.node(id).kind, original.node(id).kind);
+    EXPECT_EQ(reparsed.node(id).parent, original.node(id).parent);
+    if (original.node(id).kind != NodeKind::kText) {
+      EXPECT_EQ(reparsed.TagName(id), original.TagName(id));
+    } else {
+      EXPECT_EQ(reparsed.Value(id), original.Value(id));
+    }
+  }
+}
+
+TEST(WriterTest, EscapesSpecialCharacters) {
+  Document doc = Parse("<a k=\"x&amp;y\">5 &lt; 6</a>");
+  std::string serialized = WriteXml(doc);
+  EXPECT_NE(serialized.find("&amp;"), std::string::npos);
+  EXPECT_NE(serialized.find("&lt;"), std::string::npos);
+  Document reparsed = Parse(serialized);
+  EXPECT_EQ(reparsed.ContentString(reparsed.root()), "5 < 6");
+}
+
+TEST(WriterTest, SelfClosingForEmptyElements) {
+  Document doc = Parse("<a><b/></a>");
+  std::string serialized = WriteXml(doc, WriterOptions{.declaration = false});
+  EXPECT_EQ(serialized, "<a><b/></a>");
+}
+
+TEST(WriterTest, PrettyPrintIndents) {
+  Document doc = Parse("<a><b>x</b></a>");
+  std::string pretty = WriteXml(doc, WriterOptions{.indent = 2});
+  EXPECT_NE(pretty.find("\n  <b>"), std::string::npos) << pretty;
+}
+
+TEST(WriterTest, SubtreeSerialization) {
+  Document doc = Parse(kSample);
+  NodeId book = doc.Children(doc.root())[1];
+  std::string serialized =
+      WriteXml(doc, book, WriterOptions{.declaration = false});
+  EXPECT_EQ(serialized.substr(0, 5), "<book");
+  Document reparsed = Parse(serialized);
+  EXPECT_EQ(reparsed.TagName(reparsed.root()), "book");
+}
+
+}  // namespace
+}  // namespace lotusx::xml

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "xml/escape.h"
+#include "xml/pull_parser.h"
+
+namespace lotusx::xml {
+namespace {
+
+/// Drains the parser into a flat event list, failing the test on error.
+std::vector<Event> MustParseEvents(std::string_view xml) {
+  PullParser parser(xml);
+  std::vector<Event> events;
+  Event event;
+  while (true) {
+    Status status = parser.Next(&event);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    if (!status.ok() || event.kind == EventKind::kEndDocument) break;
+    events.push_back(event);
+  }
+  return events;
+}
+
+/// Runs the parser to completion and returns the first error (OK if none).
+Status ParseError(std::string_view xml) {
+  PullParser parser(xml);
+  Event event;
+  while (true) {
+    Status status = parser.Next(&event);
+    if (!status.ok()) return status;
+    if (event.kind == EventKind::kEndDocument) return Status::OK();
+  }
+}
+
+TEST(PullParserTest, MinimalDocument) {
+  std::vector<Event> events = MustParseEvents("<a/>");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kStartElement);
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[1].kind, EventKind::kEndElement);
+  EXPECT_EQ(events[1].name, "a");
+}
+
+TEST(PullParserTest, NestedElementsAndText) {
+  std::vector<Event> events =
+      MustParseEvents("<a><b>hello</b><c>world</c></a>");
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[1].name, "b");
+  EXPECT_EQ(events[2].kind, EventKind::kText);
+  EXPECT_EQ(events[2].text, "hello");
+  EXPECT_EQ(events[5].kind, EventKind::kText);
+  EXPECT_EQ(events[5].text, "world");
+}
+
+TEST(PullParserTest, Attributes) {
+  std::vector<Event> events =
+      MustParseEvents(R"(<a x="1" y='two' z="a&amp;b"/>)");
+  ASSERT_EQ(events[0].attributes.size(), 3u);
+  EXPECT_EQ(events[0].attributes[0].name, "x");
+  EXPECT_EQ(events[0].attributes[0].value, "1");
+  EXPECT_EQ(events[0].attributes[1].value, "two");
+  EXPECT_EQ(events[0].attributes[2].value, "a&b");
+}
+
+TEST(PullParserTest, EntitiesInText) {
+  std::vector<Event> events =
+      MustParseEvents("<a>&lt;tag&gt; &amp; &quot;x&quot; &apos;y&apos;"
+                      " &#65;&#x42;</a>");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].text, "<tag> & \"x\" 'y' AB");
+}
+
+TEST(PullParserTest, NumericEntityUtf8) {
+  std::vector<Event> events = MustParseEvents("<a>&#x4E2D;&#233;</a>");
+  EXPECT_EQ(events[1].text, "\xE4\xB8\xAD\xC3\xA9");  // 中é
+}
+
+TEST(PullParserTest, CDataIsText) {
+  std::vector<Event> events =
+      MustParseEvents("<a><![CDATA[<not> & parsed]]></a>");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].kind, EventKind::kText);
+  EXPECT_EQ(events[1].text, "<not> & parsed");
+}
+
+TEST(PullParserTest, CommentsAndPis) {
+  std::vector<Event> events = MustParseEvents(
+      "<?xml version=\"1.0\"?><!-- prolog --><a><!-- inner "
+      "--><?target data?></a><!-- epilog -->");
+  // Prolog/epilog comments are consumed during prolog/epilog handling or
+  // reported; inner ones must be reported in order.
+  bool saw_comment = false;
+  bool saw_pi = false;
+  for (const Event& event : events) {
+    if (event.kind == EventKind::kComment && event.text == " inner ") {
+      saw_comment = true;
+    }
+    if (event.kind == EventKind::kProcessingInstruction) {
+      EXPECT_EQ(event.name, "target");
+      EXPECT_EQ(event.text, "data");
+      saw_pi = true;
+    }
+  }
+  EXPECT_TRUE(saw_comment);
+  EXPECT_TRUE(saw_pi);
+}
+
+TEST(PullParserTest, DoctypeWithInternalSubsetIsSkipped) {
+  std::vector<Event> events = MustParseEvents(
+      "<!DOCTYPE dblp [ <!ELEMENT dblp (x)*> <!ENTITY e \"v>\"> ]><dblp/>");
+  ASSERT_GE(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "dblp");
+}
+
+TEST(PullParserTest, Utf8BomIsSkipped) {
+  std::vector<Event> events = MustParseEvents("\xEF\xBB\xBF<a/>");
+  EXPECT_EQ(events[0].name, "a");
+}
+
+TEST(PullParserTest, WhitespaceAroundRootAllowed) {
+  EXPECT_TRUE(ParseError("  \n<a/>\n  ").ok());
+}
+
+TEST(PullParserTest, SelfClosingWithAttributes) {
+  std::vector<Event> events = MustParseEvents("<a><b k=\"v\"/></a>");
+  EXPECT_EQ(events[1].name, "b");
+  EXPECT_EQ(events[2].kind, EventKind::kEndElement);
+  EXPECT_EQ(events[2].name, "b");
+}
+
+// ---------------------------------------------------------------- Errors
+
+TEST(PullParserTest, MismatchedTagsRejected) {
+  EXPECT_TRUE(ParseError("<a><b></a></b>").IsCorruption());
+}
+
+TEST(PullParserTest, UnclosedRootRejected) {
+  EXPECT_TRUE(ParseError("<a><b></b>").IsCorruption());
+}
+
+TEST(PullParserTest, MultipleRootsRejected) {
+  EXPECT_TRUE(ParseError("<a/><b/>").IsCorruption());
+}
+
+TEST(PullParserTest, TextOutsideRootRejected) {
+  EXPECT_TRUE(ParseError("<a/>stray").IsCorruption());
+  EXPECT_TRUE(ParseError("stray<a/>").IsCorruption());
+}
+
+TEST(PullParserTest, DuplicateAttributeRejected) {
+  EXPECT_TRUE(ParseError("<a x=\"1\" x=\"2\"/>").IsCorruption());
+}
+
+TEST(PullParserTest, UnquotedAttributeRejected) {
+  EXPECT_TRUE(ParseError("<a x=1/>").IsCorruption());
+}
+
+TEST(PullParserTest, BadEntityRejected) {
+  EXPECT_TRUE(ParseError("<a>&bogus;</a>").IsCorruption());
+  EXPECT_TRUE(ParseError("<a>& bare</a>").IsCorruption());
+  EXPECT_TRUE(ParseError("<a>&#xZZ;</a>").IsCorruption());
+  EXPECT_TRUE(ParseError("<a>&#x110000;</a>").IsCorruption());  // > U+10FFFF
+}
+
+TEST(PullParserTest, EmptyInputRejected) {
+  EXPECT_TRUE(ParseError("").IsCorruption());
+  EXPECT_TRUE(ParseError("   ").IsCorruption());
+}
+
+TEST(PullParserTest, DoubleDashInCommentRejected) {
+  EXPECT_TRUE(ParseError("<a><!-- x -- y --></a>").IsCorruption());
+}
+
+TEST(PullParserTest, ReservedPiTargetRejected) {
+  EXPECT_TRUE(ParseError("<a><?xml bad?></a>").IsCorruption());
+}
+
+TEST(PullParserTest, LtInAttributeValueRejected) {
+  EXPECT_TRUE(ParseError("<a x=\"<\"/>").IsCorruption());
+}
+
+TEST(PullParserTest, UnmatchedEndTagRejected) {
+  EXPECT_TRUE(ParseError("<a></a></b>").IsCorruption());
+}
+
+TEST(PullParserTest, ErrorIsSticky) {
+  PullParser parser("<a><b></a>");
+  Event event;
+  Status first;
+  while (true) {
+    first = parser.Next(&event);
+    if (!first.ok()) break;
+    ASSERT_NE(event.kind, EventKind::kEndDocument);
+  }
+  Status second = parser.Next(&event);
+  EXPECT_EQ(first, second);
+}
+
+TEST(PullParserTest, ErrorsReportPosition) {
+  Status status = ParseError("<a>\n  <b></c>\n</a>");
+  ASSERT_TRUE(status.IsCorruption());
+  EXPECT_NE(status.message().find("2:"), std::string::npos)
+      << status.message();
+}
+
+TEST(PullParserTest, DeepNestingBeyondLimitRejected) {
+  std::string xml;
+  for (int i = 0; i < 5000; ++i) xml += "<a>";
+  for (int i = 0; i < 5000; ++i) xml += "</a>";
+  EXPECT_TRUE(ParseError(xml).IsCorruption());
+}
+
+// ---------------------------------------------------------------- Escape
+
+TEST(EscapeTest, TextEscaping) {
+  EXPECT_EQ(EscapeText("a<b>&c"), "a&lt;b&gt;&amp;c");
+  EXPECT_EQ(EscapeText("plain"), "plain");
+  EXPECT_EQ(EscapeText("\"quotes'ok\""), "\"quotes'ok\"");
+}
+
+TEST(EscapeTest, AttributeEscaping) {
+  EXPECT_EQ(EscapeAttribute("a\"b<c"), "a&quot;b&lt;c");
+}
+
+TEST(EscapeTest, UnescapeRoundTrip) {
+  std::string original = "a<b>&c\"d'e";
+  std::string unescaped;
+  ASSERT_TRUE(UnescapeEntities(EscapeText(original), &unescaped).ok());
+  EXPECT_EQ(unescaped, original);
+}
+
+TEST(EscapeTest, AppendUtf8Boundaries) {
+  std::string out;
+  EXPECT_TRUE(AppendUtf8(0x7F, &out));
+  EXPECT_TRUE(AppendUtf8(0x80, &out));
+  EXPECT_TRUE(AppendUtf8(0x7FF, &out));
+  EXPECT_TRUE(AppendUtf8(0x800, &out));
+  EXPECT_TRUE(AppendUtf8(0xFFFF, &out));
+  EXPECT_TRUE(AppendUtf8(0x10000, &out));
+  EXPECT_TRUE(AppendUtf8(0x10FFFF, &out));
+  EXPECT_FALSE(AppendUtf8(0x110000, &out));
+  EXPECT_FALSE(AppendUtf8(0xD800, &out));  // surrogate
+  EXPECT_EQ(out.size(), 1u + 2 + 2 + 3 + 3 + 4 + 4);
+}
+
+}  // namespace
+}  // namespace lotusx::xml
