@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_autocomplete"
+  "../bench/bench_autocomplete.pdb"
+  "CMakeFiles/bench_autocomplete.dir/bench_autocomplete.cc.o"
+  "CMakeFiles/bench_autocomplete.dir/bench_autocomplete.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_autocomplete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

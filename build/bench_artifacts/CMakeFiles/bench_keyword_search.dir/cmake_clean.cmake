@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_keyword_search"
+  "../bench/bench_keyword_search.pdb"
+  "CMakeFiles/bench_keyword_search.dir/bench_keyword_search.cc.o"
+  "CMakeFiles/bench_keyword_search.dir/bench_keyword_search.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_keyword_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

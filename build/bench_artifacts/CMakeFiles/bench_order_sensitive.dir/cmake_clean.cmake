@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_order_sensitive"
+  "../bench/bench_order_sensitive.pdb"
+  "CMakeFiles/bench_order_sensitive.dir/bench_order_sensitive.cc.o"
+  "CMakeFiles/bench_order_sensitive.dir/bench_order_sensitive.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_order_sensitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

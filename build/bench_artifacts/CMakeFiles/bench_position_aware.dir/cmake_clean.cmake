@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_position_aware"
+  "../bench/bench_position_aware.pdb"
+  "CMakeFiles/bench_position_aware.dir/bench_position_aware.cc.o"
+  "CMakeFiles/bench_position_aware.dir/bench_position_aware.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_position_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rewrite"
+  "../bench/bench_rewrite.pdb"
+  "CMakeFiles/bench_rewrite.dir/bench_rewrite.cc.o"
+  "CMakeFiles/bench_rewrite.dir/bench_rewrite.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_schema_prune"
+  "../bench/bench_schema_prune.pdb"
+  "CMakeFiles/bench_schema_prune.dir/bench_schema_prune.cc.o"
+  "CMakeFiles/bench_schema_prune.dir/bench_schema_prune.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schema_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_twig_algorithms"
+  "../bench/bench_twig_algorithms.pdb"
+  "CMakeFiles/bench_twig_algorithms.dir/bench_twig_algorithms.cc.o"
+  "CMakeFiles/bench_twig_algorithms.dir/bench_twig_algorithms.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_twig_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_repl.dir/interactive_repl.cpp.o"
+  "CMakeFiles/interactive_repl.dir/interactive_repl.cpp.o.d"
+  "interactive_repl"
+  "interactive_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_catalog.dir/store_catalog.cpp.o"
+  "CMakeFiles/store_catalog.dir/store_catalog.cpp.o.d"
+  "store_catalog"
+  "store_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("xml")
+subdirs("labeling")
+subdirs("index")
+subdirs("twig")
+subdirs("keyword")
+subdirs("autocomplete")
+subdirs("ranking")
+subdirs("rewrite")
+subdirs("session")
+subdirs("datagen")
+subdirs("lotusx")

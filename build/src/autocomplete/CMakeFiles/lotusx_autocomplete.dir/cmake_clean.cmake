@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotusx_autocomplete.dir/completion.cc.o"
+  "CMakeFiles/lotusx_autocomplete.dir/completion.cc.o.d"
+  "liblotusx_autocomplete.a"
+  "liblotusx_autocomplete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotusx_autocomplete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

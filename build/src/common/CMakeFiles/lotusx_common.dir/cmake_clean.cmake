@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotusx_common.dir/coding.cc.o"
+  "CMakeFiles/lotusx_common.dir/coding.cc.o.d"
+  "CMakeFiles/lotusx_common.dir/logging.cc.o"
+  "CMakeFiles/lotusx_common.dir/logging.cc.o.d"
+  "CMakeFiles/lotusx_common.dir/random.cc.o"
+  "CMakeFiles/lotusx_common.dir/random.cc.o.d"
+  "CMakeFiles/lotusx_common.dir/status.cc.o"
+  "CMakeFiles/lotusx_common.dir/status.cc.o.d"
+  "CMakeFiles/lotusx_common.dir/string_util.cc.o"
+  "CMakeFiles/lotusx_common.dir/string_util.cc.o.d"
+  "liblotusx_common.a"
+  "liblotusx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotusx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

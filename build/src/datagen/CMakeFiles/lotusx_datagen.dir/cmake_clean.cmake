@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotusx_datagen.dir/datagen.cc.o"
+  "CMakeFiles/lotusx_datagen.dir/datagen.cc.o.d"
+  "liblotusx_datagen.a"
+  "liblotusx_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotusx_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

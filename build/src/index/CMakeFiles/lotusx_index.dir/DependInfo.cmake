@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/dataguide.cc" "src/index/CMakeFiles/lotusx_index.dir/dataguide.cc.o" "gcc" "src/index/CMakeFiles/lotusx_index.dir/dataguide.cc.o.d"
+  "/root/repo/src/index/document_stats.cc" "src/index/CMakeFiles/lotusx_index.dir/document_stats.cc.o" "gcc" "src/index/CMakeFiles/lotusx_index.dir/document_stats.cc.o.d"
+  "/root/repo/src/index/indexed_document.cc" "src/index/CMakeFiles/lotusx_index.dir/indexed_document.cc.o" "gcc" "src/index/CMakeFiles/lotusx_index.dir/indexed_document.cc.o.d"
+  "/root/repo/src/index/tag_streams.cc" "src/index/CMakeFiles/lotusx_index.dir/tag_streams.cc.o" "gcc" "src/index/CMakeFiles/lotusx_index.dir/tag_streams.cc.o.d"
+  "/root/repo/src/index/term_index.cc" "src/index/CMakeFiles/lotusx_index.dir/term_index.cc.o" "gcc" "src/index/CMakeFiles/lotusx_index.dir/term_index.cc.o.d"
+  "/root/repo/src/index/trie.cc" "src/index/CMakeFiles/lotusx_index.dir/trie.cc.o" "gcc" "src/index/CMakeFiles/lotusx_index.dir/trie.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/labeling/CMakeFiles/lotusx_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/lotusx_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lotusx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

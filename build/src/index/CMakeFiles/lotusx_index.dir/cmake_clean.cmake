@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotusx_index.dir/dataguide.cc.o"
+  "CMakeFiles/lotusx_index.dir/dataguide.cc.o.d"
+  "CMakeFiles/lotusx_index.dir/document_stats.cc.o"
+  "CMakeFiles/lotusx_index.dir/document_stats.cc.o.d"
+  "CMakeFiles/lotusx_index.dir/indexed_document.cc.o"
+  "CMakeFiles/lotusx_index.dir/indexed_document.cc.o.d"
+  "CMakeFiles/lotusx_index.dir/tag_streams.cc.o"
+  "CMakeFiles/lotusx_index.dir/tag_streams.cc.o.d"
+  "CMakeFiles/lotusx_index.dir/term_index.cc.o"
+  "CMakeFiles/lotusx_index.dir/term_index.cc.o.d"
+  "CMakeFiles/lotusx_index.dir/trie.cc.o"
+  "CMakeFiles/lotusx_index.dir/trie.cc.o.d"
+  "liblotusx_index.a"
+  "liblotusx_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotusx_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/keyword/keyword_search.cc" "src/keyword/CMakeFiles/lotusx_keyword.dir/keyword_search.cc.o" "gcc" "src/keyword/CMakeFiles/lotusx_keyword.dir/keyword_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/lotusx_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/lotusx_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lotusx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/labeling/CMakeFiles/lotusx_labeling.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotusx_keyword.dir/keyword_search.cc.o"
+  "CMakeFiles/lotusx_keyword.dir/keyword_search.cc.o.d"
+  "liblotusx_keyword.a"
+  "liblotusx_keyword.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotusx_keyword.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/labeling/containment.cc" "src/labeling/CMakeFiles/lotusx_labeling.dir/containment.cc.o" "gcc" "src/labeling/CMakeFiles/lotusx_labeling.dir/containment.cc.o.d"
+  "/root/repo/src/labeling/dewey.cc" "src/labeling/CMakeFiles/lotusx_labeling.dir/dewey.cc.o" "gcc" "src/labeling/CMakeFiles/lotusx_labeling.dir/dewey.cc.o.d"
+  "/root/repo/src/labeling/extended_dewey.cc" "src/labeling/CMakeFiles/lotusx_labeling.dir/extended_dewey.cc.o" "gcc" "src/labeling/CMakeFiles/lotusx_labeling.dir/extended_dewey.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/lotusx_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lotusx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotusx_labeling.dir/containment.cc.o"
+  "CMakeFiles/lotusx_labeling.dir/containment.cc.o.d"
+  "CMakeFiles/lotusx_labeling.dir/dewey.cc.o"
+  "CMakeFiles/lotusx_labeling.dir/dewey.cc.o.d"
+  "CMakeFiles/lotusx_labeling.dir/extended_dewey.cc.o"
+  "CMakeFiles/lotusx_labeling.dir/extended_dewey.cc.o.d"
+  "liblotusx_labeling.a"
+  "liblotusx_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotusx_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotusx_engine.dir/collection.cc.o"
+  "CMakeFiles/lotusx_engine.dir/collection.cc.o.d"
+  "CMakeFiles/lotusx_engine.dir/engine.cc.o"
+  "CMakeFiles/lotusx_engine.dir/engine.cc.o.d"
+  "liblotusx_engine.a"
+  "liblotusx_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotusx_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotusx_ranking.dir/ranker.cc.o"
+  "CMakeFiles/lotusx_ranking.dir/ranker.cc.o.d"
+  "liblotusx_ranking.a"
+  "liblotusx_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotusx_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

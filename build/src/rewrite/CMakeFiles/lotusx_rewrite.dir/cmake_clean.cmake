@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotusx_rewrite.dir/rewriter.cc.o"
+  "CMakeFiles/lotusx_rewrite.dir/rewriter.cc.o.d"
+  "liblotusx_rewrite.a"
+  "liblotusx_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotusx_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotusx_session.dir/canvas.cc.o"
+  "CMakeFiles/lotusx_session.dir/canvas.cc.o.d"
+  "CMakeFiles/lotusx_session.dir/canvas_io.cc.o"
+  "CMakeFiles/lotusx_session.dir/canvas_io.cc.o.d"
+  "CMakeFiles/lotusx_session.dir/protocol.cc.o"
+  "CMakeFiles/lotusx_session.dir/protocol.cc.o.d"
+  "CMakeFiles/lotusx_session.dir/session.cc.o"
+  "CMakeFiles/lotusx_session.dir/session.cc.o.d"
+  "CMakeFiles/lotusx_session.dir/svg_export.cc.o"
+  "CMakeFiles/lotusx_session.dir/svg_export.cc.o.d"
+  "liblotusx_session.a"
+  "liblotusx_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotusx_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

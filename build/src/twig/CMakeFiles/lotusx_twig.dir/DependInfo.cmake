@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/twig/candidates.cc" "src/twig/CMakeFiles/lotusx_twig.dir/candidates.cc.o" "gcc" "src/twig/CMakeFiles/lotusx_twig.dir/candidates.cc.o.d"
+  "/root/repo/src/twig/evaluator.cc" "src/twig/CMakeFiles/lotusx_twig.dir/evaluator.cc.o" "gcc" "src/twig/CMakeFiles/lotusx_twig.dir/evaluator.cc.o.d"
+  "/root/repo/src/twig/order_filter.cc" "src/twig/CMakeFiles/lotusx_twig.dir/order_filter.cc.o" "gcc" "src/twig/CMakeFiles/lotusx_twig.dir/order_filter.cc.o.d"
+  "/root/repo/src/twig/path_merge.cc" "src/twig/CMakeFiles/lotusx_twig.dir/path_merge.cc.o" "gcc" "src/twig/CMakeFiles/lotusx_twig.dir/path_merge.cc.o.d"
+  "/root/repo/src/twig/path_stack.cc" "src/twig/CMakeFiles/lotusx_twig.dir/path_stack.cc.o" "gcc" "src/twig/CMakeFiles/lotusx_twig.dir/path_stack.cc.o.d"
+  "/root/repo/src/twig/query_export.cc" "src/twig/CMakeFiles/lotusx_twig.dir/query_export.cc.o" "gcc" "src/twig/CMakeFiles/lotusx_twig.dir/query_export.cc.o.d"
+  "/root/repo/src/twig/query_from_example.cc" "src/twig/CMakeFiles/lotusx_twig.dir/query_from_example.cc.o" "gcc" "src/twig/CMakeFiles/lotusx_twig.dir/query_from_example.cc.o.d"
+  "/root/repo/src/twig/query_parser.cc" "src/twig/CMakeFiles/lotusx_twig.dir/query_parser.cc.o" "gcc" "src/twig/CMakeFiles/lotusx_twig.dir/query_parser.cc.o.d"
+  "/root/repo/src/twig/schema_match.cc" "src/twig/CMakeFiles/lotusx_twig.dir/schema_match.cc.o" "gcc" "src/twig/CMakeFiles/lotusx_twig.dir/schema_match.cc.o.d"
+  "/root/repo/src/twig/selectivity.cc" "src/twig/CMakeFiles/lotusx_twig.dir/selectivity.cc.o" "gcc" "src/twig/CMakeFiles/lotusx_twig.dir/selectivity.cc.o.d"
+  "/root/repo/src/twig/stack_common.cc" "src/twig/CMakeFiles/lotusx_twig.dir/stack_common.cc.o" "gcc" "src/twig/CMakeFiles/lotusx_twig.dir/stack_common.cc.o.d"
+  "/root/repo/src/twig/structural_join.cc" "src/twig/CMakeFiles/lotusx_twig.dir/structural_join.cc.o" "gcc" "src/twig/CMakeFiles/lotusx_twig.dir/structural_join.cc.o.d"
+  "/root/repo/src/twig/tjfast.cc" "src/twig/CMakeFiles/lotusx_twig.dir/tjfast.cc.o" "gcc" "src/twig/CMakeFiles/lotusx_twig.dir/tjfast.cc.o.d"
+  "/root/repo/src/twig/twig_query.cc" "src/twig/CMakeFiles/lotusx_twig.dir/twig_query.cc.o" "gcc" "src/twig/CMakeFiles/lotusx_twig.dir/twig_query.cc.o.d"
+  "/root/repo/src/twig/twig_stack.cc" "src/twig/CMakeFiles/lotusx_twig.dir/twig_stack.cc.o" "gcc" "src/twig/CMakeFiles/lotusx_twig.dir/twig_stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/lotusx_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/labeling/CMakeFiles/lotusx_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/lotusx_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lotusx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotusx_twig.dir/candidates.cc.o"
+  "CMakeFiles/lotusx_twig.dir/candidates.cc.o.d"
+  "CMakeFiles/lotusx_twig.dir/evaluator.cc.o"
+  "CMakeFiles/lotusx_twig.dir/evaluator.cc.o.d"
+  "CMakeFiles/lotusx_twig.dir/order_filter.cc.o"
+  "CMakeFiles/lotusx_twig.dir/order_filter.cc.o.d"
+  "CMakeFiles/lotusx_twig.dir/path_merge.cc.o"
+  "CMakeFiles/lotusx_twig.dir/path_merge.cc.o.d"
+  "CMakeFiles/lotusx_twig.dir/path_stack.cc.o"
+  "CMakeFiles/lotusx_twig.dir/path_stack.cc.o.d"
+  "CMakeFiles/lotusx_twig.dir/query_export.cc.o"
+  "CMakeFiles/lotusx_twig.dir/query_export.cc.o.d"
+  "CMakeFiles/lotusx_twig.dir/query_from_example.cc.o"
+  "CMakeFiles/lotusx_twig.dir/query_from_example.cc.o.d"
+  "CMakeFiles/lotusx_twig.dir/query_parser.cc.o"
+  "CMakeFiles/lotusx_twig.dir/query_parser.cc.o.d"
+  "CMakeFiles/lotusx_twig.dir/schema_match.cc.o"
+  "CMakeFiles/lotusx_twig.dir/schema_match.cc.o.d"
+  "CMakeFiles/lotusx_twig.dir/selectivity.cc.o"
+  "CMakeFiles/lotusx_twig.dir/selectivity.cc.o.d"
+  "CMakeFiles/lotusx_twig.dir/stack_common.cc.o"
+  "CMakeFiles/lotusx_twig.dir/stack_common.cc.o.d"
+  "CMakeFiles/lotusx_twig.dir/structural_join.cc.o"
+  "CMakeFiles/lotusx_twig.dir/structural_join.cc.o.d"
+  "CMakeFiles/lotusx_twig.dir/tjfast.cc.o"
+  "CMakeFiles/lotusx_twig.dir/tjfast.cc.o.d"
+  "CMakeFiles/lotusx_twig.dir/twig_query.cc.o"
+  "CMakeFiles/lotusx_twig.dir/twig_query.cc.o.d"
+  "CMakeFiles/lotusx_twig.dir/twig_stack.cc.o"
+  "CMakeFiles/lotusx_twig.dir/twig_stack.cc.o.d"
+  "liblotusx_twig.a"
+  "liblotusx_twig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotusx_twig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/dom.cc" "src/xml/CMakeFiles/lotusx_xml.dir/dom.cc.o" "gcc" "src/xml/CMakeFiles/lotusx_xml.dir/dom.cc.o.d"
+  "/root/repo/src/xml/dom_builder.cc" "src/xml/CMakeFiles/lotusx_xml.dir/dom_builder.cc.o" "gcc" "src/xml/CMakeFiles/lotusx_xml.dir/dom_builder.cc.o.d"
+  "/root/repo/src/xml/escape.cc" "src/xml/CMakeFiles/lotusx_xml.dir/escape.cc.o" "gcc" "src/xml/CMakeFiles/lotusx_xml.dir/escape.cc.o.d"
+  "/root/repo/src/xml/pull_parser.cc" "src/xml/CMakeFiles/lotusx_xml.dir/pull_parser.cc.o" "gcc" "src/xml/CMakeFiles/lotusx_xml.dir/pull_parser.cc.o.d"
+  "/root/repo/src/xml/writer.cc" "src/xml/CMakeFiles/lotusx_xml.dir/writer.cc.o" "gcc" "src/xml/CMakeFiles/lotusx_xml.dir/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lotusx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotusx_xml.dir/dom.cc.o"
+  "CMakeFiles/lotusx_xml.dir/dom.cc.o.d"
+  "CMakeFiles/lotusx_xml.dir/dom_builder.cc.o"
+  "CMakeFiles/lotusx_xml.dir/dom_builder.cc.o.d"
+  "CMakeFiles/lotusx_xml.dir/escape.cc.o"
+  "CMakeFiles/lotusx_xml.dir/escape.cc.o.d"
+  "CMakeFiles/lotusx_xml.dir/pull_parser.cc.o"
+  "CMakeFiles/lotusx_xml.dir/pull_parser.cc.o.d"
+  "CMakeFiles/lotusx_xml.dir/writer.cc.o"
+  "CMakeFiles/lotusx_xml.dir/writer.cc.o.d"
+  "liblotusx_xml.a"
+  "liblotusx_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotusx_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

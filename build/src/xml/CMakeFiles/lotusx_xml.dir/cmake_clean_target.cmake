@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblotusx_xml.a"
+)

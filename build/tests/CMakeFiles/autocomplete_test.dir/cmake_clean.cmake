@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocomplete_test.dir/autocomplete_test.cc.o"
+  "CMakeFiles/autocomplete_test.dir/autocomplete_test.cc.o.d"
+  "autocomplete_test"
+  "autocomplete_test.pdb"
+  "autocomplete_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocomplete_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

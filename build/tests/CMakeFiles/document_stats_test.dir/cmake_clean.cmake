@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_stats_test.dir/document_stats_test.cc.o"
+  "CMakeFiles/document_stats_test.dir/document_stats_test.cc.o.d"
+  "document_stats_test"
+  "document_stats_test.pdb"
+  "document_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/lotusx_test_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lotusx/CMakeFiles/lotusx_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/session/CMakeFiles/lotusx_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/autocomplete/CMakeFiles/lotusx_autocomplete.dir/DependInfo.cmake"
+  "/root/repo/build/src/ranking/CMakeFiles/lotusx_ranking.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/lotusx_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/lotusx_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/twig/CMakeFiles/lotusx_twig.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/lotusx_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/labeling/CMakeFiles/lotusx_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/lotusx_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lotusx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/keyword/CMakeFiles/lotusx_keyword.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotusx_test_util.dir/test_util.cc.o"
+  "CMakeFiles/lotusx_test_util.dir/test_util.cc.o.d"
+  "liblotusx_test_util.a"
+  "liblotusx_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotusx_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_export_test.dir/query_export_test.cc.o"
+  "CMakeFiles/query_export_test.dir/query_export_test.cc.o.d"
+  "query_export_test"
+  "query_export_test.pdb"
+  "query_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_from_example_test.dir/query_from_example_test.cc.o"
+  "CMakeFiles/query_from_example_test.dir/query_from_example_test.cc.o.d"
+  "query_from_example_test"
+  "query_from_example_test.pdb"
+  "query_from_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_from_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

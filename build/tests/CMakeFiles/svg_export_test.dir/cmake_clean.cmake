@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svg_export_test.dir/svg_export_test.cc.o"
+  "CMakeFiles/svg_export_test.dir/svg_export_test.cc.o.d"
+  "svg_export_test"
+  "svg_export_test.pdb"
+  "svg_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svg_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_algorithms_test.dir/twig_algorithms_test.cc.o"
+  "CMakeFiles/twig_algorithms_test.dir/twig_algorithms_test.cc.o.d"
+  "twig_algorithms_test"
+  "twig_algorithms_test.pdb"
+  "twig_algorithms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

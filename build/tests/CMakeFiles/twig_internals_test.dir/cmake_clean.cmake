@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_internals_test.dir/twig_internals_test.cc.o"
+  "CMakeFiles/twig_internals_test.dir/twig_internals_test.cc.o.d"
+  "twig_internals_test"
+  "twig_internals_test.pdb"
+  "twig_internals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_query_test.dir/twig_query_test.cc.o"
+  "CMakeFiles/twig_query_test.dir/twig_query_test.cc.o.d"
+  "twig_query_test"
+  "twig_query_test.pdb"
+  "twig_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xml_parser_test.cc" "tests/CMakeFiles/xml_parser_test.dir/xml_parser_test.cc.o" "gcc" "tests/CMakeFiles/xml_parser_test.dir/xml_parser_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/lotusx_test_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/lotusx_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/twig/CMakeFiles/lotusx_twig.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/lotusx_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/labeling/CMakeFiles/lotusx_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/lotusx_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lotusx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

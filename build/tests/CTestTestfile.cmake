@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_dom_test[1]_include.cmake")
+include("/root/repo/build/tests/labeling_test[1]_include.cmake")
+include("/root/repo/build/tests/trie_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/twig_query_test[1]_include.cmake")
+include("/root/repo/build/tests/twig_algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/autocomplete_test[1]_include.cmake")
+include("/root/repo/build/tests/ranking_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite_test[1]_include.cmake")
+include("/root/repo/build/tests/session_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/selectivity_test[1]_include.cmake")
+include("/root/repo/build/tests/query_export_test[1]_include.cmake")
+include("/root/repo/build/tests/collection_test[1]_include.cmake")
+include("/root/repo/build/tests/svg_export_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/query_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/keyword_search_test[1]_include.cmake")
+include("/root/repo/build/tests/twig_internals_test[1]_include.cmake")
+include("/root/repo/build/tests/document_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/canvas_io_test[1]_include.cmake")
+include("/root/repo/build/tests/query_from_example_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/regression_test[1]_include.cmake")
