@@ -21,12 +21,12 @@ namespace lotusx {
 namespace {
 
 const index::IndexedDocument& SharedCorpus() {
-  static const index::IndexedDocument* corpus = [] {
+  static const index::IndexedDocument corpus = [] {
     datagen::DblpOptions options;
     options.num_publications = 4000;
-    return new index::IndexedDocument(datagen::GenerateDblp(options));
+    return index::IndexedDocument(datagen::GenerateDblp(options));
   }();
-  return *corpus;
+  return corpus;
 }
 
 void BM_XmlParse(benchmark::State& state) {

@@ -1,0 +1,55 @@
+# Sanitizer and warning configuration for LotusX.
+#
+# Usage (normally via CMakePresets.json):
+#   -DLOTUSX_SANITIZE=address,undefined   ASan + UBSan
+#   -DLOTUSX_SANITIZE=thread              TSan
+#   -DLOTUSX_WERROR=ON                    promote warnings to errors (CI)
+#
+# ASan/UBSan and TSan are mutually exclusive; mixing them is a
+# configure-time error. Sanitized builds force frame pointers so reports
+# have usable stacks, and define LOTUSX_ENABLE_INVARIANT_CHECKS so the
+# LOTUSX_DCHECK* invariant layer stays active even in optimized builds.
+
+set(LOTUSX_SANITIZE "" CACHE STRING
+    "Comma/semicolon-separated sanitizers: address, undefined, thread, leak")
+option(LOTUSX_WERROR "Treat compiler warnings as errors" OFF)
+
+function(lotusx_setup_sanitizers)
+  if(LOTUSX_WERROR)
+    add_compile_options(-Werror)
+  endif()
+
+  if(NOT LOTUSX_SANITIZE)
+    return()
+  endif()
+
+  string(REPLACE "," ";" _sanitizers "${LOTUSX_SANITIZE}")
+  list(REMOVE_DUPLICATES _sanitizers)
+
+  set(_known address undefined thread leak)
+  foreach(_s IN LISTS _sanitizers)
+    if(NOT _s IN_LIST _known)
+      message(FATAL_ERROR "Unknown sanitizer '${_s}' in LOTUSX_SANITIZE "
+                          "(known: ${_known})")
+    endif()
+  endforeach()
+
+  if("thread" IN_LIST _sanitizers AND
+     ("address" IN_LIST _sanitizers OR "leak" IN_LIST _sanitizers))
+    message(FATAL_ERROR
+            "TSan cannot be combined with ASan/LSan (LOTUSX_SANITIZE="
+            "${LOTUSX_SANITIZE})")
+  endif()
+
+  string(REPLACE ";" "," _fsanitize "${_sanitizers}")
+  set(_flags -fsanitize=${_fsanitize} -fno-omit-frame-pointer)
+  if("undefined" IN_LIST _sanitizers)
+    # Abort on UB instead of printing and continuing, so ctest fails loudly.
+    list(APPEND _flags -fno-sanitize-recover=undefined)
+  endif()
+
+  add_compile_options(${_flags})
+  add_link_options(${_flags})
+  add_compile_definitions(LOTUSX_ENABLE_INVARIANT_CHECKS=1)
+  message(STATUS "LotusX: building with -fsanitize=${_fsanitize}")
+endfunction()

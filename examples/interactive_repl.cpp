@@ -6,7 +6,9 @@
 // Usage:
 //   interactive_repl [file.xml]        # index a file, then read commands
 //   echo "HELP" | interactive_repl     # scripted use
+//   interactive_repl --validate [file.xml]   # audit index invariants
 
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <unistd.h>
@@ -60,10 +62,19 @@ constexpr std::string_view kScriptedSession =
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool validate = false;
+  const char* xml_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--validate") == 0) {
+      validate = true;
+    } else {
+      xml_path = argv[i];
+    }
+  }
   lotusx::StatusOr<lotusx::Engine> engine =
       lotusx::Status::Internal("unset");
-  if (argc > 1) {
-    engine = lotusx::Engine::FromXmlFile(argv[1]);
+  if (xml_path != nullptr) {
+    engine = lotusx::Engine::FromXmlFile(xml_path);
   } else {
     lotusx::datagen::DblpOptions options;
     options.num_publications = 500;
@@ -74,6 +85,16 @@ int main(int argc, char** argv) {
     std::cerr << "cannot build engine: " << engine.status().ToString()
               << "\n";
     return 1;
+  }
+  if (validate) {
+    lotusx::Status audit = engine->ValidateIndex();
+    if (!audit.ok()) {
+      std::cerr << "index audit FAILED: " << audit.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "index audit OK — " << engine->document().num_nodes()
+              << " nodes, all invariants hold.\n";
+    return 0;
   }
   std::cout << "LotusX interactive session — " << engine->document().num_nodes()
             << " nodes indexed. Type HELP for commands.\n\n";

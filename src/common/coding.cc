@@ -1,6 +1,7 @@
 #include "common/coding.h"
 
 #include <cstdio>
+#include <limits>
 
 namespace lotusx {
 
@@ -115,6 +116,11 @@ Status Decoder::GetSortedU32List(std::vector<uint32_t>* values) {
   for (uint64_t i = 0; i < count; ++i) {
     uint32_t delta = 0;
     LOTUSX_RETURN_IF_ERROR(GetVarint32(&delta));
+    // A wrapping accumulator would silently break the sortedness the
+    // callers (posting lists, tag streams) rely on.
+    if (delta > std::numeric_limits<uint32_t>::max() - current) {
+      return Status::Corruption("sorted list overflows uint32");
+    }
     current += delta;
     values->push_back(current);
   }

@@ -1,0 +1,97 @@
+#ifndef LOTUSX_COMMON_INVARIANT_H_
+#define LOTUSX_COMMON_INVARIANT_H_
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+/// Debug invariant layer.
+///
+/// Two complementary mechanisms:
+///
+///  1. LOTUSX_DCHECK* — assertion macros guarding hot-path invariants
+///     (stack discipline in the twig joins, label ordering, cursor
+///     bounds). They abort on violation, and compile to nothing unless
+///     LOTUSX_ENABLE_INVARIANT_CHECKS is defined — which the build system
+///     does for Debug and all sanitized builds (cmake/Sanitizers.cmake),
+///     so the fuzz/stress suites always run with the net up while release
+///     hot paths pay nothing.
+///
+///  2. LOTUSX_ENSURE / ValidateInvariants() — deep structural validation
+///     that is *always* compiled: core index structures expose
+///     `Status ValidateInvariants(...)` methods built on LOTUSX_ENSURE,
+///     which returns Status::Corruption instead of aborting. Tests, the
+///     stress suite, and the engine's --validate mode call these to audit
+///     a whole index image regardless of build mode.
+
+#if defined(LOTUSX_ENABLE_INVARIANT_CHECKS)
+#define LOTUSX_DCHECK(cond) CHECK(cond)
+#else
+#define LOTUSX_DCHECK(cond) DCHECK(cond)
+#endif
+
+#define LOTUSX_DCHECK_EQ(a, b) LOTUSX_DCHECK((a) == (b))
+#define LOTUSX_DCHECK_NE(a, b) LOTUSX_DCHECK((a) != (b))
+#define LOTUSX_DCHECK_LT(a, b) LOTUSX_DCHECK((a) < (b))
+#define LOTUSX_DCHECK_LE(a, b) LOTUSX_DCHECK((a) <= (b))
+#define LOTUSX_DCHECK_GT(a, b) LOTUSX_DCHECK((a) > (b))
+#define LOTUSX_DCHECK_GE(a, b) LOTUSX_DCHECK((a) >= (b))
+
+/// Asserts that `range` is sorted non-decreasing / strictly increasing.
+#define LOTUSX_DCHECK_SORTED(range) \
+  LOTUSX_DCHECK(::lotusx::invariant::IsSorted(range)) << "range not sorted "
+#define LOTUSX_DCHECK_STRICTLY_SORTED(range)                \
+  LOTUSX_DCHECK(::lotusx::invariant::IsStrictlySorted(range)) \
+      << "range not strictly sorted "
+
+/// Inside a `Status ValidateInvariants(...)` method: returns
+/// Status::Corruption naming the violated condition when `cond` is false.
+/// The trailing Detail() call lets callers append context:
+///   LOTUSX_ENSURE(a == b) << "tag " << tag;
+#define LOTUSX_ENSURE(cond)                                      \
+  if (cond) {                                                    \
+  } else /* NOLINT(readability-else-after-return) */             \
+    return ::lotusx::invariant::EnsureFailure(#cond, __FILE__, __LINE__)
+
+namespace lotusx::invariant {
+
+template <typename Range>
+bool IsSorted(const Range& range) {
+  return std::is_sorted(std::begin(range), std::end(range));
+}
+
+template <typename Range>
+bool IsStrictlySorted(const Range& range) {
+  return std::adjacent_find(std::begin(range), std::end(range),
+                            std::greater_equal<>()) == std::end(range);
+}
+
+/// Builder for LOTUSX_ENSURE failure messages; converts implicitly to
+/// Status so `return EnsureFailure(...) << detail` works.
+class EnsureFailure {
+ public:
+  EnsureFailure(const char* condition, const char* file, int line) {
+    stream_ << file << ":" << line << ": invariant violated: " << condition;
+  }
+
+  template <typename T>
+  EnsureFailure& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+  operator Status() const {  // NOLINT(google-explicit-constructor)
+    return Status::Corruption(stream_.str());
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace lotusx::invariant
+
+#endif  // LOTUSX_COMMON_INVARIANT_H_

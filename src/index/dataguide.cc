@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/invariant.h"
 #include "common/string_util.h"
 
 namespace lotusx::index {
@@ -149,6 +150,90 @@ std::string DataGuide::PathString(const xml::Document& document,
   return out;
 }
 
+Status DataGuide::ValidateInvariants(const xml::Document& document) const {
+  // Structural pass over the summary tree.
+  for (PathId id = 0; id < num_paths(); ++id) {
+    const PathNode& path = nodes_[static_cast<size_t>(id)];
+    LOTUSX_ENSURE(path.tag >= 0 && path.tag < document.num_tags())
+        << "path " << id << " tag " << path.tag;
+    if (id == 0) {
+      LOTUSX_ENSURE(path.parent == kInvalidPathId) << "root path has parent";
+      LOTUSX_ENSURE(path.depth == 0) << "root path depth " << path.depth;
+    } else {
+      LOTUSX_ENSURE(path.parent >= 0 && path.parent < id)
+          << "path " << id << " parent " << path.parent;
+      LOTUSX_ENSURE(path.depth ==
+                    nodes_[static_cast<size_t>(path.parent)].depth + 1)
+          << "path " << id << " depth " << path.depth;
+    }
+    std::vector<xml::TagId> child_tags;
+    for (PathId child : path.children) {
+      LOTUSX_ENSURE(child > id && child < num_paths())
+          << "path " << id << " child " << child;
+      const PathNode& child_node = nodes_[static_cast<size_t>(child)];
+      LOTUSX_ENSURE(child_node.parent == id)
+          << "path " << child << " parent " << child_node.parent
+          << " but child of " << id;
+      child_tags.push_back(child_node.tag);
+    }
+    // One path node per (parent, tag): children carry distinct tags.
+    std::sort(child_tags.begin(), child_tags.end());
+    LOTUSX_ENSURE(std::adjacent_find(child_tags.begin(), child_tags.end()) ==
+                  child_tags.end())
+        << "path " << id << " has duplicate child tags";
+  }
+
+  // Recount occurrences from the document and compare exactly.
+  LOTUSX_ENSURE(path_of_.size() ==
+                static_cast<size_t>(document.num_nodes()))
+      << "path_of covers " << path_of_.size() << " of "
+      << document.num_nodes() << " nodes";
+  std::vector<uint32_t> counts(nodes_.size(), 0);
+  std::vector<uint32_t> text_counts(nodes_.size(), 0);
+  for (xml::NodeId id = 0; id < document.num_nodes(); ++id) {
+    const xml::Document::Node& node = document.node(id);
+    PathId path = path_of_[static_cast<size_t>(id)];
+    if (node.kind == xml::NodeKind::kText) {
+      LOTUSX_ENSURE(path == kInvalidPathId)
+          << "text node " << id << " has path " << path;
+      PathId parent_path = path_of_[static_cast<size_t>(node.parent)];
+      LOTUSX_ENSURE(parent_path != kInvalidPathId)
+          << "text node " << id << " under unmapped parent";
+      ++text_counts[static_cast<size_t>(parent_path)];
+      continue;
+    }
+    LOTUSX_ENSURE(path >= 0 && path < num_paths())
+        << "node " << id << " path " << path;
+    const PathNode& path_node = nodes_[static_cast<size_t>(path)];
+    LOTUSX_ENSURE(path_node.tag == node.tag)
+        << "node " << id << " tag " << node.tag << " path tag "
+        << path_node.tag;
+    LOTUSX_ENSURE(path_node.depth == node.depth)
+        << "node " << id << " depth " << node.depth << " path depth "
+        << path_node.depth;
+    if (node.parent == xml::kInvalidNodeId) {
+      LOTUSX_ENSURE(path == 0) << "root node mapped to path " << path;
+    } else {
+      LOTUSX_ENSURE(path_node.parent ==
+                    path_of_[static_cast<size_t>(node.parent)])
+          << "node " << id << " path parent disagrees with document parent";
+    }
+    ++counts[static_cast<size_t>(path)];
+  }
+  for (PathId id = 0; id < num_paths(); ++id) {
+    const PathNode& path = nodes_[static_cast<size_t>(id)];
+    LOTUSX_ENSURE(path.count == counts[static_cast<size_t>(id)])
+        << "path " << id << " count " << path.count << " actual "
+        << counts[static_cast<size_t>(id)];
+    LOTUSX_ENSURE(path.text_count == text_counts[static_cast<size_t>(id)])
+        << "path " << id << " text_count " << path.text_count << " actual "
+        << text_counts[static_cast<size_t>(id)];
+    // Paths summarize the document: every path must occur.
+    LOTUSX_ENSURE(path.count > 0) << "path " << id << " occurs nowhere";
+  }
+  return Status::OK();
+}
+
 size_t DataGuide::MemoryUsage() const {
   size_t bytes = nodes_.capacity() * sizeof(PathNode) +
                  path_of_.capacity() * sizeof(PathId);
@@ -194,6 +279,15 @@ StatusOr<DataGuide> DataGuide::DecodeFrom(Decoder* decoder) {
     LOTUSX_RETURN_IF_ERROR(decoder->GetVarint32(&parent_plus1));
     LOTUSX_RETURN_IF_ERROR(decoder->GetVarint32(&count));
     LOTUSX_RETURN_IF_ERROR(decoder->GetVarint32(&text_count));
+    // A hostile tag id would turn negative in the TagId cast (indexing
+    // paths_by_tag_ out of bounds in BuildDerivedData below) or force an
+    // absurd paths_by_tag_ allocation; reject both before either happens.
+    // LoadFrom additionally cross-checks tags against the document's table.
+    constexpr uint32_t kMaxDecodedTag = 1u << 20;
+    if (tag >= kMaxDecodedTag) {
+      return Status::Corruption("dataguide tag id out of range: " +
+                                std::to_string(tag));
+    }
     node.tag = static_cast<xml::TagId>(tag);
     node.parent = static_cast<PathId>(parent_plus1) - 1;
     node.count = count;

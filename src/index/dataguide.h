@@ -73,6 +73,14 @@ class DataGuide {
 
   size_t MemoryUsage() const;
 
+  /// Audits the summary tree against `document`: parent/child/depth
+  /// consistency, tags within the document's tag table, and the occurrence
+  /// statistics (count, text_count, path_of_) in exact agreement with a
+  /// recount over the document. Returns Corruption naming the first
+  /// violated invariant. Run on every LoadFrom (the guide comes from an
+  /// untrusted file) and by tests / `--validate`.
+  Status ValidateInvariants(const xml::Document& document) const;
+
   void EncodeTo(Encoder* encoder) const;
   static StatusOr<DataGuide> DecodeFrom(Decoder* decoder);
 

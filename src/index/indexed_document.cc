@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/invariant.h"
 #include "common/timer.h"
 
 namespace lotusx::index {
@@ -84,6 +85,92 @@ void IndexedDocument::BuildDerivedIndexes() {
   stats_.tag_streams_bytes = tag_streams_.MemoryUsage();
   stats_.term_index_bytes = terms_.MemoryUsage();
   stats_.tag_trie_bytes = tag_trie_.MemoryUsage();
+}
+
+Status IndexedDocument::ValidateInvariants(bool deep) const {
+  LOTUSX_RETURN_IF_ERROR(document_.ValidateInvariants());
+
+  // Containment labels restate preorder rank / subtree extent / depth.
+  LOTUSX_ENSURE(containment_.size() ==
+                static_cast<size_t>(document_.num_nodes()))
+      << "containment covers " << containment_.size() << " nodes";
+  for (xml::NodeId id = 0; id < document_.num_nodes(); ++id) {
+    const labeling::ContainmentLabel& label = containment_.label(id);
+    const xml::Document::Node& node = document_.node(id);
+    LOTUSX_ENSURE(label.start == id && label.end == node.subtree_end &&
+                  label.level == node.depth)
+        << "containment label of node " << id << " disagrees with document";
+  }
+
+  // Dewey and extended Dewey: one label per node, length == depth, the
+  // parent's label a strict prefix, document order preserved, and (for
+  // extended Dewey) every component decoding to the node's tag through
+  // the transducer — the property TJFast and the position-aware features
+  // rely on.
+  LOTUSX_ENSURE(dewey_.size() == static_cast<size_t>(document_.num_nodes()))
+      << "dewey covers " << dewey_.size() << " nodes";
+  LOTUSX_ENSURE(extended_dewey_.size() ==
+                static_cast<size_t>(document_.num_nodes()))
+      << "extended dewey covers " << extended_dewey_.size() << " nodes";
+  for (xml::NodeId id = 0; id < document_.num_nodes(); ++id) {
+    const xml::Document::Node& node = document_.node(id);
+    labeling::DeweyView dewey = dewey_.label(id);
+    labeling::DeweyView extended = extended_dewey_.label(id);
+    LOTUSX_ENSURE(dewey.size() == static_cast<size_t>(node.depth))
+        << "dewey label of node " << id << " has length " << dewey.size();
+    LOTUSX_ENSURE(extended.size() == static_cast<size_t>(node.depth))
+        << "extended dewey label of node " << id << " has length "
+        << extended.size();
+    if (id == 0) continue;
+    LOTUSX_ENSURE(labeling::IsParentLabel(dewey_.label(node.parent), dewey))
+        << "dewey parent of node " << id << " is not a label prefix";
+    LOTUSX_ENSURE(labeling::IsParentLabel(
+        extended_dewey_.label(node.parent), extended))
+        << "extended dewey parent of node " << id
+        << " is not a label prefix";
+    LOTUSX_ENSURE(labeling::CompareLabels(dewey_.label(id - 1), dewey) < 0)
+        << "dewey labels out of document order at node " << id;
+    LOTUSX_ENSURE(labeling::CompareLabels(extended_dewey_.label(id - 1),
+                                          extended) < 0)
+        << "extended dewey labels out of document order at node " << id;
+    // Mod-k decode of the final component recovers the node's tag; with
+    // the parent prefix property this inductively proves DecodeTagPath
+    // recovers the whole root-to-node tag path.
+    labeling::XTagId parent_tag =
+        document_.node(node.parent).kind == xml::NodeKind::kText
+            ? transducer_.text_tag()
+            : document_.node(node.parent).tag;
+    labeling::XTagId node_tag = node.kind == xml::NodeKind::kText
+                                    ? transducer_.text_tag()
+                                    : node.tag;
+    const std::vector<labeling::XTagId>& siblings =
+        transducer_.ChildTags(parent_tag);
+    LOTUSX_ENSURE(!siblings.empty())
+        << "transducer has no children for tag " << parent_tag;
+    LOTUSX_ENSURE(siblings[static_cast<size_t>(extended.back()) %
+                           siblings.size()] == node_tag)
+        << "extended dewey component of node " << id
+        << " does not decode to its tag";
+  }
+
+  LOTUSX_RETURN_IF_ERROR(dataguide_.ValidateInvariants(document_));
+  LOTUSX_RETURN_IF_ERROR(tag_streams_.ValidateInvariants(document_));
+  LOTUSX_RETURN_IF_ERROR(terms_.ValidateInvariants(document_, deep));
+
+  // Tag completion trie mirrors the tag streams' occurrence counts.
+  LOTUSX_RETURN_IF_ERROR(tag_trie_.ValidateInvariants());
+  size_t live_tags = 0;
+  for (xml::TagId tag = 0; tag < document_.num_tags(); ++tag) {
+    uint64_t count = tag_streams_.count(tag);
+    if (count > 0) ++live_tags;
+    LOTUSX_ENSURE(tag_trie_.WeightOf(document_.tag_name(tag)) == count)
+        << "tag trie weight of '" << document_.tag_name(tag)
+        << "' disagrees with its stream";
+  }
+  LOTUSX_ENSURE(tag_trie_.num_keys() == live_tags)
+      << "tag trie holds " << tag_trie_.num_keys() << " keys, document has "
+      << live_tags << " live tags";
+  return Status::OK();
 }
 
 void EncodeDocument(const xml::Document& document, Encoder* encoder) {
@@ -220,6 +307,15 @@ StatusOr<IndexedDocument> IndexedDocument::LoadFrom(
   if (!decoder.Done()) {
     return Status::Corruption("trailing bytes in index file");
   }
+  // The decoders above only check local wire-format sanity; a structurally
+  // valid image can still carry cross-component lies (a tag stream node id
+  // past the document, a DataGuide summarizing a different tree, a cyclic
+  // completion trie that would hang Complete()). Audit the decoded parts
+  // against the document before anything queries them.
+  LOTUSX_RETURN_IF_ERROR(parts.dataguide.ValidateInvariants(document));
+  LOTUSX_RETURN_IF_ERROR(parts.tag_streams.ValidateInvariants(document));
+  LOTUSX_RETURN_IF_ERROR(
+      parts.terms.ValidateInvariants(document, /*deep=*/false));
   return IndexedDocument(std::move(document), std::move(parts));
 }
 

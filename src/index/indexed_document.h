@@ -76,6 +76,17 @@ class IndexedDocument {
 
   const IndexBuildStats& build_stats() const { return stats_; }
 
+  /// Audits every index component against the document and the components
+  /// against each other: the DOM arena itself, both labeling schemes
+  /// (prefix/order/decode properties of Dewey and extended Dewey), the
+  /// DataGuide, tag streams, term index, and the completion tries. `deep`
+  /// additionally re-tokenizes all values to recount the term index (the
+  /// cost of a fresh build). Returns Corruption naming the first violated
+  /// invariant. LoadFrom runs the untrusted decoded parts through their
+  /// validators automatically; tests and the engine's --validate mode run
+  /// this full audit.
+  Status ValidateInvariants(bool deep = true) const;
+
   /// Serializes the document and the heavyweight indexes (DataGuide, tag
   /// streams, term index) to `path` in the versioned LotusX binary format.
   /// Label stores and tries are derived in linear time at load and are not

@@ -1,5 +1,7 @@
 #include "index/tag_streams.h"
 
+#include "common/invariant.h"
+
 namespace lotusx::index {
 
 TagStreams TagStreams::Build(const xml::Document& document) {
@@ -12,6 +14,39 @@ TagStreams TagStreams::Build(const xml::Document& document) {
     streams.streams_[static_cast<size_t>(node.tag)].push_back(id);
   }
   return streams;
+}
+
+Status TagStreams::ValidateInvariants(const xml::Document& document) const {
+  LOTUSX_ENSURE(num_tags() == document.num_tags())
+      << "streams " << num_tags() << " document " << document.num_tags();
+  size_t total = 0;
+  for (xml::TagId tag = 0; tag < num_tags(); ++tag) {
+    std::span<const xml::NodeId> ids = stream(tag);
+    total += ids.size();
+    xml::NodeId previous = xml::kInvalidNodeId;
+    for (xml::NodeId id : ids) {
+      LOTUSX_ENSURE(id >= 0 && id < document.num_nodes())
+          << "tag " << tag << " node " << id;
+      LOTUSX_ENSURE(id > previous)
+          << "tag " << tag << " not in document order at node " << id;
+      const xml::Document::Node& node = document.node(id);
+      LOTUSX_ENSURE(node.kind != xml::NodeKind::kText)
+          << "tag " << tag << " node " << id;
+      LOTUSX_ENSURE(node.tag == tag)
+          << "node " << id << " has tag " << node.tag << " in stream "
+          << tag;
+      previous = id;
+    }
+  }
+  // Every element/attribute node appears in exactly one stream (tags
+  // partition them), so matching totals means full coverage.
+  size_t expected = 0;
+  for (xml::NodeId id = 0; id < document.num_nodes(); ++id) {
+    if (document.node(id).kind != xml::NodeKind::kText) ++expected;
+  }
+  LOTUSX_ENSURE(total == expected)
+      << "streams cover " << total << " nodes, document has " << expected;
+  return Status::OK();
 }
 
 size_t TagStreams::MemoryUsage() const {

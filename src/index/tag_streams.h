@@ -31,6 +31,14 @@ class TagStreams {
   int32_t num_tags() const { return static_cast<int32_t>(streams_.size()); }
   size_t MemoryUsage() const;
 
+  /// Audits the structure against `document`: one stream per document tag,
+  /// every stream strictly sorted in document order, every entry a live
+  /// element/attribute node carrying the stream's tag, and the totals
+  /// covering the document exactly. Returns Corruption naming the first
+  /// violated invariant. Run on every LoadFrom (streams come from an
+  /// untrusted file) and by tests / `--validate`.
+  Status ValidateInvariants(const xml::Document& document) const;
+
   void EncodeTo(Encoder* encoder) const;
   static StatusOr<TagStreams> DecodeFrom(Decoder* decoder);
 

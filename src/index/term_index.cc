@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/invariant.h"
 #include "common/string_util.h"
 
 namespace lotusx::index {
@@ -71,6 +72,89 @@ uint32_t TermIndex::TermFrequencyIn(std::string_view term,
 const Trie* TermIndex::term_trie_for_tag(xml::TagId tag) const {
   auto it = tag_tries_.find(tag);
   return it == tag_tries_.end() ? nullptr : &it->second;
+}
+
+Status TermIndex::ValidateInvariants(const xml::Document& document,
+                                     bool deep) const {
+  for (const auto& [term, list] : postings_) {
+    LOTUSX_ENSURE(!term.empty()) << "empty term";
+    LOTUSX_ENSURE(list.nodes.size() == list.frequencies.size())
+        << "term '" << term << "' postings not parallel";
+    LOTUSX_ENSURE(!list.nodes.empty()) << "term '" << term
+                                       << "' has no postings";
+    uint64_t total = 0;
+    xml::NodeId previous = xml::kInvalidNodeId;
+    for (size_t i = 0; i < list.nodes.size(); ++i) {
+      xml::NodeId id = list.nodes[i];
+      LOTUSX_ENSURE(id >= 0 && id < document.num_nodes())
+          << "term '" << term << "' node " << id;
+      LOTUSX_ENSURE(id > previous)
+          << "term '" << term << "' postings not strictly sorted";
+      LOTUSX_ENSURE(document.node(id).kind != xml::NodeKind::kText)
+          << "term '" << term << "' posted on text node " << id;
+      LOTUSX_ENSURE(list.frequencies[i] > 0)
+          << "term '" << term << "' zero frequency at node " << id;
+      total += list.frequencies[i];
+      previous = id;
+    }
+    LOTUSX_ENSURE(list.collection_frequency == total)
+        << "term '" << term << "' collection frequency "
+        << list.collection_frequency << " actual " << total;
+    LOTUSX_ENSURE(term_trie_.WeightOf(term) == list.collection_frequency)
+        << "term '" << term << "' trie weight "
+        << term_trie_.WeightOf(term);
+  }
+  LOTUSX_RETURN_IF_ERROR(term_trie_.ValidateInvariants());
+  LOTUSX_ENSURE(term_trie_.num_keys() == postings_.size())
+      << "term trie holds " << term_trie_.num_keys() << " keys, postings "
+      << postings_.size();
+  for (const auto& [tag, trie] : tag_tries_) {
+    LOTUSX_ENSURE(tag >= 0 && tag < document.num_tags())
+        << "tag trie for dead tag " << tag;
+    LOTUSX_RETURN_IF_ERROR(trie.ValidateInvariants());
+  }
+
+  if (!deep) return Status::OK();
+  // Recount from the document, exactly as Build does.
+  uint32_t value_nodes = 0;
+  std::map<std::string, std::map<xml::NodeId, uint32_t>> expected;
+  for (xml::NodeId id = 0; id < document.num_nodes(); ++id) {
+    const xml::Document::Node& node = document.node(id);
+    std::string content;
+    if (node.kind == xml::NodeKind::kElement) {
+      content = document.ContentString(id);
+      if (content.empty()) continue;
+    } else if (node.kind == xml::NodeKind::kAttribute) {
+      content = std::string(document.Value(id));
+    } else {
+      continue;
+    }
+    std::vector<std::string> tokens = TokenizeKeywords(content);
+    if (tokens.empty()) continue;
+    ++value_nodes;
+    for (std::string& token : tokens) ++expected[std::move(token)][id];
+  }
+  LOTUSX_ENSURE(num_value_nodes_ == value_nodes)
+      << "num_value_nodes " << num_value_nodes_ << " actual " << value_nodes;
+  LOTUSX_ENSURE(postings_.size() == expected.size())
+      << "index holds " << postings_.size() << " terms, document has "
+      << expected.size();
+  for (const auto& [term, occurrences] : expected) {
+    auto it = postings_.find(term);
+    LOTUSX_ENSURE(it != postings_.end()) << "missing term '" << term << "'";
+    const PostingList& list = it->second;
+    LOTUSX_ENSURE(list.nodes.size() == occurrences.size())
+        << "term '" << term << "' doc frequency " << list.nodes.size()
+        << " actual " << occurrences.size();
+    size_t i = 0;
+    for (const auto& [id, tf] : occurrences) {
+      LOTUSX_ENSURE(list.nodes[i] == id && list.frequencies[i] == tf)
+          << "term '" << term << "' posting " << i << " disagrees with "
+          << "recount at node " << id;
+      ++i;
+    }
+  }
+  return Status::OK();
 }
 
 size_t TermIndex::MemoryUsage() const {

@@ -56,6 +56,17 @@ class TermIndex {
 
   size_t MemoryUsage() const;
 
+  /// Audits postings and completion tries against `document`: posting
+  /// nodes strictly sorted, in range, parallel to their frequencies;
+  /// collection frequencies consistent; tries structurally sound (see
+  /// Trie::ValidateInvariants) and keyed by live tags. With `deep` set the
+  /// document's value nodes are additionally re-tokenized and the postings
+  /// compared against the recount — the cost of a fresh Build, so LoadFrom
+  /// runs the linear structural audit only and tests / `--validate` run
+  /// the deep one. Returns Corruption naming the first violated invariant.
+  Status ValidateInvariants(const xml::Document& document,
+                            bool deep = true) const;
+
   void EncodeTo(Encoder* encoder) const;
   static StatusOr<TermIndex> DecodeFrom(Decoder* decoder);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "common/invariant.h"
 #include "common/logging.h"
 
 namespace lotusx::index {
@@ -132,6 +133,61 @@ std::vector<Completion> Trie::Enumerate(std::string_view prefix) const {
     }
   }
   return results;
+}
+
+Status Trie::ValidateInvariants() const {
+  LOTUSX_ENSURE(!nodes_.empty()) << "trie has no root";
+  const auto node_count = static_cast<int32_t>(nodes_.size());
+  // In-degree pass: tree shape means every non-root node has exactly one
+  // parent and the root has none; cycles and shared subtrees both surface
+  // as in-degree != 1 somewhere (total edges == nodes - 1).
+  std::vector<int32_t> indegree(nodes_.size(), 0);
+  size_t keys = 0;
+  for (int32_t id = 0; id < node_count; ++id) {
+    const Node& node = nodes_[static_cast<size_t>(id)];
+    if (node.terminal_weight > 0) ++keys;
+    uint64_t best = node.terminal_weight;
+    int previous_byte = -1;
+    for (const auto& [byte, child] : node.children) {
+      LOTUSX_ENSURE(child >= 0 && child < node_count)
+          << "node " << id << " child " << child;
+      LOTUSX_ENSURE(child != 0) << "root is a child of node " << id;
+      int b = static_cast<unsigned char>(byte);
+      LOTUSX_ENSURE(b > previous_byte)
+          << "node " << id << " children not strictly sorted";
+      previous_byte = b;
+      ++indegree[static_cast<size_t>(child)];
+      best = std::max(best, nodes_[static_cast<size_t>(child)].subtree_best);
+    }
+    LOTUSX_ENSURE(node.subtree_best == best)
+        << "node " << id << " subtree_best " << node.subtree_best
+        << " actual " << best;
+  }
+  LOTUSX_ENSURE(indegree[0] == 0) << "root has a parent";
+  for (int32_t id = 1; id < node_count; ++id) {
+    LOTUSX_ENSURE(indegree[static_cast<size_t>(id)] == 1)
+        << "node " << id << " has in-degree "
+        << indegree[static_cast<size_t>(id)] << " (cycle or orphan)";
+  }
+  LOTUSX_ENSURE(keys == num_keys_)
+      << "num_keys " << num_keys_ << " actual " << keys;
+  // In-degrees alone cannot see a cycle detached from the root (each of
+  // its nodes still has in-degree 1); require full reachability too.
+  std::vector<int32_t> pending = {0};
+  size_t reached = 0;
+  while (!pending.empty()) {
+    int32_t id = pending.back();
+    pending.pop_back();
+    ++reached;
+    for (const auto& [byte, child] : nodes_[static_cast<size_t>(id)].children) {
+      (void)byte;
+      pending.push_back(child);
+    }
+  }
+  LOTUSX_ENSURE(reached == nodes_.size())
+      << "only " << reached << " of " << nodes_.size()
+      << " nodes reachable from the root";
+  return Status::OK();
 }
 
 size_t Trie::MemoryUsage() const {

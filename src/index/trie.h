@@ -56,6 +56,13 @@ class Trie {
   size_t num_nodes() const { return nodes_.size(); }
   size_t MemoryUsage() const;
 
+  /// Audits the trie shape: nodes form a tree rooted at 0 (no cycles, no
+  /// sharing, no orphans — a decoded cyclic trie would hang Complete()),
+  /// children sorted strictly by byte, subtree_best equal to the true
+  /// subtree maximum, and num_keys matching the terminal count. Returns
+  /// Corruption naming the first violated invariant.
+  Status ValidateInvariants() const;
+
   /// Persistence (versionless inner section; the caller frames it).
   void EncodeTo(Encoder* encoder) const;
   static StatusOr<Trie> DecodeFrom(Decoder* decoder);

@@ -60,6 +60,13 @@ class Engine {
   /// Persists the index for FromIndexFile.
   Status SaveIndex(const std::string& path) const;
 
+  /// Full index audit: runs every component's ValidateInvariants (see
+  /// index::IndexedDocument::ValidateInvariants), including the deep
+  /// term-index recount. Returns Corruption naming the first violated
+  /// invariant. Exposed for tests, the stress suite, and the examples'
+  /// --validate mode; cost is comparable to rebuilding the index.
+  Status ValidateIndex() const { return indexed_->ValidateInvariants(); }
+
   const index::IndexedDocument& indexed() const { return *indexed_; }
   const xml::Document& document() const { return indexed_->document(); }
 

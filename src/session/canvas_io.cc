@@ -147,8 +147,13 @@ StatusOr<Canvas> DeserializeCanvas(std::string_view xml) {
       LOTUSX_ASSIGN_OR_RETURN(std::string to_text,
                               RequiredAttr(doc, child, "to"));
       LOTUSX_ASSIGN_OR_RETURN(int to, ParseId(to_text));
-      LOTUSX_ASSIGN_OR_RETURN(std::string axis_text,
-                              RequiredAttr(doc, child, "axis"));
+      // Not LOTUSX_ASSIGN_OR_RETURN: GCC 12's -Wmaybe-uninitialized loses
+      // track of the optional's engaged state through the move and flags a
+      // spurious uninitialized read under -O2; a reference binding keeps
+      // -Werror builds clean.
+      StatusOr<std::string> axis_or = RequiredAttr(doc, child, "axis");
+      if (!axis_or.ok()) return axis_or.status();
+      const std::string& axis_text = *axis_or;
       twig::Axis axis;
       if (axis_text == "/") {
         axis = twig::Axis::kChild;

@@ -9,7 +9,6 @@ namespace lotusx::twig {
 namespace {
 using internal_stack::CleanStack;
 using internal_stack::Stack;
-using internal_stack::StackEntry;
 }  // namespace
 
 StatusOr<QueryResult> PathStackEvaluate(
@@ -64,16 +63,16 @@ StatusOr<QueryResult> PathStackEvaluate(
     for (Stack& stack : stacks) CleanStack(document, &stack, element);
 
     QueryNodeId parent = query.node(qmin).parent;
-    int parent_top =
-        parent == kInvalidQueryNode
-            ? -1
-            : static_cast<int>(stacks[static_cast<size_t>(parent)].size()) -
-                  1;
     // An element whose parent stack is empty cannot extend to the root;
     // pushing it would only grow the stack uselessly.
-    if (parent != kInvalidQueryNode && parent_top < 0) continue;
-    stacks[static_cast<size_t>(qmin)].push_back(
-        StackEntry{element, parent_top});
+    if (parent != kInvalidQueryNode &&
+        stacks[static_cast<size_t>(parent)].empty()) {
+      continue;
+    }
+    internal_stack::PushStackEntry(
+        document, &stacks[static_cast<size_t>(qmin)], element,
+        parent == kInvalidQueryNode ? nullptr
+                                    : &stacks[static_cast<size_t>(parent)]);
     if (qmin == leaf) {
       internal_stack::EmitPathSolutions(
           document, query, path, stacks,

@@ -1,5 +1,6 @@
 #include "twig/stack_common.h"
 
+#include "common/invariant.h"
 #include "common/logging.h"
 
 namespace lotusx::twig::internal_stack {
@@ -15,6 +16,10 @@ void Expand(const xml::Document& document, const TwigQuery& query,
             int entry_index, std::vector<xml::NodeId>* partial,
             std::vector<std::vector<xml::NodeId>>* solutions) {
   QueryNodeId q = path[position];
+  LOTUSX_DCHECK(entry_index >= 0 &&
+                static_cast<size_t>(entry_index) <
+                    stacks[static_cast<size_t>(q)].size())
+      << "entry index " << entry_index << " out of stack " << q;
   const StackEntry& entry =
       stacks[static_cast<size_t>(q)][static_cast<size_t>(entry_index)];
   (*partial)[position] = entry.element;
@@ -23,6 +28,10 @@ void Expand(const xml::Document& document, const TwigQuery& query,
     return;
   }
   QueryNodeId parent_q = path[position - 1];
+  LOTUSX_DCHECK_LT(entry.parent_top,
+                   static_cast<int>(stacks[static_cast<size_t>(parent_q)]
+                                        .size()))
+      << "parent_top dangles past stack " << parent_q;
   Axis axis = query.node(q).incoming_axis;
   int32_t child_depth = document.node(entry.element).depth;
   // Entries 0..entry.parent_top of the parent stack all contain this
@@ -33,6 +42,9 @@ void Expand(const xml::Document& document, const TwigQuery& query,
     const StackEntry& candidate =
         stacks[static_cast<size_t>(parent_q)][static_cast<size_t>(j)];
     if (candidate.element == entry.element) continue;
+    LOTUSX_DCHECK(document.IsAncestor(candidate.element, entry.element))
+        << "recorded parent entry " << candidate.element
+        << " is not an ancestor of " << entry.element;
     if (axis == Axis::kChild &&
         document.node(candidate.element).depth != child_depth - 1) {
       continue;

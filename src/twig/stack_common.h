@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/invariant.h"
 #include "twig/twig_query.h"
 #include "xml/dom.h"
 
@@ -28,6 +29,40 @@ inline void CleanStack(const xml::Document& document, Stack* stack,
          document.node(stack->back().element).subtree_end < next_start) {
     stack->pop_back();
   }
+}
+
+/// Pushes `element` onto `stack`, recording how much of `parent_stack`
+/// (null for the query root) contained it at push time. Invariant-checking
+/// builds verify the stack discipline the holistic algorithms rely on:
+/// entries on one stack are strictly nested in document order (so the push
+/// must follow a CleanStack for `element`), and the recorded parent entry
+/// contains the element — entries below it then do too, by nesting.
+inline void PushStackEntry(const xml::Document& document, Stack* stack,
+                           xml::NodeId element, const Stack* parent_stack) {
+  int parent_top =
+      parent_stack == nullptr ? -1
+                              : static_cast<int>(parent_stack->size()) - 1;
+  LOTUSX_DCHECK(element >= 0 && element < document.num_nodes())
+      << "push of invalid element " << element;
+  if (!stack->empty()) {
+    const StackEntry& top = stack->back();
+    LOTUSX_DCHECK_LT(top.element, element)
+        << "push breaks document order on stack";
+    LOTUSX_DCHECK_LE(element, document.node(top.element).subtree_end)
+        << "element " << element << " not nested in stack top "
+        << top.element << " (missing CleanStack?)";
+  }
+  if (parent_top >= 0) {
+    // The same element may sit atop the parent stack when the query
+    // repeats a tag (//a//a), hence <= rather than <.
+    const StackEntry& up = (*parent_stack)[static_cast<size_t>(parent_top)];
+    LOTUSX_DCHECK_LE(up.element, element)
+        << "parent stack top " << up.element << " after element " << element;
+    LOTUSX_DCHECK_LE(element, document.node(up.element).subtree_end)
+        << "parent stack top " << up.element << " does not contain "
+        << element;
+  }
+  stack->push_back(StackEntry{element, parent_top});
 }
 
 /// Expands every root-to-leaf solution ending at `stacks[path.back()]`'s

@@ -13,7 +13,6 @@ namespace {
 
 using internal_stack::CleanStack;
 using internal_stack::Stack;
-using internal_stack::StackEntry;
 
 constexpr xml::NodeId kExhausted = std::numeric_limits<xml::NodeId>::max();
 
@@ -158,13 +157,10 @@ class TwigStackRun {
 
   void MoveStreamToStack(QueryNodeId q) {
     QueryNodeId parent = query_.node(q).parent;
-    int parent_top =
-        parent == kInvalidQueryNode
-            ? -1
-            : static_cast<int>(stacks_[static_cast<size_t>(parent)].size()) -
-                  1;
-    stacks_[static_cast<size_t>(q)].push_back(
-        StackEntry{Current(q), parent_top});
+    internal_stack::PushStackEntry(
+        document_, &stacks_[static_cast<size_t>(q)], Current(q),
+        parent == kInvalidQueryNode ? nullptr
+                                    : &stacks_[static_cast<size_t>(parent)]);
     Advance(q);
   }
 

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/invariant.h"
 #include "common/string_util.h"
 
 namespace lotusx::xml {
@@ -97,6 +98,87 @@ void Document::Finalize() {
                                : nodes_[static_cast<size_t>(last)].subtree_end;
   }
   finalized_ = true;
+}
+
+Status Document::ValidateInvariants() const {
+  LOTUSX_ENSURE(finalized_) << "document not finalized";
+  if (nodes_.empty()) return Status::OK();
+  LOTUSX_ENSURE(nodes_[0].parent == kInvalidNodeId) << "node 0 has a parent";
+  LOTUSX_ENSURE(nodes_[0].kind == NodeKind::kElement)
+      << "root is not an element";
+  // first_child/next_sibling are re-derived below from parent pointers;
+  // children of a node appear in id order, so the links must enumerate
+  // them exactly.
+  std::vector<NodeId> expected_next_child(nodes_.size(), kInvalidNodeId);
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    const Node& n = nodes_[static_cast<size_t>(id)];
+    if (id > 0) {
+      LOTUSX_ENSURE(n.parent >= 0 && n.parent < id)
+          << "node " << id << " parent " << n.parent;
+      const Node& parent = nodes_[static_cast<size_t>(n.parent)];
+      LOTUSX_ENSURE(parent.kind == NodeKind::kElement)
+          << "node " << id << " under non-element parent " << n.parent;
+      LOTUSX_ENSURE(n.depth == parent.depth + 1)
+          << "node " << id << " depth " << n.depth;
+      LOTUSX_ENSURE(n.subtree_end <= parent.subtree_end)
+          << "node " << id << " subtree leaks past parent";
+      NodeId& cursor = expected_next_child[static_cast<size_t>(n.parent)];
+      if (cursor == kInvalidNodeId) {
+        LOTUSX_ENSURE(parent.first_child == id)
+            << "node " << n.parent << " first_child " << parent.first_child
+            << " but first child is " << id;
+      } else {
+        LOTUSX_ENSURE(nodes_[static_cast<size_t>(cursor)].next_sibling == id)
+            << "node " << cursor << " next_sibling skips " << id;
+      }
+      cursor = id;
+    } else {
+      LOTUSX_ENSURE(n.depth == 0) << "root depth " << n.depth;
+    }
+    LOTUSX_ENSURE(n.subtree_end >= id)
+        << "node " << id << " subtree_end " << n.subtree_end;
+    if (n.kind == NodeKind::kText) {
+      LOTUSX_ENSURE(n.tag == kInvalidTagId) << "text node " << id
+                                            << " has a tag";
+    } else {
+      LOTUSX_ENSURE(n.tag >= 0 && n.tag < num_tags())
+          << "node " << id << " tag " << n.tag;
+    }
+    if (n.kind == NodeKind::kElement) {
+      LOTUSX_ENSURE(n.value == -1) << "element " << id << " has a value";
+    } else {
+      LOTUSX_ENSURE(n.first_child == kInvalidNodeId)
+          << "non-element " << id << " has children";
+      LOTUSX_ENSURE(n.subtree_end == id)
+          << "non-element " << id << " has a subtree";
+      LOTUSX_ENSURE(n.value >= 0 &&
+                    static_cast<size_t>(n.value) < texts_.size())
+          << "node " << id << " value index " << n.value;
+    }
+  }
+  // Closing pass: each parent's last child must terminate the sibling
+  // chain, and the subtree extent must equal the last child's extent.
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    const Node& n = nodes_[static_cast<size_t>(id)];
+    NodeId last = expected_next_child[static_cast<size_t>(id)];
+    if (last == kInvalidNodeId) {
+      LOTUSX_ENSURE(n.first_child == kInvalidNodeId)
+          << "node " << id << " first_child points at nothing";
+      LOTUSX_ENSURE(n.subtree_end == id)
+          << "childless node " << id << " subtree_end " << n.subtree_end;
+    } else {
+      LOTUSX_ENSURE(nodes_[static_cast<size_t>(last)].next_sibling ==
+                    kInvalidNodeId)
+          << "last child " << last << " of node " << id
+          << " has a next sibling";
+      LOTUSX_ENSURE(n.subtree_end ==
+                    nodes_[static_cast<size_t>(last)].subtree_end)
+          << "node " << id << " subtree_end " << n.subtree_end
+          << " but last child ends at "
+          << nodes_[static_cast<size_t>(last)].subtree_end;
+    }
+  }
+  return Status::OK();
 }
 
 TagId Document::FindTag(std::string_view tag) const {

@@ -125,6 +125,14 @@ class Document {
   /// Approximate heap footprint in bytes (for E7 reporting).
   size_t MemoryUsage() const;
 
+  /// Audits the arena invariants of a finalized document: preorder ids,
+  /// parent/first_child/next_sibling agreement, depth arithmetic, subtree
+  /// extents, node-kind discipline (only elements have children, text and
+  /// attribute nodes carry values), and tag/text table references in
+  /// range. Returns Corruption naming the first violated invariant; used
+  /// by tests, the stress suite, and the engine's --validate mode.
+  Status ValidateInvariants() const;
+
  private:
   TagId InternTag(std::string_view tag);
   int32_t InternText(std::string_view text);

@@ -11,6 +11,7 @@
 #include "session/protocol.h"
 #include "session/session.h"
 #include "tests/test_util.h"
+#include "twig/evaluator.h"
 #include "twig/query_parser.h"
 #include "xml/dom_builder.h"
 #include "xml/writer.h"
@@ -156,6 +157,129 @@ TEST_P(FuzzSweep, RandomProtocolLinesNeverCrashInterpreter) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Range<uint64_t>(0, 8));
+
+// ---------------------------------------------------------------------
+// Sanitizer-driven stress suite: full-pipeline round trips on randomly
+// generated documents. Each case runs parse → index → invariant audit →
+// twig evaluation (all algorithms, exercising the holistic stack
+// discipline) → index serialization → reload → re-audit. Under the asan
+// preset these tests double as memory-safety probes; the invariant audit
+// (ValidateInvariants) makes silent index corruption loud.
+
+/// Rotates across the four data generators so every family of document
+/// shapes (bibliographic, catalog, auction, deep-recursive) is stressed.
+xml::Document GenerateRandomDocument(uint64_t seed) {
+  switch (seed % 4) {
+    case 0: {
+      datagen::DblpOptions options;
+      options.num_publications = 12;
+      options.seed = seed;
+      return datagen::GenerateDblp(options);
+    }
+    case 1: {
+      datagen::StoreOptions options;
+      options.num_products = 15;
+      options.seed = seed;
+      return datagen::GenerateStore(options);
+    }
+    case 2:
+      return datagen::GenerateXmarkWithApproxNodes(seed, 300);
+    default:
+      return datagen::GenerateTreebankWithApproxNodes(seed, 250);
+  }
+}
+
+/// A random twig query over tags that actually occur in `document`, so
+/// streams are non-trivially populated. Occasionally uses wildcards and
+/// tags that do not occur (via NextWord) to cover empty-stream paths.
+std::string RandomQueryText(Random& random, const xml::Document& document) {
+  std::vector<std::string> tags;
+  for (xml::TagId t = 0; t < document.num_tags(); ++t) {
+    tags.emplace_back(document.tag_name(t));
+  }
+  auto pick = [&]() -> std::string {
+    uint64_t roll = random.NextBounded(10);
+    if (roll == 0) return "*";
+    if (roll == 1) return random.NextWord(2, 5);  // likely absent
+    return tags[random.NextBounded(tags.size())];
+  };
+  std::string text;
+  int steps = 1 + static_cast<int>(random.NextBounded(3));
+  for (int s = 0; s < steps; ++s) {
+    text += random.NextBool(0.75) ? "//" : "/";
+    text += pick();
+  }
+  if (random.NextBool(0.5)) text += "[" + pick() + "]";
+  if (random.NextBool(0.25)) text += "[//" + pick() + "]";
+  return text;
+}
+
+std::vector<twig::Match> SortedMatches(std::vector<twig::Match> matches) {
+  std::sort(matches.begin(), matches.end());
+  return matches;
+}
+
+class StressSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StressSweep, IndexRoundTripUpholdsInvariants) {
+  uint64_t seed = GetParam();
+  // Serialize the generated document to XML and push it through the real
+  // parser, so the parser itself is part of the audited pipeline.
+  std::string xml_text = xml::WriteXml(GenerateRandomDocument(seed));
+  auto parsed = xml::ParseDocument(xml_text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->ValidateInvariants().ok())
+      << parsed->ValidateInvariants().ToString();
+
+  index::IndexedDocument indexed(std::move(*parsed));
+  Status audit = indexed.ValidateInvariants();
+  ASSERT_TRUE(audit.ok()) << audit.ToString();
+
+  std::string path = ::testing::TempDir() + "/lotusx_stress_" +
+                     std::to_string(seed) + ".ltsx";
+  ASSERT_TRUE(indexed.SaveTo(path).ok());
+  auto loaded = index::IndexedDocument::LoadFrom(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  audit = loaded->ValidateInvariants();
+  ASSERT_TRUE(audit.ok()) << audit.ToString();
+  EXPECT_EQ(loaded->document().num_nodes(), indexed.document().num_nodes());
+  EXPECT_EQ(loaded->document().num_tags(), indexed.document().num_tags());
+}
+
+TEST_P(StressSweep, TwigAlgorithmsAgreeUnderStress) {
+  uint64_t seed = GetParam();
+  Random random(seed * 7919 + 13);
+  index::IndexedDocument indexed(GenerateRandomDocument(seed));
+  ASSERT_TRUE(indexed.ValidateInvariants().ok());
+
+  constexpr twig::Algorithm kAlgorithms[] = {
+      twig::Algorithm::kStructuralJoin, twig::Algorithm::kTwigStack,
+      twig::Algorithm::kTJFast, twig::Algorithm::kPathStack};
+  for (int i = 0; i < 25; ++i) {
+    std::string text = RandomQueryText(random, indexed.document());
+    auto query = twig::ParseQuery(text);
+    if (!query.ok() || !query->Validate().ok()) continue;
+    std::vector<twig::Match> expected =
+        testing::BruteForceMatches(indexed, *query);
+    for (twig::Algorithm algorithm : kAlgorithms) {
+      if (algorithm == twig::Algorithm::kPathStack && !query->IsPath()) {
+        continue;
+      }
+      twig::EvalOptions options;
+      options.algorithm = algorithm;
+      auto result = twig::Evaluate(indexed, *query, options);
+      ASSERT_TRUE(result.ok())
+          << text << " via " << twig::AlgorithmName(algorithm) << ": "
+          << result.status().ToString();
+      EXPECT_EQ(SortedMatches(std::move(result->matches)), expected)
+          << text << " via " << twig::AlgorithmName(algorithm);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressSweep,
                          ::testing::Range<uint64_t>(0, 8));
 
 }  // namespace

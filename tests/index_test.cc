@@ -136,7 +136,9 @@ TEST(TagStreamsTest, StreamsAreDocumentOrderedAndComplete) {
     total += stream.size();
     for (size_t i = 0; i < stream.size(); ++i) {
       EXPECT_EQ(doc.node(stream[i]).tag, tag);
-      if (i > 0) EXPECT_LT(stream[i - 1], stream[i]);
+      if (i > 0) {
+        EXPECT_LT(stream[i - 1], stream[i]);
+      }
     }
   }
   // Every non-text node appears in exactly one stream.

@@ -1,0 +1,213 @@
+// Tests of the invariant-audit layer (ValidateInvariants across the DOM
+// and every index component) plus regression tests for decoder defects
+// the layer was built to catch: hostile index images that previously
+// caused out-of-bounds writes, wrapped accumulators, or structures that
+// would hang queries, and now must come back as clean Corruption errors.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "index/dataguide.h"
+#include "index/indexed_document.h"
+#include "index/tag_streams.h"
+#include "index/trie.h"
+#include "tests/test_util.h"
+#include "xml/dom.h"
+
+namespace lotusx {
+namespace {
+
+constexpr std::string_view kSampleXml =
+    "<dblp><article key=\"a1\"><author>lu ling</author>"
+    "<title>twig joins</title><year>2005</year></article>"
+    "<book><author>chen</author><title>xml search</title></book></dblp>";
+
+// ---------------------------------------------------------------------
+// Positive audits: everything the normal build pipeline produces passes.
+
+TEST(InvariantTest, FreshDocumentPassesAudit) {
+  xml::Document document = testing::MustParse(kSampleXml);
+  EXPECT_TRUE(document.ValidateInvariants().ok());
+}
+
+TEST(InvariantTest, FreshIndexPassesDeepAudit) {
+  index::IndexedDocument indexed = testing::MustIndex(kSampleXml);
+  Status audit = indexed.ValidateInvariants(/*deep=*/true);
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+}
+
+TEST(InvariantTest, ReloadedIndexPassesDeepAudit) {
+  index::IndexedDocument indexed = testing::MustIndex(kSampleXml);
+  std::string path = ::testing::TempDir() + "/lotusx_invariant_ok.ltsx";
+  ASSERT_TRUE(indexed.SaveTo(path).ok());
+  auto loaded = index::IndexedDocument::LoadFrom(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Status audit = loaded->ValidateInvariants(/*deep=*/true);
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+}
+
+TEST(InvariantTest, UnfinalizedDocumentFailsAudit) {
+  xml::Document document;
+  document.AppendElement(xml::kInvalidNodeId, "r");
+  EXPECT_TRUE(document.ValidateInvariants().IsCorruption());
+}
+
+// ---------------------------------------------------------------------
+// Regression: DataGuide::DecodeFrom used to cast a hostile uint32 tag to
+// a negative TagId and index paths_by_tag_ out of bounds while building
+// derived data (an OOB write before any cross-check could run).
+
+TEST(InvariantTest, DataGuideRejectsHostileTagId) {
+  std::string image;
+  Encoder encoder(&image);
+  encoder.PutVarint64(1);           // one path node
+  encoder.PutVarint32(0xFFFFFFFF);  // hostile tag
+  encoder.PutVarint32(0);           // parent + 1 (root)
+  encoder.PutVarint32(1);           // count
+  encoder.PutVarint32(0);           // text_count
+  encoder.PutVarint64(0);           // empty path_of
+  Decoder decoder(image);
+  auto guide = index::DataGuide::DecodeFrom(&decoder);
+  ASSERT_FALSE(guide.ok());
+  EXPECT_TRUE(guide.status().IsCorruption());
+}
+
+// A wire-valid DataGuide that lies about the document (inflated count)
+// decodes fine but must fail the cross-component audit LoadFrom runs.
+
+TEST(InvariantTest, DataGuideAuditCatchesWrongCounts) {
+  xml::Document document = testing::MustParse("<r><a/></r>");
+  std::string image;
+  Encoder encoder(&image);
+  encoder.PutVarint64(2);  // paths: /r and /r/a
+  encoder.PutVarint32(0);  // tag r
+  encoder.PutVarint32(0);  // root
+  encoder.PutVarint32(2);  // count LIES: r occurs once
+  encoder.PutVarint32(0);
+  encoder.PutVarint32(1);  // tag a
+  encoder.PutVarint32(1);  // parent path 0
+  encoder.PutVarint32(1);  // count
+  encoder.PutVarint32(0);
+  encoder.PutVarint64(2);  // path_of per document node
+  encoder.PutVarint32(1);  // node 0 -> path 0
+  encoder.PutVarint32(2);  // node 1 -> path 1
+  Decoder decoder(image);
+  auto guide = index::DataGuide::DecodeFrom(&decoder);
+  ASSERT_TRUE(guide.ok()) << guide.status().ToString();
+  EXPECT_TRUE(guide->ValidateInvariants(document).IsCorruption());
+}
+
+// ---------------------------------------------------------------------
+// Regression: a cyclic trie image decodes (the decoder only checks local
+// ranges) but used to hang Complete()/Enumerate(); the audit must flag
+// it before any traversal runs.
+
+TEST(InvariantTest, TrieAuditCatchesCycle) {
+  std::string image;
+  Encoder encoder(&image);
+  encoder.PutVarint64(3);  // nodes: root + detached 2-cycle
+  encoder.PutVarint64(0);  // num_keys
+  // Node 0 (root): no terminal, no children.
+  encoder.PutVarint64(0);
+  encoder.PutVarint64(0);
+  encoder.PutVarint64(0);
+  // Node 1: child 'a' -> 2.
+  encoder.PutVarint64(0);
+  encoder.PutVarint64(0);
+  encoder.PutVarint64(1);
+  encoder.PutVarint32('a');
+  encoder.PutVarint32(2);
+  // Node 2: child 'a' -> 1, closing the cycle.
+  encoder.PutVarint64(0);
+  encoder.PutVarint64(0);
+  encoder.PutVarint64(1);
+  encoder.PutVarint32('a');
+  encoder.PutVarint32(1);
+  Decoder decoder(image);
+  auto trie = index::Trie::DecodeFrom(&decoder);
+  ASSERT_TRUE(trie.ok()) << trie.status().ToString();
+  EXPECT_TRUE(trie->ValidateInvariants().IsCorruption());
+}
+
+TEST(InvariantTest, TrieAuditCatchesRootCycle) {
+  std::string image;
+  Encoder encoder(&image);
+  encoder.PutVarint64(2);
+  encoder.PutVarint64(1);
+  // Node 0 (root): child 'x' -> 1.
+  encoder.PutVarint64(0);
+  encoder.PutVarint64(7);
+  encoder.PutVarint64(1);
+  encoder.PutVarint32('x');
+  encoder.PutVarint32(1);
+  // Node 1: terminal, but points back at the root.
+  encoder.PutVarint64(7);
+  encoder.PutVarint64(7);
+  encoder.PutVarint64(1);
+  encoder.PutVarint32('x');
+  encoder.PutVarint32(0);
+  Decoder decoder(image);
+  auto trie = index::Trie::DecodeFrom(&decoder);
+  ASSERT_TRUE(trie.ok()) << trie.status().ToString();
+  EXPECT_TRUE(trie->ValidateInvariants().IsCorruption());
+}
+
+// ---------------------------------------------------------------------
+// Regression: the delta accumulator of GetSortedU32List used to wrap
+// around uint32, producing an "increasing" list that was not.
+
+TEST(InvariantTest, SortedListDecoderRejectsOverflow) {
+  std::string image;
+  Encoder encoder(&image);
+  encoder.PutVarint64(2);           // two elements
+  encoder.PutVarint32(0xF0000000);  // first value
+  encoder.PutVarint32(0x20000000);  // delta pushing past 2^32
+  Decoder decoder(image);
+  std::vector<uint32_t> values;
+  Status status = decoder.GetSortedU32List(&values);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsCorruption());
+}
+
+// ---------------------------------------------------------------------
+// Regression: a full index image whose tag-stream section points past
+// the document used to load silently and read out of bounds at query
+// time. LoadFrom must reject it during the cross-component audit.
+
+TEST(InvariantTest, LoadFromRejectsOutOfRangeStreamNode) {
+  index::IndexedDocument indexed = testing::MustIndex(kSampleXml);
+  const xml::Document& document = indexed.document();
+
+  std::string image;
+  Encoder encoder(&image);
+  encoder.PutFixed32(0x4C545358);  // "LTSX"
+  encoder.PutFixed32(1);           // format version
+  index::EncodeDocument(document, &encoder);
+  indexed.dataguide().EncodeTo(&encoder);
+  // Tag streams, with stream 0 smuggling a node id past the document.
+  encoder.PutVarint64(static_cast<uint64_t>(document.num_tags()));
+  for (xml::TagId tag = 0; tag < document.num_tags(); ++tag) {
+    std::span<const xml::NodeId> stream = indexed.tag_streams().stream(tag);
+    std::vector<uint32_t> ids(stream.begin(), stream.end());
+    if (tag == 0) {
+      ids.push_back(static_cast<uint32_t>(document.num_nodes()) + 100);
+    }
+    encoder.PutSortedU32List(ids);
+  }
+  indexed.terms().EncodeTo(&encoder);
+
+  std::string path = ::testing::TempDir() + "/lotusx_invariant_evil.ltsx";
+  ASSERT_TRUE(WriteStringToFile(path, image).ok());
+  auto loaded = index::IndexedDocument::LoadFrom(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace lotusx

@@ -90,9 +90,13 @@ TEST(DeweyTest, CompareMatchesDocumentOrder) {
   for (NodeId a = 0; a < doc.num_nodes(); ++a) {
     for (NodeId b = 0; b < doc.num_nodes(); ++b) {
       int cmp = CompareLabels(store.label(a), store.label(b));
-      if (a < b) EXPECT_LT(cmp, 0);
-      if (a == b) EXPECT_EQ(cmp, 0);
-      if (a > b) EXPECT_GT(cmp, 0);
+      if (a < b) {
+        EXPECT_LT(cmp, 0);
+      } else if (a == b) {
+        EXPECT_EQ(cmp, 0);
+      } else {
+        EXPECT_GT(cmp, 0);
+      }
     }
   }
 }

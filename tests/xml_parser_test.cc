@@ -203,6 +203,34 @@ TEST(PullParserTest, ErrorsReportPosition) {
       << status.message();
 }
 
+TEST(PullParserTest, TruncatedEntityRejected) {
+  EXPECT_TRUE(ParseError("<a>&amp</a>").IsCorruption());
+  EXPECT_TRUE(ParseError("<a>&amp").IsCorruption());   // entity cut by EOF
+  EXPECT_TRUE(ParseError("<a>&#12").IsCorruption());   // numeric, no ';'
+  EXPECT_TRUE(ParseError("<a>&#x1F").IsCorruption());  // hex, no ';'
+  EXPECT_TRUE(ParseError("<a>&").IsCorruption());
+  EXPECT_TRUE(ParseError("<a x=\"&quot\"/>").IsCorruption());  // in attribute
+}
+
+TEST(PullParserTest, CDataAtEofRejected) {
+  EXPECT_TRUE(ParseError("<a><![CDATA[unterminated").IsCorruption());
+  EXPECT_TRUE(ParseError("<a><![CDATA[x]]").IsCorruption());  // missing '>'
+  EXPECT_TRUE(ParseError("<a><![CDATA[").IsCorruption());
+}
+
+TEST(PullParserTest, TruncatedMarkupAtEofRejected) {
+  EXPECT_TRUE(ParseError("<").IsCorruption());
+  EXPECT_TRUE(ParseError("<a><b").IsCorruption());
+  EXPECT_TRUE(ParseError("<a></").IsCorruption());
+  EXPECT_TRUE(ParseError("<a><!--").IsCorruption());
+}
+
+TEST(PullParserTest, MismatchedCloseTagVariantsRejected) {
+  EXPECT_TRUE(ParseError("<a><b><c></b></c></a>").IsCorruption());
+  EXPECT_TRUE(ParseError("<a><a></a></b>").IsCorruption());
+  EXPECT_TRUE(ParseError("</a>").IsCorruption());  // close with nothing open
+}
+
 TEST(PullParserTest, DeepNestingBeyondLimitRejected) {
   std::string xml;
   for (int i = 0; i < 5000; ++i) xml += "<a>";

@@ -1,0 +1,297 @@
+#!/usr/bin/env python3
+"""LotusX repository lint.
+
+Checks, in always-on mode (`tools/lint.py`):
+
+  * header-guard hygiene — every header uses either `#pragma once` or the
+    canonical `LOTUSX_<PATH>_H_` include guard derived from its repo path
+    (so copy-pasted guards that silently merge two headers are caught);
+  * include hygiene — project includes are quoted and rooted at a module
+    directory (`"index/trie.h"`), never `"src/..."` and never relative
+    (`"../index/trie.h"`), so module boundaries stay visible; system and
+    third-party includes use angle brackets;
+  * no raw `new` / `delete` outside `src/common` — ownership lives in
+    containers and smart pointers;
+  * no `std::endl` outside `src/common` — hot paths must not flush;
+  * `#include` of `common/logging.h` transitively gives CHECK; files using
+    LOTUSX_DCHECK must include `common/invariant.h` themselves.
+
+Opt-in modes:
+
+  * `--check-self-contained` — compiles every header standalone
+    (`-fsyntax-only`) to prove it includes what it uses;
+  * `--check-format`  — `clang-format --dry-run -Werror` over the tree
+    (skipped with a notice when clang-format is not installed).
+
+Exit status 0 means clean; 1 means findings (printed one per line as
+`path:line: message`); 2 means the tool itself failed.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Directories scanned for C++ sources. `build*` trees are never visited.
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+HEADER_EXTENSIONS = (".h", ".hpp")
+SOURCE_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+# Module roots a quoted include may start with.
+INCLUDE_ROOTS = (
+    "autocomplete/", "common/", "datagen/", "index/", "keyword/",
+    "labeling/", "lotusx/", "ranking/", "rewrite/", "session/", "twig/",
+    "xml/", "tests/", "bench/",
+)
+
+# `new`/`delete` and `std::endl` are allowed here (allocator plumbing and
+# the logger's deliberate flush live in common).
+RAW_MEMORY_EXEMPT_PREFIXES = ("src/common/",)
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
+GUARD_IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+([A-Za-z_][A-Za-z0-9_]*)")
+RAW_NEW_RE = re.compile(r"\bnew\s+[A-Za-z_(:]")
+RAW_DELETE_RE = re.compile(r"\bdelete(\s*\[\s*\])?\s+[A-Za-z_(:*]")
+ENDL_RE = re.compile(r"\bstd::endl\b")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def relpath(path):
+    return os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+
+
+def iter_source_files():
+    for top in SOURCE_DIRS:
+        root_dir = os.path.join(REPO_ROOT, top)
+        for dirpath, dirnames, filenames in os.walk(root_dir):
+            dirnames[:] = [d for d in dirnames if not d.startswith("build")]
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def canonical_guard(rel):
+    """src/index/trie.h -> LOTUSX_INDEX_TRIE_H_ (matching repo style)."""
+    stem = rel[len("src/"):] if rel.startswith("src/") else rel
+    stem = os.path.splitext(stem)[0]
+    return "LOTUSX_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_H_"
+
+
+def strip_comments_and_strings(line, in_block_comment):
+    """Best-effort removal of comment/string content before token checks."""
+    out = []
+    i = 0
+    while i < len(line):
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end == -1:
+                return "".join(out), True
+            i = end + 2
+            continue
+        if line.startswith("//", i):
+            break
+        if line.startswith("/*", i):
+            in_block_comment = True
+            i += 2
+            continue
+        if line[i] == '"':
+            match = STRING_RE.match(line, i)
+            if match:
+                out.append('""')
+                i = match.end()
+                continue
+            break  # unterminated string literal (e.g. in a macro); stop
+        if line[i] == "'":
+            match = re.match(r"'(?:[^'\\]|\\.)*'", line[i:])
+            if match:
+                out.append("''")
+                i += match.end()
+                continue
+        out.append(line[i])
+        i += 1
+    return "".join(out), in_block_comment
+
+
+def check_header_guard(rel, lines, findings):
+    expected = canonical_guard(rel)
+    for line in lines:
+        if PRAGMA_ONCE_RE.match(line):
+            return
+        match = GUARD_IFNDEF_RE.match(line)
+        if match:
+            guard = match.group(1)
+            if guard != expected:
+                findings.append(
+                    (rel, 1,
+                     f"include guard {guard} does not match canonical "
+                     f"{expected} (or use #pragma once)"))
+            return
+        stripped = line.strip()
+        if stripped and not stripped.startswith("//"):
+            break
+    findings.append((rel, 1, f"missing include guard {expected} "
+                             "(or #pragma once)"))
+
+
+def check_includes(rel, lines, findings):
+    for lineno, line in enumerate(lines, 1):
+        match = INCLUDE_RE.match(line)
+        if not match:
+            continue
+        style, target = match.groups()
+        if style != '"':
+            continue  # angle includes are system/third-party; fine
+        if target.startswith("src/"):
+            findings.append((rel, lineno,
+                             f'include "{target}" must not be rooted at '
+                             'src/ — include "%s" instead' %
+                             target[len("src/"):]))
+        elif target.startswith(("./", "../")):
+            findings.append((rel, lineno,
+                             f'relative include "{target}" bypasses module '
+                             "boundaries; root it at a module directory"))
+        elif not target.startswith(INCLUDE_ROOTS):
+            findings.append((rel, lineno,
+                             f'quoted include "{target}" is not rooted at a '
+                             "known module directory; use <...> for system "
+                             "headers"))
+
+
+def check_tokens(rel, lines, findings):
+    exempt_memory = rel.startswith(RAW_MEMORY_EXEMPT_PREFIXES)
+    in_block_comment = False
+    for lineno, line in enumerate(lines, 1):
+        code, in_block_comment = strip_comments_and_strings(
+            line, in_block_comment)
+        if not code.strip():
+            continue
+        if "NOLINT" in line:
+            continue
+        if not exempt_memory:
+            if RAW_NEW_RE.search(code) and "= delete" not in code:
+                findings.append((rel, lineno,
+                                 "raw `new` outside src/common — use "
+                                 "std::make_unique / containers"))
+            if RAW_DELETE_RE.search(code) and "= delete" not in code:
+                findings.append((rel, lineno,
+                                 "raw `delete` outside src/common — use "
+                                 "RAII ownership"))
+            if ENDL_RE.search(code):
+                findings.append((rel, lineno,
+                                 "std::endl flushes; use '\\n' outside "
+                                 "src/common"))
+
+
+def check_dcheck_include(rel, lines, findings):
+    uses = any("LOTUSX_DCHECK" in line or "LOTUSX_ENSURE" in line
+               for line in lines)
+    if not uses or rel == "src/common/invariant.h":
+        return
+    included = any(INCLUDE_RE.match(line) and
+                   INCLUDE_RE.match(line).group(2) == "common/invariant.h"
+                   for line in lines)
+    if not included:
+        findings.append((rel, 1, "uses LOTUSX_DCHECK/LOTUSX_ENSURE but does "
+                                 'not include "common/invariant.h"'))
+
+
+def run_static_checks():
+    findings = []
+    for path in iter_source_files():
+        rel = relpath(path)
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        if rel.endswith(HEADER_EXTENSIONS):
+            check_header_guard(rel, lines, findings)
+        check_includes(rel, lines, findings)
+        check_tokens(rel, lines, findings)
+        check_dcheck_include(rel, lines, findings)
+    return findings
+
+
+def find_compiler():
+    for name in ("c++", "g++", "clang++"):
+        compiler = shutil.which(name)
+        if compiler:
+            return compiler
+    return None
+
+
+def check_self_contained():
+    """Compiles each header alone; a header that relies on its includer's
+    includes fails here."""
+    compiler = find_compiler()
+    if compiler is None:
+        print("lint: no C++ compiler found; skipping self-containment",
+              file=sys.stderr)
+        return []
+    findings = []
+    for path in iter_source_files():
+        rel = relpath(path)
+        if not rel.endswith(HEADER_EXTENSIONS):
+            continue
+        result = subprocess.run(
+            [compiler, "-std=c++20", "-fsyntax-only", "-x", "c++",
+             "-I", os.path.join(REPO_ROOT, "src"), "-I", REPO_ROOT, path],
+            capture_output=True, text=True)
+        if result.returncode != 0:
+            first = result.stderr.strip().splitlines()
+            detail = first[0] if first else "compile failed"
+            findings.append((rel, 1, f"header is not self-contained: "
+                                     f"{detail}"))
+    return findings
+
+
+def check_format(fix=False):
+    clang_format = shutil.which("clang-format")
+    if clang_format is None:
+        print("lint: clang-format not installed; skipping format check",
+              file=sys.stderr)
+        return []
+    findings = []
+    files = [path for path in iter_source_files()]
+    mode = ["-i"] if fix else ["--dry-run", "-Werror"]
+    for path in files:
+        result = subprocess.run([clang_format, "--style=file"] + mode +
+                                [path], capture_output=True, text=True)
+        if result.returncode != 0:
+            findings.append((relpath(path), 1,
+                             "file is not clang-format clean "
+                             "(run tools/lint.py --fix-format)"))
+    return findings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check-self-contained", action="store_true",
+                        help="compile each header standalone")
+    parser.add_argument("--check-format", action="store_true",
+                        help="verify clang-format cleanliness (check-only)")
+    parser.add_argument("--fix-format", action="store_true",
+                        help="rewrite files with clang-format")
+    args = parser.parse_args()
+
+    findings = run_static_checks()
+    if args.check_self_contained:
+        findings += check_self_contained()
+    if args.check_format:
+        findings += check_format(fix=False)
+    if args.fix_format:
+        findings += check_format(fix=True)
+
+    for rel, lineno, message in sorted(findings):
+        print(f"{rel}:{lineno}: {message}")
+    if findings:
+        print(f"lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
