@@ -47,7 +47,9 @@ StatusOr<std::vector<Candidate>> CompletionEngine::CompleteTag(
           "anchor required for non-empty queries");
     }
     if (request.position_aware && request.axis == Axis::kChild) {
-      // '/tag' can only be the document root.
+      // '/tag' can only be the document root. Tag prefixes match
+      // case-sensitively (XML names are case-sensitive; see the class
+      // comment in completion.h).
       if (document.empty()) return std::vector<Candidate>{};
       std::string root_tag(document.TagName(document.root()));
       if (!StartsWith(root_tag, request.prefix)) {
@@ -90,6 +92,7 @@ StatusOr<std::vector<Candidate>> CompletionEngine::CompleteTag(
   std::vector<Candidate> candidates;
   for (const auto& [tag, weight] : weights) {
     std::string name(document.tag_name(tag));
+    // Case-sensitive on purpose — see the class comment in completion.h.
     if (!StartsWith(name, request.prefix)) continue;
     candidates.push_back(
         Candidate{std::move(name), weight, CandidateKind::kTag});
@@ -126,6 +129,9 @@ StatusOr<std::vector<Candidate>> CompletionEngine::CompleteValue(
     trie = tag_trie;
   }
   std::vector<Candidate> candidates;
+  // Value terms are stored lowercased by the keyword tokenizer; lowering
+  // the prefix makes value completion case-insensitive (unlike tags —
+  // see the class comment in completion.h).
   for (const index::Completion& completion :
        trie->Complete(ToLowerAscii(prefix), limit)) {
     candidates.push_back(

@@ -45,6 +45,14 @@ struct TagRequest {
 /// then the union of child/descendant tags over those paths, weighted by
 /// occurrence counts — so every suggestion is satisfiable in the data by
 /// construction, and frequent continuations rank first.
+///
+/// Case sensitivity: tag completion matches the typed prefix
+/// case-SENSITIVELY — XML element names are case-sensitive, so "Art"
+/// must not suggest "article". Value completion matches
+/// case-INSENSITIVELY: the term index stores keyword tokens lowercased
+/// (see TokenizeKeywords), and CompleteValue lowercases the typed prefix
+/// to meet it, so "LU" suggests the term "lu". Both behaviors are pinned
+/// by tests/autocomplete_test.cc.
 class CompletionEngine {
  public:
   explicit CompletionEngine(const index::IndexedDocument& indexed)

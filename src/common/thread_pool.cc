@@ -1,0 +1,80 @@
+#include "common/thread_pool.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace lotusx {
+
+ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
+    : queue_capacity_(queue_capacity) {
+  CHECK_GT(num_threads, 0u);
+  CHECK_GT(queue_capacity, 0u);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return shutdown_ || queue_.size() < queue_capacity_;
+    });
+    if (shutdown_) return false;
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || queue_.size() >= queue_capacity_) return false;
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  // join_mu_ serializes concurrent Shutdown() callers: the loser blocks
+  // until the winner has joined every worker (joinable() is then false),
+  // so no caller returns while workers are still running.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    task();
+  }
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+}  // namespace lotusx

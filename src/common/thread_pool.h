@@ -1,0 +1,72 @@
+#ifndef LOTUSX_COMMON_THREAD_POOL_H_
+#define LOTUSX_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lotusx {
+
+/// Fixed-size worker pool over a bounded MPMC task queue.
+///
+/// Producers call Submit() (blocking while the queue is full) or
+/// TrySubmit() (non-blocking); `num_threads` workers drain the queue in
+/// FIFO order. Shutdown() is graceful: it stops new submissions, lets the
+/// workers finish every task already queued, and joins them — the
+/// destructor does the same. All methods are safe to call from any number
+/// of threads concurrently.
+///
+/// The bounded queue is deliberate back-pressure: a producer that outruns
+/// the workers blocks instead of growing an unbounded backlog, which is
+/// what a serving layer wants under overload.
+class ThreadPool {
+ public:
+  /// `num_threads` workers (>= 1) over a queue of at most `queue_capacity`
+  /// pending tasks (>= 1).
+  explicit ThreadPool(size_t num_threads,
+                      size_t queue_capacity = kDefaultQueueCapacity);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`, blocking while the queue is full. Returns false
+  /// (without running the task) once Shutdown() has begun.
+  bool Submit(std::function<void()> task);
+
+  /// Non-blocking Submit: returns false when the queue is full or the
+  /// pool is shutting down.
+  bool TrySubmit(std::function<void()> task);
+
+  /// Stops accepting tasks, drains the queue, and joins the workers.
+  /// Idempotent; also called by the destructor.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+  size_t queue_capacity() const { return queue_capacity_; }
+
+  /// std::thread::hardware_concurrency() with a floor of 1.
+  static size_t DefaultThreadCount();
+
+  static constexpr size_t kDefaultQueueCapacity = 1024;
+
+ private:
+  void WorkerLoop();
+
+  const size_t queue_capacity_;
+  std::mutex mu_;
+  std::mutex join_mu_;  // serializes the join phase of Shutdown()
+  std::condition_variable not_empty_;  // signaled on push and shutdown
+  std::condition_variable not_full_;   // signaled on pop and shutdown
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lotusx
+
+#endif  // LOTUSX_COMMON_THREAD_POOL_H_

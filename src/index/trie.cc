@@ -36,9 +36,17 @@ void Trie::Insert(std::string_view key, uint64_t weight) {
     node = child;
   }
   Node& terminal = nodes_[static_cast<size_t>(node)];
-  if (terminal.terminal_weight == 0) ++num_keys_;
+  // A node is a key iff its accumulated weight is positive (Contains,
+  // ValidateInvariants). Count the 0 -> positive transition, not every
+  // insert that finds weight 0 — re-inserting with weight 0 used to bump
+  // num_keys_ without creating a key.
+  const bool was_key = terminal.terminal_weight > 0;
   terminal.terminal_weight += weight;
-  // Second pass: refresh subtree maxima along the path.
+  if (!was_key && terminal.terminal_weight > 0) ++num_keys_;
+  // Second pass: refresh subtree maxima along the path. A zero-weight
+  // insert leaves every subtree_best untouched (its terminal is not a
+  // key), which the `best > subtree_best` guard below already ensures
+  // even for the freshly created path nodes (subtree_best == 0).
   uint64_t best = terminal.terminal_weight;
   node = 0;
   if (best > nodes_[0].subtree_best) nodes_[0].subtree_best = best;

@@ -1,5 +1,11 @@
 #include "lotusx/engine.h"
 
+#include <algorithm>
+#include <bit>
+#include <latch>
+#include <utility>
+
+#include "common/timer.h"
 #include "twig/query_parser.h"
 #include "xml/dom_builder.h"
 #include "xml/escape.h"
@@ -45,10 +51,22 @@ StatusOr<SearchResult> Engine::Search(std::string_view query_text,
 void Engine::EnableResultCache(size_t capacity) {
   cache_ = capacity == 0
                ? nullptr
-               : std::make_unique<LruCache<SearchResult>>(capacity);
+               : std::make_unique<ShardedLruCache<SearchResult>>(capacity);
 }
 
 namespace {
+
+/// Lossless double rendering for cache keys: the raw IEEE-754 bits in
+/// hex. std::to_string keeps only six decimals, which collapses distinct
+/// weights (1.0 vs 1.0000001) onto one key and serves the wrong cached
+/// ranking.
+std::string DoubleKeyBits(double value) {
+  char buffer[19];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(std::bit_cast<uint64_t>(value)));
+  return buffer;
+}
+
 /// Cache key: canonical query plus every option that changes the answer.
 std::string CacheKey(const twig::TwigQuery& query,
                      const SearchOptions& options) {
@@ -58,12 +76,13 @@ std::string CacheKey(const twig::TwigQuery& query,
   key += options.eval.apply_order ? 'o' : '-';
   key += options.rewrite_on_empty ? 'r' : '-';
   key += '|';
-  key += std::to_string(options.ranking.content_weight) + ',' +
-         std::to_string(options.ranking.structure_weight) + ',' +
-         std::to_string(options.ranking.specificity_weight) + ',' +
+  key += DoubleKeyBits(options.ranking.content_weight) + ',' +
+         DoubleKeyBits(options.ranking.structure_weight) + ',' +
+         DoubleKeyBits(options.ranking.specificity_weight) + ',' +
          std::to_string(options.ranking.top_k);
   return key;
 }
+
 }  // namespace
 
 StatusOr<SearchResult> Engine::Search(const twig::TwigQuery& query,
@@ -71,8 +90,8 @@ StatusOr<SearchResult> Engine::Search(const twig::TwigQuery& query,
   std::string cache_key;
   if (cache_ != nullptr) {
     cache_key = CacheKey(query, options);
-    if (const SearchResult* cached = cache_->Lookup(cache_key)) {
-      return *cached;
+    if (std::optional<SearchResult> cached = cache_->Lookup(cache_key)) {
+      return *std::move(cached);
     }
   }
   LOTUSX_ASSIGN_OR_RETURN(twig::QueryResult result,
@@ -94,6 +113,85 @@ StatusOr<SearchResult> Engine::Search(const twig::TwigQuery& query,
       ranker_->Rank(search.executed_query, result.matches, options.ranking);
   if (cache_ != nullptr) cache_->Insert(cache_key, search);
   return search;
+}
+
+namespace {
+
+/// Fans `chunk_fn(0..num_chunks)` across `pool` and waits for all chunks;
+/// runs them inline on the caller's thread when pool is null (or refuses
+/// submissions because it is shutting down).
+void RunChunks(ThreadPool* pool, size_t num_chunks,
+               const std::function<void(size_t)>& chunk_fn) {
+  if (pool == nullptr || num_chunks <= 1) {
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) chunk_fn(chunk);
+    return;
+  }
+  std::latch done(static_cast<ptrdiff_t>(num_chunks));
+  for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    const bool submitted = pool->Submit([&chunk_fn, &done, chunk] {
+      chunk_fn(chunk);
+      done.count_down();
+    });
+    if (!submitted) {
+      chunk_fn(chunk);
+      done.count_down();
+    }
+  }
+  done.wait();
+}
+
+/// Contiguous [begin, end) of chunk `chunk` when `total` items split into
+/// `num_chunks` near-equal pieces.
+std::pair<size_t, size_t> ChunkRange(size_t total, size_t num_chunks,
+                                     size_t chunk) {
+  const size_t begin = total * chunk / num_chunks;
+  const size_t end = total * (chunk + 1) / num_chunks;
+  return {begin, end};
+}
+
+}  // namespace
+
+std::vector<StatusOr<SearchResult>> Engine::SearchBatch(
+    const std::vector<std::string>& queries, const SearchOptions& options,
+    ThreadPool* pool, std::vector<twig::EvalStats>* per_chunk_stats) const {
+  std::vector<StatusOr<SearchResult>> results(queries.size());
+  const size_t num_chunks =
+      pool == nullptr ? 1 : std::min(pool->num_threads(), queries.size());
+  std::vector<twig::EvalStats> chunk_stats(std::max<size_t>(num_chunks, 1));
+  RunChunks(pool, num_chunks, [&](size_t chunk) {
+    const auto [begin, end] = ChunkRange(queries.size(), num_chunks, chunk);
+    twig::EvalStats& stats = chunk_stats[chunk];
+    stats.algorithm = "batch";
+    Timer timer;
+    for (size_t i = begin; i < end; ++i) {
+      results[i] = Search(queries[i], options);
+      if (results[i].ok()) {
+        const twig::EvalStats& s = results[i]->stats;
+        stats.candidates_scanned += s.candidates_scanned;
+        stats.intermediate_tuples += s.intermediate_tuples;
+        stats.matches += s.matches;
+      }
+    }
+    stats.elapsed_ms = timer.ElapsedMillis();
+  });
+  if (per_chunk_stats != nullptr) *per_chunk_stats = std::move(chunk_stats);
+  return results;
+}
+
+std::vector<StatusOr<std::vector<autocomplete::Candidate>>>
+Engine::CompleteTagBatch(const std::vector<TagBatchRequest>& requests,
+                         ThreadPool* pool) const {
+  std::vector<StatusOr<std::vector<autocomplete::Candidate>>> results(
+      requests.size());
+  const size_t num_chunks =
+      pool == nullptr ? 1 : std::min(pool->num_threads(), requests.size());
+  RunChunks(pool, num_chunks, [&](size_t chunk) {
+    const auto [begin, end] = ChunkRange(requests.size(), num_chunks, chunk);
+    for (size_t i = begin; i < end; ++i) {
+      results[i] = CompleteTag(requests[i].query, requests[i].request);
+    }
+  });
+  return results;
 }
 
 std::string Engine::MaterializeResults(const SearchResult& result,

@@ -8,6 +8,7 @@
 
 #include "autocomplete/completion.h"
 #include "common/status_or.h"
+#include "common/thread_pool.h"
 #include "index/indexed_document.h"
 #include "keyword/keyword_search.h"
 #include "ranking/ranker.h"
@@ -37,6 +38,12 @@ struct SearchResult {
   double rewrite_penalty = 0;
 };
 
+/// One tag-completion request of Engine::CompleteTagBatch.
+struct TagBatchRequest {
+  twig::TwigQuery query;
+  autocomplete::TagRequest request;
+};
+
 /// The LotusX engine: the public facade of this library, owning one
 /// indexed XML document and exposing the paper's four capabilities —
 /// position-aware auto-completion, twig query evaluation (including
@@ -47,6 +54,15 @@ struct SearchResult {
 ///   auto hits = engine->Search("//article[author[~\"lu\"]]/title");
 ///   for (const auto& hit : hits->results)
 ///     std::cout << engine->Snippet(hit.output) << "\n";
+///
+/// Threading: the index is immutable after construction, so every const
+/// member (Search, CompleteTag, CompleteValue, KeywordSearch, Snippet,
+/// MaterializeResults, ...) is safe to call concurrently from any number
+/// of threads sharing one Engine — including with the result cache
+/// enabled, which is a sharded, internally locked structure. The two
+/// setup calls (EnableResultCache) and move construction/assignment are
+/// NOT synchronized: configure the engine first, then share it. See
+/// docs/DEVELOPMENT.md ("Threading model").
 class Engine {
  public:
   /// Builds an engine from XML text / a file / a saved index image.
@@ -78,6 +94,26 @@ class Engine {
   StatusOr<SearchResult> Search(const twig::TwigQuery& query,
                                 const SearchOptions& options = {}) const;
 
+  /// Evaluates `queries` (textual twig syntax) and returns one result per
+  /// query, in order. With a pool, the batch is split into
+  /// pool->num_threads() contiguous chunks fanned across the workers;
+  /// with pool == nullptr it runs sequentially on the caller's thread
+  /// (the single-threaded oracle the tests compare against). When
+  /// `per_chunk_stats` is non-null it is replaced with one aggregated
+  /// EvalStats per chunk (counters summed over the chunk's queries,
+  /// elapsed_ms the chunk's wall time) — the per-thread view of where
+  /// evaluation work went.
+  std::vector<StatusOr<SearchResult>> SearchBatch(
+      const std::vector<std::string>& queries,
+      const SearchOptions& options = {}, ThreadPool* pool = nullptr,
+      std::vector<twig::EvalStats>* per_chunk_stats = nullptr) const;
+
+  /// Batch counterpart of CompleteTag with the same fan-out contract as
+  /// SearchBatch.
+  std::vector<StatusOr<std::vector<autocomplete::Candidate>>>
+  CompleteTagBatch(const std::vector<TagBatchRequest>& requests,
+                   ThreadPool* pool = nullptr) const;
+
   /// Position-aware tag completion (see autocomplete/completion.h).
   StatusOr<std::vector<autocomplete::Candidate>> CompleteTag(
       const twig::TwigQuery& query,
@@ -101,8 +137,10 @@ class Engine {
     return keyword::SlcaSearch(*indexed_, keywords, options);
   }
 
-  /// Enables an LRU cache of Search results with the given capacity
-  /// (entries never go stale: the index is immutable). Pass 0 to disable.
+  /// Enables a sharded LRU cache of Search results with the given total
+  /// capacity (entries never go stale: the index is immutable). Pass 0 to
+  /// disable. Setup call: not synchronized against concurrent Search —
+  /// call it before sharing the engine across threads.
   void EnableResultCache(size_t capacity);
   /// Cache statistics; zeros when disabled.
   uint64_t cache_hits() const { return cache_ ? cache_->hits() : 0; }
@@ -135,8 +173,9 @@ class Engine {
   std::unique_ptr<autocomplete::CompletionEngine> completion_;
   std::unique_ptr<ranking::Ranker> ranker_;
   std::unique_ptr<rewrite::Rewriter> rewriter_;
-  // mutable: Search() is logically const; the cache is an optimization.
-  mutable std::unique_ptr<LruCache<SearchResult>> cache_;
+  // mutable: Search() is logically const; the cache is an optimization
+  // and is internally synchronized (sharded locks + atomic counters).
+  mutable std::unique_ptr<ShardedLruCache<SearchResult>> cache_;
 };
 
 }  // namespace lotusx

@@ -1,11 +1,18 @@
 #ifndef LOTUSX_LOTUSX_QUERY_CACHE_H_
 #define LOTUSX_LOTUSX_QUERY_CACHE_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -14,7 +21,8 @@ namespace lotusx {
 /// Bounded LRU cache of search results, keyed by a canonical string
 /// (query rendering + options signature). Because an IndexedDocument is
 /// immutable, cached entries never go stale; capacity alone bounds
-/// memory. Not thread-safe (matches the rest of the engine).
+/// memory. Not thread-safe on its own — it is the per-shard building
+/// block of ShardedLruCache below, which is what Engine uses.
 template <typename Value>
 class LruCache {
  public:
@@ -69,6 +77,106 @@ class LruCache {
       map_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+};
+
+/// Thread-safe bounded LRU cache: keys hash to one of `num_shards`
+/// independently locked LruCache shards, so concurrent readers on
+/// different shards never contend. Lookup returns the value *by copy* —
+/// no pointer into a shard ever escapes its lock, so entries may be
+/// evicted or refreshed by other threads at any time without
+/// invalidating a caller's result. Hit/miss counters are atomics
+/// aggregated across shards.
+///
+/// The requested capacity is split evenly across shards (rounded up to
+/// at least one entry per shard), so the effective bound is
+/// num_shards * ceil(capacity / num_shards) — capacity() reports that
+/// effective bound.
+template <typename Value>
+class ShardedLruCache {
+ public:
+  static constexpr size_t kDefaultShards = 8;
+
+  explicit ShardedLruCache(size_t capacity, size_t num_shards = kDefaultShards) {
+    CHECK_GT(capacity, 0u);
+    CHECK_GT(num_shards, 0u);
+    // More shards than entries would inflate the effective capacity to
+    // one entry per shard; clamp instead.
+    num_shards = std::min(num_shards, capacity);
+    const size_t per_shard = (capacity + num_shards - 1) / num_shards;
+    shards_.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(per_shard));
+    }
+  }
+
+  /// Returns a copy of the cached value (refreshing its recency), or
+  /// nullopt.
+  std::optional<Value> Lookup(const std::string& key) {
+    Shard& shard = ShardFor(key);
+    std::optional<Value> found;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (const Value* value = shard.cache.Lookup(key)) found = *value;
+    }
+    if (found.has_value()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return found;
+  }
+
+  /// Inserts (or refreshes) `key`, evicting within the key's shard.
+  void Insert(const std::string& key, Value value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.cache.Insert(key, std::move(value));
+  }
+
+  /// Empties every shard. Counters are not reset.
+  void Clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->cache.Clear();
+    }
+  }
+
+  /// Total entries across shards. Each shard is sampled under its own
+  /// lock, so under concurrent writers the sum is approximate.
+  size_t size() const {
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += shard->cache.size();
+    }
+    return total;
+  }
+
+  /// Effective bound: num_shards * per-shard capacity.
+  size_t capacity() const {
+    return shards_.size() * shards_[0]->cache.capacity();
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Shard {
+    explicit Shard(size_t capacity) : cache(capacity) {}
+    mutable std::mutex mu;
+    LruCache<Value> cache;
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  // unique_ptr: Shard holds a mutex and must not move when the vector
+  // relocates (it never does after construction, but keep it immovable).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace lotusx

@@ -301,5 +301,52 @@ TEST(CompleteValueTest, GlobalFallback) {
   EXPECT_EQ(Texts(*candidates), (std::vector<std::string>{"great"}));
 }
 
+// ---------------------------------------------------- Case sensitivity
+// Pins the documented contract (completion.h): tag prefixes match
+// case-sensitively (XML names are case-sensitive), value prefixes match
+// case-insensitively (terms are stored lowercased).
+
+TEST(CaseSensitivityTest, TagPrefixIsCaseSensitivePositionAware) {
+  auto indexed = MustIndex(kStoreXml);
+  CompletionEngine engine(indexed);
+  TwigQuery query = Q("//product");
+  TagRequest request;
+  request.anchor = 0;
+  request.axis = Axis::kChild;
+  request.prefix = "PR";  // "price" must NOT match
+  auto candidates = engine.CompleteTag(query, request);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_TRUE(candidates->empty());
+  request.prefix = "pr";
+  candidates = engine.CompleteTag(query, request);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_EQ(Texts(*candidates), (std::vector<std::string>{"price"}));
+}
+
+TEST(CaseSensitivityTest, TagPrefixIsCaseSensitiveGlobal) {
+  auto indexed = MustIndex(kStoreXml);
+  CompletionEngine engine(indexed);
+  TagRequest request;
+  request.prefix = "NAME";
+  request.position_aware = false;
+  auto candidates = engine.CompleteTag(TwigQuery(), request);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_TRUE(candidates->empty());
+}
+
+TEST(CaseSensitivityTest, ValuePrefixIsCaseInsensitive) {
+  auto indexed = MustIndex(kStoreXml);
+  CompletionEngine engine(indexed);
+  TwigQuery query = Q("//comment");
+  auto upper = engine.CompleteValue(query, 0, "GREAT", 10,
+                                    /*position_aware=*/true);
+  ASSERT_TRUE(upper.ok());
+  EXPECT_EQ(Texts(*upper), (std::vector<std::string>{"great"}));
+  auto lower = engine.CompleteValue(query, 0, "great", 10,
+                                    /*position_aware=*/true);
+  ASSERT_TRUE(lower.ok());
+  EXPECT_EQ(Texts(*upper), Texts(*lower));
+}
+
 }  // namespace
 }  // namespace lotusx::autocomplete

@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "lotusx/engine.h"
+#include "lotusx/query_cache.h"
+#include "twig/query_parser.h"
+
+namespace lotusx {
+namespace {
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter] { ++counter; }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, TrySubmitRespectsQueueBound) {
+  ThreadPool pool(1, /*queue_capacity=*/2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> started{false};
+  std::atomic<int> ran{0};
+  // Park the single worker so queued tasks stay queued.
+  ASSERT_TRUE(pool.Submit([&] {
+    started = true;
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    ++ran;
+  }));
+  while (!started) std::this_thread::yield();
+  // Worker is busy and the queue is empty: exactly `queue_capacity` more
+  // tasks fit.
+  EXPECT_TRUE(pool.TrySubmit([&ran] { ++ran; }));
+  EXPECT_TRUE(pool.TrySubmit([&ran] { ++ran; }));
+  EXPECT_FALSE(pool.TrySubmit([&ran] { ++ran; }));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  ThreadPool pool(1, /*queue_capacity=*/16);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> started{false};
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.Submit([&] {
+    started = true;
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  }));
+  while (!started) std::this_thread::yield();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(pool.TrySubmit([&ran] { ++ran; }));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Shutdown();  // graceful: the 5 queued tasks must still run
+  EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+  EXPECT_FALSE(pool.TrySubmit([] {}));
+  pool.Shutdown();  // idempotent
+}
+
+TEST(ThreadPoolTest, ConcurrentProducers) {
+  ThreadPool pool(2, /*queue_capacity=*/4);  // small queue: back-pressure
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&pool, &counter] {
+      for (int i = 0; i < 50; ++i) {
+        ASSERT_TRUE(pool.Submit([&counter] { ++counter; }));
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+// ------------------------------------------- ShardedLruCache concurrency
+
+TEST(ShardedLruCacheTest, ConcurrentInsertLookup) {
+  ShardedLruCache<std::string> cache(64, /*num_shards=*/8);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        std::string key = "key" + std::to_string((t * 7 + i) % 100);
+        if (i % 3 == 0) {
+          cache.Insert(key, key + "-value");
+        } else {
+          std::optional<std::string> value = cache.Lookup(key);
+          // Lookup returned a copy: it stays valid whatever other
+          // threads evict, and must be the value inserted for that key.
+          if (value.has_value()) {
+            EXPECT_EQ(*value, key + "-value");
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // 667 of every 2000 iterations insert; the rest look up.
+  const uint64_t lookups = static_cast<uint64_t>(kThreads) * (kOps - 667);
+  EXPECT_EQ(cache.hits() + cache.misses(), lookups);
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+// --------------------------------------------------- Shared-Engine stress
+
+constexpr std::string_view kCatalogXml = R"(<store>
+  <name>main store</name>
+  <category>
+    <name>books</name>
+    <product sku="p1">
+      <name>xml handbook</name>
+      <brand>acme</brand>
+      <price>30.00</price>
+      <review><rating>5</rating><comment>great xml content</comment></review>
+    </product>
+    <product sku="p2">
+      <name>twig poster</name>
+      <brand>zeta</brand>
+      <price>5.00</price>
+    </product>
+  </category>
+  <category>
+    <name>music</name>
+    <album id="m1">
+      <name>lotus songs</name>
+      <artist>acme band</artist>
+    </album>
+  </category>
+</store>)";
+
+/// Everything observable about a SearchResult except timings.
+std::string Signature(const SearchResult& result) {
+  std::string sig = result.executed_query.ToString();
+  sig += '#';
+  for (const std::string& rewrite : result.rewrites_applied) {
+    sig += rewrite + ';';
+  }
+  sig += '#' + std::to_string(result.rewrite_penalty) + '#';
+  for (const ranking::RankedResult& hit : result.results) {
+    sig += std::to_string(hit.output) + ':' + std::to_string(hit.score) + ',';
+  }
+  return sig;
+}
+
+twig::TwigQuery Q(std::string_view text) {
+  auto parsed = twig::ParseQuery(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(parsed).value();
+}
+
+TEST(EngineConcurrencyTest, SharedEngineMixedWorkloadMatchesOracle) {
+  auto engine = Engine::FromXmlText(kCatalogXml);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  engine->EnableResultCache(16);
+
+  const std::vector<std::string> queries = {
+      "//product/name",
+      "//product[price]/brand",
+      "//album/artist",
+      "//category/name",
+      "//product/artist",  // empty: exercises the rewriter
+  };
+  autocomplete::TagRequest tag_request;
+  tag_request.anchor = 0;
+  tag_request.axis = twig::Axis::kChild;
+  const twig::TwigQuery tag_query = Q("//product");
+  const twig::TwigQuery value_query = Q("//comment");
+
+  // Single-threaded oracle over the same engine (cache already enabled:
+  // hits must serve byte-identical answers).
+  std::vector<std::string> oracle_sigs;
+  for (const std::string& query : queries) {
+    auto result = engine->Search(query);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    oracle_sigs.push_back(Signature(*result));
+  }
+  auto oracle_tags = engine->CompleteTag(tag_query, tag_request);
+  ASSERT_TRUE(oracle_tags.ok());
+  auto oracle_values = engine->CompleteValue(value_query, 0, "gr", 10);
+  ASSERT_TRUE(oracle_values.ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int iteration = 0; iteration < kIterations; ++iteration) {
+        for (size_t q = 0; q < queries.size(); ++q) {
+          auto result = engine->Search(queries[q]);
+          ASSERT_TRUE(result.ok()) << result.status().ToString();
+          EXPECT_EQ(Signature(*result), oracle_sigs[q]) << queries[q];
+        }
+        auto tags = engine->CompleteTag(tag_query, tag_request);
+        ASSERT_TRUE(tags.ok());
+        EXPECT_EQ(*tags, *oracle_tags);
+        auto values = engine->CompleteValue(value_query, 0, "gr", 10);
+        ASSERT_TRUE(values.ok());
+        EXPECT_EQ(*values, *oracle_values);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Every lookup is accounted for, and the warm cache served hits.
+  const uint64_t searches =
+      queries.size() * (1 + kThreads * kIterations);
+  EXPECT_EQ(engine->cache_hits() + engine->cache_misses(), searches);
+  EXPECT_GT(engine->cache_hits(), 0u);
+}
+
+// ------------------------------------------------------------- Batch APIs
+
+TEST(EngineBatchTest, SearchBatchMatchesSequentialOracle) {
+  auto engine = Engine::FromXmlText(kCatalogXml);
+  ASSERT_TRUE(engine.ok());
+  std::vector<std::string> queries;
+  for (int i = 0; i < 3; ++i) {
+    queries.push_back("//product/name");
+    queries.push_back("//category/name");
+    queries.push_back("//album/artist");
+    queries.push_back("//product[price]/brand");
+  }
+  queries.insert(queries.begin() + 5, "//[malformed");  // stays an error
+
+  auto oracle = engine->SearchBatch(queries);  // pool == nullptr: inline
+  ThreadPool pool(3);
+  auto batched = engine->SearchBatch(queries, {}, &pool);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(batched[i].ok(), oracle[i].ok()) << queries[i];
+    if (batched[i].ok()) {
+      EXPECT_EQ(Signature(*batched[i]), Signature(*oracle[i])) << queries[i];
+    } else {
+      EXPECT_EQ(batched[i].status().ToString(),
+                oracle[i].status().ToString());
+    }
+  }
+}
+
+TEST(EngineBatchTest, SearchBatchAggregatesStatsPerChunk) {
+  auto engine = Engine::FromXmlText(kCatalogXml);
+  ASSERT_TRUE(engine.ok());
+  const std::vector<std::string> queries(8, "//product/name");
+
+  std::vector<twig::EvalStats> sequential_stats;
+  auto sequential = engine->SearchBatch(queries, {}, nullptr,
+                                        &sequential_stats);
+  ASSERT_EQ(sequential_stats.size(), 1u);
+
+  ThreadPool pool(4);
+  std::vector<twig::EvalStats> chunk_stats;
+  auto batched = engine->SearchBatch(queries, {}, &pool, &chunk_stats);
+  ASSERT_EQ(chunk_stats.size(), 4u);
+  uint64_t scanned = 0;
+  uint64_t matches = 0;
+  for (const twig::EvalStats& stats : chunk_stats) {
+    EXPECT_EQ(stats.algorithm, "batch");
+    scanned += stats.candidates_scanned;
+    matches += stats.matches;
+  }
+  EXPECT_EQ(scanned, sequential_stats[0].candidates_scanned);
+  EXPECT_EQ(matches, sequential_stats[0].matches);
+  for (const auto& result : batched) EXPECT_TRUE(result.ok());
+}
+
+TEST(EngineBatchTest, CompleteTagBatchMatchesSequential) {
+  auto engine = Engine::FromXmlText(kCatalogXml);
+  ASSERT_TRUE(engine.ok());
+  std::vector<TagBatchRequest> requests;
+  for (const char* prefix : {"", "pr", "n", "b", "", "re", "a", ""}) {
+    TagBatchRequest request;
+    request.query = Q("//product");
+    request.request.anchor = 0;
+    request.request.axis = twig::Axis::kChild;
+    request.request.prefix = prefix;
+    requests.push_back(std::move(request));
+  }
+
+  auto oracle = engine->CompleteTagBatch(requests);
+  ThreadPool pool(3);
+  auto batched = engine->CompleteTagBatch(requests, &pool);
+  ASSERT_EQ(batched.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(batched[i].ok());
+    ASSERT_TRUE(oracle[i].ok());
+    EXPECT_EQ(*batched[i], *oracle[i]);
+  }
+}
+
+TEST(EngineBatchTest, EmptyBatchIsFine) {
+  auto engine = Engine::FromXmlText(kCatalogXml);
+  ASSERT_TRUE(engine.ok());
+  ThreadPool pool(2);
+  EXPECT_TRUE(engine->SearchBatch({}, {}, &pool).empty());
+  EXPECT_TRUE(engine->CompleteTagBatch({}, &pool).empty());
+}
+
+}  // namespace
+}  // namespace lotusx

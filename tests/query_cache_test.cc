@@ -57,6 +57,67 @@ TEST(LruCacheTest, CapacityOneWorks) {
   EXPECT_EQ(*cache.Lookup("b"), 2);
 }
 
+// ------------------------------------------------------ ShardedLruCache
+
+TEST(ShardedLruCacheTest, InsertLookupByValue) {
+  ShardedLruCache<int> cache(8);
+  EXPECT_FALSE(cache.Lookup("a").has_value());
+  cache.Insert("a", 1);
+  std::optional<int> found = cache.Lookup("a");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, 1);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedLruCacheTest, InsertRefreshesExistingKey) {
+  ShardedLruCache<int> cache(8);
+  cache.Insert("a", 1);
+  cache.Insert("a", 10);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.Lookup("a"), 10);
+}
+
+TEST(ShardedLruCacheTest, EvictsWithinShards) {
+  // 4 entries over 4 shards: per-shard capacity 1, so two keys hashing to
+  // one shard evict each other while other shards are untouched.
+  ShardedLruCache<int> cache(4, /*num_shards=*/4);
+  EXPECT_EQ(cache.capacity(), 4u);
+  EXPECT_EQ(cache.num_shards(), 4u);
+  for (int i = 0; i < 64; ++i) {
+    cache.Insert("key" + std::to_string(i), i);
+  }
+  // Eviction keeps the total at or under the effective capacity.
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_GT(cache.size(), 0u);
+}
+
+TEST(ShardedLruCacheTest, ShardCountClampedToCapacity) {
+  ShardedLruCache<int> cache(2, /*num_shards=*/16);
+  EXPECT_EQ(cache.num_shards(), 2u);
+  EXPECT_EQ(cache.capacity(), 2u);
+}
+
+TEST(ShardedLruCacheTest, Clear) {
+  ShardedLruCache<int> cache(8);
+  cache.Insert("a", 1);
+  cache.Insert("b", 2);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup("a").has_value());
+}
+
+TEST(ShardedLruCacheTest, StatsAccumulate) {
+  ShardedLruCache<int> cache(8);
+  cache.Insert("a", 1);
+  cache.Lookup("a");
+  cache.Lookup("a");
+  cache.Lookup("missing");
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
 // ------------------------------------------------------ Engine integration
 
 constexpr std::string_view kXml = R"(<dblp>
@@ -92,6 +153,30 @@ TEST(EngineCacheTest, DifferentOptionsMissTheCache) {
   ASSERT_TRUE(engine->Search("//article/title", options).ok());
   EXPECT_EQ(engine->cache_hits(), 0u);
   EXPECT_EQ(engine->cache_misses(), 2u);
+}
+
+TEST(EngineCacheTest, NearEqualRankingWeightsDoNotCollide) {
+  // Regression: the cache key used to render ranking weights with
+  // std::to_string (6 fixed decimals), so weights differing below 1e-6
+  // collided on one key and the second search returned the first's
+  // cached ranking. The key now encodes the exact IEEE-754 bits.
+  SearchOptions a;
+  a.ranking.content_weight = 1.0;
+  SearchOptions b;
+  b.ranking.content_weight = 1.0000001;  // to_string: "1.000000" for both
+  ASSERT_EQ(std::to_string(a.ranking.content_weight),
+            std::to_string(b.ranking.content_weight));
+
+  auto engine = Engine::FromXmlText(kXml);
+  ASSERT_TRUE(engine.ok());
+  engine->EnableResultCache(8);
+  ASSERT_TRUE(engine->Search("//article/title", a).ok());
+  ASSERT_TRUE(engine->Search("//article/title", b).ok());
+  EXPECT_EQ(engine->cache_hits(), 0u);
+  EXPECT_EQ(engine->cache_misses(), 2u);
+  // Identical options still hit.
+  ASSERT_TRUE(engine->Search("//article/title", a).ok());
+  EXPECT_EQ(engine->cache_hits(), 1u);
 }
 
 TEST(EngineCacheTest, DisabledByDefaultAndDisableable) {

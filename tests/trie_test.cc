@@ -172,6 +172,45 @@ TEST(TrieTest, DecodeRejectsCorruptImages) {
   }
 }
 
+TEST(TrieTest, ZeroWeightInsertIsNotAKey) {
+  // Regression: re-inserting a weight-0 key used to bump num_keys_ every
+  // time (the terminal stayed at weight 0), so num_keys drifted from the
+  // actual terminal count and ValidateInvariants reported corruption.
+  Trie trie;
+  trie.Insert("draft", 0);
+  trie.Insert("draft", 0);
+  EXPECT_EQ(trie.num_keys(), 0u);
+  EXPECT_FALSE(trie.Contains("draft"));
+  EXPECT_TRUE(trie.Complete("d", 10).empty());
+  ASSERT_TRUE(trie.ValidateInvariants().ok())
+      << trie.ValidateInvariants().ToString();
+
+  // The 0 -> positive transition counts exactly once...
+  trie.Insert("draft", 4);
+  EXPECT_EQ(trie.num_keys(), 1u);
+  EXPECT_TRUE(trie.Contains("draft"));
+  // ... and later zero-weight re-inserts change nothing, including the
+  // subtree maxima along the path.
+  trie.Insert("draft", 0);
+  EXPECT_EQ(trie.num_keys(), 1u);
+  EXPECT_EQ(trie.WeightOf("draft"), 4u);
+  auto completions = trie.Complete("d", 10);
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].weight, 4u);
+  ASSERT_TRUE(trie.ValidateInvariants().ok())
+      << trie.ValidateInvariants().ToString();
+}
+
+TEST(TrieTest, ZeroWeightInsertOnFreshPathKeepsInvariants) {
+  Trie trie;
+  trie.Insert("alpha", 7);
+  trie.Insert("alphabet", 0);  // extends an existing path, adds no key
+  EXPECT_EQ(trie.num_keys(), 1u);
+  EXPECT_FALSE(trie.Contains("alphabet"));
+  ASSERT_TRUE(trie.ValidateInvariants().ok())
+      << trie.ValidateInvariants().ToString();
+}
+
 TEST(TrieTest, MemoryUsageGrowsWithContent) {
   Trie small;
   small.Insert("a", 1);
