@@ -25,10 +25,9 @@ using bench::MedianMillis;
 using bench::Table;
 
 void RunForSize(int64_t nodes, Table* tag_table, Table* value_table) {
-  index::IndexedDocument indexed(
-      datagen::GenerateDblpWithApproxNodes(/*seed=*/1, nodes));
+  index::IndexedDocument indexed = bench::MakeDblp(/*seed=*/1, nodes);
   CompletionEngine engine(indexed);
-  twig::TwigQuery context = twig::ParseQuery("//article[year]").value();
+  twig::TwigQuery context = bench::MustParse("//article[year]");
 
   constexpr int kReps = 300;
   std::vector<std::string> row_tags = {std::to_string(nodes)};
@@ -48,8 +47,7 @@ void RunForSize(int64_t nodes, Table* tag_table, Table* value_table) {
   tag_table->AddRow(row_tags);
 
   // Value completion for //article/author while typing a name.
-  twig::TwigQuery value_context =
-      twig::ParseQuery("//article/author").value();
+  twig::TwigQuery value_context = bench::MustParse("//article/author");
   for (size_t prefix_len : {0, 1, 2, 4}) {
     std::string prefix = std::string("abcd").substr(0, prefix_len);
     double ms = MedianMillis(kReps, [&] {
@@ -76,7 +74,8 @@ int main() {
       {"doc nodes", "tag p=0", "tag p=1", "tag p=2", "tag p=4"});
   lotusx::bench::Table value_table(
       {"doc nodes", "val p=0", "val p=1", "val p=2", "val p=4"});
-  for (int64_t nodes : {10'000, 50'000, 200'000, 1'000'000}) {
+  for (int64_t nodes :
+       lotusx::bench::Scales({10'000, 50'000, 200'000, 1'000'000})) {
     lotusx::RunForSize(nodes, &tag_table, &value_table);
   }
   std::printf("\nposition-aware TAG completion (us):\n");

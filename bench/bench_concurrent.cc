@@ -135,13 +135,15 @@ void Run() {
   std::printf("\n(building engine...)\n");
   // The facade only builds from XML text, so serialize the generated
   // document once through the library's own writer.
-  xml::Document document =
-      datagen::GenerateDblpWithApproxNodes(/*seed=*/7, 200000);
+  xml::Document document = datagen::GenerateDblpWithApproxNodes(
+      /*seed=*/7, bench::ScaledNodes(200'000));
   std::string xml = xml::WriteXml(document, document.root(), {});
   Engine engine = Engine::FromXmlText(xml).value();
 
+  const bool smoke = bench::SmokeMode();
   // Cold: no cache, every op runs the evaluator.
-  RunSharedEngineSweep(engine, /*cached=*/false, /*ops_per_thread=*/500);
+  RunSharedEngineSweep(engine, /*cached=*/false,
+                       /*ops_per_thread=*/smoke ? 20 : 500);
   // Hot: sharded cache, warmed before the sweep so every row measures
   // pure hit throughput (hits are ~1000x cheaper than evaluation, so a
   // handful of warm-up misses would otherwise dominate the fast rows).
@@ -149,8 +151,9 @@ void Run() {
   for (const std::string& query : QueryMix()) {
     CHECK(engine.Search(query, ServingOptions()).ok());
   }
-  RunSharedEngineSweep(engine, /*cached=*/true, /*ops_per_thread=*/50000);
-  RunBatchSweep(engine, /*batch_size=*/512, /*batches=*/5);
+  RunSharedEngineSweep(engine, /*cached=*/true,
+                       /*ops_per_thread=*/smoke ? 200 : 50000);
+  RunBatchSweep(engine, /*batch_size=*/smoke ? 64 : 512, /*batches=*/5);
 }
 
 }  // namespace

@@ -83,16 +83,19 @@ int main() {
   lotusx::bench::Table persist({"corpus/nodes", "file MiB", "save ms",
                                 "load ms", "rebuild ms"});
 
-  for (int64_t nodes : {10'000, 50'000, 200'000, 1'000'000}) {
+  for (int64_t nodes :
+       lotusx::bench::Scales({10'000, 50'000, 200'000, 1'000'000})) {
     lotusx::RunSize("dblp",
                     lotusx::datagen::GenerateDblpWithApproxNodes(5, nodes),
                     &build, &memory, &persist);
   }
   lotusx::RunSize("store",
-                  lotusx::datagen::GenerateStoreWithApproxNodes(5, 200'000),
+                  lotusx::datagen::GenerateStoreWithApproxNodes(
+                      5, lotusx::bench::ScaledNodes(200'000)),
                   &build, &memory, &persist);
   lotusx::RunSize("xmark",
-                  lotusx::datagen::GenerateXmarkWithApproxNodes(5, 200'000),
+                  lotusx::datagen::GenerateXmarkWithApproxNodes(
+                      5, lotusx::bench::ScaledNodes(200'000)),
                   &build, &memory, &persist);
 
   std::printf("build time breakdown:\n");

@@ -84,9 +84,8 @@ int main() {
       "subtree scan\n\n");
   lotusx::bench::Table table({"doc nodes", "keywords", "answers", "ILE ms",
                               "naive ms", "speedup"});
-  for (int64_t nodes : {20'000, 100'000, 500'000}) {
-    lotusx::index::IndexedDocument indexed(
-        lotusx::datagen::GenerateDblpWithApproxNodes(17, nodes));
+  for (int64_t nodes : lotusx::bench::Scales({20'000, 100'000, 500'000})) {
+    lotusx::index::IndexedDocument indexed = lotusx::bench::MakeDblp(17, nodes);
     for (int k : {1, 2, 3}) {
       std::vector<std::string> tokens =
           lotusx::PickKeywords(indexed, k);

@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "autocomplete/completion.h"
+#include "bench/bench_util.h"
 #include "datagen/datagen.h"
 #include "index/indexed_document.h"
 #include "keyword/keyword_search.h"
@@ -23,7 +24,7 @@ namespace {
 const index::IndexedDocument& SharedCorpus() {
   static const index::IndexedDocument corpus = [] {
     datagen::DblpOptions options;
-    options.num_publications = 4000;
+    options.num_publications = bench::SmokeMode() ? 200 : 4000;
     return index::IndexedDocument(datagen::GenerateDblp(options));
   }();
   return corpus;

@@ -22,7 +22,6 @@ namespace lotusx {
 namespace {
 
 using bench::Fmt;
-using bench::MedianMillis;
 using bench::Table;
 
 struct Workload {
@@ -32,44 +31,28 @@ struct Workload {
 
 void Run(const index::IndexedDocument& indexed, const Workload& workload,
          Table* table) {
-  twig::TwigQuery query = twig::ParseQuery(workload.query).value();
+  twig::TwigQuery query = bench::MustParse(workload.query);
   CHECK(query.HasOrderConstraints());
 
-  twig::EvalOptions unordered;
-  unordered.apply_order = false;
-  twig::EvalOptions integrated;
-  integrated.integrate_order = true;
-  twig::EvalOptions post_filter;
-  post_filter.integrate_order = false;
+  bench::TimedEval unordered = bench::TimedEvaluate(
+      indexed, query,
+      bench::OrderEval(/*apply_order=*/false, /*integrate_order=*/true));
+  bench::TimedEval integrated = bench::TimedEvaluate(
+      indexed, query,
+      bench::OrderEval(/*apply_order=*/true, /*integrate_order=*/true));
+  bench::TimedEval post_filter = bench::TimedEvaluate(
+      indexed, query,
+      bench::OrderEval(/*apply_order=*/true, /*integrate_order=*/false));
+  // Same answers either way.
+  CHECK_EQ(post_filter.result.stats.matches, integrated.result.stats.matches);
 
-  uint64_t unordered_matches = 0;
-  uint64_t ordered_matches = 0;
-  uint64_t integrated_tuples = 0;
-  uint64_t post_tuples = 0;
-
-  double unordered_ms = MedianMillis(5, [&] {
-    auto result = twig::Evaluate(indexed, query, unordered);
-    CHECK(result.ok());
-    unordered_matches = result->stats.matches;
-  });
-  double integrated_ms = MedianMillis(5, [&] {
-    auto result = twig::Evaluate(indexed, query, integrated);
-    CHECK(result.ok());
-    ordered_matches = result->stats.matches;
-    integrated_tuples = result->stats.intermediate_tuples;
-  });
-  double post_ms = MedianMillis(5, [&] {
-    auto result = twig::Evaluate(indexed, query, post_filter);
-    CHECK(result.ok());
-    CHECK_EQ(result->stats.matches, ordered_matches);  // same answers
-    post_tuples = result->stats.intermediate_tuples;
-  });
-
-  table->AddRow({workload.name, std::to_string(unordered_matches),
-                 std::to_string(ordered_matches), Fmt(unordered_ms, 2),
-                 Fmt(integrated_ms, 2), Fmt(post_ms, 2),
-                 std::to_string(integrated_tuples),
-                 std::to_string(post_tuples)});
+  table->AddRow({workload.name,
+                 std::to_string(unordered.result.stats.matches),
+                 std::to_string(integrated.result.stats.matches),
+                 Fmt(unordered.ms, 2), Fmt(integrated.ms, 2),
+                 Fmt(post_filter.ms, 2),
+                 std::to_string(integrated.result.stats.intermediate_tuples),
+                 std::to_string(post_filter.result.stats.intermediate_tuples)});
 }
 
 }  // namespace
@@ -95,9 +78,10 @@ int main() {
       {"category: name<product", "//category[ordered][name][product]"},
   };
 
-  for (int num_products : {500, 2000, 8000}) {
+  for (int64_t num_products : lotusx::bench::Scales({500, 2000, 8000},
+                                                    /*smoke=*/100)) {
     lotusx::datagen::StoreOptions options;
-    options.num_products = num_products;
+    options.num_products = static_cast<int>(num_products);
     lotusx::index::IndexedDocument indexed(
         lotusx::datagen::GenerateStore(options));
     std::printf("--- store, %d nodes ---\n", indexed.document().num_nodes());

@@ -99,7 +99,7 @@ int main() {
 
   {
     lotusx::datagen::StoreOptions options;
-    options.num_products = 2000;
+    options.num_products = lotusx::bench::SmokeMode() ? 100 : 2000;
     std::vector<Situation> situations = {
         {"//product", Axis::kChild},    {"//review", Axis::kChild},
         {"//category", Axis::kChild},   {"//stock", Axis::kChild},
@@ -113,9 +113,10 @@ int main() {
   }
   {
     lotusx::datagen::XmarkOptions options;
-    options.num_items = 400;
-    options.num_people = 200;
-    options.num_auctions = 200;
+    const bool smoke = lotusx::bench::SmokeMode();
+    options.num_items = smoke ? 40 : 400;
+    options.num_people = smoke ? 20 : 200;
+    options.num_auctions = smoke ? 20 : 200;
     std::vector<Situation> situations = {
         {"//item", Axis::kChild},        {"//person", Axis::kChild},
         {"//open_auction", Axis::kChild}, {"//mail", Axis::kChild},
@@ -128,7 +129,7 @@ int main() {
   }
   {
     lotusx::datagen::DblpOptions options;
-    options.num_publications = 4000;
+    options.num_publications = lotusx::bench::SmokeMode() ? 200 : 4000;
     std::vector<Situation> situations = {
         {"//article", Axis::kChild},       {"//book", Axis::kChild},
         {"//inproceedings", Axis::kChild}, {"//dblp", Axis::kChild},

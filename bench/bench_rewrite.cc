@@ -107,11 +107,11 @@ int main() {
       "(recall%% = gold answers recovered by the rewritten query)\n\n");
 
   lotusx::datagen::StoreOptions store_options;
-  store_options.num_products = 1500;
+  store_options.num_products = lotusx::bench::SmokeMode() ? 100 : 1500;
   lotusx::index::IndexedDocument store(
       lotusx::datagen::GenerateStore(store_options));
   lotusx::datagen::DblpOptions dblp_options;
-  dblp_options.num_publications = 3000;
+  dblp_options.num_publications = lotusx::bench::SmokeMode() ? 200 : 3000;
   lotusx::index::IndexedDocument dblp(
       lotusx::datagen::GenerateDblp(dblp_options));
 

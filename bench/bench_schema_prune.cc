@@ -21,39 +21,25 @@ namespace lotusx {
 namespace {
 
 using bench::Fmt;
-using bench::MedianMillis;
 using bench::Table;
 
 void Run(std::string_view corpus, const index::IndexedDocument& indexed,
          const std::vector<std::string>& queries, Table* table) {
   for (const std::string& text : queries) {
-    twig::TwigQuery query = twig::ParseQuery(text).value();
-    twig::EvalOptions plain;
-    plain.schema_prune_streams = false;
-    twig::EvalOptions pruned;
-    pruned.schema_prune_streams = true;
-
-    twig::QueryResult plain_result;
-    double plain_ms = MedianMillis(5, [&] {
-      auto result = twig::Evaluate(indexed, query, plain);
-      CHECK(result.ok());
-      plain_result = std::move(result).value();
-    });
-    twig::QueryResult pruned_result;
-    double pruned_ms = MedianMillis(5, [&] {
-      auto result = twig::Evaluate(indexed, query, pruned);
-      CHECK(result.ok());
-      pruned_result = std::move(result).value();
-    });
-    CHECK(plain_result.matches == pruned_result.matches)
+    twig::TwigQuery query = bench::MustParse(text);
+    bench::TimedEval plain =
+        bench::TimedEvaluate(indexed, query, bench::PruneEval(false));
+    bench::TimedEval pruned =
+        bench::TimedEvaluate(indexed, query, bench::PruneEval(true));
+    CHECK(plain.result.matches == pruned.result.matches)
         << "pruning changed answers: " << text;
 
     table->AddRow(
         {std::string(corpus), text,
-         std::to_string(plain_result.stats.candidates_scanned),
-         std::to_string(pruned_result.stats.candidates_scanned),
-         Fmt(plain_ms, 2), Fmt(pruned_ms, 2),
-         Fmt(plain_ms / std::max(pruned_ms, 1e-3), 2)});
+         std::to_string(plain.result.stats.candidates_scanned),
+         std::to_string(pruned.result.stats.candidates_scanned),
+         Fmt(plain.ms, 2), Fmt(pruned.ms, 2),
+         Fmt(plain.ms / std::max(pruned.ms, 1e-3), 2)});
   }
 }
 
@@ -68,8 +54,8 @@ int main() {
   lotusx::bench::Table table({"corpus", "query", "scanned", "scanned+prune",
                               "ms", "ms+prune", "speedup"});
   {
-    lotusx::index::IndexedDocument store(
-        lotusx::datagen::GenerateStoreWithApproxNodes(31, 150'000));
+    lotusx::index::IndexedDocument store =
+        lotusx::bench::MakeStore(31, 150'000);
     // "name" lives under store/category/product: the query context rules
     // most positions out.
     lotusx::Run("store", store,
@@ -78,14 +64,14 @@ int main() {
                 &table);
   }
   {
-    lotusx::index::IndexedDocument treebank(
-        lotusx::datagen::GenerateTreebankWithApproxNodes(31, 120'000));
+    lotusx::index::IndexedDocument treebank =
+        lotusx::bench::MakeTreebank(31, 120'000);
     lotusx::Run("treebank", treebank,
                 {"//s/np/pp", "//sbar//whnp", "//vp[np]/pp"}, &table);
   }
   {
-    lotusx::index::IndexedDocument dblp(
-        lotusx::datagen::GenerateDblpWithApproxNodes(31, 150'000));
+    lotusx::index::IndexedDocument dblp =
+        lotusx::bench::MakeDblp(31, 150'000);
     lotusx::Run("dblp", dblp,
                 {"//book/author", "//article[author]/title"}, &table);
   }

@@ -25,7 +25,6 @@ namespace lotusx {
 namespace {
 
 using bench::Fmt;
-using bench::MedianMillis;
 using bench::Table;
 
 double QError(double estimated, double actual) {
@@ -43,7 +42,7 @@ struct Suite {
 void RunEstimator(const Suite& suite, Table* table, double* qerror_sum,
                   int* count) {
   for (const std::string& text : suite.queries) {
-    twig::TwigQuery query = twig::ParseQuery(text).value();
+    twig::TwigQuery query = bench::MustParse(text);
     twig::SelectivityEstimate estimate =
         twig::EstimateSelectivity(*suite.indexed, query);
     auto result = twig::Evaluate(*suite.indexed, query);
@@ -60,7 +59,7 @@ void RunEstimator(const Suite& suite, Table* table, double* qerror_sum,
 void RunPicker(const Suite& suite, Table* table, double* regret_sum,
                double* worst_sum, int* count) {
   for (const std::string& text : suite.queries) {
-    twig::TwigQuery query = twig::ParseQuery(text).value();
+    twig::TwigQuery query = bench::MustParse(text);
     double best = 1e18;
     double worst = 0;
     std::string best_name;
@@ -70,11 +69,10 @@ void RunPicker(const Suite& suite, Table* table, double* regret_sum,
       if (algorithm == twig::Algorithm::kPathStack && !query.IsPath()) {
         continue;
       }
-      twig::EvalOptions options;
-      options.algorithm = algorithm;
-      double ms = MedianMillis(3, [&] {
-        CHECK(twig::Evaluate(*suite.indexed, query, options).ok());
-      });
+      double ms =
+          bench::TimedEvaluate(*suite.indexed, query,
+                               bench::EvalWith(algorithm), /*repetitions=*/3)
+              .ms;
       if (ms < best) {
         best = ms;
         best_name = std::string(twig::AlgorithmName(algorithm));
@@ -82,11 +80,10 @@ void RunPicker(const Suite& suite, Table* table, double* regret_sum,
       worst = std::max(worst, ms);
     }
     twig::Algorithm chosen = twig::ChooseAlgorithm(*suite.indexed, query);
-    twig::EvalOptions options;
-    options.algorithm = chosen;
-    double chosen_ms = MedianMillis(3, [&] {
-      CHECK(twig::Evaluate(*suite.indexed, query, options).ok());
-    });
+    double chosen_ms =
+        bench::TimedEvaluate(*suite.indexed, query, bench::EvalWith(chosen),
+                             /*repetitions=*/3)
+            .ms;
     // Floor the denominator: ratios over ~0 ms baselines (empty-result
     // early exits) are noise, not plan-quality signal.
     double floor_ms = std::max(best, 0.05);
@@ -110,10 +107,8 @@ int main() {
       "E8 (ablation): cardinality estimator accuracy and auto algorithm "
       "choice\n\n");
 
-  lotusx::index::IndexedDocument dblp(
-      lotusx::datagen::GenerateDblpWithApproxNodes(21, 120'000));
-  lotusx::index::IndexedDocument xmark(
-      lotusx::datagen::GenerateXmarkWithApproxNodes(21, 80'000));
+  lotusx::index::IndexedDocument dblp = lotusx::bench::MakeDblp(21, 120'000);
+  lotusx::index::IndexedDocument xmark = lotusx::bench::MakeXmark(21, 80'000);
 
   lotusx::Suite dblp_suite{
       "dblp",

@@ -20,7 +20,6 @@ namespace lotusx {
 namespace {
 
 using bench::Fmt;
-using bench::MedianMillis;
 using bench::Table;
 using twig::Algorithm;
 
@@ -72,7 +71,7 @@ void RunCorpus(std::string_view corpus_name,
                const index::IndexedDocument& indexed,
                const std::vector<Workload>& workloads, Table* table) {
   for (const Workload& workload : workloads) {
-    twig::TwigQuery query = twig::ParseQuery(workload.query).value();
+    twig::TwigQuery query = bench::MustParse(workload.query);
     // 5 variants: the 4 algorithms plus the selectivity-reordered binary
     // join (the optimizer lever for the baseline).
     for (int variant = 0; variant < 5; ++variant) {
@@ -83,21 +82,15 @@ void RunCorpus(std::string_view corpus_name,
                                    Algorithm::kTwigStack,
                                    Algorithm::kTJFast}[variant];
       if (algorithm == Algorithm::kPathStack && !query.IsPath()) continue;
-      twig::EvalOptions options;
-      options.algorithm = algorithm;
-      options.reorder_binary_joins = variant == 1;
-      if (variant == 1 && query.IsPath()) continue;  // no-op on paths
-      twig::QueryResult last;
-      double ms = MedianMillis(5, [&] {
-        auto result = twig::Evaluate(indexed, query, options);
-        CHECK(result.ok());
-        last = std::move(result).value();
-      });
+      if (variant == 1 && query.IsPath()) continue;  // reorder no-ops
+      bench::TimedEval timed = bench::TimedEvaluate(
+          indexed, query,
+          bench::EvalWith(algorithm, /*reorder_binary_joins=*/variant == 1));
       table->AddRow({std::string(corpus_name), workload.name,
-                     last.stats.algorithm, Fmt(ms, 2),
-                     std::to_string(last.stats.candidates_scanned),
-                     std::to_string(last.stats.intermediate_tuples),
-                     std::to_string(last.stats.matches)});
+                     timed.result.stats.algorithm, Fmt(timed.ms, 2),
+                     std::to_string(timed.result.stats.candidates_scanned),
+                     std::to_string(timed.result.stats.intermediate_tuples),
+                     std::to_string(timed.result.stats.matches)});
     }
   }
 }
@@ -111,26 +104,25 @@ int main() {
       "materialized\nintermediate tuples / path solutions, the holistic "
       "papers' cost metric)\n\n");
 
-  for (int64_t nodes : {20'000, 100'000, 400'000}) {
+  for (int64_t nodes : lotusx::bench::Scales({20'000, 100'000, 400'000})) {
     lotusx::bench::Table table({"corpus", "workload", "algorithm", "ms",
                                 "scanned", "intermed", "matches"});
     {
-      lotusx::index::IndexedDocument indexed(
-          lotusx::datagen::GenerateDblpWithApproxNodes(3, nodes));
+      lotusx::index::IndexedDocument indexed = lotusx::bench::MakeDblp(3, nodes);
       std::printf("--- dblp, %d nodes ---\n",
                   indexed.document().num_nodes());
       lotusx::RunCorpus("dblp", indexed, lotusx::DblpWorkloads(), &table);
     }
     {
-      lotusx::index::IndexedDocument indexed(
-          lotusx::datagen::GenerateXmarkWithApproxNodes(3, nodes / 2));
+      lotusx::index::IndexedDocument indexed =
+          lotusx::bench::MakeXmark(3, nodes / 2);
       std::printf("--- xmark, %d nodes ---\n",
                   indexed.document().num_nodes());
       lotusx::RunCorpus("xmark", indexed, lotusx::XmarkWorkloads(), &table);
     }
     {
-      lotusx::index::IndexedDocument indexed(
-          lotusx::datagen::GenerateTreebankWithApproxNodes(3, nodes / 2));
+      lotusx::index::IndexedDocument indexed =
+          lotusx::bench::MakeTreebank(3, nodes / 2);
       std::printf("--- treebank, %d nodes ---\n",
                   indexed.document().num_nodes());
       lotusx::RunCorpus("treebank", indexed, lotusx::TreebankWorkloads(),

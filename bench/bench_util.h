@@ -2,18 +2,50 @@
 #define LOTUSX_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/timer.h"
+#include "datagen/datagen.h"
+#include "index/indexed_document.h"
+#include "twig/evaluator.h"
+#include "twig/query_parser.h"
 
 namespace lotusx::bench {
 
+/// True when LOTUSX_BENCH_SMOKE is set: CI's bench smoke job runs every
+/// binary on one tiny document with one repetition, proving the bench
+/// still builds and executes end to end — the numbers are meaningless.
+inline bool SmokeMode() {
+  static const bool smoke = std::getenv("LOTUSX_BENCH_SMOKE") != nullptr;
+  return smoke;
+}
+
+/// `full` approximate nodes normally, a tiny document in smoke mode.
+inline int64_t ScaledNodes(int64_t full, int64_t smoke = 2'000) {
+  return SmokeMode() ? smoke : full;
+}
+
+/// The document sizes a bench sweeps: the full ladder normally, one tiny
+/// size in smoke mode.
+inline std::vector<int64_t> Scales(std::vector<int64_t> full,
+                                   int64_t smoke = 2'000) {
+  if (SmokeMode()) return {smoke};
+  return full;
+}
+
 /// Median wall-clock milliseconds of `fn` over `repetitions` runs (after
-/// one warm-up run).
+/// one warm-up run). Smoke mode clamps to a single run so every call
+/// site speeds up without edits.
 inline double MedianMillis(int repetitions, const std::function<void()>& fn) {
+  if (SmokeMode()) repetitions = 1;
   fn();  // warm-up
   std::vector<double> samples;
   samples.reserve(static_cast<size_t>(repetitions));
@@ -24,6 +56,84 @@ inline double MedianMillis(int repetitions, const std::function<void()>& fn) {
   }
   std::sort(samples.begin(), samples.end());
   return samples[samples.size() / 2];
+}
+
+/// Parses a hard-coded bench workload, aborting on a syntax error.
+inline twig::TwigQuery MustParse(std::string_view text) {
+  StatusOr<twig::TwigQuery> query = twig::ParseQuery(text);
+  CHECK(query.ok()) << "bad bench query '" << text
+                    << "': " << query.status().message();
+  return *std::move(query);
+}
+
+/// EvalOptions pinned to one algorithm — the per-algorithm bench rows.
+inline twig::EvalOptions EvalWith(twig::Algorithm algorithm,
+                                  bool reorder_binary_joins = false) {
+  twig::EvalOptions options;
+  options.algorithm = algorithm;
+  options.reorder_binary_joins = reorder_binary_joins;
+  return options;
+}
+
+/// EvalOptions for the E4 order-sensitive ablation: `apply_order` off
+/// prices the query as if unordered; with it on, `integrate_order` picks
+/// integrated pruning versus post-filtering complete matches.
+inline twig::EvalOptions OrderEval(bool apply_order, bool integrate_order) {
+  twig::EvalOptions options;
+  options.apply_order = apply_order;
+  options.integrate_order = integrate_order;
+  return options;
+}
+
+/// EvalOptions for the E10 schema-pruning ablation.
+inline twig::EvalOptions PruneEval(bool schema_prune_streams) {
+  twig::EvalOptions options;
+  options.schema_prune_streams = schema_prune_streams;
+  return options;
+}
+
+/// One timed evaluation: median milliseconds plus the last run's result.
+struct TimedEval {
+  double ms = 0;
+  twig::QueryResult result;
+};
+
+/// Median-of-`repetitions` twig evaluation (one run in smoke mode); the
+/// query must succeed. Deduplicates the Evaluate+CHECK+stats pattern the
+/// experiment benches all share.
+inline TimedEval TimedEvaluate(const index::IndexedDocument& indexed,
+                               const twig::TwigQuery& query,
+                               const twig::EvalOptions& options = {},
+                               int repetitions = 5) {
+  TimedEval timed;
+  timed.ms = MedianMillis(repetitions, [&] {
+    StatusOr<twig::QueryResult> result =
+        twig::Evaluate(indexed, query, options);
+    CHECK(result.ok()) << "bench query failed: " << result.status().message();
+    timed.result = *std::move(result);
+  });
+  return timed;
+}
+
+/// Generated corpora wrapped into an index in one call; the approximate
+/// node count respects ScaledNodes, so pass the full-size target and the
+/// smoke job automatically shrinks it.
+inline index::IndexedDocument MakeDblp(uint64_t seed, int64_t approx_nodes) {
+  return index::IndexedDocument(
+      datagen::GenerateDblpWithApproxNodes(seed, ScaledNodes(approx_nodes)));
+}
+inline index::IndexedDocument MakeStore(uint64_t seed, int64_t approx_nodes) {
+  return index::IndexedDocument(
+      datagen::GenerateStoreWithApproxNodes(seed, ScaledNodes(approx_nodes)));
+}
+inline index::IndexedDocument MakeXmark(uint64_t seed, int64_t approx_nodes) {
+  return index::IndexedDocument(
+      datagen::GenerateXmarkWithApproxNodes(seed, ScaledNodes(approx_nodes)));
+}
+inline index::IndexedDocument MakeTreebank(uint64_t seed,
+                                           int64_t approx_nodes) {
+  return index::IndexedDocument(datagen::GenerateTreebankWithApproxNodes(
+      seed, ScaledNodes(approx_nodes)));
 }
 
 /// Fixed-width table printer for the experiment reports.

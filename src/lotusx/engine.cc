@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/timer.h"
+#include "twig/plan/physical_plan.h"
 #include "twig/query_parser.h"
 #include "xml/dom_builder.h"
 #include "xml/escape.h"
@@ -67,29 +68,57 @@ std::string DoubleKeyBits(double value) {
   return buffer;
 }
 
-/// Cache key: canonical query plus every option that changes the answer.
-std::string CacheKey(const twig::TwigQuery& query,
-                     const SearchOptions& options) {
+}  // namespace
+
+// If one of these fires, a field was added to an options struct: decide
+// whether it can change a SearchResult (answers, ranking, rewrite chain,
+// or the recorded EvalStats), include it in SearchCacheKey below if so,
+// extend the pinning test in query_cache_test.cc, and update the pinned
+// size. Sizes assume the LP64 Itanium ABI every supported target uses.
+static_assert(sizeof(twig::EvalOptions) == 8,
+              "EvalOptions grew: audit SearchCacheKey");
+static_assert(sizeof(ranking::RankingOptions) == 32,
+              "RankingOptions grew: audit SearchCacheKey");
+static_assert(sizeof(rewrite::RewriteOptions) == 32,
+              "RewriteOptions grew: audit SearchCacheKey");
+static_assert(sizeof(SearchOptions) ==
+                  sizeof(twig::EvalOptions) + sizeof(ranking::RankingOptions) +
+                      sizeof(rewrite::RewriteOptions) + 8,
+              "SearchOptions grew: audit SearchCacheKey");
+
+std::string SearchCacheKey(const twig::TwigQuery& query,
+                           const SearchOptions& options) {
   std::string key = query.ToString();
   key += '|';
   key += std::to_string(static_cast<int>(options.eval.algorithm));
+  // Every eval flag participates: apply_order changes answers; the other
+  // three change the EvalStats recorded in the cached SearchResult.
   key += options.eval.apply_order ? 'o' : '-';
+  key += options.eval.integrate_order ? 'i' : '-';
+  key += options.eval.reorder_binary_joins ? 'j' : '-';
+  key += options.eval.schema_prune_streams ? 's' : '-';
   key += options.rewrite_on_empty ? 'r' : '-';
   key += '|';
   key += DoubleKeyBits(options.ranking.content_weight) + ',' +
          DoubleKeyBits(options.ranking.structure_weight) + ',' +
          DoubleKeyBits(options.ranking.specificity_weight) + ',' +
          std::to_string(options.ranking.top_k);
+  key += '|';
+  key += std::to_string(options.rewrite.min_results) + ',' +
+         std::to_string(options.rewrite.max_evaluations) + ',' +
+         DoubleKeyBits(options.rewrite.max_penalty) + ',';
+  key += options.rewrite.relax_axes ? 'a' : '-';
+  key += options.rewrite.substitute_tags ? 't' : '-';
+  key += options.rewrite.relax_predicates ? 'p' : '-';
+  key += options.rewrite.drop_leaves ? 'l' : '-';
   return key;
 }
-
-}  // namespace
 
 StatusOr<SearchResult> Engine::Search(const twig::TwigQuery& query,
                                       const SearchOptions& options) const {
   std::string cache_key;
   if (cache_ != nullptr) {
-    cache_key = CacheKey(query, options);
+    cache_key = SearchCacheKey(query, options);
     if (std::optional<SearchResult> cached = cache_->Lookup(cache_key)) {
       return *std::move(cached);
     }
@@ -113,6 +142,18 @@ StatusOr<SearchResult> Engine::Search(const twig::TwigQuery& query,
       ranker_->Rank(search.executed_query, result.matches, options.ranking);
   if (cache_ != nullptr) cache_->Insert(cache_key, search);
   return search;
+}
+
+StatusOr<std::string> Engine::Explain(std::string_view query_text,
+                                      const SearchOptions& options) const {
+  LOTUSX_ASSIGN_OR_RETURN(twig::TwigQuery query,
+                          twig::ParseQuery(query_text));
+  return Explain(query, options);
+}
+
+StatusOr<std::string> Engine::Explain(const twig::TwigQuery& query,
+                                      const SearchOptions& options) const {
+  return twig::plan::ExplainQuery(*indexed_, query, options.eval);
 }
 
 namespace {

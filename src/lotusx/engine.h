@@ -44,6 +44,14 @@ struct TagBatchRequest {
   autocomplete::TagRequest request;
 };
 
+/// Canonical cache key of one (query, options) Search: the query rendering
+/// plus every EvalOptions / RewriteOptions / RankingOptions field that can
+/// change the result or its recorded statistics. Exposed for the cache-key
+/// pinning tests; static_asserts in engine.cc force this function (and the
+/// tests) to be revisited whenever an option struct grows.
+std::string SearchCacheKey(const twig::TwigQuery& query,
+                           const SearchOptions& options);
+
 /// The LotusX engine: the public facade of this library, owning one
 /// indexed XML document and exposing the paper's four capabilities —
 /// position-aware auto-completion, twig query evaluation (including
@@ -107,6 +115,16 @@ class Engine {
       const std::vector<std::string>& queries,
       const SearchOptions& options = {}, ThreadPool* pool = nullptr,
       std::vector<twig::EvalStats>* per_chunk_stats = nullptr) const;
+
+  /// EXPLAIN: plans the query with the cost-based planner
+  /// (twig/plan/physical_plan.h), executes the plan, and renders the
+  /// operator tree with per-operator estimated vs actual cardinalities
+  /// and timings. Bypasses the result cache — the point is to watch the
+  /// plan run. options.eval maps to planner hints exactly as in Search.
+  StatusOr<std::string> Explain(std::string_view query_text,
+                                const SearchOptions& options = {}) const;
+  StatusOr<std::string> Explain(const twig::TwigQuery& query,
+                                const SearchOptions& options = {}) const;
 
   /// Batch counterpart of CompleteTag with the same fan-out contract as
   /// SearchBatch.

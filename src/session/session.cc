@@ -1,6 +1,7 @@
 #include "session/session.h"
 
 #include "twig/evaluator.h"
+#include "twig/plan/physical_plan.h"
 #include "twig/query_export.h"
 #include "twig/selectivity.h"
 
@@ -94,7 +95,9 @@ StatusOr<std::vector<keyword::KeywordHit>> Session::FindKeywords(
 
 StatusOr<std::string> Session::ExplainCanvas() const {
   LOTUSX_ASSIGN_OR_RETURN(twig::TwigQuery query, canvas_.Compile());
-  return twig::Explain(indexed_, query);
+  // Plan-based EXPLAIN: runs the query and renders the operator tree with
+  // estimated vs actual per-operator cardinalities.
+  return twig::plan::ExplainQuery(indexed_, query);
 }
 
 StatusOr<std::string> Session::CanvasToXPath() const {

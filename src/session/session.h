@@ -74,7 +74,10 @@ class Session {
   StatusOr<std::vector<keyword::KeywordHit>> FindKeywords(
       std::string_view keywords) const;
 
-  /// Plan report for the compiled canvas query (twig/selectivity.h).
+  /// EXPLAIN for the compiled canvas query: plans it with the cost-based
+  /// planner, executes the plan, and renders the operator tree with
+  /// per-operator estimated vs actual cardinalities
+  /// (twig/plan/physical_plan.h).
   StatusOr<std::string> ExplainCanvas() const;
   /// W3C XPath / XQuery exports of the compiled canvas query.
   StatusOr<std::string> CanvasToXPath() const;

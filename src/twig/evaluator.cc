@@ -1,15 +1,7 @@
 #include "twig/evaluator.h"
 
-#include <algorithm>
-
 #include "common/timer.h"
-#include "twig/order_filter.h"
-#include "twig/schema_match.h"
-#include "twig/selectivity.h"
-#include "twig/path_stack.h"
-#include "twig/structural_join.h"
-#include "twig/tjfast.h"
-#include "twig/twig_stack.h"
+#include "twig/plan/physical_plan.h"
 
 namespace lotusx::twig {
 
@@ -34,47 +26,12 @@ StatusOr<QueryResult> Evaluate(const index::IndexedDocument& indexed,
                                const EvalOptions& options) {
   LOTUSX_RETURN_IF_ERROR(query.Validate());
   Timer timer;
-  Algorithm algorithm = options.algorithm;
-  if (algorithm == Algorithm::kAuto) {
-    algorithm = ChooseAlgorithm(indexed, query);
-  }
-  // The holistic algorithms can enforce order constraints during their
-  // merge phase; the binary join and PathStack are post-filtered.
-  bool integrate_order = options.apply_order && options.integrate_order &&
-                         query.HasOrderConstraints();
-  std::vector<std::vector<index::PathId>> schema;
-  const std::vector<std::vector<index::PathId>>* schema_ptr = nullptr;
-  if (options.schema_prune_streams) {
-    schema = SchemaBindings(indexed, query);
-    schema_ptr = &schema;
-  }
-  QueryResult result;
-  switch (algorithm) {
-    case Algorithm::kStructuralJoin:
-      result = StructuralJoinEvaluate(indexed, query, schema_ptr,
-                                      options.reorder_binary_joins);
-      break;
-    case Algorithm::kPathStack: {
-      LOTUSX_ASSIGN_OR_RETURN(result,
-                              PathStackEvaluate(indexed, query, schema_ptr));
-      break;
-    }
-    case Algorithm::kTwigStack:
-      result = TwigStackEvaluate(indexed, query, integrate_order, schema_ptr);
-      break;
-    case Algorithm::kTJFast:
-      result = TjFastEvaluate(indexed, query, integrate_order, schema_ptr);
-      break;
-    case Algorithm::kAuto:
-      return Status::Internal("unresolved kAuto algorithm");
-  }
-  if (options.apply_order && query.HasOrderConstraints()) {
-    // Idempotent after integrated pruning; required otherwise.
-    FilterByOrder(indexed.document(), query, &result.matches);
-    result.stats.matches = result.matches.size();
-  }
-  // Canonical output order regardless of algorithm.
-  std::sort(result.matches.begin(), result.matches.end());
+  plan::Planner planner(indexed);
+  LOTUSX_ASSIGN_OR_RETURN(plan::PhysicalPlan physical,
+                          planner.Plan(query, plan::HintsFrom(options)));
+  LOTUSX_ASSIGN_OR_RETURN(QueryResult result,
+                          plan::ExecutePlan(indexed, &physical));
+  // Wall time includes planning, matching the historical contract.
   result.stats.elapsed_ms = timer.ElapsedMillis();
   return result;
 }

@@ -21,6 +21,9 @@ enum class Algorithm {
 
 std::string_view AlgorithmName(Algorithm algorithm);
 
+/// Evaluation options. Every field maps 1:1 onto a planner hint
+/// (plan::HintsFrom) — the planner bakes them into the physical plan
+/// instead of branching inside the algorithms.
 struct EvalOptions {
   Algorithm algorithm = Algorithm::kAuto;
   /// Apply order constraints during evaluation. When false, ordered
@@ -44,9 +47,11 @@ struct EvalOptions {
   bool schema_prune_streams = false;
 };
 
-/// Front door of the twig engine: validates the query, dispatches to the
-/// chosen algorithm, and applies order constraints. All algorithms return
-/// exactly the same match set (a property the test suite asserts).
+/// Front door of the twig engine — a thin shim over the cost-based query
+/// planner (twig/plan/physical_plan.h): validates the query, maps the
+/// options to planner hints, builds a priced physical-operator plan, and
+/// executes it. All plans return exactly the same match set (a property
+/// the plan-equivalence suite asserts).
 StatusOr<QueryResult> Evaluate(const index::IndexedDocument& indexed,
                                const TwigQuery& query,
                                const EvalOptions& options = {});

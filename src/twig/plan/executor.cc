@@ -1,0 +1,158 @@
+#include <algorithm>
+
+#include "common/timer.h"
+#include "twig/candidates.h"
+#include "twig/order_filter.h"
+#include "twig/path_stack.h"
+#include "twig/plan/physical_plan.h"
+#include "twig/schema_match.h"
+#include "twig/structural_join.h"
+#include "twig/tjfast.h"
+#include "twig/twig_stack.h"
+
+namespace lotusx::twig::plan {
+
+StatusOr<QueryResult> ExecutePlan(const index::IndexedDocument& indexed,
+                                  PhysicalPlan* plan,
+                                  const ExecuteOptions& options) {
+  if (plan == nullptr || plan->ops.empty()) {
+    return Status::InvalidArgument("empty physical plan");
+  }
+  const TwigQuery& query = plan->query;
+  Timer total_timer;
+
+  // Schema pruning happens once for all streams (one DataGuide walk); its
+  // time is split evenly across the plan's prune operators below.
+  std::vector<std::vector<index::PathId>> schema;
+  const std::vector<std::vector<index::PathId>>* schema_ptr = nullptr;
+  double prune_ms = 0;
+  if (plan->schema_prune) {
+    Timer prune_timer;
+    schema = SchemaBindings(indexed, query);
+    schema_ptr = &schema;
+    prune_ms = prune_timer.ElapsedMillis();
+  }
+
+  QueryResult result;
+  Timer join_timer;
+  switch (plan->algorithm) {
+    case Algorithm::kStructuralJoin:
+      result = StructuralJoinEvaluate(indexed, query, schema_ptr,
+                                      plan->reorder_binary_joins);
+      break;
+    case Algorithm::kPathStack: {
+      LOTUSX_ASSIGN_OR_RETURN(result,
+                              PathStackEvaluate(indexed, query, schema_ptr));
+      break;
+    }
+    case Algorithm::kTwigStack:
+      result = TwigStackEvaluate(indexed, query, plan->integrate_order,
+                                 schema_ptr);
+      break;
+    case Algorithm::kTJFast:
+      result =
+          TjFastEvaluate(indexed, query, plan->integrate_order, schema_ptr);
+      break;
+    case Algorithm::kAuto:
+      return Status::Internal("unresolved kAuto algorithm in plan");
+  }
+  const double join_ms = join_timer.ElapsedMillis();
+  const uint64_t join_rows = result.matches.size();
+
+  const uint64_t pre_filter_rows = result.matches.size();
+  double filter_ms = 0;
+  bool filtered = false;
+  if (plan->apply_order && query.HasOrderConstraints()) {
+    // Idempotent after integrated pruning; required otherwise.
+    Timer filter_timer;
+    FilterByOrder(indexed.document(), query, &result.matches);
+    result.stats.matches = result.matches.size();
+    filter_ms = filter_timer.ElapsedMillis();
+    filtered = true;
+  }
+
+  Timer sort_timer;
+  std::sort(result.matches.begin(), result.matches.end());
+  const double sort_ms = sort_timer.ElapsedMillis();
+  result.stats.elapsed_ms = total_timer.ElapsedMillis();
+
+  // Fill per-operator actuals.
+  size_t num_prunes = 0;
+  for (const OperatorNode& op : plan->ops) {
+    if (op.kind == OperatorKind::kSchemaPrune) ++num_prunes;
+  }
+  for (OperatorNode& op : plan->ops) {
+    switch (op.kind) {
+      case OperatorKind::kStreamScan:
+        if (options.analyze) {
+          op.actual_rows_out =
+              CandidatesFor(indexed, query, op.query_node).size();
+          op.has_actuals = true;
+        }
+        break;
+      case OperatorKind::kSchemaPrune:
+        op.actual_ms = num_prunes > 0
+                           ? prune_ms / static_cast<double>(num_prunes)
+                           : 0;
+        if (options.analyze) {
+          op.actual_rows_in =
+              CandidatesFor(indexed, query, op.query_node).size();
+          op.actual_rows_out =
+              CandidatesFor(indexed, query, op.query_node,
+                            &schema[static_cast<size_t>(op.query_node)])
+                  .size();
+        }
+        op.has_actuals = true;
+        break;
+      case OperatorKind::kBinaryStructuralJoin:
+      case OperatorKind::kPathStackJoin:
+        op.actual_rows_in = result.stats.candidates_scanned;
+        op.actual_rows_out = join_rows;
+        op.actual_ms = join_ms;
+        op.has_actuals = true;
+        break;
+      case OperatorKind::kTwigStackJoin:
+      case OperatorKind::kTJFastJoin:
+        op.actual_rows_in = result.stats.candidates_scanned;
+        op.actual_rows_out = result.stats.intermediate_tuples;
+        op.actual_ms = join_ms;
+        op.has_actuals = true;
+        break;
+      case OperatorKind::kMergeExpand:
+        // Merge runs inside the holistic join; its time is in the join op.
+        op.actual_rows_in = result.stats.intermediate_tuples;
+        op.actual_rows_out = join_rows;
+        op.has_actuals = true;
+        break;
+      case OperatorKind::kOrderFilter:
+        op.actual_rows_in = pre_filter_rows;
+        op.actual_rows_out = result.matches.size();
+        op.actual_ms = filter_ms;
+        op.has_actuals = filtered;
+        break;
+      case OperatorKind::kOutputSort:
+        op.actual_rows_in = result.matches.size();
+        op.actual_rows_out = result.matches.size();
+        op.actual_ms = sort_ms;
+        op.has_actuals = true;
+        break;
+    }
+  }
+
+  // Structured per-operator stats: one EvalStats slice per operator.
+  plan->stats.slices.clear();
+  plan->stats.slices.reserve(plan->ops.size());
+  for (const OperatorNode& op : plan->ops) {
+    PlanStats::Slice slice;
+    slice.op = std::string(OperatorName(op.kind));
+    if (!op.detail.empty()) slice.op += " " + op.detail;
+    slice.rows_in = op.actual_rows_in;
+    slice.rows_out = op.actual_rows_out;
+    slice.elapsed_ms = op.actual_ms;
+    plan->stats.slices.push_back(std::move(slice));
+  }
+  plan->stats.totals = result.stats;
+  return result;
+}
+
+}  // namespace lotusx::twig::plan

@@ -1,0 +1,88 @@
+#include <cstdio>
+#include <sstream>
+
+#include "twig/plan/physical_plan.h"
+
+namespace lotusx::twig::plan {
+
+namespace {
+
+std::string FmtRows(double rows) {
+  char buffer[32];
+  if (rows == static_cast<double>(static_cast<uint64_t>(rows)) &&
+      rows < 1e15) {
+    std::snprintf(buffer, sizeof(buffer), "%llu",
+                  static_cast<unsigned long long>(rows));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1f", rows);
+  }
+  return buffer;
+}
+
+std::string FmtMs(double ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", ms);
+  return buffer;
+}
+
+void RenderOperator(const PhysicalPlan& plan, int index, int depth,
+                    bool include_actuals, std::ostringstream* out) {
+  const OperatorNode& op = plan.ops[static_cast<size_t>(index)];
+  for (int i = 0; i < depth; ++i) *out << "  ";
+  *out << "-> " << OperatorName(op.kind);
+  if (!op.detail.empty()) *out << " [" << op.detail << "]";
+  *out << "  (est rows=" << FmtRows(op.estimated_rows)
+       << " cost=" << FmtRows(op.estimated_cost);
+  if (include_actuals && op.has_actuals) {
+    *out << " | actual rows=" << op.actual_rows_out;
+    if (op.actual_rows_in > 0) *out << " in=" << op.actual_rows_in;
+    if (op.actual_ms > 0) *out << " time=" << FmtMs(op.actual_ms) << "ms";
+  }
+  *out << ")\n";
+  for (int child : op.children) {
+    RenderOperator(plan, child, depth + 1, include_actuals, out);
+  }
+}
+
+}  // namespace
+
+std::string DescribePlan(const PhysicalPlan& plan, bool include_actuals) {
+  std::ostringstream out;
+  out << "query: " << plan.query.ToString() << "\n";
+  out << "algorithm: " << AlgorithmName(plan.algorithm) << " ("
+      << plan.choice_reason << ")\n";
+  out << "hints: order=" << (plan.apply_order ? "on" : "off")
+      << " integrated-order=" << (plan.integrate_order ? "on" : "off")
+      << " schema-prune=" << (plan.schema_prune ? "on" : "off")
+      << " reorder-joins=" << (plan.reorder_binary_joins ? "on" : "off")
+      << "\n";
+  if (!plan.ops.empty()) {
+    RenderOperator(plan, static_cast<int>(plan.ops.size()) - 1, 0,
+                   include_actuals, &out);
+  }
+  out << "estimated matches: " << FmtRows(plan.estimate.match_cardinality);
+  if (include_actuals) {
+    out << "; actual matches: " << plan.stats.totals.matches;
+  }
+  out << "\n";
+  if (include_actuals) {
+    out << "totals: scanned " << plan.stats.totals.candidates_scanned
+        << ", intermediate " << plan.stats.totals.intermediate_tuples
+        << ", elapsed " << FmtMs(plan.stats.totals.elapsed_ms) << " ms\n";
+  }
+  return out.str();
+}
+
+StatusOr<std::string> ExplainQuery(const index::IndexedDocument& indexed,
+                                   const TwigQuery& query,
+                                   const EvalOptions& options) {
+  Planner planner(indexed);
+  LOTUSX_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                          planner.Plan(query, HintsFrom(options)));
+  ExecuteOptions exec;
+  exec.analyze = true;
+  LOTUSX_RETURN_IF_ERROR(ExecutePlan(indexed, &plan, exec).status());
+  return DescribePlan(plan, /*include_actuals=*/true);
+}
+
+}  // namespace lotusx::twig::plan

@@ -1,0 +1,164 @@
+#ifndef LOTUSX_TWIG_PLAN_PHYSICAL_PLAN_H_
+#define LOTUSX_TWIG_PLAN_PHYSICAL_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status_or.h"
+#include "index/indexed_document.h"
+#include "twig/evaluator.h"
+#include "twig/match.h"
+#include "twig/selectivity.h"
+#include "twig/twig_query.h"
+
+namespace lotusx::twig::plan {
+
+/// The physical operators a plan can contain. A plan is a small tree:
+/// per-query-node stream scans (optionally wrapped by a schema prune) feed
+/// one join operator, whose output flows through merge/expand (holistic
+/// algorithms only), an order filter, and the canonical output sort.
+enum class OperatorKind {
+  kStreamScan,            // read one query node's candidate stream
+  kSchemaPrune,           // restrict a stream to DataGuide-feasible paths
+  kBinaryStructuralJoin,  // edge-at-a-time stack-tree join (baseline)
+  kPathStackJoin,         // holistic path join
+  kTwigStackJoin,         // holistic twig join, phase 1 (path solutions)
+  kTJFastJoin,            // extended-Dewey leaf-stream join, phase 1
+  kMergeExpand,           // phase 2: merge path solutions into matches
+  kOrderFilter,           // enforce order constraints on complete matches
+  kOutputSort,            // canonical document-order sort of the matches
+};
+
+std::string_view OperatorName(OperatorKind kind);
+
+/// One node of a physical plan. Estimates are filled by the Planner;
+/// actuals are filled by ExecutePlan (operators whose work is not
+/// separately measurable — scans inside a monolithic join — get actual
+/// row counts in analyze mode only, and no own timing).
+struct OperatorNode {
+  OperatorKind kind = OperatorKind::kOutputSort;
+  /// Operator-specific annotation ("<author> leaf stream", "greedy edge
+  /// order", "integrated order check", ...).
+  std::string detail;
+  /// The query node a scan/prune operator serves; kInvalidQueryNode for
+  /// the operators above the leaves.
+  QueryNodeId query_node = kInvalidQueryNode;
+  /// Planner estimates: output rows and abstract cost units (rows read +
+  /// rows materialized; the same quantities ChooseAlgorithm compares).
+  double estimated_rows = 0;
+  double estimated_cost = 0;
+  /// Execution actuals.
+  bool has_actuals = false;
+  uint64_t actual_rows_in = 0;
+  uint64_t actual_rows_out = 0;
+  double actual_ms = 0;
+  /// Children as indices into PhysicalPlan::ops (children are always at
+  /// lower indices; the root is the last entry).
+  std::vector<int> children;
+};
+
+/// Per-operator EvalStats slices plus the aggregate, built by ExecutePlan.
+struct PlanStats {
+  struct Slice {
+    std::string op;  // OperatorName + detail
+    uint64_t rows_in = 0;
+    uint64_t rows_out = 0;
+    double elapsed_ms = 0;
+  };
+  std::vector<Slice> slices;  // aligned with PhysicalPlan::ops
+  EvalStats totals;
+};
+
+/// A priced physical plan for one twig query: the operator tree plus the
+/// planner's inputs (resolved algorithm, hint flags, cardinality
+/// estimates) and, after ExecutePlan, the per-operator actuals.
+struct PhysicalPlan {
+  TwigQuery query;
+  /// The resolved join algorithm (never kAuto).
+  Algorithm algorithm = Algorithm::kTwigStack;
+  /// Why the planner picked it (cost comparison or caller's hint).
+  std::string choice_reason;
+  /// Hint flags baked into the operator tree.
+  bool apply_order = true;
+  bool integrate_order = false;  // resolved: only set when it applies
+  bool reorder_binary_joins = false;
+  bool schema_prune = false;
+  /// The cost model's input.
+  SelectivityEstimate estimate;
+  /// Operators in child-before-parent order; ops.back() is the root.
+  std::vector<OperatorNode> ops;
+  /// Filled by ExecutePlan.
+  PlanStats stats;
+
+  /// Index of the first operator of `kind`, or -1.
+  int FindOperator(OperatorKind kind) const;
+};
+
+/// Planner hints: EvalOptions expressed as preferences for the planner
+/// rather than branches inside the algorithms. Semantics match the
+/// EvalOptions fields of the same names.
+struct PlannerHints {
+  Algorithm algorithm = Algorithm::kAuto;
+  bool apply_order = true;
+  bool integrate_order = true;
+  bool reorder_binary_joins = false;
+  bool schema_prune_streams = false;
+};
+
+/// The public EvalOptions map 1:1 onto planner hints.
+PlannerHints HintsFrom(const EvalOptions& options);
+
+/// Cost-based query planner: prices the candidate join strategies with
+/// the DataGuide selectivity model (EstimateSelectivity) and produces a
+/// priced operator tree. Pure function of (index, query, hints) — the
+/// same inputs always yield the same plan, which is what makes cached
+/// Search results planner-safe.
+class Planner {
+ public:
+  explicit Planner(const index::IndexedDocument& indexed)
+      : indexed_(indexed) {}
+
+  /// Plans `query`. Fails only on invalid queries; an infeasible query
+  /// plans fine and executes to an empty result. A kPathStack hint on a
+  /// non-path query is planned as requested and fails at execution,
+  /// matching the historical Evaluate() contract.
+  StatusOr<PhysicalPlan> Plan(const TwigQuery& query,
+                              const PlannerHints& hints = {}) const;
+
+ private:
+  const index::IndexedDocument& indexed_;
+};
+
+struct ExecuteOptions {
+  /// Also compute per-stream actual row counts for scan/prune operators
+  /// (costs one extra pass over the candidate streams; EXPLAIN uses it,
+  /// the Evaluate() hot path does not).
+  bool analyze = false;
+};
+
+/// Runs a physical plan, filling per-operator actuals and plan->stats.
+/// The returned QueryResult is bit-identical to what the pre-planner
+/// Evaluate() produced for the same options (the plan-equivalence tests
+/// pin this).
+StatusOr<QueryResult> ExecutePlan(const index::IndexedDocument& indexed,
+                                  PhysicalPlan* plan,
+                                  const ExecuteOptions& options = {});
+
+/// Text rendering of a plan: one line per operator (indented tree) with
+/// estimated vs actual cardinalities, plus the planner's choice reason
+/// and totals. `include_actuals` distinguishes EXPLAIN (estimates only)
+/// from EXPLAIN-analyze output.
+std::string DescribePlan(const PhysicalPlan& plan,
+                         bool include_actuals = true);
+
+/// Plan + execute + describe: the one-call EXPLAIN used by
+/// Engine::Explain and the session protocol's EXPLAIN verb.
+StatusOr<std::string> ExplainQuery(const index::IndexedDocument& indexed,
+                                   const TwigQuery& query,
+                                   const EvalOptions& options = {});
+
+}  // namespace lotusx::twig::plan
+
+#endif  // LOTUSX_TWIG_PLAN_PHYSICAL_PLAN_H_

@@ -54,6 +54,11 @@ SelectivityEstimate EstimateSelectivity(
     const index::IndexedDocument& indexed, const TwigQuery& query) {
   SelectivityEstimate estimate;
   estimate.node_cardinality.assign(static_cast<size_t>(query.size()), 0.0);
+  estimate.node_stream_size.assign(static_cast<size_t>(query.size()), 0.0);
+  estimate.node_schema_occurrences.assign(static_cast<size_t>(query.size()),
+                                          0.0);
+  estimate.node_predicate_selectivity.assign(
+      static_cast<size_t>(query.size()), 1.0);
   if (query.Validate() != Status::OK()) return estimate;
 
   const index::DataGuide& guide = indexed.dataguide();
@@ -67,8 +72,11 @@ SelectivityEstimate EstimateSelectivity(
     for (index::PathId p : bindings[static_cast<size_t>(q)]) {
       occurrences += guide.node(p).count;
     }
+    double selectivity = PredicateSelectivity(indexed, query.node(q));
+    estimate.node_schema_occurrences[static_cast<size_t>(q)] = occurrences;
+    estimate.node_predicate_selectivity[static_cast<size_t>(q)] = selectivity;
     estimate.node_cardinality[static_cast<size_t>(q)] =
-        occurrences * PredicateSelectivity(indexed, query.node(q));
+        occurrences * selectivity;
   }
 
   // Match estimate: root cardinality times the per-edge fanout factors
@@ -98,6 +106,7 @@ SelectivityEstimate EstimateSelectivity(
       stream = static_cast<double>(
           indexed.tag_streams().count(document.FindTag(node.tag)));
     }
+    estimate.node_stream_size[static_cast<size_t>(q)] = stream;
     estimate.total_stream_size += stream;
     if (node.children.empty()) estimate.leaf_stream_size += stream;
   }

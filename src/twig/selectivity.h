@@ -19,6 +19,14 @@ namespace lotusx::twig {
 struct SelectivityEstimate {
   /// Expected bindings per query node (schema-filtered, predicate-scaled).
   std::vector<double> node_cardinality;
+  /// Per-node raw candidate stream length: tag occurrences, or the whole
+  /// document for "*" — what a stream scan reads before any filtering.
+  std::vector<double> node_stream_size;
+  /// Per-node occurrences over the node's DataGuide-feasible paths (the
+  /// stream after schema pruning, before predicate filtering).
+  std::vector<double> node_schema_occurrences;
+  /// Per-node selectivity of the value predicate (1.0 when absent).
+  std::vector<double> node_predicate_selectivity;
   /// Expected number of complete twig matches.
   double match_cardinality = 0;
   /// Candidate stream sizes the algorithms would read: all nodes

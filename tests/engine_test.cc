@@ -29,6 +29,34 @@ TEST(EngineTest, FromXmlTextAndSearch) {
   EXPECT_TRUE(result->rewrites_applied.empty());
 }
 
+TEST(EngineTest, ExplainRendersThePhysicalPlan) {
+  auto engine = Engine::FromXmlText(kXml);
+  ASSERT_TRUE(engine.ok());
+  auto text = engine->Explain("//article[author]/title");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("stream-scan"), std::string::npos) << *text;
+  EXPECT_NE(text->find("est rows="), std::string::npos) << *text;
+  EXPECT_NE(text->find("actual rows="), std::string::npos) << *text;
+  EXPECT_NE(text->find("estimated matches"), std::string::npos) << *text;
+}
+
+TEST(EngineTest, ExplainHonorsEvalOptions) {
+  auto engine = Engine::FromXmlText(kXml);
+  ASSERT_TRUE(engine.ok());
+  SearchOptions options;
+  options.eval.algorithm = twig::Algorithm::kStructuralJoin;
+  auto text = engine->Explain("//article[author]/title", options);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("binary-structural-join"), std::string::npos) << *text;
+  EXPECT_NE(text->find("forced by caller hint"), std::string::npos) << *text;
+}
+
+TEST(EngineTest, ExplainRejectsBadSyntax) {
+  auto engine = Engine::FromXmlText(kXml);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE(engine->Explain("not a query").ok());
+}
+
 TEST(EngineTest, SearchRejectsBadSyntax) {
   auto engine = Engine::FromXmlText(kXml);
   ASSERT_TRUE(engine.ok());

@@ -1,0 +1,362 @@
+// Tests for the cost-based planner layer (twig/plan/): ChooseAlgorithm
+// decision boundaries, plan shapes, the plan-equivalence guarantee (every
+// physical plan returns exactly the brute-force match set), and the
+// rendered EXPLAIN output the acceptance criteria pin.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tests/test_util.h"
+#include "twig/evaluator.h"
+#include "twig/plan/physical_plan.h"
+#include "twig/query_parser.h"
+#include "twig/selectivity.h"
+
+namespace lotusx::twig {
+namespace {
+
+using lotusx::testing::BruteForceMatches;
+using lotusx::testing::MustIndex;
+
+constexpr std::string_view kBibXml = R"(<dblp>
+  <article key="a1">
+    <author>jiaheng lu</author>
+    <author>chunbin lin</author>
+    <title>twig pattern matching</title>
+    <year>2005</year>
+  </article>
+  <article key="a2">
+    <author>chunbin lin</author>
+    <title>lotusx graphical search</title>
+    <year>2012</year>
+  </article>
+  <book key="b1">
+    <author>tok wang ling</author>
+    <title>xml databases</title>
+    <year>2012</year>
+    <chapter><title>twig basics</title><section><title>stacks</title>
+    </section></chapter>
+  </book>
+</dblp>)";
+
+constexpr std::string_view kNestedXml = R"(<r>
+  <s><s><t>one</t></s><t>two</t></s>
+  <s><u><s><t>three</t><u/></s></u></s>
+  <t>four</t>
+</r>)";
+
+TwigQuery Q(std::string_view text) {
+  auto result = ParseQuery(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// A document where the query //a[b][c] sees exactly `num_a` <a> elements
+/// and 30 each of <b> and <c>: leaf streams total 60, so num_a = 40 puts
+/// the leaf/total ratio exactly on the 0.6 threshold.
+index::IndexedDocument ThresholdDoc(int num_a) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 30; ++i) xml += "<a><b/><c/></a>";
+  for (int i = 30; i < num_a; ++i) xml += "<a/>";
+  xml += "</r>";
+  return MustIndex(xml);
+}
+
+// ----------------------------------------- ChooseAlgorithm boundaries
+
+TEST(ChooseAlgorithmBoundaryTest, PathQueriesAlwaysUsePathStack) {
+  auto indexed = MustIndex(kBibXml);
+  EXPECT_EQ(ChooseAlgorithm(indexed, Q("//title")), Algorithm::kPathStack);
+  EXPECT_EQ(ChooseAlgorithm(indexed, Q("//article/title")),
+            Algorithm::kPathStack);
+  EXPECT_EQ(ChooseAlgorithm(indexed, Q("//dblp//book//title")),
+            Algorithm::kPathStack);
+}
+
+TEST(ChooseAlgorithmBoundaryTest, ExactlyAtThresholdPicksTwigStack) {
+  // leaf 60 / total 100 = 0.6: not strictly below the threshold.
+  auto indexed = ThresholdDoc(/*num_a=*/40);
+  SelectivityEstimate estimate = EstimateSelectivity(indexed, Q("//a[b][c]"));
+  ASSERT_EQ(estimate.total_stream_size, 100);
+  ASSERT_EQ(estimate.leaf_stream_size, 60);
+  EXPECT_EQ(ChooseAlgorithm(indexed, Q("//a[b][c]")), Algorithm::kTwigStack);
+}
+
+TEST(ChooseAlgorithmBoundaryTest, JustBelowThresholdPicksTJFast) {
+  // leaf 60 / total 101 < 0.6: the internal stream is now big enough
+  // that scanning leaves only pays for the label decodes.
+  auto indexed = ThresholdDoc(/*num_a=*/41);
+  SelectivityEstimate estimate = EstimateSelectivity(indexed, Q("//a[b][c]"));
+  ASSERT_EQ(estimate.total_stream_size, 101);
+  ASSERT_EQ(estimate.leaf_stream_size, 60);
+  EXPECT_EQ(ChooseAlgorithm(indexed, Q("//a[b][c]")), Algorithm::kTJFast);
+}
+
+TEST(ChooseAlgorithmBoundaryTest, PlannerAgreesWithChooseAlgorithm) {
+  // kAuto resolution inside the planner must stay in lock-step with
+  // ChooseAlgorithm — it is the single source of truth.
+  for (int num_a : {40, 41}) {
+    auto indexed = ThresholdDoc(num_a);
+    TwigQuery query = Q("//a[b][c]");
+    auto plan = plan::Planner(indexed).Plan(query);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    EXPECT_EQ(plan->algorithm, ChooseAlgorithm(indexed, query))
+        << "num_a=" << num_a;
+  }
+}
+
+// ------------------------------------------------------- plan shapes
+
+int CountOperators(const plan::PhysicalPlan& plan, plan::OperatorKind kind) {
+  int count = 0;
+  for (const plan::OperatorNode& op : plan.ops) {
+    if (op.kind == kind) ++count;
+  }
+  return count;
+}
+
+TEST(PlannerTest, TJFastScansLeafStreamsOnly) {
+  auto indexed = ThresholdDoc(/*num_a=*/41);
+  auto plan = plan::Planner(indexed).Plan(Q("//a[b][c]"));
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->algorithm, Algorithm::kTJFast);
+  // //a[b][c] has two leaves (b, c); the internal node a has no scan.
+  EXPECT_EQ(CountOperators(*plan, plan::OperatorKind::kStreamScan), 2);
+  EXPECT_EQ(CountOperators(*plan, plan::OperatorKind::kTJFastJoin), 1);
+  EXPECT_EQ(CountOperators(*plan, plan::OperatorKind::kMergeExpand), 1);
+}
+
+TEST(PlannerTest, TwigStackScansEveryQueryNode) {
+  auto indexed = ThresholdDoc(/*num_a=*/40);
+  auto plan = plan::Planner(indexed).Plan(Q("//a[b][c]"));
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->algorithm, Algorithm::kTwigStack);
+  EXPECT_EQ(CountOperators(*plan, plan::OperatorKind::kStreamScan), 3);
+  EXPECT_EQ(CountOperators(*plan, plan::OperatorKind::kTwigStackJoin), 1);
+  EXPECT_EQ(CountOperators(*plan, plan::OperatorKind::kMergeExpand), 1);
+}
+
+TEST(PlannerTest, SchemaPruneHintWrapsEveryScan) {
+  auto indexed = MustIndex(kBibXml);
+  plan::PlannerHints hints;
+  hints.schema_prune_streams = true;
+  auto plan = plan::Planner(indexed).Plan(Q("//article[author]/title"), hints);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->schema_prune);
+  EXPECT_EQ(CountOperators(*plan, plan::OperatorKind::kSchemaPrune),
+            CountOperators(*plan, plan::OperatorKind::kStreamScan));
+}
+
+TEST(PlannerTest, ForcedAlgorithmIsHonored) {
+  auto indexed = MustIndex(kBibXml);
+  plan::PlannerHints hints;
+  hints.algorithm = Algorithm::kStructuralJoin;
+  auto plan = plan::Planner(indexed).Plan(Q("//article[author]/title"), hints);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->algorithm, Algorithm::kStructuralJoin);
+  EXPECT_EQ(plan->choice_reason, "forced by caller hint");
+  EXPECT_EQ(CountOperators(*plan, plan::OperatorKind::kBinaryStructuralJoin),
+            1);
+  // No holistic phase-2 for the binary join.
+  EXPECT_EQ(CountOperators(*plan, plan::OperatorKind::kMergeExpand), 0);
+}
+
+TEST(PlannerTest, OrderedQueryPlansAnOrderFilter) {
+  auto indexed = MustIndex(kBibXml);
+  auto plan = plan::Planner(indexed).Plan(Q("//article[ordered][author][title]"));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(CountOperators(*plan, plan::OperatorKind::kOrderFilter), 1);
+  // Holistic algorithm -> integrated order checking resolves on.
+  EXPECT_TRUE(plan->integrate_order);
+}
+
+TEST(PlannerTest, UnorderedQueryHasNoOrderFilter) {
+  auto indexed = MustIndex(kBibXml);
+  auto plan = plan::Planner(indexed).Plan(Q("//article[author]/title"));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(CountOperators(*plan, plan::OperatorKind::kOrderFilter), 0);
+  EXPECT_FALSE(plan->integrate_order);
+}
+
+TEST(PlannerTest, ApplyOrderOffDropsTheFilter) {
+  auto indexed = MustIndex(kBibXml);
+  plan::PlannerHints hints;
+  hints.apply_order = false;
+  auto plan =
+      plan::Planner(indexed).Plan(Q("//article[ordered][author][title]"), hints);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(CountOperators(*plan, plan::OperatorKind::kOrderFilter), 0);
+  EXPECT_FALSE(plan->integrate_order);
+}
+
+TEST(PlannerTest, EveryPlanEndsInOutputSort) {
+  auto indexed = MustIndex(kBibXml);
+  for (std::string_view text :
+       {"//title", "//article[author]/title", "//book[chapter//title]/year"}) {
+    auto plan = plan::Planner(indexed).Plan(Q(text));
+    ASSERT_TRUE(plan.ok()) << text;
+    ASSERT_FALSE(plan->ops.empty());
+    EXPECT_EQ(plan->ops.back().kind, plan::OperatorKind::kOutputSort) << text;
+    // Children always precede parents; the root is the last operator.
+    for (size_t i = 0; i < plan->ops.size(); ++i) {
+      for (int child : plan->ops[i].children) {
+        EXPECT_LT(child, static_cast<int>(i)) << text;
+      }
+    }
+  }
+}
+
+TEST(PlannerTest, EstimatesArePopulated) {
+  auto indexed = MustIndex(kBibXml);
+  auto plan = plan::Planner(indexed).Plan(Q("//article[author]/title"));
+  ASSERT_TRUE(plan.ok());
+  for (const plan::OperatorNode& op : plan->ops) {
+    EXPECT_GE(op.estimated_rows, 0.0);
+    EXPECT_GE(op.estimated_cost, 0.0);
+  }
+  int scan = plan->FindOperator(plan::OperatorKind::kStreamScan);
+  ASSERT_GE(scan, 0);
+  EXPECT_GT(plan->ops[static_cast<size_t>(scan)].estimated_rows, 0.0);
+}
+
+TEST(PlannerTest, InvalidQueryFailsToPlan) {
+  auto indexed = MustIndex(kBibXml);
+  TwigQuery empty;
+  EXPECT_FALSE(plan::Planner(indexed).Plan(empty).ok());
+}
+
+// --------------------------------------------------- plan equivalence
+
+/// Every physical plan the planner can emit must return exactly the
+/// brute-force match set — the refactor-safety property that lets
+/// Evaluate() delegate to the planner.
+class PlanEquivalenceTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(PlanEquivalenceTest, AllPlansReturnTheOracleMatchSet) {
+  const std::vector<std::string> corpora = {std::string(kBibXml),
+                                            std::string(kNestedXml)};
+  const std::vector<std::vector<std::string>> suites = {
+      {"//author", "//article/title", "//book//title",
+       "//article[author]/title", "//article[author][year]/title",
+       R"(//article[year[="2012"]]/title)", "//book[chapter//title]/year",
+       "//article/@key", "//*/title", "//nonexistent",
+       "//article[ordered][author][title]",
+       "//article[ordered][title][author]"},
+      {"//s//t", "//s/s/t", "//s[t]//u", "//s[//t][//u]", "//r[t]//s[t]"}};
+
+  for (size_t c = 0; c < corpora.size(); ++c) {
+    auto indexed = MustIndex(corpora[c]);
+    for (const std::string& text : suites[c]) {
+      TwigQuery query = Q(text);
+      if (GetParam() == Algorithm::kPathStack && !query.IsPath()) continue;
+      std::vector<Match> expected = BruteForceMatches(indexed, query);
+      // Sweep the hint flags that change the plan's shape but must never
+      // change its answers.
+      for (bool prune : {false, true}) {
+        for (bool reorder : {false, true}) {
+          for (bool integrate : {false, true}) {
+            plan::PlannerHints hints;
+            hints.algorithm = GetParam();
+            hints.schema_prune_streams = prune;
+            hints.reorder_binary_joins = reorder;
+            hints.integrate_order = integrate;
+            auto plan = plan::Planner(indexed).Plan(query, hints);
+            ASSERT_TRUE(plan.ok()) << text;
+            auto result = plan::ExecutePlan(indexed, &*plan);
+            ASSERT_TRUE(result.ok())
+                << text << ": " << result.status().ToString();
+            EXPECT_EQ(result->matches, expected)
+                << "query=" << text << " algorithm=" << AlgorithmName(GetParam())
+                << " prune=" << prune << " reorder=" << reorder
+                << " integrate=" << integrate;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PlanEquivalenceTest, PlanExecutionMatchesEvaluate) {
+  // Evaluate() is a shim over the planner, but pin the equivalence
+  // end-to-end anyway: same matches, same headline counters.
+  auto indexed = MustIndex(kBibXml);
+  for (std::string_view text :
+       {"//article[author]/title", "//book//title",
+        "//article[ordered][author][title]"}) {
+    TwigQuery query = Q(text);
+    if (GetParam() == Algorithm::kPathStack && !query.IsPath()) continue;
+    EvalOptions options;
+    options.algorithm = GetParam();
+    auto via_evaluate = Evaluate(indexed, query, options);
+    ASSERT_TRUE(via_evaluate.ok()) << text;
+
+    auto plan = plan::Planner(indexed).Plan(query, plan::HintsFrom(options));
+    ASSERT_TRUE(plan.ok()) << text;
+    auto via_plan = plan::ExecutePlan(indexed, &*plan);
+    ASSERT_TRUE(via_plan.ok()) << text;
+
+    EXPECT_EQ(via_plan->matches, via_evaluate->matches) << text;
+    EXPECT_EQ(via_plan->stats.candidates_scanned,
+              via_evaluate->stats.candidates_scanned)
+        << text;
+    EXPECT_EQ(via_plan->stats.matches, via_evaluate->stats.matches) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, PlanEquivalenceTest,
+    ::testing::Values(Algorithm::kAuto, Algorithm::kStructuralJoin,
+                      Algorithm::kPathStack, Algorithm::kTwigStack,
+                      Algorithm::kTJFast),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      std::string name(AlgorithmName(info.param));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+// ------------------------------------------------------------ EXPLAIN
+
+TEST(ExplainPlanTest, PathQueryRendersEstimatesAndActuals) {
+  auto indexed = MustIndex(kBibXml);
+  auto text = plan::ExplainQuery(indexed, Q("//article/title"));
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("pathstack"), std::string::npos) << *text;
+  EXPECT_NE(text->find("stream-scan"), std::string::npos) << *text;
+  EXPECT_NE(text->find("est rows="), std::string::npos) << *text;
+  EXPECT_NE(text->find("actual rows="), std::string::npos) << *text;
+  EXPECT_NE(text->find("estimated matches"), std::string::npos) << *text;
+}
+
+TEST(ExplainPlanTest, TwigQueryRendersTheOperatorTree) {
+  auto indexed = MustIndex(kBibXml);
+  auto text = plan::ExplainQuery(indexed, Q("//article[author][year]/title"));
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("output-sort"), std::string::npos) << *text;
+  EXPECT_NE(text->find("merge-expand"), std::string::npos) << *text;
+  EXPECT_NE(text->find("stream-scan"), std::string::npos) << *text;
+  EXPECT_NE(text->find("est rows="), std::string::npos) << *text;
+  EXPECT_NE(text->find("actual rows="), std::string::npos) << *text;
+}
+
+TEST(ExplainPlanTest, OrderSensitiveQueryShowsTheOrderFilter) {
+  auto indexed = MustIndex(kBibXml);
+  auto text =
+      plan::ExplainQuery(indexed, Q("//article[ordered][author][title]"));
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("order-filter"), std::string::npos) << *text;
+  EXPECT_NE(text->find("actual rows="), std::string::npos) << *text;
+}
+
+TEST(ExplainPlanTest, DescribeWithoutActualsOmitsThem) {
+  auto indexed = MustIndex(kBibXml);
+  auto plan = plan::Planner(indexed).Plan(Q("//article[author]/title"));
+  ASSERT_TRUE(plan.ok());
+  std::string text = plan::DescribePlan(*plan, /*include_actuals=*/false);
+  EXPECT_NE(text.find("est rows="), std::string::npos) << text;
+  EXPECT_EQ(text.find("actual rows="), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace lotusx::twig

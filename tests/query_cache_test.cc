@@ -1,7 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
 #include "lotusx/engine.h"
 #include "lotusx/query_cache.h"
+#include "twig/query_parser.h"
 
 namespace lotusx {
 namespace {
@@ -190,6 +196,90 @@ TEST(EngineCacheTest, DisabledByDefaultAndDisableable) {
   engine->EnableResultCache(0);
   ASSERT_TRUE(engine->Search("//article").ok());
   EXPECT_EQ(engine->cache_misses(), 0u);
+}
+
+// -------------------------------------------------------- SearchCacheKey
+
+// The pinning companion to the static_asserts in engine.cc: whenever an
+// option struct grows, those asserts force a revisit of SearchCacheKey,
+// and this test is where the new field's mutation gets added. Every
+// result-or-stats-affecting field must produce a distinct key.
+TEST(SearchCacheKeyTest, EveryOptionFieldChangesTheKey) {
+  const twig::TwigQuery query =
+      twig::ParseQuery("//article[author]/title").value();
+
+  const std::vector<std::pair<std::string, std::function<void(SearchOptions&)>>>
+      mutations = {
+          {"eval.algorithm",
+           [](SearchOptions& o) {
+             o.eval.algorithm = twig::Algorithm::kTwigStack;
+           }},
+          {"eval.apply_order",
+           [](SearchOptions& o) { o.eval.apply_order = false; }},
+          {"eval.integrate_order",
+           [](SearchOptions& o) { o.eval.integrate_order = false; }},
+          {"eval.reorder_binary_joins",
+           [](SearchOptions& o) { o.eval.reorder_binary_joins = true; }},
+          {"eval.schema_prune_streams",
+           [](SearchOptions& o) { o.eval.schema_prune_streams = true; }},
+          {"rewrite_on_empty",
+           [](SearchOptions& o) { o.rewrite_on_empty = !o.rewrite_on_empty; }},
+          {"ranking.content_weight",
+           [](SearchOptions& o) { o.ranking.content_weight += 0.25; }},
+          {"ranking.structure_weight",
+           [](SearchOptions& o) { o.ranking.structure_weight += 0.25; }},
+          {"ranking.specificity_weight",
+           [](SearchOptions& o) { o.ranking.specificity_weight += 0.25; }},
+          {"ranking.top_k", [](SearchOptions& o) { o.ranking.top_k += 7; }},
+          {"rewrite.min_results",
+           [](SearchOptions& o) { o.rewrite.min_results += 1; }},
+          {"rewrite.max_evaluations",
+           [](SearchOptions& o) { o.rewrite.max_evaluations += 1; }},
+          {"rewrite.max_penalty",
+           [](SearchOptions& o) { o.rewrite.max_penalty += 0.5; }},
+          {"rewrite.relax_axes",
+           [](SearchOptions& o) {
+             o.rewrite.relax_axes = !o.rewrite.relax_axes;
+           }},
+          {"rewrite.substitute_tags",
+           [](SearchOptions& o) {
+             o.rewrite.substitute_tags = !o.rewrite.substitute_tags;
+           }},
+          {"rewrite.relax_predicates",
+           [](SearchOptions& o) {
+             o.rewrite.relax_predicates = !o.rewrite.relax_predicates;
+           }},
+          {"rewrite.drop_leaves",
+           [](SearchOptions& o) {
+             o.rewrite.drop_leaves = !o.rewrite.drop_leaves;
+           }},
+      };
+
+  std::map<std::string, std::string> key_to_field;
+  key_to_field[SearchCacheKey(query, SearchOptions{})] = "<defaults>";
+  for (const auto& [field, mutate] : mutations) {
+    SearchOptions options;
+    mutate(options);
+    const std::string key = SearchCacheKey(query, options);
+    auto [it, inserted] = key_to_field.emplace(key, field);
+    EXPECT_TRUE(inserted) << "mutating " << field
+                          << " collided with " << it->second
+                          << " on key: " << key;
+  }
+}
+
+TEST(SearchCacheKeyTest, DistinctQueriesGetDistinctKeys) {
+  const twig::TwigQuery a = twig::ParseQuery("//article/title").value();
+  const twig::TwigQuery b = twig::ParseQuery("//article[author]/title").value();
+  EXPECT_NE(SearchCacheKey(a, SearchOptions{}),
+            SearchCacheKey(b, SearchOptions{}));
+}
+
+TEST(SearchCacheKeyTest, KeyIsDeterministic) {
+  const twig::TwigQuery query = twig::ParseQuery("//book//title").value();
+  SearchOptions options;
+  options.ranking.content_weight = 0.75;
+  EXPECT_EQ(SearchCacheKey(query, options), SearchCacheKey(query, options));
 }
 
 }  // namespace
