@@ -38,10 +38,14 @@ void RunForSize(int64_t nodes, Table* tag_table, Table* value_table) {
     request.anchor = 0;
     request.axis = twig::Axis::kChild;
     request.prefix = std::string("author").substr(0, prefix_len);
-    double ms = MedianMillis(kReps, [&] {
-      auto candidates = engine.CompleteTag(context, request);
-      CHECK(candidates.ok());
-    });
+    double ms = MedianMillis(
+        "complete_tag",
+        "nodes=" + std::to_string(nodes) +
+            " prefix_len=" + std::to_string(prefix_len),
+        kReps, [&] {
+          auto candidates = engine.CompleteTag(context, request);
+          CHECK(candidates.ok());
+        });
     row_tags.push_back(Fmt(ms * 1000.0, 1));
   }
   tag_table->AddRow(row_tags);
@@ -50,11 +54,15 @@ void RunForSize(int64_t nodes, Table* tag_table, Table* value_table) {
   twig::TwigQuery value_context = bench::MustParse("//article/author");
   for (size_t prefix_len : {0, 1, 2, 4}) {
     std::string prefix = std::string("abcd").substr(0, prefix_len);
-    double ms = MedianMillis(kReps, [&] {
-      auto candidates = engine.CompleteValue(value_context, 1, prefix, 10,
-                                             /*position_aware=*/true);
-      CHECK(candidates.ok());
-    });
+    double ms = MedianMillis(
+        "complete_value",
+        "nodes=" + std::to_string(nodes) +
+            " prefix_len=" + std::to_string(prefix_len),
+        kReps, [&] {
+          auto candidates = engine.CompleteValue(value_context, 1, prefix, 10,
+                                                 /*position_aware=*/true);
+          CHECK(candidates.ok());
+        });
     row_values.push_back(Fmt(ms * 1000.0, 1));
   }
   value_table->AddRow(row_values);
@@ -66,7 +74,7 @@ void RunForSize(int64_t nodes, Table* tag_table, Table* value_table) {
 }  // namespace
 }  // namespace lotusx
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "E1: auto-completion latency (microseconds per keystroke, median of "
       "300)\n\n");
@@ -85,5 +93,5 @@ int main() {
   std::printf(
       "\nexpected shape: sub-millisecond everywhere; growth with document\n"
       "size far below linear (completion reads summaries, not data).\n");
-  return 0;
+  return lotusx::bench::WriteJsonIfRequested(argc, argv);
 }

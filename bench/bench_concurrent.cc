@@ -114,12 +114,17 @@ void RunBatchSweep(const Engine& engine, size_t batch_size, int batches) {
   double baseline_qps = 0;
   for (size_t threads : {1, 2, 4, 8}) {
     ThreadPool pool(threads);
-    double seconds = bench::MedianMillis(batches, [&] {
-                       auto results =
-                           engine.SearchBatch(batch, ServingOptions(), &pool);
-                       CHECK(results.size() == batch.size());
-                     }) /
-                     1000.0;
+    double seconds =
+        bench::MedianMillis("search_batch",
+                            "threads=" + std::to_string(threads) +
+                                " batch=" + std::to_string(batch_size),
+                            batches,
+                            [&] {
+                              auto results = engine.SearchBatch(
+                                  batch, ServingOptions(), &pool);
+                              CHECK(results.size() == batch.size());
+                            }) /
+        1000.0;
     const double qps = static_cast<double>(batch_size) / seconds;
     if (threads == 1) baseline_qps = qps;
     table.AddRow({std::to_string(threads), std::to_string(batch_size),
@@ -159,7 +164,7 @@ void Run() {
 }  // namespace
 }  // namespace lotusx
 
-int main() {
+int main(int argc, char** argv) {
   lotusx::Run();
-  return 0;
+  return lotusx::bench::WriteJsonIfRequested(argc, argv);
 }

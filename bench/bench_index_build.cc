@@ -67,12 +67,20 @@ void RunSize(std::string_view corpus, xml::Document document, Table* build,
   std::remove(path.c_str());
   persist->AddRow({label, mib(image.size()), Fmt(save_ms, 1), Fmt(load_ms, 1),
                    Fmt(stats.total_ms + parse_ms, 1)});
+
+  std::string params =
+      "corpus=" + std::string(corpus) + " nodes=" + std::to_string(nodes);
+  bench::BenchJson::Instance().Record("xml_parse", params, {parse_ms});
+  bench::BenchJson::Instance().Record("index_build", params,
+                                      {stats.total_ms});
+  bench::BenchJson::Instance().Record("index_save", params, {save_ms});
+  bench::BenchJson::Instance().Record("index_load", params, {load_ms});
 }
 
 }  // namespace
 }  // namespace lotusx
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("E7: index construction, footprint, persistence\n\n");
   lotusx::bench::Table build({"corpus/nodes", "parse ms", "dataguide ms",
                               "streams ms", "terms ms", "containment ms",
@@ -108,5 +116,5 @@ int main() {
       "\nexpected shape: all phases linear in nodes; term index dominates\n"
       "build; extended Dewey is the largest label store; load beats\n"
       "rebuild-from-XML.\n");
-  return 0;
+  return lotusx::bench::WriteJsonIfRequested(argc, argv);
 }

@@ -78,7 +78,7 @@ std::vector<std::string> PickKeywords(const index::IndexedDocument& indexed,
 }  // namespace
 }  // namespace lotusx
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "E9 (extension): SLCA keyword search — indexed (ILE) vs naive "
       "subtree scan\n\n");
@@ -94,16 +94,17 @@ int main() {
       lotusx::keyword::KeywordSearchOptions options;
       options.limit = 1'000'000;
       std::vector<lotusx::xml::NodeId> ile_nodes;
-      double ile_ms = lotusx::bench::MedianMillis(5, [&] {
-        auto hits = lotusx::keyword::SlcaSearch(indexed, joined, options);
-        CHECK(hits.ok());
-        ile_nodes.clear();
-        for (const auto& hit : *hits) ile_nodes.push_back(hit.node);
-      });
+      double ile_ms = lotusx::bench::MedianMillis(
+          "slca_ile", "keywords=" + joined, 5, [&] {
+            auto hits = lotusx::keyword::SlcaSearch(indexed, joined, options);
+            CHECK(hits.ok());
+            ile_nodes.clear();
+            for (const auto& hit : *hits) ile_nodes.push_back(hit.node);
+          });
       std::vector<lotusx::xml::NodeId> naive_nodes;
-      double naive_ms = lotusx::bench::MedianMillis(3, [&] {
-        naive_nodes = lotusx::NaiveSlca(indexed, tokens);
-      });
+      double naive_ms = lotusx::bench::MedianMillis(
+          "slca_naive", "keywords=" + joined, 3,
+          [&] { naive_nodes = lotusx::NaiveSlca(indexed, tokens); });
       // Same answers (modulo ranking order).
       std::sort(ile_nodes.begin(), ile_nodes.end());
       CHECK(ile_nodes == naive_nodes)
@@ -121,5 +122,5 @@ int main() {
   std::printf(
       "\nexpected shape: naive cost grows linearly with document size;\n"
       "ILE follows the rarest keyword's postings and stays interactive.\n");
-  return 0;
+  return lotusx::bench::WriteJsonIfRequested(argc, argv);
 }

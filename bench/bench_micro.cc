@@ -8,6 +8,7 @@
 
 #include "autocomplete/completion.h"
 #include "bench/bench_util.h"
+#include "common/metrics.h"
 #include "datagen/datagen.h"
 #include "index/indexed_document.h"
 #include "keyword/keyword_search.h"
@@ -129,6 +130,32 @@ void BM_TwigEvaluate(benchmark::State& state) {
       static_cast<twig::Algorithm>(state.range(0)))));
 }
 BENCHMARK(BM_TwigEvaluate)
+    ->Arg(static_cast<int>(twig::Algorithm::kStructuralJoin))
+    ->Arg(static_cast<int>(twig::Algorithm::kTwigStack))
+    ->Arg(static_cast<int>(twig::Algorithm::kTJFast));
+
+// The observability overhead pin: the same evaluation with the metrics
+// registry globally disabled. Compare against the BM_TwigEvaluate row of
+// the same algorithm — the instrumented path must stay within 2% (the
+// counters are relaxed atomics behind a single branch when disabled).
+void BM_TwigEvaluateMetricsOff(benchmark::State& state) {
+  const index::IndexedDocument& corpus = SharedCorpus();
+  twig::TwigQuery query =
+      twig::ParseQuery("//article[author]/title").value();
+  twig::EvalOptions options;
+  options.algorithm = static_cast<twig::Algorithm>(state.range(0));
+  const bool was_enabled = metrics::SetEnabled(false);
+  for (auto _ : state) {
+    auto result = twig::Evaluate(corpus, query, options);
+    CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  metrics::SetEnabled(was_enabled);
+  state.SetLabel(std::string(twig::AlgorithmName(
+                     static_cast<twig::Algorithm>(state.range(0)))) +
+                 "/metrics-off");
+}
+BENCHMARK(BM_TwigEvaluateMetricsOff)
     ->Arg(static_cast<int>(twig::Algorithm::kStructuralJoin))
     ->Arg(static_cast<int>(twig::Algorithm::kTwigStack))
     ->Arg(static_cast<int>(twig::Algorithm::kTJFast));

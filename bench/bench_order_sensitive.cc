@@ -58,7 +58,7 @@ void Run(const index::IndexedDocument& indexed, const Workload& workload,
 }  // namespace
 }  // namespace lotusx
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "E4: order-sensitive queries — selectivity, overhead, and integrated\n"
       "order checking vs naive post-filtering (same answers, different "
@@ -98,5 +98,5 @@ int main() {
       "expected shape: ordered <= unord (order only filters); integ ms <=\n"
       "postf ms with the gap widening on selective constraints, where\n"
       "integrated pruning keeps 'integ tuples' well below 'postf tuples'.\n");
-  return 0;
+  return lotusx::bench::WriteJsonIfRequested(argc, argv);
 }

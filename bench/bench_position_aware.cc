@@ -49,10 +49,14 @@ void Evaluate(const index::IndexedDocument& indexed,
     request.axis = situation.axis;
     request.limit = 10;
     request.position_aware = position_aware;
-    double ms = bench::MedianMillis(20, [&] {
-      auto candidates = engine.CompleteTag(query, request);
-      CHECK(candidates.ok());
-    });
+    double ms = bench::MedianMillis(
+        "complete_tag",
+        "anchor=" + situation.anchor_query +
+            " position_aware=" + (position_aware ? "1" : "0"),
+        20, [&] {
+          auto candidates = engine.CompleteTag(query, request);
+          CHECK(candidates.ok());
+        });
     stats->latency_ms += ms;
     auto candidates = engine.CompleteTag(query, request);
     CHECK(candidates.ok());
@@ -85,7 +89,7 @@ void RunDataset(std::string_view name, xml::Document document,
 }  // namespace
 }  // namespace lotusx
 
-int main() {
+int main(int argc, char** argv) {
   using lotusx::Situation;
   using lotusx::twig::Axis;
   std::printf(
@@ -145,5 +149,5 @@ int main() {
       "\nexpected shape: aware = 100%% by construction; global clearly\n"
       "below (suggests frequent tags that cannot occur at the position),\n"
       "worst where sibling element types differ most (store/xmark).\n");
-  return 0;
+  return lotusx::bench::WriteJsonIfRequested(argc, argv);
 }

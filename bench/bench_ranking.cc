@@ -153,8 +153,16 @@ void RunScenario(std::string_view name, const Scenario& scenario,
                           .specificity_weight = 0}},
   };
   for (const Contender& contender : contenders) {
-    std::vector<ranking::RankedResult> ranked =
-        ranker.Rank(scenario.query, evaluated->matches, contender.options);
+    std::vector<ranking::RankedResult> ranked;
+    bench::MedianMillis(
+        "rank",
+        "scenario=" + std::string(name) + " ranker=" + contender.name +
+            " matches=" + std::to_string(evaluated->matches.size()),
+        5, [&] {
+          ranked =
+              ranker.Rank(scenario.query, evaluated->matches,
+                          contender.options);
+        });
     Quality quality = Judge(Ordering(ranked), scenario.relevant);
     table->AddRow({std::string(name), contender.name,
                    Fmt(quality.precision_at_10, 2), Fmt(quality.mrr, 3)});
@@ -187,7 +195,7 @@ void RunScenario(std::string_view name, const Scenario& scenario,
 }  // namespace
 }  // namespace lotusx
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "E5: ranking quality against planted ground truth (precision@10, "
       "MRR)\n\n");
@@ -205,5 +213,5 @@ int main() {
       "\nexpected shape: lotusx-full near the top in both scenarios;\n"
       "content-only wins A but collapses on B, structure-only vice versa;\n"
       "doc-order and random trail far behind in both.\n");
-  return 0;
+  return lotusx::bench::WriteJsonIfRequested(argc, argv);
 }

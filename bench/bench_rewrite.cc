@@ -96,12 +96,16 @@ void AddRow(Table* table, std::string_view name, const ClassResult& r) {
                  Fmt(100.0 * r.recall_sum / n, 1), Fmt(r.penalty_sum / n, 2),
                  Fmt(r.evaluations_sum / n, 1),
                  Fmt(r.latency_ms_sum / std::max(r.attempts, 1), 1)});
+  bench::BenchJson::Instance().Record(
+      "rewrite_class",
+      "class=" + std::string(name) + " cases=" + std::to_string(r.attempts),
+      {r.latency_ms_sum / std::max(r.attempts, 1)});
 }
 
 }  // namespace
 }  // namespace lotusx
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "E6: query rewriting — recovery from user mistakes\n"
       "(recall%% = gold answers recovered by the rewritten query)\n\n");
@@ -199,5 +203,5 @@ int main() {
       "\nexpected shape: axis and spelling classes recover with recall\n"
       "near 100%% at penalty <= 2.5 and a handful of evaluations; branch\n"
       "drops cost more; every class succeeds well above 50%%.\n");
-  return 0;
+  return lotusx::bench::WriteJsonIfRequested(argc, argv);
 }

@@ -46,7 +46,7 @@ void Run(std::string_view corpus, const index::IndexedDocument& indexed,
 }  // namespace
 }  // namespace lotusx
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "E10 (ablation): structural-summary stream pruning "
       "(schema_prune_streams)\n(answers verified identical in every "
@@ -81,5 +81,5 @@ int main() {
       "out most of a tag's positions (store //category/name, //store/name)\n"
       "and at worst a small constant overhead (the filter pass itself)\n"
       "where the schema cannot prune anything.\n");
-  return 0;
+  return lotusx::bench::WriteJsonIfRequested(argc, argv);
 }

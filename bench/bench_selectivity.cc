@@ -102,7 +102,7 @@ void RunPicker(const Suite& suite, Table* table, double* regret_sum,
 }  // namespace
 }  // namespace lotusx
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "E8 (ablation): cardinality estimator accuracy and auto algorithm "
       "choice\n\n");
@@ -155,5 +155,5 @@ int main() {
       "\nexpected shape: q-error close to 1 without predicates, modest\n"
       "with them; picker regret far below worst/best (it avoids the bad\n"
       "plans even when it misses the absolute best).\n");
-  return 0;
+  return lotusx::bench::WriteJsonIfRequested(argc, argv);
 }

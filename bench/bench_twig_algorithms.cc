@@ -98,7 +98,7 @@ void RunCorpus(std::string_view corpus_name,
 }  // namespace
 }  // namespace lotusx
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "E3: twig join algorithms (median of 5 runs; 'intermed' counts "
       "materialized\nintermediate tuples / path solutions, the holistic "
@@ -137,5 +137,5 @@ int main() {
       "holistic-join headline result); tjfast consistently scans the\n"
       "fewest elements (leaf streams only). On friendly workloads where\n"
       "every edge is selective, the simpler algorithms stay competitive.\n");
-  return 0;
+  return lotusx::bench::WriteJsonIfRequested(argc, argv);
 }

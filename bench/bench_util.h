@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <mutex>
+#include <numeric>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -41,10 +43,11 @@ inline std::vector<int64_t> Scales(std::vector<int64_t> full,
   return full;
 }
 
-/// Median wall-clock milliseconds of `fn` over `repetitions` runs (after
-/// one warm-up run). Smoke mode clamps to a single run so every call
-/// site speeds up without edits.
-inline double MedianMillis(int repetitions, const std::function<void()>& fn) {
+/// Sorted wall-clock samples (milliseconds) of `fn` over `repetitions`
+/// runs, after one warm-up run. Smoke mode clamps to a single run so
+/// every call site speeds up without edits.
+inline std::vector<double> SampleMillis(int repetitions,
+                                        const std::function<void()>& fn) {
   if (SmokeMode()) repetitions = 1;
   fn();  // warm-up
   std::vector<double> samples;
@@ -55,6 +58,142 @@ inline double MedianMillis(int repetitions, const std::function<void()>& fn) {
     samples.push_back(timer.ElapsedMillis());
   }
   std::sort(samples.begin(), samples.end());
+  return samples;
+}
+
+/// One measurement destined for the machine-readable --json report.
+struct BenchRecord {
+  std::string name;    // measurement family, e.g. "evaluate"
+  std::string params;  // free-form key=value parameters
+  int reps = 0;
+  double p50_ns = 0;
+  double p95_ns = 0;
+  double mean_ns = 0;
+};
+
+/// Process-wide collector behind the `--json out.json` bench mode: every
+/// named measurement (the MedianMillis overload below, TimedEvaluate)
+/// appends a record; WriteJsonIfRequested dumps them as a JSON array so
+/// CI can archive bench numbers as artifacts.
+class BenchJson {
+ public:
+  static BenchJson& Instance() {
+    static BenchJson instance;
+    return instance;
+  }
+
+  /// Records one measurement from its sorted millisecond samples.
+  void Record(std::string_view name, std::string_view params,
+              const std::vector<double>& sorted_samples_ms) {
+    if (sorted_samples_ms.empty()) return;
+    BenchRecord record;
+    record.name = std::string(name);
+    record.params = std::string(params);
+    record.reps = static_cast<int>(sorted_samples_ms.size());
+    auto percentile = [&](double q) {
+      size_t index = static_cast<size_t>(
+          q * static_cast<double>(sorted_samples_ms.size() - 1) + 0.5);
+      return sorted_samples_ms[index] * 1e6;  // ms -> ns
+    };
+    record.p50_ns = percentile(0.50);
+    record.p95_ns = percentile(0.95);
+    record.mean_ns = std::accumulate(sorted_samples_ms.begin(),
+                                     sorted_samples_ms.end(), 0.0) /
+                     static_cast<double>(sorted_samples_ms.size()) * 1e6;
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(std::move(record));
+  }
+
+  /// Writes the accumulated records to `path` as a JSON array.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fputs("[\n", file);
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      std::fprintf(file,
+                   "  {\"name\": \"%s\", \"params\": \"%s\", \"reps\": %d, "
+                   "\"p50_ns\": %.1f, \"p95_ns\": %.1f, \"mean_ns\": %.1f}%s\n",
+                   Escape(r.name).c_str(), Escape(r.params).c_str(), r.reps,
+                   r.p50_ns, r.p95_ns, r.mean_ns,
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fputs("]\n", file);
+    std::fclose(file);
+    return true;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
+
+ private:
+  static std::string Escape(std::string_view text) {
+    std::string escaped;
+    escaped.reserve(text.size());
+    for (char c : text) {
+      switch (c) {
+        case '"':
+          escaped += "\\\"";
+          break;
+        case '\\':
+          escaped += "\\\\";
+          break;
+        case '\n':
+          escaped += "\\n";
+          break;
+        case '\t':
+          escaped += "\\t";
+          break;
+        default:
+          escaped += c;
+      }
+    }
+    return escaped;
+  }
+
+  mutable std::mutex mu_;
+  std::vector<BenchRecord> records_;
+};
+
+/// Call at the end of main: when the binary was invoked with
+/// `--json out.json` (or `--json=out.json`), dumps every recorded
+/// measurement to that file. Returns main's exit code.
+inline int WriteJsonIfRequested(int argc, char** argv) {
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      path = argv[++i];
+    } else if (arg.substr(0, 7) == "--json=") {
+      path = argv[i] + 7;
+    }
+  }
+  if (path == nullptr) return 0;
+  if (!BenchJson::Instance().WriteTo(path)) return 1;
+  std::printf("wrote %s (%zu records)\n", path,
+              BenchJson::Instance().size());
+  return 0;
+}
+
+/// Median wall-clock milliseconds of `fn` over `repetitions` runs (after
+/// one warm-up run); see SampleMillis for smoke-mode behavior.
+inline double MedianMillis(int repetitions, const std::function<void()>& fn) {
+  std::vector<double> samples = SampleMillis(repetitions, fn);
+  return samples[samples.size() / 2];
+}
+
+/// Same, additionally recording (name, params, reps, p50/p95/mean ns)
+/// into the --json report.
+inline double MedianMillis(std::string_view name, std::string_view params,
+                           int repetitions, const std::function<void()>& fn) {
+  std::vector<double> samples = SampleMillis(repetitions, fn);
+  BenchJson::Instance().Record(name, params, samples);
   return samples[samples.size() / 2];
 }
 
@@ -100,13 +239,16 @@ struct TimedEval {
 
 /// Median-of-`repetitions` twig evaluation (one run in smoke mode); the
 /// query must succeed. Deduplicates the Evaluate+CHECK+stats pattern the
-/// experiment benches all share.
+/// experiment benches all share, and records an "evaluate" row (query +
+/// algorithm parameters) into the --json report.
 inline TimedEval TimedEvaluate(const index::IndexedDocument& indexed,
                                const twig::TwigQuery& query,
                                const twig::EvalOptions& options = {},
                                int repetitions = 5) {
   TimedEval timed;
-  timed.ms = MedianMillis(repetitions, [&] {
+  std::string params = "query=" + query.ToString() + " algorithm=" +
+                       std::string(twig::AlgorithmName(options.algorithm));
+  timed.ms = MedianMillis("evaluate", params, repetitions, [&] {
     StatusOr<twig::QueryResult> result =
         twig::Evaluate(indexed, query, options);
     CHECK(result.ok()) << "bench query failed: " << result.status().message();

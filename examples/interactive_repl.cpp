@@ -7,12 +7,17 @@
 //   interactive_repl [file.xml]        # index a file, then read commands
 //   echo "HELP" | interactive_repl     # scripted use
 //   interactive_repl --validate [file.xml]   # audit index invariants
+//   interactive_repl --verbose         # Info-level logging to stderr
+//
+// The log threshold also obeys LOTUSX_MIN_LOG_SEVERITY (info/warning/
+// error/fatal); --verbose overrides it to info.
 
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <unistd.h>
 
+#include "common/logging.h"
 #include "datagen/datagen.h"
 #include "lotusx/engine.h"
 #include "session/protocol.h"
@@ -67,6 +72,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--validate") == 0) {
       validate = true;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      lotusx::SetMinLogSeverity(lotusx::LogSeverity::kInfo);
     } else {
       xml_path = argv[i];
     }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <map>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "twig/schema_match.h"
 
 namespace lotusx::autocomplete {
@@ -15,6 +17,34 @@ using index::PathId;
 using twig::Axis;
 using twig::QueryNodeId;
 using twig::TwigQuery;
+
+/// RAII request metrics for one completion call: bumps
+/// lotusx_complete_total{kind} and records the wall time into
+/// lotusx_complete_latency_usec{kind}. Covers every entry point (Engine,
+/// Session, batches) because they all funnel through CompletionEngine.
+class CompletionScope {
+ public:
+  explicit CompletionScope(const char* kind) {
+    if (!metrics::Enabled()) return;
+    metrics::Registry& registry = metrics::Registry::Default();
+    const metrics::Labels labels = {{"kind", kind}};
+    calls_ = registry.GetCounter("lotusx_complete_total", labels);
+    latency_ = registry.GetHistogram("lotusx_complete_latency_usec", labels);
+  }
+  ~CompletionScope() {
+    if (calls_ == nullptr) return;
+    calls_->Increment();
+    latency_->Observe(timer_.ElapsedMicros());
+  }
+
+  CompletionScope(const CompletionScope&) = delete;
+  CompletionScope& operator=(const CompletionScope&) = delete;
+
+ private:
+  metrics::Counter* calls_ = nullptr;
+  metrics::Histogram* latency_ = nullptr;
+  Timer timer_;
+};
 
 }  // namespace
 
@@ -36,6 +66,7 @@ std::vector<Candidate> CompletionEngine::GlobalTagCandidates(
 
 StatusOr<std::vector<Candidate>> CompletionEngine::CompleteTag(
     const TwigQuery& query, const TagRequest& request) const {
+  CompletionScope scope("tag");
   if (request.limit == 0) return std::vector<Candidate>{};
   const DataGuide& guide = indexed_.dataguide();
   const xml::Document& document = indexed_.document();
@@ -113,6 +144,7 @@ StatusOr<std::vector<Candidate>> CompletionEngine::CompleteTag(
 StatusOr<std::vector<Candidate>> CompletionEngine::CompleteValue(
     const TwigQuery& query, QueryNodeId node, std::string_view prefix,
     size_t limit, bool position_aware) const {
+  CompletionScope scope("value");
   if (node < 0 || node >= query.size()) {
     return Status::InvalidArgument("node out of range");
   }

@@ -1,9 +1,36 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/string_util.h"
+
 namespace lotusx {
 
 namespace {
-LogSeverity g_min_severity = LogSeverity::kWarning;
+
+std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kWarning)};
+std::once_flag g_env_once;
+
+// Serializes the final write (and any test sink) so lines from
+// concurrent threads never interleave even on platforms where a single
+// stderr write is not atomic.
+std::mutex g_write_mu;
+LogSink g_sink;  // guarded by g_write_mu
+
+void ApplyEnvSeverity() {
+  if (const char* env = std::getenv("LOTUSX_MIN_LOG_SEVERITY")) {
+    if (std::optional<LogSeverity> severity = ParseLogSeverity(env)) {
+      g_min_severity.store(static_cast<int>(*severity),
+                           std::memory_order_relaxed);
+    }
+  }
+}
 
 std::string_view SeverityName(LogSeverity severity) {
   switch (severity) {
@@ -18,27 +45,91 @@ std::string_view SeverityName(LogSeverity severity) {
   }
   return "?";
 }
+
+/// A short stable id for the calling thread (hashed std::thread::id,
+/// folded to 5 digits — enough to tell interleaved workers apart).
+unsigned ShortThreadId() {
+  thread_local const unsigned id = static_cast<unsigned>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % 100000);
+  return id;
+}
+
+/// UTC wall-clock "HH:MM:SS.uuuuuu".
+std::string Timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1'000'000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%02d:%02d:%02d.%06d", utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(micros));
+  return buffer;
+}
+
 }  // namespace
 
 LogSeverity SetMinLogSeverity(LogSeverity severity) {
-  LogSeverity previous = g_min_severity;
-  g_min_severity = severity;
-  return previous;
+  // Resolve the environment first so an explicit call always wins over
+  // LOTUSX_MIN_LOG_SEVERITY regardless of ordering.
+  std::call_once(g_env_once, ApplyEnvSeverity);
+  return static_cast<LogSeverity>(g_min_severity.exchange(
+      static_cast<int>(severity), std::memory_order_relaxed));
 }
 
-LogSeverity MinLogSeverity() { return g_min_severity; }
+LogSeverity MinLogSeverity() {
+  std::call_once(g_env_once, ApplyEnvSeverity);
+  return static_cast<LogSeverity>(
+      g_min_severity.load(std::memory_order_relaxed));
+}
+
+std::optional<LogSeverity> ParseLogSeverity(std::string_view text) {
+  const std::string lowered = ToLowerAscii(TrimAscii(text));
+  if (lowered == "info" || lowered == "0") return LogSeverity::kInfo;
+  if (lowered == "warning" || lowered == "warn" || lowered == "1") {
+    return LogSeverity::kWarning;
+  }
+  if (lowered == "error" || lowered == "2") return LogSeverity::kError;
+  if (lowered == "fatal" || lowered == "3") return LogSeverity::kFatal;
+  return std::nullopt;
+}
+
+void InitLogSeverityFromEnv() {
+  std::call_once(g_env_once, [] {});  // absorb the lazy hook
+  ApplyEnvSeverity();
+}
+
+LogSink SetLogSinkForTest(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_write_mu);
+  LogSink previous = std::move(g_sink);
+  g_sink = std::move(sink);
+  return previous;
+}
 
 namespace internal_logging {
 
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
     : severity_(severity) {
-  stream_ << "[" << SeverityName(severity) << " " << file << ":" << line
-          << "] ";
+  stream_ << "[" << SeverityName(severity) << " " << Timestamp() << " t"
+          << ShortThreadId() << " " << file << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  if (severity_ >= g_min_severity || severity_ == LogSeverity::kFatal) {
-    std::cerr << stream_.str() << std::endl;
+  if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
+    stream_ << '\n';
+    const std::string line = stream_.str();
+    std::lock_guard<std::mutex> lock(g_write_mu);
+    if (g_sink) {
+      g_sink(line);
+    } else {
+      // One fwrite + flush: the whole line reaches stderr in a single
+      // call, never interleaved with another thread's message.
+      std::fwrite(line.data(), 1, line.size(), stderr);
+      std::fflush(stderr);
+    }
   }
   if (severity_ == LogSeverity::kFatal) {
     std::abort();

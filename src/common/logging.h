@@ -2,7 +2,9 @@
 #define LOTUSX_COMMON_LOGGING_H_
 
 #include <cstdlib>
+#include <functional>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string_view>
 
@@ -12,8 +14,11 @@ enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
 
 namespace internal_logging {
 
-/// Stream-style message collector; flushes to stderr on destruction and
-/// aborts the process for kFatal messages (used by CHECK failures).
+/// Stream-style message collector. The entire line — severity,
+/// timestamp, thread id, source location, message, trailing newline —
+/// is formatted into one buffer first and flushed with a single write
+/// on destruction, so concurrent loggers never interleave mid-line.
+/// Aborts the process for kFatal messages (used by CHECK failures).
 class LogMessage {
  public:
   LogMessage(LogSeverity severity, const char* file, int line);
@@ -58,6 +63,26 @@ inline NullStream& GetNullStream() {
 /// tests and benchmarks stay quiet). Returns the previous threshold.
 LogSeverity SetMinLogSeverity(LogSeverity severity);
 LogSeverity MinLogSeverity();
+
+/// Parses a severity name ("info", "warning"/"warn", "error", "fatal",
+/// case-insensitive) or numeric value ("0".."3"); nullopt on anything
+/// else.
+std::optional<LogSeverity> ParseLogSeverity(std::string_view text);
+
+/// Applies the LOTUSX_MIN_LOG_SEVERITY environment variable (parsed with
+/// ParseLogSeverity; unset or unparsable leaves the threshold alone).
+/// Runs automatically before the first log line / threshold query, so
+/// `LOTUSX_MIN_LOG_SEVERITY=info bin` just works; exposed for tests and
+/// for re-reading after setenv.
+void InitLogSeverityFromEnv();
+
+/// Redirects formatted log lines (newline included) to `sink` instead of
+/// stderr; pass nullptr to restore stderr. Returns the previous sink.
+/// Used by tests to capture output; the sink is called under the global
+/// logging mutex, so it needs no synchronization of its own but must not
+/// log.
+using LogSink = std::function<void(std::string_view)>;
+LogSink SetLogSinkForTest(LogSink sink);
 
 }  // namespace lotusx
 

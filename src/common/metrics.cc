@@ -1,0 +1,279 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace lotusx::metrics {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// Portable atomic add for doubles (fetch_add on atomic<double> is C++20
+/// but spotty across standard libraries).
+void AtomicAddDouble(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+/// `name{k="v",k2="v2"}`; label values escape \, ", and newlines per the
+/// Prometheus text format.
+std::string RenderId(std::string_view name, const Labels& labels) {
+  std::string id(name);
+  if (labels.empty()) return id;
+  id += '{';
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) id += ',';
+    id += labels[i].first;
+    id += "=\"";
+    for (char c : labels[i].second) {
+      if (c == '\\' || c == '"') id += '\\';
+      if (c == '\n') {
+        id += "\\n";
+        continue;
+      }
+      id += c;
+    }
+    id += '"';
+  }
+  id += '}';
+  return id;
+}
+
+/// The histogram series id with an extra label appended (for le="...").
+std::string RenderIdWith(std::string_view name, const Labels& labels,
+                         std::string_view key, std::string_view value) {
+  Labels extended = labels;
+  extended.emplace_back(std::string(key), std::string(value));
+  return RenderId(name, extended);
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+bool SetEnabled(bool enabled) {
+  return g_enabled.exchange(enabled, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0 || counts.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t before = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i >= bounds.size()) {
+      // Overflow bucket: the largest finite bound is the best answer.
+      return bounds.empty() ? 0 : bounds.back();
+    }
+    const double lower = i == 0 ? 0 : bounds[i - 1];
+    const double upper = bounds[i];
+    if (counts[i] == 0) return upper;
+    const double fraction =
+        (target - static_cast<double>(before)) / static_cast<double>(counts[i]);
+    return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bucket bounds must be sorted";
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(sum_, value);
+  // Release-publish: a snapshot that reads `count` with acquire ordering
+  // is guaranteed to see the bucket and sum contributions of at least
+  // that many observations.
+  count_.fetch_add(1, std::memory_order_release);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.count = count_.load(std::memory_order_acquire);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.bounds = bounds_;
+  snapshot.counts.reserve(counts_.size());
+  for (const std::atomic<uint64_t>& bucket : counts_) {
+    snapshot.counts.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  return snapshot;
+}
+
+void Histogram::ResetForTest() {
+  for (std::atomic<uint64_t>& bucket : counts_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& Histogram::LatencyBucketsUsec() {
+  static const std::vector<double> buckets = {
+      1,      2.5,    5,      10,     25,     50,     100,   250,
+      500,    1e3,    2.5e3,  5e3,    1e4,    2.5e4,  5e4,   1e5,
+      2.5e5,  5e5,    1e6,    2.5e6,  5e6,    1e7};
+  return buckets;
+}
+
+Registry& Registry::Default() {
+  // Leaked on purpose: metric pointers cached in function-local statics
+  // (and bumped from detached worker threads) must outlive every user.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter* Registry::GetCounter(std::string_view name, const Labels& labels) {
+  const std::string id = RenderId(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(id);
+  if (it == counters_.end()) {
+    auto entry = std::make_unique<Entry<Counter>>();
+    entry->name = std::string(name);
+    entry->labels = labels;
+    entry->metric = std::make_unique<Counter>();
+    it = counters_.emplace(id, std::move(entry)).first;
+  }
+  return it->second->metric.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name, const Labels& labels) {
+  const std::string id = RenderId(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(id);
+  if (it == gauges_.end()) {
+    auto entry = std::make_unique<Entry<Gauge>>();
+    entry->name = std::string(name);
+    entry->labels = labels;
+    entry->metric = std::make_unique<Gauge>();
+    it = gauges_.emplace(id, std::move(entry)).first;
+  }
+  return it->second->metric.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name, const Labels& labels,
+                                  const std::vector<double>& bounds) {
+  const std::string id = RenderId(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(id);
+  if (it == histograms_.end()) {
+    auto entry = std::make_unique<Entry<Histogram>>();
+    entry->name = std::string(name);
+    entry->labels = labels;
+    entry->metric = std::make_unique<Histogram>(bounds);
+    it = histograms_.emplace(id, std::move(entry)).first;
+  }
+  return it->second->metric.get();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [id, entry] : counters_) {
+    snapshot.counters.push_back(
+        {entry->name, entry->labels, entry->metric->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [id, entry] : gauges_) {
+    snapshot.gauges.push_back(
+        {entry->name, entry->labels, entry->metric->value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [id, entry] : histograms_) {
+    snapshot.histograms.push_back(
+        {entry->name, entry->labels, entry->metric->Snapshot()});
+  }
+  return snapshot;
+}
+
+void Registry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, entry] : counters_) entry->metric->ResetForTest();
+  for (auto& [id, entry] : gauges_) entry->metric->ResetForTest();
+  for (auto& [id, entry] : histograms_) entry->metric->ResetForTest();
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const CounterValue& counter : counters) {
+    out += RenderId(counter.name, counter.labels);
+    out += ' ';
+    out += std::to_string(counter.value);
+    out += '\n';
+  }
+  for (const GaugeValue& gauge : gauges) {
+    out += RenderId(gauge.name, gauge.labels);
+    out += ' ';
+    out += std::to_string(gauge.value);
+    out += '\n';
+  }
+  for (const HistogramValue& histogram : histograms) {
+    const HistogramSnapshot& h = histogram.histogram;
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      const std::string le =
+          i < h.bounds.size() ? FormatDouble(h.bounds[i]) : "+Inf";
+      out += RenderIdWith(histogram.name + "_bucket", histogram.labels, "le",
+                          le);
+      out += ' ';
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    out += RenderId(histogram.name + "_sum", histogram.labels);
+    out += ' ';
+    out += FormatDouble(h.sum);
+    out += '\n';
+    out += RenderId(histogram.name + "_count", histogram.labels);
+    out += ' ';
+    out += std::to_string(h.count);
+    out += '\n';
+  }
+  return out;
+}
+
+uint64_t MetricsSnapshot::CounterTotal(std::string_view name) const {
+  uint64_t total = 0;
+  for (const CounterValue& counter : counters) {
+    if (counter.name == name) total += counter.value;
+  }
+  return total;
+}
+
+uint64_t MetricsSnapshot::HistogramCountTotal(std::string_view name) const {
+  uint64_t total = 0;
+  for (const HistogramValue& histogram : histograms) {
+    if (histogram.name == name) total += histogram.histogram.count;
+  }
+  return total;
+}
+
+int64_t MetricsSnapshot::GaugeValueOr(std::string_view name,
+                                      int64_t fallback) const {
+  for (const GaugeValue& gauge : gauges) {
+    if (gauge.name == name) return gauge.value;
+  }
+  return fallback;
+}
+
+}  // namespace lotusx::metrics

@@ -1,0 +1,189 @@
+#ifndef LOTUSX_COMMON_METRICS_H_
+#define LOTUSX_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lotusx::metrics {
+
+/// Process-wide observability registry: named counters, gauges, and
+/// fixed-bucket latency histograms, cheap enough to leave compiled into
+/// every hot path. Writers touch only relaxed atomics (one fetch_add per
+/// counter bump); the registry mutex is taken only on first registration
+/// and on Snapshot(). Metric objects live for the whole process — Get*
+/// pointers never dangle and may be cached in function-local statics at
+/// the call site, which is the intended usage pattern:
+///
+///   static metrics::Counter* searches =
+///       metrics::Registry::Default().GetCounter("lotusx_search_total");
+///   searches->Increment();
+///
+/// Naming scheme (docs/DEVELOPMENT.md "Observability"):
+///   lotusx_<component>_<quantity>[_total|_usec]{label="value"}
+/// Counters end in _total, durations are microseconds (_usec), and the
+/// exposition format is the Prometheus text format.
+
+/// Global kill switch for the *instrumentation call sites* (metric
+/// objects themselves always record when called). SetEnabled(false) lets
+/// the overhead bench price the bare pipeline; returns the previous
+/// value. Reading it is one relaxed atomic load.
+bool Enabled();
+bool SetEnabled(bool enabled);
+
+/// One label pair; labels render inside {} in registration order.
+using Label = std::pair<std::string, std::string>;
+using Labels = std::vector<Label>;
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed value (queue depths, sizes).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time copy of one histogram; bucket i counts observations
+/// <= bounds[i], with one extra overflow (+Inf) bucket at the end.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;  // bounds.size() + 1 entries
+  uint64_t count = 0;
+  double sum = 0;
+
+  /// Bucket-interpolated quantile (q in [0, 1]); 0 when empty. Values in
+  /// the overflow bucket report the largest finite bound.
+  double Quantile(double q) const;
+  double Mean() const { return count == 0 ? 0 : sum / static_cast<double>(count); }
+};
+
+/// Fixed-bucket histogram. Observe() is wait-free: one relaxed fetch_add
+/// into the bucket, a CAS-loop add into the sum, and a release
+/// fetch_add of the count — Snapshot() reads the count with acquire
+/// ordering first, so in any snapshot `sum` and the bucket totals cover
+/// at least `count` complete observations (no torn values).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+  HistogramSnapshot Snapshot() const;
+  uint64_t count() const { return count_.load(std::memory_order_acquire); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void ResetForTest();
+
+  /// Default latency ladder in microseconds: 1us .. 10s, roughly
+  /// 1-2.5-5 per decade.
+  static const std::vector<double>& LatencyBucketsUsec();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> counts_;
+  std::atomic<double> sum_{0};
+  std::atomic<uint64_t> count_{0};
+};
+
+/// Everything the registry knows at one instant, in deterministic
+/// (lexicographic) order; ToText() renders the Prometheus text format
+/// the STATS protocol verb returns.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    Labels labels;
+    uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    Labels labels;
+    int64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    Labels labels;
+    HistogramSnapshot histogram;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  std::string ToText() const;
+
+  /// Sum of one counter family across all label sets.
+  uint64_t CounterTotal(std::string_view name) const;
+  /// Total observation count of one histogram family across label sets.
+  uint64_t HistogramCountTotal(std::string_view name) const;
+  /// First gauge with this family name, or `fallback` when absent.
+  int64_t GaugeValueOr(std::string_view name, int64_t fallback = 0) const;
+};
+
+/// Named metric registry. Get* registers on first use and returns the
+/// existing metric on every later call with the same (name, labels) —
+/// the returned pointer is stable for the registry's lifetime.
+/// Registry::Default() is the process-wide instance (never destroyed);
+/// tests may build private registries.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& Default();
+
+  Counter* GetCounter(std::string_view name, const Labels& labels = {});
+  Gauge* GetGauge(std::string_view name, const Labels& labels = {});
+  /// `bounds` is consulted only on first registration of (name, labels).
+  Histogram* GetHistogram(std::string_view name, const Labels& labels = {},
+                          const std::vector<double>& bounds =
+                              Histogram::LatencyBucketsUsec());
+
+  MetricsSnapshot Snapshot() const;
+  /// Snapshot().ToText() — the STATS exposition.
+  std::string RenderText() const { return Snapshot().ToText(); }
+
+  /// Zeroes every registered metric (they stay registered, so cached
+  /// pointers remain valid). Test isolation only.
+  void ResetForTest();
+
+ private:
+  template <typename Metric>
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<Metric> metric;
+  };
+
+  mutable std::mutex mu_;
+  // Keyed by the rendered `name{labels}` id; std::map keeps the
+  // exposition deterministically sorted.
+  std::map<std::string, std::unique_ptr<Entry<Counter>>> counters_;
+  std::map<std::string, std::unique_ptr<Entry<Gauge>>> gauges_;
+  std::map<std::string, std::unique_ptr<Entry<Histogram>>> histograms_;
+};
+
+}  // namespace lotusx::metrics
+
+#endif  // LOTUSX_COMMON_METRICS_H_

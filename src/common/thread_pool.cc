@@ -10,6 +10,11 @@ ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
     : queue_capacity_(queue_capacity) {
   CHECK_GT(num_threads, 0u);
   CHECK_GT(queue_capacity, 0u);
+  metrics::Registry& registry = metrics::Registry::Default();
+  queue_depth_gauge_ = registry.GetGauge("lotusx_threadpool_queue_depth");
+  tasks_total_ = registry.GetCounter("lotusx_threadpool_tasks_total");
+  task_wait_usec_ = registry.GetHistogram("lotusx_threadpool_task_wait_usec");
+  task_run_usec_ = registry.GetHistogram("lotusx_threadpool_task_run_usec");
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -18,6 +23,11 @@ ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
+void ThreadPool::Enqueued() {
+  tasks_total_->Increment();
+  queue_depth_gauge_->Add(1);
+}
+
 bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -25,7 +35,8 @@ bool ThreadPool::Submit(std::function<void()> task) {
       return shutdown_ || queue_.size() < queue_capacity_;
     });
     if (shutdown_) return false;
-    queue_.push_back(std::move(task));
+    queue_.push_back(PendingTask{std::move(task), Timer()});
+    Enqueued();
   }
   not_empty_.notify_one();
   return true;
@@ -35,7 +46,8 @@ bool ThreadPool::TrySubmit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_ || queue_.size() >= queue_capacity_) return false;
-    queue_.push_back(std::move(task));
+    queue_.push_back(PendingTask{std::move(task), Timer()});
+    Enqueued();
   }
   not_empty_.notify_one();
   return true;
@@ -57,18 +69,31 @@ void ThreadPool::Shutdown() {
   }
 }
 
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    PendingTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       not_empty_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_gauge_->Add(-1);
     }
     not_full_.notify_one();
-    task();
+    if (metrics::Enabled()) {
+      task_wait_usec_->Observe(task.queued.ElapsedMicros());
+      Timer run_timer;
+      task.fn();
+      task_run_usec_->Observe(run_timer.ElapsedMicros());
+    } else {
+      task.fn();
+    }
   }
 }
 

@@ -9,6 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/timer.h"
+
 namespace lotusx {
 
 /// Fixed-size worker pool over a bounded MPMC task queue.
@@ -49,22 +52,40 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
   size_t queue_capacity() const { return queue_capacity_; }
 
+  /// Tasks currently waiting in the queue (not yet picked up by a
+  /// worker). Mirrors the lotusx_threadpool_queue_depth gauge.
+  size_t queue_depth() const;
+
   /// std::thread::hardware_concurrency() with a floor of 1.
   static size_t DefaultThreadCount();
 
   static constexpr size_t kDefaultQueueCapacity = 1024;
 
  private:
+  /// A queued task plus its enqueue time, so the worker can record how
+  /// long it waited (lotusx_threadpool_task_wait_usec).
+  struct PendingTask {
+    std::function<void()> fn;
+    Timer queued;
+  };
+
   void WorkerLoop();
+  void Enqueued();
 
   const size_t queue_capacity_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::mutex join_mu_;  // serializes the join phase of Shutdown()
   std::condition_variable not_empty_;  // signaled on push and shutdown
   std::condition_variable not_full_;   // signaled on pop and shutdown
-  std::deque<std::function<void()>> queue_;
+  std::deque<PendingTask> queue_;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
+  // Process-wide metrics shared by every pool (registered once in the
+  // constructor): queue depth gauge, task counter, wait/run histograms.
+  metrics::Gauge* queue_depth_gauge_ = nullptr;
+  metrics::Counter* tasks_total_ = nullptr;
+  metrics::Histogram* task_wait_usec_ = nullptr;
+  metrics::Histogram* task_run_usec_ = nullptr;
 };
 
 }  // namespace lotusx

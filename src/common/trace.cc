@@ -1,0 +1,140 @@
+#include "common/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace lotusx::trace {
+
+namespace {
+
+thread_local QueryTrace* g_current_trace = nullptr;
+
+/// Threshold in microseconds; negative disables the slow-query log.
+std::atomic<int64_t> g_slow_query_usec = [] {
+  if (const char* env = std::getenv("LOTUSX_SLOW_QUERY_MS")) {
+    char* end = nullptr;
+    const double ms = std::strtod(env, &end);
+    if (end != env && *end == '\0') return static_cast<int64_t>(ms * 1000.0);
+  }
+  return static_cast<int64_t>(250 * 1000);  // 250 ms default
+}();
+
+metrics::Histogram* StageHistogram(Stage stage) {
+  static metrics::Histogram* histograms[kNumStages] = {};
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (int i = 0; i < kNumStages; ++i) {
+      histograms[i] = metrics::Registry::Default().GetHistogram(
+          "lotusx_stage_latency_usec",
+          {{"stage", std::string(StageName(static_cast<Stage>(i)))}});
+    }
+  });
+  return histograms[static_cast<int>(stage)];
+}
+
+std::string FormatMillis(double ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", ms);
+  return buffer;
+}
+
+}  // namespace
+
+std::string_view StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kParse:
+      return "parse";
+    case Stage::kPlan:
+      return "plan";
+    case Stage::kExecute:
+      return "execute";
+    case Stage::kRank:
+      return "rank";
+    case Stage::kRewrite:
+      return "rewrite";
+    case Stage::kSerialize:
+      return "serialize";
+  }
+  return "?";
+}
+
+double SetSlowQueryThresholdMillis(double ms) {
+  const int64_t usec = ms < 0 ? -1 : static_cast<int64_t>(ms * 1000.0);
+  return static_cast<double>(g_slow_query_usec.exchange(
+             usec, std::memory_order_relaxed)) /
+         1000.0;
+}
+
+double SlowQueryThresholdMillis() {
+  const int64_t usec = g_slow_query_usec.load(std::memory_order_relaxed);
+  return usec < 0 ? -1 : static_cast<double>(usec) / 1000.0;
+}
+
+QueryTrace::QueryTrace(std::string_view component)
+    : component_(component), previous_(g_current_trace) {
+  g_current_trace = this;
+}
+
+QueryTrace::~QueryTrace() {
+  g_current_trace = previous_;
+  if (!metrics::Enabled()) return;
+  const double total_ms = timer_.ElapsedMillis();
+  static metrics::Registry& registry = metrics::Registry::Default();
+  registry
+      .GetHistogram("lotusx_search_latency_usec", {{"source", component_}})
+      ->Observe(total_ms * 1000.0);
+  const double threshold_ms = SlowQueryThresholdMillis();
+  const bool slow = threshold_ms >= 0 && total_ms >= threshold_ms;
+  if (!slow && MinLogSeverity() > LogSeverity::kInfo) return;
+  if (slow) {
+    static metrics::Counter* slow_queries =
+        registry.GetCounter("lotusx_slow_queries_total");
+    slow_queries->Increment();
+  }
+  // One structured line: key=value pairs, stages only when they ran.
+  // Stage times overlap (rewrite re-enters plan/execute), so they need
+  // not sum to total_ms. Fast queries get the same line at Info, so
+  // verbose mode traces every query.
+  std::string line = std::string(slow ? "slow-query" : "query") +
+                     " source=" + component_ +
+                     " total_ms=" + FormatMillis(total_ms);
+  if (!detail_.empty()) line += " algorithm=" + detail_;
+  line += " query=\"" + query_ + "\" stages=";
+  bool first = true;
+  for (int i = 0; i < kNumStages; ++i) {
+    if (stage_ms_[i] <= 0) continue;
+    if (!first) line += ',';
+    first = false;
+    line += StageName(static_cast<Stage>(i));
+    line += ':';
+    line += FormatMillis(stage_ms_[i]);
+  }
+  if (first) line += "(none)";
+  if (slow) {
+    LOTUSX_LOG(Warning) << line;
+  } else {
+    LOTUSX_LOG(Info) << line;
+  }
+}
+
+void QueryTrace::AddStageMillis(Stage stage, double ms) {
+  stage_ms_[static_cast<int>(stage)] += ms;
+}
+
+QueryTrace* QueryTrace::Current() { return g_current_trace; }
+
+StageSpan::~StageSpan() {
+  if (!metrics::Enabled()) return;
+  const double us = timer_.ElapsedMicros();
+  StageHistogram(stage_)->Observe(us);
+  if (QueryTrace* trace = QueryTrace::Current()) {
+    trace->AddStageMillis(stage_, us / 1000.0);
+  }
+}
+
+}  // namespace lotusx::trace

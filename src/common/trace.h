@@ -1,0 +1,100 @@
+#ifndef LOTUSX_COMMON_TRACE_H_
+#define LOTUSX_COMMON_TRACE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/timer.h"
+
+namespace lotusx::trace {
+
+/// Pipeline tracing: RAII spans that record per-stage wall time into the
+/// metrics registry (`lotusx_stage_latency_usec{stage="..."}`) and, when
+/// a QueryTrace is active on the current thread, accumulate a per-query
+/// stage breakdown for the slow-query log.
+///
+/// Usage in the pipeline:
+///   trace::QueryTrace query_trace("engine");      // one per query
+///   { trace::StageSpan span(trace::Stage::kParse); ... }
+///   { trace::StageSpan span(trace::Stage::kRank); ... }
+///   // ~QueryTrace records lotusx_search_latency_usec{source="engine"}
+///   // and emits one structured slow-query log line above the threshold.
+///
+/// StageSpan finds the active QueryTrace through a thread-local, so
+/// deeply nested layers (the planner and executor inside Evaluate) feed
+/// the breakdown of whichever query is running on their thread without
+/// plumbing a context parameter through every signature. A StageSpan
+/// with no active QueryTrace still feeds the stage histogram.
+
+/// The pipeline stages, in pipeline order.
+enum class Stage { kParse, kPlan, kExecute, kRank, kRewrite, kSerialize };
+inline constexpr int kNumStages = 6;
+
+std::string_view StageName(Stage stage);
+
+/// Queries slower than this emit one structured warning log line
+/// ("slow-query ...", see docs/DEVELOPMENT.md). Negative disables the
+/// log; 0 logs every traced query. Initialized from the
+/// LOTUSX_SLOW_QUERY_MS environment variable when set, else 250 ms.
+/// Returns the previous threshold.
+double SetSlowQueryThresholdMillis(double ms);
+double SlowQueryThresholdMillis();
+
+/// Wall-time trace of one query through the pipeline. Construction
+/// installs it as the current trace of this thread (saving any previous
+/// one, so nesting is safe — the outermost trace owns the query);
+/// destruction records the total latency into
+/// `lotusx_search_latency_usec{source="<component>"}` and emits the
+/// slow-query log line when the threshold is exceeded.
+class QueryTrace {
+ public:
+  /// `component` labels the latency series ("engine", "session", ...).
+  explicit QueryTrace(std::string_view component);
+  ~QueryTrace();
+
+  QueryTrace(const QueryTrace&) = delete;
+  QueryTrace& operator=(const QueryTrace&) = delete;
+
+  /// The query text for the slow-query log (set it lazily — it is only
+  /// read when the query turns out slow, but must be set before the
+  /// trace is destroyed).
+  void set_query(std::string query) { query_ = std::move(query); }
+  /// Chosen algorithm / plan reason / "cache-hit" for the log line.
+  void set_detail(std::string detail) { detail_ = std::move(detail); }
+
+  void AddStageMillis(Stage stage, double ms);
+  double stage_millis(Stage stage) const {
+    return stage_ms_[static_cast<int>(stage)];
+  }
+
+  /// The innermost live QueryTrace of the calling thread, or nullptr.
+  static QueryTrace* Current();
+
+ private:
+  std::string component_;
+  std::string query_;
+  std::string detail_;
+  double stage_ms_[kNumStages] = {};
+  Timer timer_;
+  QueryTrace* previous_ = nullptr;
+};
+
+/// RAII stage timer: on destruction records the elapsed time into the
+/// per-stage histogram and into the current thread's QueryTrace (if
+/// any). Effectively free when metrics are disabled.
+class StageSpan {
+ public:
+  explicit StageSpan(Stage stage) : stage_(stage) {}
+  ~StageSpan();
+
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+ private:
+  Stage stage_;
+  Timer timer_;
+};
+
+}  // namespace lotusx::trace
+
+#endif  // LOTUSX_COMMON_TRACE_H_

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <bit>
 #include <latch>
+#include <optional>
 #include <utility>
 
 #include "common/timer.h"
+#include "common/trace.h"
 #include "twig/plan/physical_plan.h"
 #include "twig/query_parser.h"
 #include "xml/dom_builder.h"
@@ -42,17 +44,55 @@ Status Engine::SaveIndex(const std::string& path) const {
   return indexed_->SaveTo(path);
 }
 
+namespace {
+
+/// Process-wide serving counters bumped by every Search, regardless of
+/// which Engine instance served it.
+struct SearchCounters {
+  metrics::Counter* searches;
+  metrics::Counter* errors;
+  metrics::Counter* results;
+  metrics::Counter* rewrites;
+};
+
+const SearchCounters& GetSearchCounters() {
+  static const SearchCounters counters = [] {
+    metrics::Registry& registry = metrics::Registry::Default();
+    return SearchCounters{
+        registry.GetCounter("lotusx_search_total"),
+        registry.GetCounter("lotusx_search_errors_total"),
+        registry.GetCounter("lotusx_search_results_total"),
+        registry.GetCounter("lotusx_search_rewrites_total")};
+  }();
+  return counters;
+}
+
+}  // namespace
+
 StatusOr<SearchResult> Engine::Search(std::string_view query_text,
                                       const SearchOptions& options) const {
-  LOTUSX_ASSIGN_OR_RETURN(twig::TwigQuery query,
-                          twig::ParseQuery(query_text));
-  return Search(query, options);
+  // Own the trace here so the parse stage lands in the same per-query
+  // breakdown as the evaluation stages recorded by the overload below.
+  trace::QueryTrace query_trace("engine");
+  if (metrics::Enabled()) query_trace.set_query(std::string(query_text));
+  StatusOr<twig::TwigQuery> query = [&] {
+    trace::StageSpan span(trace::Stage::kParse);
+    return twig::ParseQuery(query_text);
+  }();
+  if (!query.ok()) {
+    GetSearchCounters().searches->Increment();
+    GetSearchCounters().errors->Increment();
+    return query.status();
+  }
+  return Search(*query, options);
 }
 
 void Engine::EnableResultCache(size_t capacity) {
   cache_ = capacity == 0
                ? nullptr
-               : std::make_unique<ShardedLruCache<SearchResult>>(capacity);
+               : std::make_unique<ShardedLruCache<SearchResult>>(
+                     capacity, ShardedLruCache<SearchResult>::kDefaultShards,
+                     &metrics::Registry::Default(), "lotusx_cache");
 }
 
 namespace {
@@ -116,18 +156,39 @@ std::string SearchCacheKey(const twig::TwigQuery& query,
 
 StatusOr<SearchResult> Engine::Search(const twig::TwigQuery& query,
                                       const SearchOptions& options) const {
+  // Reuse the trace the text overload (or an embedder) already opened on
+  // this thread; open our own otherwise.
+  std::optional<trace::QueryTrace> owned_trace;
+  if (trace::QueryTrace::Current() == nullptr) owned_trace.emplace("engine");
+  trace::QueryTrace* query_trace = trace::QueryTrace::Current();
+  const bool instrument = metrics::Enabled();
+  if (instrument && owned_trace.has_value()) {
+    query_trace->set_query(query.ToString());
+  }
+  GetSearchCounters().searches->Increment();
+
   std::string cache_key;
   if (cache_ != nullptr) {
     cache_key = SearchCacheKey(query, options);
     if (std::optional<SearchResult> cached = cache_->Lookup(cache_key)) {
+      if (instrument) {
+        query_trace->set_detail("cache-hit");
+        GetSearchCounters().results->Increment(cached->results.size());
+      }
       return *std::move(cached);
     }
   }
-  LOTUSX_ASSIGN_OR_RETURN(twig::QueryResult result,
-                          twig::Evaluate(*indexed_, query, options.eval));
+  StatusOr<twig::QueryResult> evaluated =
+      twig::Evaluate(*indexed_, query, options.eval);
+  if (!evaluated.ok()) {
+    GetSearchCounters().errors->Increment();
+    return evaluated.status();
+  }
+  twig::QueryResult result = *std::move(evaluated);
   SearchResult search;
   search.executed_query = query;
   if (result.matches.empty() && options.rewrite_on_empty) {
+    trace::StageSpan span(trace::Stage::kRewrite);
     StatusOr<rewrite::RewriteOutcome> rewritten =
         rewriter_->Rewrite(query, options.rewrite);
     if (rewritten.ok()) {
@@ -135,11 +196,19 @@ StatusOr<SearchResult> Engine::Search(const twig::TwigQuery& query,
       search.rewrites_applied = rewritten->applied;
       search.rewrite_penalty = rewritten->penalty;
       result = std::move(rewritten->result);
+      GetSearchCounters().rewrites->Increment();
     }
   }
   search.stats = result.stats;
-  search.results =
-      ranker_->Rank(search.executed_query, result.matches, options.ranking);
+  {
+    trace::StageSpan span(trace::Stage::kRank);
+    search.results =
+        ranker_->Rank(search.executed_query, result.matches, options.ranking);
+  }
+  if (instrument) {
+    query_trace->set_detail(search.stats.algorithm);
+    GetSearchCounters().results->Increment(search.results.size());
+  }
   if (cache_ != nullptr) cache_->Insert(cache_key, search);
   return search;
 }
@@ -198,6 +267,11 @@ std::vector<StatusOr<SearchResult>> Engine::SearchBatch(
   std::vector<StatusOr<SearchResult>> results(queries.size());
   const size_t num_chunks =
       pool == nullptr ? 1 : std::min(pool->num_threads(), queries.size());
+  if (metrics::Enabled()) {
+    static metrics::Counter* chunks = metrics::Registry::Default().GetCounter(
+        "lotusx_batch_chunks_total", {{"kind", "search"}});
+    chunks->Increment(std::max<size_t>(num_chunks, 1));
+  }
   std::vector<twig::EvalStats> chunk_stats(std::max<size_t>(num_chunks, 1));
   RunChunks(pool, num_chunks, [&](size_t chunk) {
     const auto [begin, end] = ChunkRange(queries.size(), num_chunks, chunk);
@@ -226,6 +300,11 @@ Engine::CompleteTagBatch(const std::vector<TagBatchRequest>& requests,
       requests.size());
   const size_t num_chunks =
       pool == nullptr ? 1 : std::min(pool->num_threads(), requests.size());
+  if (metrics::Enabled()) {
+    static metrics::Counter* chunks = metrics::Registry::Default().GetCounter(
+        "lotusx_batch_chunks_total", {{"kind", "complete_tag"}});
+    chunks->Increment(std::max<size_t>(num_chunks, 1));
+  }
   RunChunks(pool, num_chunks, [&](size_t chunk) {
     const auto [begin, end] = ChunkRange(requests.size(), num_chunks, chunk);
     for (size_t i = begin; i < end; ++i) {
@@ -237,6 +316,7 @@ Engine::CompleteTagBatch(const std::vector<TagBatchRequest>& requests,
 
 std::string Engine::MaterializeResults(const SearchResult& result,
                                         size_t max_results) const {
+  trace::StageSpan span(trace::Stage::kSerialize);
   const xml::Document& document = indexed_->document();
   std::string out = "<results query=\"" +
                     xml::EscapeAttribute(result.executed_query.ToString()) +

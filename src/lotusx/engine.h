@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "autocomplete/completion.h"
+#include "common/metrics.h"
 #include "common/status_or.h"
 #include "common/thread_pool.h"
 #include "index/indexed_document.h"
@@ -157,12 +158,24 @@ class Engine {
 
   /// Enables a sharded LRU cache of Search results with the given total
   /// capacity (entries never go stale: the index is immutable). Pass 0 to
-  /// disable. Setup call: not synchronized against concurrent Search —
-  /// call it before sharing the engine across threads.
+  /// disable. The cache's per-shard hit/miss/eviction counters are wired
+  /// into the process-wide metrics registry
+  /// (lotusx_cache_*_total{shard="i"}). Setup call: not synchronized
+  /// against concurrent Search — call it before sharing the engine
+  /// across threads.
   void EnableResultCache(size_t capacity);
   /// Cache statistics; zeros when disabled.
   uint64_t cache_hits() const { return cache_ ? cache_->hits() : 0; }
   uint64_t cache_misses() const { return cache_ ? cache_->misses() : 0; }
+
+  /// Point-in-time copy of the process-wide metrics registry — search
+  /// QPS/latency, per-stage timings, cache and thread-pool counters,
+  /// per-operator execution totals. This is what the STATS protocol verb
+  /// renders; embedders can export it to their own monitoring. Safe to
+  /// call concurrently with serving traffic.
+  metrics::MetricsSnapshot MetricsSnapshot() const {
+    return metrics::Registry::Default().Snapshot();
+  }
 
   /// A fresh interactive canvas session over this engine's document.
   session::Session NewSession(session::SessionOptions options = {}) const {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace lotusx {
 
@@ -56,6 +57,7 @@ class LruCache {
     if (entries_.size() > capacity_) {
       map_.erase(entries_.back().first);
       entries_.pop_back();
+      ++evictions_;
     }
   }
 
@@ -68,6 +70,7 @@ class LruCache {
   size_t capacity() const { return capacity_; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
 
  private:
   size_t capacity_;
@@ -77,6 +80,7 @@ class LruCache {
       map_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 /// Thread-safe bounded LRU cache: keys hash to one of `num_shards`
@@ -84,8 +88,16 @@ class LruCache {
 /// different shards never contend. Lookup returns the value *by copy* —
 /// no pointer into a shard ever escapes its lock, so entries may be
 /// evicted or refreshed by other threads at any time without
-/// invalidating a caller's result. Hit/miss counters are atomics
-/// aggregated across shards.
+/// invalidating a caller's result. hits()/misses()/evictions() aggregate
+/// the per-shard counts (maintained under each shard's lock).
+///
+/// When a metrics registry is attached, every shard additionally bumps
+/// process-wide per-shard counters —
+/// `<prefix>_{hits,misses,evictions}_total{shard="i"}` — which is how
+/// Engine's result cache shows up in the STATS exposition. Registry
+/// counters outlive (and are shared by) every cache instance using the
+/// same prefix: they are cumulative serving-process totals, unlike the
+/// per-instance accessors.
 ///
 /// The requested capacity is split evenly across shards (rounded up to
 /// at least one entry per shard), so the effective bound is
@@ -96,7 +108,9 @@ class ShardedLruCache {
  public:
   static constexpr size_t kDefaultShards = 8;
 
-  explicit ShardedLruCache(size_t capacity, size_t num_shards = kDefaultShards) {
+  explicit ShardedLruCache(size_t capacity, size_t num_shards = kDefaultShards,
+                           metrics::Registry* registry = nullptr,
+                           std::string_view metric_prefix = "lotusx_cache") {
     CHECK_GT(capacity, 0u);
     CHECK_GT(num_shards, 0u);
     // More shards than entries would inflate the effective capacity to
@@ -104,8 +118,19 @@ class ShardedLruCache {
     num_shards = std::min(num_shards, capacity);
     const size_t per_shard = (capacity + num_shards - 1) / num_shards;
     shards_.reserve(num_shards);
+    const std::string prefix(metric_prefix);
     for (size_t i = 0; i < num_shards; ++i) {
-      shards_.push_back(std::make_unique<Shard>(per_shard));
+      auto shard = std::make_unique<Shard>(per_shard);
+      if (registry != nullptr) {
+        const metrics::Labels labels = {{"shard", std::to_string(i)}};
+        shard->registry_hits =
+            registry->GetCounter(prefix + "_hits_total", labels);
+        shard->registry_misses =
+            registry->GetCounter(prefix + "_misses_total", labels);
+        shard->registry_evictions =
+            registry->GetCounter(prefix + "_evictions_total", labels);
+      }
+      shards_.push_back(std::move(shard));
     }
   }
 
@@ -119,9 +144,11 @@ class ShardedLruCache {
       if (const Value* value = shard.cache.Lookup(key)) found = *value;
     }
     if (found.has_value()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      if (shard.registry_hits != nullptr) shard.registry_hits->Increment();
     } else {
-      misses_.fetch_add(1, std::memory_order_relaxed);
+      shard.misses.fetch_add(1, std::memory_order_relaxed);
+      if (shard.registry_misses != nullptr) shard.registry_misses->Increment();
     }
     return found;
   }
@@ -129,8 +156,16 @@ class ShardedLruCache {
   /// Inserts (or refreshes) `key`, evicting within the key's shard.
   void Insert(const std::string& key, Value value) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard.cache.Insert(key, std::move(value));
+    uint64_t evicted = 0;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const uint64_t before = shard.cache.evictions();
+      shard.cache.Insert(key, std::move(value));
+      evicted = shard.cache.evictions() - before;
+    }
+    if (evicted > 0 && shard.registry_evictions != nullptr) {
+      shard.registry_evictions->Increment(evicted);
+    }
   }
 
   /// Empties every shard. Counters are not reset.
@@ -158,14 +193,42 @@ class ShardedLruCache {
   }
 
   size_t num_shards() const { return shards_.size(); }
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t hits() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->hits.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  uint64_t misses() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->misses.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  uint64_t evictions() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += shard->cache.evictions();
+    }
+    return total;
+  }
 
  private:
   struct Shard {
     explicit Shard(size_t capacity) : cache(capacity) {}
     mutable std::mutex mu;
     LruCache<Value> cache;
+    // Per-shard tallies for the instance accessors; atomics because they
+    // are bumped outside the shard lock.
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    // Optional process-wide registry counters (see class comment).
+    metrics::Counter* registry_hits = nullptr;
+    metrics::Counter* registry_misses = nullptr;
+    metrics::Counter* registry_evictions = nullptr;
   };
 
   Shard& ShardFor(const std::string& key) {
@@ -175,8 +238,6 @@ class ShardedLruCache {
   // unique_ptr: Shard holds a mutex and must not move when the vector
   // relocates (it never does after construction, but keep it immovable).
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace lotusx

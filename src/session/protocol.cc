@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/coding.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "index/document_stats.h"
 #include "session/canvas_io.h"
@@ -22,7 +23,7 @@ constexpr std::string_view kHelp =
     "TYPE <anchor> </|//> [prefix] | ACCEPT <n> [x y] | TYPEVAL <id> [prefix] |\n"
     "VALUE <id> =|~ <text> | VALUE <id> NONE | ORDERED <id> ON|OFF |\n"
     "OUTPUT <id> | MOVE <id> <x> <y> | REMOVE <id> | QUERY | RUN |\n"
-    "FIND <keywords> | STATS | EXPLAIN | XPATH | XQUERY | SVG [file] |\n"
+    "FIND <keywords> | STATS [DOC] | EXPLAIN | XPATH | XQUERY | SVG [file] |\n"
     "SAVECANVAS <file> | LOADCANVAS <file> | HISTORY [prefix] |\n"
     "EXAMPLE <node#> | PARSE <query> |\n"
     "CHECKPOINT | UNDO | SHOW | RESET | HELP";
@@ -307,8 +308,16 @@ StatusOr<std::string> ProtocolInterpreter::Execute(std::string_view line) {
   }
 
   if (verb == "stats") {
-    return index::RenderDocumentStats(
-        index::ComputeDocumentStats(session_->indexed()));
+    // STATS DOC renders document statistics; bare STATS dumps the
+    // process-wide metrics registry (Prometheus text exposition).
+    if (tokens.size() >= 2 && ToLowerAscii(tokens[1]) == "doc") {
+      return index::RenderDocumentStats(
+          index::ComputeDocumentStats(session_->indexed()));
+    }
+    if (tokens.size() >= 2) {
+      return Status::InvalidArgument("usage: STATS [DOC]");
+    }
+    return metrics::Registry::Default().RenderText();
   }
 
   if (verb == "find") {

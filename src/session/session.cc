@@ -1,5 +1,6 @@
 #include "session/session.h"
 
+#include "common/trace.h"
 #include "twig/evaluator.h"
 #include "twig/plan/physical_plan.h"
 #include "twig/query_export.h"
@@ -61,12 +62,21 @@ StatusOr<std::vector<autocomplete::Candidate>> Session::SuggestValues(
 }
 
 StatusOr<SearchResponse> Session::Run() const {
-  LOTUSX_ASSIGN_OR_RETURN(twig::TwigQuery query, canvas_.Compile());
+  // One trace per canvas run: planner/executor stage spans inside
+  // Evaluate attach to it automatically (see common/trace.h).
+  trace::QueryTrace query_trace("session");
+  StatusOr<twig::TwigQuery> compiled = [&] {
+    trace::StageSpan span(trace::Stage::kParse);
+    return canvas_.Compile();
+  }();
+  LOTUSX_ASSIGN_OR_RETURN(twig::TwigQuery query, std::move(compiled));
+  query_trace.set_query(query.ToString());
   SearchResponse response;
   LOTUSX_ASSIGN_OR_RETURN(twig::QueryResult result,
                           twig::Evaluate(indexed_, query));
   response.executed_query = query;
   if (result.matches.empty() && options_.rewrite_on_empty) {
+    trace::StageSpan span(trace::Stage::kRewrite);
     StatusOr<rewrite::RewriteOutcome> rewritten =
         rewriter_.Rewrite(query, options_.rewrite);
     if (rewritten.ok()) {
@@ -79,10 +89,14 @@ StatusOr<SearchResponse> Session::Run() const {
   }
   executed_queries_.Insert(response.executed_query.ToString());
   response.stats = result.stats;
+  query_trace.set_detail(std::string(result.stats.algorithm));
   ranking::RankingOptions ranking_options = options_.ranking;
   if (ranking_options.top_k == 0) ranking_options.top_k = options_.top_k;
-  response.results =
-      ranker_.Rank(response.executed_query, result.matches, ranking_options);
+  {
+    trace::StageSpan span(trace::Stage::kRank);
+    response.results = ranker_.Rank(response.executed_query, result.matches,
+                                    ranking_options);
+  }
   return response;
 }
 

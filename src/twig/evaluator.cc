@@ -1,6 +1,9 @@
 #include "twig/evaluator.h"
 
+#include <utility>
+
 #include "common/timer.h"
+#include "common/trace.h"
 #include "twig/plan/physical_plan.h"
 
 namespace lotusx::twig {
@@ -27,10 +30,16 @@ StatusOr<QueryResult> Evaluate(const index::IndexedDocument& indexed,
   LOTUSX_RETURN_IF_ERROR(query.Validate());
   Timer timer;
   plan::Planner planner(indexed);
-  LOTUSX_ASSIGN_OR_RETURN(plan::PhysicalPlan physical,
-                          planner.Plan(query, plan::HintsFrom(options)));
-  LOTUSX_ASSIGN_OR_RETURN(QueryResult result,
-                          plan::ExecutePlan(indexed, &physical));
+  StatusOr<plan::PhysicalPlan> physical = [&] {
+    trace::StageSpan span(trace::Stage::kPlan);
+    return planner.Plan(query, plan::HintsFrom(options));
+  }();
+  LOTUSX_RETURN_IF_ERROR(physical.status());
+  StatusOr<QueryResult> executed = [&] {
+    trace::StageSpan span(trace::Stage::kExecute);
+    return plan::ExecutePlan(indexed, &*physical);
+  }();
+  LOTUSX_ASSIGN_OR_RETURN(QueryResult result, std::move(executed));
   // Wall time includes planning, matching the historical contract.
   result.stats.elapsed_ms = timer.ElapsedMillis();
   return result;

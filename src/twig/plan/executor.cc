@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/timer.h"
 #include "twig/candidates.h"
 #include "twig/order_filter.h"
@@ -11,6 +12,39 @@
 #include "twig/twig_stack.h"
 
 namespace lotusx::twig::plan {
+
+namespace {
+
+/// Process-wide per-operator-kind counters
+/// (lotusx_plan_operator_{execs,rows,usec}_total{op="..."}): the
+/// cumulative view of where plan execution work goes, fed from the same
+/// actuals EXPLAIN analyze renders. Registered once; indexed by
+/// OperatorKind.
+struct OperatorMetrics {
+  metrics::Counter* execs = nullptr;
+  metrics::Counter* rows = nullptr;
+  metrics::Counter* usec = nullptr;
+};
+
+const OperatorMetrics& MetricsFor(OperatorKind kind) {
+  static const std::vector<OperatorMetrics> table = [] {
+    constexpr int kNumKinds = static_cast<int>(OperatorKind::kOutputSort) + 1;
+    std::vector<OperatorMetrics> metrics_table(kNumKinds);
+    metrics::Registry& registry = metrics::Registry::Default();
+    for (int i = 0; i < kNumKinds; ++i) {
+      const metrics::Labels labels = {
+          {"op", std::string(OperatorName(static_cast<OperatorKind>(i)))}};
+      metrics_table[static_cast<size_t>(i)] = {
+          registry.GetCounter("lotusx_plan_operator_execs_total", labels),
+          registry.GetCounter("lotusx_plan_operator_rows_total", labels),
+          registry.GetCounter("lotusx_plan_operator_usec_total", labels)};
+    }
+    return metrics_table;
+  }();
+  return table[static_cast<size_t>(kind)];
+}
+
+}  // namespace
 
 StatusOr<QueryResult> ExecutePlan(const index::IndexedDocument& indexed,
                                   PhysicalPlan* plan,
@@ -136,6 +170,15 @@ StatusOr<QueryResult> ExecutePlan(const index::IndexedDocument& indexed,
         op.actual_ms = sort_ms;
         op.has_actuals = true;
         break;
+    }
+  }
+
+  if (metrics::Enabled()) {
+    for (const OperatorNode& op : plan->ops) {
+      const OperatorMetrics& op_metrics = MetricsFor(op.kind);
+      op_metrics.execs->Increment();
+      op_metrics.rows->Increment(op.actual_rows_out);
+      op_metrics.usec->Increment(static_cast<uint64_t>(op.actual_ms * 1e3));
     }
   }
 

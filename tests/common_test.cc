@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <map>
+#include <thread>
+#include <vector>
 
 #include "common/coding.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/status_or.h"
@@ -158,6 +163,96 @@ TEST(StringUtilTest, EditDistance) {
   EXPECT_EQ(EditDistance("kitten", "sitting"), 3);
   EXPECT_EQ(EditDistance("", "abc"), 3);
   EXPECT_EQ(EditDistance("author", "auhtor"), 2);  // transposition = 2 ops
+}
+
+// --------------------------------------------------------------- Logging
+
+TEST(LoggingTest, ParseLogSeverityAcceptsNamesAndNumbers) {
+  EXPECT_EQ(ParseLogSeverity("info"), LogSeverity::kInfo);
+  EXPECT_EQ(ParseLogSeverity("0"), LogSeverity::kInfo);
+  EXPECT_EQ(ParseLogSeverity("WARNING"), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("warn"), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("1"), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity(" Error "), LogSeverity::kError);
+  EXPECT_EQ(ParseLogSeverity("2"), LogSeverity::kError);
+  EXPECT_EQ(ParseLogSeverity("fatal"), LogSeverity::kFatal);
+  EXPECT_EQ(ParseLogSeverity("3"), LogSeverity::kFatal);
+  EXPECT_EQ(ParseLogSeverity(""), std::nullopt);
+  EXPECT_EQ(ParseLogSeverity("debug"), std::nullopt);
+  EXPECT_EQ(ParseLogSeverity("4"), std::nullopt);
+}
+
+TEST(LoggingTest, LinePrefixHasSeverityTimestampThreadIdAndLocation) {
+  std::string captured;
+  LogSink previous =
+      SetLogSinkForTest([&](std::string_view line) { captured += line; });
+  LOTUSX_LOG(Warning) << "hello " << 42;
+  SetLogSinkForTest(std::move(previous));
+  ASSERT_FALSE(captured.empty());
+  EXPECT_EQ(captured.front(), '[');
+  EXPECT_EQ(captured.back(), '\n');
+  // Exactly one line per message.
+  EXPECT_EQ(std::count(captured.begin(), captured.end(), '\n'), 1);
+  EXPECT_NE(captured.find("[WARN "), std::string::npos) << captured;
+  EXPECT_NE(captured.find(" t"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("common_test.cc:"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("] hello 42\n"), std::string::npos) << captured;
+}
+
+TEST(LoggingTest, BelowThresholdMessagesAreSuppressed) {
+  LogSeverity previous_severity = SetMinLogSeverity(LogSeverity::kError);
+  std::string captured;
+  LogSink previous_sink =
+      SetLogSinkForTest([&](std::string_view line) { captured += line; });
+  LOTUSX_LOG(Info) << "quiet";
+  LOTUSX_LOG(Warning) << "also quiet";
+  LOTUSX_LOG(Error) << "loud";
+  SetLogSinkForTest(std::move(previous_sink));
+  SetMinLogSeverity(previous_severity);
+  EXPECT_EQ(captured.find("quiet"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("loud"), std::string::npos) << captured;
+}
+
+TEST(LoggingTest, ConcurrentMessagesNeverInterleave) {
+  LogSeverity previous_severity = SetMinLogSeverity(LogSeverity::kInfo);
+  // The sink runs under the global logging mutex, so no extra locking.
+  std::vector<std::string> lines;
+  LogSink previous_sink = SetLogSinkForTest(
+      [&](std::string_view line) { lines.emplace_back(line); });
+  constexpr int kThreads = 8;
+  constexpr int kMessages = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kMessages; ++i) {
+        LOTUSX_LOG(Info) << "thread=" << t << " message=" << i << " end";
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  SetLogSinkForTest(std::move(previous_sink));
+  SetMinLogSeverity(previous_severity);
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kThreads) * kMessages);
+  for (const std::string& line : lines) {
+    // Every captured line is exactly one well-formed message.
+    EXPECT_EQ(line.front(), '[');
+    EXPECT_EQ(line.back(), '\n');
+    EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1) << line;
+    EXPECT_NE(line.find(" end\n"), std::string::npos) << line;
+  }
+}
+
+TEST(LoggingTest, InitLogSeverityFromEnvAppliesVariable) {
+  LogSeverity previous = MinLogSeverity();
+  ASSERT_EQ(setenv("LOTUSX_MIN_LOG_SEVERITY", "error", /*overwrite=*/1), 0);
+  InitLogSeverityFromEnv();
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  // Unparsable values leave the threshold alone.
+  ASSERT_EQ(setenv("LOTUSX_MIN_LOG_SEVERITY", "bogus", /*overwrite=*/1), 0);
+  InitLogSeverityFromEnv();
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  unsetenv("LOTUSX_MIN_LOG_SEVERITY");
+  SetMinLogSeverity(previous);
 }
 
 // ---------------------------------------------------------------- Random

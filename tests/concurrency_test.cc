@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "lotusx/engine.h"
 #include "lotusx/query_cache.h"
@@ -108,6 +109,47 @@ TEST(ThreadPoolTest, ConcurrentProducers) {
 
 TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
   EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+TEST(ThreadPoolTest, MetricsTrackQueueDepthAndTaskCounts) {
+  metrics::MetricsSnapshot before = metrics::Registry::Default().Snapshot();
+  {
+    ThreadPool pool(1);
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+    std::atomic<bool> started{false};
+    // Park the single worker so submitted tasks pile up in the queue.
+    ASSERT_TRUE(pool.Submit([&] {
+      started = true;
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    }));
+    while (!started) std::this_thread::yield();
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(pool.Submit([] {}));
+    }
+    EXPECT_EQ(pool.queue_depth(), 3u);
+    metrics::MetricsSnapshot queued = metrics::Registry::Default().Snapshot();
+    EXPECT_EQ(queued.GaugeValueOr("lotusx_threadpool_queue_depth", -1), 3);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      release = true;
+    }
+    cv.notify_all();
+    pool.Shutdown();
+    EXPECT_EQ(pool.queue_depth(), 0u);
+  }
+  metrics::MetricsSnapshot after = metrics::Registry::Default().Snapshot();
+  EXPECT_EQ(after.CounterTotal("lotusx_threadpool_tasks_total"),
+            before.CounterTotal("lotusx_threadpool_tasks_total") + 4);
+  EXPECT_EQ(after.HistogramCountTotal("lotusx_threadpool_task_run_usec"),
+            before.HistogramCountTotal("lotusx_threadpool_task_run_usec") +
+                4);
+  EXPECT_EQ(after.HistogramCountTotal("lotusx_threadpool_task_wait_usec"),
+            before.HistogramCountTotal("lotusx_threadpool_task_wait_usec") +
+                4);
+  EXPECT_EQ(after.GaugeValueOr("lotusx_threadpool_queue_depth", -1), 0);
 }
 
 // ------------------------------------------- ShardedLruCache concurrency
@@ -301,6 +343,37 @@ TEST(EngineBatchTest, SearchBatchAggregatesStatsPerChunk) {
   EXPECT_EQ(scanned, sequential_stats[0].candidates_scanned);
   EXPECT_EQ(matches, sequential_stats[0].matches);
   for (const auto& result : batched) EXPECT_TRUE(result.ok());
+}
+
+TEST(EngineBatchTest, ChunkStatsSurviveErrorsAndCountChunks) {
+  auto engine = Engine::FromXmlText(kCatalogXml);
+  ASSERT_TRUE(engine.ok());
+  // Mix successes and a parse error: per-chunk stats must aggregate only
+  // the queries that evaluated, never drop a chunk.
+  std::vector<std::string> queries(6, "//product/name");
+  queries[2] = "//[malformed";
+
+  metrics::MetricsSnapshot before = metrics::Registry::Default().Snapshot();
+  ThreadPool pool(3);
+  std::vector<twig::EvalStats> chunk_stats;
+  auto batched = engine->SearchBatch(queries, {}, &pool, &chunk_stats);
+  ASSERT_EQ(batched.size(), queries.size());
+  ASSERT_EQ(chunk_stats.size(), 3u);
+  EXPECT_FALSE(batched[2].ok());
+  uint64_t matches = 0;
+  for (const twig::EvalStats& stats : chunk_stats) {
+    EXPECT_EQ(stats.algorithm, "batch");
+    EXPECT_GE(stats.elapsed_ms, 0.0);
+    matches += stats.matches;
+  }
+  // 5 successful queries, each with the same match count.
+  auto single = engine->Search("//product/name");
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(matches, 5 * single->stats.matches);
+
+  metrics::MetricsSnapshot after = metrics::Registry::Default().Snapshot();
+  EXPECT_EQ(after.CounterTotal("lotusx_batch_chunks_total"),
+            before.CounterTotal("lotusx_batch_chunks_total") + 3);
 }
 
 TEST(EngineBatchTest, CompleteTagBatchMatchesSequential) {

@@ -68,7 +68,9 @@ TEST(DocumentStatsTest, ProtocolStatsCommand) {
   auto indexed = MustIndex(kXml);
   session::Session session(indexed);
   session::ProtocolInterpreter interpreter(&session);
-  auto response = interpreter.Execute("STATS");
+  // Document statistics moved to STATS DOC; bare STATS now dumps the
+  // process-wide metrics registry (see session_test.cc).
+  auto response = interpreter.Execute("STATS DOC");
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_NE(response->find("distinct paths"), std::string::npos);
 }

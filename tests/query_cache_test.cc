@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "lotusx/engine.h"
 #include "lotusx/query_cache.h"
 #include "twig/query_parser.h"
@@ -122,6 +123,28 @@ TEST(ShardedLruCacheTest, StatsAccumulate) {
   cache.Lookup("missing");
   EXPECT_EQ(cache.hits(), 2u);
   EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ShardedLruCacheTest, RegistryCountersMirrorInstanceStats) {
+  // A distinct metric prefix keeps this test independent of the Engine's
+  // "lotusx_cache" family (registry counters are process-wide totals).
+  metrics::Registry& registry = metrics::Registry::Default();
+  ShardedLruCache<int> cache(4, /*num_shards=*/2, &registry,
+                             "lotusx_testcache");
+  for (int i = 0; i < 16; ++i) {
+    cache.Insert("key" + std::to_string(i), i);
+  }
+  cache.Lookup("key15");
+  cache.Lookup("definitely-missing");
+  metrics::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterTotal("lotusx_testcache_hits_total"),
+            cache.hits());
+  EXPECT_EQ(snapshot.CounterTotal("lotusx_testcache_misses_total"),
+            cache.misses());
+  EXPECT_EQ(snapshot.CounterTotal("lotusx_testcache_evictions_total"),
+            cache.evictions());
+  // 16 inserts into capacity 4 must have evicted something.
+  EXPECT_GT(cache.evictions(), 0u);
 }
 
 // ------------------------------------------------------ Engine integration

@@ -1,10 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
 #include "common/coding.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "lotusx/engine.h"
 #include "session/canvas.h"
 #include "session/protocol.h"
 #include "session/session.h"
 #include "tests/test_util.h"
+#include "twig/query_parser.h"
 
 namespace lotusx::session {
 namespace {
@@ -364,6 +373,87 @@ TEST_F(ProtocolTest, HelpListsCommands) {
   std::string help = Must("HELP");
   EXPECT_NE(help.find("TYPEVAL"), std::string::npos);
   EXPECT_NE(help.find("RUN"), std::string::npos);
+  EXPECT_NE(help.find("STATS [DOC]"), std::string::npos);
+}
+
+// ----------------------------------------------------------- STATS verb
+
+// The acceptance pin of the observability layer: after a scripted
+// Search/CompleteTag workload, the STATS exposition must carry a nonzero
+// search-latency histogram, cache hit and miss counters, the thread-pool
+// queue-depth gauge, and per-operator-kind execution counters.
+TEST(StatsVerbTest, ExpositionCoversPipelineAfterWorkload) {
+  auto engine = Engine::FromXmlText(kXml);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  engine->EnableResultCache(16);
+
+  // One miss, one hit.
+  ASSERT_TRUE(engine->Search("//article[author]/title").ok());
+  ASSERT_TRUE(engine->Search("//article[author]/title").ok());
+  EXPECT_EQ(engine->cache_hits(), 1u);
+  EXPECT_EQ(engine->cache_misses(), 1u);
+
+  // One completion request.
+  autocomplete::TagRequest request;
+  request.anchor = 0;
+  request.axis = twig::Axis::kChild;
+  ASSERT_TRUE(
+      engine->CompleteTag(twig::ParseQuery("//article").value(), request)
+          .ok());
+
+  // Park a one-thread pool and queue extra tasks so the queue-depth
+  // gauge is provably nonzero at snapshot time.
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> started{false};
+  ASSERT_TRUE(pool.Submit([&] {
+    started = true;
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  }));
+  while (!started) std::this_thread::yield();
+  ASSERT_TRUE(pool.Submit([] {}));
+  ASSERT_TRUE(pool.Submit([] {}));
+
+  // Numeric pins through the embedder API...
+  metrics::MetricsSnapshot snapshot = engine->MetricsSnapshot();
+  EXPECT_GT(snapshot.HistogramCountTotal("lotusx_search_latency_usec"), 0u);
+  EXPECT_GT(snapshot.CounterTotal("lotusx_cache_hits_total"), 0u);
+  EXPECT_GT(snapshot.CounterTotal("lotusx_cache_misses_total"), 0u);
+  EXPECT_EQ(snapshot.GaugeValueOr("lotusx_threadpool_queue_depth", -1), 2);
+  EXPECT_GT(snapshot.CounterTotal("lotusx_plan_operator_execs_total"), 0u);
+  EXPECT_GT(snapshot.CounterTotal("lotusx_complete_total"), 0u);
+  EXPECT_GT(snapshot.CounterTotal("lotusx_search_total"), 0u);
+
+  // ...and the same families over the session protocol.
+  Session session = engine->NewSession();
+  ProtocolInterpreter interpreter(&session);
+  auto stats = interpreter.Execute("STATS");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  for (const char* family :
+       {"lotusx_search_latency_usec_count", "lotusx_cache_hits_total",
+        "lotusx_cache_misses_total", "lotusx_threadpool_queue_depth",
+        "lotusx_plan_operator_execs_total", "lotusx_complete_total",
+        "lotusx_stage_latency_usec_count"}) {
+    EXPECT_NE(stats->find(family), std::string::npos)
+        << "missing " << family << " in:\n"
+        << *stats;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Shutdown();
+
+  // STATS DOC still renders document statistics; other arguments fail.
+  auto doc_stats = interpreter.Execute("STATS DOC");
+  ASSERT_TRUE(doc_stats.ok());
+  EXPECT_NE(doc_stats->find("distinct paths"), std::string::npos);
+  EXPECT_FALSE(interpreter.Execute("STATS nonsense").ok());
 }
 
 }  // namespace
