@@ -6,7 +6,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
-#include <mutex>
 #include <numeric>
 #include <string>
 #include <string_view>
@@ -14,6 +13,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/sync.h"
 #include "common/timer.h"
 #include "datagen/datagen.h"
 #include "index/indexed_document.h"
@@ -100,7 +100,7 @@ class BenchJson {
     record.mean_ns = std::accumulate(sorted_samples_ms.begin(),
                                      sorted_samples_ms.end(), 0.0) /
                      static_cast<double>(sorted_samples_ms.size()) * 1e6;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     records_.push_back(std::move(record));
   }
 
@@ -111,7 +111,7 @@ class BenchJson {
       std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
       return false;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::fputs("[\n", file);
     for (size_t i = 0; i < records_.size(); ++i) {
       const BenchRecord& r = records_[i];
@@ -128,7 +128,7 @@ class BenchJson {
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return records_.size();
   }
 
@@ -157,8 +157,8 @@ class BenchJson {
     return escaped;
   }
 
-  mutable std::mutex mu_;
-  std::vector<BenchRecord> records_;
+  mutable Mutex mu_;
+  std::vector<BenchRecord> records_ LOTUSX_GUARDED_BY(mu_);
 };
 
 /// Call at the end of main: when the binary was invoked with

@@ -4,19 +4,41 @@
 #   -DLOTUSX_SANITIZE=address,undefined   ASan + UBSan
 #   -DLOTUSX_SANITIZE=thread              TSan
 #   -DLOTUSX_WERROR=ON                    promote warnings to errors (CI)
+#   -DLOTUSX_THREAD_SAFETY=ON             Clang Thread Safety Analysis
+#                                         (-Wthread-safety*, clang only)
 #
 # ASan/UBSan and TSan are mutually exclusive; mixing them is a
 # configure-time error. Sanitized builds force frame pointers so reports
 # have usable stacks, and define LOTUSX_ENABLE_INVARIANT_CHECKS so the
 # LOTUSX_DCHECK* invariant layer stays active even in optimized builds.
+#
+# LOTUSX_THREAD_SAFETY turns the lock annotations in src/common/sync.h
+# into compile errors (with LOTUSX_WERROR): every LOTUSX_GUARDED_BY /
+# LOTUSX_REQUIRES / LOTUSX_EXCLUDES contract is checked statically. It
+# requires clang — the annotations are no-ops on other compilers, so
+# asking for the analysis anywhere else is a configuration mistake and
+# fails loudly instead of silently checking nothing.
 
 set(LOTUSX_SANITIZE "" CACHE STRING
     "Comma/semicolon-separated sanitizers: address, undefined, thread, leak")
 option(LOTUSX_WERROR "Treat compiler warnings as errors" OFF)
+option(LOTUSX_THREAD_SAFETY
+       "Enable Clang Thread Safety Analysis (-Wthread-safety*)" OFF)
 
 function(lotusx_setup_sanitizers)
   if(LOTUSX_WERROR)
     add_compile_options(-Werror)
+  endif()
+
+  if(LOTUSX_THREAD_SAFETY)
+    if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+      message(FATAL_ERROR
+              "LOTUSX_THREAD_SAFETY requires clang (compiler is "
+              "${CMAKE_CXX_COMPILER_ID}); the annotations are no-ops "
+              "elsewhere, so the analysis would silently check nothing")
+    endif()
+    add_compile_options(-Wthread-safety -Wthread-safety-beta)
+    message(STATUS "LotusX: Clang Thread Safety Analysis enabled")
   endif()
 
   if(NOT LOTUSX_SANITIZE)

@@ -4,11 +4,12 @@
 #include <chrono>
 #include <cstdio>
 #include <ctime>
-#include <mutex>
+#include <mutex>  // NOLINT(lotusx-sync): std::once_flag only
 #include <string>
 #include <thread>
 
 #include "common/string_util.h"
+#include "common/sync.h"
 
 namespace lotusx {
 
@@ -20,8 +21,8 @@ std::once_flag g_env_once;
 // Serializes the final write (and any test sink) so lines from
 // concurrent threads never interleave even on platforms where a single
 // stderr write is not atomic.
-std::mutex g_write_mu;
-LogSink g_sink;  // guarded by g_write_mu
+Mutex g_write_mu;
+LogSink g_sink LOTUSX_GUARDED_BY(g_write_mu);
 
 void ApplyEnvSeverity() {
   if (const char* env = std::getenv("LOTUSX_MIN_LOG_SEVERITY")) {
@@ -103,7 +104,7 @@ void InitLogSeverityFromEnv() {
 }
 
 LogSink SetLogSinkForTest(LogSink sink) {
-  std::lock_guard<std::mutex> lock(g_write_mu);
+  MutexLock lock(g_write_mu);
   LogSink previous = std::move(g_sink);
   g_sink = std::move(sink);
   return previous;
@@ -121,7 +122,7 @@ LogMessage::~LogMessage() {
   if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
     stream_ << '\n';
     const std::string line = stream_.str();
-    std::lock_guard<std::mutex> lock(g_write_mu);
+    MutexLock lock(g_write_mu);
     if (g_sink) {
       g_sink(line);
     } else {

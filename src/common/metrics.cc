@@ -142,52 +142,44 @@ Registry& Registry::Default() {
   return *registry;
 }
 
-Counter* Registry::GetCounter(std::string_view name, const Labels& labels) {
-  const std::string id = RenderId(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = counters_.find(id);
-  if (it == counters_.end()) {
-    auto entry = std::make_unique<Entry<Counter>>();
+template <typename Metric, typename... Args>
+Metric* Registry::FindOrCreateLocked(EntryMap<Metric>& entries,
+                                     const std::string& id,
+                                     std::string_view name,
+                                     const Labels& labels, Args&&... args) {
+  auto it = entries.find(id);
+  if (it == entries.end()) {
+    auto entry = std::make_unique<Entry<Metric>>();
     entry->name = std::string(name);
     entry->labels = labels;
-    entry->metric = std::make_unique<Counter>();
-    it = counters_.emplace(id, std::move(entry)).first;
+    entry->metric = std::make_unique<Metric>(std::forward<Args>(args)...);
+    it = entries.emplace(id, std::move(entry)).first;
   }
   return it->second->metric.get();
 }
 
+Counter* Registry::GetCounter(std::string_view name, const Labels& labels) {
+  const std::string id = RenderId(name, labels);
+  MutexLock lock(mu_);
+  return FindOrCreateLocked(counters_, id, name, labels);
+}
+
 Gauge* Registry::GetGauge(std::string_view name, const Labels& labels) {
   const std::string id = RenderId(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = gauges_.find(id);
-  if (it == gauges_.end()) {
-    auto entry = std::make_unique<Entry<Gauge>>();
-    entry->name = std::string(name);
-    entry->labels = labels;
-    entry->metric = std::make_unique<Gauge>();
-    it = gauges_.emplace(id, std::move(entry)).first;
-  }
-  return it->second->metric.get();
+  MutexLock lock(mu_);
+  return FindOrCreateLocked(gauges_, id, name, labels);
 }
 
 Histogram* Registry::GetHistogram(std::string_view name, const Labels& labels,
                                   const std::vector<double>& bounds) {
   const std::string id = RenderId(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = histograms_.find(id);
-  if (it == histograms_.end()) {
-    auto entry = std::make_unique<Entry<Histogram>>();
-    entry->name = std::string(name);
-    entry->labels = labels;
-    entry->metric = std::make_unique<Histogram>(bounds);
-    it = histograms_.emplace(id, std::move(entry)).first;
-  }
-  return it->second->metric.get();
+  MutexLock lock(mu_);
+  return FindOrCreateLocked(histograms_, id, name, labels, bounds);
 }
 
 MetricsSnapshot Registry::Snapshot() const {
   MetricsSnapshot snapshot;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   snapshot.counters.reserve(counters_.size());
   for (const auto& [id, entry] : counters_) {
     snapshot.counters.push_back(
@@ -207,7 +199,7 @@ MetricsSnapshot Registry::Snapshot() const {
 }
 
 void Registry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [id, entry] : counters_) entry->metric->ResetForTest();
   for (auto& [id, entry] : gauges_) entry->metric->ResetForTest();
   for (auto& [id, entry] : histograms_) entry->metric->ResetForTest();

@@ -5,11 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace lotusx::metrics {
 
@@ -145,6 +146,13 @@ struct MetricsSnapshot {
 /// the returned pointer is stable for the registry's lifetime.
 /// Registry::Default() is the process-wide instance (never destroyed);
 /// tests may build private registries.
+///
+/// Locking protocol (register-then-lock-free-bump): `mu_` is held only
+/// while registering a metric or copying a snapshot; the returned
+/// Counter/Gauge/Histogram pointers are bumped lock-free afterwards.
+/// Every public method is LOTUSX_EXCLUDES(mu_): none may be called
+/// while the caller already interacts with the registry lock — in
+/// particular a metric factory must never call back into Get*.
 class Registry {
  public:
   Registry() = default;
@@ -153,20 +161,25 @@ class Registry {
 
   static Registry& Default();
 
-  Counter* GetCounter(std::string_view name, const Labels& labels = {});
-  Gauge* GetGauge(std::string_view name, const Labels& labels = {});
+  Counter* GetCounter(std::string_view name, const Labels& labels = {})
+      LOTUSX_EXCLUDES(mu_);
+  Gauge* GetGauge(std::string_view name, const Labels& labels = {})
+      LOTUSX_EXCLUDES(mu_);
   /// `bounds` is consulted only on first registration of (name, labels).
   Histogram* GetHistogram(std::string_view name, const Labels& labels = {},
                           const std::vector<double>& bounds =
-                              Histogram::LatencyBucketsUsec());
+                              Histogram::LatencyBucketsUsec())
+      LOTUSX_EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const LOTUSX_EXCLUDES(mu_);
   /// Snapshot().ToText() — the STATS exposition.
-  std::string RenderText() const { return Snapshot().ToText(); }
+  std::string RenderText() const LOTUSX_EXCLUDES(mu_) {
+    return Snapshot().ToText();
+  }
 
   /// Zeroes every registered metric (they stay registered, so cached
   /// pointers remain valid). Test isolation only.
-  void ResetForTest();
+  void ResetForTest() LOTUSX_EXCLUDES(mu_);
 
  private:
   template <typename Metric>
@@ -176,12 +189,24 @@ class Registry {
     std::unique_ptr<Metric> metric;
   };
 
-  mutable std::mutex mu_;
+  template <typename Metric>
+  using EntryMap = std::map<std::string, std::unique_ptr<Entry<Metric>>>;
+
+  /// Registration slow path shared by the three Get*: finds `id` in
+  /// `entries` or default-constructs Metric{args...} under the lock.
+  template <typename Metric, typename... Args>
+  Metric* FindOrCreateLocked(EntryMap<Metric>& entries, const std::string& id,
+                             std::string_view name, const Labels& labels,
+                             Args&&... args) LOTUSX_REQUIRES(mu_);
+
+  mutable Mutex mu_;
   // Keyed by the rendered `name{labels}` id; std::map keeps the
-  // exposition deterministically sorted.
-  std::map<std::string, std::unique_ptr<Entry<Counter>>> counters_;
-  std::map<std::string, std::unique_ptr<Entry<Gauge>>> gauges_;
-  std::map<std::string, std::unique_ptr<Entry<Histogram>>> histograms_;
+  // exposition deterministically sorted. The map structure is guarded;
+  // the Metric objects pointed to are internally atomic and are bumped
+  // without the lock (that is the point of the registry).
+  EntryMap<Counter> counters_ LOTUSX_GUARDED_BY(mu_);
+  EntryMap<Gauge> gauges_ LOTUSX_GUARDED_BY(mu_);
+  EntryMap<Histogram> histograms_ LOTUSX_GUARDED_BY(mu_);
 };
 
 }  // namespace lotusx::metrics

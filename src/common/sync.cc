@@ -1,0 +1,15 @@
+#include "common/sync.h"
+
+namespace lotusx {
+
+// SAFETY: the analysis cannot model handing a held std::mutex to
+// std::condition_variable::wait — the capability is released and
+// reacquired inside wait(), so `mu` is held again on return exactly as
+// LOTUSX_REQUIRES(mu) promises the caller.
+void CondVar::Wait(Mutex& mu) LOTUSX_NO_THREAD_SAFETY_ANALYSIS {
+  std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();  // ownership stays with the caller's scoped lock
+}
+
+}  // namespace lotusx

@@ -1,0 +1,203 @@
+#ifndef LOTUSX_COMMON_SYNC_H_
+#define LOTUSX_COMMON_SYNC_H_
+
+// The LotusX synchronization layer: capability-annotated wrappers over
+// the standard primitives, so Clang Thread Safety Analysis
+// (-Wthread-safety -Wthread-safety-beta, the `thread-safety` CMake
+// preset) can prove lock discipline at compile time. On non-Clang
+// compilers every annotation degrades to a no-op and the wrappers cost
+// exactly what the std types cost (all methods are inline forwarding
+// calls).
+//
+// Rules (enforced by tools/lint.py and CI, see docs/DEVELOPMENT.md
+// "Lock discipline"):
+//   * No naked std::mutex / std::lock_guard / std::unique_lock /
+//     std::condition_variable outside this file — use lotusx::Mutex,
+//     MutexLock, ReaderMutexLock, CondVar.
+//   * Every Mutex field carries at least one LOTUSX_GUARDED_BY sibling:
+//     a lock that protects nothing is either dead or undocumented.
+//   * LOTUSX_NO_THREAD_SAFETY_ANALYSIS requires an adjacent
+//     `// SAFETY:` comment explaining why the analysis is wrong there.
+//
+// Annotation cheat sheet:
+//   LOTUSX_GUARDED_BY(mu)      field may only be touched with mu held
+//   LOTUSX_PT_GUARDED_BY(mu)   pointee may only be touched with mu held
+//   LOTUSX_REQUIRES(mu)        caller must already hold mu
+//   LOTUSX_EXCLUDES(mu)        caller must NOT hold mu (anti-deadlock)
+//   LOTUSX_ACQUIRE/RELEASE     function acquires/releases mu itself
+//   LOTUSX_ACQUIRED_BEFORE/AFTER  global lock ordering between mutexes
+
+#include <condition_variable>  // NOLINT(lotusx-sync): the one wrapping site
+#include <mutex>               // NOLINT(lotusx-sync): the one wrapping site
+#include <shared_mutex>        // NOLINT(lotusx-sync): the one wrapping site
+
+// ---------------------------------------------------------------------------
+// Attribute plumbing. Clang implements Thread Safety Analysis as plain
+// GNU attributes; GCC/MSVC do not know them, so everything vanishes
+// there (the wrappers still compile and behave identically).
+#if defined(__clang__) && !defined(SWIG)
+#define LOTUSX_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define LOTUSX_THREAD_ANNOTATION__(x)  // no-op outside Clang
+#endif
+
+#define LOTUSX_CAPABILITY(x) LOTUSX_THREAD_ANNOTATION__(capability(x))
+#define LOTUSX_SCOPED_CAPABILITY LOTUSX_THREAD_ANNOTATION__(scoped_lockable)
+#define LOTUSX_GUARDED_BY(x) LOTUSX_THREAD_ANNOTATION__(guarded_by(x))
+#define LOTUSX_PT_GUARDED_BY(x) LOTUSX_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define LOTUSX_ACQUIRED_BEFORE(...) \
+  LOTUSX_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define LOTUSX_ACQUIRED_AFTER(...) \
+  LOTUSX_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+#define LOTUSX_REQUIRES(...) \
+  LOTUSX_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define LOTUSX_REQUIRES_SHARED(...) \
+  LOTUSX_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define LOTUSX_ACQUIRE(...) \
+  LOTUSX_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define LOTUSX_ACQUIRE_SHARED(...) \
+  LOTUSX_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define LOTUSX_RELEASE(...) \
+  LOTUSX_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define LOTUSX_RELEASE_SHARED(...) \
+  LOTUSX_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define LOTUSX_RELEASE_GENERIC(...) \
+  LOTUSX_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+#define LOTUSX_TRY_ACQUIRE(...) \
+  LOTUSX_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define LOTUSX_TRY_ACQUIRE_SHARED(...) \
+  LOTUSX_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+#define LOTUSX_EXCLUDES(...) \
+  LOTUSX_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define LOTUSX_ASSERT_CAPABILITY(x) \
+  LOTUSX_THREAD_ANNOTATION__(assert_capability(x))
+#define LOTUSX_ASSERT_SHARED_CAPABILITY(x) \
+  LOTUSX_THREAD_ANNOTATION__(assert_shared_capability(x))
+#define LOTUSX_RETURN_CAPABILITY(x) \
+  LOTUSX_THREAD_ANNOTATION__(lock_returned(x))
+// Escape hatch: disables the analysis for one function. A use without an
+// adjacent `// SAFETY:` comment is a lint error — if you cannot explain
+// why the analysis is wrong, it probably is not.
+#define LOTUSX_NO_THREAD_SAFETY_ANALYSIS \
+  LOTUSX_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace lotusx {
+
+class CondVar;
+
+/// Exclusive mutex (wraps std::mutex) carrying the "mutex" capability.
+/// Prefer the RAII MutexLock over manual Lock()/Unlock() pairs — the
+/// analysis accepts both, but a scoped lock cannot leak on an early
+/// return or exception.
+class LOTUSX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() LOTUSX_ACQUIRE() { mu_.lock(); }
+  void Unlock() LOTUSX_RELEASE() { mu_.unlock(); }
+  bool TryLock() LOTUSX_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // CondVar::Wait needs the native handle
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex (wraps std::shared_mutex): many concurrent
+/// readers via ReaderMutexLock / ReaderLock(), one writer via
+/// WriterMutexLock / Lock().
+class LOTUSX_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() LOTUSX_ACQUIRE() { mu_.lock(); }
+  void Unlock() LOTUSX_RELEASE() { mu_.unlock(); }
+  bool TryLock() LOTUSX_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void ReaderLock() LOTUSX_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() LOTUSX_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool ReaderTryLock() LOTUSX_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over a Mutex (the std::lock_guard equivalent).
+class LOTUSX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LOTUSX_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() LOTUSX_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive lock over a SharedMutex.
+class LOTUSX_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) LOTUSX_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() LOTUSX_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock over a SharedMutex.
+class LOTUSX_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) LOTUSX_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.ReaderLock();
+  }
+  ~ReaderMutexLock() LOTUSX_RELEASE() { mu_.ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to lotusx::Mutex. Wait() atomically releases
+/// and reacquires the mutex, so the capability is held again when it
+/// returns — write waits as explicit loops in the locked scope, where
+/// the analysis can see the guarded reads:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);   // ready_ is GUARDED_BY(mu_)
+///
+/// (A predicate-lambda overload is deliberately absent: the analysis
+/// cannot see that a lambda body runs with the lock held, so the loop
+/// form is both clearer and checkable.)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until signaled; `mu` must be held and is held again on
+  /// return (released while blocked, like std::condition_variable).
+  void Wait(Mutex& mu) LOTUSX_REQUIRES(mu);
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace lotusx
+
+#endif  // LOTUSX_COMMON_SYNC_H_

@@ -23,54 +23,56 @@ ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
-void ThreadPool::Enqueued() {
+void ThreadPool::EnqueueLocked(PendingTask task) {
+  queue_.push_back(std::move(task));
   tasks_total_->Increment();
   queue_depth_gauge_->Add(1);
 }
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this] {
-      return shutdown_ || queue_.size() < queue_capacity_;
-    });
+    MutexLock lock(mu_);
+    while (!shutdown_ && queue_.size() >= queue_capacity_) {
+      not_full_.Wait(mu_);
+    }
     if (shutdown_) return false;
-    queue_.push_back(PendingTask{std::move(task), Timer()});
-    Enqueued();
+    EnqueueLocked(PendingTask{std::move(task), Timer()});
   }
-  not_empty_.notify_one();
+  not_empty_.Signal();
   return true;
 }
 
 bool ThreadPool::TrySubmit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_ || queue_.size() >= queue_capacity_) return false;
-    queue_.push_back(PendingTask{std::move(task), Timer()});
-    Enqueued();
+    EnqueueLocked(PendingTask{std::move(task), Timer()});
   }
-  not_empty_.notify_one();
+  not_empty_.Signal();
   return true;
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  not_empty_.notify_all();
-  not_full_.notify_all();
-  // join_mu_ serializes concurrent Shutdown() callers: the loser blocks
-  // until the winner has joined every worker (joinable() is then false),
-  // so no caller returns while workers are still running.
-  std::lock_guard<std::mutex> join_lock(join_mu_);
+  not_empty_.SignalAll();
+  not_full_.SignalAll();
+  // join_mu_ elects one caller to join the workers. Concurrent (and
+  // later) callers block here until the winner is done, observe
+  // joined_, and return — so no Shutdown() call ever returns while a
+  // worker is still running, and no thread is joined twice.
+  MutexLock join_lock(join_mu_);
+  if (joined_) return;
   for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
+    worker.join();
   }
+  joined_ = true;
 }
 
 size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
@@ -78,14 +80,16 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     PendingTask task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) {
+        not_empty_.Wait(mu_);
+      }
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
       queue_depth_gauge_->Add(-1);
     }
-    not_full_.notify_one();
+    not_full_.Signal();
     if (metrics::Enabled()) {
       task_wait_usec_->Observe(task.queued.ElapsedMicros());
       Timer run_timer;

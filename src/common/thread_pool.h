@@ -1,15 +1,14 @@
 #ifndef LOTUSX_COMMON_THREAD_POOL_H_
 #define LOTUSX_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/sync.h"
 #include "common/timer.h"
 
 namespace lotusx {
@@ -26,6 +25,11 @@ namespace lotusx {
 /// The bounded queue is deliberate back-pressure: a producer that outruns
 /// the workers blocks instead of growing an unbounded backlog, which is
 /// what a serving layer wants under overload.
+///
+/// Locking: `mu_` guards the queue and the shutdown flag; `join_mu_`
+/// serializes the join phase of Shutdown() (see the LOTUSX_EXCLUDES
+/// contracts — a task running on a worker must never call Shutdown(),
+/// it would join itself). The two mutexes are never held together.
 class ThreadPool {
  public:
   /// `num_threads` workers (>= 1) over a queue of at most `queue_capacity`
@@ -39,22 +43,25 @@ class ThreadPool {
 
   /// Enqueues `task`, blocking while the queue is full. Returns false
   /// (without running the task) once Shutdown() has begun.
-  bool Submit(std::function<void()> task);
+  bool Submit(std::function<void()> task) LOTUSX_EXCLUDES(mu_);
 
   /// Non-blocking Submit: returns false when the queue is full or the
   /// pool is shutting down.
-  bool TrySubmit(std::function<void()> task);
+  bool TrySubmit(std::function<void()> task) LOTUSX_EXCLUDES(mu_);
 
   /// Stops accepting tasks, drains the queue, and joins the workers.
-  /// Idempotent; also called by the destructor.
-  void Shutdown();
+  /// Idempotent and safe to race from multiple threads: `join_mu_`
+  /// elects one caller to join, and no caller returns before every
+  /// worker has exited. Also called by the destructor. Must not be
+  /// called from a pooled task (a worker cannot join itself).
+  void Shutdown() LOTUSX_EXCLUDES(mu_, join_mu_);
 
   size_t num_threads() const { return workers_.size(); }
   size_t queue_capacity() const { return queue_capacity_; }
 
   /// Tasks currently waiting in the queue (not yet picked up by a
   /// worker). Mirrors the lotusx_threadpool_queue_depth gauge.
-  size_t queue_depth() const;
+  size_t queue_depth() const LOTUSX_EXCLUDES(mu_);
 
   /// std::thread::hardware_concurrency() with a floor of 1.
   static size_t DefaultThreadCount();
@@ -69,16 +76,24 @@ class ThreadPool {
     Timer queued;
   };
 
-  void WorkerLoop();
-  void Enqueued();
+  void WorkerLoop() LOTUSX_EXCLUDES(mu_);
+  /// Appends `task` and records the enqueue metrics.
+  void EnqueueLocked(PendingTask task) LOTUSX_REQUIRES(mu_);
 
   const size_t queue_capacity_;
-  mutable std::mutex mu_;
-  std::mutex join_mu_;  // serializes the join phase of Shutdown()
-  std::condition_variable not_empty_;  // signaled on push and shutdown
-  std::condition_variable not_full_;   // signaled on pop and shutdown
-  std::deque<PendingTask> queue_;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  Mutex join_mu_;  // serializes the join phase of Shutdown()
+  CondVar not_empty_;  // signaled on push and shutdown
+  CondVar not_full_;   // signaled on pop and shutdown
+  std::deque<PendingTask> queue_ LOTUSX_GUARDED_BY(mu_);
+  bool shutdown_ LOTUSX_GUARDED_BY(mu_) = false;
+  // True once some Shutdown() caller has joined every worker; later
+  // (and concurrent) callers block on join_mu_, observe it, and return
+  // without touching the joined threads again.
+  bool joined_ LOTUSX_GUARDED_BY(join_mu_) = false;
+  // Immutable after construction (the constructor populates it before
+  // the pool is visible to any other thread); the thread objects are
+  // only joined under join_mu_.
   std::vector<std::thread> workers_;
   // Process-wide metrics shared by every pool (registered once in the
   // constructor): queue depth gauge, task counter, wait/run histograms.

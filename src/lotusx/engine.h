@@ -68,7 +68,9 @@ std::string SearchCacheKey(const twig::TwigQuery& query,
 /// member (Search, CompleteTag, CompleteValue, KeywordSearch, Snippet,
 /// MaterializeResults, ...) is safe to call concurrently from any number
 /// of threads sharing one Engine — including with the result cache
-/// enabled, which is a sharded, internally locked structure. The two
+/// enabled, which is a sharded, internally locked structure (its lock
+/// discipline is compiler-checked via the annotations in
+/// common/sync.h — see docs/DEVELOPMENT.md "Lock discipline"). The two
 /// setup calls (EnableResultCache) and move construction/assignment are
 /// NOT synchronized: configure the engine first, then share it. See
 /// docs/DEVELOPMENT.md ("Threading model").

@@ -7,7 +7,6 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -16,6 +15,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/sync.h"
 
 namespace lotusx {
 
@@ -117,6 +117,7 @@ class ShardedLruCache {
     // one entry per shard; clamp instead.
     num_shards = std::min(num_shards, capacity);
     const size_t per_shard = (capacity + num_shards - 1) / num_shards;
+    per_shard_capacity_ = per_shard;
     shards_.reserve(num_shards);
     const std::string prefix(metric_prefix);
     for (size_t i = 0; i < num_shards; ++i) {
@@ -135,12 +136,13 @@ class ShardedLruCache {
   }
 
   /// Returns a copy of the cached value (refreshing its recency), or
-  /// nullopt.
+  /// nullopt. Takes (only) the key's shard lock — callers must not
+  /// already hold any shard lock of this cache.
   std::optional<Value> Lookup(const std::string& key) {
     Shard& shard = ShardFor(key);
     std::optional<Value> found;
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       if (const Value* value = shard.cache.Lookup(key)) found = *value;
     }
     if (found.has_value()) {
@@ -158,7 +160,7 @@ class ShardedLruCache {
     Shard& shard = ShardFor(key);
     uint64_t evicted = 0;
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       const uint64_t before = shard.cache.evictions();
       shard.cache.Insert(key, std::move(value));
       evicted = shard.cache.evictions() - before;
@@ -171,26 +173,25 @@ class ShardedLruCache {
   /// Empties every shard. Counters are not reset.
   void Clear() {
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(shard->mu);
       shard->cache.Clear();
     }
   }
 
   /// Total entries across shards. Each shard is sampled under its own
-  /// lock, so under concurrent writers the sum is approximate.
+  /// lock (never two at once), so under concurrent writers the sum is
+  /// approximate.
   size_t size() const {
     size_t total = 0;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(shard->mu);
       total += shard->cache.size();
     }
     return total;
   }
 
   /// Effective bound: num_shards * per-shard capacity.
-  size_t capacity() const {
-    return shards_.size() * shards_[0]->cache.capacity();
-  }
+  size_t capacity() const { return shards_.size() * per_shard_capacity_; }
 
   size_t num_shards() const { return shards_.size(); }
   uint64_t hits() const {
@@ -210,7 +211,7 @@ class ShardedLruCache {
   uint64_t evictions() const {
     uint64_t total = 0;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(shard->mu);
       total += shard->cache.evictions();
     }
     return total;
@@ -219,8 +220,10 @@ class ShardedLruCache {
  private:
   struct Shard {
     explicit Shard(size_t capacity) : cache(capacity) {}
-    mutable std::mutex mu;
-    LruCache<Value> cache;
+    mutable Mutex mu;
+    // The LruCache is the single-threaded building block; the shard
+    // lock is what makes it safe, so every touch goes through mu.
+    LruCache<Value> cache LOTUSX_GUARDED_BY(mu);
     // Per-shard tallies for the instance accessors; atomics because they
     // are bumped outside the shard lock.
     std::atomic<uint64_t> hits{0};
@@ -238,6 +241,9 @@ class ShardedLruCache {
   // unique_ptr: Shard holds a mutex and must not move when the vector
   // relocates (it never does after construction, but keep it immovable).
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Immutable after construction; lets capacity() answer without
+  // touching any shard's guarded state.
+  size_t per_shard_capacity_ = 0;
 };
 
 }  // namespace lotusx

@@ -1,14 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "lotusx/engine.h"
 #include "lotusx/query_cache.h"
@@ -31,16 +30,16 @@ TEST(ThreadPoolTest, ExecutesAllTasks) {
 
 TEST(ThreadPoolTest, TrySubmitRespectsQueueBound) {
   ThreadPool pool(1, /*queue_capacity=*/2);
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   bool release = false;
   std::atomic<bool> started{false};
   std::atomic<int> ran{0};
   // Park the single worker so queued tasks stay queued.
   ASSERT_TRUE(pool.Submit([&] {
     started = true;
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return release; });
+    MutexLock lock(mu);
+    while (!release) cv.Wait(mu);
     ++ran;
   }));
   while (!started) std::this_thread::yield();
@@ -50,35 +49,35 @@ TEST(ThreadPoolTest, TrySubmitRespectsQueueBound) {
   EXPECT_TRUE(pool.TrySubmit([&ran] { ++ran; }));
   EXPECT_FALSE(pool.TrySubmit([&ran] { ++ran; }));
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     release = true;
   }
-  cv.notify_all();
+  cv.SignalAll();
   pool.Shutdown();
   EXPECT_EQ(ran.load(), 3);
 }
 
 TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
   ThreadPool pool(1, /*queue_capacity=*/16);
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   bool release = false;
   std::atomic<bool> started{false};
   std::atomic<int> ran{0};
   ASSERT_TRUE(pool.Submit([&] {
     started = true;
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return release; });
+    MutexLock lock(mu);
+    while (!release) cv.Wait(mu);
   }));
   while (!started) std::this_thread::yield();
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(pool.TrySubmit([&ran] { ++ran; }));
   }
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     release = true;
   }
-  cv.notify_all();
+  cv.SignalAll();
   pool.Shutdown();  // graceful: the 5 queued tasks must still run
   EXPECT_EQ(ran.load(), 5);
 }
@@ -89,6 +88,48 @@ TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
   EXPECT_FALSE(pool.Submit([] {}));
   EXPECT_FALSE(pool.TrySubmit([] {}));
   pool.Shutdown();  // idempotent
+}
+
+TEST(ThreadPoolTest, ConcurrentShutdownFromTwoThreads) {
+  // Regression: Shutdown() raced from two threads must (a) not join a
+  // worker twice, and (b) not let either caller return while workers
+  // are still draining the queue. The join_mu_/joined_ protocol
+  // (LOTUSX_EXCLUDES(mu_, join_mu_) in thread_pool.h) elects one
+  // joiner; the loser blocks until the winner is done.
+  for (int round = 0; round < 8; ++round) {
+    ThreadPool pool(2, /*queue_capacity=*/64);
+    Mutex mu;
+    CondVar cv;
+    bool release = false;
+    std::atomic<int> ran{0};
+    std::atomic<bool> parked{false};
+    // Park one worker so the queue is provably non-empty when the two
+    // Shutdown() calls race the drain.
+    ASSERT_TRUE(pool.Submit([&] {
+      parked = true;
+      MutexLock lock(mu);
+      while (!release) cv.Wait(mu);
+    }));
+    while (!parked) std::this_thread::yield();
+    for (int i = 0; i < 32; ++i) {
+      ASSERT_TRUE(pool.Submit([&ran] { ++ran; }));
+    }
+    std::thread a([&pool] { pool.Shutdown(); });
+    std::thread b([&pool] { pool.Shutdown(); });
+    {
+      MutexLock lock(mu);
+      release = true;
+    }
+    cv.SignalAll();
+    a.join();
+    b.join();
+    // Both Shutdown() calls returned: every queued task has run and the
+    // queue is empty — graceful drain happened exactly once.
+    EXPECT_EQ(ran.load(), 32);
+    EXPECT_EQ(pool.queue_depth(), 0u);
+    EXPECT_FALSE(pool.Submit([] {}));
+    pool.Shutdown();  // still idempotent after the race
+  }
 }
 
 TEST(ThreadPoolTest, ConcurrentProducers) {
@@ -115,15 +156,15 @@ TEST(ThreadPoolTest, MetricsTrackQueueDepthAndTaskCounts) {
   metrics::MetricsSnapshot before = metrics::Registry::Default().Snapshot();
   {
     ThreadPool pool(1);
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu;
+    CondVar cv;
     bool release = false;
     std::atomic<bool> started{false};
     // Park the single worker so submitted tasks pile up in the queue.
     ASSERT_TRUE(pool.Submit([&] {
       started = true;
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [&] { return release; });
+      MutexLock lock(mu);
+      while (!release) cv.Wait(mu);
     }));
     while (!started) std::this_thread::yield();
     for (int i = 0; i < 3; ++i) {
@@ -133,10 +174,10 @@ TEST(ThreadPoolTest, MetricsTrackQueueDepthAndTaskCounts) {
     metrics::MetricsSnapshot queued = metrics::Registry::Default().Snapshot();
     EXPECT_EQ(queued.GaugeValueOr("lotusx_threadpool_queue_depth", -1), 3);
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       release = true;
     }
-    cv.notify_all();
+    cv.SignalAll();
     pool.Shutdown();
     EXPECT_EQ(pool.queue_depth(), 0u);
   }

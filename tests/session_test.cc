@@ -1,12 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
 #include "common/coding.h"
 #include "common/metrics.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "lotusx/engine.h"
 #include "session/canvas.h"
@@ -404,14 +403,14 @@ TEST(StatsVerbTest, ExpositionCoversPipelineAfterWorkload) {
   // Park a one-thread pool and queue extra tasks so the queue-depth
   // gauge is provably nonzero at snapshot time.
   ThreadPool pool(1);
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   bool release = false;
   std::atomic<bool> started{false};
   ASSERT_TRUE(pool.Submit([&] {
     started = true;
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return release; });
+    MutexLock lock(mu);
+    while (!release) cv.Wait(mu);
   }));
   while (!started) std::this_thread::yield();
   ASSERT_TRUE(pool.Submit([] {}));
@@ -443,10 +442,10 @@ TEST(StatsVerbTest, ExpositionCoversPipelineAfterWorkload) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     release = true;
   }
-  cv.notify_all();
+  cv.SignalAll();
   pool.Shutdown();
 
   // STATS DOC still renders document statistics; other arguments fail.

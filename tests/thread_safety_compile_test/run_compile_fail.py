@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compile-fail harness for the LotusX thread-safety annotations.
+
+Pins the annotations in `src/common/sync.h` themselves: every
+`snippets/bad_*.cc` holds one representative lock-discipline mistake
+(touching a guarded field without the lock, double-acquire, returning
+with a mutex held, calling a LOTUSX_EXCLUDES function under the lock)
+and MUST be rejected by `clang++ -Wthread-safety -Wthread-safety-beta
+-Werror`, with the diagnostic named by its `// EXPECT-ERROR:` line.
+Every `snippets/good_*.cc` exercises the full macro set correctly and
+MUST compile cleanly. If an annotation in sync.h regresses to a no-op
+(or starts false-positive'ing), this harness is what turns red.
+
+Only clang implements the analysis, so CMake registers the test only in
+clang builds (the `thread-safety` preset / CI job). Standalone:
+
+    python3 run_compile_fail.py --compiler clang++ \
+        --src ../../src [--snippets snippets]
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+EXPECT_RE = re.compile(r"//\s*EXPECT-ERROR:\s*(.+?)\s*$")
+
+FLAGS = [
+    "-std=c++20",
+    "-fsyntax-only",
+    "-Wthread-safety",
+    "-Wthread-safety-beta",
+    "-Werror",
+]
+
+
+def expected_errors(path):
+    with open(path, encoding="utf-8") as f:
+        return [m.group(1) for line in f if (m := EXPECT_RE.search(line))]
+
+
+def compile_snippet(compiler, src_dir, path):
+    command = [compiler] + FLAGS + ["-I", src_dir, path]
+    result = subprocess.run(command, capture_output=True, text=True)
+    return result.returncode, result.stderr
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--compiler", required=True,
+                        help="clang++ (or a clang-based wrapper)")
+    parser.add_argument("--src", required=True,
+                        help="repo src/ directory (for -I)")
+    parser.add_argument("--snippets",
+                        default=os.path.join(os.path.dirname(
+                            os.path.abspath(__file__)), "snippets"),
+                        help="directory of bad_*.cc / good_*.cc files")
+    args = parser.parse_args()
+
+    snippets = sorted(name for name in os.listdir(args.snippets)
+                      if name.endswith(".cc"))
+    if not snippets:
+        print("no snippets found in", args.snippets, file=sys.stderr)
+        return 2
+
+    failures = []
+    for name in snippets:
+        path = os.path.join(args.snippets, name)
+        returncode, stderr = compile_snippet(args.compiler, args.src, path)
+        if name.startswith("good_"):
+            if returncode != 0:
+                failures.append(
+                    f"{name}: expected clean compile, got:\n{stderr}")
+            else:
+                print(f"PASS {name} (compiles cleanly)")
+            continue
+        if not name.startswith("bad_"):
+            failures.append(f"{name}: snippet must be named bad_* or good_*")
+            continue
+        expects = expected_errors(path)
+        if not expects:
+            failures.append(f"{name}: missing // EXPECT-ERROR: line")
+            continue
+        if returncode == 0:
+            failures.append(
+                f"{name}: compiled cleanly but must be rejected by "
+                "-Wthread-safety -Werror")
+            continue
+        missing = [e for e in expects if e not in stderr]
+        if missing:
+            failures.append(
+                f"{name}: rejected, but diagnostics lack {missing!r}; "
+                f"stderr was:\n{stderr}")
+        else:
+            print(f"PASS {name} (rejected with expected diagnostic)")
+
+    if failures:
+        print(f"\n{len(failures)} compile-fail check(s) FAILED:",
+              file=sys.stderr)
+        for failure in failures:
+            print("  " + failure.replace("\n", "\n  "), file=sys.stderr)
+        return 1
+    print(f"all {len(snippets)} snippets behaved as expected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+// Misuse: acquiring a mutex twice (self-deadlock on a non-recursive
+// lock).
+// EXPECT-ERROR: already held
+#include "common/sync.h"
+
+lotusx::Mutex mu;
+int value LOTUSX_GUARDED_BY(mu) = 0;
+
+int main() {
+  mu.Lock();
+  mu.Lock();  // double acquire: must be rejected
+  value = 1;
+  mu.Unlock();
+  mu.Unlock();
+  return 0;
+}

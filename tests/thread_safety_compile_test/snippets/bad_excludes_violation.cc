@@ -1,0 +1,28 @@
+// Misuse: calling a LOTUSX_EXCLUDES(mu_) method while already holding
+// mu_ — the re-acquire inside would self-deadlock (this is the
+// anti-deadlock contract on const accessors like Registry::Snapshot).
+// EXPECT-ERROR: while mutex 'mu_' is held
+#include "common/sync.h"
+
+class Registry {
+ public:
+  void Rebuild() LOTUSX_EXCLUDES(mu_) {
+    lotusx::MutexLock lock(mu_);
+    size_ = 0;
+  }
+  void Tick() {
+    lotusx::MutexLock lock(mu_);
+    ++size_;
+    Rebuild();  // EXCLUDES violated under lock: must be rejected
+  }
+
+ private:
+  lotusx::Mutex mu_;
+  int size_ LOTUSX_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Registry registry;
+  registry.Tick();
+  return 0;
+}

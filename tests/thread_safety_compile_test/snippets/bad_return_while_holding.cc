@@ -1,0 +1,14 @@
+// Misuse: returning with a manually acquired mutex still held (the
+// scoped MutexLock makes this impossible; naked Lock() does not).
+// EXPECT-ERROR: still held at the end of function
+#include "common/sync.h"
+
+lotusx::Mutex mu;
+int counter LOTUSX_GUARDED_BY(mu) = 0;
+
+int Bump() {
+  mu.Lock();
+  return ++counter;  // leaks the lock on return: must be rejected
+}
+
+int main() { return Bump(); }

@@ -1,0 +1,20 @@
+// Misuse: writing a LOTUSX_GUARDED_BY field without holding its mutex.
+// EXPECT-ERROR: requires holding mutex
+#include "common/sync.h"
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    balance_ += amount;  // no MutexLock: must be rejected
+  }
+
+ private:
+  lotusx::Mutex mu_;
+  int balance_ LOTUSX_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}

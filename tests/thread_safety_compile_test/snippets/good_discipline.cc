@@ -1,0 +1,68 @@
+// Correct use of the whole sync vocabulary: MutexLock scopes, an
+// explicit CondVar wait loop, a *Locked() helper with LOTUSX_REQUIRES,
+// LOTUSX_EXCLUDES contracts, TryLock, and reader/writer locks over a
+// SharedMutex. Must compile cleanly under -Wthread-safety
+// -Wthread-safety-beta -Werror — a false positive here means the
+// annotations in common/sync.h broke.
+#include "common/sync.h"
+
+namespace {
+
+class BoundedCounter {
+ public:
+  void Increment() LOTUSX_EXCLUDES(mu_) {
+    {
+      lotusx::MutexLock lock(mu_);
+      IncrementLocked();
+    }
+    not_zero_.Signal();
+  }
+
+  int BlockingDecrement() LOTUSX_EXCLUDES(mu_) {
+    lotusx::MutexLock lock(mu_);
+    while (count_ == 0) not_zero_.Wait(mu_);
+    return --count_;
+  }
+
+  bool TryIncrement() LOTUSX_EXCLUDES(mu_) {
+    if (!mu_.TryLock()) return false;
+    IncrementLocked();
+    mu_.Unlock();
+    return true;
+  }
+
+ private:
+  void IncrementLocked() LOTUSX_REQUIRES(mu_) { ++count_; }
+
+  lotusx::Mutex mu_;
+  lotusx::CondVar not_zero_;
+  int count_ LOTUSX_GUARDED_BY(mu_) = 0;
+};
+
+class Config {
+ public:
+  int value() const LOTUSX_EXCLUDES(mu_) {
+    lotusx::ReaderMutexLock lock(mu_);
+    return value_;
+  }
+  void set_value(int value) LOTUSX_EXCLUDES(mu_) {
+    lotusx::WriterMutexLock lock(mu_);
+    value_ = value;
+  }
+
+ private:
+  mutable lotusx::SharedMutex mu_;
+  int value_ LOTUSX_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  BoundedCounter counter;
+  counter.Increment();
+  counter.TryIncrement();
+  int drained = counter.BlockingDecrement();
+  Config config;
+  config.set_value(drained);
+  return config.value();
+}

@@ -14,14 +14,30 @@ Checks, in always-on mode (`tools/lint.py`):
     containers and smart pointers;
   * no `std::endl` outside `src/common` — hot paths must not flush;
   * `#include` of `common/logging.h` transitively gives CHECK; files using
-    LOTUSX_DCHECK must include `common/invariant.h` themselves.
+    LOTUSX_DCHECK must include `common/invariant.h` themselves;
+  * lock discipline (see src/common/sync.h and docs/DEVELOPMENT.md):
+      - no naked `std::mutex` / `std::lock_guard` / `std::unique_lock` /
+        `std::condition_variable` (and friends) outside
+        `src/common/sync.{h,cc}` — use the annotated lotusx wrappers so
+        Clang Thread Safety Analysis can see every acquisition
+        (`std::once_flag` / `std::call_once` stay allowed);
+      - every `LOTUSX_NO_THREAD_SAFETY_ANALYSIS` carries a `// SAFETY:`
+        comment (same line or the contiguous comment block above)
+        explaining why the analysis is wrong there;
+      - in `src/`, every `Mutex` / `SharedMutex` data member has at least
+        one sibling `LOTUSX_GUARDED_BY(<name>)` /
+        `LOTUSX_PT_GUARDED_BY(<name>)` in the same file — a mutex that
+        guards nothing is either dead or hiding unannotated state.
 
 Opt-in modes:
 
   * `--check-self-contained` — compiles every header standalone
     (`-fsyntax-only`) to prove it includes what it uses;
   * `--check-format`  — `clang-format --dry-run -Werror` over the tree
-    (skipped with a notice when clang-format is not installed).
+    (skipped with a notice when clang-format is not installed);
+  * `--self-test` — runs the static checks against the labelled fixtures
+    in `tools/lint_fixtures/` and fails unless every `// EXPECT-LINT:`
+    expectation fires exactly (guards the lint rules themselves).
 
 Exit status 0 means clean; 1 means findings (printed one per line as
 `path:line: message`); 2 means the tool itself failed.
@@ -52,12 +68,24 @@ INCLUDE_ROOTS = (
 # the logger's deliberate flush live in common).
 RAW_MEMORY_EXEMPT_PREFIXES = ("src/common/",)
 
+# The annotated wrapper layer itself — the ONLY place naked std sync
+# primitives may appear, and the definition site of the annotation
+# macros (exempt from the SAFETY-comment rule).
+SYNC_WRAPPER_FILES = ("src/common/sync.h", "src/common/sync.cc")
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
 GUARD_IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+([A-Za-z_][A-Za-z0-9_]*)")
 RAW_NEW_RE = re.compile(r"\bnew\s+[A-Za-z_(:]")
 RAW_DELETE_RE = re.compile(r"\bdelete(\s*\[\s*\])?\s+[A-Za-z_(:*]")
 ENDL_RE = re.compile(r"\bstd::endl\b")
+NAKED_SYNC_RE = re.compile(
+    r"\bstd::(?:recursive_)?(?:timed_)?mutex\b"
+    r"|\bstd::shared_(?:timed_)?mutex\b"
+    r"|\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|\bstd::condition_variable(?:_any)?\b")
+MUTEX_FIELD_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:lotusx::)?(?:Mutex|SharedMutex)\s+(\w+)\s*;")
 LINE_COMMENT_RE = re.compile(r"//.*$")
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
 
@@ -188,6 +216,61 @@ def check_tokens(rel, lines, findings):
                                  "src/common"))
 
 
+def has_safety_comment(lines, idx):
+    """True if lines[idx] or the contiguous // block above says SAFETY:."""
+    if "SAFETY:" in lines[idx]:
+        return True
+    j = idx - 1
+    while j >= 0 and lines[j].strip().startswith("//"):
+        if "SAFETY:" in lines[j]:
+            return True
+        j -= 1
+    return False
+
+
+def check_lock_discipline(rel, lines, findings):
+    """The three lock rules (see module docstring and common/sync.h)."""
+    in_wrapper = rel in SYNC_WRAPPER_FILES
+    mutex_fields = []  # (lineno, field name) pending a GUARDED_BY sibling
+    code_lines = []  # comment/string-stripped body, for sibling lookup
+    in_block_comment = False
+    for lineno, line in enumerate(lines, 1):
+        code, in_block_comment = strip_comments_and_strings(
+            line, in_block_comment)
+        code_lines.append(code)
+        if not code.strip() or "NOLINT" in line:
+            continue
+        if not in_wrapper and NAKED_SYNC_RE.search(code):
+            findings.append(
+                (rel, lineno,
+                 "naked std sync primitive outside src/common/sync.* — use "
+                 "lotusx::Mutex/MutexLock/CondVar from common/sync.h so the "
+                 "thread-safety analysis sees the acquisition"))
+        if (rel != "src/common/sync.h"  # macro definition site
+                and "LOTUSX_NO_THREAD_SAFETY_ANALYSIS" in code
+                and not has_safety_comment(lines, lineno - 1)):
+            findings.append(
+                (rel, lineno,
+                 "LOTUSX_NO_THREAD_SAFETY_ANALYSIS without an adjacent "
+                 "`// SAFETY:` comment justifying why the analysis is "
+                 "wrong here"))
+        if rel.startswith("src/") and not in_wrapper:
+            match = MUTEX_FIELD_RE.match(code)
+            if match:
+                mutex_fields.append((lineno, match.group(1)))
+    if mutex_fields:
+        # Search the STRIPPED body: a GUARDED_BY mentioned only in a
+        # comment must not satisfy the rule.
+        body = "\n".join(code_lines)
+        for lineno, name in mutex_fields:
+            if f"GUARDED_BY({name})" not in body:
+                findings.append(
+                    (rel, lineno,
+                     f"Mutex `{name}` has no LOTUSX_GUARDED_BY({name}) / "
+                     f"LOTUSX_PT_GUARDED_BY({name}) sibling in this file — "
+                     "annotate the state it guards (or delete it)"))
+
+
 def check_dcheck_include(rel, lines, findings):
     uses = any("LOTUSX_DCHECK" in line or "LOTUSX_ENSURE" in line
                for line in lines)
@@ -201,18 +284,79 @@ def check_dcheck_include(rel, lines, findings):
                                  'not include "common/invariant.h"'))
 
 
+def run_file_checks(rel, lines, findings):
+    if rel.endswith(HEADER_EXTENSIONS):
+        check_header_guard(rel, lines, findings)
+    check_includes(rel, lines, findings)
+    check_tokens(rel, lines, findings)
+    check_lock_discipline(rel, lines, findings)
+    check_dcheck_include(rel, lines, findings)
+
+
 def run_static_checks():
     findings = []
     for path in iter_source_files():
         rel = relpath(path)
         with open(path, encoding="utf-8") as f:
             lines = f.read().splitlines()
-        if rel.endswith(HEADER_EXTENSIONS):
-            check_header_guard(rel, lines, findings)
-        check_includes(rel, lines, findings)
-        check_tokens(rel, lines, findings)
-        check_dcheck_include(rel, lines, findings)
+        run_file_checks(rel, lines, findings)
     return findings
+
+
+def run_self_test():
+    """Lints the fixtures in tools/lint_fixtures/ and checks that exactly
+    the `// EXPECT-LINT:` expectations fire. A fixture's first line names
+    the repo path it impersonates via `// LINT-PATH:` (so path-scoped
+    rules like the src/-only GUARDED_BY check are exercised); directive
+    lines themselves are blanked before linting."""
+    fixtures_dir = os.path.join(REPO_ROOT, "tools", "lint_fixtures")
+    failures = []
+    fixture_count = 0
+    for name in sorted(os.listdir(fixtures_dir)):
+        if not name.endswith(SOURCE_EXTENSIONS):
+            continue
+        fixture_count += 1
+        with open(os.path.join(fixtures_dir, name), encoding="utf-8") as f:
+            raw_lines = f.read().splitlines()
+        fake_rel = None
+        expectations = []
+        lines = []
+        for line in raw_lines:
+            stripped = line.strip()
+            if stripped.startswith("// LINT-PATH:"):
+                fake_rel = stripped.split(":", 1)[1].strip()
+                lines.append("")
+            elif stripped.startswith("// EXPECT-LINT:"):
+                expectations.append(stripped.split(":", 1)[1].strip())
+                lines.append("")
+            else:
+                lines.append(line)
+        if fake_rel is None:
+            failures.append(f"{name}: missing `// LINT-PATH:` directive")
+            continue
+        findings = []
+        run_file_checks(fake_rel, lines, findings)
+        messages = [msg for _, _, msg in findings]
+        for expected in expectations:
+            hits = [msg for msg in messages if expected in msg]
+            if not hits:
+                failures.append(
+                    f"{name}: expected a finding containing {expected!r}, "
+                    f"got {messages!r}")
+            else:
+                messages.remove(hits[0])
+        for msg in messages:
+            failures.append(f"{name}: unexpected finding {msg!r}")
+    if fixture_count == 0:
+        failures.append("no fixtures found in tools/lint_fixtures/")
+    for failure in failures:
+        print(f"lint self-test: {failure}")
+    if failures:
+        print(f"lint self-test: FAILED ({len(failures)} problem(s))",
+              file=sys.stderr)
+        return 1
+    print(f"lint self-test: {fixture_count} fixture(s) OK")
+    return 0
 
 
 def find_compiler():
@@ -275,7 +419,13 @@ def main():
                         help="verify clang-format cleanliness (check-only)")
     parser.add_argument("--fix-format", action="store_true",
                         help="rewrite files with clang-format")
+    parser.add_argument("--self-test", action="store_true",
+                        help="check the lint rules against the labelled "
+                             "fixtures in tools/lint_fixtures/")
     args = parser.parse_args()
+
+    if args.self_test:
+        return run_self_test()
 
     findings = run_static_checks()
     if args.check_self_contained:

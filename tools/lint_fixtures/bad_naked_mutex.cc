@@ -1,0 +1,21 @@
+// LINT-PATH: src/lotusx/bad_naked_mutex.cc
+// Naked std sync primitives outside src/common/sync.* must be flagged —
+// the thread-safety analysis cannot see acquisitions it has no
+// annotations for. std::once_flag/std::call_once stay allowed (there is
+// no lock to annotate).
+// EXPECT-LINT: naked std sync primitive
+// EXPECT-LINT: naked std sync primitive
+#include <mutex>
+
+#include "common/sync.h"
+
+namespace lotusx {
+
+std::mutex g_bad_mu;
+std::once_flag g_init_once;  // allowed: not a lock
+
+void Touch() {
+  std::lock_guard<std::mutex> lock(g_bad_mu);
+}
+
+}  // namespace lotusx

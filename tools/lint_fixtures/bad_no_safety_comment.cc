@@ -1,0 +1,15 @@
+// LINT-PATH: src/lotusx/bad_no_safety_comment.cc
+// LOTUSX_NO_THREAD_SAFETY_ANALYSIS silences the analyzer for a whole
+// function body; without a SAFETY: justification next to it nobody can
+// audit whether the silencing is still warranted.
+// EXPECT-LINT: without an adjacent `// SAFETY:` comment
+#include "common/sync.h"
+
+namespace lotusx {
+
+Mutex g_mu;
+int g_value LOTUSX_GUARDED_BY(g_mu) = 0;
+
+int SneakyRead() LOTUSX_NO_THREAD_SAFETY_ANALYSIS { return g_value; }
+
+}  // namespace lotusx

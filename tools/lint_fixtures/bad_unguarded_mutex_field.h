@@ -1,0 +1,25 @@
+// LINT-PATH: src/lotusx/bad_unguarded_mutex_field.h
+// A Mutex member with no GUARDED_BY sibling anywhere in the file is
+// either dead weight or — worse — guarding state the analysis cannot
+// check. Only enforced under src/ (GUARDED_BY is invalid on locals, so
+// test-local mutexes are exempt by construction).
+// EXPECT-LINT: Mutex `mu_` has no LOTUSX_GUARDED_BY(mu_)
+#pragma once
+
+#include "common/sync.h"
+
+namespace lotusx {
+
+class Sessions {
+ public:
+  void Bump() {
+    MutexLock lock(mu_);
+    ++count_;  // count_ should be LOTUSX_GUARDED_BY(mu_)
+  }
+
+ private:
+  mutable Mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace lotusx

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Gate CI on the clang static analyzer (scan-build) results.
+
+scan-build writes one plist per analyzed translation unit under the
+output directory (``scan-build -o <dir> -plist-html ...``). This script
+parses every plist, normalizes each diagnostic to a ``checker|file``
+pair (paths relative to the repo root), and compares the set against a
+checked-in baseline:
+
+* a pair in the results but NOT in the baseline  -> NEW finding, fail;
+* a pair in the baseline but NOT in the results  -> STALE entry, fail
+  (the issue was fixed — shrink the baseline so it cannot mask a future
+  regression in the same file).
+
+``--update`` rewrites the baseline from the current results instead of
+failing, for intentional changes. The pair granularity is deliberate:
+line numbers churn with every edit, while a (checker, file) pair is
+stable until the underlying issue class actually moves.
+
+Usage:
+  tools/scan_build_gate.py --results scan-results \\
+      --baseline tools/scan_build_baseline.txt [--update]
+
+Exit status: 0 clean, 1 new-or-stale findings, 2 usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import plistlib
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def collect_findings(results_dir: Path) -> set[str]:
+    """Return the set of 'checker|relpath' pairs in a scan-build tree."""
+    findings: set[str] = set()
+    for plist_path in sorted(results_dir.rglob("*.plist")):
+        try:
+            with plist_path.open("rb") as fh:
+                data = plistlib.load(fh)
+        except Exception as exc:  # malformed plist: fail loudly
+            raise SystemExit(f"error: cannot parse {plist_path}: {exc}")
+        files = data.get("files", [])
+        for diag in data.get("diagnostics", []):
+            checker = diag.get("check_name") or diag.get("category", "unknown")
+            index = diag.get("location", {}).get("file")
+            raw = files[index] if isinstance(index, int) and index < len(files) else "<unknown>"
+            path = Path(raw)
+            try:
+                rel = path.resolve().relative_to(REPO_ROOT)
+            except ValueError:
+                rel = path  # outside the repo (system header): keep as-is
+            findings.add(f"{checker}|{rel.as_posix()}")
+    return findings
+
+
+def load_baseline(baseline_path: Path) -> set[str]:
+    if not baseline_path.exists():
+        return set()
+    entries: set[str] = set()
+    for line in baseline_path.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            entries.add(line)
+    return entries
+
+
+def write_baseline(baseline_path: Path, findings: set[str]) -> None:
+    lines = [
+        "# scan-build suppression baseline — one 'checker|file' pair per line.",
+        "# Managed by tools/scan_build_gate.py --update; CI fails on any",
+        "# finding not listed here AND on stale entries that no longer fire.",
+    ]
+    lines.extend(sorted(findings))
+    baseline_path.write_text("\n".join(lines) + "\n")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results", required=True, type=Path,
+                        help="scan-build output directory (plist tree)")
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="checked-in baseline file")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from current results")
+    args = parser.parse_args()
+
+    if not args.results.is_dir():
+        print(f"error: results dir not found: {args.results}", file=sys.stderr)
+        return 2
+
+    findings = collect_findings(args.results)
+    if args.update:
+        write_baseline(args.baseline, findings)
+        print(f"baseline updated: {len(findings)} entr{'y' if len(findings) == 1 else 'ies'}")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    new = sorted(findings - baseline)
+    stale = sorted(baseline - findings)
+
+    for entry in new:
+        print(f"NEW finding (not in baseline): {entry}")
+    for entry in stale:
+        print(f"STALE baseline entry (no longer fires): {entry}")
+
+    if new or stale:
+        print(f"\nscan-build gate FAILED: {len(new)} new, {len(stale)} stale.")
+        print("If intentional, regenerate with: "
+              "tools/scan_build_gate.py --results <dir> "
+              "--baseline tools/scan_build_baseline.txt --update")
+        return 1
+
+    print(f"scan-build gate passed: {len(findings)} finding(s), all baselined.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
