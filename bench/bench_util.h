@@ -68,6 +68,7 @@ struct BenchRecord {
   int reps = 0;
   double p50_ns = 0;
   double p95_ns = 0;
+  double p99_ns = 0;
   double mean_ns = 0;
 };
 
@@ -97,6 +98,7 @@ class BenchJson {
     };
     record.p50_ns = percentile(0.50);
     record.p95_ns = percentile(0.95);
+    record.p99_ns = percentile(0.99);
     record.mean_ns = std::accumulate(sorted_samples_ms.begin(),
                                      sorted_samples_ms.end(), 0.0) /
                      static_cast<double>(sorted_samples_ms.size()) * 1e6;
@@ -117,9 +119,10 @@ class BenchJson {
       const BenchRecord& r = records_[i];
       std::fprintf(file,
                    "  {\"name\": \"%s\", \"params\": \"%s\", \"reps\": %d, "
-                   "\"p50_ns\": %.1f, \"p95_ns\": %.1f, \"mean_ns\": %.1f}%s\n",
+                   "\"p50_ns\": %.1f, \"p95_ns\": %.1f, \"p99_ns\": %.1f, "
+                   "\"mean_ns\": %.1f}%s\n",
                    Escape(r.name).c_str(), Escape(r.params).c_str(), r.reps,
-                   r.p50_ns, r.p95_ns, r.mean_ns,
+                   r.p50_ns, r.p95_ns, r.p99_ns, r.mean_ns,
                    i + 1 < records_.size() ? "," : "");
     }
     std::fputs("]\n", file);

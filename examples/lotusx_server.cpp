@@ -1,0 +1,130 @@
+// TCP front end for the LotusX session protocol: indexes one XML
+// document (or a generated DBLP corpus) and serves it over the wire
+// protocol of docs/PROTOCOL.md "Wire transport" — newline-terminated
+// command lines in, byte-counted OK/ERR frames out, pipelining welcome.
+//
+// Usage:
+//   lotusx_server [file.xml] [--host H] [--port N] [--workers N]
+//                 [--max-connections N] [--idle-timeout-ms N] [--verbose]
+//
+// --port 0 (the default) binds an ephemeral port; the chosen one is
+// announced on stdout as "listening on HOST:PORT" (tools/server_smoke.py
+// parses that line). SIGTERM/SIGINT trigger a graceful drain: stop
+// accepting, answer everything in flight, flush, exit 0.
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/logging.h"
+#include "datagen/datagen.h"
+#include "lotusx/engine.h"
+#include "net/server.h"
+#include "xml/writer.h"
+
+namespace {
+
+// The signal handler may only touch async-signal-safe state;
+// Server::RequestDrain is exactly that (one atomic store + one eventfd
+// write).
+lotusx::net::Server* g_server = nullptr;
+
+void HandleShutdownSignal(int /*signum*/) {
+  if (g_server != nullptr) g_server->RequestDrain();
+}
+
+bool ParseIntFlag(const char* name, const char* arg, const char* value,
+                  long* out) {
+  if (std::strcmp(arg, name) != 0) return false;
+  if (value == nullptr) {
+    std::cerr << name << " needs a value\n";
+    std::exit(2);
+  }
+  char* end = nullptr;
+  *out = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || *out < 0) {
+    std::cerr << name << " needs a non-negative integer, got '" << value
+              << "'\n";
+    std::exit(2);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lotusx::net::ServerOptions options;
+  const char* xml_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const char* next = i + 1 < argc ? argv[i + 1] : nullptr;
+    long value = 0;
+    if (std::strcmp(argv[i], "--verbose") == 0) {
+      lotusx::SetMinLogSeverity(lotusx::LogSeverity::kInfo);
+    } else if (std::strcmp(argv[i], "--host") == 0) {
+      if (next == nullptr) {
+        std::cerr << "--host needs a value\n";
+        return 2;
+      }
+      options.host = next;
+      ++i;
+    } else if (ParseIntFlag("--port", argv[i], next, &value)) {
+      options.port = static_cast<uint16_t>(value);
+      ++i;
+    } else if (ParseIntFlag("--workers", argv[i], next, &value)) {
+      options.num_workers = static_cast<size_t>(value);
+      ++i;
+    } else if (ParseIntFlag("--max-connections", argv[i], next, &value)) {
+      options.max_connections = static_cast<size_t>(value);
+      ++i;
+    } else if (ParseIntFlag("--idle-timeout-ms", argv[i], next, &value)) {
+      options.idle_timeout_ms = static_cast<int>(value);
+      ++i;
+    } else if (argv[i][0] == '-') {
+      std::cerr << "unknown flag '" << argv[i] << "'\n";
+      return 2;
+    } else {
+      xml_path = argv[i];
+    }
+  }
+
+  lotusx::StatusOr<lotusx::Engine> engine =
+      lotusx::Status::Internal("unset");
+  if (xml_path != nullptr) {
+    engine = lotusx::Engine::FromXmlFile(xml_path);
+  } else {
+    lotusx::datagen::DblpOptions corpus;
+    corpus.num_publications = 500;
+    engine = lotusx::Engine::FromXmlText(
+        lotusx::xml::WriteXml(lotusx::datagen::GenerateDblp(corpus)));
+  }
+  if (!engine.ok()) {
+    std::cerr << "cannot build engine: " << engine.status().ToString()
+              << "\n";
+    return 1;
+  }
+
+  auto server = lotusx::net::Server::Start(engine->indexed(), options);
+  if (!server.ok()) {
+    std::cerr << "cannot start server: " << server.status().ToString()
+              << "\n";
+    return 1;
+  }
+  g_server = server->get();
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Flushed immediately: tools/server_smoke.py waits for this line to
+  // learn the ephemeral port.
+  std::cout << "indexed " << engine->document().num_nodes()
+            << " nodes; listening on " << options.host << ":"
+            << (*server)->port() << "\n"
+            << std::flush;
+
+  (*server)->AwaitTermination();
+  std::cout << "drained, bye\n" << std::flush;
+  g_server = nullptr;
+  return 0;
+}

@@ -1,0 +1,287 @@
+#include "net/connection.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status_or.h"
+#include "net/server.h"
+#include "net/wire.h"
+
+namespace lotusx::net {
+
+namespace {
+
+metrics::Counter* BytesReadCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Default().GetCounter("lotusx_net_bytes_read_total");
+  return counter;
+}
+
+metrics::Counter* BytesWrittenCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Default().GetCounter(
+          "lotusx_net_bytes_written_total");
+  return counter;
+}
+
+metrics::Counter* CommandsCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Default().GetCounter("lotusx_net_commands_total");
+  return counter;
+}
+
+metrics::Counter* CommandErrorsCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Default().GetCounter(
+          "lotusx_net_command_errors_total");
+  return counter;
+}
+
+metrics::Counter* FramingErrorsCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Default().GetCounter(
+          "lotusx_net_framing_errors_total");
+  return counter;
+}
+
+/// Per-verb latency histogram. Unknown verbs collapse into {verb="other"}
+/// so a hostile client cannot grow the metric registry without bound.
+metrics::Histogram* VerbLatency(std::string_view command) {
+  static const std::vector<std::string> kVerbs = {
+      "ADD",     "TAG",     "EDGE",       "TYPE",       "ACCEPT",
+      "TYPEVAL", "VALUE",   "ORDERED",    "OUTPUT",     "MOVE",
+      "REMOVE",  "QUERY",   "RUN",        "FIND",       "STATS",
+      "EXPLAIN", "XPATH",   "XQUERY",     "SVG",        "SAVECANVAS",
+      "LOADCANVAS", "HISTORY", "EXAMPLE", "PARSE",      "CHECKPOINT",
+      "UNDO",    "SHOW",    "RESET",      "HELP"};
+  size_t start = 0;
+  while (start < command.size() &&
+         (command[start] == ' ' || command[start] == '\t')) {
+    ++start;
+  }
+  size_t end = start;
+  while (end < command.size() && command[end] != ' ' &&
+         command[end] != '\t') {
+    ++end;
+  }
+  std::string verb;
+  verb.reserve(end - start);
+  for (size_t i = start; i < end; ++i) {
+    verb.push_back(static_cast<char>(
+        std::toupper(static_cast<unsigned char>(command[i]))));
+  }
+  if (std::find(kVerbs.begin(), kVerbs.end(), verb) == kVerbs.end()) {
+    verb = "other";
+  }
+  return metrics::Registry::Default().GetHistogram(
+      "lotusx_net_command_latency_usec", {{"verb", verb}});
+}
+
+}  // namespace
+
+Connection::Connection(int fd, Server* server,
+                       const index::IndexedDocument& indexed,
+                       const session::SessionOptions& session_options,
+                       const ConnectionLimits& limits)
+    : fd_(fd),
+      server_(server),
+      limits_(limits),
+      framer_(limits.max_line_bytes),
+      session_(indexed, session_options),
+      interpreter_(&session_) {}
+
+Connection::~Connection() = default;
+
+void Connection::OnReadable() {
+  char buf[16384];
+  while (!stop_reading_ && !fatal_error_) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      last_activity_.Restart();
+      BytesReadCounter()->Increment(static_cast<uint64_t>(n));
+      std::vector<std::string> lines;
+      Status framed =
+          framer_.Feed(std::string_view(buf, static_cast<size_t>(n)), &lines);
+      if (!lines.empty()) EnqueueLines(&lines);
+      if (!framed.ok()) {
+        // The stream cannot be re-synchronized past an overlong line.
+        // The ERR frame is deferred (MaybeEmitFramingError) so responses
+        // to commands that preceded the bad line keep their order.
+        stop_reading_ = true;
+        MutexLock lock(mu_);
+        framing_error_ = framed.message();
+        break;
+      }
+      // Backpressure: once the command queue or the un-read response
+      // buffer is full, leave the rest in the kernel buffer; the loop
+      // drops EPOLLIN until the queues shrink (level-triggered epoll
+      // re-signals when we re-subscribe).
+      MutexLock lock(mu_);
+      if (pending_.size() >= limits_.max_pipelined_commands ||
+          output_.size() >= limits_.max_output_bytes) {
+        break;
+      }
+    } else if (n == 0) {
+      // Peer half-closed: answer everything already queued, then close.
+      stop_reading_ = true;
+      MutexLock lock(mu_);
+      close_after_flush_ = true;
+      break;
+    } else if (errno == EINTR) {
+      continue;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    } else {
+      fatal_error_ = true;
+      break;
+    }
+  }
+}
+
+void Connection::EnqueueLines(std::vector<std::string>* lines) {
+  bool start_batch = false;
+  {
+    MutexLock lock(mu_);
+    if (closed_) return;
+    for (std::string& line : *lines) pending_.push_back(std::move(line));
+    if (!task_in_flight_ && !pending_.empty()) {
+      task_in_flight_ = true;
+      start_batch = true;
+    }
+  }
+  if (start_batch) server_->SubmitExecution(shared_from_this());
+}
+
+void Connection::ExecuteBatch() {
+  for (;;) {
+    std::string command;
+    {
+      MutexLock lock(mu_);
+      if (closed_ || pending_.empty()) {
+        task_in_flight_ = false;
+        break;
+      }
+      command = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    Timer timer;
+    StatusOr<std::string> result = interpreter_.Execute(command);
+    VerbLatency(command)->Observe(timer.ElapsedMicros());
+    CommandsCounter()->Increment();
+    std::string frame;
+    if (result.ok()) {
+      frame = EncodeFrame(true, *result);
+    } else {
+      CommandErrorsCounter()->Increment();
+      frame = EncodeFrame(false, result.status().ToString());
+    }
+    {
+      MutexLock lock(mu_);
+      output_.append(frame);
+    }
+    server_->NotifyDirty(shared_from_this());
+  }
+  // Final wake: the loop may now re-arm EPOLLIN (backpressure released),
+  // emit a deferred framing error, or close a drained connection.
+  server_->NotifyDirty(shared_from_this());
+}
+
+void Connection::FlushWrites() {
+  {
+    MutexLock lock(mu_);
+    if (!output_.empty()) {
+      if (write_offset_ == write_buffer_.size()) {
+        write_buffer_.clear();
+        write_offset_ = 0;
+      }
+      write_buffer_.append(output_);
+      output_.clear();
+    }
+  }
+  while (write_offset_ < write_buffer_.size() && !fatal_error_) {
+    ssize_t n = ::send(fd_, write_buffer_.data() + write_offset_,
+                       write_buffer_.size() - write_offset_, MSG_NOSIGNAL);
+    if (n > 0) {
+      write_offset_ += static_cast<size_t>(n);
+      BytesWrittenCounter()->Increment(static_cast<uint64_t>(n));
+    } else if (errno == EINTR) {
+      continue;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    } else {
+      fatal_error_ = true;
+    }
+  }
+  if (write_offset_ == write_buffer_.size()) {
+    write_buffer_.clear();
+    write_offset_ = 0;
+  }
+}
+
+void Connection::MaybeEmitFramingError() {
+  MutexLock lock(mu_);
+  if (framing_error_.empty() || task_in_flight_ || !pending_.empty()) return;
+  output_.append(EncodeFrame(false, framing_error_));
+  framing_error_.clear();
+  close_after_flush_ = true;
+  FramingErrorsCounter()->Increment();
+}
+
+uint32_t Connection::DesiredEvents() {
+  size_t pending_count;
+  size_t output_bytes;
+  bool error_pending;
+  {
+    MutexLock lock(mu_);
+    pending_count = pending_.size();
+    output_bytes = output_.size();
+    error_pending = !framing_error_.empty();
+  }
+  size_t unsent = output_bytes + (write_buffer_.size() - write_offset_);
+  uint32_t events = 0;
+  if (unsent > 0) events |= EPOLLOUT;
+  if (!stop_reading_ && !fatal_error_ && !error_pending &&
+      pending_count < limits_.max_pipelined_commands &&
+      unsent < limits_.max_output_bytes) {
+    events |= EPOLLIN;
+  }
+  return events;
+}
+
+bool Connection::ReadyToClose() {
+  if (fatal_error_) return true;
+  MutexLock lock(mu_);
+  return close_after_flush_ && pending_.empty() && !task_in_flight_ &&
+         framing_error_.empty() && output_.empty() &&
+         write_offset_ == write_buffer_.size();
+}
+
+void Connection::BeginDrain() {
+  stop_reading_ = true;
+  MutexLock lock(mu_);
+  close_after_flush_ = true;
+}
+
+void Connection::MarkClosed() {
+  MutexLock lock(mu_);
+  closed_ = true;
+  pending_.clear();
+  output_.clear();
+}
+
+bool Connection::IdleCandidate() {
+  if (write_offset_ < write_buffer_.size()) return false;
+  MutexLock lock(mu_);
+  return pending_.empty() && !task_in_flight_ && output_.empty() &&
+         framing_error_.empty() && !close_after_flush_;
+}
+
+}  // namespace lotusx::net

@@ -1,0 +1,147 @@
+#ifndef LOTUSX_NET_CONNECTION_H_
+#define LOTUSX_NET_CONNECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "common/sync.h"
+#include "common/timer.h"
+#include "index/indexed_document.h"
+#include "net/line_framer.h"
+#include "session/protocol.h"
+#include "session/session.h"
+
+namespace lotusx::net {
+
+class Server;
+
+/// Per-connection resource limits, copied out of ServerOptions.
+struct ConnectionLimits {
+  size_t max_line_bytes = 64 * 1024;
+  /// Commands queued but not yet executed before the server stops
+  /// reading from this socket (pipelining backpressure).
+  size_t max_pipelined_commands = 256;
+  /// Bytes of un-sent response before the server stops reading (a client
+  /// that pipelines but never reads cannot balloon our memory).
+  size_t max_output_bytes = 4 * 1024 * 1024;
+};
+
+/// One client connection: socket fd, its private Session + interpreter,
+/// a request framer, and the pending-command / response-byte queues that
+/// tie the event loop to the worker pool.
+///
+/// Threading: the event loop owns the fd (all reads, writes, epoll
+/// bookkeeping, and closing happen there). Command execution runs on the
+/// server's ThreadPool, but with AT MOST ONE task in flight per
+/// connection (`task_in_flight_`), so the Session/interpreter — which are
+/// not thread-safe — are only ever touched by one worker at a time, and
+/// the handoff happens through `mu_`. Fields below are split accordingly:
+/// loop-only fields carry no annotation, cross-thread state is
+/// LOTUSX_GUARDED_BY(mu_).
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  Connection(int fd, Server* server, const index::IndexedDocument& indexed,
+             const session::SessionOptions& session_options,
+             const ConnectionLimits& limits);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_; }
+
+  // ------------------------------------------------ event-loop interface
+
+  /// Drains the socket into the framer, queues completed command lines,
+  /// and kicks off a worker batch when none is in flight.
+  void OnReadable() LOTUSX_EXCLUDES(mu_);
+
+  /// Moves queued response bytes to the socket until EAGAIN.
+  void FlushWrites() LOTUSX_EXCLUDES(mu_);
+
+  /// Emits the deferred framing-error ERR frame once every command that
+  /// preceded the overlong line has answered (responses must stay in
+  /// request order), then arranges close-after-flush.
+  void MaybeEmitFramingError() LOTUSX_EXCLUDES(mu_);
+
+  /// The epoll interest this connection currently wants:
+  /// EPOLLIN unless reading is stopped or backpressure thresholds are
+  /// exceeded; EPOLLOUT while response bytes are waiting.
+  uint32_t DesiredEvents() LOTUSX_EXCLUDES(mu_);
+
+  /// True once the connection is finished: a fatal socket error, or
+  /// close-after-flush with everything executed and flushed.
+  bool ReadyToClose() LOTUSX_EXCLUDES(mu_);
+
+  /// Graceful-drain entry: stop reading new commands, answer what is
+  /// queued, then close.
+  void BeginDrain() LOTUSX_EXCLUDES(mu_);
+
+  /// Marks the connection closed so a late worker batch aborts instead
+  /// of appending output nobody will read. Called by the loop just
+  /// before it closes the fd.
+  void MarkClosed() LOTUSX_EXCLUDES(mu_);
+
+  /// True when the peer may be idle-timed out: nothing queued, nothing
+  /// executing, nothing to flush.
+  bool IdleCandidate() LOTUSX_EXCLUDES(mu_);
+
+  /// Milliseconds since the last byte arrived from the peer.
+  double IdleMillis() const { return last_activity_.ElapsedMillis(); }
+
+  bool has_fatal_error() const { return fatal_error_; }
+
+  // ---------------------------------------------- worker-pool interface
+
+  /// Executes queued commands one at a time until the queue is empty (or
+  /// the connection closed), framing each response into the output
+  /// buffer and waking the event loop. Runs on a pool worker; the
+  /// single-task-in-flight discipline makes it the sole toucher of
+  /// `session_` / `interpreter_`.
+  void ExecuteBatch() LOTUSX_EXCLUDES(mu_);
+
+ private:
+  /// Queues completed lines and starts a worker batch if needed.
+  void EnqueueLines(std::vector<std::string>* lines) LOTUSX_EXCLUDES(mu_);
+
+  const int fd_;
+  Server* const server_;
+  const ConnectionLimits limits_;
+
+  // --- event-loop-only state (never touched by workers) ---
+  LineFramer framer_;
+  std::string write_buffer_;   // bytes handed to the socket, maybe partial
+  size_t write_offset_ = 0;    // sent prefix of write_buffer_
+  bool stop_reading_ = false;  // EOF, drain, or framing error
+  bool fatal_error_ = false;   // read/write failed: close without flushing
+  Timer last_activity_;
+
+  // --- worker-only state (serialized by the one-task-in-flight rule) ---
+  session::Session session_;
+  session::ProtocolInterpreter interpreter_;
+
+  // --- cross-thread state ---
+  Mutex mu_;
+  /// Framed command lines awaiting execution (loop pushes, worker pops).
+  std::deque<std::string> pending_ LOTUSX_GUARDED_BY(mu_);
+  /// Encoded response frames awaiting the socket (worker appends, loop
+  /// drains into write_buffer_).
+  std::string output_ LOTUSX_GUARDED_BY(mu_);
+  /// At most one ExecuteBatch task exists while this is true.
+  bool task_in_flight_ LOTUSX_GUARDED_BY(mu_) = false;
+  /// Set by the loop when the fd is (about to be) closed.
+  bool closed_ LOTUSX_GUARDED_BY(mu_) = false;
+  /// Finish queued work, flush, then close (EOF or drain).
+  bool close_after_flush_ LOTUSX_GUARDED_BY(mu_) = false;
+  /// Non-empty once the framer rejected an overlong line; the message is
+  /// emitted as the connection's final ERR frame by
+  /// MaybeEmitFramingError.
+  std::string framing_error_ LOTUSX_GUARDED_BY(mu_);
+};
+
+}  // namespace lotusx::net
+
+#endif  // LOTUSX_NET_CONNECTION_H_

@@ -1,0 +1,42 @@
+#include "net/line_framer.h"
+
+namespace lotusx::net {
+
+Status LineFramer::Feed(std::string_view data,
+                        std::vector<std::string>* lines) {
+  if (poisoned_) {
+    return Status::InvalidArgument("line exceeds " +
+                                   std::to_string(max_line_bytes_) +
+                                   " bytes");
+  }
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t newline = data.find('\n', pos);
+    if (newline == std::string_view::npos) {
+      partial_.append(data.substr(pos));
+      break;
+    }
+    partial_.append(data.substr(pos, newline - pos));
+    if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+    if (partial_.size() > max_line_bytes_) {
+      poisoned_ = true;
+      partial_.clear();
+      return Status::InvalidArgument("line exceeds " +
+                                     std::to_string(max_line_bytes_) +
+                                     " bytes");
+    }
+    lines->push_back(std::move(partial_));
+    partial_.clear();
+    pos = newline + 1;
+  }
+  if (partial_.size() > max_line_bytes_) {
+    poisoned_ = true;
+    partial_.clear();
+    return Status::InvalidArgument("line exceeds " +
+                                   std::to_string(max_line_bytes_) +
+                                   " bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace lotusx::net

@@ -1,0 +1,47 @@
+#ifndef LOTUSX_NET_LINE_FRAMER_H_
+#define LOTUSX_NET_LINE_FRAMER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lotusx::net {
+
+/// Incremental request framer for the wire protocol: commands arrive as
+/// '\n'-terminated lines (an optional preceding '\r' is stripped, so
+/// netcat/telnet-style CRLF clients just work). TCP gives no message
+/// boundaries — one read may carry half a command or fifty — so the
+/// framer buffers the trailing partial line between Feed() calls.
+///
+/// A line longer than `max_line_bytes` poisons the framer: the byte
+/// stream can no longer be resynchronized (the overlong "line" may run to
+/// the end of the connection), so Feed() keeps failing and the caller is
+/// expected to report the error and close. Single-threaded; every
+/// Connection owns one, touched only by the event loop.
+class LineFramer {
+ public:
+  explicit LineFramer(size_t max_line_bytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Consumes `data`, appending every completed line (terminator removed)
+  /// to `*lines`. Returns InvalidArgument once a line exceeds
+  /// max_line_bytes; completed lines framed before the overflow are still
+  /// delivered on that call.
+  Status Feed(std::string_view data, std::vector<std::string>* lines);
+
+  /// Bytes of the buffered partial line.
+  size_t buffered() const { return partial_.size(); }
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  const size_t max_line_bytes_;
+  std::string partial_;
+  bool poisoned_ = false;
+};
+
+}  // namespace lotusx::net
+
+#endif  // LOTUSX_NET_LINE_FRAMER_H_

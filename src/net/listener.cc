@@ -1,0 +1,97 @@
+#include "net/listener.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace lotusx::net {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+StatusOr<Listener> Listener::Bind(const std::string& host, uint16_t port,
+                                  int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::IOError(Errno("socket"));
+
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad listen address '" + host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = Status::IOError(Errno("bind " + host + ":" +
+                                          std::to_string(port)));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status status = Status::IOError(Errno("listen"));
+    ::close(fd);
+    return status;
+  }
+
+  // Recover the kernel-assigned port when the caller asked for port 0.
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    Status status = Status::IOError(Errno("getsockname"));
+    ::close(fd);
+    return status;
+  }
+  return Listener(fd, ntohs(bound.sin_port));
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(other.port_) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = other.port_;
+  }
+  return *this;
+}
+
+Listener::~Listener() { Close(); }
+
+StatusOr<int> Listener::Accept() {
+  if (fd_ < 0) return Status::FailedPrecondition("listener is closed");
+  int conn = ::accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (conn >= 0) {
+    int one = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return conn;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+  return Status::IOError(Errno("accept"));
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace lotusx::net

@@ -1,0 +1,46 @@
+#ifndef LOTUSX_NET_LISTENER_H_
+#define LOTUSX_NET_LISTENER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status_or.h"
+
+namespace lotusx::net {
+
+/// A bound, listening, non-blocking TCP socket. Move-only RAII over the
+/// file descriptor; the Server owns one and polls it through epoll.
+class Listener {
+ public:
+  /// Binds and listens on host:port (port 0 picks an ephemeral port;
+  /// port() reports the real one). SO_REUSEADDR is set so restarts do
+  /// not trip over TIME_WAIT.
+  static StatusOr<Listener> Bind(const std::string& host, uint16_t port,
+                                 int backlog);
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener();
+
+  /// Accepts one pending connection as a non-blocking, close-on-exec fd.
+  /// Returns OK(-1) when no connection is pending (EAGAIN) — the caller
+  /// re-arms epoll — and an error Status on real accept failures.
+  StatusOr<int> Accept();
+
+  void Close();
+
+  int fd() const { return fd_; }
+  uint16_t port() const { return port_; }
+
+ private:
+  Listener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace lotusx::net
+
+#endif  // LOTUSX_NET_LISTENER_H_

@@ -1,0 +1,296 @@
+#include "net/server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <utility>
+
+#include "net/wire.h"
+
+namespace lotusx::net {
+
+StatusOr<std::unique_ptr<Server>> Server::Start(
+    const index::IndexedDocument& indexed, ServerOptions options) {
+  LOTUSX_ASSIGN_OR_RETURN(
+      Listener listener,
+      Listener::Bind(options.host, options.port, options.backlog));
+
+  int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) return Status::IOError("epoll_create1 failed");
+  int wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd < 0) {
+    ::close(epoll_fd);
+    return Status::IOError("eventfd failed");
+  }
+
+  int listener_fd = listener.fd();
+  auto server = std::make_unique<Server>(indexed, std::move(options),
+                                         std::move(listener), epoll_fd,
+                                         wake_fd);
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listener_fd;
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listener_fd, &ev) != 0) {
+    return Status::IOError("epoll_ctl(listener) failed");
+  }
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd;
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &ev) != 0) {
+    return Status::IOError("epoll_ctl(eventfd) failed");
+  }
+
+  server->loop_thread_ = std::thread([s = server.get()] { s->EventLoop(); });
+  return server;
+}
+
+Server::Server(const index::IndexedDocument& indexed, ServerOptions options,
+               Listener listener, int epoll_fd, int wake_fd)
+    : indexed_(indexed),
+      options_(std::move(options)),
+      port_(listener.port()),
+      listener_(std::move(listener)),
+      epoll_fd_(epoll_fd),
+      wake_fd_(wake_fd),
+      pool_(options_.num_workers > 0 ? options_.num_workers
+                                     : ThreadPool::DefaultThreadCount()) {
+  metrics::Registry& registry = metrics::Registry::Default();
+  connections_gauge_ = registry.GetGauge("lotusx_net_connections_active");
+  accepted_total_ = registry.GetCounter("lotusx_net_accepted_total");
+  rejected_total_ = registry.GetCounter("lotusx_net_rejected_total");
+  idle_timeouts_total_ =
+      registry.GetCounter("lotusx_net_idle_timeouts_total");
+}
+
+Server::~Server() {
+  Stop();
+  ::close(epoll_fd_);
+  ::close(wake_fd_);
+}
+
+void Server::RequestDrain() {
+  drain_requested_.store(true, std::memory_order_release);
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Server::AwaitTermination() {
+  {
+    MutexLock lock(join_mu_);
+    if (!joined_) {
+      // Start() may have failed before the loop thread existed.
+      if (loop_thread_.joinable()) loop_thread_.join();
+      joined_ = true;
+    }
+  }
+  pool_.Shutdown();
+}
+
+void Server::Stop() {
+  RequestDrain();
+  AwaitTermination();
+}
+
+void Server::SubmitExecution(std::shared_ptr<Connection> conn) {
+  std::shared_ptr<Connection> keep = conn;
+  if (!pool_.Submit([conn = std::move(conn)] { conn->ExecuteBatch(); })) {
+    // Pool already shut down (we are past AwaitTermination); nobody will
+    // read these responses, so just release the in-flight claim.
+    keep->MarkClosed();
+    NotifyDirty(std::move(keep));
+  }
+}
+
+void Server::NotifyDirty(std::shared_ptr<Connection> conn) {
+  {
+    MutexLock lock(mu_);
+    dirty_.push_back(std::move(conn));
+  }
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Server::EventLoop() {
+  std::array<epoll_event, 64> events;
+  for (;;) {
+    int n = ::epoll_wait(epoll_fd_, events.data(),
+                         static_cast<int>(events.size()), WaitTimeoutMs());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed: tear everything down below
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      uint32_t ev = events[i].events;
+      if (fd == wake_fd_) {
+        uint64_t value;
+        [[maybe_unused]] ssize_t r = ::read(wake_fd_, &value, sizeof(value));
+        continue;  // the work itself arrives via dirty_
+      }
+      if (fd == listener_.fd()) {
+        AcceptPending();
+        continue;
+      }
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;  // closed earlier this round
+      std::shared_ptr<Connection> conn = it->second;
+      if (ev & EPOLLIN) conn->OnReadable();
+      if (ev & EPOLLOUT) conn->FlushWrites();
+      if ((ev & (EPOLLERR | EPOLLHUP)) && !conn->ReadyToClose() &&
+          !(ev & EPOLLIN)) {
+        // Peer reset while we were not even reading (backpressure or
+        // drain): no bytes will tell us, so close on the epoll signal.
+        CloseConnection(conn);
+        continue;
+      }
+      ProcessConnection(conn);
+    }
+    ProcessDirty();
+    if (drain_requested_.load(std::memory_order_acquire) && !draining_) {
+      BeginDraining();
+    }
+    if (options_.idle_timeout_ms > 0) CloseIdleConnections();
+    if (draining_) {
+      if (connections_.empty()) break;
+      if (drain_clock_.ElapsedMillis() >=
+          static_cast<double>(options_.drain_timeout_ms)) {
+        break;  // stragglers are force-closed below
+      }
+    }
+  }
+  // Force-close whatever is left (drain timeout or epoll failure).
+  std::vector<std::shared_ptr<Connection>> remaining;
+  remaining.reserve(connections_.size());
+  for (auto& [fd, conn] : connections_) remaining.push_back(conn);
+  for (auto& conn : remaining) CloseConnection(conn);
+  listener_.Close();
+}
+
+void Server::BeginDraining() {
+  draining_ = true;
+  drain_clock_.Restart();
+  listener_.Close();  // closing the fd deregisters it from epoll
+  std::vector<std::shared_ptr<Connection>> conns;
+  conns.reserve(connections_.size());
+  for (auto& [fd, conn] : connections_) conns.push_back(conn);
+  for (auto& conn : conns) {
+    conn->BeginDrain();
+    ProcessConnection(conn);  // idle connections close right here
+  }
+}
+
+void Server::AcceptPending() {
+  for (;;) {
+    StatusOr<int> accepted = listener_.Accept();
+    if (!accepted.ok()) break;  // EMFILE etc.: retry on the next event
+    int fd = *accepted;
+    if (fd < 0) break;  // would-block: queue drained
+    if (connections_.size() >= options_.max_connections) {
+      std::string frame = EncodeFrame(false, "server at connection limit");
+      [[maybe_unused]] ssize_t n =
+          ::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      rejected_total_->Increment();
+      continue;
+    }
+    ConnectionLimits limits;
+    limits.max_line_bytes = options_.max_line_bytes;
+    limits.max_pipelined_commands = options_.max_pipelined_commands;
+    limits.max_output_bytes = options_.max_output_bytes;
+    auto conn = std::make_shared<Connection>(fd, this, indexed_,
+                                             options_.session, limits);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    registered_events_[fd] = EPOLLIN;
+    connections_[fd] = std::move(conn);
+    accepted_total_->Increment();
+    connections_gauge_->Add(1);
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::ProcessDirty() {
+  std::vector<std::shared_ptr<Connection>> dirty;
+  {
+    MutexLock lock(mu_);
+    dirty.swap(dirty_);
+  }
+  for (auto& conn : dirty) ProcessConnection(conn);
+}
+
+void Server::ProcessConnection(const std::shared_ptr<Connection>& conn) {
+  auto it = connections_.find(conn->fd());
+  // A closed fd number may already belong to a newer connection; only
+  // act when this exact connection is still registered.
+  if (it == connections_.end() || it->second != conn) return;
+  conn->MaybeEmitFramingError();
+  conn->FlushWrites();
+  if (conn->has_fatal_error() || conn->ReadyToClose()) {
+    CloseConnection(conn);
+    return;
+  }
+  UpdateInterest(conn);
+}
+
+void Server::UpdateInterest(const std::shared_ptr<Connection>& conn) {
+  uint32_t want = conn->DesiredEvents();
+  uint32_t& registered = registered_events_[conn->fd()];
+  if (want == registered) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.fd = conn->fd();
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &ev) == 0) {
+    registered = want;
+  }
+}
+
+void Server::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  auto it = connections_.find(conn->fd());
+  if (it == connections_.end() || it->second != conn) return;
+  conn->MarkClosed();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd(), nullptr);
+  ::close(conn->fd());
+  registered_events_.erase(conn->fd());
+  connections_.erase(it);
+  connections_gauge_->Add(-1);
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::CloseIdleConnections() {
+  std::vector<std::shared_ptr<Connection>> idle;
+  for (auto& [fd, conn] : connections_) {
+    if (conn->IdleCandidate() &&
+        conn->IdleMillis() >= static_cast<double>(options_.idle_timeout_ms)) {
+      idle.push_back(conn);
+    }
+  }
+  for (auto& conn : idle) {
+    idle_timeouts_total_->Increment();
+    CloseConnection(conn);
+  }
+}
+
+int Server::WaitTimeoutMs() const {
+  int timeout = -1;
+  if (options_.idle_timeout_ms > 0 && !connections_.empty()) {
+    // Coarse tick: idle closes land within ~a quarter period of the
+    // deadline, which is plenty for a keep-alive reaper.
+    timeout = std::clamp(options_.idle_timeout_ms / 4, 10, 1000);
+  }
+  if (draining_) {
+    timeout = timeout < 0 ? 50 : std::min(timeout, 50);
+  }
+  return timeout;
+}
+
+}  // namespace lotusx::net

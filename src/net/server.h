@@ -1,0 +1,156 @@
+#ifndef LOTUSX_NET_SERVER_H_
+#define LOTUSX_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status_or.h"
+#include "common/sync.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "index/indexed_document.h"
+#include "net/connection.h"
+#include "net/listener.h"
+#include "session/session.h"
+
+namespace lotusx::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; Server::port() reports the real one.
+  uint16_t port = 0;
+  int backlog = 128;
+  /// Connections beyond this are answered with one ERR frame and closed.
+  size_t max_connections = 1024;
+  size_t max_line_bytes = 64 * 1024;
+  size_t max_pipelined_commands = 256;
+  size_t max_output_bytes = 4 * 1024 * 1024;
+  /// Close connections with no traffic and no queued work after this
+  /// long; 0 disables idle timeouts.
+  int idle_timeout_ms = 0;
+  /// RequestDrain() force-closes stragglers after this long.
+  int drain_timeout_ms = 5000;
+  /// Command-execution workers; 0 = ThreadPool::DefaultThreadCount().
+  size_t num_workers = 0;
+  session::SessionOptions session;
+};
+
+/// Epoll-based TCP front end for the session protocol.
+///
+/// One event-loop thread owns every socket: it accepts, reads, frames
+/// request lines, writes response frames, and closes. Command execution
+/// (Session::Run and friends, the expensive part) is fanned out to a
+/// ThreadPool, at most one in-flight batch per connection so each
+/// connection's Session stays single-threaded. Workers hand finished
+/// responses back through Connection::output_ and wake the loop via an
+/// eventfd.
+///
+/// Responses are byte-counted OK/ERR frames (net/wire.h); requests are
+/// newline-terminated command lines, pipelining encouraged — see
+/// docs/PROTOCOL.md "Wire transport".
+///
+/// Shutdown is graceful: RequestDrain() (async-signal-safe, call it from
+/// a SIGTERM handler) stops accepting, lets queued commands finish,
+/// flushes every response, then the loop exits; AwaitTermination() joins
+/// the loop and drains the worker pool. Stop() does both; so does the
+/// destructor.
+class Server {
+ public:
+  static StatusOr<std::unique_ptr<Server>> Start(
+      const index::IndexedDocument& indexed, ServerOptions options);
+
+  /// Use Start() — this constructor only wires together already-created
+  /// resources and is public so the factory can std::make_unique it.
+  Server(const index::IndexedDocument& indexed, ServerOptions options,
+         Listener listener, int epoll_fd, int wake_fd);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  /// Begins graceful shutdown and returns immediately. Async-signal-safe
+  /// (one atomic store and one eventfd write).
+  void RequestDrain();
+
+  /// Blocks until the event loop has exited (i.e. the drain finished or
+  /// timed out), then shuts down the worker pool. Safe to call from
+  /// multiple threads; must be preceded by RequestDrain() or it waits
+  /// forever.
+  void AwaitTermination() LOTUSX_EXCLUDES(join_mu_);
+
+  /// RequestDrain() + AwaitTermination().
+  void Stop() LOTUSX_EXCLUDES(join_mu_);
+
+  int64_t active_connections() const {
+    return active_connections_.load(std::memory_order_relaxed);
+  }
+
+  // ------------------------------------------- Connection plumbing
+  // (called by Connection from loop and worker threads; not for users)
+
+  /// Runs conn->ExecuteBatch() on the worker pool.
+  void SubmitExecution(std::shared_ptr<Connection> conn);
+
+  /// Queues `conn` for loop-side attention (flush/close/re-arm) and
+  /// wakes the event loop. Called by workers after framing a response.
+  void NotifyDirty(std::shared_ptr<Connection> conn) LOTUSX_EXCLUDES(mu_);
+
+ private:
+  void EventLoop() LOTUSX_EXCLUDES(mu_);
+  void AcceptPending();
+  /// Flush / deferred-error / close / epoll re-arm for one connection.
+  void ProcessConnection(const std::shared_ptr<Connection>& conn);
+  void ProcessDirty() LOTUSX_EXCLUDES(mu_);
+  void UpdateInterest(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+  void CloseIdleConnections();
+  void BeginDraining();
+  /// epoll_wait timeout: -1 when nothing is time-driven, else a tick
+  /// coarse enough to be cheap and fine enough for idle/drain deadlines.
+  int WaitTimeoutMs() const;
+
+  const index::IndexedDocument& indexed_;
+  const ServerOptions options_;
+  const uint16_t port_;
+
+  // --- event-loop-only state ---
+  Listener listener_;
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+  std::unordered_map<int, uint32_t> registered_events_;
+  bool draining_ = false;
+  Timer drain_clock_;
+
+  const int epoll_fd_;
+  const int wake_fd_;  // eventfd: workers + RequestDrain wake the loop
+
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<int64_t> active_connections_{0};
+
+  Mutex mu_;
+  /// Connections with worker-produced output (or finished batches)
+  /// awaiting loop-side processing.
+  std::vector<std::shared_ptr<Connection>> dirty_ LOTUSX_GUARDED_BY(mu_);
+
+  Mutex join_mu_;  // elects the AwaitTermination caller that joins
+  bool joined_ LOTUSX_GUARDED_BY(join_mu_) = false;
+
+  ThreadPool pool_;
+  std::thread loop_thread_;
+
+  metrics::Gauge* connections_gauge_ = nullptr;
+  metrics::Counter* accepted_total_ = nullptr;
+  metrics::Counter* rejected_total_ = nullptr;
+  metrics::Counter* idle_timeouts_total_ = nullptr;
+};
+
+}  // namespace lotusx::net
+
+#endif  // LOTUSX_NET_SERVER_H_

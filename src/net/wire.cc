@@ -1,0 +1,67 @@
+#include "net/wire.h"
+
+#include <cstdlib>
+
+namespace lotusx::net {
+
+std::string EncodeFrame(bool ok, std::string_view payload) {
+  std::string frame;
+  frame.reserve(payload.size() + 16);
+  frame.append(ok ? "OK " : "ERR ");
+  frame.append(std::to_string(payload.size()));
+  frame.push_back('\n');
+  frame.append(payload);
+  frame.push_back('\n');
+  return frame;
+}
+
+Status FrameParser::Feed(std::string_view data, std::vector<Frame>* frames) {
+  if (failed_) return Status::Corruption("frame stream already corrupt");
+  buffer_.append(data);
+  while (true) {
+    if (state_ == State::kHeader) {
+      size_t newline = buffer_.find('\n');
+      if (newline == std::string::npos) return Status::OK();
+      std::string_view header(buffer_.data(), newline);
+      size_t space = header.find(' ');
+      std::string_view verdict =
+          space == std::string_view::npos ? header : header.substr(0, space);
+      if (verdict == "OK") {
+        current_ok_ = true;
+      } else if (verdict == "ERR") {
+        current_ok_ = false;
+      } else {
+        failed_ = true;
+        return Status::Corruption("bad frame header: '" + std::string(header) +
+                                  "'");
+      }
+      if (space == std::string_view::npos || space + 1 >= header.size()) {
+        failed_ = true;
+        return Status::Corruption("frame header missing byte count");
+      }
+      size_t count = 0;
+      for (char c : header.substr(space + 1)) {
+        if (c < '0' || c > '9') {
+          failed_ = true;
+          return Status::Corruption("non-numeric frame byte count");
+        }
+        count = count * 10 + static_cast<size_t>(c - '0');
+      }
+      payload_remaining_ = count;
+      buffer_.erase(0, newline + 1);
+      state_ = State::kPayload;
+    }
+    // Payload plus the trailing separator '\n'.
+    if (buffer_.size() < payload_remaining_ + 1) return Status::OK();
+    if (buffer_[payload_remaining_] != '\n') {
+      failed_ = true;
+      return Status::Corruption("frame payload not followed by newline");
+    }
+    frames->push_back(
+        Frame{current_ok_, buffer_.substr(0, payload_remaining_)});
+    buffer_.erase(0, payload_remaining_ + 1);
+    state_ = State::kHeader;
+  }
+}
+
+}  // namespace lotusx::net

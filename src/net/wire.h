@@ -1,0 +1,62 @@
+#ifndef LOTUSX_NET_WIRE_H_
+#define LOTUSX_NET_WIRE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lotusx::net {
+
+/// Response framing for the wire protocol (docs/PROTOCOL.md "Wire
+/// transport"). Requests are bare command lines; responses are
+/// byte-counted so multi-line payloads (SHOW, RUN, STATS, ...) survive
+/// pipelining:
+///
+///   OK <n>\n<n payload bytes>\n      successful command
+///   ERR <n>\n<n message bytes>\n     failed command (status text)
+///
+/// <n> counts the payload bytes only — not the trailing '\n', which is a
+/// human-friendliness separator so `nc` output stays readable. An empty
+/// payload frames as "OK 0\n\n". Every command line elicits exactly one
+/// frame, in order, which is what makes pipelined parsing deterministic.
+
+/// One decoded response frame.
+struct Frame {
+  bool ok = false;
+  std::string payload;
+};
+
+/// Renders a frame; `payload` must be unterminated (the interpreter's
+/// framing contract, pinned by protocol_test).
+std::string EncodeFrame(bool ok, std::string_view payload);
+
+/// Incremental client-side decoder for a stream of frames — the test
+/// client and the server bench both parse responses through this.
+/// Single-threaded.
+class FrameParser {
+ public:
+  /// Consumes `data`, appending every completed frame to `*frames`.
+  /// Returns Corruption on a malformed header and stays failed.
+  Status Feed(std::string_view data, std::vector<Frame>* frames);
+
+  /// Bytes buffered toward the next incomplete frame.
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  /// Frame currently being decoded: header not yet complete, or payload
+  /// bytes still outstanding.
+  enum class State { kHeader, kPayload };
+
+  State state_ = State::kHeader;
+  std::string buffer_;
+  bool current_ok_ = false;
+  size_t payload_remaining_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace lotusx::net
+
+#endif  // LOTUSX_NET_WIRE_H_

@@ -1,6 +1,8 @@
 #include "session/protocol.h"
 
 #include <charconv>
+#include <cmath>
+#include <cstdlib>
 #include <optional>
 #include <sstream>
 
@@ -41,14 +43,46 @@ StatusOr<int> ParseInt(std::string_view token) {
 
 StatusOr<double> ParseDouble(std::string_view token) {
   // std::from_chars for double is not universally available; strtod via
-  // a bounded copy keeps this dependency-free.
+  // a bounded copy keeps this dependency-free. The protocol grammar is
+  // deliberately stricter than strtod's: hex floats are rejected, and so
+  // are the non-finite spellings (nan/inf) — a NaN coordinate makes every
+  // x/y comparison false, which silently scrambles ChildrenLeftToRight
+  // and with it the child order of every order-sensitive query.
   std::string copy(token);
+  if (copy.find('x') != std::string::npos ||
+      copy.find('X') != std::string::npos) {
+    return Status::InvalidArgument("expected decimal number, got '" + copy +
+                                   "'");
+  }
   char* end = nullptr;
   double value = std::strtod(copy.c_str(), &end);
   if (end != copy.c_str() + copy.size() || copy.empty()) {
     return Status::InvalidArgument("expected number, got '" + copy + "'");
   }
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument("number must be finite, got '" + copy +
+                                   "'");
+  }
   return value;
+}
+
+// The raw remainder of `line` after its first `n` space-separated tokens,
+// with exactly one separator space consumed. Whitespace inside the
+// remainder is preserved byte-for-byte — tokenizing with SplitSkipEmpty
+// and re-joining would collapse runs of spaces, making predicates like
+// `a  b` inexpressible (and unmatchable) over the protocol.
+std::string_view RawTail(std::string_view line, size_t n) {
+  size_t pos = 0;
+  // Leading whitespace is insignificant, mirroring TrimAscii + split.
+  while (pos < line.size() && IsXmlWhitespace(line[pos])) ++pos;
+  for (size_t token = 0; token < n; ++token) {
+    while (pos < line.size() && line[pos] != ' ') ++pos;
+    if (token + 1 < n) {
+      while (pos < line.size() && line[pos] == ' ') ++pos;
+    }
+  }
+  if (pos < line.size() && line[pos] == ' ') ++pos;  // the one separator
+  return line.substr(pos);
 }
 
 StatusOr<twig::Axis> ParseAxis(std::string_view token) {
@@ -72,6 +106,19 @@ std::string RenderCandidates(
 }  // namespace
 
 StatusOr<std::string> ProtocolInterpreter::Execute(std::string_view line) {
+  LOTUSX_ASSIGN_OR_RETURN(std::string response, ExecuteCommand(line));
+  // Framing normalization at the single exit point: a response payload
+  // never carries a trailing newline (interior newlines separate the
+  // lines of multi-line payloads). The transport owns termination — the
+  // REPL appends one "\n", the TCP server wraps payloads in OK/ERR
+  // frames — so pipelined responses frame deterministically regardless
+  // of which verb produced them.
+  while (!response.empty() && response.back() == '\n') response.pop_back();
+  return response;
+}
+
+StatusOr<std::string> ProtocolInterpreter::ExecuteCommand(
+    std::string_view line) {
   std::vector<std::string> tokens;
   for (std::string& piece : SplitSkipEmpty(std::string(TrimAscii(line)), ' ')) {
     tokens.push_back(std::move(piece));
@@ -204,7 +251,10 @@ StatusOr<std::string> ProtocolInterpreter::Execute(std::string_view line) {
     } else {
       return Status::InvalidArgument("value operator must be '=' or '~'");
     }
-    predicate.text = rest_text(3);
+    // Parse the predicate from the raw line, not the token list: predicate
+    // text is matched verbatim against document values, so consecutive /
+    // leading / trailing spaces must survive the round trip.
+    predicate.text = std::string(RawTail(line, 3));
     if (predicate.text.empty()) {
       return Status::InvalidArgument("missing predicate text");
     }
@@ -263,6 +313,10 @@ StatusOr<std::string> ProtocolInterpreter::Execute(std::string_view line) {
         twig::TwigQuery query,
         twig::QueryFromExample(session_->indexed(),
                                static_cast<xml::NodeId>(node)));
+    // Destructive replacement: checkpoint only once the new canvas is
+    // certain, so UNDO restores the drawing a stray EXAMPLE wiped out
+    // (and a failed command leaves the history stack untouched).
+    session_->Checkpoint();
     canvas = CanvasFromQuery(query);
     return "canvas loaded from node#" + std::to_string(node) + ": " +
            query.ToString();
@@ -274,6 +328,8 @@ StatusOr<std::string> ProtocolInterpreter::Execute(std::string_view line) {
     }
     LOTUSX_ASSIGN_OR_RETURN(twig::TwigQuery query,
                             twig::ParseQuery(rest_text(1)));
+    // Checkpoint before replacing (see EXAMPLE): PARSE must be undoable.
+    session_->Checkpoint();
     canvas = CanvasFromQuery(query);
     return "canvas loaded: " + query.ToString();
   }
@@ -291,6 +347,9 @@ StatusOr<std::string> ProtocolInterpreter::Execute(std::string_view line) {
       return Status::InvalidArgument("usage: LOADCANVAS <file>");
     }
     LOTUSX_ASSIGN_OR_RETURN(Canvas loaded, LoadCanvasFromFile(tokens[1]));
+    // Checkpoint before replacing (see EXAMPLE): LOADCANVAS must be
+    // undoable.
+    session_->Checkpoint();
     canvas = std::move(loaded);
     return std::string("ok");
   }

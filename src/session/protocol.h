@@ -37,6 +37,12 @@ namespace lotusx::session {
 ///
 /// Execute() returns the textual response for one command line, or an
 /// error Status for malformed/failed commands (the REPL prints either).
+///
+/// Framing contract: response payloads are never newline-terminated
+/// (multi-line payloads keep their interior newlines); the transport owns
+/// termination. The REPL appends a single "\n" when printing, and the TCP
+/// server (net/server.h) wraps each payload in a byte-counted OK/ERR
+/// frame — see docs/PROTOCOL.md "Wire transport".
 class ProtocolInterpreter {
  public:
   explicit ProtocolInterpreter(Session* session) : session_(session) {}
@@ -44,6 +50,9 @@ class ProtocolInterpreter {
   StatusOr<std::string> Execute(std::string_view line);
 
  private:
+  /// Verb dispatch; Execute() normalizes the framing of what it returns.
+  StatusOr<std::string> ExecuteCommand(std::string_view line);
+
   Session* session_;
   // Context of the most recent TYPE command, consumed by ACCEPT.
   struct TypeContext {

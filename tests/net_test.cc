@@ -1,0 +1,419 @@
+// End-to-end coverage of the TCP serving layer (net/): the line framer
+// and frame codec in isolation, then real client sockets against a live
+// epoll server — pipelining, error frames, backpressure limits,
+// connection caps, idle timeouts, and graceful drain.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "net/line_framer.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "tests/test_util.h"
+
+namespace lotusx::net {
+namespace {
+
+using lotusx::testing::MustIndex;
+
+// ------------------------------------------------------------ LineFramer
+
+TEST(LineFramerTest, ReassemblesPartialReads) {
+  LineFramer framer(1024);
+  std::vector<std::string> lines;
+  ASSERT_TRUE(framer.Feed("ADD 1", &lines).ok());
+  EXPECT_TRUE(lines.empty());
+  EXPECT_EQ(framer.buffered(), 5u);
+  ASSERT_TRUE(framer.Feed("0 20 article\nQUE", &lines).ok());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "ADD 10 20 article");
+  ASSERT_TRUE(framer.Feed("RY\n", &lines).ok());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "QUERY");
+  EXPECT_EQ(framer.buffered(), 0u);
+}
+
+TEST(LineFramerTest, SplitsMultipleCommandsInOneRead) {
+  LineFramer framer(1024);
+  std::vector<std::string> lines;
+  ASSERT_TRUE(framer.Feed("HELP\nSHOW\nQUERY\n", &lines).ok());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "HELP");
+  EXPECT_EQ(lines[1], "SHOW");
+  EXPECT_EQ(lines[2], "QUERY");
+}
+
+TEST(LineFramerTest, StripsCarriageReturnAndKeepsEmptyLines) {
+  LineFramer framer(1024);
+  std::vector<std::string> lines;
+  ASSERT_TRUE(framer.Feed("HELP\r\n\r\nSHOW\n", &lines).ok());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "HELP");
+  EXPECT_EQ(lines[1], "");
+  EXPECT_EQ(lines[2], "SHOW");
+}
+
+TEST(LineFramerTest, OversizedLinePoisonsTheStream) {
+  LineFramer framer(8);
+  std::vector<std::string> lines;
+  // Completed lines before the overflow are still delivered.
+  Status status = framer.Feed("SHOW\n0123456789ABCDEF", &lines);
+  EXPECT_FALSE(status.ok());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "SHOW");
+  EXPECT_TRUE(framer.poisoned());
+  // Once poisoned, the framer stays failed: resynchronization within the
+  // byte stream is impossible.
+  EXPECT_FALSE(framer.Feed("HELP\n", &lines).ok());
+  EXPECT_EQ(lines.size(), 1u);
+}
+
+TEST(LineFramerTest, OversizedDetectionSpansFeeds) {
+  LineFramer framer(8);
+  std::vector<std::string> lines;
+  ASSERT_TRUE(framer.Feed("01234", &lines).ok());
+  EXPECT_FALSE(framer.Feed("56789", &lines).ok());
+  EXPECT_TRUE(framer.poisoned());
+}
+
+// ----------------------------------------------------------- FrameParser
+
+TEST(FrameParserTest, RoundTripsByteByByte) {
+  std::string stream = EncodeFrame(true, "node 1") +
+                       EncodeFrame(false, "no such box") +
+                       EncodeFrame(true, "") +
+                       EncodeFrame(true, "line one\nline two");
+  FrameParser parser;
+  std::vector<Frame> frames;
+  for (char c : stream) {
+    ASSERT_TRUE(parser.Feed(std::string_view(&c, 1), &frames).ok());
+  }
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_TRUE(frames[0].ok);
+  EXPECT_EQ(frames[0].payload, "node 1");
+  EXPECT_FALSE(frames[1].ok);
+  EXPECT_EQ(frames[1].payload, "no such box");
+  EXPECT_TRUE(frames[2].ok);
+  EXPECT_EQ(frames[2].payload, "");
+  EXPECT_EQ(frames[3].payload, "line one\nline two");
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(FrameParserTest, RejectsMalformedHeaders) {
+  FrameParser parser;
+  std::vector<Frame> frames;
+  EXPECT_FALSE(parser.Feed("WAT 5\nhello\n", &frames).ok());
+  EXPECT_TRUE(frames.empty());
+  // Stays failed.
+  EXPECT_FALSE(parser.Feed(EncodeFrame(true, "x"), &frames).ok());
+}
+
+// ------------------------------------------------------------ TCP server
+
+constexpr std::string_view kXml = R"(<dblp>
+  <article>
+    <author>jiaheng lu</author>
+    <title>twig joins</title>
+    <year>2005</year>
+  </article>
+  <article>
+    <author>chunbin lin</author>
+    <title>lotusx search</title>
+    <year>2012</year>
+  </article>
+</dblp>)";
+
+/// Blocking client socket with a receive timeout, speaking the wire
+/// protocol through FrameParser.
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    timeval timeout{};
+    timeout.tv_sec = 10;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      Close();
+    }
+  }
+  ~TestClient() { Close(); }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool Send(std::string_view data) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, 0);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads until `count` frames arrived (or error/EOF/timeout).
+  std::vector<Frame> ReadFrames(size_t count) {
+    std::vector<Frame> frames;
+    char buf[4096];
+    while (frames.size() < count) {
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      if (!parser_
+               .Feed(std::string_view(buf, static_cast<size_t>(n)), &frames)
+               .ok()) {
+        break;
+      }
+    }
+    return frames;
+  }
+
+  /// True when the server closed the connection (EOF within the receive
+  /// timeout).
+  bool ReadEof() {
+    char buf[4096];
+    for (;;) {
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n == 0) return true;
+      if (n < 0) return false;
+    }
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  FrameParser parser_;
+};
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  NetServerTest() : indexed_(MustIndex(kXml)) {}
+
+  std::unique_ptr<Server> StartServer(ServerOptions options = {}) {
+    options.host = "127.0.0.1";
+    options.port = 0;
+    auto server = Server::Start(indexed_, options);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    return server.ok() ? std::move(*server) : nullptr;
+  }
+
+  index::IndexedDocument indexed_;
+};
+
+TEST_F(NetServerTest, ExecutesCommandsInOrder) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_TRUE(client.Send("ADD 50 0 article\n"));
+  std::vector<Frame> frames = client.ReadFrames(1);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(frames[0].ok);
+  EXPECT_EQ(frames[0].payload, "node 1");
+
+  ASSERT_TRUE(client.Send("ADD 10 100 author\nEDGE 1 2 /\nQUERY\n"));
+  frames = client.ReadFrames(3);
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_TRUE(frames[0].ok);
+  EXPECT_EQ(frames[0].payload, "node 2");
+  EXPECT_TRUE(frames[1].ok);
+  EXPECT_TRUE(frames[2].ok);
+  EXPECT_NE(frames[2].payload.find("article"), std::string::npos);
+  EXPECT_NE(frames[2].payload.find("author"), std::string::npos);
+}
+
+TEST_F(NetServerTest, PipelinedBatchKeepsOrder) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+
+  constexpr int kCommands = 80;
+  std::string batch;
+  for (int i = 0; i < kCommands; ++i) {
+    batch += "ADD " + std::to_string(i * 10) + " 0 article\n";
+  }
+  batch += "SHOW\n";
+  ASSERT_TRUE(client.Send(batch));
+
+  std::vector<Frame> frames = client.ReadFrames(kCommands + 1);
+  ASSERT_EQ(frames.size(), static_cast<size_t>(kCommands) + 1);
+  for (int i = 0; i < kCommands; ++i) {
+    EXPECT_TRUE(frames[i].ok) << frames[i].payload;
+    EXPECT_EQ(frames[i].payload, "node " + std::to_string(i + 1));
+  }
+  EXPECT_TRUE(frames[kCommands].ok);
+}
+
+TEST_F(NetServerTest, ReportsErrorsAsErrFrames) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_TRUE(client.Send("BOGUS\nADD nan 0\nHELP\n"));
+  std::vector<Frame> frames = client.ReadFrames(3);
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_FALSE(frames[0].ok);
+  EXPECT_FALSE(frames[1].ok);
+  EXPECT_NE(frames[1].payload.find("number"), std::string::npos)
+      << frames[1].payload;
+  // The connection survives command errors.
+  EXPECT_TRUE(frames[2].ok);
+}
+
+TEST_F(NetServerTest, RejectsOverConnectionLimit) {
+  ServerOptions options;
+  options.max_connections = 1;
+  auto server = StartServer(options);
+  ASSERT_NE(server, nullptr);
+
+  TestClient first(server->port());
+  ASSERT_TRUE(first.connected());
+  ASSERT_TRUE(first.Send("HELP\n"));
+  ASSERT_EQ(first.ReadFrames(1).size(), 1u);  // registered for sure
+
+  TestClient second(server->port());
+  ASSERT_TRUE(second.connected());
+  std::vector<Frame> frames = second.ReadFrames(1);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_FALSE(frames[0].ok);
+  EXPECT_NE(frames[0].payload.find("connection limit"), std::string::npos);
+  EXPECT_TRUE(second.ReadEof());
+  EXPECT_EQ(server->active_connections(), 1);
+}
+
+TEST_F(NetServerTest, ClosesIdleConnections) {
+  ServerOptions options;
+  options.idle_timeout_ms = 100;
+  auto server = StartServer(options);
+  ASSERT_NE(server, nullptr);
+
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("HELP\n"));
+  ASSERT_EQ(client.ReadFrames(1).size(), 1u);
+  // Stay silent; the reaper closes us well within the receive timeout.
+  EXPECT_TRUE(client.ReadEof());
+}
+
+TEST_F(NetServerTest, OversizedLineAnswersThenCloses) {
+  ServerOptions options;
+  options.max_line_bytes = 64;
+  auto server = StartServer(options);
+  ASSERT_NE(server, nullptr);
+
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+  std::string huge(256, 'x');
+  ASSERT_TRUE(client.Send("HELP\n" + huge + "\n"));
+  std::vector<Frame> frames = client.ReadFrames(2);
+  ASSERT_EQ(frames.size(), 2u);
+  // The command that preceded the overlong line still answers, in order.
+  EXPECT_TRUE(frames[0].ok);
+  EXPECT_FALSE(frames[1].ok);
+  EXPECT_NE(frames[1].payload.find("line exceeds"), std::string::npos)
+      << frames[1].payload;
+  EXPECT_TRUE(client.ReadEof());
+}
+
+TEST_F(NetServerTest, GracefulDrainFlushesAndStops) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("ADD 0 0 article\nSHOW\n"));
+  ASSERT_EQ(client.ReadFrames(2).size(), 2u);
+
+  server->RequestDrain();
+  // Drain closes our (now idle) connection...
+  EXPECT_TRUE(client.ReadEof());
+  // ...and the loop exits on its own.
+  server->AwaitTermination();
+  EXPECT_EQ(server->active_connections(), 0);
+
+  // New connections are refused once the listener is gone.
+  TestClient late(server->port());
+  if (late.connected()) {
+    EXPECT_TRUE(late.ReadEof());
+  }
+}
+
+TEST_F(NetServerTest, StatsVerbExposesNetMetrics) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("HELP\nSTATS\n"));
+  std::vector<Frame> frames = client.ReadFrames(2);
+  ASSERT_EQ(frames.size(), 2u);
+  ASSERT_TRUE(frames[1].ok);
+  const std::string& stats = frames[1].payload;
+  EXPECT_NE(stats.find("lotusx_net_commands_total"), std::string::npos);
+  EXPECT_NE(stats.find("lotusx_net_connections_active"), std::string::npos);
+  EXPECT_NE(stats.find("lotusx_net_accepted_total"), std::string::npos);
+  EXPECT_NE(stats.find("lotusx_net_command_latency_usec"),
+            std::string::npos);
+}
+
+TEST_F(NetServerTest, ConcurrentClientsGetIsolatedSessions) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  uint16_t port = server->port();
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  // Not vector<bool>: adjacent packed bits written from different threads
+  // would themselves be a data race.
+  std::array<std::atomic<bool>, kClients> passed = {};
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([port, i, &passed] {
+      TestClient client(port);
+      if (!client.connected()) return;
+      if (!client.Send("ADD 0 0 article\nADD 0 100 title\nEDGE 1 2 /\n"
+                       "RUN\n")) {
+        return;
+      }
+      std::vector<Frame> frames = client.ReadFrames(4);
+      if (frames.size() != 4) return;
+      // Sessions are per-connection: every client's first box is node 1.
+      passed[i] = frames[0].ok && frames[0].payload == "node 1" &&
+                  frames[1].ok && frames[1].payload == "node 2" &&
+                  frames[2].ok && frames[3].ok;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(passed[i]) << "client " << i;
+  }
+}
+
+}  // namespace
+}  // namespace lotusx::net

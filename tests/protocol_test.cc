@@ -1,0 +1,246 @@
+// Regression pins for the protocol-parsing sweep that rode along with the
+// TCP serving layer (see docs/PROTOCOL.md "Wire transport"):
+//   * ParseDouble rejects non-finite and hex spellings — NaN coordinates
+//     would scramble ChildrenLeftToRight's x-ordering;
+//   * VALUE predicates are parsed from the raw line, preserving runs of
+//     spaces that SplitSkipEmpty + re-join used to collapse;
+//   * PARSE / EXAMPLE / LOADCANVAS checkpoint before replacing the canvas,
+//     so a single command can no longer irrecoverably destroy the query;
+//   * every verb returns an unterminated payload (the transport owns
+//     newline/frame termination).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "session/canvas.h"
+#include "session/protocol.h"
+#include "session/session.h"
+#include "tests/test_util.h"
+
+namespace lotusx::session {
+namespace {
+
+using lotusx::testing::MustIndex;
+
+constexpr std::string_view kXml = R"(<dblp>
+  <article>
+    <author>jiaheng lu</author>
+    <title>twig joins</title>
+    <year>2005</year>
+  </article>
+  <article>
+    <author>chunbin lin</author>
+    <title>lotusx search</title>
+    <year>2012</year>
+  </article>
+</dblp>)";
+
+class ProtocolRegressionTest : public ::testing::Test {
+ protected:
+  ProtocolRegressionTest()
+      : indexed_(MustIndex(kXml)), session_(indexed_),
+        interpreter_(&session_) {}
+
+  std::string Must(std::string_view line) {
+    auto result = interpreter_.Execute(line);
+    EXPECT_TRUE(result.ok()) << line << " -> " << result.status().ToString();
+    return result.ok() ? *result : "";
+  }
+
+  index::IndexedDocument indexed_;
+  Session session_;
+  ProtocolInterpreter interpreter_;
+};
+
+// ------------------------------------------------- non-finite coordinates
+
+TEST_F(ProtocolRegressionTest, RejectsNonFiniteCoordinates) {
+  for (const char* line :
+       {"ADD nan nan", "ADD inf 0", "ADD 0 -inf", "ADD NAN 0",
+        "ADD 1 Infinity", "MOVE 1 nan 0", "ACCEPT 1 inf 0"}) {
+    auto result = interpreter_.Execute(line);
+    EXPECT_FALSE(result.ok()) << line << " unexpectedly succeeded";
+  }
+  // Nothing reached the canvas.
+  EXPECT_TRUE(session_.canvas().empty());
+}
+
+TEST_F(ProtocolRegressionTest, RejectsHexCoordinates) {
+  EXPECT_FALSE(interpreter_.Execute("ADD 0x10 0").ok());
+  EXPECT_FALSE(interpreter_.Execute("ADD 0 0X1p3").ok());
+}
+
+TEST_F(ProtocolRegressionTest, AcceptsOrdinaryDecimalForms) {
+  EXPECT_EQ(Must("ADD -12.5 1e2 article"), "node 1");
+  const CanvasNode* node = session_.canvas().FindNode(1);
+  ASSERT_NE(node, nullptr);
+  EXPECT_DOUBLE_EQ(node->x, -12.5);
+  EXPECT_DOUBLE_EQ(node->y, 100.0);
+}
+
+// NaN coordinates used to poison the sibling ordering: with a NaN x every
+// comparison is false and the left-to-right child order (the drawable form
+// of order-sensitive queries) became arbitrary. Pin the front door shut.
+TEST_F(ProtocolRegressionTest, ChildOrderStaysTotalBecauseNanNeverEnters) {
+  Must("ADD 50 0 article");
+  EXPECT_FALSE(interpreter_.Execute("ADD nan 100 author").ok());
+  Must("ADD 10 100 author");
+  Must("ADD 90 100 title");
+  Must("EDGE 1 2 /");
+  Must("EDGE 1 3 /");
+  std::vector<CanvasNodeId> order = session_.canvas().ChildrenLeftToRight(1);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);  // author at x=10 before title at x=90
+  EXPECT_EQ(order[1], 3);
+}
+
+// ------------------------------------------------ VALUE whitespace fidelity
+
+TEST_F(ProtocolRegressionTest, ValuePreservesConsecutiveSpaces) {
+  Must("ADD 0 0 title");
+  EXPECT_EQ(Must("VALUE 1 = twig  joins"), "ok");
+  const CanvasNode* node = session_.canvas().FindNode(1);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->predicate.text, "twig  joins");
+}
+
+TEST_F(ProtocolRegressionTest, ValuePreservesLeadingAndTrailingSpaces) {
+  Must("ADD 0 0 title");
+  // One space after the operator is the separator; everything beyond is
+  // the predicate, verbatim.
+  EXPECT_EQ(Must("VALUE 1 ~  leading"), "ok");
+  EXPECT_EQ(session_.canvas().FindNode(1)->predicate.text, " leading");
+  EXPECT_EQ(Must("VALUE 1 ~ trailing  "), "ok");
+  EXPECT_EQ(session_.canvas().FindNode(1)->predicate.text, "trailing  ");
+}
+
+TEST_F(ProtocolRegressionTest, ValueSingleSpacedTextUnchanged) {
+  Must("ADD 0 0 author");
+  EXPECT_EQ(Must("VALUE 1 = jiaheng lu"), "ok");
+  EXPECT_EQ(session_.canvas().FindNode(1)->predicate.text, "jiaheng lu");
+  EXPECT_EQ(Must("VALUE 1 NONE"), "ok");
+  EXPECT_EQ(session_.canvas().FindNode(1)->predicate.op,
+            twig::ValuePredicate::Op::kNone);
+}
+
+TEST_F(ProtocolRegressionTest, ValueStillRejectsMissingText) {
+  Must("ADD 0 0 author");
+  EXPECT_FALSE(interpreter_.Execute("VALUE 1 =").ok());
+  EXPECT_FALSE(interpreter_.Execute("VALUE 1 = ").ok());
+}
+
+// ------------------------------------- checkpoint-before-replace semantics
+
+TEST_F(ProtocolRegressionTest, ParseIsUndoable) {
+  Must("ADD 0 0 article");
+  Must("ADD 0 100 title");
+  Must("EDGE 1 2 /");
+  std::string before = Must("QUERY");
+  Must("PARSE //book/author");
+  EXPECT_EQ(Must("QUERY"), "//book/author!");
+  EXPECT_EQ(Must("UNDO"), "ok");
+  EXPECT_EQ(Must("QUERY"), before);
+}
+
+TEST_F(ProtocolRegressionTest, FailedParseLeavesHistoryAlone) {
+  Must("ADD 0 0 article");
+  size_t depth = session_.undo_depth();
+  EXPECT_FALSE(interpreter_.Execute("PARSE ///[").ok());
+  EXPECT_EQ(session_.undo_depth(), depth);
+  EXPECT_EQ(session_.canvas().nodes().size(), 1u);
+}
+
+TEST_F(ProtocolRegressionTest, ExampleIsUndoable) {
+  Must("ADD 0 0 article");
+  std::string before = Must("SHOW");
+  std::string loaded = Must("EXAMPLE 2");
+  EXPECT_NE(loaded.find("canvas loaded"), std::string::npos) << loaded;
+  EXPECT_EQ(Must("UNDO"), "ok");
+  EXPECT_EQ(Must("SHOW"), before);
+}
+
+TEST_F(ProtocolRegressionTest, LoadCanvasIsUndoable) {
+  Must("ADD 0 0 article");
+  Must("ADD 0 100 title");
+  Must("EDGE 1 2 /");
+  std::string path = ::testing::TempDir() + "/protocol_undo_canvas.xml";
+  Must("SAVECANVAS " + path);
+  Must("RESET");
+  Must("ADD 5 5 book");
+  std::string before = Must("SHOW");
+  EXPECT_EQ(Must("LOADCANVAS " + path), "ok");
+  EXPECT_EQ(Must("QUERY"), "//article!/title");
+  EXPECT_EQ(Must("UNDO"), "ok");
+  EXPECT_EQ(Must("SHOW"), before);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- response framing
+
+// Every verb's payload must come back unterminated: once responses are
+// pipelined over TCP, a verb-dependent trailing "\n" (FIND/RUN/SHOW had
+// one, most verbs did not) breaks deterministic framing.
+TEST_F(ProtocolRegressionTest, NoVerbReturnsTrailingNewline) {
+  std::string path = ::testing::TempDir() + "/protocol_framing_canvas.xml";
+  const std::vector<std::string> script = {
+      "HELP",
+      "ADD 50 0 article",
+      "TAG 1 article",
+      "ADD 10 130 author",
+      "EDGE 1 2 /",
+      "TYPE 1 / t",
+      "ACCEPT 1",
+      "TYPEVAL 2",
+      "VALUE 2 ~ lu",
+      "ORDERED 1 ON",
+      "ORDERED 1 OFF",  // XPATH below cannot express ordered queries
+      "OUTPUT 3",
+      "MOVE 2 20 130",
+      "QUERY",
+      "RUN",
+      "FIND twig joins",
+      "STATS",
+      "STATS DOC",
+      "EXPLAIN",
+      "XPATH",
+      "XQUERY",
+      "SVG",
+      "SVG " + path,
+      "SAVECANVAS " + path,
+      "LOADCANVAS " + path,
+      "HISTORY",
+      "EXAMPLE 2",
+      "PARSE //article/title",
+      "CHECKPOINT",
+      "UNDO",
+      "SHOW",
+      "REMOVE 2",
+      "RESET",
+  };
+  for (const std::string& line : script) {
+    std::string response = Must(line);
+    EXPECT_FALSE(!response.empty() && response.back() == '\n')
+        << "'" << line << "' returned a newline-terminated payload";
+  }
+  std::remove(path.c_str());
+}
+
+// Multi-line payloads keep their interior newlines — only the trailing
+// terminator is the transport's business.
+TEST_F(ProtocolRegressionTest, MultiLinePayloadsKeepInteriorNewlines) {
+  Must("ADD 0 0 article");
+  Must("ADD 0 100 title");
+  Must("EDGE 1 2 /");
+  std::string show = Must("SHOW");
+  EXPECT_NE(show.find('\n'), std::string::npos);
+  EXPECT_NE(show.back(), '\n');
+  std::string run = Must("RUN");
+  EXPECT_NE(run.find('\n'), std::string::npos);
+  EXPECT_NE(run.back(), '\n');
+}
+
+}  // namespace
+}  // namespace lotusx::session

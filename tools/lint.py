@@ -60,8 +60,8 @@ SOURCE_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
 # Module roots a quoted include may start with.
 INCLUDE_ROOTS = (
     "autocomplete/", "common/", "datagen/", "index/", "keyword/",
-    "labeling/", "lotusx/", "ranking/", "rewrite/", "session/", "twig/",
-    "xml/", "tests/", "bench/",
+    "labeling/", "lotusx/", "net/", "ranking/", "rewrite/", "session/",
+    "twig/", "xml/", "tests/", "bench/",
 )
 
 # `new`/`delete` and `std::endl` are allowed here (allocator plumbing and

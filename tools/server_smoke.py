@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for lotusx_server.
+
+Starts the server on an ephemeral port, drives a scripted TCP session —
+including a pipelined batch written in one send() — checks every response
+frame and the STATS counters, then sends SIGTERM and asserts a graceful
+zero exit.
+
+Usage: tools/server_smoke.py path/to/lotusx_server
+"""
+
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+
+class FrameParser:
+    """Incremental parser for the byte-counted OK/ERR wire frames."""
+
+    def __init__(self):
+        self.buffer = b""
+
+    def feed(self, data):
+        self.buffer += data
+        frames = []
+        while True:
+            newline = self.buffer.find(b"\n")
+            if newline < 0:
+                return frames
+            header = self.buffer[:newline].decode()
+            match = re.fullmatch(r"(OK|ERR) (\d+)", header)
+            if not match:
+                raise AssertionError(f"bad frame header: {header!r}")
+            count = int(match.group(2))
+            if len(self.buffer) < newline + 1 + count + 1:
+                return frames
+            payload = self.buffer[newline + 1 : newline + 1 + count]
+            if self.buffer[newline + 1 + count : newline + 2 + count] != b"\n":
+                raise AssertionError("frame payload not newline-terminated")
+            self.buffer = self.buffer[newline + 2 + count :]
+            frames.append((match.group(1) == "OK", payload.decode()))
+
+
+def read_frames(sock, parser, count, deadline_s=10.0):
+    frames = []
+    deadline = time.monotonic() + deadline_s
+    while len(frames) < count:
+        sock.settimeout(max(0.1, deadline - time.monotonic()))
+        data = sock.recv(65536)
+        if not data:
+            raise AssertionError(
+                f"server closed early: got {len(frames)}/{count} frames"
+            )
+        frames.extend(parser.feed(data))
+    assert len(frames) == count, f"expected {count} frames, got {len(frames)}"
+    return frames
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    binary = sys.argv[1]
+
+    proc = subprocess.Popen(
+        [binary, "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        line = proc.stdout.readline()
+        match = re.search(r"listening on ([\d.]+):(\d+)", line)
+        assert match, f"no listen announcement in {line!r}"
+        host, port = match.group(1), int(match.group(2))
+        print(f"server up on {host}:{port}")
+
+        sock = socket.create_connection((host, port), timeout=10)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        parser = FrameParser()
+
+        # --- one command at a time -------------------------------------
+        sock.sendall(b"ADD 50 0 article\n")
+        ((ok, payload),) = read_frames(sock, parser, 1)
+        assert ok and payload == "node 1", (ok, payload)
+
+        sock.sendall(b"BOGUS\n")
+        ((ok, payload),) = read_frames(sock, parser, 1)
+        assert not ok, "BOGUS must produce an ERR frame"
+
+        # --- pipelined batch in a single write -------------------------
+        batch = (
+            b"ADD 10 130 author\n"
+            b"EDGE 1 2 /\n"
+            b"ADD 90 130 title\n"
+            b"EDGE 1 3 /\n"
+            b"OUTPUT 3\n"
+            b"VALUE 2 ~ lu\n"
+            b"QUERY\n"
+            b"RUN\n"
+            b"SHOW\n"
+        )
+        sock.sendall(batch)
+        frames = read_frames(sock, parser, 9)
+        for i, (ok, payload) in enumerate(frames):
+            assert ok, f"pipelined command {i} failed: {payload}"
+        assert frames[0][1] == "node 2", frames[0]
+        assert frames[2][1] == "node 3", frames[2]
+        query = frames[6][1]
+        assert "article" in query and "title" in query, query
+        assert "\n" in frames[8][1], "SHOW should be multi-line"
+
+        # --- STATS reflects the traffic we just generated ---------------
+        sock.sendall(b"STATS\n")
+        ((ok, stats),) = read_frames(sock, parser, 1)
+        assert ok, stats
+        for metric in (
+            "lotusx_net_commands_total",
+            "lotusx_net_accepted_total",
+            "lotusx_net_connections_active",
+            "lotusx_net_command_latency_usec",
+        ):
+            assert metric in stats, f"STATS missing {metric}"
+        commands = re.search(r"lotusx_net_commands_total (\d+)", stats)
+        assert commands and int(commands.group(1)) >= 11, (
+            "commands_total should count this session's commands"
+        )
+        active = re.search(r"lotusx_net_connections_active (\d+)", stats)
+        assert active and int(active.group(1)) == 1, (
+            "exactly this connection should be active"
+        )
+        print("scripted session OK")
+
+        # --- graceful drain --------------------------------------------
+        proc.send_signal(signal.SIGTERM)
+        # The drain flushes and closes our connection...
+        sock.settimeout(10)
+        tail = sock.recv(65536)
+        assert tail == b"", f"unexpected bytes after drain: {tail!r}"
+        sock.close()
+        # ...and the process exits 0.
+        code = proc.wait(timeout=15)
+        assert code == 0, f"server exited {code}"
+        print("graceful drain OK")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
