@@ -8,6 +8,12 @@
 // backpressure, fan-out to the worker pool — not the query engine,
 // which has its own benches.
 //
+// Runs twice against fresh servers: once with the default observability
+// stack (metrics, per-command traces, slow-query detection) and once
+// with metrics::SetEnabled(false), so the JSON carries twin series —
+// "server_pipeline" and "server_pipeline_trace_off" — whose throughput
+// delta is the end-to-end cost of observability (budget: <2%).
+//
 //   bench_server [--json out.json]
 //   LOTUSX_BENCH_SMOKE=1 bench_server     # tiny run for CI
 
@@ -28,6 +34,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/metrics.h"
 #include "common/timer.h"
 #include "net/server.h"
 #include "net/wire.h"
@@ -138,19 +145,15 @@ uint32_t PumpConn(ClientConn& conn, const std::vector<std::string>& script,
   return events;
 }
 
-}  // namespace
-
-int Run(int argc, char** argv) {
-  const size_t connections = SmokeMode() ? 32 : 1024;
-  const size_t commands_per_conn = SmokeMode() ? 12 : 120;
-  const size_t window = 8;        // commands in flight per connection
+/// One full serving run against a fresh server: connect, pipeline the
+/// script over every connection, collect per-command latencies into
+/// `*samples` (cleared first), and return the wall-clock seconds.
+double RunOnce(const index::IndexedDocument& indexed, size_t connections,
+               size_t commands_per_conn, size_t window,
+               std::vector<double>* samples) {
   const size_t connect_batch = 256;
-
-  RaiseFdLimit(connections);
-
-  std::printf("indexing corpus...\n");
-  index::IndexedDocument indexed = MakeDblp(/*seed=*/42,
-                                            /*approx_nodes=*/50'000);
+  samples->clear();
+  samples->reserve(connections * commands_per_conn);
 
   net::ServerOptions options;
   options.host = "127.0.0.1";
@@ -164,15 +167,10 @@ int Run(int argc, char** argv) {
 
   const std::vector<std::string> script = BuildScript(commands_per_conn);
   std::vector<ClientConn> conns(connections);
-  std::vector<double> samples;
-  samples.reserve(connections * commands_per_conn);
 
   int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
   CHECK(epoll_fd >= 0) << "epoll_create1 failed";
 
-  std::printf("driving %zu connections x %zu pipelined commands "
-              "(window %zu)...\n",
-              connections, commands_per_conn, window);
   Timer wall;
   size_t started = 0;
   size_t finished = 0;
@@ -246,7 +244,7 @@ int Run(int argc, char** argv) {
             }
             for (net::Frame& frame : frames) {
               CHECK(!conn.inflight.empty()) << "frame without a request";
-              samples.push_back(conn.inflight.front().ElapsedMillis());
+              samples->push_back(conn.inflight.front().ElapsedMillis());
               conn.inflight.pop_front();
               ++conn.frames_received;
               if (!frame.ok && frame.payload.find("limit") !=
@@ -269,7 +267,7 @@ int Run(int argc, char** argv) {
         finish_conn(index);
         continue;
       }
-      uint32_t want = PumpConn(conn, script, window, &samples);
+      uint32_t want = PumpConn(conn, script, window, samples);
       if (conn.failed) {
         finish_conn(index);
         continue;
@@ -285,33 +283,110 @@ int Run(int argc, char** argv) {
 
   (*server)->Stop();
   CHECK(failed == 0) << failed << " connections failed";
+  return wall_s;
+}
 
-  std::sort(samples.begin(), samples.end());
-  auto pct = [&](double q) {
-    size_t index = static_cast<size_t>(
-        q * static_cast<double>(samples.size() - 1) + 0.5);
-    return samples[index];
-  };
-  double qps = static_cast<double>(samples.size()) / wall_s;
+}  // namespace
 
-  std::string params = "connections=" + std::to_string(connections) +
-                       " commands_per_conn=" +
-                       std::to_string(commands_per_conn) +
-                       " window=" + std::to_string(window) +
-                       " workers=" + std::to_string(ThreadPool::DefaultThreadCount());
-  BenchJson::Instance().Record("server_pipeline", params, samples);
+int Run(int argc, char** argv) {
+  const size_t connections = SmokeMode() ? 32 : 1024;
+  const size_t commands_per_conn = SmokeMode() ? 12 : 120;
+  const size_t window = 8;  // commands in flight per connection
 
-  Table table({"connections", "commands", "p50 ms", "p95 ms", "p99 ms",
+  RaiseFdLimit(connections);
+
+  std::printf("indexing corpus...\n");
+  index::IndexedDocument indexed = MakeDblp(/*seed=*/42,
+                                            /*approx_nodes=*/50'000);
+
+  const std::string base_params =
+      "connections=" + std::to_string(connections) +
+      " commands_per_conn=" + std::to_string(commands_per_conn) +
+      " window=" + std::to_string(window) +
+      " workers=" + std::to_string(ThreadPool::DefaultThreadCount());
+
+  Table table({"variant", "commands", "p50 ms", "p95 ms", "p99 ms",
                "mean ms", "cmd/s"});
-  double mean = 0;
-  for (double s : samples) mean += s;
-  mean /= static_cast<double>(samples.size());
-  table.AddRow({std::to_string(connections), std::to_string(samples.size()),
-                Fmt(pct(0.50)), Fmt(pct(0.95)), Fmt(pct(0.99)), Fmt(mean),
-                Fmt(qps, 0)});
+  std::vector<double> samples;
+  double qps_on = 0;
+  double qps_off = 0;
+
+  struct Variant {
+    const char* label;
+    const char* series;
+    bool metrics_enabled;
+    double* qps_out;
+  };
+  const Variant variants[] = {
+      {"observability on", "server_pipeline", true, &qps_on},
+      {"trace off", "server_pipeline_trace_off", false, &qps_off},
+  };
+  // Best-of-N with interleaved trials: one trial's throughput swings
+  // ±10% from scheduler and page-cache interference at 1024
+  // connections, which would drown the <2% budget entirely.
+  // Interleaving (on, off, on, off, ...) cancels slow machine drift
+  // that running all of one twin first would fold into the comparison;
+  // the fastest trial of each twin is the closest observable to the
+  // machine's actual capacity for that variant.
+  const int trials = SmokeMode() ? 1 : 3;
+  const size_t num_variants = sizeof(variants) / sizeof(variants[0]);
+  std::vector<double> best_wall(num_variants, 0);
+  std::vector<std::vector<double>> best_samples(num_variants);
+  for (int trial = 0; trial < trials; ++trial) {
+    for (size_t v = 0; v < num_variants; ++v) {
+      const Variant& variant = variants[v];
+      std::printf("driving %zu connections x %zu pipelined commands "
+                  "(window %zu, trial %d/%d, %s)...\n",
+                  connections, commands_per_conn, window, trial + 1, trials,
+                  variant.label);
+      std::vector<double> trial_samples;
+      metrics::SetEnabled(variant.metrics_enabled);
+      double trial_wall = RunOnce(indexed, connections, commands_per_conn,
+                                  window, &trial_samples);
+      metrics::SetEnabled(true);
+      std::printf("  wall time %.2fs, %.0f commands/s\n", trial_wall,
+                  static_cast<double>(trial_samples.size()) / trial_wall);
+      if (best_wall[v] == 0 || trial_wall < best_wall[v]) {
+        best_wall[v] = trial_wall;
+        best_samples[v] = std::move(trial_samples);
+      }
+    }
+  }
+  for (size_t v = 0; v < num_variants; ++v) {
+    const Variant& variant = variants[v];
+    const double wall_s = best_wall[v];
+    samples = std::move(best_samples[v]);
+
+    std::sort(samples.begin(), samples.end());
+    auto pct = [&](double q) {
+      size_t index = static_cast<size_t>(
+          q * static_cast<double>(samples.size() - 1) + 0.5);
+      return samples[index];
+    };
+    double qps = static_cast<double>(samples.size()) / wall_s;
+    *variant.qps_out = qps;
+    double mean = 0;
+    for (double s : samples) mean += s;
+    mean /= static_cast<double>(samples.size());
+
+    BenchJson::Instance().Record(
+        variant.series,
+        base_params + " metrics=" + (variant.metrics_enabled ? "on" : "off"),
+        samples);
+    table.AddRow({variant.label, std::to_string(samples.size()),
+                  Fmt(pct(0.50)), Fmt(pct(0.95)), Fmt(pct(0.99)), Fmt(mean),
+                  Fmt(qps, 0)});
+  }
   table.Print();
-  std::printf("wall time %.2fs, %zu commands, %.0f commands/s\n", wall_s,
-              samples.size(), qps);
+
+  // Throughput cost of the default observability stack (budget <2%).
+  // Reported, not CHECKed: single-run noise on shared CI machines
+  // exceeds the budget, so enforcement stays with humans reading the
+  // trend, and the twin series in --json make that trivial.
+  const double overhead_pct = (qps_off - qps_on) / qps_off * 100.0;
+  std::printf("observability overhead: %.2f%% cmd/s "
+              "(on %.0f vs off %.0f; budget <2%%)\n",
+              overhead_pct, qps_on, qps_off);
 
   return WriteJsonIfRequested(argc, argv);
 }

@@ -5,12 +5,17 @@
 //
 // Usage:
 //   lotusx_server [file.xml] [--host H] [--port N] [--workers N]
-//                 [--max-connections N] [--idle-timeout-ms N] [--verbose]
+//                 [--max-connections N] [--idle-timeout-ms N]
+//                 [--admin-port N] [--verbose]
 //
 // --port 0 (the default) binds an ephemeral port; the chosen one is
 // announced on stdout as "listening on HOST:PORT" (tools/server_smoke.py
-// parses that line). SIGTERM/SIGINT trigger a graceful drain: stop
-// accepting, answer everything in flight, flush, exit 0.
+// parses that line). --admin-port enables the HTTP admin plane
+// (/metrics, /healthz, /slowlog.json, /tracez) on a second listener,
+// announced as "admin listening on HOST:PORT"; it is off by default.
+// SIGTERM/SIGINT trigger a graceful drain: stop accepting, answer
+// everything in flight, flush, exit 0 — the admin plane keeps serving
+// /healthz (as 503) until the drain completes.
 
 #include <csignal>
 #include <cstdlib>
@@ -81,6 +86,9 @@ int main(int argc, char** argv) {
     } else if (ParseIntFlag("--idle-timeout-ms", argv[i], next, &value)) {
       options.idle_timeout_ms = static_cast<int>(value);
       ++i;
+    } else if (ParseIntFlag("--admin-port", argv[i], next, &value)) {
+      options.admin_port = static_cast<int>(value);
+      ++i;
     } else if (argv[i][0] == '-') {
       std::cerr << "unknown flag '" << argv[i] << "'\n";
       return 2;
@@ -122,6 +130,11 @@ int main(int argc, char** argv) {
             << " nodes; listening on " << options.host << ":"
             << (*server)->port() << "\n"
             << std::flush;
+  if (options.admin_port >= 0) {
+    std::cout << "admin listening on " << options.host << ":"
+              << (*server)->admin_port() << "\n"
+              << std::flush;
+  }
 
   (*server)->AwaitTermination();
   std::cout << "drained, bye\n" << std::flush;

@@ -1,0 +1,115 @@
+#include "common/client_registry.h"
+
+#include <cstdio>
+
+namespace lotusx {
+
+ClientRegistry::Handle::Handle(uint64_t id, int fd, std::string peer)
+    : id_(id), fd_(fd), peer_(std::move(peer)) {}
+
+void ClientRegistry::Handle::Touch() {
+  last_activity_ns_.store(connected_.ElapsedNanos(),
+                          std::memory_order_relaxed);
+}
+
+void ClientRegistry::Handle::RecordBytesIn(uint64_t n) {
+  bytes_in_.fetch_add(n, std::memory_order_relaxed);
+  Touch();
+}
+
+void ClientRegistry::Handle::RecordBytesOut(uint64_t n) {
+  bytes_out_.fetch_add(n, std::memory_order_relaxed);
+  Touch();
+}
+
+void ClientRegistry::Handle::SetPipelined(uint64_t depth) {
+  pipelined_.store(depth, std::memory_order_relaxed);
+}
+
+void ClientRegistry::Handle::SetInFlight(bool in_flight) {
+  in_flight_.store(in_flight, std::memory_order_relaxed);
+}
+
+void ClientRegistry::Handle::SetLastVerb(std::string_view verb) {
+  MutexLock lock(mu_);
+  last_verb_ = verb;
+}
+
+ClientRegistry& ClientRegistry::Default() {
+  // Leaked: handles may outlive main() in detached shutdown paths.
+  static ClientRegistry* registry = new ClientRegistry();
+  return *registry;
+}
+
+std::shared_ptr<ClientRegistry::Handle> ClientRegistry::Register(
+    int fd, std::string peer) {
+  MutexLock lock(mu_);
+  const uint64_t id = next_id_++;
+  auto handle =
+      std::shared_ptr<Handle>(new Handle(id, fd, std::move(peer)));
+  clients_.emplace(id, handle);
+  return handle;
+}
+
+void ClientRegistry::Unregister(const std::shared_ptr<Handle>& handle) {
+  if (handle == nullptr) return;
+  MutexLock lock(mu_);
+  clients_.erase(handle->id_);
+}
+
+std::vector<ClientInfo> ClientRegistry::Snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<ClientInfo> out;
+  out.reserve(clients_.size());
+  for (const auto& [id, handle] : clients_) {
+    ClientInfo info;
+    info.id = id;
+    info.fd = handle->fd_;
+    info.peer = handle->peer_;
+    const int64_t age_ns = handle->connected_.ElapsedNanos();
+    info.age_seconds = static_cast<double>(age_ns) / 1e9;
+    const int64_t last_ns =
+        handle->last_activity_ns_.load(std::memory_order_relaxed);
+    info.idle_seconds =
+        static_cast<double>(age_ns > last_ns ? age_ns - last_ns : 0) / 1e9;
+    info.in_flight = handle->in_flight_.load(std::memory_order_relaxed);
+    info.pipelined = handle->pipelined_.load(std::memory_order_relaxed);
+    info.bytes_in = handle->bytes_in_.load(std::memory_order_relaxed);
+    info.bytes_out = handle->bytes_out_.load(std::memory_order_relaxed);
+    {
+      MutexLock verb_lock(handle->mu_);
+      info.last_verb = handle->last_verb_;
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+size_t ClientRegistry::size() const {
+  MutexLock lock(mu_);
+  return clients_.size();
+}
+
+std::string RenderClientsText(const std::vector<ClientInfo>& clients) {
+  if (clients.empty()) return "(none)";
+  std::string out;
+  char buffer[64];
+  for (const ClientInfo& client : clients) {
+    if (!out.empty()) out += '\n';
+    out += "id=" + std::to_string(client.id);
+    out += " fd=" + std::to_string(client.fd);
+    out += " peer=" + client.peer;
+    std::snprintf(buffer, sizeof(buffer), " age_s=%.1f idle_s=%.1f",
+                  client.age_seconds, client.idle_seconds);
+    out += buffer;
+    out += client.in_flight ? " in_flight=1" : " in_flight=0";
+    out += " pipelined=" + std::to_string(client.pipelined);
+    out += " bytes_in=" + std::to_string(client.bytes_in);
+    out += " bytes_out=" + std::to_string(client.bytes_out);
+    out += " last_verb=";
+    out += client.last_verb.empty() ? "-" : client.last_verb;
+  }
+  return out;
+}
+
+}  // namespace lotusx

@@ -1,0 +1,91 @@
+#ifndef LOTUSX_COMMON_CLIENT_REGISTRY_H_
+#define LOTUSX_COMMON_CLIENT_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sync.h"
+#include "common/timer.h"
+
+namespace lotusx {
+
+/// Point-in-time view of one connected client (the `CLIENTS` verb).
+struct ClientInfo {
+  uint64_t id = 0;
+  int fd = -1;
+  std::string peer;          // "ip:port"
+  double age_seconds = 0;    // since the connection was accepted
+  double idle_seconds = 0;   // since the last byte in either direction
+  bool in_flight = false;    // a command batch is executing right now
+  uint64_t pipelined = 0;    // commands queued behind the in-flight one
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  std::string last_verb;     // most recent command verb, uppercased
+};
+
+/// Process-wide registry of live client connections, kept in
+/// src/common so the protocol interpreter (which must render `CLIENTS`
+/// without depending on the serving layer) and src/net (which owns the
+/// sockets) can share it.
+///
+/// Each connection holds a Handle: hot-path updates (bytes, pipeline
+/// depth, in-flight flag) are relaxed atomics written by whichever
+/// thread touches the socket or runs the batch; only the last-verb
+/// string takes the handle's mutex. Handles are shared_ptrs so a
+/// snapshot or a late worker update can never touch a freed entry.
+class ClientRegistry {
+ public:
+  class Handle {
+   public:
+    /// Byte counters also restart the idle clock.
+    void RecordBytesIn(uint64_t n);
+    void RecordBytesOut(uint64_t n);
+    void SetPipelined(uint64_t depth);
+    void SetInFlight(bool in_flight);
+    void SetLastVerb(std::string_view verb) LOTUSX_EXCLUDES(mu_);
+
+   private:
+    friend class ClientRegistry;
+    Handle(uint64_t id, int fd, std::string peer);
+    void Touch();
+
+    const uint64_t id_;
+    const int fd_;
+    const std::string peer_;
+    const Timer connected_;
+    std::atomic<int64_t> last_activity_ns_{0};  // offset from connected_
+    std::atomic<uint64_t> bytes_in_{0};
+    std::atomic<uint64_t> bytes_out_{0};
+    std::atomic<uint64_t> pipelined_{0};
+    std::atomic<bool> in_flight_{false};
+    mutable Mutex mu_;
+    std::string last_verb_ LOTUSX_GUARDED_BY(mu_);
+  };
+
+  static ClientRegistry& Default();
+
+  std::shared_ptr<Handle> Register(int fd, std::string peer)
+      LOTUSX_EXCLUDES(mu_);
+  void Unregister(const std::shared_ptr<Handle>& handle) LOTUSX_EXCLUDES(mu_);
+
+  /// All live clients, ordered by id (accept order).
+  std::vector<ClientInfo> Snapshot() const LOTUSX_EXCLUDES(mu_);
+  size_t size() const LOTUSX_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::map<uint64_t, std::shared_ptr<Handle>> clients_ LOTUSX_GUARDED_BY(mu_);
+  uint64_t next_id_ LOTUSX_GUARDED_BY(mu_) = 1;
+};
+
+/// One `key=value` line per client, newest last ("(none)" when empty).
+std::string RenderClientsText(const std::vector<ClientInfo>& clients);
+
+}  // namespace lotusx
+
+#endif  // LOTUSX_COMMON_CLIENT_REGISTRY_H_

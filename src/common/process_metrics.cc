@@ -1,0 +1,73 @@
+#include "common/process_metrics.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdint>
+
+#include "common/metrics.h"
+#include "common/timer.h"
+
+#ifndef LOTUSX_GIT_SHA
+#define LOTUSX_GIT_SHA "unknown"
+#endif
+
+namespace lotusx::metrics {
+
+namespace {
+
+constexpr std::string_view kVersion = "0.7.0";
+constexpr std::string_view kGitSha = LOTUSX_GIT_SHA;
+
+/// Process start proxy: initialized when lotusx_common is loaded, which
+/// for every binary in this repo is within milliseconds of main().
+const Timer g_process_start;
+
+int64_t ReadRssBytes() {
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return 0;
+  long long total_pages = 0;
+  long long rss_pages = 0;
+  const int fields = std::fscanf(statm, "%lld %lld", &total_pages, &rss_pages);
+  std::fclose(statm);
+  if (fields != 2) return 0;
+  return static_cast<int64_t>(rss_pages) * ::sysconf(_SC_PAGESIZE);
+}
+
+int64_t CountOpenFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  int64_t count = 0;
+  while (struct dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;
+    ++count;
+  }
+  ::closedir(dir);
+  // Do not count the directory stream used for the scan itself.
+  return count > 0 ? count - 1 : 0;
+}
+
+}  // namespace
+
+void UpdateProcessMetrics() {
+  if (!Enabled()) return;
+  static Registry& registry = Registry::Default();
+  static Gauge* uptime =
+      registry.GetGauge("lotusx_process_uptime_seconds");
+  static Gauge* rss = registry.GetGauge("lotusx_process_rss_bytes");
+  static Gauge* fds = registry.GetGauge("lotusx_process_open_fds");
+  static Gauge* build_info = registry.GetGauge(
+      "lotusx_build_info", {{"version", std::string(kVersion)},
+                            {"git_sha", std::string(kGitSha)}});
+  uptime->Set(static_cast<int64_t>(g_process_start.ElapsedSeconds()));
+  rss->Set(ReadRssBytes());
+  fds->Set(CountOpenFds());
+  build_info->Set(1);
+}
+
+std::string_view BuildVersion() { return kVersion; }
+
+std::string_view BuildGitSha() { return kGitSha; }
+
+}  // namespace lotusx::metrics

@@ -1,0 +1,28 @@
+#ifndef LOTUSX_COMMON_PROCESS_METRICS_H_
+#define LOTUSX_COMMON_PROCESS_METRICS_H_
+
+#include <string_view>
+
+namespace lotusx::metrics {
+
+/// Refreshes the process-level gauges in the default registry:
+///
+///   lotusx_process_uptime_seconds   since lotusx_common was loaded
+///   lotusx_process_rss_bytes        resident set (/proc/self/statm)
+///   lotusx_process_open_fds         open descriptors (/proc/self/fd)
+///   lotusx_build_info{version,git_sha} == 1 (constant)
+///
+/// Gauges are point-in-time, so the scrape paths (the STATS verb and
+/// the admin plane's /metrics) call this just before rendering instead
+/// of running a background updater thread. On platforms without
+/// procfs, rss/fd report 0. Cheap enough to call per scrape.
+void UpdateProcessMetrics();
+
+/// Build identity baked in at compile time ("unknown" when the git SHA
+/// was unavailable at configure time).
+std::string_view BuildVersion();
+std::string_view BuildGitSha();
+
+}  // namespace lotusx::metrics
+
+#endif  // LOTUSX_COMMON_PROCESS_METRICS_H_

@@ -1,0 +1,111 @@
+#ifndef LOTUSX_COMMON_TRACE_STORE_H_
+#define LOTUSX_COMMON_TRACE_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sync.h"
+#include "common/trace.h"
+
+namespace lotusx::trace {
+
+/// Retention for completed requests: two bounded, lock-annotated ring
+/// buffers fed by ~QueryTrace (root traces only) and drained by the
+/// introspection surfaces — the SLOWLOG / TRACE / CLIENTS protocol
+/// verbs and the HTTP admin plane (/slowlog.json, /tracez).
+///
+/// Both rings keep the newest N entries; writers never block on
+/// readers beyond the ring mutex, and an idle ring costs nothing.
+
+/// One slow query: identity, text, and the merged per-stage breakdown
+/// (including stages executed by adopted pool workers).
+struct SlowQueryEntry {
+  uint64_t id = 0;  // monotonically increasing, assigned by the ring
+  uint64_t trace_id = 0;
+  int64_t wall_start_us = 0;  // unix µs when the request started
+  std::string component;
+  std::string query;
+  std::string detail;  // algorithm / plan reason / "cache-hit"
+  double total_ms = 0;
+  double stage_ms[kNumStages] = {};
+};
+
+/// One retained request trace: the root's identity plus its span tree.
+struct CompletedTrace {
+  uint64_t trace_id = 0;
+  int64_t wall_start_us = 0;  // unix µs when the request started
+  std::string component;
+  std::string query;
+  std::string detail;
+  double total_ms = 0;
+  bool slow = false;
+  uint32_t thread = 0;  // root thread ordinal
+  std::vector<TraceSpan> spans;
+  size_t dropped_spans = 0;
+};
+
+/// Ring of the most recent slow queries (`SLOWLOG GET|LEN|RESET`,
+/// `/slowlog.json`). Slow queries are always captured — sampling only
+/// affects the trace ring.
+class SlowLog {
+ public:
+  explicit SlowLog(size_t capacity = 128);
+
+  /// The process-wide ring used by ~QueryTrace and the verbs.
+  static SlowLog& Default();
+
+  void Add(SlowQueryEntry entry) LOTUSX_EXCLUDES(mu_);
+  /// Newest first, at most `n` entries.
+  std::vector<SlowQueryEntry> Last(size_t n) const LOTUSX_EXCLUDES(mu_);
+  /// Entries currently retained (`SLOWLOG LEN`).
+  size_t Len() const LOTUSX_EXCLUDES(mu_);
+  /// Slow queries ever recorded (survives Reset; monotonic).
+  uint64_t TotalAdded() const LOTUSX_EXCLUDES(mu_);
+  void Reset() LOTUSX_EXCLUDES(mu_);
+
+ private:
+  const size_t capacity_;
+  mutable Mutex mu_;
+  std::deque<SlowQueryEntry> ring_ LOTUSX_GUARDED_BY(mu_);
+  uint64_t next_id_ LOTUSX_GUARDED_BY(mu_) = 1;
+};
+
+/// Ring of sampled/slow request traces (`TRACE LAST|EXPORT`, `/tracez`).
+class TraceStore {
+ public:
+  explicit TraceStore(size_t capacity = 256);
+
+  /// The process-wide ring used by ~QueryTrace and the verbs.
+  static TraceStore& Default();
+
+  void Add(CompletedTrace trace) LOTUSX_EXCLUDES(mu_);
+  /// Newest first, at most `n` traces.
+  std::vector<CompletedTrace> Last(size_t n) const LOTUSX_EXCLUDES(mu_);
+  /// The most recent retained trace with this ID, if still in the ring.
+  std::optional<CompletedTrace> Find(uint64_t trace_id) const
+      LOTUSX_EXCLUDES(mu_);
+  size_t Len() const LOTUSX_EXCLUDES(mu_);
+  void Reset() LOTUSX_EXCLUDES(mu_);
+
+ private:
+  const size_t capacity_;
+  mutable Mutex mu_;
+  std::deque<CompletedTrace> ring_ LOTUSX_GUARDED_BY(mu_);
+};
+
+/// Renderers shared by the protocol verbs and the HTTP admin plane.
+/// Text forms are one entry per line (SLOWLOG) or an indented span
+/// tree (TRACE LAST); JSON forms are stable machine-readable objects;
+/// ChromeTraceJson is the Chrome trace-event format
+/// (`{"traceEvents": [...]}`), directly loadable in Perfetto.
+std::string RenderSlowLogText(const std::vector<SlowQueryEntry>& entries);
+std::string RenderSlowLogJson(const std::vector<SlowQueryEntry>& entries);
+std::string RenderTraceText(const std::vector<CompletedTrace>& traces);
+std::string ChromeTraceJson(const std::vector<CompletedTrace>& traces);
+
+}  // namespace lotusx::trace
+
+#endif  // LOTUSX_COMMON_TRACE_STORE_H_

@@ -232,18 +232,30 @@ namespace {
 /// submissions because it is shutting down).
 void RunChunks(ThreadPool* pool, size_t num_chunks,
                const std::function<void(size_t)>& chunk_fn) {
+  // Pool workers do not inherit the submitter's thread-local
+  // QueryTrace, so capture it at fan-out and adopt it inside every
+  // chunk: stage times and spans from worker threads then land in the
+  // parent request's breakdown (the batch query's SLOWLOG entry shows
+  // join/rank work done on workers). RunChunks joins before returning,
+  // so the parent trace outlives every adoption.
+  trace::QueryTrace* parent = trace::QueryTrace::Current();
+  const auto run_chunk = [&chunk_fn, parent](size_t chunk) {
+    trace::QueryTrace::Adoption adopt(parent);
+    trace::NamedSpan span("chunk");
+    chunk_fn(chunk);
+  };
   if (pool == nullptr || num_chunks <= 1) {
-    for (size_t chunk = 0; chunk < num_chunks; ++chunk) chunk_fn(chunk);
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) run_chunk(chunk);
     return;
   }
   std::latch done(static_cast<ptrdiff_t>(num_chunks));
   for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
-    const bool submitted = pool->Submit([&chunk_fn, &done, chunk] {
-      chunk_fn(chunk);
+    const bool submitted = pool->Submit([&run_chunk, &done, chunk] {
+      run_chunk(chunk);
       done.count_down();
     });
     if (!submitted) {
-      chunk_fn(chunk);
+      run_chunk(chunk);
       done.count_down();
     }
   }

@@ -1,5 +1,7 @@
 #include "net/connection.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -7,11 +9,14 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <optional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/status_or.h"
+#include "common/trace.h"
 #include "net/server.h"
 #include "net/wire.h"
 
@@ -52,16 +57,18 @@ metrics::Counter* FramingErrorsCounter() {
   return counter;
 }
 
-/// Per-verb latency histogram. Unknown verbs collapse into {verb="other"}
-/// so a hostile client cannot grow the metric registry without bound.
-metrics::Histogram* VerbLatency(std::string_view command) {
+/// Uppercased first token of the command, collapsed into "other" for
+/// verbs outside the whitelist so a hostile client cannot grow the
+/// metric registry (or the CLIENTS display) without bound.
+std::string ExtractVerb(std::string_view command) {
   static const std::vector<std::string> kVerbs = {
       "ADD",     "TAG",     "EDGE",       "TYPE",       "ACCEPT",
       "TYPEVAL", "VALUE",   "ORDERED",    "OUTPUT",     "MOVE",
       "REMOVE",  "QUERY",   "RUN",        "FIND",       "STATS",
       "EXPLAIN", "XPATH",   "XQUERY",     "SVG",        "SAVECANVAS",
       "LOADCANVAS", "HISTORY", "EXAMPLE", "PARSE",      "CHECKPOINT",
-      "UNDO",    "SHOW",    "RESET",      "HELP"};
+      "UNDO",    "SHOW",    "RESET",      "HELP",       "SLOWLOG",
+      "TRACE",   "CLIENTS"};
   size_t start = 0;
   while (start < command.size() &&
          (command[start] == ' ' || command[start] == '\t')) {
@@ -81,8 +88,43 @@ metrics::Histogram* VerbLatency(std::string_view command) {
   if (std::find(kVerbs.begin(), kVerbs.end(), verb) == kVerbs.end()) {
     verb = "other";
   }
-  return metrics::Registry::Default().GetHistogram(
+  return verb;
+}
+
+/// Cached per thread: the registry lookup (global mutex + label-map
+/// allocation) is measurable at serving throughput, and the verb set is
+/// closed, so the cache stays ~30 entries per worker.
+metrics::Histogram* VerbLatency(const std::string& verb) {
+  thread_local std::unordered_map<std::string, metrics::Histogram*> cache;
+  auto it = cache.find(verb);
+  if (it != cache.end()) return it->second;
+  metrics::Histogram* histogram = metrics::Registry::Default().GetHistogram(
       "lotusx_net_command_latency_usec", {{"verb", verb}});
+  cache.emplace(verb, histogram);
+  return histogram;
+}
+
+/// "ip:port" of the connected peer, best-effort ("unknown" on failure).
+std::string PeerString(int fd) {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return "unknown";
+  }
+  char host[INET6_ADDRSTRLEN] = {0};
+  uint16_t port = 0;
+  if (addr.ss_family == AF_INET) {
+    const auto* v4 = reinterpret_cast<const sockaddr_in*>(&addr);
+    ::inet_ntop(AF_INET, &v4->sin_addr, host, sizeof(host));
+    port = ntohs(v4->sin_port);
+  } else if (addr.ss_family == AF_INET6) {
+    const auto* v6 = reinterpret_cast<const sockaddr_in6*>(&addr);
+    ::inet_ntop(AF_INET6, &v6->sin6_addr, host, sizeof(host));
+    port = ntohs(v6->sin6_port);
+  } else {
+    return "unknown";
+  }
+  return std::string(host) + ":" + std::to_string(port);
 }
 
 }  // namespace
@@ -94,11 +136,15 @@ Connection::Connection(int fd, Server* server,
     : fd_(fd),
       server_(server),
       limits_(limits),
+      client_(ClientRegistry::Default().Register(fd, PeerString(fd))),
       framer_(limits.max_line_bytes),
       session_(indexed, session_options),
       interpreter_(&session_) {}
 
-Connection::~Connection() = default;
+Connection::~Connection() {
+  // Usually already gone via MarkClosed; Unregister is idempotent.
+  ClientRegistry::Default().Unregister(client_);
+}
 
 void Connection::OnReadable() {
   char buf[16384];
@@ -107,6 +153,7 @@ void Connection::OnReadable() {
     if (n > 0) {
       last_activity_.Restart();
       BytesReadCounter()->Increment(static_cast<uint64_t>(n));
+      client_->RecordBytesIn(static_cast<uint64_t>(n));
       std::vector<std::string> lines;
       Status framed =
           framer_.Feed(std::string_view(buf, static_cast<size_t>(n)), &lines);
@@ -152,6 +199,7 @@ void Connection::EnqueueLines(std::vector<std::string>* lines) {
     MutexLock lock(mu_);
     if (closed_) return;
     for (std::string& line : *lines) pending_.push_back(std::move(line));
+    client_->SetPipelined(pending_.size());
     if (!task_in_flight_ && !pending_.empty()) {
       task_in_flight_ = true;
       start_batch = true;
@@ -161,20 +209,39 @@ void Connection::EnqueueLines(std::vector<std::string>* lines) {
 }
 
 void Connection::ExecuteBatch() {
+  client_->SetInFlight(true);
   for (;;) {
     std::string command;
     {
       MutexLock lock(mu_);
       if (closed_ || pending_.empty()) {
         task_in_flight_ = false;
+        client_->SetPipelined(pending_.size());
         break;
       }
       command = std::move(pending_.front());
       pending_.pop_front();
+      client_->SetPipelined(pending_.size());
     }
+    const std::string verb = ExtractVerb(command);
+    client_->SetLastVerb(verb);
     Timer timer;
-    StatusOr<std::string> result = interpreter_.Execute(command);
-    VerbLatency(command)->Observe(timer.ElapsedMicros());
+    StatusOr<std::string> result;
+    {
+      // Request root: every span and stage recorded anywhere below this
+      // command — session, engine, pool chunks — hangs off one trace ID
+      // minted here at the connection layer.
+      std::optional<trace::QueryTrace> trace;
+      if (metrics::Enabled()) {
+        // observe_latency=false: the per-verb histogram above already
+        // times every command; source="net" in the search-latency
+        // series would be redundant and costs contended atomics.
+        trace.emplace("net", /*trace_id=*/0, /*observe_latency=*/false);
+        trace->set_query_view(command);  // `command` outlives the scope
+      }
+      result = interpreter_.Execute(command);
+    }
+    VerbLatency(verb)->Observe(timer.ElapsedMicros());
     CommandsCounter()->Increment();
     std::string frame;
     if (result.ok()) {
@@ -189,6 +256,7 @@ void Connection::ExecuteBatch() {
     }
     server_->NotifyDirty(shared_from_this());
   }
+  client_->SetInFlight(false);
   // Final wake: the loop may now re-arm EPOLLIN (backpressure released),
   // emit a deferred framing error, or close a drained connection.
   server_->NotifyDirty(shared_from_this());
@@ -212,6 +280,7 @@ void Connection::FlushWrites() {
     if (n > 0) {
       write_offset_ += static_cast<size_t>(n);
       BytesWrittenCounter()->Increment(static_cast<uint64_t>(n));
+      client_->RecordBytesOut(static_cast<uint64_t>(n));
     } else if (errno == EINTR) {
       continue;
     } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -271,6 +340,7 @@ void Connection::BeginDrain() {
 }
 
 void Connection::MarkClosed() {
+  ClientRegistry::Default().Unregister(client_);
   MutexLock lock(mu_);
   closed_ = true;
   pending_.clear();

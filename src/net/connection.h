@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "common/client_registry.h"
 #include "common/sync.h"
 #include "common/timer.h"
 #include "index/indexed_document.h"
@@ -110,6 +111,10 @@ class Connection : public std::enable_shared_from_this<Connection> {
   const int fd_;
   Server* const server_;
   const ConnectionLimits limits_;
+  /// CLIENTS-verb registry entry; the pointer is set once in the
+  /// constructor and never reseated, so loop and worker threads may
+  /// update through it without the connection's mutex.
+  const std::shared_ptr<ClientRegistry::Handle> client_;
 
   // --- event-loop-only state (never touched by workers) ---
   LineFramer framer_;

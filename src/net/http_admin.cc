@@ -1,0 +1,170 @@
+#include "net/http_admin.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace lotusx::net {
+
+namespace {
+
+std::string ToLower(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+/// The terminator of the header block starting at `from`, or npos.
+/// Accepts bare-LF framing alongside CRLF so `printf | nc` works.
+size_t FindHeaderEnd(const std::string& buffer, size_t* terminator_len) {
+  const size_t crlf = buffer.find("\r\n\r\n");
+  const size_t lf = buffer.find("\n\n");
+  if (crlf == std::string::npos && lf == std::string::npos) {
+    return std::string::npos;
+  }
+  if (crlf != std::string::npos && (lf == std::string::npos || crlf < lf)) {
+    *terminator_len = 4;
+    return crlf;
+  }
+  *terminator_len = 2;
+  return lf;
+}
+
+HttpResponse ErrorResponse(int status) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::string(HttpStatusText(status)) + "\n";
+  return response;
+}
+
+}  // namespace
+
+std::string_view HttpStatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Error";
+  }
+}
+
+std::string EncodeHttpResponse(const HttpResponse& response, bool head_only,
+                               bool keep_alive) {
+  std::string out = keep_alive ? "HTTP/1.1 " : "HTTP/1.0 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += HttpStatusText(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += keep_alive ? "\r\nConnection: keep-alive" : "\r\nConnection: close";
+  out += "\r\n\r\n";
+  if (!head_only) out += response.body;
+  return out;
+}
+
+HttpConnectionState::HttpConnectionState(size_t max_request_bytes)
+    : max_request_bytes_(max_request_bytes) {}
+
+bool HttpConnectionState::Feed(std::string_view data,
+                               const HttpHandler& handler, std::string* out) {
+  if (failed_) return false;
+  buffer_.append(data);
+  for (;;) {
+    size_t terminator_len = 0;
+    const size_t header_end = FindHeaderEnd(buffer_, &terminator_len);
+    if (header_end == std::string::npos) {
+      // An attacker streaming an endless request line must not grow the
+      // buffer without bound; 431 matches "your headers never ended".
+      if (buffer_.size() > max_request_bytes_) {
+        *out += EncodeHttpResponse(ErrorResponse(431), /*head_only=*/false,
+                                   /*keep_alive=*/false);
+        failed_ = true;
+        return false;
+      }
+      return true;  // incomplete: wait for more bytes
+    }
+    const bool keep = DispatchOne(header_end, handler, out);
+    buffer_.erase(0, header_end + terminator_len);
+    if (!keep) {
+      failed_ = true;
+      return false;
+    }
+  }
+}
+
+bool HttpConnectionState::DispatchOne(size_t header_end,
+                                      const HttpHandler& handler,
+                                      std::string* out) {
+  const std::string_view head =
+      std::string_view(buffer_).substr(0, header_end);
+  const size_t line_end = head.find('\n');
+  std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  if (!request_line.empty() && request_line.back() == '\r') {
+    request_line.remove_suffix(1);
+  }
+
+  // METHOD SP TARGET SP VERSION
+  const size_t method_end = request_line.find(' ');
+  const size_t target_end =
+      method_end == std::string_view::npos
+          ? std::string_view::npos
+          : request_line.find(' ', method_end + 1);
+  if (method_end == std::string_view::npos ||
+      target_end == std::string_view::npos) {
+    *out += EncodeHttpResponse(ErrorResponse(400), /*head_only=*/false,
+                               /*keep_alive=*/false);
+    return false;
+  }
+  const std::string_view method = request_line.substr(0, method_end);
+  std::string_view target =
+      request_line.substr(method_end + 1, target_end - method_end - 1);
+  const std::string_view version = request_line.substr(target_end + 1);
+
+  // Version before method: a line whose third token is not an HTTP
+  // version is not an HTTP request at all (400), whereas 405 is for
+  // well-formed requests using a verb this plane doesn't serve.
+  if (version != "HTTP/1.0" && version != "HTTP/1.1") {
+    *out += EncodeHttpResponse(ErrorResponse(400), /*head_only=*/false,
+                               /*keep_alive=*/false);
+    return false;
+  }
+  if (method != "GET" && method != "HEAD") {
+    *out += EncodeHttpResponse(ErrorResponse(405), /*head_only=*/false,
+                               /*keep_alive=*/false);
+    return false;
+  }
+
+  // HTTP/1.1 defaults to keep-alive unless the client opts out; 1.0
+  // always closes (no `keep-alive` negotiation in a minimal plane).
+  bool keep_alive = version == "HTTP/1.1";
+  if (keep_alive &&
+      ToLower(head).find("connection: close") != std::string::npos) {
+    keep_alive = false;
+  }
+
+  const size_t query = target.find('?');
+  if (query != std::string_view::npos) target = target.substr(0, query);
+
+  const HttpResponse response = handler(target);
+  *out += EncodeHttpResponse(response, /*head_only=*/method == "HEAD",
+                             keep_alive);
+  return keep_alive;
+}
+
+}  // namespace lotusx::net

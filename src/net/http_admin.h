@@ -1,0 +1,62 @@
+#ifndef LOTUSX_NET_HTTP_ADMIN_H_
+#define LOTUSX_NET_HTTP_ADMIN_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace lotusx::net {
+
+/// Minimal server-side HTTP/1.0-1.1 machinery for the admin plane
+/// (/metrics, /healthz, /slowlog.json, /tracez). Deliberately tiny:
+/// GET and HEAD only, request bodies ignored, no chunked encoding, no
+/// TLS. Kept socket-free so the parser is unit-testable byte-by-byte;
+/// the Server feeds it from the event loop.
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Reason phrase for the handful of statuses the admin plane emits.
+std::string_view HttpStatusText(int status);
+
+/// Serializes status line + headers (+ body unless `head_only`).
+/// `keep_alive` picks the HTTP/1.1 + keep-alive form; otherwise the
+/// response closes the connection (HTTP/1.0 semantics).
+std::string EncodeHttpResponse(const HttpResponse& response, bool head_only,
+                               bool keep_alive);
+
+/// Maps a request path (query string already stripped) to a response.
+using HttpHandler = std::function<HttpResponse(std::string_view path)>;
+
+/// Incremental per-connection request parser. Feed() consumes raw
+/// socket bytes, dispatches every complete request to `handler`, and
+/// appends the encoded responses to `*out` — sequential pipelined GETs
+/// in one read are all answered. Returns false when the connection
+/// must close once `*out` has flushed: a malformed or oversized
+/// request (answered with 400/405/431), an HTTP/1.0 request, or an
+/// explicit `Connection: close`.
+class HttpConnectionState {
+ public:
+  explicit HttpConnectionState(size_t max_request_bytes = 8192);
+
+  bool Feed(std::string_view data, const HttpHandler& handler,
+            std::string* out);
+
+ private:
+  /// Handles the buffered complete request ending at `header_end`.
+  /// Returns false to close (error or no keep-alive).
+  bool DispatchOne(size_t header_end, const HttpHandler& handler,
+                   std::string* out);
+
+  const size_t max_request_bytes_;
+  std::string buffer_;
+  bool failed_ = false;
+};
+
+}  // namespace lotusx::net
+
+#endif  // LOTUSX_NET_HTTP_ADMIN_H_

@@ -10,6 +10,8 @@
 #include <cerrno>
 #include <utility>
 
+#include "common/process_metrics.h"
+#include "common/trace_store.h"
 #include "net/wire.h"
 
 namespace lotusx::net {
@@ -19,6 +21,15 @@ StatusOr<std::unique_ptr<Server>> Server::Start(
   LOTUSX_ASSIGN_OR_RETURN(
       Listener listener,
       Listener::Bind(options.host, options.port, options.backlog));
+  std::optional<Listener> admin_listener;
+  if (options.admin_port >= 0) {
+    LOTUSX_ASSIGN_OR_RETURN(
+        Listener bound,
+        Listener::Bind(options.host,
+                       static_cast<uint16_t>(options.admin_port),
+                       options.backlog));
+    admin_listener.emplace(std::move(bound));
+  }
 
   int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd < 0) return Status::IOError("epoll_create1 failed");
@@ -29,8 +40,10 @@ StatusOr<std::unique_ptr<Server>> Server::Start(
   }
 
   int listener_fd = listener.fd();
+  int admin_fd = admin_listener.has_value() ? admin_listener->fd() : -1;
   auto server = std::make_unique<Server>(indexed, std::move(options),
-                                         std::move(listener), epoll_fd,
+                                         std::move(listener),
+                                         std::move(admin_listener), epoll_fd,
                                          wake_fd);
 
   epoll_event ev{};
@@ -44,17 +57,27 @@ StatusOr<std::unique_ptr<Server>> Server::Start(
   if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &ev) != 0) {
     return Status::IOError("epoll_ctl(eventfd) failed");
   }
+  if (admin_fd >= 0) {
+    ev.events = EPOLLIN;
+    ev.data.fd = admin_fd;
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, admin_fd, &ev) != 0) {
+      return Status::IOError("epoll_ctl(admin listener) failed");
+    }
+  }
 
   server->loop_thread_ = std::thread([s = server.get()] { s->EventLoop(); });
   return server;
 }
 
 Server::Server(const index::IndexedDocument& indexed, ServerOptions options,
-               Listener listener, int epoll_fd, int wake_fd)
+               Listener listener, std::optional<Listener> admin_listener,
+               int epoll_fd, int wake_fd)
     : indexed_(indexed),
       options_(std::move(options)),
       port_(listener.port()),
       listener_(std::move(listener)),
+      admin_listener_(std::move(admin_listener)),
+      admin_port_(admin_listener_.has_value() ? admin_listener_->port() : 0),
       epoll_fd_(epoll_fd),
       wake_fd_(wake_fd),
       pool_(options_.num_workers > 0 ? options_.num_workers
@@ -136,6 +159,14 @@ void Server::EventLoop() {
         AcceptPending();
         continue;
       }
+      if (admin_listener_.has_value() && fd == admin_listener_->fd()) {
+        AcceptAdminPending();
+        continue;
+      }
+      if (admin_connections_.count(fd) != 0) {
+        HandleAdminEvent(fd, ev);
+        continue;
+      }
       auto it = connections_.find(fd);
       if (it == connections_.end()) continue;  // closed earlier this round
       std::shared_ptr<Connection> conn = it->second;
@@ -169,6 +200,13 @@ void Server::EventLoop() {
   for (auto& [fd, conn] : connections_) remaining.push_back(conn);
   for (auto& conn : remaining) CloseConnection(conn);
   listener_.Close();
+  // The admin plane outlives the drain (so /healthz can answer 503 the
+  // whole time) and only comes down with the loop itself.
+  std::vector<int> admin_fds;
+  admin_fds.reserve(admin_connections_.size());
+  for (auto& [fd, state] : admin_connections_) admin_fds.push_back(fd);
+  for (int fd : admin_fds) CloseAdminConnection(fd);
+  if (admin_listener_.has_value()) admin_listener_->Close();
 }
 
 void Server::BeginDraining() {
@@ -278,6 +316,141 @@ void Server::CloseIdleConnections() {
     idle_timeouts_total_->Increment();
     CloseConnection(conn);
   }
+}
+
+void Server::AcceptAdminPending() {
+  for (;;) {
+    StatusOr<int> accepted = admin_listener_->Accept();
+    if (!accepted.ok()) break;
+    int fd = *accepted;
+    if (fd < 0) break;  // would-block: queue drained
+    if (admin_connections_.size() >= options_.max_admin_connections) {
+      ::close(fd);
+      continue;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    registered_events_[fd] = EPOLLIN;
+    admin_connections_[fd];  // default-construct the connection state
+  }
+}
+
+void Server::HandleAdminEvent(int fd, uint32_t events) {
+  auto it = admin_connections_.find(fd);
+  if (it == admin_connections_.end()) return;
+  AdminConnection& conn = it->second;
+
+  if (events & EPOLLIN) {
+    char buf[4096];
+    for (;;) {
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        const bool keep = conn.state.Feed(
+            std::string_view(buf, static_cast<size_t>(n)),
+            [this](std::string_view path) { return HandleAdminRequest(path); },
+            &conn.outbox);
+        if (!keep) conn.close_after_flush = true;
+        continue;
+      }
+      if (n == 0) {  // peer closed; flush what we owe, then close
+        conn.close_after_flush = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseAdminConnection(fd);
+      return;
+    }
+  }
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    CloseAdminConnection(fd);
+    return;
+  }
+
+  // Flush the outbox opportunistically (also covers EPOLLOUT wakeups).
+  while (conn.outbox_offset < conn.outbox.size()) {
+    ssize_t n = ::send(fd, conn.outbox.data() + conn.outbox_offset,
+                       conn.outbox.size() - conn.outbox_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.outbox_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    CloseAdminConnection(fd);
+    return;
+  }
+  if (conn.outbox_offset >= conn.outbox.size()) {
+    conn.outbox.clear();
+    conn.outbox_offset = 0;
+    if (conn.close_after_flush) {
+      CloseAdminConnection(fd);
+      return;
+    }
+  }
+  UpdateAdminInterest(fd);
+}
+
+void Server::UpdateAdminInterest(int fd) {
+  auto it = admin_connections_.find(fd);
+  if (it == admin_connections_.end()) return;
+  uint32_t want = EPOLLIN;
+  if (it->second.outbox_offset < it->second.outbox.size()) want |= EPOLLOUT;
+  uint32_t& registered = registered_events_[fd];
+  if (want == registered) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0) {
+    registered = want;
+  }
+}
+
+void Server::CloseAdminConnection(int fd) {
+  auto it = admin_connections_.find(fd);
+  if (it == admin_connections_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  registered_events_.erase(fd);
+  admin_connections_.erase(it);
+}
+
+HttpResponse Server::HandleAdminRequest(std::string_view path) {
+  HttpResponse response;
+  if (path == "/metrics") {
+    metrics::UpdateProcessMetrics();
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = metrics::Registry::Default().RenderText();
+    return response;
+  }
+  if (path == "/healthz") {
+    // Runs on the loop thread, so reading draining_ is race-free.
+    if (draining_) {
+      response.status = 503;
+      response.body = "draining\n";
+    } else {
+      response.body = "ok\n";
+    }
+    return response;
+  }
+  if (path == "/slowlog.json") {
+    trace::SlowLog& ring = trace::SlowLog::Default();
+    response.content_type = "application/json";
+    response.body = trace::RenderSlowLogJson(ring.Last(ring.Len()));
+    return response;
+  }
+  if (path == "/tracez") {
+    trace::TraceStore& store = trace::TraceStore::Default();
+    response.content_type = "application/json";
+    response.body = trace::ChromeTraceJson(store.Last(store.Len()));
+    return response;
+  }
+  response.status = 404;
+  response.body = "not found\n";
+  return response;
 }
 
 int Server::WaitTimeoutMs() const {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -16,6 +17,7 @@
 #include "common/timer.h"
 #include "index/indexed_document.h"
 #include "net/connection.h"
+#include "net/http_admin.h"
 #include "net/listener.h"
 #include "session/session.h"
 
@@ -38,6 +40,14 @@ struct ServerOptions {
   int drain_timeout_ms = 5000;
   /// Command-execution workers; 0 = ThreadPool::DefaultThreadCount().
   size_t num_workers = 0;
+  /// HTTP admin plane (GET /metrics, /healthz, /slowlog.json, /tracez)
+  /// on a second listener handled inline by the event loop. -1
+  /// disables; 0 picks an ephemeral port (Server::admin_port() reports
+  /// the real one). The admin listener keeps accepting during a drain
+  /// so /healthz can answer 503 until the loop exits.
+  int admin_port = -1;
+  /// Admin connections beyond this are closed on accept.
+  size_t max_admin_connections = 32;
   session::SessionOptions session;
 };
 
@@ -68,13 +78,16 @@ class Server {
   /// Use Start() — this constructor only wires together already-created
   /// resources and is public so the factory can std::make_unique it.
   Server(const index::IndexedDocument& indexed, ServerOptions options,
-         Listener listener, int epoll_fd, int wake_fd);
+         Listener listener, std::optional<Listener> admin_listener,
+         int epoll_fd, int wake_fd);
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
   uint16_t port() const { return port_; }
+  /// 0 when the admin plane is disabled.
+  uint16_t admin_port() const { return admin_port_; }
 
   /// Begins graceful shutdown and returns immediately. Async-signal-safe
   /// (one atomic store and one eventfd write).
@@ -117,6 +130,13 @@ class Server {
   /// coarse enough to be cheap and fine enough for idle/drain deadlines.
   int WaitTimeoutMs() const;
 
+  // --- admin plane (all on the event-loop thread) ---
+  void AcceptAdminPending();
+  void HandleAdminEvent(int fd, uint32_t events);
+  void UpdateAdminInterest(int fd);
+  void CloseAdminConnection(int fd);
+  HttpResponse HandleAdminRequest(std::string_view path);
+
   const index::IndexedDocument& indexed_;
   const ServerOptions options_;
   const uint16_t port_;
@@ -125,6 +145,17 @@ class Server {
   Listener listener_;
   std::unordered_map<int, std::shared_ptr<Connection>> connections_;
   std::unordered_map<int, uint32_t> registered_events_;
+  /// One buffered HTTP admin connection; small enough to live inline
+  /// on the loop (responses are registry/ring renders, no engine work).
+  struct AdminConnection {
+    HttpConnectionState state;
+    std::string outbox;
+    size_t outbox_offset = 0;
+    bool close_after_flush = false;
+  };
+  std::optional<Listener> admin_listener_;
+  uint16_t admin_port_ = 0;
+  std::unordered_map<int, AdminConnection> admin_connections_;
   bool draining_ = false;
   Timer drain_clock_;
 

@@ -6,9 +6,12 @@
 #include <optional>
 #include <sstream>
 
+#include "common/client_registry.h"
 #include "common/coding.h"
 #include "common/metrics.h"
+#include "common/process_metrics.h"
 #include "common/string_util.h"
+#include "common/trace_store.h"
 #include "index/document_stats.h"
 #include "session/canvas_io.h"
 #include "twig/query_from_example.h"
@@ -28,6 +31,7 @@ constexpr std::string_view kHelp =
     "FIND <keywords> | STATS [DOC] | EXPLAIN | XPATH | XQUERY | SVG [file] |\n"
     "SAVECANVAS <file> | LOADCANVAS <file> | HISTORY [prefix] |\n"
     "EXAMPLE <node#> | PARSE <query> |\n"
+    "SLOWLOG GET [n]|LEN|RESET | TRACE LAST [n]|EXPORT [id] | CLIENTS |\n"
     "CHECKPOINT | UNDO | SHOW | RESET | HELP";
 
 StatusOr<int> ParseInt(std::string_view token) {
@@ -376,7 +380,77 @@ StatusOr<std::string> ProtocolInterpreter::ExecuteCommand(
     if (tokens.size() >= 2) {
       return Status::InvalidArgument("usage: STATS [DOC]");
     }
+    metrics::UpdateProcessMetrics();
     return metrics::Registry::Default().RenderText();
+  }
+
+  if (verb == "slowlog") {
+    // Redis-style slow-query history over the bounded ring fed by
+    // request root traces (see common/trace_store.h).
+    const std::string sub =
+        tokens.size() >= 2 ? ToLowerAscii(tokens[1]) : "get";
+    if (sub == "get" && tokens.size() <= 3) {
+      size_t count = 10;
+      if (tokens.size() == 3) {
+        LOTUSX_ASSIGN_OR_RETURN(int parsed, ParseInt(tokens[2]));
+        if (parsed < 0) {
+          return Status::InvalidArgument("count must be >= 0");
+        }
+        count = static_cast<size_t>(parsed);
+      }
+      return trace::RenderSlowLogText(trace::SlowLog::Default().Last(count));
+    }
+    if (sub == "len" && tokens.size() == 2) {
+      return std::to_string(trace::SlowLog::Default().Len());
+    }
+    if (sub == "reset" && tokens.size() == 2) {
+      trace::SlowLog::Default().Reset();
+      return std::string("ok");
+    }
+    return Status::InvalidArgument("usage: SLOWLOG GET [n] | LEN | RESET");
+  }
+
+  if (verb == "trace") {
+    if (tokens.size() >= 2) {
+      const std::string sub = ToLowerAscii(tokens[1]);
+      if (sub == "last" && tokens.size() <= 3) {
+        size_t count = 5;
+        if (tokens.size() == 3) {
+          LOTUSX_ASSIGN_OR_RETURN(int parsed, ParseInt(tokens[2]));
+          if (parsed <= 0) {
+            return Status::InvalidArgument("count must be > 0");
+          }
+          count = static_cast<size_t>(parsed);
+        }
+        return trace::RenderTraceText(trace::TraceStore::Default().Last(count));
+      }
+      if (sub == "export" && tokens.size() <= 3) {
+        // Chrome trace-event JSON (open in Perfetto / chrome://tracing):
+        // one retained trace by ID, or the whole ring without one.
+        if (tokens.size() == 3) {
+          const uint64_t trace_id = trace::ParseTraceId(tokens[2]);
+          if (trace_id == 0) {
+            return Status::InvalidArgument("bad trace id '" + tokens[2] + "'");
+          }
+          std::optional<trace::CompletedTrace> found =
+              trace::TraceStore::Default().Find(trace_id);
+          if (!found.has_value()) {
+            return Status::NotFound("trace " + tokens[2] +
+                                    " not retained (sampled out or evicted)");
+          }
+          return trace::ChromeTraceJson({*std::move(found)});
+        }
+        trace::TraceStore& store = trace::TraceStore::Default();
+        return trace::ChromeTraceJson(store.Last(store.Len()));
+      }
+    }
+    return Status::InvalidArgument(
+        "usage: TRACE LAST [n] | TRACE EXPORT [id]");
+  }
+
+  if (verb == "clients") {
+    if (tokens.size() != 1) return Status::InvalidArgument("usage: CLIENTS");
+    return RenderClientsText(ClientRegistry::Default().Snapshot());
   }
 
   if (verb == "find") {

@@ -18,6 +18,9 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/trace.h"
+#include "common/trace_store.h"
+#include "net/http_admin.h"
 #include "net/line_framer.h"
 #include "net/server.h"
 #include "net/wire.h"
@@ -139,12 +142,19 @@ constexpr std::string_view kXml = R"(<dblp>
 /// protocol through FrameParser.
 class TestClient {
  public:
-  explicit TestClient(uint16_t port) {
+  /// `rcvbuf_bytes` clamps SO_RCVBUF before connecting (0 = default):
+  /// a tiny receive window keeps the server from flushing more than a
+  /// few KB into the kernel, which lets tests hold responses unread.
+  explicit TestClient(uint16_t port, int rcvbuf_bytes = 0) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) return;
     timeval timeout{};
     timeout.tv_sec = 10;
     ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    if (rcvbuf_bytes > 0) {
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                   sizeof(rcvbuf_bytes));
+    }
     sockaddr_in addr;
     std::memset(&addr, 0, sizeof(addr));
     addr.sin_family = AF_INET;
@@ -413,6 +423,385 @@ TEST_F(NetServerTest, ConcurrentClientsGetIsolatedSessions) {
   for (int i = 0; i < kClients; ++i) {
     EXPECT_TRUE(passed[i]) << "client " << i;
   }
+}
+
+// ------------------------------------------------------------ HTTP admin
+
+/// Collects handler calls and returns a canned response per path.
+HttpHandler EchoHandler(std::vector<std::string>* paths) {
+  return [paths](std::string_view path) {
+    paths->push_back(std::string(path));
+    HttpResponse response;
+    if (path == "/missing") {
+      response.status = 404;
+      response.body = "not found\n";
+    } else {
+      response.body = "hello " + std::string(path) + "\n";
+    }
+    return response;
+  };
+}
+
+TEST(HttpParserTest, DispatchesASimpleGet) {
+  HttpConnectionState state;
+  std::vector<std::string> paths;
+  std::string out;
+  EXPECT_TRUE(state.Feed("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n",
+                         EchoHandler(&paths), &out));
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], "/healthz");
+  EXPECT_NE(out.find("HTTP/1.1 200 OK\r\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("hello /healthz\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("Content-Length: "), std::string::npos) << out;
+}
+
+TEST(HttpParserTest, ReassemblesARequestSplitAcrossFeeds) {
+  HttpConnectionState state;
+  std::vector<std::string> paths;
+  std::string out;
+  EXPECT_TRUE(state.Feed("GET /met", EchoHandler(&paths), &out));
+  EXPECT_TRUE(paths.empty());
+  EXPECT_TRUE(state.Feed("rics HTTP/1.1\r\n\r\n", EchoHandler(&paths), &out));
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], "/metrics");
+}
+
+TEST(HttpParserTest, AnswersPipelinedGetsInOrder) {
+  HttpConnectionState state;
+  std::vector<std::string> paths;
+  std::string out;
+  EXPECT_TRUE(state.Feed("GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n",
+                         EchoHandler(&paths), &out));
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], "/a");
+  EXPECT_EQ(paths[1], "/b");
+  size_t first = out.find("hello /a\n");
+  size_t second = out.find("hello /b\n");
+  ASSERT_NE(first, std::string::npos) << out;
+  ASSERT_NE(second, std::string::npos) << out;
+  EXPECT_LT(first, second);
+}
+
+TEST(HttpParserTest, StripsTheQueryString) {
+  HttpConnectionState state;
+  std::vector<std::string> paths;
+  std::string out;
+  EXPECT_TRUE(state.Feed("GET /slowlog.json?n=5 HTTP/1.1\r\n\r\n",
+                         EchoHandler(&paths), &out));
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], "/slowlog.json");
+}
+
+TEST(HttpParserTest, HeadOmitsTheBody) {
+  HttpConnectionState state;
+  std::vector<std::string> paths;
+  std::string out;
+  EXPECT_TRUE(state.Feed("HEAD /healthz HTTP/1.1\r\n\r\n",
+                         EchoHandler(&paths), &out));
+  EXPECT_NE(out.find("HTTP/1.1 200 OK\r\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("Content-Length: "), std::string::npos) << out;
+  EXPECT_EQ(out.find("hello"), std::string::npos) << out;
+}
+
+TEST(HttpParserTest, BadMethodGets405AndCloses) {
+  HttpConnectionState state;
+  std::vector<std::string> paths;
+  std::string out;
+  EXPECT_FALSE(state.Feed("POST /metrics HTTP/1.1\r\n\r\n",
+                          EchoHandler(&paths), &out));
+  EXPECT_TRUE(paths.empty());
+  EXPECT_NE(out.find("405"), std::string::npos) << out;
+  // The parser latches failed: later bytes are ignored.
+  EXPECT_FALSE(state.Feed("GET /a HTTP/1.1\r\n\r\n", EchoHandler(&paths),
+                          &out));
+  EXPECT_TRUE(paths.empty());
+}
+
+TEST(HttpParserTest, MalformedRequestLineGets400) {
+  HttpConnectionState state;
+  std::vector<std::string> paths;
+  std::string out;
+  EXPECT_FALSE(state.Feed("definitely not http\r\n\r\n", EchoHandler(&paths),
+                          &out));
+  EXPECT_TRUE(paths.empty());
+  EXPECT_NE(out.find("400"), std::string::npos) << out;
+}
+
+TEST(HttpParserTest, OversizedRequestGets431) {
+  HttpConnectionState state(/*max_request_bytes=*/64);
+  std::vector<std::string> paths;
+  std::string out;
+  std::string huge = "GET /" + std::string(128, 'x');
+  EXPECT_FALSE(state.Feed(huge, EchoHandler(&paths), &out));
+  EXPECT_TRUE(paths.empty());
+  EXPECT_NE(out.find("431"), std::string::npos) << out;
+}
+
+TEST(HttpParserTest, Http10AndConnectionCloseEndTheConnection) {
+  {
+    HttpConnectionState state;
+    std::vector<std::string> paths;
+    std::string out;
+    EXPECT_FALSE(state.Feed("GET /healthz HTTP/1.0\r\n\r\n",
+                            EchoHandler(&paths), &out));
+    ASSERT_EQ(paths.size(), 1u);  // still answered
+    EXPECT_NE(out.find("200"), std::string::npos) << out;
+  }
+  {
+    HttpConnectionState state;
+    std::vector<std::string> paths;
+    std::string out;
+    EXPECT_FALSE(state.Feed(
+        "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        EchoHandler(&paths), &out));
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_NE(out.find("200"), std::string::npos) << out;
+  }
+}
+
+TEST(HttpParserTest, AcceptsBareLfFraming) {
+  HttpConnectionState state;
+  std::vector<std::string> paths;
+  std::string out;
+  EXPECT_TRUE(state.Feed("GET /healthz HTTP/1.1\n\n", EchoHandler(&paths),
+                         &out));
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], "/healthz");
+}
+
+TEST(HttpParserTest, HandlerStatusAndContentTypePassThrough) {
+  HttpConnectionState state;
+  std::vector<std::string> paths;
+  std::string out;
+  EXPECT_TRUE(state.Feed("GET /missing HTTP/1.1\r\n\r\n",
+                         EchoHandler(&paths), &out));
+  EXPECT_NE(out.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("not found\n"), std::string::npos) << out;
+}
+
+/// Blocking HTTP/1.1 client for the live admin plane: one request per
+/// connection (Connection: close), returns the raw response.
+std::string AdminGet(uint16_t port, const std::string& path,
+                     const std::string& method = "GET") {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  timeval timeout{};
+  timeout.tv_sec = 10;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      method + " " + path + " HTTP/1.1\r\nConnection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[8192];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+class AdminPlaneTest : public NetServerTest {
+ protected:
+  std::unique_ptr<Server> StartWithAdmin(ServerOptions options = {}) {
+    options.admin_port = 0;  // ephemeral
+    return StartServer(options);
+  }
+};
+
+TEST_F(AdminPlaneTest, MetricsEndpointRendersPrometheusText) {
+  auto server = StartWithAdmin();
+  ASSERT_NE(server, nullptr);
+  ASSERT_NE(server->admin_port(), 0);
+
+  // Drive some traffic first so counters are non-zero.
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("HELP\nSHOW\n"));
+  ASSERT_EQ(client.ReadFrames(2).size(), 2u);
+
+  std::string response = AdminGet(server->admin_port(), "/metrics");
+  EXPECT_NE(response.find(" 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("lotusx_net_commands_total"), std::string::npos);
+  EXPECT_NE(response.find("lotusx_process_uptime_seconds"),
+            std::string::npos);
+  EXPECT_NE(response.find("lotusx_build_info{"), std::string::npos);
+}
+
+TEST_F(AdminPlaneTest, HealthzFlipsTo503DuringDrain) {
+  auto server = StartWithAdmin();
+  ASSERT_NE(server, nullptr);
+
+  EXPECT_NE(AdminGet(server->admin_port(), "/healthz").find(" 200 OK"),
+            std::string::npos);
+
+  // Hold the drain open deterministically: a clamped receive window
+  // keeps the kernel from absorbing the responses, the batch stays
+  // under the pipeline cap so one read queues all of it, and waiting
+  // for the first frame proves the server took the batch before the
+  // drain stops it from reading.
+  TestClient client(server->port(), /*rcvbuf_bytes=*/8192);
+  ASSERT_TRUE(client.connected());
+  std::string batch;
+  for (int i = 0; i < 200; ++i) batch += "STATS\n";
+  ASSERT_TRUE(client.Send(batch));
+  ASSERT_EQ(client.ReadFrames(1).size(), 1u);
+  server->RequestDrain();
+
+  // Poll: the drain begins on the loop thread, so an immediate GET can
+  // still see the pre-drain state.
+  std::string draining;
+  for (int i = 0; i < 200; ++i) {
+    draining = AdminGet(server->admin_port(), "/healthz");
+    if (draining.find(" 503 ") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_NE(draining.find(" 503 Service Unavailable"), std::string::npos)
+      << draining;
+  EXPECT_NE(draining.find("draining"), std::string::npos) << draining;
+
+  // Unblock the drain by consuming everything, then the loop exits.
+  EXPECT_TRUE(client.ReadEof());
+  server->AwaitTermination();
+  EXPECT_EQ(server->active_connections(), 0);
+}
+
+TEST_F(AdminPlaneTest, SlowlogAndTracezServeJson) {
+  double previous_threshold = trace::SetSlowQueryThresholdMillis(0);
+  double previous_rate = trace::SetTraceSampleRate(1.0);
+  trace::SlowLog::Default().Reset();
+  trace::TraceStore::Default().Reset();
+  auto server = StartWithAdmin();
+  ASSERT_NE(server, nullptr);
+
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(
+      "ADD 0 0 article\nADD 0 100 author\nEDGE 1 2 /\nRUN\n"));
+  ASSERT_EQ(client.ReadFrames(4).size(), 4u);
+
+  std::string slowlog = AdminGet(server->admin_port(), "/slowlog.json");
+  EXPECT_NE(slowlog.find("application/json"), std::string::npos);
+  EXPECT_NE(slowlog.find("\"trace_id\""), std::string::npos) << slowlog;
+  EXPECT_NE(slowlog.find("\"stages\""), std::string::npos) << slowlog;
+
+  std::string tracez = AdminGet(server->admin_port(), "/tracez");
+  EXPECT_NE(tracez.find("\"traceEvents\""), std::string::npos) << tracez;
+  EXPECT_NE(tracez.find("\"ph\":\"X\""), std::string::npos) << tracez;
+
+  trace::SetSlowQueryThresholdMillis(previous_threshold);
+  trace::SetTraceSampleRate(previous_rate);
+  trace::SlowLog::Default().Reset();
+  trace::TraceStore::Default().Reset();
+}
+
+TEST_F(AdminPlaneTest, UnknownPathGets404) {
+  auto server = StartWithAdmin();
+  ASSERT_NE(server, nullptr);
+  std::string response = AdminGet(server->admin_port(), "/nope");
+  EXPECT_NE(response.find(" 404 Not Found"), std::string::npos) << response;
+}
+
+TEST_F(AdminPlaneTest, ClientsVerbSeesTheConnection) {
+  auto server = StartWithAdmin();
+  ASSERT_NE(server, nullptr);
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("HELP\nCLIENTS\n"));
+  std::vector<Frame> frames = client.ReadFrames(2);
+  ASSERT_EQ(frames.size(), 2u);
+  ASSERT_TRUE(frames[1].ok) << frames[1].payload;
+  EXPECT_NE(frames[1].payload.find("peer=127.0.0.1:"), std::string::npos)
+      << frames[1].payload;
+  EXPECT_NE(frames[1].payload.find("last_verb=CLIENTS"), std::string::npos)
+      << frames[1].payload;
+}
+
+TEST_F(AdminPlaneTest, SlowlogVerbRoundTripsOverTheWire) {
+  double previous_threshold = trace::SetSlowQueryThresholdMillis(0);
+  trace::SlowLog::Default().Reset();
+  auto server = StartWithAdmin();
+  ASSERT_NE(server, nullptr);
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("SHOW\nSLOWLOG GET\nSLOWLOG LEN\nSLOWLOG RESET\n"));
+  std::vector<Frame> frames = client.ReadFrames(4);
+  ASSERT_EQ(frames.size(), 4u);
+  ASSERT_TRUE(frames[1].ok) << frames[1].payload;
+  // The SHOW command preceding it is in the log with a trace id.
+  EXPECT_NE(frames[1].payload.find("0x"), std::string::npos)
+      << frames[1].payload;
+  EXPECT_NE(frames[1].payload.find("SHOW"), std::string::npos)
+      << frames[1].payload;
+  ASSERT_TRUE(frames[2].ok);
+  EXPECT_NE(frames[2].payload, "0");  // LEN counted the SHOW at least
+  ASSERT_TRUE(frames[3].ok);
+  EXPECT_EQ(frames[3].payload, "ok");
+  trace::SetSlowQueryThresholdMillis(previous_threshold);
+  trace::SlowLog::Default().Reset();
+}
+
+// Scrapes /metrics and STATS concurrently with live traffic: the whole
+// introspection surface under ThreadSanitizer.
+TEST_F(AdminPlaneTest, ConcurrentScrapesAndTrafficStayCoherent) {
+  auto server = StartWithAdmin();
+  ASSERT_NE(server, nullptr);
+  const uint16_t port = server->port();
+  const uint16_t admin_port = server->admin_port();
+
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([port, &ok] {
+      TestClient client(port);
+      if (!client.connected()) {
+        ok = false;
+        return;
+      }
+      for (int i = 0; i < 20; ++i) {
+        if (!client.Send("ADD 0 0 article\nSHOW\nSTATS\nRESET\n") ||
+            client.ReadFrames(4).size() != 4) {
+          ok = false;
+          return;
+        }
+      }
+    });
+  }
+  threads.emplace_back([admin_port, &ok] {
+    for (int i = 0; i < 20; ++i) {
+      std::string response = AdminGet(admin_port, "/metrics");
+      if (response.find("200 OK") == std::string::npos) {
+        ok = false;
+        return;
+      }
+    }
+  });
+  threads.emplace_back([admin_port] {
+    for (int i = 0; i < 20; ++i) {
+      AdminGet(admin_port, "/tracez");
+      AdminGet(admin_port, "/slowlog.json");
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_TRUE(ok);
 }
 
 }  // namespace

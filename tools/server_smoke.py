@@ -1,19 +1,27 @@
 #!/usr/bin/env python3
 """End-to-end smoke test for lotusx_server.
 
-Starts the server on an ephemeral port, drives a scripted TCP session —
-including a pipelined batch written in one send() — checks every response
-frame and the STATS counters, then sends SIGTERM and asserts a graceful
-zero exit.
+Starts the server on an ephemeral port with the HTTP admin plane
+enabled and every query traced (LOTUSX_SLOW_QUERY_MS=0,
+LOTUSX_TRACE_SAMPLE=1), drives a scripted TCP session — including a
+pipelined batch written in one send() — checks every response frame,
+the STATS counters, the admin endpoints (/healthz, /metrics,
+/slowlog.json), and the SLOWLOG -> TRACE EXPORT round trip, then sends
+SIGTERM and asserts /healthz turns 503 while draining and the process
+exits 0.
 
 Usage: tools/server_smoke.py path/to/lotusx_server
 """
 
+import http.client
+import json
+import os
 import re
 import signal
 import socket
 import subprocess
 import sys
+import threading
 import time
 
 
@@ -59,26 +67,78 @@ def read_frames(sock, parser, count, deadline_s=10.0):
     return frames
 
 
+def admin_get(host, port, path, deadline_s=10.0):
+    """One HTTP GET against the admin plane: (status, body)."""
+    conn = http.client.HTTPConnection(host, port, timeout=deadline_s)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.read().decode()
+    finally:
+        conn.close()
+
+
+PROMETHEUS_LINE = re.compile(
+    r"[A-Za-z_:][A-Za-z0-9_:]*(\{[^}]*\})? [^ ]+"
+)
+
+
+def parse_prometheus(text):
+    """Validates the exposition format; returns {metric line: value}."""
+    values = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        assert PROMETHEUS_LINE.fullmatch(line), f"bad metrics line: {line!r}"
+        name, value = line.rsplit(" ", 1)
+        values[name] = float(value)
+    assert values, "empty /metrics exposition"
+    return values
+
+
 def main():
     if len(sys.argv) != 2:
         print(__doc__)
         return 2
     binary = sys.argv[1]
 
+    env = dict(os.environ)
+    env["LOTUSX_SLOW_QUERY_MS"] = "0"  # every query lands in SLOWLOG
+    env["LOTUSX_TRACE_SAMPLE"] = "1"  # every trace is retained
     proc = subprocess.Popen(
-        [binary, "--port", "0"],
+        [binary, "--port", "0", "--admin-port", "0"],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
+        env=env,
     )
     try:
         line = proc.stdout.readline()
         match = re.search(r"listening on ([\d.]+):(\d+)", line)
         assert match, f"no listen announcement in {line!r}"
         host, port = match.group(1), int(match.group(2))
-        print(f"server up on {host}:{port}")
+        line = proc.stdout.readline()
+        match = re.search(r"admin listening on ([\d.]+):(\d+)", line)
+        assert match, f"no admin announcement in {line!r}"
+        admin_port = int(match.group(2))
+        print(f"server up on {host}:{port}, admin on {host}:{admin_port}")
 
-        sock = socket.create_connection((host, port), timeout=10)
+        # With LOTUSX_SLOW_QUERY_MS=0 every command emits a slow-query
+        # log line into our pipe; keep consuming it or the server blocks
+        # on a full pipe buffer mid-drain.
+        drainer = threading.Thread(
+            target=lambda: [None for _ in proc.stdout], daemon=True
+        )
+        drainer.start()
+
+        # A clamped receive buffer (set before connect, so it caps the
+        # advertised window) keeps the kernel from absorbing a large
+        # response backlog — the drain test below depends on unread
+        # responses actually holding the connection open.
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 8192)
+        sock.settimeout(10)
+        sock.connect((host, port))
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         parser = FrameParser()
 
@@ -134,12 +194,109 @@ def main():
         )
         print("scripted session OK")
 
+        # --- admin plane -----------------------------------------------
+        status, body = admin_get(host, admin_port, "/healthz")
+        assert status == 200 and body == "ok\n", (status, body)
+
+        status, body = admin_get(host, admin_port, "/metrics")
+        assert status == 200, status
+        first_scrape = parse_prometheus(body)
+        assert any(
+            name.startswith("lotusx_net_commands_total")
+            for name in first_scrape
+        ), "/metrics missing net counters"
+        assert any(
+            name.startswith("lotusx_process_uptime_seconds")
+            for name in first_scrape
+        ), "/metrics missing process gauges"
+        assert any(
+            name.startswith("lotusx_build_info{") for name in first_scrape
+        ), "/metrics missing build info"
+
+        # Counters are monotonic across traffic.
+        sock.sendall(b"SHOW\nSHOW\n")
+        frames = read_frames(sock, parser, 2)
+        assert all(ok for ok, _ in frames)
+        status, body = admin_get(host, admin_port, "/metrics")
+        assert status == 200, status
+        second_scrape = parse_prometheus(body)
+        for name, value in first_scrape.items():
+            if "_total" not in name:
+                continue
+            assert second_scrape.get(name, 0) >= value, (
+                f"counter {name} went backwards: {value} -> "
+                f"{second_scrape.get(name)}"
+            )
+        commands_key = "lotusx_net_commands_total"
+        assert second_scrape[commands_key] >= first_scrape[commands_key] + 2
+
+        status, body = admin_get(host, admin_port, "/nope")
+        assert status == 404, status
+        print("admin plane OK")
+
+        # --- SLOWLOG / TRACE round trip --------------------------------
+        # Threshold 0 put every command in the slow-query ring; the RUN
+        # from the batch must be there with a per-stage breakdown, and
+        # its trace ID must resolve to a Chrome trace via TRACE EXPORT.
+        status, body = admin_get(host, admin_port, "/slowlog.json")
+        assert status == 200, status
+        slowlog = json.loads(body)
+        runs = [
+            entry
+            for entry in slowlog["entries"]
+            if entry["query"] == "RUN" and entry["stages"]
+        ]
+        assert runs, f"no RUN entry with stage breakdown in {body!r}"
+        trace_id = runs[0]["trace_id"]
+        assert re.fullmatch(r"0x[0-9a-f]{16}", trace_id), trace_id
+
+        sock.sendall(b"SLOWLOG GET 50\n")
+        ((ok, payload),) = read_frames(sock, parser, 1)
+        assert ok and trace_id in payload, (
+            f"SLOWLOG GET does not show {trace_id}"
+        )
+
+        sock.sendall(f"TRACE EXPORT {trace_id}\n".encode())
+        ((ok, payload),) = read_frames(sock, parser, 1)
+        assert ok, payload
+        chrome = json.loads(payload)
+        events = chrome["traceEvents"]
+        assert events, "TRACE EXPORT returned no events"
+        names = {event["name"] for event in events}
+        assert "execute" in names, f"no execute span in {sorted(names)}"
+        for event in events:
+            assert event["ph"] == "X" and "ts" in event and "dur" in event
+        print("slowlog/trace round trip OK")
+
         # --- graceful drain --------------------------------------------
+        # Queue responses far beyond the (clamped) socket buffers and
+        # leave them unread: the connection cannot flush, so the drain
+        # stays pending and /healthz must answer 503 while it does. The
+        # batch stays under the 256-command pipeline cap so one read
+        # queues all of it, and waiting for the first response frame
+        # proves the server took the batch before the drain stops reads.
+        sock.sendall(b"STATS\n" * 200)
+        read_frames(sock, parser, 1)
         proc.send_signal(signal.SIGTERM)
-        # The drain flushes and closes our connection...
+        deadline = time.monotonic() + 10
+        while True:
+            status, body = admin_get(host, admin_port, "/healthz")
+            if status == 503:
+                assert "draining" in body, body
+                break
+            assert time.monotonic() < deadline, (
+                f"/healthz never turned 503 (last: {status} {body!r})"
+            )
+            time.sleep(0.05)
+        print("drain reports 503 OK")
+
+        # Consuming the backlog lets the drain finish: our connection
+        # closes...
         sock.settimeout(10)
-        tail = sock.recv(65536)
-        assert tail == b"", f"unexpected bytes after drain: {tail!r}"
+        while True:
+            tail = sock.recv(65536)
+            if not tail:
+                break
         sock.close()
         # ...and the process exits 0.
         code = proc.wait(timeout=15)
