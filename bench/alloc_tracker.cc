@@ -1,0 +1,169 @@
+// Replaceable global allocation functions that count every heap
+// allocation. Compiled directly into each bench executable; the deletes
+// forward to free(), matching the malloc-based news below.
+//
+// The counters must not distort what they measure: allocation-heavy
+// workloads reach hundreds of thousands of news per op, so a lock-xadd
+// per allocation would show up in the timings. Each thread claims a
+// slot of single-writer atomics and bumps them with plain load+store
+// (compiles to an unlocked add); CurrentAllocCounters() sums the slots
+// plus the fold of exited threads. Cross-thread reads are racy only in
+// the benign sense — atomics, single writer, totals exact once the
+// allocating threads are quiesced.
+
+#include "bench/alloc_tracker.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace lotusx::bench {
+namespace {
+
+struct Slot {
+  std::atomic<uint64_t> allocs{0};
+  std::atomic<uint64_t> bytes{0};
+  std::atomic<bool> used{false};
+};
+
+constexpr int kMaxSlots = 256;
+Slot g_slots[kMaxSlots];
+// Totals from threads that already exited (plus overflow when more than
+// kMaxSlots threads are live at once).
+std::atomic<uint64_t> g_folded_allocs{0};
+std::atomic<uint64_t> g_folded_bytes{0};
+
+inline void BumpRelaxed(std::atomic<uint64_t>* counter, uint64_t delta) {
+  counter->store(counter->load(std::memory_order_relaxed) + delta,
+                 std::memory_order_relaxed);
+}
+
+/// Claims a slot on first use in each thread and folds it back into the
+/// global totals on thread exit. Slot claiming never allocates (operator
+/// new would recurse).
+struct ThreadCounters {
+  Slot* slot = nullptr;
+  ThreadCounters() {
+    for (int i = 0; i < kMaxSlots; ++i) {
+      bool expected = false;
+      if (g_slots[i].used.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel)) {
+        slot = &g_slots[i];
+        break;
+      }
+    }
+  }
+  ~ThreadCounters() {
+    if (slot == nullptr) return;
+    g_folded_allocs.fetch_add(slot->allocs.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+    g_folded_bytes.fetch_add(slot->bytes.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+    slot->allocs.store(0, std::memory_order_relaxed);
+    slot->bytes.store(0, std::memory_order_relaxed);
+    slot->used.store(false, std::memory_order_release);
+  }
+};
+
+thread_local ThreadCounters t_counters;
+
+void* TrackedAlloc(std::size_t size, std::size_t align) {
+  if (Slot* slot = t_counters.slot; slot != nullptr) {
+    BumpRelaxed(&slot->allocs, 1);
+    BumpRelaxed(&slot->bytes, size);
+  } else {
+    g_folded_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_folded_bytes.fetch_add(size, std::memory_order_relaxed);
+  }
+  if (align > alignof(std::max_align_t)) {
+    // aligned_alloc wants the size rounded up to the alignment.
+    std::size_t rounded = (size + align - 1) & ~(align - 1);
+    return std::aligned_alloc(align, rounded);
+  }
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+}  // namespace
+
+AllocCounters CurrentAllocCounters() {
+  AllocCounters counters;
+  counters.allocs = g_folded_allocs.load(std::memory_order_relaxed);
+  counters.bytes = g_folded_bytes.load(std::memory_order_relaxed);
+  for (const Slot& slot : g_slots) {
+    counters.allocs += slot.allocs.load(std::memory_order_relaxed);
+    counters.bytes += slot.bytes.load(std::memory_order_relaxed);
+  }
+  return counters;
+}
+
+}  // namespace lotusx::bench
+
+void* operator new(std::size_t size) {
+  void* p = lotusx::bench::TrackedAlloc(size, 0);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = lotusx::bench::TrackedAlloc(size, 0);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return lotusx::bench::TrackedAlloc(size, 0);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return lotusx::bench::TrackedAlloc(size, 0);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = lotusx::bench::TrackedAlloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = lotusx::bench::TrackedAlloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return lotusx::bench::TrackedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return lotusx::bench::TrackedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}

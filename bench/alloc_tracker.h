@@ -1,0 +1,22 @@
+#ifndef LOTUSX_BENCH_ALLOC_TRACKER_H_
+#define LOTUSX_BENCH_ALLOC_TRACKER_H_
+
+#include <cstdint>
+
+namespace lotusx::bench {
+
+/// Process-wide heap counters since start, maintained by the replaced
+/// global operator new in alloc_tracker.cc (linked into every bench
+/// binary, never into the library or tests). Sample before and after a
+/// timed region and divide by repetitions to get the bytes_per_op /
+/// allocs_per_op columns of the --json report.
+struct AllocCounters {
+  uint64_t allocs = 0;
+  uint64_t bytes = 0;
+};
+
+AllocCounters CurrentAllocCounters();
+
+}  // namespace lotusx::bench
+
+#endif  // LOTUSX_BENCH_ALLOC_TRACKER_H_

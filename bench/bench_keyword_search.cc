@@ -29,9 +29,9 @@ using xml::NodeId;
 std::vector<NodeId> NaiveSlca(const index::IndexedDocument& indexed,
                               const std::vector<std::string>& tokens) {
   const xml::Document& document = indexed.document();
-  std::vector<std::span<const NodeId>> lists;
+  std::vector<std::vector<NodeId>> lists;
   for (const std::string& token : tokens) {
-    lists.push_back(indexed.terms().Postings(token));
+    lists.push_back(indexed.terms().DecodePostings(token));
     if (lists.back().empty()) return {};
   }
   std::vector<NodeId> qualifying;

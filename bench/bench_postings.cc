@@ -1,0 +1,251 @@
+// Posting-storage microbenchmarks: block encode/decode throughput, the
+// scalar-vs-SIMD delta-decode twins on identical inputs, skip-index
+// SeekGE intersection against a linear merge, and compressed-vs-raw
+// posting memory. Run with --json out.json to archive the numbers.
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/arena.h"
+#include "common/coding.h"
+#include "common/random.h"
+#include "index/posting_blocks.h"
+#include "index/posting_codec.h"
+
+namespace lotusx::bench {
+namespace {
+
+// Strictly increasing keys with gaps uniform in [1, 2*avg_gap).
+std::vector<uint32_t> MakeKeys(uint64_t seed, size_t count,
+                               uint32_t avg_gap) {
+  Random rng(seed);
+  std::vector<uint32_t> keys;
+  keys.reserve(count);
+  uint32_t key = 0;
+  for (size_t i = 0; i < count; ++i) {
+    key += 1 + static_cast<uint32_t>(
+                   rng.NextBounded(avg_gap > 1 ? 2 * avg_gap - 1 : 1));
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+std::string Params(size_t count, uint32_t avg_gap) {
+  return "keys=" + std::to_string(count) + " gap=" + std::to_string(avg_gap);
+}
+
+double KeysPerSec(size_t count, double ms) {
+  return ms > 0 ? static_cast<double>(count) / (ms * 1e-3) : 0;
+}
+
+// A hand-encoded delta stream per block, mirroring the key section of
+// the on-disk format, so both decode kernels can be timed on identical
+// bytes without reaching into PostingBlocks internals.
+struct DeltaBlocks {
+  std::string bytes;
+  std::vector<std::pair<size_t, uint32_t>> sections;  // (offset, count)
+};
+
+DeltaBlocks EncodeDeltaBlocks(std::span<const uint32_t> keys) {
+  DeltaBlocks out;
+  Encoder encoder(&out.bytes);
+  for (size_t start = 0; start < keys.size();
+       start += index::PostingBlocks::kBlockEntries) {
+    size_t count = std::min<size_t>(index::PostingBlocks::kBlockEntries,
+                                    keys.size() - start);
+    out.sections.emplace_back(out.bytes.size(), static_cast<uint32_t>(count));
+    encoder.PutVarint32(keys[start]);
+    for (size_t i = 1; i < count; ++i) {
+      encoder.PutVarint32(keys[start + i] - keys[start + i - 1]);
+    }
+  }
+  return out;
+}
+
+// Decodes every block with `fn`, accumulating a checksum so the work
+// cannot be optimized away. CHECK-fails on any decode error.
+uint64_t DecodeAll(const DeltaBlocks& blocks, index::codec::DeltaDecodeFn fn,
+                   uint32_t* scratch) {
+  const uint8_t* base = reinterpret_cast<const uint8_t*>(blocks.bytes.data());
+  const uint8_t* end = base + blocks.bytes.size();
+  uint64_t checksum = 0;
+  for (const auto& [offset, count] : blocks.sections) {
+    const uint8_t* next = fn(base + offset, end, count, scratch);
+    CHECK(next != nullptr) << "kernel rejected a valid block";
+    checksum += scratch[count - 1];
+  }
+  return checksum;
+}
+
+void BenchEncodeDecode(size_t count, uint32_t avg_gap) {
+  const std::string params = Params(count, avg_gap);
+  std::vector<uint32_t> keys = MakeKeys(/*seed=*/17, count, avg_gap);
+  const int reps = SmokeMode() ? 1 : 9;
+
+  index::PostingBlocks blocks;
+  double encode_ms = MedianMillis("postings_encode", params, reps, [&] {
+    blocks = index::PostingBlocks::FromSorted(keys);
+  });
+
+  // Full forward scan through a cursor: the fast-path decode kernel plus
+  // cursor overhead, the shape every join consumes.
+  Arena arena;
+  uint64_t checksum = 0;
+  double scan_ms = MedianMillis("postings_cursor_scan", params, reps, [&] {
+    arena.Reset();
+    checksum = 0;
+    for (index::PostingBlocks::Cursor cursor = blocks.NewCursor(&arena);
+         !cursor.AtEnd(); cursor.Next()) {
+      checksum += cursor.Key();
+    }
+  });
+  CHECK(checksum != 0);
+
+  // Checked full decode (the validation/cold path).
+  double checked_ms = MedianMillis("postings_decode_checked", params, reps,
+                                   [&] { CHECK(!blocks.DecodeKeys().empty()); });
+
+  // Memory vs a raw uint32 vector. The ratio rides in the params string
+  // so the --json artifact carries the acceptance numbers directly.
+  size_t raw_bytes = keys.size() * sizeof(uint32_t);
+  size_t packed_bytes = blocks.MemoryUsage();
+  double ratio = static_cast<double>(raw_bytes) /
+                 static_cast<double>(packed_bytes);
+  BenchJson::Instance().Record(
+      "postings_memory",
+      params + " raw_bytes=" + std::to_string(raw_bytes) +
+          " compressed_bytes=" + std::to_string(packed_bytes) +
+          " ratio=" + Fmt(ratio, 2),
+      {ratio});
+
+  std::printf(
+      "%-28s encode %8.1f Mkeys/s  scan %8.1f Mkeys/s  checked %8.1f "
+      "Mkeys/s  memory %zu -> %zu bytes (%.2fx)\n",
+      params.c_str(), KeysPerSec(count, encode_ms) / 1e6,
+      KeysPerSec(count, scan_ms) / 1e6, KeysPerSec(count, checked_ms) / 1e6,
+      raw_bytes, packed_bytes, ratio);
+}
+
+void BenchKernelTwins(size_t count, uint32_t avg_gap) {
+  const std::string params = Params(count, avg_gap);
+  std::vector<uint32_t> keys = MakeKeys(/*seed=*/23, count, avg_gap);
+  DeltaBlocks blocks = EncodeDeltaBlocks(keys);
+  std::vector<uint32_t> scratch(index::PostingBlocks::kBlockEntries);
+  const int reps = SmokeMode() ? 1 : 9;
+
+  uint64_t scalar_sum = 0;
+  double scalar_ms =
+      MedianMillis("postings_kernel_scalar", params, reps, [&] {
+        scalar_sum =
+            DecodeAll(blocks, index::codec::DecodeDeltaKeysScalar,
+                      scratch.data());
+      });
+  std::printf("%-28s scalar %8.1f Mkeys/s", params.c_str(),
+              KeysPerSec(count, scalar_ms) / 1e6);
+
+  index::codec::DeltaDecodeFn simd = index::codec::SimdDeltaDecoder();
+  if (simd != nullptr) {
+    uint64_t simd_sum = 0;
+    double simd_ms = MedianMillis(
+        std::string("postings_kernel_") +
+            index::codec::ActiveDeltaDecoderName(),
+        params, reps,
+        [&] { simd_sum = DecodeAll(blocks, simd, scratch.data()); });
+    CHECK(simd_sum == scalar_sum) << "kernels disagree";
+    std::printf("  %s %8.1f Mkeys/s (%.2fx)",
+                index::codec::ActiveDeltaDecoderName(),
+                KeysPerSec(count, simd_ms) / 1e6, scalar_ms / simd_ms);
+  } else {
+    std::printf("  (SIMD disabled)");
+  }
+  std::printf("\n");
+}
+
+void BenchSeekVsLinear(size_t big_count, size_t probe_count) {
+  const std::string params = "big=" + std::to_string(big_count) +
+                             " probes=" + std::to_string(probe_count);
+  std::vector<uint32_t> big_keys = MakeKeys(/*seed=*/29, big_count, 8);
+  index::PostingBlocks big = index::PostingBlocks::FromSorted(big_keys);
+
+  // Sorted probe keys, every one a member, spread across the whole list:
+  // the descendant side of a selective structural join.
+  std::vector<uint32_t> probes;
+  probes.reserve(probe_count);
+  size_t stride = big_count / probe_count;
+  for (size_t i = 0; i < probe_count; ++i) {
+    probes.push_back(big_keys[i * stride]);
+  }
+
+  Arena arena;
+  const int reps = SmokeMode() ? 1 : 9;
+
+  size_t hits = 0;
+  double seek_ms = MedianMillis("postings_intersect_seek", params, reps, [&] {
+    arena.Reset();
+    hits = 0;
+    index::PostingBlocks::Cursor cursor = big.NewCursor(&arena);
+    for (uint32_t probe : probes) {
+      if (!cursor.SeekGE(probe)) break;
+      if (cursor.Key() == probe) ++hits;
+    }
+  });
+  CHECK(hits == probes.size());
+
+  double linear_ms =
+      MedianMillis("postings_intersect_linear", params, reps, [&] {
+        arena.Reset();
+        hits = 0;
+        size_t next = 0;
+        for (index::PostingBlocks::Cursor cursor = big.NewCursor(&arena);
+             !cursor.AtEnd() && next < probes.size(); cursor.Next()) {
+          if (cursor.Key() == probes[next]) {
+            ++hits;
+            ++next;
+          }
+        }
+      });
+  CHECK(hits == probes.size());
+
+  std::printf("%-28s seek %9.3f ms  linear %9.3f ms  speedup %.1fx\n",
+              params.c_str(), seek_ms, linear_ms,
+              seek_ms > 0 ? linear_ms / seek_ms : 0);
+}
+
+void Main() {
+  std::printf("posting blocks: %u entries/block, active kernel %s\n\n",
+              index::PostingBlocks::kBlockEntries,
+              index::codec::ActiveDeltaDecoderName());
+
+  std::printf("== encode / decode / memory ==\n");
+  for (size_t count : Scales({100'000, 1'000'000}, 10'000)) {
+    for (uint32_t gap : {1u, 4u, 64u}) {
+      BenchEncodeDecode(count, gap);
+    }
+  }
+
+  std::printf("\n== delta-decode kernel twins ==\n");
+  for (size_t count : Scales({1'000'000}, 10'000)) {
+    for (uint32_t gap : {1u, 4u, 64u}) {
+      BenchKernelTwins(count, gap);
+    }
+  }
+
+  std::printf("\n== skip-index SeekGE vs linear merge ==\n");
+  for (size_t big : Scales({1'000'000}, 20'000)) {
+    for (size_t probes : {100ul, 1'000ul, 10'000ul}) {
+      BenchSeekVsLinear(big, probes);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lotusx::bench
+
+int main(int argc, char** argv) {
+  lotusx::bench::Main();
+  return lotusx::bench::WriteJsonIfRequested(argc, argv);
+}

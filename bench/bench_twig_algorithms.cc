@@ -104,7 +104,14 @@ int main(int argc, char** argv) {
       "materialized\nintermediate tuples / path solutions, the holistic "
       "papers' cost metric)\n\n");
 
-  for (int64_t nodes : lotusx::bench::Scales({20'000, 100'000, 400'000})) {
+  // --scale N replaces the ladder with one rung of N x the 20k base
+  // corpus, so large-corpus runs (e.g. --scale 10 or 100) don't pay for
+  // the small rungs first.
+  std::vector<int64_t> ladder = {20'000, 100'000, 400'000};
+  if (int64_t scale = lotusx::bench::ScaleFromArgs(argc, argv); scale > 0) {
+    ladder = {20'000 * scale};
+  }
+  for (int64_t nodes : lotusx::bench::Scales(std::move(ladder))) {
     lotusx::bench::Table table({"corpus", "workload", "algorithm", "ms",
                                 "scanned", "intermed", "matches"});
     {

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench/alloc_tracker.h"
 #include "common/logging.h"
 #include "common/sync.h"
 #include "common/timer.h"
@@ -43,19 +44,39 @@ inline std::vector<int64_t> Scales(std::vector<int64_t> full,
   return full;
 }
 
+/// Per-operation heap profile of a timed region: the alloc-tracker
+/// counter deltas across all timed repetitions, divided by repetitions.
+struct AllocPerOp {
+  double allocs = 0;
+  double bytes = 0;
+};
+
 /// Sorted wall-clock samples (milliseconds) of `fn` over `repetitions`
 /// runs, after one warm-up run. Smoke mode clamps to a single run so
-/// every call site speeds up without edits.
+/// every call site speeds up without edits. When `alloc` is non-null it
+/// receives the per-repetition heap allocation profile of the timed
+/// runs (warm-up excluded).
 inline std::vector<double> SampleMillis(int repetitions,
-                                        const std::function<void()>& fn) {
+                                        const std::function<void()>& fn,
+                                        AllocPerOp* alloc = nullptr) {
   if (SmokeMode()) repetitions = 1;
   fn();  // warm-up
   std::vector<double> samples;
   samples.reserve(static_cast<size_t>(repetitions));
+  AllocCounters before = CurrentAllocCounters();
   for (int i = 0; i < repetitions; ++i) {
     Timer timer;
     fn();
     samples.push_back(timer.ElapsedMillis());
+  }
+  if (alloc != nullptr) {
+    AllocCounters after = CurrentAllocCounters();
+    // push_back above allocates too, but samples was reserved up front,
+    // so the delta is the workload's own heap traffic.
+    alloc->allocs = static_cast<double>(after.allocs - before.allocs) /
+                    static_cast<double>(repetitions);
+    alloc->bytes = static_cast<double>(after.bytes - before.bytes) /
+                   static_cast<double>(repetitions);
   }
   std::sort(samples.begin(), samples.end());
   return samples;
@@ -70,6 +91,8 @@ struct BenchRecord {
   double p95_ns = 0;
   double p99_ns = 0;
   double mean_ns = 0;
+  double bytes_per_op = 0;
+  double allocs_per_op = 0;
 };
 
 /// Process-wide collector behind the `--json out.json` bench mode: every
@@ -85,7 +108,8 @@ class BenchJson {
 
   /// Records one measurement from its sorted millisecond samples.
   void Record(std::string_view name, std::string_view params,
-              const std::vector<double>& sorted_samples_ms) {
+              const std::vector<double>& sorted_samples_ms,
+              const AllocPerOp& alloc = {}) {
     if (sorted_samples_ms.empty()) return;
     BenchRecord record;
     record.name = std::string(name);
@@ -102,6 +126,8 @@ class BenchJson {
     record.mean_ns = std::accumulate(sorted_samples_ms.begin(),
                                      sorted_samples_ms.end(), 0.0) /
                      static_cast<double>(sorted_samples_ms.size()) * 1e6;
+    record.bytes_per_op = alloc.bytes;
+    record.allocs_per_op = alloc.allocs;
     MutexLock lock(mu_);
     records_.push_back(std::move(record));
   }
@@ -120,10 +146,11 @@ class BenchJson {
       std::fprintf(file,
                    "  {\"name\": \"%s\", \"params\": \"%s\", \"reps\": %d, "
                    "\"p50_ns\": %.1f, \"p95_ns\": %.1f, \"p99_ns\": %.1f, "
-                   "\"mean_ns\": %.1f}%s\n",
+                   "\"mean_ns\": %.1f, \"bytes_per_op\": %.1f, "
+                   "\"allocs_per_op\": %.1f}%s\n",
                    Escape(r.name).c_str(), Escape(r.params).c_str(), r.reps,
-                   r.p50_ns, r.p95_ns, r.p99_ns, r.mean_ns,
-                   i + 1 < records_.size() ? "," : "");
+                   r.p50_ns, r.p95_ns, r.p99_ns, r.mean_ns, r.bytes_per_op,
+                   r.allocs_per_op, i + 1 < records_.size() ? "," : "");
     }
     std::fputs("]\n", file);
     std::fclose(file);
@@ -191,13 +218,36 @@ inline double MedianMillis(int repetitions, const std::function<void()>& fn) {
   return samples[samples.size() / 2];
 }
 
-/// Same, additionally recording (name, params, reps, p50/p95/mean ns)
-/// into the --json report.
+/// Same, additionally recording (name, params, reps, p50/p95/mean ns,
+/// bytes/allocs per op) into the --json report.
 inline double MedianMillis(std::string_view name, std::string_view params,
                            int repetitions, const std::function<void()>& fn) {
-  std::vector<double> samples = SampleMillis(repetitions, fn);
-  BenchJson::Instance().Record(name, params, samples);
+  AllocPerOp alloc;
+  std::vector<double> samples = SampleMillis(repetitions, fn, &alloc);
+  BenchJson::Instance().Record(name, params, samples, alloc);
   return samples[samples.size() / 2];
+}
+
+/// Parses an optional `--scale N` / `--scale=N` argument: a corpus size
+/// multiplier benches apply to their base rung instead of sweeping the
+/// built-in ladder. Returns 0 when absent.
+inline int64_t ScaleFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    const char* value = nullptr;
+    if (arg == "--scale" && i + 1 < argc) {
+      value = argv[i + 1];
+    } else if (arg.substr(0, 8) == "--scale=") {
+      value = argv[i] + 8;
+    }
+    if (value != nullptr) {
+      int64_t scale = std::atoll(value);
+      CHECK(scale > 0) << "--scale wants a positive integer, got '" << value
+                       << "'";
+      return scale;
+    }
+  }
+  return 0;
 }
 
 /// Parses a hard-coded bench workload, aborting on a syntax error.

@@ -1,0 +1,158 @@
+#ifndef LOTUSX_COMMON_ARENA_H_
+#define LOTUSX_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace lotusx {
+
+/// Bump allocator for per-query scratch: posting-block decode buffers,
+/// filtered candidate streams, and any other allocation whose lifetime is
+/// exactly one query. Allocation is a pointer bump (no per-allocation
+/// header, no free list); nothing is freed individually — Reset() recycles
+/// every block at once, so a pooled EvalContext reuses the same memory
+/// across queries and the hot path stops paying malloc/free per stream.
+///
+/// Only trivially-destructible payloads are supported (the arena never
+/// runs destructors); AllocateArray enforces that at compile time.
+class Arena {
+ public:
+  explicit Arena(size_t initial_block_bytes = kDefaultBlockBytes)
+      : next_block_bytes_(initial_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage of `bytes` bytes aligned to `align` (a power
+  /// of two). Never fails short of OOM; zero-byte requests get a valid
+  /// (unique-per-call not guaranteed) pointer.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    size_t pos = (pos_ + align - 1) & ~(align - 1);
+    if (pos + bytes > limit_) {
+      AddBlock(bytes + align);
+      pos = (pos_ + align - 1) & ~(align - 1);
+    }
+    pos_ = pos + bytes;
+    bytes_allocated_ += bytes;
+    return current_ + pos;
+  }
+
+  /// Typed uninitialized array of `count` elements.
+  template <typename T>
+  std::span<T> AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    void* memory = Allocate(count * sizeof(T), alignof(T));
+    return {static_cast<T*>(memory), count};
+  }
+
+  /// Recycles every block for reuse: subsequent allocations fill the
+  /// already-reserved memory again. Keeps only the largest block (the
+  /// steady state after a few queries is one right-sized block).
+  void Reset() {
+    if (blocks_.size() > 1) {
+      size_t largest = 0;
+      for (size_t i = 1; i < blocks_.size(); ++i) {
+        if (blocks_[i].size > blocks_[largest].size) largest = i;
+      }
+      if (largest != 0) std::swap(blocks_[0], blocks_[largest]);
+      blocks_.resize(1);
+    }
+    if (!blocks_.empty()) {
+      current_ = blocks_[0].memory.get();
+      limit_ = blocks_[0].size;
+    } else {
+      current_ = nullptr;
+      limit_ = 0;
+    }
+    pos_ = 0;
+    bytes_allocated_ = 0;
+  }
+
+  /// Bytes handed out since construction / the last Reset (excludes
+  /// alignment padding).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Bytes of backing memory currently reserved from the heap.
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Block& block : blocks_) total += block.size;
+    return total;
+  }
+
+ private:
+  static constexpr size_t kDefaultBlockBytes = 16 * 1024;
+
+  struct Block {
+    std::unique_ptr<char[]> memory;
+    size_t size = 0;
+  };
+
+  void AddBlock(size_t min_bytes) {
+    size_t size = next_block_bytes_;
+    while (size < min_bytes) size *= 2;
+    next_block_bytes_ = size * 2;  // geometric growth caps block count
+    Block block;
+    block.memory = std::make_unique<char[]>(size);
+    block.size = size;
+    current_ = block.memory.get();
+    limit_ = size;
+    pos_ = 0;
+    blocks_.insert(blocks_.begin(), std::move(block));
+  }
+
+  std::vector<Block> blocks_;
+  char* current_ = nullptr;  // blocks_[0]'s memory while allocating
+  size_t pos_ = 0;
+  size_t limit_ = 0;
+  size_t next_block_bytes_;
+  size_t bytes_allocated_ = 0;
+};
+
+/// Growable array over arena storage: the minimal push_back surface the
+/// candidate-stream builders need (std::vector cannot target an Arena
+/// without a full allocator shim). Doubles its arena block when full; the
+/// abandoned old block is reclaimed by the owning arena's Reset like
+/// everything else.
+template <typename T>
+class ArenaVector {
+ public:
+  explicit ArenaVector(Arena* arena) : arena_(arena) {}
+
+  void push_back(T value) {
+    if (size_ == capacity_) Grow();
+    data_[size_++] = value;
+  }
+
+  void clear() { size_ = 0; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T* data() { return data_; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+  /// The filled prefix as a span (valid until the owning arena resets).
+  std::span<const T> span() const { return {data_, size_}; }
+
+ private:
+  void Grow() {
+    size_t new_capacity = capacity_ == 0 ? 64 : capacity_ * 2;
+    std::span<T> grown = arena_->AllocateArray<T>(new_capacity);
+    for (size_t i = 0; i < size_; ++i) grown[i] = data_[i];
+    data_ = grown.data();
+    capacity_ = new_capacity;
+  }
+
+  Arena* arena_;
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace lotusx
+
+#endif  // LOTUSX_COMMON_ARENA_H_

@@ -85,6 +85,12 @@ Status Decoder::GetVarint64(uint64_t* value) {
     if (pos_ >= data_.size()) return Status::Corruption("truncated varint");
     if (shift >= 64) return Status::Corruption("varint too long");
     unsigned char byte = static_cast<unsigned char>(data_[pos_++]);
+    // At shift 63 only the low bit still fits; a 10th byte above 1 would
+    // silently shift its payload out, decoding an overlong input to a
+    // wrong value instead of rejecting it.
+    if (shift == 63 && byte > 1) {
+      return Status::Corruption("varint overflows uint64");
+    }
     v |= static_cast<uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) break;
     shift += 7;

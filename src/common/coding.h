@@ -10,6 +10,25 @@
 
 namespace lotusx {
 
+/// ZigZag mapping of signed to unsigned integers (protobuf-compatible):
+/// small magnitudes of either sign become small unsigned values, which is
+/// what makes zigzag-delta-varint effective on nearly-sorted payload
+/// channels (term frequencies, positions).
+inline uint32_t ZigZagEncode32(int32_t value) {
+  return (static_cast<uint32_t>(value) << 1) ^
+         static_cast<uint32_t>(value >> 31);
+}
+inline int32_t ZigZagDecode32(uint32_t value) {
+  return static_cast<int32_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+inline uint64_t ZigZagEncode64(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+inline int64_t ZigZagDecode64(uint64_t value) {
+  return static_cast<int64_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
 /// Append-only little-endian binary encoder used by index persistence.
 /// Varints use the LEB128 wire format (protobuf-compatible).
 class Encoder {

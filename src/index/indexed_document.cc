@@ -9,7 +9,10 @@ namespace lotusx::index {
 
 namespace {
 constexpr uint32_t kMagic = 0x4C545358;  // "LTSX"
-constexpr uint32_t kFormatVersion = 1;
+// Version 2: tag streams and term postings are block-compressed
+// (PostingBlocks) with skip metadata; version-1 raw delta lists are no
+// longer readable.
+constexpr uint32_t kFormatVersion = 2;
 }  // namespace
 
 struct IndexedDocument::LoadedParts {

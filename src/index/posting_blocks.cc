@@ -1,0 +1,347 @@
+#include "index/posting_blocks.h"
+
+#include <algorithm>
+
+#include "common/invariant.h"
+#include "common/timer.h"
+#include "index/posting_codec.h"
+
+namespace lotusx::index {
+
+PostingBlocks PostingBlocks::FromSorted(std::span<const uint32_t> keys,
+                                        std::span<const uint32_t> payloads) {
+  CHECK(payloads.empty() || payloads.size() == keys.size());
+  CHECK(keys.size() <= UINT32_MAX);
+  PostingBlocks blocks;
+  blocks.total_count_ = static_cast<uint32_t>(keys.size());
+  blocks.has_payload_ = !payloads.empty();
+  Encoder encoder(&blocks.data_);
+  for (size_t start = 0; start < keys.size(); start += kBlockEntries) {
+    size_t count = std::min<size_t>(kBlockEntries, keys.size() - start);
+    BlockMeta meta;
+    meta.offset = static_cast<uint32_t>(blocks.data_.size());
+    meta.count = static_cast<uint32_t>(count);
+    meta.min = keys[start];
+    meta.max = keys[start + count - 1];
+    encoder.PutVarint32(keys[start]);
+    for (size_t i = 1; i < count; ++i) {
+      CHECK(keys[start + i] > keys[start + i - 1]);
+      encoder.PutVarint32(keys[start + i] - keys[start + i - 1]);
+    }
+    meta.key_bytes =
+        static_cast<uint32_t>(blocks.data_.size()) - meta.offset;
+    if (blocks.has_payload_) {
+      uint32_t previous = 0;
+      for (size_t i = 0; i < count; ++i) {
+        uint32_t value = payloads[start + i];
+        int64_t delta =
+            static_cast<int64_t>(value) - static_cast<int64_t>(previous);
+        encoder.PutVarint64(ZigZagEncode64(delta));
+        previous = value;
+      }
+    }
+    CHECK(blocks.data_.size() <= UINT32_MAX);
+    blocks.meta_.push_back(meta);
+  }
+  // Posting lists are immutable once built and live as long as the
+  // index; drop the append-phase growth slack so MemoryUsage reflects
+  // the compressed size, not the doubling capacity.
+  blocks.data_.shrink_to_fit();
+  blocks.meta_.shrink_to_fit();
+  return blocks;
+}
+
+PostingBlocks::BlockStats PostingBlocks::Stats() const {
+  BlockStats stats;
+  stats.blocks = meta_.size();
+  if (!meta_.empty()) {
+    stats.avg_fill = static_cast<double>(total_count_) /
+                     static_cast<double>(meta_.size());
+    stats.key_span = static_cast<uint64_t>(max_key()) - min_key() + 1;
+  }
+  return stats;
+}
+
+PostingBlocks::Cursor::Cursor(const PostingBlocks* blocks, Arena* arena,
+                              PostingStats* stats)
+    : blocks_(blocks), stats_(stats), num_blocks_(blocks->meta_.size()) {
+  if (num_blocks_ == 0) return;
+  keys_ = arena->AllocateArray<uint32_t>(kBlockEntries).data();
+  if (blocks->has_payload_) {
+    payloads_ = arena->AllocateArray<uint32_t>(kBlockEntries).data();
+  }
+  LoadBlock();
+}
+
+void PostingBlocks::Cursor::LoadBlock() {
+  const BlockMeta& meta = blocks_->meta_[block_];
+  const uint8_t* p =
+      reinterpret_cast<const uint8_t*>(blocks_->data_.data()) + meta.offset;
+  const uint8_t* end = p + meta.key_bytes;
+  if (stats_ != nullptr && stats_->time_decodes) {
+    Timer timer;
+    const uint8_t* after = codec::DecodeDeltaKeysFast(p, end, meta.count,
+                                                      keys_);
+    stats_->decode_ms += static_cast<double>(timer.ElapsedNanos()) / 1e6;
+    LOTUSX_DCHECK(after == end);
+    (void)after;
+  } else {
+    const uint8_t* after = codec::DecodeDeltaKeysFast(p, end, meta.count,
+                                                      keys_);
+    LOTUSX_DCHECK(after == end);
+    (void)after;
+  }
+  if (stats_ != nullptr) {
+    ++stats_->blocks_decoded;
+    stats_->bytes_decoded += meta.key_bytes;
+  }
+  pos_ = 0;
+  count_ = meta.count;
+  payload_loaded_ = false;
+}
+
+bool PostingBlocks::Cursor::SeekGE(uint32_t target) {
+  if (AtEnd()) return false;
+  if (keys_[pos_] >= target) return true;
+  const std::vector<BlockMeta>& meta = blocks_->meta_;
+  if (meta[block_].max >= target) {
+    // Stays inside the already-decoded block.
+    pos_ = static_cast<uint32_t>(
+        std::lower_bound(keys_ + pos_ + 1, keys_ + count_, target) - keys_);
+    return true;
+  }
+  // Gallop over the skip index: doubling probe then binary search on the
+  // narrowed range. Skipped blocks are counted but never decoded.
+  size_t low = block_ + 1;
+  size_t step = 1;
+  while (low + step < meta.size() && meta[low + step].max < target) {
+    low += step;
+    step *= 2;
+  }
+  auto it = std::lower_bound(
+      meta.begin() + static_cast<ptrdiff_t>(low), meta.end(), target,
+      [](const BlockMeta& m, uint32_t t) { return m.max < t; });
+  size_t found = static_cast<size_t>(it - meta.begin());
+  if (stats_ != nullptr) stats_->blocks_skipped += found - block_ - 1;
+  block_ = found;
+  if (AtEnd()) return false;
+  LoadBlock();
+  pos_ = static_cast<uint32_t>(
+      std::lower_bound(keys_, keys_ + count_, target) - keys_);
+  return true;
+}
+
+uint32_t PostingBlocks::Cursor::Payload() {
+  if (payloads_ == nullptr) return 0;
+  if (!payload_loaded_) {
+    const BlockMeta& meta = blocks_->meta_[block_];
+    const uint8_t* base =
+        reinterpret_cast<const uint8_t*>(blocks_->data_.data());
+    const uint8_t* p = base + meta.offset + meta.key_bytes;
+    const uint8_t* end = base + blocks_->BlockEndOffset(block_);
+    const uint8_t* after =
+        codec::DecodeZigZagPayloadChecked(p, end, meta.count, payloads_);
+    CHECK(after == end);
+    if (stats_ != nullptr) {
+      stats_->bytes_decoded += static_cast<uint64_t>(end - p);
+    }
+    payload_loaded_ = true;
+  }
+  return payloads_[pos_];
+}
+
+namespace {
+
+// Decodes the key section of one block into `out` (kBlockEntries
+// capacity); used by the random-access probes that bypass cursors.
+const uint32_t* DecodeBlockKeys(const std::string& data, uint32_t offset,
+                                uint32_t key_bytes, uint32_t count,
+                                uint32_t* out) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data()) + offset;
+  const uint8_t* after =
+      codec::DecodeDeltaKeysFast(p, p + key_bytes, count, out);
+  CHECK(after == p + key_bytes);
+  return out;
+}
+
+}  // namespace
+
+bool PostingBlocks::Contains(uint32_t key) const {
+  auto it = std::lower_bound(
+      meta_.begin(), meta_.end(), key,
+      [](const BlockMeta& m, uint32_t k) { return m.max < k; });
+  if (it == meta_.end() || it->min > key) return false;
+  uint32_t keys[kBlockEntries];
+  DecodeBlockKeys(data_, it->offset, it->key_bytes, it->count, keys);
+  return std::binary_search(keys, keys + it->count, key);
+}
+
+uint32_t PostingBlocks::PayloadFor(uint32_t key) const {
+  if (!has_payload_) return 0;
+  auto it = std::lower_bound(
+      meta_.begin(), meta_.end(), key,
+      [](const BlockMeta& m, uint32_t k) { return m.max < k; });
+  if (it == meta_.end() || it->min > key) return 0;
+  uint32_t keys[kBlockEntries];
+  DecodeBlockKeys(data_, it->offset, it->key_bytes, it->count, keys);
+  const uint32_t* found = std::lower_bound(keys, keys + it->count, key);
+  if (found == keys + it->count || *found != key) return 0;
+  uint32_t payloads[kBlockEntries];
+  size_t b = static_cast<size_t>(it - meta_.begin());
+  const uint8_t* base = reinterpret_cast<const uint8_t*>(data_.data());
+  const uint8_t* p = base + it->offset + it->key_bytes;
+  const uint8_t* end = base + BlockEndOffset(b);
+  const uint8_t* after =
+      codec::DecodeZigZagPayloadChecked(p, end, it->count, payloads);
+  CHECK(after == end);
+  return payloads[found - keys];
+}
+
+std::vector<uint32_t> PostingBlocks::DecodeKeys() const {
+  std::vector<uint32_t> keys(total_count_);
+  size_t written = 0;
+  for (size_t b = 0; b < meta_.size(); ++b) {
+    const BlockMeta& meta = meta_[b];
+    const uint8_t* p =
+        reinterpret_cast<const uint8_t*>(data_.data()) + meta.offset;
+    const uint8_t* after = codec::DecodeDeltaKeysChecked(
+        p, p + meta.key_bytes, meta.count, keys.data() + written);
+    CHECK(after == p + meta.key_bytes);
+    written += meta.count;
+  }
+  CHECK(written == total_count_);
+  return keys;
+}
+
+std::vector<uint32_t> PostingBlocks::DecodePayloads() const {
+  if (!has_payload_) return {};
+  std::vector<uint32_t> payloads(total_count_);
+  size_t written = 0;
+  for (size_t b = 0; b < meta_.size(); ++b) {
+    const BlockMeta& meta = meta_[b];
+    const uint8_t* base = reinterpret_cast<const uint8_t*>(data_.data());
+    const uint8_t* p = base + meta.offset + meta.key_bytes;
+    const uint8_t* end = base + BlockEndOffset(b);
+    const uint8_t* after = codec::DecodeZigZagPayloadChecked(
+        p, end, meta.count, payloads.data() + written);
+    CHECK(after == end);
+    written += meta.count;
+  }
+  CHECK(written == total_count_);
+  return payloads;
+}
+
+Status PostingBlocks::ValidateInvariants() const {
+  LOTUSX_ENSURE(data_.size() <= UINT32_MAX);
+  if (meta_.empty()) {
+    LOTUSX_ENSURE(total_count_ == 0 && data_.empty())
+        << "count " << total_count_ << " data " << data_.size();
+    return Status::OK();
+  }
+  LOTUSX_ENSURE(meta_.front().offset == 0);
+  uint64_t total = 0;
+  uint32_t previous_max = 0;
+  std::vector<uint32_t> keys(kBlockEntries);
+  std::vector<uint32_t> payloads(kBlockEntries);
+  for (size_t b = 0; b < meta_.size(); ++b) {
+    const BlockMeta& meta = meta_[b];
+    LOTUSX_ENSURE(meta.count >= 1 && meta.count <= kBlockEntries)
+        << "block " << b << " count " << meta.count;
+    size_t end_offset = BlockEndOffset(b);
+    LOTUSX_ENSURE(end_offset <= data_.size()) << "block " << b;
+    LOTUSX_ENSURE(meta.offset <= end_offset &&
+                  meta.key_bytes <= end_offset - meta.offset)
+        << "block " << b << " sections exceed block bytes";
+    if (!has_payload_) {
+      // No payload channel: the key section must account for every byte.
+      LOTUSX_ENSURE(meta.offset + meta.key_bytes == end_offset)
+          << "block " << b << " has slack bytes";
+    }
+    const uint8_t* base = reinterpret_cast<const uint8_t*>(data_.data());
+    const uint8_t* p = base + meta.offset;
+    // The checked decoder enforces strict key increase and rejects
+    // truncated or overlong varints; exact consumption pins key_bytes.
+    const uint8_t* after = codec::DecodeDeltaKeysChecked(
+        p, p + meta.key_bytes, meta.count, keys.data());
+    LOTUSX_ENSURE(after == p + meta.key_bytes)
+        << "block " << b << " key section malformed";
+    LOTUSX_ENSURE(keys[0] == meta.min && keys[meta.count - 1] == meta.max)
+        << "block " << b << " metadata disagrees with contents";
+    LOTUSX_ENSURE(b == 0 || meta.min > previous_max)
+        << "block " << b << " overlaps predecessor";
+    if (has_payload_) {
+      const uint8_t* payload_begin = p + meta.key_bytes;
+      const uint8_t* payload_end = base + end_offset;
+      const uint8_t* payload_after = codec::DecodeZigZagPayloadChecked(
+          payload_begin, payload_end, meta.count, payloads.data());
+      LOTUSX_ENSURE(payload_after == payload_end)
+          << "block " << b << " payload section malformed";
+    }
+    previous_max = meta.max;
+    total += meta.count;
+  }
+  LOTUSX_ENSURE(total == total_count_)
+      << "blocks hold " << total << " entries, header says " << total_count_;
+  return Status::OK();
+}
+
+void PostingBlocks::EncodeTo(Encoder* encoder) const {
+  encoder->PutVarint32(total_count_);
+  encoder->PutVarint32(has_payload_ ? 1 : 0);
+  encoder->PutVarint64(meta_.size());
+  for (size_t b = 0; b < meta_.size(); ++b) {
+    const BlockMeta& meta = meta_[b];
+    encoder->PutVarint32(meta.count);
+    encoder->PutVarint32(meta.min);
+    encoder->PutVarint32(meta.max);
+    encoder->PutVarint32(meta.key_bytes);
+    encoder->PutVarint32(static_cast<uint32_t>(BlockEndOffset(b)) -
+                         meta.offset);
+  }
+  encoder->PutString(data_);
+}
+
+StatusOr<PostingBlocks> PostingBlocks::DecodeFrom(Decoder* decoder) {
+  PostingBlocks blocks;
+  uint32_t total = 0;
+  uint32_t flags = 0;
+  uint64_t num_blocks = 0;
+  LOTUSX_RETURN_IF_ERROR(decoder->GetVarint32(&total));
+  LOTUSX_RETURN_IF_ERROR(decoder->GetVarint32(&flags));
+  if (flags > 1) return Status::Corruption("unknown posting flags");
+  LOTUSX_RETURN_IF_ERROR(decoder->GetVarint64(&num_blocks));
+  if (num_blocks > decoder->remaining()) {
+    // Every block header takes at least five bytes; reject absurd
+    // counts before reserving memory for them.
+    return Status::Corruption("posting block count exceeds buffer");
+  }
+  blocks.total_count_ = total;
+  blocks.has_payload_ = flags == 1;
+  blocks.meta_.reserve(num_blocks);
+  uint64_t offset = 0;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    BlockMeta meta;
+    uint32_t block_bytes = 0;
+    LOTUSX_RETURN_IF_ERROR(decoder->GetVarint32(&meta.count));
+    LOTUSX_RETURN_IF_ERROR(decoder->GetVarint32(&meta.min));
+    LOTUSX_RETURN_IF_ERROR(decoder->GetVarint32(&meta.max));
+    LOTUSX_RETURN_IF_ERROR(decoder->GetVarint32(&meta.key_bytes));
+    LOTUSX_RETURN_IF_ERROR(decoder->GetVarint32(&block_bytes));
+    if (offset + block_bytes > UINT32_MAX) {
+      return Status::Corruption("posting data overflows offsets");
+    }
+    meta.offset = static_cast<uint32_t>(offset);
+    offset += block_bytes;
+    blocks.meta_.push_back(meta);
+  }
+  LOTUSX_RETURN_IF_ERROR(decoder->GetString(&blocks.data_));
+  if (offset != blocks.data_.size()) {
+    return Status::Corruption("posting data length mismatch");
+  }
+  // Full audit up front: everything that loads is safe for the
+  // unchecked fast decoders on the query path.
+  LOTUSX_RETURN_IF_ERROR(blocks.ValidateInvariants());
+  return blocks;
+}
+
+}  // namespace lotusx::index

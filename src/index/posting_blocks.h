@@ -1,0 +1,160 @@
+#ifndef LOTUSX_INDEX_POSTING_BLOCKS_H_
+#define LOTUSX_INDEX_POSTING_BLOCKS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/coding.h"
+#include "common/status_or.h"
+
+namespace lotusx::index {
+
+/// Per-query posting access counters, threaded from the cursors up into
+/// EvalStats, EXPLAIN ANALYZE, and the lotusx_postings_* metrics.
+struct PostingStats {
+  uint64_t blocks_decoded = 0;
+  uint64_t blocks_skipped = 0;
+  uint64_t bytes_decoded = 0;
+  /// Wall time inside block decode; only accumulated when time_decodes
+  /// is set (EXPLAIN ANALYZE), so the hot path never reads the clock.
+  double decode_ms = 0;
+  bool time_decodes = false;
+};
+
+/// Block-compressed sorted posting storage: the backing format for tag
+/// streams and term posting lists.
+///
+/// Keys (NodeIds) are split into blocks of at most kBlockEntries,
+/// delta-varint encoded (absolute first key, then strictly-positive
+/// deltas). An optional payload channel (term frequencies) rides in each
+/// block after the keys, zigzag-delta-varint encoded. Per-block metadata
+/// (min/max key, count, byte offsets) forms a skip index: a cursor can
+/// seek across blocks by metadata alone and only pays decode for blocks
+/// it actually enters.
+class PostingBlocks {
+ public:
+  static constexpr uint32_t kBlockEntries = 128;
+
+  PostingBlocks() = default;
+
+  /// Compresses `keys` (strictly increasing). `payloads`, when
+  /// non-empty, must be parallel to `keys`.
+  static PostingBlocks FromSorted(std::span<const uint32_t> keys,
+                                  std::span<const uint32_t> payloads = {});
+
+  uint32_t size() const { return total_count_; }
+  bool empty() const { return total_count_ == 0; }
+  size_t num_blocks() const { return meta_.size(); }
+  bool has_payload() const { return has_payload_; }
+  uint32_t min_key() const { return meta_.empty() ? 0 : meta_.front().min; }
+  uint32_t max_key() const { return meta_.empty() ? 0 : meta_.back().max; }
+  size_t MemoryUsage() const {
+    return data_.capacity() + meta_.capacity() * sizeof(BlockMeta);
+  }
+
+  /// Skip-index shape for the planner's block-skip cost term.
+  struct BlockStats {
+    size_t blocks = 0;
+    double avg_fill = 0;    // entries per block
+    uint64_t key_span = 0;  // max - min + 1 over all keys
+  };
+  BlockStats Stats() const;
+
+  /// Forward cursor with skip-index seeks. Decode scratch (one block of
+  /// keys, plus payloads when present) comes from the per-query arena.
+  /// Move-only: cursors share nothing but must not alias scratch.
+  class Cursor {
+   public:
+    Cursor() = default;
+    Cursor(Cursor&&) = default;
+    Cursor& operator=(Cursor&&) = default;
+    Cursor(const Cursor&) = delete;
+    Cursor& operator=(const Cursor&) = delete;
+
+    bool AtEnd() const { return block_ >= num_blocks_; }
+    uint32_t Key() const { return keys_[pos_]; }
+    /// Max key of the current block without decoding past it.
+    uint32_t BlockMax() const { return blocks_->meta_[block_].max; }
+    void Next() {
+      if (++pos_ == count_) {
+        if (++block_ < num_blocks_) LoadBlock();
+      }
+    }
+    /// Advances to the first entry with key >= `target` (no-op when
+    /// already there). Returns false iff the cursor ran off the end.
+    /// Skipped-over blocks are never decoded.
+    bool SeekGE(uint32_t target);
+    /// Payload parallel to Key(); 0 when the list has no payload
+    /// channel. Lazily decodes the current block's payload section.
+    uint32_t Payload();
+
+   private:
+    friend class PostingBlocks;
+    Cursor(const PostingBlocks* blocks, Arena* arena, PostingStats* stats);
+    void LoadBlock();
+
+    const PostingBlocks* blocks_ = nullptr;
+    PostingStats* stats_ = nullptr;
+    uint32_t* keys_ = nullptr;      // arena scratch, kBlockEntries
+    uint32_t* payloads_ = nullptr;  // arena scratch when has_payload()
+    size_t block_ = 0;
+    size_t num_blocks_ = 0;
+    uint32_t pos_ = 0;
+    uint32_t count_ = 0;
+    bool payload_loaded_ = false;
+  };
+
+  /// `stats` may be nullptr (no counting). The cursor borrows this
+  /// PostingBlocks and `arena`; both must outlive it.
+  Cursor NewCursor(Arena* arena, PostingStats* stats = nullptr) const {
+    return Cursor(this, arena, stats);
+  }
+
+  /// Whether `key` is present (skip-index probe + one block decode).
+  bool Contains(uint32_t key) const;
+  /// Payload stored for `key`, or 0 when absent / no payload channel.
+  uint32_t PayloadFor(uint32_t key) const;
+
+  /// Full decompression, checked; for tests, validation, and the cold
+  /// paths that need random access (keyword search).
+  std::vector<uint32_t> DecodeKeys() const;
+  std::vector<uint32_t> DecodePayloads() const;
+
+  /// Audits the skip index against the compressed bytes: block counts
+  /// and offsets consistent, every block's keys strictly increasing and
+  /// matching its min/max metadata, blocks disjoint and ordered, every
+  /// byte of the data section accounted for. Runs the checked decoder
+  /// only, so it is safe on hostile images straight off DecodeFrom.
+  Status ValidateInvariants() const;
+
+  void EncodeTo(Encoder* encoder) const;
+  /// Decodes and fully validates (structure + ValidateInvariants), so
+  /// anything that loads is safe for the unchecked fast decode path.
+  static StatusOr<PostingBlocks> DecodeFrom(Decoder* decoder);
+
+ private:
+  struct BlockMeta {
+    uint32_t min = 0;
+    uint32_t max = 0;
+    uint32_t count = 0;
+    uint32_t offset = 0;     // start of the block in data_
+    uint32_t key_bytes = 0;  // key section length; payloads follow
+  };
+
+  size_t BlockEndOffset(size_t b) const {
+    return b + 1 < meta_.size() ? meta_[b + 1].offset : data_.size();
+  }
+
+  std::vector<BlockMeta> meta_;
+  std::string data_;
+  uint32_t total_count_ = 0;
+  bool has_payload_ = false;
+};
+
+}  // namespace lotusx::index
+
+#endif  // LOTUSX_INDEX_POSTING_BLOCKS_H_

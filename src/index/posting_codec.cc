@@ -1,0 +1,64 @@
+#include "index/posting_codec.h"
+
+namespace lotusx::index::codec {
+
+const uint8_t* DecodeDeltaKeysChecked(const uint8_t* p, const uint8_t* end,
+                                      uint32_t count, uint32_t* out) {
+  if (count == 0) return nullptr;
+  uint32_t current = 0;
+  if ((p = ReadVarint32(p, end, &current)) == nullptr) return nullptr;
+  out[0] = current;
+  for (uint32_t i = 1; i < count; ++i) {
+    uint32_t delta = 0;
+    if ((p = ReadVarint32(p, end, &delta)) == nullptr) return nullptr;
+    // Zero deltas would smuggle duplicates into a strictly-increasing
+    // stream; a wrapping sum would break sortedness silently.
+    if (delta == 0 || delta > UINT32_MAX - current) return nullptr;
+    current += delta;
+    out[i] = current;
+  }
+  return p;
+}
+
+const uint8_t* DecodeDeltaKeysScalar(const uint8_t* p, const uint8_t* end,
+                                     uint32_t count, uint32_t* out) {
+  uint32_t current = 0;
+  if ((p = ReadVarint32(p, end, &current)) == nullptr) return nullptr;
+  out[0] = current;
+  for (uint32_t i = 1; i < count; ++i) {
+    uint32_t delta = 0;
+    if ((p = ReadVarint32(p, end, &delta)) == nullptr) return nullptr;
+    current += delta;
+    out[i] = current;
+  }
+  return p;
+}
+
+const uint8_t* DecodeDeltaKeysFast(const uint8_t* p, const uint8_t* end,
+                                   uint32_t count, uint32_t* out) {
+  static const DeltaDecodeFn kernel = [] {
+    DeltaDecodeFn simd = SimdDeltaDecoder();
+    return simd != nullptr ? simd : &DecodeDeltaKeysScalar;
+  }();
+  return kernel(p, end, count, out);
+}
+
+const uint8_t* DecodeZigZagPayloadChecked(const uint8_t* p,
+                                          const uint8_t* end, uint32_t count,
+                                          uint32_t* out) {
+  int64_t current = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t encoded = 0;
+    if ((p = ReadVarint32(p, end, &encoded)) == nullptr) return nullptr;
+    int64_t delta = static_cast<int64_t>(encoded >> 1) ^
+                    -static_cast<int64_t>(encoded & 1);
+    current += delta;
+    if (current < 0 || current > static_cast<int64_t>(UINT32_MAX)) {
+      return nullptr;
+    }
+    out[i] = static_cast<uint32_t>(current);
+  }
+  return p;
+}
+
+}  // namespace lotusx::index::codec

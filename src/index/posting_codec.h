@@ -1,0 +1,74 @@
+#ifndef LOTUSX_INDEX_POSTING_CODEC_H_
+#define LOTUSX_INDEX_POSTING_CODEC_H_
+
+#include <cstdint>
+
+namespace lotusx::index::codec {
+
+/// Raw-buffer LEB128 primitives for the posting-block hot path. The
+/// streaming Decoder in common/coding carries Status plumbing per byte;
+/// block decode instead works over a pre-validated `[p, end)` slice and
+/// signals malformed input with a nullptr return, which keeps the inner
+/// loop branch-light and lets the SIMD kernels share the same contract.
+
+/// Reads one varint32 from [p, end). Returns the position after the
+/// varint, or nullptr on truncation / overflow past uint32.
+inline const uint8_t* ReadVarint32(const uint8_t* p, const uint8_t* end,
+                                   uint32_t* out) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    if (p >= end || shift > 28) return nullptr;
+    uint8_t byte = *p++;
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  if (value > UINT32_MAX) return nullptr;
+  *out = static_cast<uint32_t>(value);
+  return p;
+}
+
+/// Decodes one block's key section: an absolute first key followed by
+/// `count - 1` strictly-positive deltas. Fully validated: returns the
+/// position after the last varint, or nullptr on truncation, a zero
+/// delta, or accumulation past uint32. `count` must be >= 1.
+const uint8_t* DecodeDeltaKeysChecked(const uint8_t* p, const uint8_t* end,
+                                      uint32_t count, uint32_t* out);
+
+/// Same contract as DecodeDeltaKeysChecked but assumes the block already
+/// passed validation (offsets in range, keys strictly increasing within
+/// uint32). Still never reads past `end`; corruption detection is not
+/// guaranteed beyond that. This is the hot-path entry: it dispatches to
+/// the best kernel selected at startup (scalar, SSE2, or AVX2).
+const uint8_t* DecodeDeltaKeysFast(const uint8_t* p, const uint8_t* end,
+                                   uint32_t count, uint32_t* out);
+
+/// The scalar twin of DecodeDeltaKeysFast (no validation beyond bounds),
+/// exposed so benches can compare scalar vs SIMD on identical inputs.
+const uint8_t* DecodeDeltaKeysScalar(const uint8_t* p, const uint8_t* end,
+                                     uint32_t count, uint32_t* out);
+
+using DeltaDecodeFn = const uint8_t* (*)(const uint8_t* p, const uint8_t* end,
+                                         uint32_t count, uint32_t* out);
+
+/// The SIMD group-decode kernel chosen by runtime CPU dispatch (AVX2 when
+/// the CPU supports it, else SSE2 on x86-64), or nullptr when the build
+/// disabled SIMD (LOTUSX_SIMD=OFF) or the target is not x86-64.
+DeltaDecodeFn SimdDeltaDecoder();
+
+/// Human-readable name of the active decode kernel ("scalar", "sse2",
+/// "avx2") for bench output and EXPLAIN.
+const char* ActiveDeltaDecoderName();
+
+/// Decodes one block's payload section: `count` zigzag-encoded deltas
+/// accumulating a uint32 sequence (term frequencies). Validated; returns
+/// nullptr on truncation or range overflow. Payloads are off the join
+/// hot path (only ranking touches them), so there is no SIMD twin.
+const uint8_t* DecodeZigZagPayloadChecked(const uint8_t* p,
+                                          const uint8_t* end, uint32_t count,
+                                          uint32_t* out);
+
+}  // namespace lotusx::index::codec
+
+#endif  // LOTUSX_INDEX_POSTING_CODEC_H_

@@ -1,0 +1,92 @@
+#ifndef LOTUSX_INDEX_POSTING_CURSOR_H_
+#define LOTUSX_INDEX_POSTING_CURSOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "common/arena.h"
+#include "index/posting_blocks.h"
+
+namespace lotusx::index {
+
+/// The cursor contract every posting source honors. This is the
+/// interface the twig joins are written against conceptually; on the hot
+/// path they use the concrete cursors directly (no virtual dispatch),
+/// and the conformance suite in tests/posting_blocks_test.cc drives both
+/// implementations through this interface against a reference model to
+/// pin the shared semantics:
+///
+///  - A fresh cursor is positioned on the first posting (or AtEnd()).
+///  - Key() is only valid while !AtEnd() and is strictly increasing
+///    across Next() calls.
+///  - SeekGE(t) lands on the first posting >= t, never moves backward,
+///    is a no-op when Key() >= t already, and returns !AtEnd().
+///  - BlockMax() is a key upper bound for the cursor's current block:
+///    Key() <= BlockMax(), and every posting up to BlockMax() can be
+///    reached without decoding another block.
+class PostingCursor {
+ public:
+  virtual ~PostingCursor() = default;
+  virtual bool AtEnd() const = 0;
+  virtual uint32_t Key() const = 0;
+  virtual void Next() = 0;
+  virtual bool SeekGE(uint32_t target) = 0;
+  virtual uint32_t BlockMax() const = 0;
+};
+
+/// Raw-vector implementation: a cursor over an uncompressed sorted
+/// span. Its "block" is the whole list.
+class VectorPostingCursor final : public PostingCursor {
+ public:
+  explicit VectorPostingCursor(std::span<const uint32_t> keys)
+      : keys_(keys) {}
+
+  bool AtEnd() const override { return pos_ >= keys_.size(); }
+  uint32_t Key() const override { return keys_[pos_]; }
+  void Next() override { ++pos_; }
+  bool SeekGE(uint32_t target) override {
+    if (AtEnd()) return false;
+    if (keys_[pos_] >= target) return true;
+    // Gallop: doubling probe from the current position, then binary
+    // search over the narrowed range.
+    size_t low = pos_ + 1;
+    size_t step = 1;
+    while (low + step < keys_.size() && keys_[low + step] < target) {
+      low += step;
+      step *= 2;
+    }
+    pos_ = static_cast<size_t>(
+        std::lower_bound(keys_.begin() + static_cast<ptrdiff_t>(low),
+                         keys_.end(), target) -
+        keys_.begin());
+    return !AtEnd();
+  }
+  uint32_t BlockMax() const override { return keys_.back(); }
+
+ private:
+  std::span<const uint32_t> keys_;
+  size_t pos_ = 0;
+};
+
+/// Block-compressed implementation: adapts PostingBlocks::Cursor to the
+/// virtual interface.
+class BlockPostingCursor final : public PostingCursor {
+ public:
+  BlockPostingCursor(const PostingBlocks& blocks, Arena* arena,
+                     PostingStats* stats = nullptr)
+      : cursor_(blocks.NewCursor(arena, stats)) {}
+
+  bool AtEnd() const override { return cursor_.AtEnd(); }
+  uint32_t Key() const override { return cursor_.Key(); }
+  void Next() override { cursor_.Next(); }
+  bool SeekGE(uint32_t target) override { return cursor_.SeekGE(target); }
+  uint32_t BlockMax() const override { return cursor_.BlockMax(); }
+
+ private:
+  PostingBlocks::Cursor cursor_;
+};
+
+}  // namespace lotusx::index
+
+#endif  // LOTUSX_INDEX_POSTING_CURSOR_H_

@@ -1,0 +1,158 @@
+#include "index/posting_codec.h"
+
+// SIMD group-decode kernels for posting-block key sections. Compiled into
+// every build; the bodies are gated so that LOTUSX_SIMD=OFF (or a
+// non-x86-64 target) yields a stub returning nullptr and the cursor falls
+// back to the scalar decoder. The AVX2 kernel uses the GCC/Clang target
+// attribute, so the file itself builds without -mavx2 and the choice is
+// made once at runtime via __builtin_cpu_supports.
+
+#if defined(LOTUSX_SIMD_ENABLED) && defined(__x86_64__)
+
+#include <immintrin.h>
+
+namespace lotusx::index::codec {
+namespace {
+
+// Decodes deltas [i, count) the slow way: one varint at a time, no
+// validation beyond bounds (the block passed Checked decode at load).
+inline const uint8_t* ScalarTail(const uint8_t* p, const uint8_t* end,
+                                 uint32_t i, uint32_t count, uint32_t base,
+                                 uint32_t* out) {
+  uint32_t current = base;
+  for (; i < count; ++i) {
+    uint32_t delta = 0;
+    if ((p = ReadVarint32(p, end, &delta)) == nullptr) return nullptr;
+    current += delta;
+    out[i] = current;
+  }
+  return p;
+}
+
+// Prefix-sums 4 lanes in place and returns the vector; the caller adds
+// the running base. Classic log-step shift-and-add.
+inline __m128i PrefixSum4(__m128i x) {
+  x = _mm_add_epi32(x, _mm_slli_si128(x, 4));
+  x = _mm_add_epi32(x, _mm_slli_si128(x, 8));
+  return x;
+}
+
+// Widens 8 packed single-byte deltas into two prefix-summed groups of 4,
+// adds `*base`, stores to out, and advances *base past them.
+inline void Sum8SingleByte(__m128i bytes, uint32_t* base, uint32_t* out) {
+  const __m128i zero = _mm_setzero_si128();
+  __m128i lo16 = _mm_unpacklo_epi8(bytes, zero);
+  __m128i lo = PrefixSum4(_mm_unpacklo_epi16(lo16, zero));
+  __m128i hi = PrefixSum4(_mm_unpackhi_epi16(lo16, zero));
+  __m128i b = _mm_set1_epi32(static_cast<int>(*base));
+  lo = _mm_add_epi32(lo, b);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), lo);
+  uint32_t mid = static_cast<uint32_t>(
+      _mm_cvtsi128_si32(_mm_shuffle_epi32(lo, 0xFF)));
+  hi = _mm_add_epi32(hi, _mm_set1_epi32(static_cast<int>(mid)));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 4), hi);
+  *base = static_cast<uint32_t>(
+      _mm_cvtsi128_si32(_mm_shuffle_epi32(hi, 0xFF)));
+}
+
+const uint8_t* DecodeDeltaKeysSse2(const uint8_t* p, const uint8_t* end,
+                                   uint32_t count, uint32_t* out) {
+  uint32_t current = 0;
+  if ((p = ReadVarint32(p, end, &current)) == nullptr) return nullptr;
+  out[0] = current;
+  uint32_t i = 1;
+  // Fast path: 8 deltas at a time when the next 8 bytes are all
+  // single-byte varints (no continuation bit), which delta encoding of
+  // dense NodeId streams makes the common case.
+  while (count - i >= 8 && end - p >= 8) {
+    __m128i bytes = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+    if ((_mm_movemask_epi8(bytes) & 0xFF) != 0) {
+      // A continuation byte in the window: decode one delta scalar and
+      // re-probe at the new position.
+      uint32_t delta = 0;
+      if ((p = ReadVarint32(p, end, &delta)) == nullptr) return nullptr;
+      current += delta;
+      out[i++] = current;
+      continue;
+    }
+    Sum8SingleByte(bytes, &current, out + i);
+    p += 8;
+    i += 8;
+  }
+  return ScalarTail(p, end, i, count, current, out);
+}
+
+__attribute__((target("avx2"))) const uint8_t* DecodeDeltaKeysAvx2(
+    const uint8_t* p, const uint8_t* end, uint32_t count, uint32_t* out) {
+  uint32_t current = 0;
+  if ((p = ReadVarint32(p, end, &current)) == nullptr) return nullptr;
+  out[0] = current;
+  uint32_t i = 1;
+  // 16 deltas per iteration when a 16-byte probe shows no continuation
+  // bits: widen to 16 u32 lanes, log-step prefix sum within each 128-bit
+  // lane, carry the low lane's total into the high lane, add the base.
+  while (count - i >= 16 && end - p >= 16) {
+    __m128i bytes = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    if (_mm_movemask_epi8(bytes) != 0) {
+      uint32_t delta = 0;
+      if ((p = ReadVarint32(p, end, &delta)) == nullptr) return nullptr;
+      current += delta;
+      out[i++] = current;
+      continue;
+    }
+    for (int half = 0; half < 2; ++half) {
+      __m128i lane = half == 0 ? bytes : _mm_srli_si128(bytes, 8);
+      __m256i x = _mm256_cvtepu8_epi32(lane);
+      x = _mm256_add_epi32(x, _mm256_slli_si256(x, 4));
+      x = _mm256_add_epi32(x, _mm256_slli_si256(x, 8));
+      // Carry: broadcast the low 128-bit lane's last element into every
+      // high-lane slot (the permute zeroes the low lane, so low lanes
+      // are unchanged).
+      __m256i swapped = _mm256_permute2x128_si256(x, x, 0x08);
+      __m256i carry = _mm256_shuffle_epi32(swapped, 0xFF);
+      x = _mm256_add_epi32(x, carry);
+      x = _mm256_add_epi32(x, _mm256_set1_epi32(static_cast<int>(current)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), x);
+      current = out[i + 7];
+      i += 8;
+    }
+    p += 16;
+  }
+  return ScalarTail(p, end, i, count, current, out);
+}
+
+struct Dispatch {
+  DeltaDecodeFn fn;
+  const char* name;
+};
+
+Dispatch Pick() {
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2")) return {&DecodeDeltaKeysAvx2, "avx2"};
+  return {&DecodeDeltaKeysSse2, "sse2"};
+}
+
+const Dispatch& Active() {
+  static const Dispatch dispatch = Pick();
+  return dispatch;
+}
+
+}  // namespace
+
+DeltaDecodeFn SimdDeltaDecoder() { return Active().fn; }
+
+const char* ActiveDeltaDecoderName() { return Active().name; }
+
+}  // namespace lotusx::index::codec
+
+#else  // !LOTUSX_SIMD_ENABLED || !__x86_64__
+
+namespace lotusx::index::codec {
+
+DeltaDecodeFn SimdDeltaDecoder() { return nullptr; }
+
+const char* ActiveDeltaDecoderName() { return "scalar"; }
+
+}  // namespace lotusx::index::codec
+
+#endif

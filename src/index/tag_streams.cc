@@ -7,13 +7,24 @@ namespace lotusx::index {
 TagStreams TagStreams::Build(const xml::Document& document) {
   CHECK(document.finalized());
   TagStreams streams;
-  streams.streams_.resize(static_cast<size_t>(document.num_tags()));
+  std::vector<std::vector<uint32_t>> raw(
+      static_cast<size_t>(document.num_tags()));
   for (xml::NodeId id = 0; id < document.num_nodes(); ++id) {
     const xml::Document::Node& node = document.node(id);
     if (node.kind == xml::NodeKind::kText) continue;
-    streams.streams_[static_cast<size_t>(node.tag)].push_back(id);
+    raw[static_cast<size_t>(node.tag)].push_back(
+        static_cast<uint32_t>(id));
+  }
+  streams.streams_.reserve(raw.size());
+  for (const std::vector<uint32_t>& ids : raw) {
+    streams.streams_.push_back(PostingBlocks::FromSorted(ids));
   }
   return streams;
+}
+
+std::vector<xml::NodeId> TagStreams::Decode(xml::TagId tag) const {
+  std::vector<uint32_t> keys = blocks(tag).DecodeKeys();
+  return {keys.begin(), keys.end()};
 }
 
 Status TagStreams::ValidateInvariants(const xml::Document& document) const {
@@ -21,7 +32,12 @@ Status TagStreams::ValidateInvariants(const xml::Document& document) const {
       << "streams " << num_tags() << " document " << document.num_tags();
   size_t total = 0;
   for (xml::TagId tag = 0; tag < num_tags(); ++tag) {
-    std::span<const xml::NodeId> ids = stream(tag);
+    // Block metadata vs. decoded contents first; the checked decode
+    // below then works off a structurally-sound stream.
+    LOTUSX_RETURN_IF_ERROR(blocks(tag).ValidateInvariants());
+    LOTUSX_ENSURE(!blocks(tag).has_payload())
+        << "tag " << tag << " stream carries a payload channel";
+    std::vector<xml::NodeId> ids = Decode(tag);
     total += ids.size();
     xml::NodeId previous = xml::kInvalidNodeId;
     for (xml::NodeId id : ids) {
@@ -50,19 +66,17 @@ Status TagStreams::ValidateInvariants(const xml::Document& document) const {
 }
 
 size_t TagStreams::MemoryUsage() const {
-  size_t bytes = streams_.capacity() * sizeof(std::vector<xml::NodeId>);
-  for (const auto& stream : streams_) {
-    bytes += stream.capacity() * sizeof(xml::NodeId);
+  size_t bytes = streams_.capacity() * sizeof(PostingBlocks);
+  for (const PostingBlocks& stream : streams_) {
+    bytes += stream.MemoryUsage();
   }
   return bytes;
 }
 
 void TagStreams::EncodeTo(Encoder* encoder) const {
   encoder->PutVarint64(streams_.size());
-  for (const auto& stream : streams_) {
-    // NodeIds are non-negative and strictly increasing: delta-encode.
-    std::vector<uint32_t> ids(stream.begin(), stream.end());
-    encoder->PutSortedU32List(ids);
+  for (const PostingBlocks& stream : streams_) {
+    stream.EncodeTo(encoder);
   }
 }
 
@@ -70,11 +84,14 @@ StatusOr<TagStreams> TagStreams::DecodeFrom(Decoder* decoder) {
   TagStreams streams;
   uint64_t tag_count = 0;
   LOTUSX_RETURN_IF_ERROR(decoder->GetVarint64(&tag_count));
-  streams.streams_.resize(tag_count);
-  for (auto& stream : streams.streams_) {
-    std::vector<uint32_t> ids;
-    LOTUSX_RETURN_IF_ERROR(decoder->GetSortedU32List(&ids));
-    stream.assign(ids.begin(), ids.end());
+  if (tag_count > decoder->remaining()) {
+    return Status::Corruption("tag stream count exceeds buffer");
+  }
+  streams.streams_.reserve(tag_count);
+  for (uint64_t tag = 0; tag < tag_count; ++tag) {
+    LOTUSX_ASSIGN_OR_RETURN(PostingBlocks stream,
+                            PostingBlocks::DecodeFrom(decoder));
+    streams.streams_.push_back(std::move(stream));
   }
   return streams;
 }

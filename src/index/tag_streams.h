@@ -2,11 +2,11 @@
 #define LOTUSX_INDEX_TAG_STREAMS_H_
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "common/coding.h"
 #include "common/status_or.h"
+#include "index/posting_blocks.h"
 #include "xml/dom.h"
 
 namespace lotusx::index {
@@ -14,25 +14,34 @@ namespace lotusx::index {
 /// Per-tag posting lists of element/attribute nodes in document order —
 /// the input streams of every twig join algorithm (TwigStack reads
 /// containment labels off them; TJFast reads extended Dewey labels).
+/// Each stream is block-compressed (PostingBlocks): joins open cursors
+/// on it and skip blocks instead of scanning raw vectors.
 class TagStreams {
  public:
   static TagStreams Build(const xml::Document& document);
 
-  /// Document-order NodeIds of all elements/attributes with tag `tag`.
-  /// Empty span for out-of-range tags.
-  std::span<const xml::NodeId> stream(xml::TagId tag) const {
-    if (tag < 0 || static_cast<size_t>(tag) >= streams_.size()) return {};
+  /// Block-compressed stream of all elements/attributes with tag `tag`
+  /// in document order. A shared empty stream for out-of-range tags.
+  const PostingBlocks& blocks(xml::TagId tag) const {
+    static const PostingBlocks kEmpty;
+    if (tag < 0 || static_cast<size_t>(tag) >= streams_.size()) {
+      return kEmpty;
+    }
     return streams_[static_cast<size_t>(tag)];
   }
 
   /// Occurrence count of `tag`.
-  uint64_t count(xml::TagId tag) const { return stream(tag).size(); }
+  uint64_t count(xml::TagId tag) const { return blocks(tag).size(); }
+
+  /// Full decompression of one stream; cold paths and tests only.
+  std::vector<xml::NodeId> Decode(xml::TagId tag) const;
 
   int32_t num_tags() const { return static_cast<int32_t>(streams_.size()); }
   size_t MemoryUsage() const;
 
   /// Audits the structure against `document`: one stream per document tag,
-  /// every stream strictly sorted in document order, every entry a live
+  /// block metadata consistent with decoded contents, every stream
+  /// strictly sorted in document order, every entry a live
   /// element/attribute node carrying the stream's tag, and the totals
   /// covering the document exactly. Returns Corruption naming the first
   /// violated invariant. Run on every LoadFrom (streams come from an
@@ -43,7 +52,7 @@ class TagStreams {
   static StatusOr<TagStreams> DecodeFrom(Decoder* decoder);
 
  private:
-  std::vector<std::vector<xml::NodeId>> streams_;
+  std::vector<PostingBlocks> streams_;
 };
 
 }  // namespace lotusx::index

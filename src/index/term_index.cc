@@ -11,6 +11,12 @@ namespace lotusx::index {
 TermIndex TermIndex::Build(const xml::Document& document) {
   CHECK(document.finalized());
   TermIndex index;
+  // Accumulate raw per-term postings first; compress once complete.
+  struct RawList {
+    std::vector<uint32_t> nodes;
+    std::vector<uint32_t> frequencies;
+  };
+  std::unordered_map<std::string, RawList> raw;
   for (xml::NodeId id = 0; id < document.num_nodes(); ++id) {
     const xml::Document::Node& node = document.node(id);
     std::string content;
@@ -29,29 +35,42 @@ TermIndex TermIndex::Build(const xml::Document& document) {
     std::map<std::string, uint32_t> frequencies;
     for (std::string& token : tokens) ++frequencies[std::move(token)];
     for (const auto& [term, tf] : frequencies) {
-      PostingList& list = index.postings_[term];
-      list.nodes.push_back(id);
+      RawList& list = raw[term];
+      list.nodes.push_back(static_cast<uint32_t>(id));
       list.frequencies.push_back(tf);
-      list.collection_frequency += tf;
       index.term_trie_.Insert(term, tf);
       index.tag_tries_[node.tag].Insert(term, tf);
     }
   }
+  index.postings_.reserve(raw.size());
+  for (auto& [term, list] : raw) {
+    PostingList compressed;
+    compressed.postings =
+        PostingBlocks::FromSorted(list.nodes, list.frequencies);
+    for (uint32_t tf : list.frequencies) {
+      compressed.collection_frequency += tf;
+    }
+    index.postings_.emplace(term, std::move(compressed));
+  }
   return index;
 }
 
-std::span<const xml::NodeId> TermIndex::Postings(
-    std::string_view term) const {
+const PostingBlocks* TermIndex::PostingsFor(std::string_view term) const {
   auto it = postings_.find(std::string(term));
-  if (it == postings_.end()) return {};
-  return it->second.nodes;
+  return it == postings_.end() ? nullptr : &it->second.postings;
+}
+
+std::vector<xml::NodeId> TermIndex::DecodePostings(
+    std::string_view term) const {
+  const PostingBlocks* blocks = PostingsFor(term);
+  if (blocks == nullptr) return {};
+  std::vector<uint32_t> keys = blocks->DecodeKeys();
+  return {keys.begin(), keys.end()};
 }
 
 uint32_t TermIndex::DocFrequency(std::string_view term) const {
-  auto it = postings_.find(std::string(term));
-  return it == postings_.end()
-             ? 0
-             : static_cast<uint32_t>(it->second.nodes.size());
+  const PostingBlocks* blocks = PostingsFor(term);
+  return blocks == nullptr ? 0 : blocks->size();
 }
 
 uint64_t TermIndex::CollectionFrequency(std::string_view term) const {
@@ -61,12 +80,9 @@ uint64_t TermIndex::CollectionFrequency(std::string_view term) const {
 
 uint32_t TermIndex::TermFrequencyIn(std::string_view term,
                                     xml::NodeId node) const {
-  auto it = postings_.find(std::string(term));
-  if (it == postings_.end()) return 0;
-  const PostingList& list = it->second;
-  auto pos = std::lower_bound(list.nodes.begin(), list.nodes.end(), node);
-  if (pos == list.nodes.end() || *pos != node) return 0;
-  return list.frequencies[static_cast<size_t>(pos - list.nodes.begin())];
+  const PostingBlocks* blocks = PostingsFor(term);
+  if (blocks == nullptr || node < 0) return 0;
+  return blocks->PayloadFor(static_cast<uint32_t>(node));
 }
 
 const Trie* TermIndex::term_trie_for_tag(xml::TagId tag) const {
@@ -78,24 +94,23 @@ Status TermIndex::ValidateInvariants(const xml::Document& document,
                                      bool deep) const {
   for (const auto& [term, list] : postings_) {
     LOTUSX_ENSURE(!term.empty()) << "empty term";
-    LOTUSX_ENSURE(list.nodes.size() == list.frequencies.size())
-        << "term '" << term << "' postings not parallel";
-    LOTUSX_ENSURE(!list.nodes.empty()) << "term '" << term
-                                       << "' has no postings";
+    LOTUSX_RETURN_IF_ERROR(list.postings.ValidateInvariants());
+    LOTUSX_ENSURE(!list.postings.empty())
+        << "term '" << term << "' has no postings";
+    LOTUSX_ENSURE(list.postings.has_payload())
+        << "term '" << term << "' postings missing frequency payload";
+    std::vector<uint32_t> nodes = list.postings.DecodeKeys();
+    std::vector<uint32_t> frequencies = list.postings.DecodePayloads();
     uint64_t total = 0;
-    xml::NodeId previous = xml::kInvalidNodeId;
-    for (size_t i = 0; i < list.nodes.size(); ++i) {
-      xml::NodeId id = list.nodes[i];
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      xml::NodeId id = static_cast<xml::NodeId>(nodes[i]);
       LOTUSX_ENSURE(id >= 0 && id < document.num_nodes())
           << "term '" << term << "' node " << id;
-      LOTUSX_ENSURE(id > previous)
-          << "term '" << term << "' postings not strictly sorted";
       LOTUSX_ENSURE(document.node(id).kind != xml::NodeKind::kText)
           << "term '" << term << "' posted on text node " << id;
-      LOTUSX_ENSURE(list.frequencies[i] > 0)
+      LOTUSX_ENSURE(frequencies[i] > 0)
           << "term '" << term << "' zero frequency at node " << id;
-      total += list.frequencies[i];
-      previous = id;
+      total += frequencies[i];
     }
     LOTUSX_ENSURE(list.collection_frequency == total)
         << "term '" << term << "' collection frequency "
@@ -143,12 +158,15 @@ Status TermIndex::ValidateInvariants(const xml::Document& document,
     auto it = postings_.find(term);
     LOTUSX_ENSURE(it != postings_.end()) << "missing term '" << term << "'";
     const PostingList& list = it->second;
-    LOTUSX_ENSURE(list.nodes.size() == occurrences.size())
-        << "term '" << term << "' doc frequency " << list.nodes.size()
+    std::vector<uint32_t> nodes = list.postings.DecodeKeys();
+    std::vector<uint32_t> frequencies = list.postings.DecodePayloads();
+    LOTUSX_ENSURE(nodes.size() == occurrences.size())
+        << "term '" << term << "' doc frequency " << nodes.size()
         << " actual " << occurrences.size();
     size_t i = 0;
     for (const auto& [id, tf] : occurrences) {
-      LOTUSX_ENSURE(list.nodes[i] == id && list.frequencies[i] == tf)
+      LOTUSX_ENSURE(nodes[i] == static_cast<uint32_t>(id) &&
+                    frequencies[i] == tf)
           << "term '" << term << "' posting " << i << " disagrees with "
           << "recount at node " << id;
       ++i;
@@ -161,8 +179,7 @@ size_t TermIndex::MemoryUsage() const {
   size_t bytes = term_trie_.MemoryUsage();
   for (const auto& [tag, trie] : tag_tries_) bytes += trie.MemoryUsage();
   for (const auto& [term, list] : postings_) {
-    bytes += term.capacity() + list.nodes.capacity() * sizeof(xml::NodeId) +
-             list.frequencies.capacity() * sizeof(uint32_t) + 64;
+    bytes += term.capacity() + list.postings.MemoryUsage() + 64;
   }
   return bytes;
 }
@@ -179,9 +196,7 @@ void TermIndex::EncodeTo(Encoder* encoder) const {
   for (const std::string* term : terms) {
     const PostingList& list = postings_.at(*term);
     encoder->PutString(*term);
-    std::vector<uint32_t> ids(list.nodes.begin(), list.nodes.end());
-    encoder->PutSortedU32List(ids);
-    encoder->PutU32List(list.frequencies);
+    list.postings.EncodeTo(encoder);
   }
   term_trie_.EncodeTo(encoder);
   encoder->PutVarint64(tag_tries_.size());
@@ -203,14 +218,16 @@ StatusOr<TermIndex> TermIndex::DecodeFrom(Decoder* decoder) {
     std::string term;
     LOTUSX_RETURN_IF_ERROR(decoder->GetString(&term));
     PostingList list;
-    std::vector<uint32_t> ids;
-    LOTUSX_RETURN_IF_ERROR(decoder->GetSortedU32List(&ids));
-    list.nodes.assign(ids.begin(), ids.end());
-    LOTUSX_RETURN_IF_ERROR(decoder->GetU32List(&list.frequencies));
-    if (list.frequencies.size() != list.nodes.size()) {
-      return Status::Corruption("posting list length mismatch: " + term);
+    LOTUSX_ASSIGN_OR_RETURN(list.postings,
+                            PostingBlocks::DecodeFrom(decoder));
+    if (list.postings.empty() || !list.postings.has_payload()) {
+      return Status::Corruption("term posting list empty or without "
+                                "frequencies: " +
+                                term);
     }
-    for (uint32_t tf : list.frequencies) list.collection_frequency += tf;
+    for (uint32_t tf : list.postings.DecodePayloads()) {
+      list.collection_frequency += tf;
+    }
     index.postings_.emplace(std::move(term), std::move(list));
   }
   LOTUSX_ASSIGN_OR_RETURN(index.term_trie_, Trie::DecodeFrom(decoder));

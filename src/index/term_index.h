@@ -2,7 +2,6 @@
 #define LOTUSX_INDEX_TERM_INDEX_H_
 
 #include <cstdint>
-#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -10,6 +9,7 @@
 
 #include "common/coding.h"
 #include "common/status_or.h"
+#include "index/posting_blocks.h"
 #include "index/trie.h"
 #include "xml/dom.h"
 
@@ -20,7 +20,9 @@ namespace lotusx::index {
 /// — the standard leaf-value model of twig search; attribute nodes carry
 /// their own value. Terms are lowercase alphanumeric tokens
 /// (TokenizeKeywords). Postings map a term to the *value nodes* (elements
-/// with direct text, or attributes) containing it, in document order.
+/// with direct text, or attributes) containing it, in document order,
+/// stored block-compressed (PostingBlocks) with per-node term frequencies
+/// riding in the payload channel.
 ///
 /// Besides predicate evaluation, the index maintains completion tries:
 /// one global term trie and one per owner tag, so value auto-completion can
@@ -31,9 +33,14 @@ class TermIndex {
  public:
   static TermIndex Build(const xml::Document& document);
 
-  /// Value nodes containing `term` (document order). Empty for unknown
-  /// terms. `term` must already be lowercase (as TokenizeKeywords emits).
-  std::span<const xml::NodeId> Postings(std::string_view term) const;
+  /// Block-compressed postings of `term` (document order; payload =
+  /// per-node term frequency). nullptr for unknown terms. `term` must
+  /// already be lowercase (as TokenizeKeywords emits).
+  const PostingBlocks* PostingsFor(std::string_view term) const;
+
+  /// Full decompression of `term`'s posting nodes; cold paths (keyword
+  /// search random access) and tests only.
+  std::vector<xml::NodeId> DecodePostings(std::string_view term) const;
 
   /// Number of value nodes containing `term`.
   uint32_t DocFrequency(std::string_view term) const;
@@ -56,14 +63,15 @@ class TermIndex {
 
   size_t MemoryUsage() const;
 
-  /// Audits postings and completion tries against `document`: posting
-  /// nodes strictly sorted, in range, parallel to their frequencies;
-  /// collection frequencies consistent; tries structurally sound (see
-  /// Trie::ValidateInvariants) and keyed by live tags. With `deep` set the
-  /// document's value nodes are additionally re-tokenized and the postings
-  /// compared against the recount — the cost of a fresh Build, so LoadFrom
-  /// runs the linear structural audit only and tests / `--validate` run
-  /// the deep one. Returns Corruption naming the first violated invariant.
+  /// Audits postings and completion tries against `document`: block
+  /// metadata consistent with decoded contents, posting nodes strictly
+  /// sorted, in range, frequencies positive; collection frequencies
+  /// consistent; tries structurally sound (see Trie::ValidateInvariants)
+  /// and keyed by live tags. With `deep` set the document's value nodes
+  /// are additionally re-tokenized and the postings compared against the
+  /// recount — the cost of a fresh Build, so LoadFrom runs the linear
+  /// structural audit only and tests / `--validate` run the deep one.
+  /// Returns Corruption naming the first violated invariant.
   Status ValidateInvariants(const xml::Document& document,
                             bool deep = true) const;
 
@@ -72,8 +80,7 @@ class TermIndex {
 
  private:
   struct PostingList {
-    std::vector<xml::NodeId> nodes;       // sorted, unique
-    std::vector<uint32_t> frequencies;    // parallel: term freq in node
+    PostingBlocks postings;  // keys: value nodes; payload: term freqs
     uint64_t collection_frequency = 0;
   };
 

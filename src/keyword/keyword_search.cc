@@ -60,12 +60,20 @@ StatusOr<std::vector<KeywordHit>> SlcaSearch(
 
   const Document& document = indexed.document();
   const index::TermIndex& terms = indexed.terms();
-  std::vector<std::span<const NodeId>> lists;
-  lists.reserve(tokens.size());
+  // SLCA's closest-left/right probes need random access across each whole
+  // list, so decode every keyword's postings up front — one block pass
+  // per list, not per probe.
+  std::vector<std::vector<NodeId>> decoded;
+  decoded.reserve(tokens.size());
   for (const std::string& token : tokens) {
-    std::span<const NodeId> postings = terms.Postings(token);
+    std::vector<NodeId> postings = terms.DecodePostings(token);
     if (postings.empty()) return std::vector<KeywordHit>{};
-    lists.push_back(postings);
+    decoded.push_back(std::move(postings));
+  }
+  std::vector<std::span<const NodeId>> lists;
+  lists.reserve(decoded.size());
+  for (const std::vector<NodeId>& postings : decoded) {
+    lists.emplace_back(postings);
   }
   // Drive the scan from the rarest keyword (XKSearch's indexed lookup
   // eager strategy): every SLCA contains one of its occurrences.

@@ -115,17 +115,24 @@ ExtendedDeweyStore ExtendedDeweyStore::Build(
 std::vector<XTagId> ExtendedDeweyStore::DecodeTagPath(
     const TagTransducer& transducer, XTagId root_tag, DeweyView label) {
   std::vector<XTagId> path;
-  path.reserve(label.size() + 1);
-  path.push_back(root_tag);
+  DecodeTagPath(transducer, root_tag, label, &path);
+  return path;
+}
+
+void ExtendedDeweyStore::DecodeTagPath(const TagTransducer& transducer,
+                                       XTagId root_tag, DeweyView label,
+                                       std::vector<XTagId>* path) {
+  path->clear();
+  path->reserve(label.size() + 1);
+  path->push_back(root_tag);
   XTagId current = root_tag;
   for (int32_t component : label) {
     const std::vector<XTagId>& children = transducer.ChildTags(current);
     CHECK(!children.empty()) << "cannot decode below leaf tag " << current;
     size_t i = static_cast<size_t>(component) % children.size();
     current = children[i];
-    path.push_back(current);
+    path->push_back(current);
   }
-  return path;
 }
 
 }  // namespace lotusx::labeling

@@ -65,6 +65,11 @@ class ExtendedDeweyStore {
   static std::vector<XTagId> DecodeTagPath(const TagTransducer& transducer,
                                            XTagId root_tag, DeweyView label);
 
+  /// Same, into a caller-owned buffer (cleared first) so tight decode
+  /// loops can reuse one allocation across elements.
+  static void DecodeTagPath(const TagTransducer& transducer, XTagId root_tag,
+                            DeweyView label, std::vector<XTagId>* path);
+
  private:
   DeweyStore store_;
 };

@@ -1,42 +1,15 @@
 #include "twig/candidates.h"
 
 #include <algorithm>
+#include <string>
+#include <string_view>
 
 #include "common/string_util.h"
+#include "index/posting_blocks.h"
 
 namespace lotusx::twig {
 
 namespace {
-
-/// Sorted intersection of `a` and `b` into `out`.
-std::vector<xml::NodeId> Intersect(std::span<const xml::NodeId> a,
-                                   std::span<const xml::NodeId> b) {
-  std::vector<xml::NodeId> out;
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  return out;
-}
-
-/// Value-node ids satisfying a kContains/kEquals predicate's keyword part:
-/// the intersection of all token posting lists. Empty `tokens` yields an
-/// empty result (callers special-case it).
-std::vector<xml::NodeId> TokenIntersection(
-    const index::IndexedDocument& indexed,
-    const std::vector<std::string>& tokens) {
-  std::vector<xml::NodeId> result;
-  for (size_t i = 0; i < tokens.size(); ++i) {
-    std::span<const xml::NodeId> postings =
-        indexed.terms().Postings(tokens[i]);
-    if (postings.empty()) return {};
-    if (i == 0) {
-      result.assign(postings.begin(), postings.end());
-    } else {
-      result = Intersect(result, postings);
-      if (result.empty()) return {};
-    }
-  }
-  return result;
-}
 
 /// The node's "value" under the predicate model: direct-text content for
 /// elements, the attribute value for attributes.
@@ -45,6 +18,43 @@ std::string NodeValue(const xml::Document& document, xml::NodeId node) {
     return std::string(TrimAscii(document.Value(node)));
   }
   return document.ContentString(node);
+}
+
+bool PathAllowed(const index::IndexedDocument& indexed,
+                 const std::vector<index::PathId>* allowed_paths,
+                 xml::NodeId id) {
+  if (allowed_paths == nullptr) return true;
+  return std::binary_search(allowed_paths->begin(), allowed_paths->end(),
+                            indexed.dataguide().PathOf(id));
+}
+
+/// K-way leapfrog equality intersection over block cursors: every
+/// emitted id is present in all lists. Galloping SeekGE lets selective
+/// token lists drag the tag stream forward block-skips at a time.
+/// `emit` filters/collects each common id.
+template <typename Emit>
+void LeapfrogIntersect(std::vector<index::PostingBlocks::Cursor>* cursors,
+                       Emit&& emit) {
+  uint32_t target = 0;
+  for (index::PostingBlocks::Cursor& cursor : *cursors) {
+    if (cursor.AtEnd()) return;
+    target = std::max(target, cursor.Key());
+  }
+  while (true) {
+    bool all_equal = true;
+    for (index::PostingBlocks::Cursor& cursor : *cursors) {
+      if (!cursor.SeekGE(target)) return;
+      if (cursor.Key() != target) {
+        target = cursor.Key();
+        all_equal = false;
+        break;
+      }
+    }
+    if (!all_equal) continue;
+    emit(static_cast<xml::NodeId>(target));
+    if (target == UINT32_MAX) return;
+    ++target;
+  }
 }
 
 }  // namespace
@@ -84,64 +94,133 @@ bool NodeSatisfies(const index::IndexedDocument& indexed,
   return false;
 }
 
+CandidateStream OpenCandidates(
+    const index::IndexedDocument& indexed, const TwigQuery& query,
+    QueryNodeId node, EvalContext* ctx,
+    const std::vector<index::PathId>* allowed_paths) {
+  const QueryNode& query_node = query.node(node);
+  const xml::Document& document = indexed.document();
+  Arena* arena = &ctx->arena;
+  index::PostingStats* stats = &ctx->postings;
+
+  // A child-axis query root can only bind the document root: resolve the
+  // whole stream to at most that one node.
+  if (node == query.root() && query.root_axis() == Axis::kChild) {
+    ArenaVector<xml::NodeId> out(arena);
+    xml::NodeId root = document.root();
+    if (root != xml::kInvalidNodeId &&
+        NodeSatisfies(indexed, query, node, root) &&
+        PathAllowed(indexed, allowed_paths, root)) {
+      out.push_back(root);
+    }
+    return CandidateStream::FromSpan(out.span());
+  }
+
+  const bool wildcard = query_node.tag == "*";
+  const index::PostingBlocks* blocks = nullptr;
+  if (!wildcard) {
+    xml::TagId tag = document.FindTag(query_node.tag);
+    if (tag == xml::kInvalidTagId) return {};
+    blocks = &indexed.tag_streams().blocks(tag);
+  }
+
+  std::vector<std::string> tokens;
+  if (query_node.predicate.active()) {
+    tokens = TokenizeKeywords(query_node.predicate.text);
+    if (tokens.empty()) {
+      if (query_node.predicate.op == ValuePredicate::Op::kContains) {
+        return {};
+      }
+      // Equality against a token-free string: verify values directly.
+      ArenaVector<xml::NodeId> out(arena);
+      std::string_view want = TrimAscii(query_node.predicate.text);
+      if (wildcard) {
+        for (xml::NodeId id = 0; id < document.num_nodes(); ++id) {
+          if (document.node(id).kind == xml::NodeKind::kElement &&
+              PathAllowed(indexed, allowed_paths, id) &&
+              NodeValue(document, id) == want) {
+            out.push_back(id);
+          }
+        }
+      } else {
+        index::PostingBlocks::Cursor cursor =
+            blocks->NewCursor(arena, stats);
+        for (; !cursor.AtEnd(); cursor.Next()) {
+          auto id = static_cast<xml::NodeId>(cursor.Key());
+          if (PathAllowed(indexed, allowed_paths, id) &&
+              NodeValue(document, id) == want) {
+            out.push_back(id);
+          }
+        }
+      }
+      return CandidateStream::FromSpan(out.span());
+    }
+  }
+
+  if (!tokens.empty()) {
+    // Leapfrog-intersect the token posting lists (and the tag stream,
+    // when there is one) — the selective lists steer, whole blocks of
+    // the wide lists are skipped undecoded.
+    std::vector<index::PostingBlocks::Cursor> cursors;
+    cursors.reserve(tokens.size() + 1);
+    if (!wildcard) cursors.push_back(blocks->NewCursor(arena, stats));
+    for (const std::string& token : tokens) {
+      const index::PostingBlocks* postings =
+          indexed.terms().PostingsFor(token);
+      if (postings == nullptr || postings->empty()) return {};
+      cursors.push_back(postings->NewCursor(arena, stats));
+    }
+    const bool verify_equals =
+        query_node.predicate.op == ValuePredicate::Op::kEquals;
+    std::string_view want = TrimAscii(query_node.predicate.text);
+    ArenaVector<xml::NodeId> out(arena);
+    LeapfrogIntersect(&cursors, [&](xml::NodeId id) {
+      if (wildcard &&
+          document.node(id).kind != xml::NodeKind::kElement) {
+        return;
+      }
+      if (!PathAllowed(indexed, allowed_paths, id)) return;
+      if (verify_equals && NodeValue(document, id) != want) return;
+      out.push_back(id);
+    });
+    return CandidateStream::FromSpan(out.span());
+  }
+
+  // No predicate from here on.
+  if (wildcard) {
+    ArenaVector<xml::NodeId> out(arena);
+    for (xml::NodeId id = 0; id < document.num_nodes(); ++id) {
+      if (document.node(id).kind == xml::NodeKind::kElement &&
+          PathAllowed(indexed, allowed_paths, id)) {
+        out.push_back(id);
+      }
+    }
+    return CandidateStream::FromSpan(out.span());
+  }
+  if (allowed_paths != nullptr) {
+    ArenaVector<xml::NodeId> out(arena);
+    index::PostingBlocks::Cursor cursor = blocks->NewCursor(arena, stats);
+    for (; !cursor.AtEnd(); cursor.Next()) {
+      auto id = static_cast<xml::NodeId>(cursor.Key());
+      if (PathAllowed(indexed, allowed_paths, id)) out.push_back(id);
+    }
+    return CandidateStream::FromSpan(out.span());
+  }
+  // Pure tag stream: stream the compressed blocks lazily — the join
+  // decides which blocks ever get decoded.
+  return CandidateStream::FromBlocks(blocks, arena, stats);
+}
+
 std::vector<xml::NodeId> CandidatesFor(
     const index::IndexedDocument& indexed, const TwigQuery& query,
     QueryNodeId node, const std::vector<index::PathId>* allowed_paths) {
-  const QueryNode& query_node = query.node(node);
-  const xml::Document& document = indexed.document();
-
-  // Tag stream (or all elements for the wildcard).
-  std::vector<xml::NodeId> stream;
-  if (query_node.tag == "*") {
-    stream.reserve(static_cast<size_t>(document.num_nodes()));
-    for (xml::NodeId id = 0; id < document.num_nodes(); ++id) {
-      if (document.node(id).kind == xml::NodeKind::kElement) {
-        stream.push_back(id);
-      }
-    }
-  } else {
-    xml::TagId tag = document.FindTag(query_node.tag);
-    if (tag == xml::kInvalidTagId) return {};
-    std::span<const xml::NodeId> s = indexed.tag_streams().stream(tag);
-    stream.assign(s.begin(), s.end());
-  }
-  // A child-axis query root must be the document root itself.
-  if (node == query.root() && query.root_axis() == Axis::kChild) {
-    std::erase_if(stream,
-                  [&](xml::NodeId id) { return id != document.root(); });
-  }
-  // Structural-summary pruning: drop elements at infeasible paths.
-  if (allowed_paths != nullptr) {
-    const index::DataGuide& guide = indexed.dataguide();
-    std::erase_if(stream, [&](xml::NodeId id) {
-      return !std::binary_search(allowed_paths->begin(),
-                                 allowed_paths->end(), guide.PathOf(id));
-    });
-  }
-  if (!query_node.predicate.active()) return stream;
-
-  std::vector<std::string> tokens =
-      TokenizeKeywords(query_node.predicate.text);
-  if (tokens.empty()) {
-    if (query_node.predicate.op == ValuePredicate::Op::kContains) return {};
-    // Equality against a token-free string: verify directly.
-    std::vector<xml::NodeId> result;
-    std::string_view want = TrimAscii(query_node.predicate.text);
-    for (xml::NodeId id : stream) {
-      if (NodeValue(document, id) == want) result.push_back(id);
-    }
-    return result;
-  }
-
-  std::vector<xml::NodeId> with_tokens = TokenIntersection(indexed, tokens);
-  std::vector<xml::NodeId> result = Intersect(stream, with_tokens);
-  if (query_node.predicate.op == ValuePredicate::Op::kEquals) {
-    std::string_view want = TrimAscii(query_node.predicate.text);
-    std::erase_if(result, [&](xml::NodeId id) {
-      return NodeValue(document, id) != want;
-    });
-  }
-  return result;
+  EvalContext ctx;
+  CandidateStream stream =
+      OpenCandidates(indexed, query, node, &ctx, allowed_paths);
+  std::vector<xml::NodeId> out;
+  out.reserve(stream.count());
+  for (; !stream.AtEnd(); stream.Next()) out.push_back(stream.Key());
+  return out;
 }
 
 }  // namespace lotusx::twig

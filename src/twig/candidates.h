@@ -4,20 +4,26 @@
 #include <vector>
 
 #include "index/indexed_document.h"
+#include "twig/candidate_stream.h"
+#include "twig/eval_context.h"
 #include "twig/twig_query.h"
 
 namespace lotusx::twig {
 
-/// Produces the candidate stream for one query node: document-order
-/// NodeIds whose tag matches (all elements for "*") and whose value
-/// satisfies the node's predicate.
+/// Opens the candidate stream for one query node: document-order NodeIds
+/// whose tag matches (all elements for "*") and whose value satisfies the
+/// node's predicate.
 ///
-/// Equality predicates are evaluated by intersecting the keyword postings
-/// of the predicate's tokens and verifying the full content string;
-/// containment predicates require every token's posting list to contain
-/// the node. A predicate whose text has no indexable token matches only
-/// nodes whose content equals it verbatim (kEquals) or nothing
-/// (kContains).
+/// A plain tag node (no predicate, no pruning, no root anchoring) streams
+/// lazily off the block-compressed tag stream — joins that seek past
+/// regions never pay their decode. Anything needing filtering is
+/// materialized into `ctx`'s arena first: equality predicates intersect
+/// the keyword postings of the predicate's tokens by k-way leapfrog join
+/// (galloping SeekGE over block cursors) and verify the full content
+/// string; containment predicates require every token's posting list to
+/// contain the node. A predicate whose text has no indexable token
+/// matches only nodes whose content equals it verbatim (kEquals) or
+/// nothing (kContains).
 ///
 /// When `allowed_paths` is non-null (sorted ascending PathIds, typically
 /// the node's SchemaBindings), the stream is additionally restricted to
@@ -25,6 +31,16 @@ namespace lotusx::twig {
 /// elements that cannot participate in any embedding (wrong context)
 /// never reach the join at all. EvalOptions::schema_prune_streams turns
 /// this on engine-wide.
+///
+/// The stream borrows `ctx` (arena scratch, posting counters) and
+/// `indexed`; both must outlive it.
+CandidateStream OpenCandidates(
+    const index::IndexedDocument& indexed, const TwigQuery& query,
+    QueryNodeId node, EvalContext* ctx,
+    const std::vector<index::PathId>* allowed_paths = nullptr);
+
+/// Eager variant: materializes the full candidate list. Tests, EXPLAIN
+/// ANALYZE actuals, and other cold paths.
 std::vector<xml::NodeId> CandidatesFor(
     const index::IndexedDocument& indexed, const TwigQuery& query,
     QueryNodeId node,

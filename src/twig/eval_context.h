@@ -1,0 +1,31 @@
+#ifndef LOTUSX_TWIG_EVAL_CONTEXT_H_
+#define LOTUSX_TWIG_EVAL_CONTEXT_H_
+
+#include "common/arena.h"
+#include "index/posting_blocks.h"
+#include "twig/match.h"
+
+namespace lotusx::twig {
+
+/// Per-query evaluation state threaded through the twig algorithms: a
+/// bump arena for all decode scratch (posting-block buffers, filtered
+/// candidate streams) and the posting-access counters that surface in
+/// EvalStats, EXPLAIN ANALYZE, and the lotusx_postings_* metrics.
+/// The executor owns one per query; algorithms create a local fallback
+/// when called without one (direct calls in tests).
+struct EvalContext {
+  Arena arena;
+  index::PostingStats postings;
+};
+
+/// Copies the context's posting counters into the result stats every
+/// algorithm reports.
+inline void FillPostingStats(const EvalContext& ctx, EvalStats* stats) {
+  stats->posting_blocks_decoded = ctx.postings.blocks_decoded;
+  stats->posting_blocks_skipped = ctx.postings.blocks_skipped;
+  stats->posting_bytes_decoded = ctx.postings.bytes_decoded;
+}
+
+}  // namespace lotusx::twig
+
+#endif  // LOTUSX_TWIG_EVAL_CONTEXT_H_

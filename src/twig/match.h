@@ -33,6 +33,12 @@ struct EvalStats {
   uint64_t intermediate_tuples = 0;
   /// Full twig matches produced (before output projection).
   uint64_t matches = 0;
+  /// Posting-block access on the compressed streams: blocks actually
+  /// decoded vs. skipped whole via the skip index, and compressed bytes
+  /// decoded. Skips are what cursor-based joins buy over raw scans.
+  uint64_t posting_blocks_decoded = 0;
+  uint64_t posting_blocks_skipped = 0;
+  uint64_t posting_bytes_decoded = 0;
   double elapsed_ms = 0;
 };
 

@@ -1,7 +1,7 @@
 #include "twig/path_merge.h"
 
 #include <algorithm>
-#include <map>
+#include <numeric>
 
 #include "common/logging.h"
 
@@ -9,19 +9,31 @@ namespace lotusx::twig {
 
 namespace {
 
-/// Drops tuples violating an order constraint among nodes bound so far.
+/// Partial-match tuples as a flat row-major table (stride = query
+/// size): expansion appends rows with plain copies instead of
+/// allocating a bindings vector per intermediate Match, which is where
+/// merge time went on branchy twigs with large intermediate results.
+struct TupleTable {
+  size_t stride = 0;
+  std::vector<xml::NodeId> rows;
+
+  size_t num_rows() const { return stride == 0 ? 0 : rows.size() / stride; }
+  xml::NodeId* row(size_t r) { return rows.data() + r * stride; }
+  const xml::NodeId* row(size_t r) const { return rows.data() + r * stride; }
+};
+
+/// Drops tuples violating an order constraint among nodes bound so far
+/// (in-place compaction).
 void PruneByPartialOrder(const TwigQuery& query,
-                         const xml::Document& document,
-                         std::vector<Match>* tuples) {
-  std::erase_if(*tuples, [&](const Match& match) {
+                         const xml::Document& document, TupleTable* table) {
+  auto violates = [&](const xml::NodeId* bindings) {
     for (QueryNodeId q = 0; q < query.size(); ++q) {
       const QueryNode& node = query.node(q);
       if (!node.ordered || node.children.size() < 2) continue;
       for (size_t i = 0; i + 1 < node.children.size(); ++i) {
-        xml::NodeId left =
-            match.bindings[static_cast<size_t>(node.children[i])];
+        xml::NodeId left = bindings[static_cast<size_t>(node.children[i])];
         xml::NodeId right =
-            match.bindings[static_cast<size_t>(node.children[i + 1])];
+            bindings[static_cast<size_t>(node.children[i + 1])];
         if (left == xml::kInvalidNodeId || right == xml::kInvalidNodeId) {
           continue;  // not both bound yet
         }
@@ -29,39 +41,69 @@ void PruneByPartialOrder(const TwigQuery& query,
       }
     }
     return false;
-  });
+  };
+  size_t write = 0;
+  size_t rows = table->num_rows();
+  for (size_t r = 0; r < rows; ++r) {
+    if (violates(table->row(r))) continue;
+    if (write != r) {
+      std::copy(table->row(r), table->row(r) + table->stride,
+                table->row(write));
+    }
+    ++write;
+  }
+  table->rows.resize(write * table->stride);
 }
 
 }  // namespace
 
+void SolutionTable::SortRows() {
+  size_t count = num_rows();
+  if (count < 2) return;
+  std::vector<uint32_t> order(count);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return std::lexicographical_compare(row(a), row(a) + stride, row(b),
+                                        row(b) + stride);
+  });
+  std::vector<xml::NodeId> sorted;
+  sorted.reserve(rows.size());
+  for (uint32_t r : order) {
+    sorted.insert(sorted.end(), row(r), row(r) + stride);
+  }
+  rows = std::move(sorted);
+}
+
 std::vector<Match> MergePathSolutions(
     const TwigQuery& query,
     const std::vector<std::vector<QueryNodeId>>& paths,
-    const std::vector<std::vector<std::vector<xml::NodeId>>>& solutions,
-    uint64_t* join_tuples, const MergeOptions& options) {
+    const std::vector<SolutionTable>& solutions, uint64_t* join_tuples,
+    const MergeOptions& options) {
   CHECK_EQ(paths.size(), solutions.size());
   bool prune = options.prune_order && options.document != nullptr &&
                query.HasOrderConstraints();
-  std::vector<Match> tuples;
-  if (paths.empty()) return tuples;
+  if (paths.empty()) return {};
 
   std::vector<bool> bound(static_cast<size_t>(query.size()), false);
+  TupleTable table;
+  table.stride = static_cast<size_t>(query.size());
 
   // Seed with the first path.
-  for (const std::vector<xml::NodeId>& solution : solutions[0]) {
-    Match match;
-    match.bindings.assign(static_cast<size_t>(query.size()),
-                          xml::kInvalidNodeId);
+  CHECK_EQ(solutions[0].stride, paths[0].size());
+  table.rows.reserve(solutions[0].num_rows() * table.stride);
+  for (size_t s = 0; s < solutions[0].num_rows(); ++s) {
+    const xml::NodeId* solution = solutions[0].row(s);
+    size_t at = table.rows.size();
+    table.rows.resize(at + table.stride, xml::kInvalidNodeId);
     for (size_t i = 0; i < paths[0].size(); ++i) {
-      match.bindings[static_cast<size_t>(paths[0][i])] = solution[i];
+      table.rows[at + static_cast<size_t>(paths[0][i])] = solution[i];
     }
-    tuples.push_back(std::move(match));
   }
   for (QueryNodeId q : paths[0]) bound[static_cast<size_t>(q)] = true;
-  if (prune) PruneByPartialOrder(query, *options.document, &tuples);
-  if (join_tuples != nullptr) *join_tuples += tuples.size();
+  if (prune) PruneByPartialOrder(query, *options.document, &table);
+  if (join_tuples != nullptr) *join_tuples += table.num_rows();
 
-  for (size_t p = 1; p < paths.size() && !tuples.empty(); ++p) {
+  for (size_t p = 1; p < paths.size() && table.num_rows() != 0; ++p) {
     const std::vector<QueryNodeId>& path = paths[p];
     // Positions of this path's nodes that the joined prefix already binds
     // (always a non-empty prefix: at least the query root).
@@ -74,40 +116,83 @@ std::vector<Match> MergePathSolutions(
         new_positions.push_back(i);
       }
     }
-    // Hash existing tuples by their bindings of the shared nodes.
-    std::map<std::vector<xml::NodeId>, std::vector<size_t>> table;
-    for (size_t t = 0; t < tuples.size(); ++t) {
-      std::vector<xml::NodeId> key;
-      key.reserve(shared_positions.size());
+
+    // Sort-based equi-join on the shared bindings: order tuple rows by
+    // their shared-node key, then binary-search each path solution's
+    // key — no per-tuple key vectors, no map nodes.
+    size_t rows = table.num_rows();
+    std::vector<uint32_t> order(rows);
+    std::iota(order.begin(), order.end(), 0u);
+    auto row_key_less = [&](uint32_t a, uint32_t b) {
       for (size_t i : shared_positions) {
-        key.push_back(
-            tuples[t].bindings[static_cast<size_t>(path[i])]);
+        xml::NodeId lhs = table.row(a)[static_cast<size_t>(path[i])];
+        xml::NodeId rhs = table.row(b)[static_cast<size_t>(path[i])];
+        if (lhs != rhs) return lhs < rhs;
       }
-      table[std::move(key)].push_back(t);
-    }
-    std::vector<Match> next;
-    for (const std::vector<xml::NodeId>& solution : solutions[p]) {
-      std::vector<xml::NodeId> key;
-      key.reserve(shared_positions.size());
-      for (size_t i : shared_positions) key.push_back(solution[i]);
-      auto it = table.find(key);
-      if (it == table.end()) continue;
-      for (size_t t : it->second) {
-        Match merged = tuples[t];
+      return false;
+    };
+    std::sort(order.begin(), order.end(), row_key_less);
+
+    CHECK_EQ(solutions[p].stride, path.size());
+    TupleTable next;
+    next.stride = table.stride;
+    for (size_t s = 0; s < solutions[p].num_rows(); ++s) {
+      const xml::NodeId* solution = solutions[p].row(s);
+      auto lower = std::lower_bound(
+          order.begin(), order.end(), solution,
+          [&](uint32_t r, const xml::NodeId* sol) {
+            for (size_t i : shared_positions) {
+              xml::NodeId lhs = table.row(r)[static_cast<size_t>(path[i])];
+              if (lhs != sol[i]) return lhs < sol[i];
+            }
+            return false;
+          });
+      auto upper = std::upper_bound(
+          lower, order.end(), solution,
+          [&](const xml::NodeId* sol, uint32_t r) {
+            for (size_t i : shared_positions) {
+              xml::NodeId rhs = table.row(r)[static_cast<size_t>(path[i])];
+              if (sol[i] != rhs) return sol[i] < rhs;
+            }
+            return false;
+          });
+      for (auto it = lower; it != upper; ++it) {
+        size_t at = next.rows.size();
+        next.rows.insert(next.rows.end(), table.row(*it),
+                         table.row(*it) + table.stride);
         for (size_t i : new_positions) {
-          merged.bindings[static_cast<size_t>(path[i])] = solution[i];
+          next.rows[at + static_cast<size_t>(path[i])] = solution[i];
         }
-        next.push_back(std::move(merged));
       }
     }
-    tuples = std::move(next);
+    table = std::move(next);
     for (QueryNodeId q : path) bound[static_cast<size_t>(q)] = true;
-    if (prune) PruneByPartialOrder(query, *options.document, &tuples);
-    if (join_tuples != nullptr) *join_tuples += tuples.size();
+    if (prune) PruneByPartialOrder(query, *options.document, &table);
+    if (join_tuples != nullptr) *join_tuples += table.num_rows();
   }
 
-  std::sort(tuples.begin(), tuples.end());
-  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  // Canonical order + dedup on the flat rows, then materialize only the
+  // surviving tuples as Match objects.
+  size_t rows = table.num_rows();
+  std::vector<uint32_t> order(rows);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return std::lexicographical_compare(
+        table.row(a), table.row(a) + table.stride, table.row(b),
+        table.row(b) + table.stride);
+  });
+  std::vector<Match> tuples;
+  tuples.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    const xml::NodeId* r = table.row(order[i]);
+    if (i > 0) {
+      const xml::NodeId* prev = table.row(order[i - 1]);
+      if (std::equal(r, r + table.stride, prev)) continue;
+    }
+    Match match;
+    match.bindings.assign(r, r + table.stride);
+    tuples.push_back(std::move(match));
+  }
   return tuples;
 }
 

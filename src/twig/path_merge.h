@@ -18,18 +18,39 @@ struct MergeOptions {
   const xml::Document* document = nullptr;
 };
 
-/// Joins per-root-to-leaf-path solution lists into complete twig matches.
+/// Root-to-leaf path solutions as a flat row-major table: row r binds
+/// path position i to rows[r * stride + i]. Producers (TwigStack's stack
+/// expansion, TJFast's label alignment) append rows in place instead of
+/// allocating one binding vector per solution — on allocation-heavy
+/// corpora the per-solution vectors dominated the holistic algorithms'
+/// runtime, not the joins themselves.
+struct SolutionTable {
+  size_t stride = 0;
+  std::vector<xml::NodeId> rows;
+
+  size_t num_rows() const { return stride == 0 ? 0 : rows.size() / stride; }
+  xml::NodeId* row(size_t r) { return rows.data() + r * stride; }
+  const xml::NodeId* row(size_t r) const { return rows.data() + r * stride; }
+  void AppendRow(const xml::NodeId* src) {
+    rows.insert(rows.end(), src, src + stride);
+  }
+  /// Lexicographic row sort (permutation + gather, not per-row swaps).
+  void SortRows();
+};
+
+/// Joins per-root-to-leaf-path solution tables into complete twig matches.
 /// `paths[i]` lists the query nodes of path i (root first) and
-/// `solutions[i]` its binding vectors (aligned with `paths[i]`). Paths are
-/// joined left to right with a hash join on the query nodes they share
-/// with the already-joined prefix (at least the query root, typically the
-/// common branch prefix). This is the merge phase of TwigStack and of the
+/// `solutions[i]` its binding rows (stride == paths[i].size(), columns
+/// aligned with `paths[i]`). Paths are joined left to right with a
+/// sort-based equi-join on the query nodes they share with the
+/// already-joined prefix (at least the query root, typically the common
+/// branch prefix). This is the merge phase of TwigStack and of the
 /// TJFast-style evaluator. `join_tuples`, when non-null, accumulates the
 /// number of tuples materialized across all join steps.
 std::vector<Match> MergePathSolutions(
     const TwigQuery& query, const std::vector<std::vector<QueryNodeId>>& paths,
-    const std::vector<std::vector<std::vector<xml::NodeId>>>& solutions,
-    uint64_t* join_tuples, const MergeOptions& options = {});
+    const std::vector<SolutionTable>& solutions, uint64_t* join_tuples,
+    const MergeOptions& options = {});
 
 }  // namespace lotusx::twig
 

@@ -13,51 +13,51 @@ using internal_stack::Stack;
 
 StatusOr<QueryResult> PathStackEvaluate(
     const index::IndexedDocument& indexed, const TwigQuery& query,
-    const std::vector<std::vector<index::PathId>>* schema_bindings) {
+    const std::vector<std::vector<index::PathId>>* schema_bindings,
+    EvalContext* ctx) {
   if (!query.IsPath()) {
     return Status::InvalidArgument(
         "PathStack handles path queries only; use TwigStack or TJFast");
   }
+  EvalContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
   Timer timer;
   const xml::Document& document = indexed.document();
   QueryResult result;
   result.stats.algorithm = "pathstack";
 
-  std::vector<std::vector<xml::NodeId>> streams(
-      static_cast<size_t>(query.size()));
-  std::vector<size_t> cursors(static_cast<size_t>(query.size()), 0);
+  std::vector<CandidateStream> streams;
+  streams.reserve(static_cast<size_t>(query.size()));
   std::vector<Stack> stacks(static_cast<size_t>(query.size()));
   for (QueryNodeId q = 0; q < query.size(); ++q) {
-    streams[static_cast<size_t>(q)] = CandidatesFor(
-        indexed, query, q,
+    streams.push_back(OpenCandidates(
+        indexed, query, q, ctx,
         schema_bindings == nullptr
             ? nullptr
-            : &(*schema_bindings)[static_cast<size_t>(q)]);
-    result.stats.candidates_scanned += streams[static_cast<size_t>(q)].size();
+            : &(*schema_bindings)[static_cast<size_t>(q)]));
+    result.stats.candidates_scanned +=
+        streams[static_cast<size_t>(q)].count();
   }
   std::vector<QueryNodeId> path = query.RootToLeafPaths().front();
   QueryNodeId leaf = path.back();
-  std::vector<std::vector<xml::NodeId>> solutions;
+  SolutionTable solutions;
+  solutions.stride = path.size();
+  std::vector<xml::NodeId> emit_scratch;
 
   while (true) {
     // qmin: node whose head element is earliest in document order.
     QueryNodeId qmin = kInvalidQueryNode;
     for (QueryNodeId q = 0; q < query.size(); ++q) {
-      if (cursors[static_cast<size_t>(q)] >=
-          streams[static_cast<size_t>(q)].size()) {
-        continue;
-      }
+      if (streams[static_cast<size_t>(q)].AtEnd()) continue;
       if (qmin == kInvalidQueryNode ||
-          streams[static_cast<size_t>(q)][cursors[static_cast<size_t>(q)]] <
-              streams[static_cast<size_t>(qmin)]
-                     [cursors[static_cast<size_t>(qmin)]]) {
+          streams[static_cast<size_t>(q)].Key() <
+              streams[static_cast<size_t>(qmin)].Key()) {
         qmin = q;
       }
     }
     if (qmin == kInvalidQueryNode) break;
-    xml::NodeId element =
-        streams[static_cast<size_t>(qmin)][cursors[static_cast<size_t>(qmin)]];
-    ++cursors[static_cast<size_t>(qmin)];
+    xml::NodeId element = streams[static_cast<size_t>(qmin)].Key();
+    streams[static_cast<size_t>(qmin)].Next();
 
     // Close every stack entry that ends before this element starts.
     for (Stack& stack : stacks) CleanStack(document, &stack, element);
@@ -77,14 +77,15 @@ StatusOr<QueryResult> PathStackEvaluate(
       internal_stack::EmitPathSolutions(
           document, query, path, stacks,
           static_cast<int>(stacks[static_cast<size_t>(leaf)].size()) - 1,
-          &solutions);
+          &emit_scratch, &solutions);
       stacks[static_cast<size_t>(leaf)].pop_back();
     }
   }
 
-  result.stats.intermediate_tuples = solutions.size();
-  result.matches.reserve(solutions.size());
-  for (const std::vector<xml::NodeId>& solution : solutions) {
+  result.stats.intermediate_tuples = solutions.num_rows();
+  result.matches.reserve(solutions.num_rows());
+  for (size_t r = 0; r < solutions.num_rows(); ++r) {
+    const xml::NodeId* solution = solutions.row(r);
     Match match;
     match.bindings.assign(static_cast<size_t>(query.size()),
                           xml::kInvalidNodeId);
@@ -95,6 +96,7 @@ StatusOr<QueryResult> PathStackEvaluate(
   }
   std::sort(result.matches.begin(), result.matches.end());
   result.stats.matches = result.matches.size();
+  FillPostingStats(*ctx, &result.stats);
   result.stats.elapsed_ms = timer.ElapsedMillis();
   return result;
 }

@@ -2,6 +2,7 @@
 #define LOTUSX_TWIG_PATH_STACK_H_
 
 #include "index/indexed_document.h"
+#include "twig/eval_context.h"
 #include "twig/match.h"
 #include "twig/twig_query.h"
 
@@ -18,7 +19,8 @@ namespace lotusx::twig {
 /// Requires query.IsPath(); returns InvalidArgument otherwise.
 StatusOr<QueryResult> PathStackEvaluate(
     const index::IndexedDocument& indexed, const TwigQuery& query,
-    const std::vector<std::vector<index::PathId>>* schema_bindings = nullptr);
+    const std::vector<std::vector<index::PathId>>* schema_bindings = nullptr,
+    EvalContext* ctx = nullptr);
 
 }  // namespace lotusx::twig
 

@@ -55,6 +55,12 @@ StatusOr<QueryResult> ExecutePlan(const index::IndexedDocument& indexed,
   const TwigQuery& query = plan->query;
   Timer total_timer;
 
+  // One arena + posting-counter set for the whole query. Per-block
+  // decode timing costs a Timer read per block, so it is only switched
+  // on when the caller asked for actuals.
+  EvalContext ctx;
+  ctx.postings.time_decodes = options.analyze;
+
   // Schema pruning happens once for all streams (one DataGuide walk); its
   // time is split evenly across the plan's prune operators below.
   std::vector<std::vector<index::PathId>> schema;
@@ -72,20 +78,20 @@ StatusOr<QueryResult> ExecutePlan(const index::IndexedDocument& indexed,
   switch (plan->algorithm) {
     case Algorithm::kStructuralJoin:
       result = StructuralJoinEvaluate(indexed, query, schema_ptr,
-                                      plan->reorder_binary_joins);
+                                      plan->reorder_binary_joins, &ctx);
       break;
     case Algorithm::kPathStack: {
-      LOTUSX_ASSIGN_OR_RETURN(result,
-                              PathStackEvaluate(indexed, query, schema_ptr));
+      LOTUSX_ASSIGN_OR_RETURN(
+          result, PathStackEvaluate(indexed, query, schema_ptr, &ctx));
       break;
     }
     case Algorithm::kTwigStack:
       result = TwigStackEvaluate(indexed, query, plan->integrate_order,
-                                 schema_ptr);
+                                 schema_ptr, &ctx);
       break;
     case Algorithm::kTJFast:
-      result =
-          TjFastEvaluate(indexed, query, plan->integrate_order, schema_ptr);
+      result = TjFastEvaluate(indexed, query, plan->integrate_order,
+                              schema_ptr, &ctx);
       break;
     case Algorithm::kAuto:
       return Status::Internal("unresolved kAuto algorithm in plan");
@@ -179,6 +185,17 @@ StatusOr<QueryResult> ExecutePlan(const index::IndexedDocument& indexed,
       op_metrics.execs->Increment();
       op_metrics.rows->Increment(op.actual_rows_out);
       op_metrics.usec->Increment(static_cast<uint64_t>(op.actual_ms * 1e3));
+    }
+    metrics::Registry& registry = metrics::Registry::Default();
+    registry.GetCounter("lotusx_postings_blocks_decoded_total")
+        ->Increment(ctx.postings.blocks_decoded);
+    registry.GetCounter("lotusx_postings_blocks_skipped_total")
+        ->Increment(ctx.postings.blocks_skipped);
+    registry.GetCounter("lotusx_postings_bytes_decoded_total")
+        ->Increment(ctx.postings.bytes_decoded);
+    if (ctx.postings.time_decodes) {
+      registry.GetCounter("lotusx_postings_decode_usec_total")
+          ->Increment(static_cast<uint64_t>(ctx.postings.decode_ms * 1e3));
     }
   }
 

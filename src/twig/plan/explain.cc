@@ -69,6 +69,10 @@ std::string DescribePlan(const PhysicalPlan& plan, bool include_actuals) {
     out << "totals: scanned " << plan.stats.totals.candidates_scanned
         << ", intermediate " << plan.stats.totals.intermediate_tuples
         << ", elapsed " << FmtMs(plan.stats.totals.elapsed_ms) << " ms\n";
+    out << "postings: blocks decoded "
+        << plan.stats.totals.posting_blocks_decoded << ", skipped "
+        << plan.stats.totals.posting_blocks_skipped << ", bytes "
+        << plan.stats.totals.posting_bytes_decoded << "\n";
   }
   return out.str();
 }

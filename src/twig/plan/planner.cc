@@ -109,6 +109,18 @@ std::string FormatPercent(double part, double whole) {
   return buffer;
 }
 
+/// Expected number of posting blocks a scan decodes when the consumer
+/// keeps a `selectivity` fraction of its rows and skips the rest via the
+/// block index: a block of `fill` entries is decoded iff at least one of
+/// its entries survives, i.e. with probability 1 - (1 - sel)^fill. At
+/// sel = 1 this degenerates to every block.
+double ExpectedBlocksDecoded(double blocks, double fill,
+                             double selectivity) {
+  if (blocks <= 0 || fill <= 0) return 0;
+  double sel = std::min(std::max(selectivity, 0.0), 1.0);
+  return blocks * (1.0 - std::pow(1.0 - sel, fill));
+}
+
 }  // namespace
 
 StatusOr<PhysicalPlan> Planner::Plan(const TwigQuery& query,
@@ -181,7 +193,22 @@ StatusOr<PhysicalPlan> Planner::Plan(const TwigQuery& query,
     if (node.predicate.active()) scan.detail += " +predicate";
     scan.estimated_rows = plan.estimate.node_stream_size[qi] *
                           plan.estimate.node_predicate_selectivity[qi];
-    scan.estimated_cost = plan.estimate.node_stream_size[qi];
+    // Block-skip cost: a selective consumer pays per decoded block of
+    // the compressed stream, not per posting. Wildcard scans have no
+    // single stream and keep the row-count cost.
+    const double blocks = plan.estimate.node_posting_blocks[qi];
+    const double fill = plan.estimate.node_block_fill[qi];
+    if (blocks > 0) {
+      const double decoded = ExpectedBlocksDecoded(
+          blocks, fill, plan.estimate.node_predicate_selectivity[qi]);
+      scan.estimated_cost = decoded * fill;
+      char buffer[48];
+      std::snprintf(buffer, sizeof(buffer), " (~%.0f/%.0f blocks)",
+                    decoded, blocks);
+      scan.detail += buffer;
+    } else {
+      scan.estimated_cost = plan.estimate.node_stream_size[qi];
+    }
     int top = add_op(std::move(scan));
     if (plan.schema_prune) {
       OperatorNode prune;

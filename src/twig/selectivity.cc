@@ -59,6 +59,10 @@ SelectivityEstimate EstimateSelectivity(
                                           0.0);
   estimate.node_predicate_selectivity.assign(
       static_cast<size_t>(query.size()), 1.0);
+  estimate.node_posting_blocks.assign(static_cast<size_t>(query.size()),
+                                      0.0);
+  estimate.node_block_fill.assign(static_cast<size_t>(query.size()), 0.0);
+  estimate.node_key_span.assign(static_cast<size_t>(query.size()), 0.0);
   if (query.Validate() != Status::OK()) return estimate;
 
   const index::DataGuide& guide = indexed.dataguide();
@@ -103,8 +107,15 @@ SelectivityEstimate EstimateSelectivity(
     if (node.tag == "*") {
       stream = document.num_nodes();  // upper bound: wildcard stream
     } else {
-      stream = static_cast<double>(
-          indexed.tag_streams().count(document.FindTag(node.tag)));
+      xml::TagId tag = document.FindTag(node.tag);
+      stream = static_cast<double>(indexed.tag_streams().count(tag));
+      index::PostingBlocks::BlockStats blocks =
+          indexed.tag_streams().blocks(tag).Stats();
+      estimate.node_posting_blocks[static_cast<size_t>(q)] =
+          static_cast<double>(blocks.blocks);
+      estimate.node_block_fill[static_cast<size_t>(q)] = blocks.avg_fill;
+      estimate.node_key_span[static_cast<size_t>(q)] =
+          static_cast<double>(blocks.key_span);
     }
     estimate.node_stream_size[static_cast<size_t>(q)] = stream;
     estimate.total_stream_size += stream;

@@ -27,6 +27,14 @@ struct SelectivityEstimate {
   std::vector<double> node_schema_occurrences;
   /// Per-node selectivity of the value predicate (1.0 when absent).
   std::vector<double> node_predicate_selectivity;
+  /// Per-node posting-block shape of the node's tag stream (zeros for
+  /// wildcards, which have no single stream): number of compressed
+  /// blocks, average entries per block, and covered key span. These feed
+  /// the planner's block-skip cost term — a selective cursor consumer
+  /// pays per *decoded block*, not per posting.
+  std::vector<double> node_posting_blocks;
+  std::vector<double> node_block_fill;
+  std::vector<double> node_key_span;
   /// Expected number of complete twig matches.
   double match_cardinality = 0;
   /// Candidate stream sizes the algorithms would read: all nodes

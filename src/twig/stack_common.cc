@@ -14,7 +14,7 @@ void Expand(const xml::Document& document, const TwigQuery& query,
             const std::vector<QueryNodeId>& path,
             const std::vector<Stack>& stacks, size_t position,
             int entry_index, std::vector<xml::NodeId>* partial,
-            std::vector<std::vector<xml::NodeId>>* solutions) {
+            SolutionTable* solutions) {
   QueryNodeId q = path[position];
   LOTUSX_DCHECK(entry_index >= 0 &&
                 static_cast<size_t>(entry_index) <
@@ -24,7 +24,7 @@ void Expand(const xml::Document& document, const TwigQuery& query,
       stacks[static_cast<size_t>(q)][static_cast<size_t>(entry_index)];
   (*partial)[position] = entry.element;
   if (position == 0) {
-    solutions->push_back(*partial);
+    solutions->AppendRow(partial->data());
     return;
   }
   QueryNodeId parent_q = path[position - 1];
@@ -59,11 +59,13 @@ void Expand(const xml::Document& document, const TwigQuery& query,
 void EmitPathSolutions(const xml::Document& document, const TwigQuery& query,
                        const std::vector<QueryNodeId>& path,
                        const std::vector<Stack>& stacks, int leaf_index,
-                       std::vector<std::vector<xml::NodeId>>* solutions) {
+                       std::vector<xml::NodeId>* scratch,
+                       SolutionTable* solutions) {
   DCHECK(!path.empty());
-  std::vector<xml::NodeId> partial(path.size(), xml::kInvalidNodeId);
+  DCHECK(solutions->stride == path.size());
+  scratch->assign(path.size(), xml::kInvalidNodeId);
   Expand(document, query, path, stacks, path.size() - 1, leaf_index,
-         &partial, solutions);
+         scratch, solutions);
 }
 
 }  // namespace lotusx::twig::internal_stack

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/invariant.h"
+#include "twig/path_merge.h"
 #include "twig/twig_query.h"
 #include "xml/dom.h"
 
@@ -66,14 +67,17 @@ inline void PushStackEntry(const xml::Document& document, Stack* stack,
 }
 
 /// Expands every root-to-leaf solution ending at `stacks[path.back()]`'s
-/// entry `leaf_index`, appending one binding vector (aligned with `path`,
-/// root first) per solution to `solutions`. Parent-child edges are
-/// verified by depth (stack entries are ancestors of the leaf element, so
-/// depth equality implies parenthood).
+/// entry `leaf_index`, appending one row (aligned with `path`, root
+/// first) per solution to `solutions` (stride must equal path.size()).
+/// Parent-child edges are verified by depth (stack entries are ancestors
+/// of the leaf element, so depth equality implies parenthood). `scratch`
+/// is caller-owned working space, resized here and reused across calls so
+/// the per-leaf emission allocates nothing once warm.
 void EmitPathSolutions(const xml::Document& document, const TwigQuery& query,
                        const std::vector<QueryNodeId>& path,
                        const std::vector<Stack>& stacks, int leaf_index,
-                       std::vector<std::vector<xml::NodeId>>* solutions);
+                       std::vector<xml::NodeId>* scratch,
+                       SolutionTable* solutions);
 
 }  // namespace lotusx::twig::internal_stack
 

@@ -1,7 +1,6 @@
 #include "twig/structural_join.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/timer.h"
 #include "twig/candidates.h"
@@ -19,14 +18,25 @@ struct EdgePair {
 /// Stack-tree structural join between a sorted unique list of potential
 /// ancestors and a sorted candidate descendant stream. Emits every pair
 /// satisfying the axis. Output is grouped by descendant in document order.
+/// The stream is consumed via its cursor: whenever no ancestor is open,
+/// the stream seeks directly past the next ancestor's start — on
+/// block-compressed streams that skips whole blocks undecoded.
 std::vector<EdgePair> StackTreeJoin(const xml::Document& document,
                                     const std::vector<xml::NodeId>& ancestors,
-                                    const std::vector<xml::NodeId>& stream,
-                                    Axis axis) {
+                                    CandidateStream* stream, Axis axis) {
   std::vector<EdgePair> pairs;
   std::vector<xml::NodeId> stack;  // chain of nested open ancestors
   size_t next_ancestor = 0;
-  for (xml::NodeId d : stream) {
+  while (true) {
+    if (stack.empty()) {
+      // No open ancestor: nothing can pair until we are strictly past
+      // the next ancestor's start.
+      if (next_ancestor >= ancestors.size()) break;
+      if (!stream->SeekGE(ancestors[next_ancestor] + 1)) break;
+    } else if (stream->AtEnd()) {
+      break;
+    }
+    xml::NodeId d = stream->Key();
     // Open every ancestor starting before d, closing finished ones first.
     while (next_ancestor < ancestors.size() &&
            ancestors[next_ancestor] < d) {
@@ -46,7 +56,7 @@ std::vector<EdgePair> StackTreeJoin(const xml::Document& document,
       for (xml::NodeId a : stack) {
         pairs.push_back(EdgePair{a, d});
       }
-    } else {
+    } else if (!stack.empty()) {
       // Parent-child: among a chain of ancestors of d at distinct depths,
       // only the one at depth(d) - 1 can be the parent.
       int32_t want_depth = document.node(d).depth - 1;
@@ -57,6 +67,7 @@ std::vector<EdgePair> StackTreeJoin(const xml::Document& document,
         }
       }
     }
+    stream->Next();
   }
   return pairs;
 }
@@ -66,7 +77,9 @@ std::vector<EdgePair> StackTreeJoin(const xml::Document& document,
 QueryResult StructuralJoinEvaluate(
     const index::IndexedDocument& indexed, const TwigQuery& query,
     const std::vector<std::vector<index::PathId>>* schema_bindings,
-    bool reorder_joins) {
+    bool reorder_joins, EvalContext* ctx) {
+  EvalContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
   Timer timer;
   QueryResult result;
   result.stats.algorithm =
@@ -74,33 +87,37 @@ QueryResult StructuralJoinEvaluate(
   const xml::Document& document = indexed.document();
 
   // Candidate streams.
-  std::vector<std::vector<xml::NodeId>> candidates(
-      static_cast<size_t>(query.size()));
+  std::vector<CandidateStream> candidates;
+  candidates.reserve(static_cast<size_t>(query.size()));
   for (QueryNodeId q = 0; q < query.size(); ++q) {
-    candidates[static_cast<size_t>(q)] = CandidatesFor(
-        indexed, query, q,
+    candidates.push_back(OpenCandidates(
+        indexed, query, q, ctx,
         schema_bindings == nullptr
             ? nullptr
-            : &(*schema_bindings)[static_cast<size_t>(q)]);
+            : &(*schema_bindings)[static_cast<size_t>(q)]));
     result.stats.candidates_scanned +=
-        candidates[static_cast<size_t>(q)].size();
-    if (candidates[static_cast<size_t>(q)].empty()) {
+        candidates[static_cast<size_t>(q)].count();
+    if (candidates[static_cast<size_t>(q)].count() == 0) {
+      FillPostingStats(*ctx, &result.stats);
       result.stats.elapsed_ms = timer.ElapsedMillis();
       return result;
     }
   }
 
-  // Seed with root bindings.
-  std::vector<Match> partials;
-  partials.reserve(candidates[0].size());
-  for (xml::NodeId c : candidates[0]) {
-    Match match;
-    match.bindings.assign(static_cast<size_t>(query.size()),
-                          xml::kInvalidNodeId);
-    match.bindings[0] = c;
-    partials.push_back(std::move(match));
+  // Partial matches live in a flat row-major table (stride = query
+  // size) instead of one heap-allocated bindings vector per Match:
+  // expansion appends rows with a plain copy, and only the surviving
+  // rows are materialized as Match objects at the end.
+  const size_t stride = static_cast<size_t>(query.size());
+  std::vector<xml::NodeId> table;
+  table.reserve(candidates[0].count() * stride);
+  for (; !candidates[0].AtEnd(); candidates[0].Next()) {
+    size_t row = table.size();
+    table.resize(row + stride, xml::kInvalidNodeId);
+    table[row] = candidates[0].Key();
   }
-  result.stats.intermediate_tuples += partials.size();
+  size_t num_rows = table.size() / stride;
+  result.stats.intermediate_tuples += num_rows;
 
   // Edge processing order: query order by default; with reorder_joins, a
   // greedy order that always joins the joinable node (parent already
@@ -119,8 +136,8 @@ QueryResult StructuralJoinEvaluate(
           continue;
         }
         if (best == kInvalidQueryNode ||
-            candidates[static_cast<size_t>(q)].size() <
-                candidates[static_cast<size_t>(best)].size()) {
+            candidates[static_cast<size_t>(q)].count() <
+                candidates[static_cast<size_t>(best)].count()) {
           best = q;
         }
       }
@@ -131,43 +148,59 @@ QueryResult StructuralJoinEvaluate(
   }
 
   for (QueryNodeId q : join_order) {
-    if (partials.empty()) break;
+    if (num_rows == 0) break;
     QueryNodeId p = query.node(q).parent;
     // Distinct parent bindings, sorted, with the partials bound to each.
     std::vector<xml::NodeId> ancestors;
-    ancestors.reserve(partials.size());
-    for (const Match& match : partials) {
-      ancestors.push_back(match.bindings[static_cast<size_t>(p)]);
+    ancestors.reserve(num_rows);
+    for (size_t row = 0; row < num_rows; ++row) {
+      ancestors.push_back(table[row * stride + static_cast<size_t>(p)]);
     }
     std::sort(ancestors.begin(), ancestors.end());
     ancestors.erase(std::unique(ancestors.begin(), ancestors.end()),
                     ancestors.end());
 
     std::vector<EdgePair> pairs =
-        StackTreeJoin(document, ancestors, candidates[static_cast<size_t>(q)],
+        StackTreeJoin(document, ancestors,
+                      &candidates[static_cast<size_t>(q)],
                       query.node(q).incoming_axis);
 
-    // Bucket descendants per ancestor, then expand partials.
-    std::unordered_map<xml::NodeId, std::vector<xml::NodeId>> by_ancestor;
-    for (const EdgePair& pair : pairs) {
-      by_ancestor[pair.ancestor].push_back(pair.descendant);
-    }
-    std::vector<Match> next;
-    for (const Match& match : partials) {
-      auto it = by_ancestor.find(match.bindings[static_cast<size_t>(p)]);
-      if (it == by_ancestor.end()) continue;
-      for (xml::NodeId d : it->second) {
-        Match extended = match;
-        extended.bindings[static_cast<size_t>(q)] = d;
-        next.push_back(std::move(extended));
+    // Group descendants per ancestor by sorting (stable: keeps each
+    // ancestor's descendants in document order), then expand each
+    // partial row by binary-searching its ancestor's run.
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [](const EdgePair& a, const EdgePair& b) {
+                       return a.ancestor < b.ancestor;
+                     });
+    std::vector<xml::NodeId> next;
+    for (size_t row = 0; row < num_rows; ++row) {
+      xml::NodeId a = table[row * stride + static_cast<size_t>(p)];
+      auto run = std::equal_range(
+          pairs.begin(), pairs.end(), EdgePair{a, 0},
+          [](const EdgePair& lhs, const EdgePair& rhs) {
+            return lhs.ancestor < rhs.ancestor;
+          });
+      for (auto it = run.first; it != run.second; ++it) {
+        size_t out = next.size();
+        next.insert(next.end(), table.begin() + (row * stride),
+                    table.begin() + ((row + 1) * stride));
+        next[out + static_cast<size_t>(q)] = it->descendant;
       }
     }
-    partials = std::move(next);
-    result.stats.intermediate_tuples += partials.size();
+    table = std::move(next);
+    num_rows = table.size() / stride;
+    result.stats.intermediate_tuples += num_rows;
   }
 
-  result.matches = std::move(partials);
+  result.matches.reserve(num_rows);
+  for (size_t row = 0; row < num_rows; ++row) {
+    Match match;
+    match.bindings.assign(table.begin() + (row * stride),
+                          table.begin() + ((row + 1) * stride));
+    result.matches.push_back(std::move(match));
+  }
   result.stats.matches = result.matches.size();
+  FillPostingStats(*ctx, &result.stats);
   result.stats.elapsed_ms = timer.ElapsedMillis();
   return result;
 }

@@ -2,6 +2,7 @@
 #define LOTUSX_TWIG_STRUCTURAL_JOIN_H_
 
 #include "index/indexed_document.h"
+#include "twig/eval_context.h"
 #include "twig/match.h"
 #include "twig/twig_query.h"
 
@@ -24,10 +25,12 @@ namespace lotusx::twig {
 /// size (parent-first constraint respected) instead of query order — the
 /// classic join-ordering lever: putting a selective branch early shrinks
 /// every later intermediate table. Same answers either way.
+/// `ctx` supplies the per-query arena and posting counters; a local one
+/// is created when null (direct calls in tests).
 QueryResult StructuralJoinEvaluate(
     const index::IndexedDocument& indexed, const TwigQuery& query,
     const std::vector<std::vector<index::PathId>>* schema_bindings = nullptr,
-    bool reorder_joins = false);
+    bool reorder_joins = false, EvalContext* ctx = nullptr);
 
 }  // namespace lotusx::twig
 

@@ -31,21 +31,27 @@ class PathAligner {
 
   static constexpr xml::TagId kWildcard = -2;
 
-  /// All alignments of the pattern onto `tag_path` (tags of the decoded
-  /// root-to-element path). Each result has path_.size() entries.
-  std::vector<std::vector<int32_t>> Align(
-      const std::vector<xml::TagId>& tag_path) const {
-    std::vector<std::vector<int32_t>> alignments;
-    if (tag_path.empty()) return alignments;
+  /// Aligns the pattern onto `tag_path` (tags of the decoded
+  /// root-to-element path); returns the number of alignments. Row k
+  /// (path_.size() entries, valid until the next Align call) is at
+  /// alignment(k). Rows and scratch live in member buffers so the
+  /// per-element alignment allocates nothing once warm.
+  size_t Align(const std::vector<xml::TagId>& tag_path) {
+    rows_.clear();
+    if (tag_path.empty()) return 0;
     int32_t last = static_cast<int32_t>(tag_path.size()) - 1;
-    if (!TagMatches(pattern_tags_.back(), tag_path[static_cast<size_t>(last)])) {
-      return alignments;
+    if (!TagMatches(pattern_tags_.back(),
+                    tag_path[static_cast<size_t>(last)])) {
+      return 0;
     }
-    std::vector<int32_t> current(path_.size(), -1);
-    current[path_.size() - 1] = last;
-    Extend(tag_path, static_cast<int32_t>(path_.size()) - 1, &current,
-           &alignments);
-    return alignments;
+    current_.assign(path_.size(), -1);
+    current_[path_.size() - 1] = last;
+    Extend(tag_path, static_cast<int32_t>(path_.size()) - 1);
+    return rows_.size() / path_.size();
+  }
+
+  const int32_t* alignment(size_t k) const {
+    return rows_.data() + k * path_.size();
   }
 
  private:
@@ -54,19 +60,18 @@ class PathAligner {
   }
 
   /// Fills positions pattern_index-1 .. 0 given that pattern_index is
-  /// already placed at (*current)[pattern_index].
-  void Extend(const std::vector<xml::TagId>& tag_path, int32_t pattern_index,
-              std::vector<int32_t>* current,
-              std::vector<std::vector<int32_t>>* alignments) const {
+  /// already placed at current_[pattern_index].
+  void Extend(const std::vector<xml::TagId>& tag_path,
+              int32_t pattern_index) {
     if (pattern_index == 0) {
       // The query root placement must respect the root axis: '/' anchors
       // it at the document root.
-      int32_t pos = (*current)[0];
+      int32_t pos = current_[0];
       if (query_.root_axis() == Axis::kChild && pos != 0) return;
-      alignments->push_back(*current);
+      rows_.insert(rows_.end(), current_.begin(), current_.end());
       return;
     }
-    int32_t child_pos = (*current)[static_cast<size_t>(pattern_index)];
+    int32_t child_pos = current_[static_cast<size_t>(pattern_index)];
     Axis axis =
         query_.node(path_[static_cast<size_t>(pattern_index)]).incoming_axis;
     xml::TagId want = pattern_tags_[static_cast<size_t>(pattern_index - 1)];
@@ -76,15 +81,15 @@ class PathAligner {
           !TagMatches(want, tag_path[static_cast<size_t>(pos)])) {
         return;
       }
-      (*current)[static_cast<size_t>(pattern_index - 1)] = pos;
-      Extend(tag_path, pattern_index - 1, current, alignments);
+      current_[static_cast<size_t>(pattern_index - 1)] = pos;
+      Extend(tag_path, pattern_index - 1);
     } else {
       for (int32_t pos = child_pos - 1;
            pos >= pattern_index - 1;  // need room for the remaining prefix
            --pos) {
         if (!TagMatches(want, tag_path[static_cast<size_t>(pos)])) continue;
-        (*current)[static_cast<size_t>(pattern_index - 1)] = pos;
-        Extend(tag_path, pattern_index - 1, current, alignments);
+        current_[static_cast<size_t>(pattern_index - 1)] = pos;
+        Extend(tag_path, pattern_index - 1);
       }
     }
   }
@@ -93,6 +98,8 @@ class PathAligner {
   const TwigQuery& query_;
   const std::vector<QueryNodeId>& path_;
   std::vector<xml::TagId> pattern_tags_;
+  std::vector<int32_t> rows_;      // alignments, row-major, stride path_
+  std::vector<int32_t> current_;   // partial alignment being extended
 };
 
 }  // namespace
@@ -100,7 +107,10 @@ class PathAligner {
 QueryResult TjFastEvaluate(
     const index::IndexedDocument& indexed, const TwigQuery& query,
     bool integrate_order,
-    const std::vector<std::vector<index::PathId>>* schema_bindings) {
+    const std::vector<std::vector<index::PathId>>* schema_bindings,
+    EvalContext* ctx) {
+  EvalContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
   Timer timer;
   QueryResult result;
   result.stats.algorithm = "tjfast";
@@ -111,29 +121,39 @@ QueryResult TjFastEvaluate(
       document.empty() ? -1 : document.node(document.root()).tag;
 
   std::vector<std::vector<QueryNodeId>> paths = query.RootToLeafPaths();
-  std::vector<std::vector<std::vector<xml::NodeId>>> solutions(paths.size());
+  std::vector<SolutionTable> solutions(paths.size());
+  for (size_t p = 0; p < paths.size(); ++p) {
+    solutions[p].stride = paths[p].size();
+  }
+  std::vector<labeling::XTagId> tag_path;
 
   for (size_t p = 0; p < paths.size(); ++p) {
     const std::vector<QueryNodeId>& path = paths[p];
     QueryNodeId leaf = path.back();
-    std::vector<xml::NodeId> stream = CandidatesFor(
-        indexed, query, leaf,
+    CandidateStream stream = OpenCandidates(
+        indexed, query, leaf, ctx,
         schema_bindings == nullptr
             ? nullptr
             : &(*schema_bindings)[static_cast<size_t>(leaf)]);
-    result.stats.candidates_scanned += stream.size();
+    result.stats.candidates_scanned += stream.count();
     PathAligner aligner(document, query, path);
 
-    for (xml::NodeId element : stream) {
+    for (; !stream.AtEnd(); stream.Next()) {
+      xml::NodeId element = stream.Key();
       // Decode the element's root-to-node tag path from its extended
       // Dewey label alone (this is the TJFast trick: no ancestor streams).
-      std::vector<labeling::XTagId> tag_path =
-          labeling::ExtendedDeweyStore::DecodeTagPath(
-              transducer, root_tag, labels.label(element));
-      for (const std::vector<int32_t>& alignment : aligner.Align(tag_path)) {
+      labeling::ExtendedDeweyStore::DecodeTagPath(
+          transducer, root_tag, labels.label(element), &tag_path);
+      size_t num_alignments = aligner.Align(tag_path);
+      for (size_t k = 0; k < num_alignments; ++k) {
+        const int32_t* alignment = aligner.alignment(k);
         // Materialize the ancestor at each aligned depth by walking the
-        // parent chain once from the element.
-        std::vector<xml::NodeId> binding(path.size(), xml::kInvalidNodeId);
+        // parent chain once from the element, writing the binding row
+        // straight into the solution table (rolled back below if a
+        // predicate fails).
+        size_t at = solutions[p].rows.size();
+        solutions[p].rows.resize(at + path.size(), xml::kInvalidNodeId);
+        xml::NodeId* binding = solutions[p].rows.data() + at;
         binding[path.size() - 1] = element;
         {
           xml::NodeId walk = element;
@@ -157,14 +177,14 @@ QueryResult TjFastEvaluate(
             ok = false;
           }
         }
-        if (ok) solutions[p].push_back(std::move(binding));
+        if (!ok) solutions[p].rows.resize(at);
       }
     }
-    result.stats.intermediate_tuples += solutions[p].size();
+    result.stats.intermediate_tuples += solutions[p].num_rows();
     // Distinct alignments can yield identical bindings only when depths
-    // coincide, which they cannot; still, keep the lists sorted for a
+    // coincide, which they cannot; still, keep the rows sorted for a
     // deterministic merge.
-    std::sort(solutions[p].begin(), solutions[p].end());
+    solutions[p].SortRows();
   }
 
   MergeOptions merge_options;
@@ -174,6 +194,7 @@ QueryResult TjFastEvaluate(
       MergePathSolutions(query, paths, solutions,
                          &result.stats.intermediate_tuples, merge_options);
   result.stats.matches = result.matches.size();
+  FillPostingStats(*ctx, &result.stats);
   result.stats.elapsed_ms = timer.ElapsedMillis();
   return result;
 }

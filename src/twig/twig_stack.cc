@@ -7,6 +7,7 @@
 #include "twig/path_merge.h"
 #include "twig/stack_common.h"
 
+
 namespace lotusx::twig {
 
 namespace {
@@ -21,19 +22,20 @@ class TwigStackRun {
  public:
   TwigStackRun(const index::IndexedDocument& indexed, const TwigQuery& query,
                bool integrate_order,
-               const std::vector<std::vector<index::PathId>>* schema_bindings)
+               const std::vector<std::vector<index::PathId>>* schema_bindings,
+               EvalContext* ctx)
       : document_(indexed.document()),
         query_(query),
+        ctx_(ctx),
         integrate_order_(integrate_order),
-        streams_(static_cast<size_t>(query.size())),
-        cursors_(static_cast<size_t>(query.size()), 0),
         stacks_(static_cast<size_t>(query.size())) {
+    streams_.reserve(static_cast<size_t>(query.size()));
     for (QueryNodeId q = 0; q < query.size(); ++q) {
-      streams_[static_cast<size_t>(q)] = CandidatesFor(
-          indexed, query, q,
+      streams_.push_back(OpenCandidates(
+          indexed, query, q, ctx,
           schema_bindings == nullptr
               ? nullptr
-              : &(*schema_bindings)[static_cast<size_t>(q)]);
+              : &(*schema_bindings)[static_cast<size_t>(q)]));
     }
     paths_ = query.RootToLeafPaths();
     // Leaf -> index of its root-to-leaf path.
@@ -43,14 +45,17 @@ class TwigStackRun {
           static_cast<int>(p);
     }
     path_solutions_.resize(paths_.size());
+    for (size_t p = 0; p < paths_.size(); ++p) {
+      path_solutions_[p].stride = paths_[p].size();
+    }
   }
 
   QueryResult Run() {
     Timer timer;
     QueryResult result;
     result.stats.algorithm = "twigstack";
-    for (const auto& stream : streams_) {
-      result.stats.candidates_scanned += stream.size();
+    for (const CandidateStream& stream : streams_) {
+      result.stats.candidates_scanned += stream.count();
     }
 
     while (!End(query_.root())) {
@@ -71,6 +76,7 @@ class TwigStackRun {
           internal_stack::EmitPathSolutions(
               document_, query_, paths_[static_cast<size_t>(path)], stacks_,
               static_cast<int>(stacks_[static_cast<size_t>(q)].size()) - 1,
+              &emit_scratch_,
               &path_solutions_[static_cast<size_t>(path)]);
           stacks_[static_cast<size_t>(q)].pop_back();
         }
@@ -79,8 +85,8 @@ class TwigStackRun {
       }
     }
 
-    for (const auto& solutions : path_solutions_) {
-      result.stats.intermediate_tuples += solutions.size();
+    for (const SolutionTable& solutions : path_solutions_) {
+      result.stats.intermediate_tuples += solutions.num_rows();
     }
     MergeOptions merge_options;
     merge_options.prune_order = integrate_order_;
@@ -89,28 +95,26 @@ class TwigStackRun {
         MergePathSolutions(query_, paths_, path_solutions_,
                            &result.stats.intermediate_tuples, merge_options);
     result.stats.matches = result.matches.size();
+    FillPostingStats(*ctx_, &result.stats);
     result.stats.elapsed_ms = timer.ElapsedMillis();
     return result;
   }
 
  private:
   bool Exhausted(QueryNodeId q) const {
-    return cursors_[static_cast<size_t>(q)] >=
-           streams_[static_cast<size_t>(q)].size();
+    return streams_[static_cast<size_t>(q)].AtEnd();
   }
   /// Current element, or kExhausted as +infinity sentinel.
   xml::NodeId Current(QueryNodeId q) const {
-    return Exhausted(q)
-               ? kExhausted
-               : streams_[static_cast<size_t>(q)]
-                         [cursors_[static_cast<size_t>(q)]];
+    return Exhausted(q) ? kExhausted
+                        : streams_[static_cast<size_t>(q)].Key();
   }
   /// End of the current element's subtree (+infinity when exhausted).
   xml::NodeId CurrentEnd(QueryNodeId q) const {
     return Exhausted(q) ? kExhausted
                         : document_.node(Current(q)).subtree_end;
   }
-  void Advance(QueryNodeId q) { ++cursors_[static_cast<size_t>(q)]; }
+  void Advance(QueryNodeId q) { streams_[static_cast<size_t>(q)].Next(); }
 
   /// True when every leaf stream in q's subtree is exhausted.
   bool End(QueryNodeId q) const {
@@ -166,13 +170,14 @@ class TwigStackRun {
 
   const xml::Document& document_;
   const TwigQuery& query_;
+  EvalContext* ctx_;
   bool integrate_order_;
-  std::vector<std::vector<xml::NodeId>> streams_;
-  std::vector<size_t> cursors_;
+  std::vector<CandidateStream> streams_;
   std::vector<Stack> stacks_;
   std::vector<std::vector<QueryNodeId>> paths_;
   std::vector<int> path_of_leaf_;
-  std::vector<std::vector<std::vector<xml::NodeId>>> path_solutions_;
+  std::vector<SolutionTable> path_solutions_;
+  std::vector<xml::NodeId> emit_scratch_;
 };
 
 }  // namespace
@@ -180,8 +185,11 @@ class TwigStackRun {
 QueryResult TwigStackEvaluate(
     const index::IndexedDocument& indexed, const TwigQuery& query,
     bool integrate_order,
-    const std::vector<std::vector<index::PathId>>* schema_bindings) {
-  return TwigStackRun(indexed, query, integrate_order, schema_bindings)
+    const std::vector<std::vector<index::PathId>>* schema_bindings,
+    EvalContext* ctx) {
+  EvalContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  return TwigStackRun(indexed, query, integrate_order, schema_bindings, ctx)
       .Run();
 }
 

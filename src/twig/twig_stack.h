@@ -2,6 +2,7 @@
 #define LOTUSX_TWIG_TWIG_STACK_H_
 
 #include "index/indexed_document.h"
+#include "twig/eval_context.h"
 #include "twig/match.h"
 #include "twig/twig_query.h"
 
@@ -22,7 +23,8 @@ namespace lotusx::twig {
 QueryResult TwigStackEvaluate(
     const index::IndexedDocument& indexed, const TwigQuery& query,
     bool integrate_order = false,
-    const std::vector<std::vector<index::PathId>>* schema_bindings = nullptr);
+    const std::vector<std::vector<index::PathId>>* schema_bindings = nullptr,
+    EvalContext* ctx = nullptr);
 
 }  // namespace lotusx::twig
 

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/coding.h"
 #include "common/logging.h"
 #include "common/random.h"
@@ -429,6 +430,59 @@ TEST(CodingTest, OverlongVarintIsCorruption) {
   EXPECT_TRUE(decoder.GetVarint64(&v).IsCorruption());
 }
 
+TEST(CodingTest, ZigZagRoundTripsSignedBoundaries) {
+  for (int32_t v : {0, 1, -1, 2, -2, 63, -64, INT32_MAX, INT32_MIN}) {
+    EXPECT_EQ(ZigZagDecode32(ZigZagEncode32(v)), v);
+  }
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1},
+                    int64_t{INT32_MAX} + 1, -(int64_t{INT32_MAX} + 1),
+                    INT64_MAX, INT64_MIN}) {
+    EXPECT_EQ(ZigZagDecode64(ZigZagEncode64(v)), v);
+  }
+  // Small magnitudes map to small codes (the property delta coding needs).
+  EXPECT_EQ(ZigZagEncode32(0), 0u);
+  EXPECT_EQ(ZigZagEncode32(-1), 1u);
+  EXPECT_EQ(ZigZagEncode32(1), 2u);
+  EXPECT_EQ(ZigZagEncode32(-2), 3u);
+}
+
+TEST(CodingTest, ZigZagVarintBlockRoundTripsRandomDeltas) {
+  Random rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int64_t> deltas;
+    std::string buffer;
+    Encoder encoder(&buffer);
+    for (int i = 0; i < 200; ++i) {
+      auto delta = static_cast<int64_t>(rng.NextUint64());
+      deltas.push_back(delta);
+      encoder.PutVarint64(ZigZagEncode64(delta));
+    }
+    Decoder decoder(buffer);
+    for (int64_t expected : deltas) {
+      uint64_t encoded = 0;
+      ASSERT_TRUE(decoder.GetVarint64(&encoded).ok());
+      EXPECT_EQ(ZigZagDecode64(encoded), expected);
+    }
+    EXPECT_EQ(decoder.remaining(), 0u);
+  }
+}
+
+// Regression: a 10-byte varint whose final byte carries payload past bit
+// 63 used to wrap silently instead of failing.
+TEST(CodingTest, VarintPayloadBeyond64BitsIsCorruption) {
+  std::string buffer(9, '\x80');
+  buffer += '\x02';  // bit 64 set
+  Decoder decoder(buffer);
+  uint64_t v = 0;
+  EXPECT_TRUE(decoder.GetVarint64(&v).IsCorruption());
+  // ...while UINT64_MAX itself still decodes.
+  std::string max(9, '\xFF');
+  max += '\x01';
+  Decoder max_decoder(max);
+  ASSERT_TRUE(max_decoder.GetVarint64(&v).ok());
+  EXPECT_EQ(v, UINT64_MAX);
+}
+
 TEST(CodingTest, StringLengthBeyondBufferIsCorruption) {
   std::string buffer;
   Encoder encoder(&buffer);
@@ -453,6 +507,46 @@ TEST(CodingTest, MissingFileIsIOError) {
   std::string contents;
   EXPECT_TRUE(
       ReadFileToString("/nonexistent/lotusx/file", &contents).IsIOError());
+}
+
+// ----------------------------------------------------------------- Arena
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena;
+  auto a = arena.AllocateArray<uint32_t>(100);
+  auto b = arena.AllocateArray<uint64_t>(50);
+  ASSERT_EQ(a.size(), 100u);
+  ASSERT_EQ(b.size(), 50u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a.data()) % alignof(uint32_t), 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b.data()) % alignof(uint64_t), 0u);
+  // Writing one region never disturbs the other.
+  for (uint32_t& v : a) v = 0xA5A5A5A5;
+  for (uint64_t& v : b) v = 0x5A5A5A5A5A5A5A5A;
+  for (uint32_t v : a) EXPECT_EQ(v, 0xA5A5A5A5u);
+}
+
+TEST(ArenaTest, GrowsPastTheInitialBlockAndResets) {
+  Arena arena;
+  // Far more than one 16KB block.
+  for (int i = 0; i < 100; ++i) {
+    auto span = arena.AllocateArray<uint64_t>(1000);
+    span[0] = static_cast<uint64_t>(i);
+    span[999] = static_cast<uint64_t>(i);
+  }
+  EXPECT_GE(arena.bytes_allocated(), size_t{100} * 1000 * sizeof(uint64_t));
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
+  arena.Reset();
+  auto after = arena.AllocateArray<uint32_t>(10);
+  EXPECT_EQ(after.size(), 10u);
+}
+
+TEST(ArenaTest, ArenaVectorGrowsLikeAVector) {
+  Arena arena;
+  ArenaVector<uint32_t> values(&arena);
+  for (uint32_t i = 0; i < 10'000; ++i) values.push_back(i * 2);
+  ASSERT_EQ(values.size(), 10'000u);
+  std::span<const uint32_t> span = values.span();
+  for (uint32_t i = 0; i < span.size(); ++i) EXPECT_EQ(span[i], i * 2);
 }
 
 }  // namespace

@@ -132,7 +132,8 @@ TEST(TagStreamsTest, StreamsAreDocumentOrderedAndComplete) {
   TagStreams streams = TagStreams::Build(doc);
   uint64_t total = 0;
   for (xml::TagId tag = 0; tag < doc.num_tags(); ++tag) {
-    std::span<const NodeId> stream = streams.stream(tag);
+    std::vector<NodeId> stream = streams.Decode(tag);
+    EXPECT_EQ(stream.size(), streams.count(tag));
     total += stream.size();
     for (size_t i = 0; i < stream.size(); ++i) {
       EXPECT_EQ(doc.node(stream[i]).tag, tag);
@@ -152,8 +153,9 @@ TEST(TagStreamsTest, StreamsAreDocumentOrderedAndComplete) {
 TEST(TagStreamsTest, OutOfRangeTagIsEmpty) {
   Document doc = MustParse(kSample);
   TagStreams streams = TagStreams::Build(doc);
-  EXPECT_TRUE(streams.stream(xml::kInvalidTagId).empty());
-  EXPECT_TRUE(streams.stream(999).empty());
+  EXPECT_TRUE(streams.blocks(xml::kInvalidTagId).empty());
+  EXPECT_TRUE(streams.blocks(999).empty());
+  EXPECT_EQ(streams.count(999), 0u);
 }
 
 TEST(TagStreamsTest, PersistenceRoundTrip) {
@@ -167,9 +169,7 @@ TEST(TagStreamsTest, PersistenceRoundTrip) {
   ASSERT_TRUE(decoded.ok());
   ASSERT_EQ(decoded->num_tags(), streams.num_tags());
   for (xml::TagId tag = 0; tag < streams.num_tags(); ++tag) {
-    std::span<const NodeId> a = streams.stream(tag);
-    std::span<const NodeId> b = decoded->stream(tag);
-    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+    EXPECT_EQ(streams.Decode(tag), decoded->Decode(tag));
   }
 }
 
@@ -179,11 +179,12 @@ TEST(TermIndexTest, PostingsFindValueNodes) {
   Document doc = MustParse(kSample);
   TermIndex terms = TermIndex::Build(doc);
   // "lu" occurs in one author; "xml" in one title; "search" in two titles.
-  EXPECT_EQ(terms.Postings("lu").size(), 1u);
-  EXPECT_EQ(terms.Postings("xml").size(), 1u);
-  EXPECT_EQ(terms.Postings("search").size(), 2u);
-  EXPECT_TRUE(terms.Postings("absent").empty());
-  for (NodeId id : terms.Postings("search")) {
+  EXPECT_EQ(terms.DecodePostings("lu").size(), 1u);
+  EXPECT_EQ(terms.DecodePostings("xml").size(), 1u);
+  EXPECT_EQ(terms.DecodePostings("search").size(), 2u);
+  EXPECT_TRUE(terms.DecodePostings("absent").empty());
+  EXPECT_EQ(terms.PostingsFor("absent"), nullptr);
+  for (NodeId id : terms.DecodePostings("search")) {
     EXPECT_EQ(doc.TagName(id), "title");
   }
 }
@@ -200,8 +201,8 @@ TEST(TermIndexTest, TermsAreLowercasedTokens) {
 TEST(TermIndexTest, AttributesAreValueNodes) {
   Document doc = MustParse(kSample);
   TermIndex terms = TermIndex::Build(doc);
-  EXPECT_EQ(terms.Postings("a1").size(), 1u);
-  NodeId attr = terms.Postings("a1")[0];
+  ASSERT_EQ(terms.DecodePostings("a1").size(), 1u);
+  NodeId attr = terms.DecodePostings("a1")[0];
   EXPECT_EQ(doc.node(attr).kind, xml::NodeKind::kAttribute);
   EXPECT_EQ(doc.TagName(attr), "@key");
 }
@@ -212,7 +213,8 @@ TEST(TermIndexTest, FrequenciesAndIdfInputs) {
   EXPECT_EQ(terms.num_value_nodes(), 2u);
   EXPECT_EQ(terms.DocFrequency("x"), 2u);
   EXPECT_EQ(terms.CollectionFrequency("x"), 4u);
-  std::span<const NodeId> postings = terms.Postings("x");
+  std::vector<NodeId> postings = terms.DecodePostings("x");
+  ASSERT_EQ(postings.size(), 2u);
   EXPECT_EQ(terms.TermFrequencyIn("x", postings[0]), 3u);
   EXPECT_EQ(terms.TermFrequencyIn("x", postings[1]), 1u);
   EXPECT_EQ(terms.TermFrequencyIn("y", postings[1]), 0u);

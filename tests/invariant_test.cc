@@ -186,18 +186,21 @@ TEST(InvariantTest, LoadFromRejectsOutOfRangeStreamNode) {
   std::string image;
   Encoder encoder(&image);
   encoder.PutFixed32(0x4C545358);  // "LTSX"
-  encoder.PutFixed32(1);           // format version
+  encoder.PutFixed32(2);           // format version
   index::EncodeDocument(document, &encoder);
   indexed.dataguide().EncodeTo(&encoder);
   // Tag streams, with stream 0 smuggling a node id past the document.
+  // The blocks themselves are internally consistent (so PostingBlocks'
+  // own validation passes); only the cross-component audit against the
+  // document can catch the rogue id.
   encoder.PutVarint64(static_cast<uint64_t>(document.num_tags()));
   for (xml::TagId tag = 0; tag < document.num_tags(); ++tag) {
-    std::span<const xml::NodeId> stream = indexed.tag_streams().stream(tag);
+    std::vector<xml::NodeId> stream = indexed.tag_streams().Decode(tag);
     std::vector<uint32_t> ids(stream.begin(), stream.end());
     if (tag == 0) {
       ids.push_back(static_cast<uint32_t>(document.num_nodes()) + 100);
     }
-    encoder.PutSortedU32List(ids);
+    index::PostingBlocks::FromSorted(ids).EncodeTo(&encoder);
   }
   indexed.terms().EncodeTo(&encoder);
 

@@ -52,7 +52,7 @@ std::vector<NodeId> OracleSlca(const index::IndexedDocument& indexed,
     bool covers_all = true;
     for (const std::string& token : tokens) {
       bool found = false;
-      for (NodeId v : indexed.terms().Postings(token)) {
+      for (NodeId v : indexed.terms().DecodePostings(token)) {
         if (v == e || document.IsAncestor(e, v)) {
           found = true;
           break;

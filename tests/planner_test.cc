@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "datagen/datagen.h"
 #include "tests/test_util.h"
 #include "twig/evaluator.h"
 #include "twig/plan/physical_plan.h"
@@ -302,6 +303,44 @@ TEST_P(PlanEquivalenceTest, PlanExecutionMatchesEvaluate) {
               via_evaluate->stats.candidates_scanned)
         << text;
     EXPECT_EQ(via_plan->stats.matches, via_evaluate->stats.matches) << text;
+  }
+}
+
+TEST_P(PlanEquivalenceTest, CompressedMultiBlockCorpusMatchesOracle) {
+  // A generated corpus large enough that every frequent tag stream spans
+  // multiple posting blocks (>128 entries), so cursor seeks actually
+  // skip blocks: the sweep pins join x prune x reorder on the
+  // block-compressed index against the brute-force oracle.
+  index::IndexedDocument indexed(
+      datagen::GenerateDblpWithApproxNodes(41, 5000));
+  ASSERT_GT(
+      indexed.tag_streams().blocks(indexed.document().FindTag("author"))
+          .num_blocks(),
+      1u);
+  for (std::string_view text :
+       {"//article/author", "//article[year]/title",
+        "//inproceedings[author][title]/year", "//article[ordered][author][title]",
+        "//*[author]/title"}) {
+    TwigQuery query = Q(text);
+    if (GetParam() == Algorithm::kPathStack && !query.IsPath()) continue;
+    std::vector<Match> expected = BruteForceMatches(indexed, query);
+    for (bool prune : {false, true}) {
+      for (bool reorder : {false, true}) {
+        plan::PlannerHints hints;
+        hints.algorithm = GetParam();
+        hints.schema_prune_streams = prune;
+        hints.reorder_binary_joins = reorder;
+        auto plan = plan::Planner(indexed).Plan(query, hints);
+        ASSERT_TRUE(plan.ok()) << text;
+        auto result = plan::ExecutePlan(indexed, &*plan);
+        ASSERT_TRUE(result.ok()) << text << ": "
+                                 << result.status().ToString();
+        EXPECT_EQ(result->matches, expected)
+            << "query=" << text
+            << " algorithm=" << AlgorithmName(GetParam())
+            << " prune=" << prune << " reorder=" << reorder;
+      }
+    }
   }
 }
 

@@ -83,7 +83,7 @@ TEST(QueryFromExampleTest, AttributesWork) {
   auto indexed = MustIndex(kXml);
   xml::TagId key = indexed.document().FindTag("@key");
   ASSERT_NE(key, xml::kInvalidTagId);
-  xml::NodeId attr = indexed.tag_streams().stream(key)[0];
+  xml::NodeId attr = indexed.tag_streams().Decode(key)[0];
   auto query = QueryFromExample(indexed, attr);
   ASSERT_TRUE(query.ok());
   EXPECT_EQ(query->ToString(), R"(//dblp/article/@key![="a1"])");

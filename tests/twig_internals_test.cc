@@ -97,6 +97,21 @@ TEST(CandidatesTest, NodeSatisfiesAgreesWithCandidates) {
 
 // -------------------------------------------------------------- PathMerge
 
+/// Builds flat SolutionTables (stride = path length) from nested binding
+/// vectors so the fixtures stay readable.
+std::vector<SolutionTable> Tables(
+    const std::vector<std::vector<QueryNodeId>>& paths,
+    const std::vector<std::vector<std::vector<NodeId>>>& nested) {
+  std::vector<SolutionTable> tables(nested.size());
+  for (size_t p = 0; p < nested.size(); ++p) {
+    tables[p].stride = paths[p].size();
+    for (const std::vector<NodeId>& solution : nested[p]) {
+      tables[p].AppendRow(solution.data());
+    }
+  }
+  return tables;
+}
+
 TEST(PathMergeTest, SinglePathPassesThrough) {
   TwigQuery query = Q("//a/b");
   std::vector<std::vector<QueryNodeId>> paths = {{0, 1}};
@@ -104,7 +119,7 @@ TEST(PathMergeTest, SinglePathPassesThrough) {
       {{10, 11}, {20, 21}}};
   uint64_t tuples = 0;
   std::vector<Match> merged =
-      MergePathSolutions(query, paths, solutions, &tuples);
+      MergePathSolutions(query, paths, Tables(paths, solutions), &tuples);
   ASSERT_EQ(merged.size(), 2u);
   EXPECT_EQ(merged[0].bindings, (std::vector<NodeId>{10, 11}));
   EXPECT_EQ(tuples, 2u);
@@ -119,7 +134,7 @@ TEST(PathMergeTest, JoinsOnSharedPrefix) {
   };
   uint64_t tuples = 0;
   std::vector<Match> merged =
-      MergePathSolutions(query, paths, solutions, &tuples);
+      MergePathSolutions(query, paths, Tables(paths, solutions), &tuples);
   ASSERT_EQ(merged.size(), 2u);
   EXPECT_EQ(merged[0].bindings, (std::vector<NodeId>{10, 11, 12}));
   EXPECT_EQ(merged[1].bindings, (std::vector<NodeId>{10, 11, 13}));
@@ -132,7 +147,8 @@ TEST(PathMergeTest, EmptySolutionListKillsEverything) {
       {{10, 11}}, {}};
   uint64_t tuples = 0;
   EXPECT_TRUE(
-      MergePathSolutions(query, paths, solutions, &tuples).empty());
+      MergePathSolutions(query, paths, Tables(paths, solutions), &tuples)
+          .empty());
 }
 
 TEST(PathMergeTest, OrderPruningDropsViolatingPartials) {
@@ -153,9 +169,13 @@ TEST(PathMergeTest, OrderPruningDropsViolatingPartials) {
   options.prune_order = true;
   options.document = &document;
   EXPECT_TRUE(
-      MergePathSolutions(query, paths, solutions, &tuples, options).empty());
+      MergePathSolutions(query, paths, Tables(paths, solutions), &tuples,
+                         options)
+          .empty());
   // Without pruning the (invalid) tuple survives the merge.
-  EXPECT_EQ(MergePathSolutions(query, paths, solutions, &tuples).size(), 1u);
+  EXPECT_EQ(MergePathSolutions(query, paths, Tables(paths, solutions), &tuples)
+                .size(),
+            1u);
 }
 
 // ------------------------------------------------------------ OrderFilter
