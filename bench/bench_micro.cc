@@ -9,7 +9,9 @@
 #include "autocomplete/completion.h"
 #include "bench/bench_util.h"
 #include "common/metrics.h"
+#include "common/statement_store.h"
 #include "datagen/datagen.h"
+#include "lotusx/engine.h"
 #include "index/indexed_document.h"
 #include "keyword/keyword_search.h"
 #include "labeling/extended_dewey.h"
@@ -159,6 +161,51 @@ BENCHMARK(BM_TwigEvaluateMetricsOff)
     ->Arg(static_cast<int>(twig::Algorithm::kStructuralJoin))
     ->Arg(static_cast<int>(twig::Algorithm::kTwigStack))
     ->Arg(static_cast<int>(twig::Algorithm::kTJFast));
+
+const Engine& SharedEngine() {
+  static const Engine engine = [] {
+    datagen::DblpOptions options;
+    options.num_publications = bench::SmokeMode() ? 200 : 4000;
+    StatusOr<Engine> built =
+        Engine::FromXmlText(xml::WriteXml(datagen::GenerateDblp(options)));
+    CHECK(built.ok());
+    return std::move(*built);
+  }();
+  return engine;
+}
+
+// The statement-store overhead pin, mirroring the metrics twin above:
+// the full Engine::Search pipeline (parse + fingerprint + plan + join +
+// rank + statement Record) against the identical run with the
+// statements kill switch off. The fingerprint hash and one sharded
+// Record are all that differ — budget <2%, enforced by
+// tools/bench_compare.py against bench/baselines/.
+void BM_EngineSearch(benchmark::State& state) {
+  const Engine& engine = SharedEngine();
+  SearchOptions options;
+  options.rewrite_on_empty = false;
+  for (auto _ : state) {
+    auto result = engine.Search("//article[author]/title", options);
+    CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EngineSearch);
+
+void BM_EngineSearchStatementsOff(benchmark::State& state) {
+  const Engine& engine = SharedEngine();
+  SearchOptions options;
+  options.rewrite_on_empty = false;
+  const bool was_enabled = stmt::SetEnabled(false);
+  for (auto _ : state) {
+    auto result = engine.Search("//article[author]/title", options);
+    CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  stmt::SetEnabled(was_enabled);
+  state.SetLabel("statements-off");
+}
+BENCHMARK(BM_EngineSearchStatementsOff);
 
 void BM_SlcaSearch(benchmark::State& state) {
   const index::IndexedDocument& corpus = SharedCorpus();

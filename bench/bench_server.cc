@@ -8,11 +8,14 @@
 // backpressure, fan-out to the worker pool — not the query engine,
 // which has its own benches.
 //
-// Runs twice against fresh servers: once with the default observability
-// stack (metrics, per-command traces, slow-query detection) and once
-// with metrics::SetEnabled(false), so the JSON carries twin series —
-// "server_pipeline" and "server_pipeline_trace_off" — whose throughput
-// delta is the end-to-end cost of observability (budget: <2%).
+// Runs three ways against fresh servers: the default observability
+// stack (metrics, per-command traces, slow-query detection, statement
+// aggregation), with metrics::SetEnabled(false), and with only the
+// statement store disabled (stmt::SetEnabled(false)), so the JSON
+// carries twin series — "server_pipeline",
+// "server_pipeline_trace_off", and "server_pipeline_statements_off" —
+// whose throughput deltas isolate the end-to-end cost of observability
+// as a whole and of statement aggregation alone (budget: <2% each).
 //
 //   bench_server [--json out.json]
 //   LOTUSX_BENCH_SMOKE=1 bench_server     # tiny run for CI
@@ -35,6 +38,7 @@
 
 #include "bench/bench_util.h"
 #include "common/metrics.h"
+#include "common/statement_store.h"
 #include "common/timer.h"
 #include "net/server.h"
 #include "net/wire.h"
@@ -310,16 +314,20 @@ int Run(int argc, char** argv) {
   std::vector<double> samples;
   double qps_on = 0;
   double qps_off = 0;
+  double qps_stmt_off = 0;
 
   struct Variant {
     const char* label;
     const char* series;
     bool metrics_enabled;
+    bool statements_enabled;
     double* qps_out;
   };
   const Variant variants[] = {
-      {"observability on", "server_pipeline", true, &qps_on},
-      {"trace off", "server_pipeline_trace_off", false, &qps_off},
+      {"observability on", "server_pipeline", true, true, &qps_on},
+      {"trace off", "server_pipeline_trace_off", false, false, &qps_off},
+      {"statements off", "server_pipeline_statements_off", true, false,
+       &qps_stmt_off},
   };
   // Best-of-N with interleaved trials: one trial's throughput swings
   // ±10% from scheduler and page-cache interference at 1024
@@ -341,9 +349,11 @@ int Run(int argc, char** argv) {
                   variant.label);
       std::vector<double> trial_samples;
       metrics::SetEnabled(variant.metrics_enabled);
+      stmt::SetEnabled(variant.statements_enabled);
       double trial_wall = RunOnce(indexed, connections, commands_per_conn,
                                   window, &trial_samples);
       metrics::SetEnabled(true);
+      stmt::SetEnabled(true);
       std::printf("  wall time %.2fs, %.0f commands/s\n", trial_wall,
                   static_cast<double>(trial_samples.size()) / trial_wall);
       if (best_wall[v] == 0 || trial_wall < best_wall[v]) {
@@ -371,7 +381,8 @@ int Run(int argc, char** argv) {
 
     BenchJson::Instance().Record(
         variant.series,
-        base_params + " metrics=" + (variant.metrics_enabled ? "on" : "off"),
+        base_params + " metrics=" + (variant.metrics_enabled ? "on" : "off") +
+            " statements=" + (variant.statements_enabled ? "on" : "off"),
         samples);
     table.AddRow({variant.label, std::to_string(samples.size()),
                   Fmt(pct(0.50)), Fmt(pct(0.95)), Fmt(pct(0.99)), Fmt(mean),
@@ -387,6 +398,11 @@ int Run(int argc, char** argv) {
   std::printf("observability overhead: %.2f%% cmd/s "
               "(on %.0f vs off %.0f; budget <2%%)\n",
               overhead_pct, qps_on, qps_off);
+  const double stmt_overhead_pct =
+      (qps_stmt_off - qps_on) / qps_stmt_off * 100.0;
+  std::printf("statement-store overhead: %.2f%% cmd/s "
+              "(on %.0f vs statements-off %.0f; budget <2%%)\n",
+              stmt_overhead_pct, qps_on, qps_stmt_off);
 
   return WriteJsonIfRequested(argc, argv);
 }

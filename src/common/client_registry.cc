@@ -35,6 +35,15 @@ void ClientRegistry::Handle::SetLastVerb(std::string_view verb) {
   last_verb_ = verb;
 }
 
+void ClientRegistry::Handle::RecordCommand() {
+  commands_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ClientRegistry::Handle::SetLastFingerprint(uint64_t fingerprint) {
+  if (fingerprint == 0) return;
+  last_fingerprint_.store(fingerprint, std::memory_order_relaxed);
+}
+
 ClientRegistry& ClientRegistry::Default() {
   // Leaked: handles may outlive main() in detached shutdown paths.
   static ClientRegistry* registry = new ClientRegistry();
@@ -76,6 +85,9 @@ std::vector<ClientInfo> ClientRegistry::Snapshot() const {
     info.pipelined = handle->pipelined_.load(std::memory_order_relaxed);
     info.bytes_in = handle->bytes_in_.load(std::memory_order_relaxed);
     info.bytes_out = handle->bytes_out_.load(std::memory_order_relaxed);
+    info.commands = handle->commands_.load(std::memory_order_relaxed);
+    info.last_fingerprint =
+        handle->last_fingerprint_.load(std::memory_order_relaxed);
     {
       MutexLock verb_lock(handle->mu_);
       info.last_verb = handle->last_verb_;
@@ -106,8 +118,14 @@ std::string RenderClientsText(const std::vector<ClientInfo>& clients) {
     out += " pipelined=" + std::to_string(client.pipelined);
     out += " bytes_in=" + std::to_string(client.bytes_in);
     out += " bytes_out=" + std::to_string(client.bytes_out);
+    out += " commands=" + std::to_string(client.commands);
     out += " last_verb=";
     out += client.last_verb.empty() ? "-" : client.last_verb;
+    if (client.last_fingerprint != 0) {
+      std::snprintf(buffer, sizeof(buffer), " fingerprint=0x%016llx",
+                    static_cast<unsigned long long>(client.last_fingerprint));
+      out += buffer;
+    }
   }
   return out;
 }

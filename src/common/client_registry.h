@@ -25,6 +25,10 @@ struct ClientInfo {
   uint64_t pipelined = 0;    // commands queued behind the in-flight one
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
+  uint64_t commands = 0;     // commands executed over the connection
+  /// Statement fingerprint of the most recent command that ran a search
+  /// (0 until one does) — joins the client to its STATEMENTS row.
+  uint64_t last_fingerprint = 0;
   std::string last_verb;     // most recent command verb, uppercased
 };
 
@@ -48,6 +52,12 @@ class ClientRegistry {
     void SetPipelined(uint64_t depth);
     void SetInFlight(bool in_flight);
     void SetLastVerb(std::string_view verb) LOTUSX_EXCLUDES(mu_);
+    /// Bumped once per executed command (the cumulative count CLIENTS
+    /// shows, unlike `pipelined`, which is instantaneous queue depth).
+    void RecordCommand();
+    /// Remembers the fingerprint of the last search-running command;
+    /// 0 values are ignored so non-search commands do not erase it.
+    void SetLastFingerprint(uint64_t fingerprint);
 
    private:
     friend class ClientRegistry;
@@ -63,6 +73,8 @@ class ClientRegistry {
     std::atomic<uint64_t> bytes_out_{0};
     std::atomic<uint64_t> pipelined_{0};
     std::atomic<bool> in_flight_{false};
+    std::atomic<uint64_t> commands_{0};
+    std::atomic<uint64_t> last_fingerprint_{0};
     mutable Mutex mu_;
     std::string last_verb_ LOTUSX_GUARDED_BY(mu_);
   };

@@ -70,4 +70,6 @@ std::string_view BuildVersion() { return kVersion; }
 
 std::string_view BuildGitSha() { return kGitSha; }
 
+double ProcessUptimeSeconds() { return g_process_start.ElapsedSeconds(); }
+
 }  // namespace lotusx::metrics

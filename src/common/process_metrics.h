@@ -23,6 +23,11 @@ void UpdateProcessMetrics();
 std::string_view BuildVersion();
 std::string_view BuildGitSha();
 
+/// Seconds since lotusx_common was loaded (the same clock the
+/// lotusx_process_uptime_seconds gauge reports). Works even when
+/// metrics are disabled, so /healthz can always report uptime.
+double ProcessUptimeSeconds();
+
 }  // namespace lotusx::metrics
 
 #endif  // LOTUSX_COMMON_PROCESS_METRICS_H_

@@ -1,0 +1,301 @@
+#include "common/statement_store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+
+namespace lotusx::stmt {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+std::string FormatFixed(double value, int digits = 3) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string FormatHex(uint64_t fingerprint) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buffer;
+}
+
+void AppendJsonEscaped(std::string* out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          *out += buffer;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+bool SetEnabled(bool enabled) {
+  return g_enabled.exchange(enabled, std::memory_order_relaxed);
+}
+
+StatementStore::StatementStore(size_t capacity, metrics::Registry* registry) {
+  if (capacity == 0) capacity = 1;
+  per_shard_capacity_ = (capacity + kNumShards - 1) / kNumShards;
+  shards_.reserve(kNumShards);
+  for (size_t i = 0; i < kNumShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (registry != nullptr) {
+    evicted_total_ = registry->GetCounter("lotusx_evicted_statements_total");
+  }
+}
+
+StatementStore& StatementStore::Default() {
+  // Leaked so shutdown-order races with in-flight Record() calls cannot
+  // touch a destroyed store (same lifetime policy as metrics::Registry).
+  static StatementStore* store =
+      new StatementStore(kDefaultCapacity, &metrics::Registry::Default());
+  return *store;
+}
+
+void StatementStore::Record(const ExecutionRecord& record) {
+  if (record.fingerprint == 0) return;
+  Shard& shard = ShardFor(record.fingerprint);
+  uint64_t evicted = 0;
+  {
+    MutexLock lock(shard.mu);
+    auto it = shard.entries.find(record.fingerprint);
+    if (it == shard.entries.end()) {
+      auto entry = std::make_unique<Entry>();
+      entry->query_text = std::string(record.query_text);
+      shard.order.push_front(record.fingerprint);
+      entry->lru = shard.order.begin();
+      it = shard.entries.emplace(record.fingerprint, std::move(entry)).first;
+      if (shard.entries.size() > per_shard_capacity_) {
+        const uint64_t coldest = shard.order.back();
+        shard.order.pop_back();
+        shard.entries.erase(coldest);
+        ++shard.evictions;
+        ++evicted;
+      }
+    } else {
+      shard.order.splice(shard.order.begin(), shard.order, it->second->lru);
+    }
+    Entry& entry = *it->second;
+    ++entry.calls;
+    if (record.error) ++entry.errors;
+    if (record.cache_hit) ++entry.cache_hits;
+    entry.rows += record.rows;
+    entry.blocks_decoded += record.blocks_decoded;
+    entry.blocks_skipped += record.blocks_skipped;
+    entry.bytes_decoded += record.bytes_decoded;
+    entry.total_usec += record.latency_usec;
+    entry.latency.Observe(record.latency_usec);
+    if (!record.algorithm.empty()) {
+      PlanChoiceStat* plan = nullptr;
+      for (PlanChoiceStat& candidate : entry.plans) {
+        if (candidate.algorithm == record.algorithm) {
+          plan = &candidate;
+          break;
+        }
+      }
+      if (plan == nullptr) {
+        entry.plans.push_back(PlanChoiceStat{std::string(record.algorithm)});
+        plan = &entry.plans.back();
+      }
+      ++plan->calls;
+      if (record.estimated_rows >= 0) {
+        ++plan->estimated;
+        const double actual = static_cast<double>(record.actual_rows);
+        plan->abs_row_error_sum +=
+            std::abs(record.estimated_rows - actual) / std::max(actual, 1.0);
+      }
+    }
+  }
+  if (evicted > 0 && evicted_total_ != nullptr) {
+    evicted_total_->Increment(evicted);
+  }
+}
+
+StatementSnapshot StatementStore::SnapshotEntry(uint64_t fingerprint,
+                                                const Entry& entry) const {
+  StatementSnapshot snapshot;
+  snapshot.fingerprint = fingerprint;
+  snapshot.query_text = entry.query_text;
+  snapshot.calls = entry.calls;
+  snapshot.errors = entry.errors;
+  snapshot.rows = entry.rows;
+  snapshot.cache_hits = entry.cache_hits;
+  snapshot.blocks_decoded = entry.blocks_decoded;
+  snapshot.blocks_skipped = entry.blocks_skipped;
+  snapshot.bytes_decoded = entry.bytes_decoded;
+  snapshot.total_usec = entry.total_usec;
+  snapshot.latency_usec = entry.latency.Snapshot();
+  snapshot.plans = entry.plans;
+  std::sort(snapshot.plans.begin(), snapshot.plans.end(),
+            [](const PlanChoiceStat& a, const PlanChoiceStat& b) {
+              return a.calls > b.calls;
+            });
+  return snapshot;
+}
+
+std::vector<StatementSnapshot> StatementStore::Top(size_t n) const {
+  std::vector<StatementSnapshot> all;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    all.reserve(all.size() + shard->entries.size());
+    for (const auto& [fingerprint, entry] : shard->entries) {
+      all.push_back(SnapshotEntry(fingerprint, *entry));
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const StatementSnapshot& a, const StatementSnapshot& b) {
+              if (a.total_usec != b.total_usec) {
+                return a.total_usec > b.total_usec;
+              }
+              return a.fingerprint < b.fingerprint;  // deterministic ties
+            });
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
+std::optional<StatementSnapshot> StatementStore::Find(
+    uint64_t fingerprint) const {
+  if (fingerprint == 0) return std::nullopt;
+  Shard& shard = ShardFor(fingerprint);
+  MutexLock lock(shard.mu);
+  auto it = shard.entries.find(fingerprint);
+  if (it == shard.entries.end()) return std::nullopt;
+  return SnapshotEntry(fingerprint, *it->second);
+}
+
+void StatementStore::Reset() {
+  for (auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    shard->entries.clear();
+    shard->order.clear();
+  }
+}
+
+size_t StatementStore::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+uint64_t StatementStore::evictions() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    total += shard->evictions;
+  }
+  return total;
+}
+
+size_t StatementStore::capacity() const {
+  return kNumShards * per_shard_capacity_;
+}
+
+std::string RenderStatementsText(
+    const std::vector<StatementSnapshot>& stmts) {
+  if (stmts.empty()) return "(empty)";
+  std::string out;
+  for (const StatementSnapshot& s : stmts) {
+    if (!out.empty()) out += '\n';
+    out += "fingerprint=" + FormatHex(s.fingerprint);
+    out += " calls=" + std::to_string(s.calls);
+    out += " errors=" + std::to_string(s.errors);
+    out += " total_ms=" + FormatFixed(s.total_usec / 1000.0);
+    out += " p50_us=" + FormatFixed(s.latency_usec.Quantile(0.5), 1);
+    out += " p99_us=" + FormatFixed(s.latency_usec.Quantile(0.99), 1);
+    out += " rows=" + std::to_string(s.rows);
+    out += " cache_hits=" + std::to_string(s.cache_hits);
+    out += " blocks_decoded=" + std::to_string(s.blocks_decoded);
+    out += " blocks_skipped=" + std::to_string(s.blocks_skipped);
+    out += " bytes_decoded=" + std::to_string(s.bytes_decoded);
+    out += " plans=";
+    if (s.plans.empty()) out += "(none)";
+    bool first = true;
+    for (const PlanChoiceStat& plan : s.plans) {
+      if (!first) out += ',';
+      first = false;
+      out += plan.algorithm + ":" + std::to_string(plan.calls);
+      if (plan.estimated > 0) {
+        out += "(err=" + FormatFixed(plan.MeanRowError(), 2) + ")";
+      }
+    }
+    out += " query=\"" + s.query_text + "\"";
+  }
+  return out;
+}
+
+std::string RenderStatementsJson(
+    const std::vector<StatementSnapshot>& stmts) {
+  std::string out = "{\"statements\":[";
+  bool first_stmt = true;
+  for (const StatementSnapshot& s : stmts) {
+    if (!first_stmt) out += ',';
+    first_stmt = false;
+    out += "{\"fingerprint\":\"" + FormatHex(s.fingerprint) + "\"";
+    out += ",\"query\":\"";
+    AppendJsonEscaped(&out, s.query_text);
+    out += "\",\"calls\":" + std::to_string(s.calls);
+    out += ",\"errors\":" + std::to_string(s.errors);
+    out += ",\"rows\":" + std::to_string(s.rows);
+    out += ",\"cache_hits\":" + std::to_string(s.cache_hits);
+    out += ",\"blocks_decoded\":" + std::to_string(s.blocks_decoded);
+    out += ",\"blocks_skipped\":" + std::to_string(s.blocks_skipped);
+    out += ",\"bytes_decoded\":" + std::to_string(s.bytes_decoded);
+    out += ",\"total_ms\":" + FormatFixed(s.total_usec / 1000.0);
+    out += ",\"latency_usec\":{";
+    out += "\"p50\":" + FormatFixed(s.latency_usec.Quantile(0.5), 1);
+    out += ",\"p95\":" + FormatFixed(s.latency_usec.Quantile(0.95), 1);
+    out += ",\"p99\":" + FormatFixed(s.latency_usec.Quantile(0.99), 1);
+    out += ",\"mean\":" + FormatFixed(s.latency_usec.Mean(), 1);
+    out += "}";
+    out += ",\"plans\":[";
+    bool first_plan = true;
+    for (const PlanChoiceStat& plan : s.plans) {
+      if (!first_plan) out += ',';
+      first_plan = false;
+      out += "{\"algorithm\":\"";
+      AppendJsonEscaped(&out, plan.algorithm);
+      out += "\",\"calls\":" + std::to_string(plan.calls);
+      out += ",\"mean_row_error\":" + FormatFixed(plan.MeanRowError(), 3);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace lotusx::stmt

@@ -1,0 +1,183 @@
+#ifndef LOTUSX_COMMON_STATEMENT_STORE_H_
+#define LOTUSX_COMMON_STATEMENT_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/sync.h"
+
+namespace lotusx::stmt {
+
+/// pg_stat_statements for twig queries: a bounded, sharded aggregate
+/// store keyed by query fingerprint (twig/fingerprint.h). Each entry
+/// accumulates everything needed to answer "which query *shapes*
+/// dominate this server" — calls, errors, rows, latency distribution,
+/// result-cache behavior, posting-block I/O, and the planner's
+/// per-shape algorithm choices with their estimated-vs-actual row
+/// error. Fed by Engine::Search; drained by the STATEMENTS protocol
+/// verb and /statements.json.
+///
+/// The store lives in common/ below the twig layer, so it speaks raw
+/// fingerprints and caller-supplied strings — it has no idea what a
+/// TwigQuery is. Engine bridges the two.
+
+/// Kill switch for the *recording call sites*, independent of (and
+/// checked in addition to) metrics::Enabled(): the overhead bench
+/// twin prices the pipeline with statements off while metrics stay
+/// on. Defaults to enabled; returns the previous value.
+bool Enabled();
+bool SetEnabled(bool enabled);
+
+/// One finished execution of a fingerprinted query, as reported by the
+/// engine. All byte/block counters are per-execution deltas.
+struct ExecutionRecord {
+  uint64_t fingerprint = 0;
+  /// Normalized query text (literals replaced by `?`); stored on the
+  /// shape's first sighting, ignored afterwards.
+  std::string_view query_text;
+  /// Join algorithm the planner picked (empty for cache hits / errors —
+  /// no plan ran).
+  std::string_view algorithm;
+  bool error = false;
+  bool cache_hit = false;
+  double latency_usec = 0;
+  uint64_t rows = 0;
+  uint64_t blocks_decoded = 0;
+  uint64_t blocks_skipped = 0;
+  uint64_t bytes_decoded = 0;
+  /// Planner's match-cardinality estimate; negative when no estimate
+  /// exists for this execution (cache hit, error before planning).
+  double estimated_rows = -1;
+  uint64_t actual_rows = 0;
+};
+
+/// Per-shape distribution of planner choices: how often each join
+/// algorithm was picked and how far its row estimates were off
+/// (mean over |estimate - actual| / max(actual, 1), executions that
+/// carried an estimate only).
+struct PlanChoiceStat {
+  std::string algorithm;
+  uint64_t calls = 0;
+  uint64_t estimated = 0;       // executions contributing to the error
+  double abs_row_error_sum = 0;  // sum of relative absolute errors
+
+  double MeanRowError() const {
+    return estimated == 0 ? 0 : abs_row_error_sum / static_cast<double>(estimated);
+  }
+};
+
+/// Point-in-time copy of one statement entry.
+struct StatementSnapshot {
+  uint64_t fingerprint = 0;
+  std::string query_text;
+  uint64_t calls = 0;
+  uint64_t errors = 0;
+  uint64_t rows = 0;
+  uint64_t cache_hits = 0;
+  uint64_t blocks_decoded = 0;
+  uint64_t blocks_skipped = 0;
+  uint64_t bytes_decoded = 0;
+  double total_usec = 0;
+  metrics::HistogramSnapshot latency_usec;
+  /// Sorted by calls descending.
+  std::vector<PlanChoiceStat> plans;
+};
+
+/// The store proper. Sharded by fingerprint: Record() takes exactly one
+/// shard mutex for a map probe plus a dozen integer adds, keeping it
+/// inside the same <2% overhead budget as the metrics registry. Each
+/// shard evicts its least-recently-*executed* shape beyond capacity
+/// (cold shapes age out; the hot set that dominates load stays), and
+/// every eviction bumps `lotusx_evicted_statements_total`.
+class StatementStore {
+ public:
+  static constexpr size_t kDefaultCapacity = 512;
+  static constexpr size_t kNumShards = 8;
+
+  explicit StatementStore(size_t capacity = kDefaultCapacity,
+                          metrics::Registry* registry = nullptr);
+
+  /// Process-wide instance (never destroyed), wired to the default
+  /// metrics registry.
+  static StatementStore& Default();
+
+  /// Aggregates one execution. No-op when the kill switch is off is the
+  /// *caller's* job (check stmt::Enabled() before building the record);
+  /// Record itself always records.
+  void Record(const ExecutionRecord& record);
+
+  /// Top `n` statements by total execution time, descending — the
+  /// pg_stat_statements default ordering, because "slow and frequent"
+  /// is the workload view that pays for optimizer attention.
+  std::vector<StatementSnapshot> Top(size_t n) const;
+
+  /// Snapshot of one shape, if tracked.
+  std::optional<StatementSnapshot> Find(uint64_t fingerprint) const;
+
+  /// Drops every entry (eviction counters and the registry total are
+  /// cumulative and survive).
+  void Reset();
+
+  /// Tracked shapes right now; approximate under concurrent writers
+  /// (shards are sampled one at a time).
+  size_t size() const;
+  /// Shapes evicted over the store's lifetime.
+  uint64_t evictions() const;
+  /// Effective capacity: kNumShards * ceil(capacity / kNumShards).
+  size_t capacity() const;
+
+ private:
+  struct Entry {
+    std::string query_text;
+    uint64_t calls = 0;
+    uint64_t errors = 0;
+    uint64_t rows = 0;
+    uint64_t cache_hits = 0;
+    uint64_t blocks_decoded = 0;
+    uint64_t blocks_skipped = 0;
+    uint64_t bytes_decoded = 0;
+    double total_usec = 0;
+    metrics::Histogram latency{metrics::Histogram::LatencyBucketsUsec()};
+    std::vector<PlanChoiceStat> plans;  // tiny closed set of algorithms
+    std::list<uint64_t>::iterator lru;  // position in the shard's LRU list
+  };
+
+  struct Shard {
+    mutable Mutex mu;
+    std::unordered_map<uint64_t, std::unique_ptr<Entry>> entries
+        LOTUSX_GUARDED_BY(mu);
+    /// Most recently executed fingerprint at the front.
+    std::list<uint64_t> order LOTUSX_GUARDED_BY(mu);
+    uint64_t evictions LOTUSX_GUARDED_BY(mu) = 0;
+  };
+
+  StatementSnapshot SnapshotEntry(uint64_t fingerprint,
+                                  const Entry& entry) const;
+  Shard& ShardFor(uint64_t fingerprint) const {
+    // Fingerprints are splitmix-finalized, so low bits are already
+    // well mixed.
+    return *shards_[fingerprint % kNumShards];
+  }
+
+  size_t per_shard_capacity_;
+  // unique_ptr: a Shard owns a Mutex and must never relocate.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  metrics::Counter* evicted_total_ = nullptr;  // may be null (tests)
+};
+
+/// Renderers shared by the STATEMENTS verb and /statements.json.
+/// Text is one aligned row per statement; JSON is a stable
+/// machine-readable object with per-statement quantiles.
+std::string RenderStatementsText(const std::vector<StatementSnapshot>& stmts);
+std::string RenderStatementsJson(const std::vector<StatementSnapshot>& stmts);
+
+}  // namespace lotusx::stmt
+
+#endif  // LOTUSX_COMMON_STATEMENT_STORE_H_

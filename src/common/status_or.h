@@ -47,6 +47,10 @@ class StatusOr {
 
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
+  // Without this overload, `*std::move(status_or)` binds the const&
+  // accessor and silently deep-copies T — a sampling profile of the
+  // serving path caught exactly that on the Search result.
+  T&& operator*() && { return std::move(*this).value(); }
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 

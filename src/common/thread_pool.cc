@@ -1,8 +1,10 @@
 #include "common/thread_pool.h"
 
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/profiler.h"
 
 namespace lotusx {
 
@@ -17,7 +19,13 @@ ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
   task_run_usec_ = registry.GetHistogram("lotusx_threadpool_task_run_usec");
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      // Wall-mode profiles sample registered threads only; naming the
+      // workers makes pool time attributable in collapsed stacks.
+      prof::ScopedThreadRegistration registration("worker-" +
+                                                  std::to_string(i));
+      WorkerLoop();
+    });
   }
 }
 

@@ -276,6 +276,7 @@ QueryTrace::~QueryTrace() {
     if (slow) {
       SlowQueryEntry entry;
       entry.trace_id = trace_id_;
+      entry.fingerprint = fingerprint_.load(std::memory_order_relaxed);
       entry.wall_start_us = wall_start_us_;
       entry.component = component_;
       entry.query = query;

@@ -137,6 +137,17 @@ class QueryTrace {
 
   /// The request ID shared by every trace in this tree (never 0).
   uint64_t trace_id() const { return trace_id_; }
+  /// Query fingerprint of the statement this request executed (0 until
+  /// the engine computes one). Stored on the root so the connection
+  /// layer can join a command back to its statement-store row, and so
+  /// the SLOWLOG entry carries it. Relaxed atomic: set once by the
+  /// engine, read by the destructor and the connection layer.
+  void set_fingerprint(uint64_t fingerprint) {
+    root_->fingerprint_.store(fingerprint, std::memory_order_relaxed);
+  }
+  uint64_t fingerprint() const {
+    return root_->fingerprint_.load(std::memory_order_relaxed);
+  }
   /// Whether the deterministic sampler retains this request's spans.
   bool sampled() const { return sampled_; }
   /// This request's root trace (`this` for the outermost).
@@ -194,6 +205,8 @@ class QueryTrace {
   /// owning thread on every request, so the breakdown is relaxed
   /// atomics rather than locked state.
   std::atomic<double> stage_ms_[kNumStages] = {};
+  /// See set_fingerprint(); meaningful on the root only.
+  std::atomic<uint64_t> fingerprint_{0};
 
   /// Strings and the span tree are touched rarely (query/detail once
   /// per request, spans only when sampled), so they stay locked. The

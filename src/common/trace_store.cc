@@ -167,6 +167,9 @@ std::string RenderSlowLogText(const std::vector<SlowQueryEntry>& entries) {
     if (!out.empty()) out += '\n';
     out += "id=" + std::to_string(entry.id);
     out += " trace=" + FormatTraceId(entry.trace_id);
+    if (entry.fingerprint != 0) {
+      out += " fingerprint=" + FormatTraceId(entry.fingerprint);
+    }
     out += " time=" + FormatWallTime(entry.wall_start_us);
     out += " total_ms=" + FormatFixed(entry.total_ms);
     out += " source=" + entry.component;
@@ -186,6 +189,7 @@ std::string RenderSlowLogJson(const std::vector<SlowQueryEntry>& entries) {
     first_entry = false;
     out += "{\"id\":" + std::to_string(entry.id);
     out += ",\"trace_id\":\"" + FormatTraceId(entry.trace_id) + "\"";
+    out += ",\"fingerprint\":\"" + FormatTraceId(entry.fingerprint) + "\"";
     out += ",\"time\":\"" + FormatWallTime(entry.wall_start_us) + "\"";
     out += ",\"unix_us\":" + std::to_string(entry.wall_start_us);
     out += ",\"total_ms\":" + FormatFixed(entry.total_ms);

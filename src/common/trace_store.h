@@ -25,6 +25,10 @@ namespace lotusx::trace {
 struct SlowQueryEntry {
   uint64_t id = 0;  // monotonically increasing, assigned by the ring
   uint64_t trace_id = 0;
+  /// Statement fingerprint (twig/fingerprint.h) of the query this
+  /// request executed; 0 when no fingerprinted search ran. Joins a slow
+  /// query back to its STATEMENTS row.
+  uint64_t fingerprint = 0;
   int64_t wall_start_us = 0;  // unix µs when the request started
   std::string component;
   std::string query;

@@ -6,8 +6,10 @@
 #include <optional>
 #include <utility>
 
+#include "common/statement_store.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "twig/fingerprint.h"
 #include "twig/plan/physical_plan.h"
 #include "twig/query_parser.h"
 #include "xml/dom_builder.h"
@@ -167,6 +169,44 @@ StatusOr<SearchResult> Engine::Search(const twig::TwigQuery& query,
   }
   GetSearchCounters().searches->Increment();
 
+  // Statement-store feed: fingerprint the shape up front (also stamped
+  // on the trace root, so SLOWLOG/CLIENTS can join back to the row),
+  // record exactly once at whichever exit this Search takes. Both the
+  // metrics kill switch and the statements kill switch gate the cost.
+  const bool record_statement = instrument && stmt::Enabled();
+  uint64_t fingerprint = 0;
+  std::string normalized_query;
+  Timer statement_timer;
+  if (record_statement) {
+    fingerprint = twig::FingerprintQuery(query, options.eval).value;
+    normalized_query = twig::NormalizedQueryText(query);
+    query_trace->set_fingerprint(fingerprint);
+  }
+  const auto record_execution = [&](bool error, bool cache_hit,
+                                    const twig::EvalStats* stats,
+                                    uint64_t rows) {
+    if (!record_statement) return;
+    stmt::ExecutionRecord record;
+    record.fingerprint = fingerprint;
+    record.query_text = normalized_query;
+    record.error = error;
+    record.cache_hit = cache_hit;
+    record.latency_usec = statement_timer.ElapsedMicros();
+    record.rows = rows;
+    if (stats != nullptr && !cache_hit) {
+      // A cached result replays the original execution's stats; the
+      // blocks were decoded once, so only the live execution's I/O and
+      // plan choice aggregate.
+      record.algorithm = stats->algorithm;
+      record.blocks_decoded = stats->posting_blocks_decoded;
+      record.blocks_skipped = stats->posting_blocks_skipped;
+      record.bytes_decoded = stats->posting_bytes_decoded;
+      record.estimated_rows = stats->estimated_matches;
+      record.actual_rows = stats->matches;
+    }
+    stmt::StatementStore::Default().Record(record);
+  };
+
   std::string cache_key;
   if (cache_ != nullptr) {
     cache_key = SearchCacheKey(query, options);
@@ -175,6 +215,7 @@ StatusOr<SearchResult> Engine::Search(const twig::TwigQuery& query,
         query_trace->set_detail("cache-hit");
         GetSearchCounters().results->Increment(cached->results.size());
       }
+      record_execution(false, true, nullptr, cached->results.size());
       return *std::move(cached);
     }
   }
@@ -182,6 +223,7 @@ StatusOr<SearchResult> Engine::Search(const twig::TwigQuery& query,
       twig::Evaluate(*indexed_, query, options.eval);
   if (!evaluated.ok()) {
     GetSearchCounters().errors->Increment();
+    record_execution(true, false, nullptr, 0);
     return evaluated.status();
   }
   twig::QueryResult result = *std::move(evaluated);
@@ -209,6 +251,7 @@ StatusOr<SearchResult> Engine::Search(const twig::TwigQuery& query,
     query_trace->set_detail(search.stats.algorithm);
     GetSearchCounters().results->Increment(search.results.size());
   }
+  record_execution(false, false, &search.stats, search.results.size());
   if (cache_ != nullptr) cache_->Insert(cache_key, search);
   return search;
 }

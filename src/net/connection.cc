@@ -68,7 +68,7 @@ std::string ExtractVerb(std::string_view command) {
       "EXPLAIN", "XPATH",   "XQUERY",     "SVG",        "SAVECANVAS",
       "LOADCANVAS", "HISTORY", "EXAMPLE", "PARSE",      "CHECKPOINT",
       "UNDO",    "SHOW",    "RESET",      "HELP",       "SLOWLOG",
-      "TRACE",   "CLIENTS"};
+      "TRACE",   "CLIENTS", "STATEMENTS", "PROFILE"};
   size_t start = 0;
   while (start < command.size() &&
          (command[start] == ' ' || command[start] == '\t')) {
@@ -225,6 +225,7 @@ void Connection::ExecuteBatch() {
     }
     const std::string verb = ExtractVerb(command);
     client_->SetLastVerb(verb);
+    client_->RecordCommand();
     Timer timer;
     StatusOr<std::string> result;
     {
@@ -240,6 +241,12 @@ void Connection::ExecuteBatch() {
         trace->set_query_view(command);  // `command` outlives the scope
       }
       result = interpreter_.Execute(command);
+      // The session stamps the statement fingerprint on the trace root
+      // when the command ran a search; read it back before the root
+      // dies so CLIENTS can join this client to its STATEMENTS row.
+      if (trace.has_value()) {
+        client_->SetLastFingerprint(trace->fingerprint());
+      }
     }
     VerbLatency(verb)->Observe(timer.ElapsedMicros());
     CommandsCounter()->Increment();

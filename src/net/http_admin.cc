@@ -158,10 +158,16 @@ bool HttpConnectionState::DispatchOne(size_t header_end,
     keep_alive = false;
   }
 
+  // Split the target at the first '?': handlers match on the bare
+  // path and parse the (undecoded) query string when they want it.
+  std::string_view query_string;
   const size_t query = target.find('?');
-  if (query != std::string_view::npos) target = target.substr(0, query);
+  if (query != std::string_view::npos) {
+    query_string = target.substr(query + 1);
+    target = target.substr(0, query);
+  }
 
-  const HttpResponse response = handler(target);
+  const HttpResponse response = handler(target, query_string);
   *out += EncodeHttpResponse(response, /*head_only=*/method == "HEAD",
                              keep_alive);
   return keep_alive;

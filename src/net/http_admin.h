@@ -29,8 +29,12 @@ std::string_view HttpStatusText(int status);
 std::string EncodeHttpResponse(const HttpResponse& response, bool head_only,
                                bool keep_alive);
 
-/// Maps a request path (query string already stripped) to a response.
-using HttpHandler = std::function<HttpResponse(std::string_view path)>;
+/// Maps a request to a response. `path` has the query string already
+/// split off; `query` is everything after the first '?' (empty when
+/// the target had none), undecoded — handlers that take parameters
+/// (e.g. /profilez?seconds=2) parse it themselves.
+using HttpHandler =
+    std::function<HttpResponse(std::string_view path, std::string_view query)>;
 
 /// Incremental per-connection request parser. Feed() consumes raw
 /// socket bytes, dispatches every complete request to `handler`, and

@@ -8,9 +8,13 @@
 #include <algorithm>
 #include <array>
 #include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "common/process_metrics.h"
+#include "common/profiler.h"
+#include "common/statement_store.h"
 #include "common/trace_store.h"
 #include "net/wire.h"
 
@@ -139,6 +143,10 @@ void Server::NotifyDirty(std::shared_ptr<Connection> conn) {
 }
 
 void Server::EventLoop() {
+  // Wall-mode profiles want the loop thread too: time blocked in
+  // epoll_wait is exactly what distinguishes an idle server from one
+  // stuck flushing a slow client.
+  prof::ScopedThreadRegistration profiler_registration("event-loop");
   std::array<epoll_event, 64> events;
   for (;;) {
     int n = ::epoll_wait(epoll_fd_, events.data(),
@@ -352,7 +360,9 @@ void Server::HandleAdminEvent(int fd, uint32_t events) {
       if (n > 0) {
         const bool keep = conn.state.Feed(
             std::string_view(buf, static_cast<size_t>(n)),
-            [this](std::string_view path) { return HandleAdminRequest(path); },
+            [this](std::string_view path, std::string_view query) {
+              return HandleAdminRequest(path, query);
+            },
             &conn.outbox);
         if (!keep) conn.close_after_flush = true;
         continue;
@@ -418,7 +428,79 @@ void Server::CloseAdminConnection(int fd) {
   admin_connections_.erase(it);
 }
 
-HttpResponse Server::HandleAdminRequest(std::string_view path) {
+namespace {
+
+/// Value of `key` in an undecoded query string ("a=1&b=2"), or "".
+std::string_view QueryParam(std::string_view query, std::string_view key) {
+  while (!query.empty()) {
+    const size_t amp = query.find('&');
+    std::string_view pair = query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view()
+                                          : query.substr(amp + 1);
+    const size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+  }
+  return {};
+}
+
+/// JSON body for /indexz: build-time and memory accounting per index
+/// component plus the posting-block shape of the tag streams.
+std::string RenderIndexJson(const index::IndexedDocument& indexed) {
+  const index::IndexBuildStats& stats = indexed.build_stats();
+  const index::TagStreams& streams = indexed.tag_streams();
+
+  uint64_t posting_blocks = 0;
+  uint64_t posting_entries = 0;
+  for (int32_t tag = 0; tag < streams.num_tags(); ++tag) {
+    posting_blocks += streams.blocks(tag).num_blocks();
+    posting_entries += streams.blocks(tag).size();
+  }
+
+  char buffer[64];
+  std::string out = "{";
+  out += "\"document\":{\"nodes\":" +
+         std::to_string(indexed.document().num_nodes());
+  out += ",\"tags\":" + std::to_string(indexed.document().num_tags());
+  out += ",\"bytes\":" + std::to_string(stats.document_bytes) + "}";
+
+  const auto component = [&](std::string_view name, double build_ms,
+                             size_t bytes) {
+    out += ",\"";
+    out += name;
+    std::snprintf(buffer, sizeof(buffer),
+                  "\":{\"build_ms\":%.3f,\"bytes\":%zu}", build_ms, bytes);
+    out += buffer;
+  };
+  component("containment", stats.containment_ms, stats.containment_bytes);
+  component("dewey", stats.dewey_ms, stats.dewey_bytes);
+  component("extended_dewey", stats.extended_dewey_ms,
+            stats.extended_dewey_bytes);
+  component("transducer", stats.transducer_ms, stats.transducer_bytes);
+  component("dataguide", stats.dataguide_ms, stats.dataguide_bytes);
+  component("tag_streams", stats.tag_streams_ms, stats.tag_streams_bytes);
+  component("term_index", stats.term_index_ms, stats.term_index_bytes);
+  component("tag_trie", stats.tag_trie_ms, stats.tag_trie_bytes);
+
+  out += ",\"posting_blocks\":{\"blocks\":" + std::to_string(posting_blocks);
+  out += ",\"entries\":" + std::to_string(posting_entries);
+  out += ",\"block_entries\":" +
+         std::to_string(index::PostingBlocks::kBlockEntries);
+  out += ",\"memory_bytes\":" + std::to_string(streams.MemoryUsage()) + "}";
+
+  std::snprintf(buffer, sizeof(buffer), ",\"total_build_ms\":%.3f",
+                stats.total_ms);
+  out += buffer;
+  out += ",\"total_bytes\":" + std::to_string(stats.total_bytes());
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+HttpResponse Server::HandleAdminRequest(std::string_view path,
+                                        std::string_view query) {
   HttpResponse response;
   if (path == "/metrics") {
     metrics::UpdateProcessMetrics();
@@ -428,12 +510,22 @@ HttpResponse Server::HandleAdminRequest(std::string_view path) {
   }
   if (path == "/healthz") {
     // Runs on the loop thread, so reading draining_ is race-free.
-    if (draining_) {
-      response.status = 503;
-      response.body = "draining\n";
-    } else {
-      response.body = "ok\n";
-    }
+    response.content_type = "application/json";
+    if (draining_) response.status = 503;
+    char buffer[64];
+    std::string body = "{\"status\":\"";
+    body += draining_ ? "draining" : "ok";
+    std::snprintf(buffer, sizeof(buffer), "\",\"uptime_sec\":%.1f",
+                  metrics::ProcessUptimeSeconds());
+    body += buffer;
+    body += ",\"version\":\"";
+    body += metrics::BuildVersion();
+    body += "\",\"git_sha\":\"";
+    body += metrics::BuildGitSha();
+    body += "\",\"draining\":";
+    body += draining_ ? "true" : "false";
+    body += "}\n";
+    response.body = std::move(body);
     return response;
   }
   if (path == "/slowlog.json") {
@@ -446,6 +538,50 @@ HttpResponse Server::HandleAdminRequest(std::string_view path) {
     trace::TraceStore& store = trace::TraceStore::Default();
     response.content_type = "application/json";
     response.body = trace::ChromeTraceJson(store.Last(store.Len()));
+    return response;
+  }
+  if (path == "/statements.json") {
+    stmt::StatementStore& store = stmt::StatementStore::Default();
+    response.content_type = "application/json";
+    response.body = stmt::RenderStatementsJson(store.Top(store.size()));
+    return response;
+  }
+  if (path == "/profilez") {
+    // Blocks the event loop for the whole window — admin requests are
+    // handled inline — so serving stalls while the profile runs. That
+    // is acceptable for a debug endpoint (and Collect clamps to 10s);
+    // prefer the PROFILE verb, which runs on a worker thread.
+    double seconds = 1.0;
+    const std::string_view param = QueryParam(query, "seconds");
+    if (!param.empty()) {
+      seconds = std::atof(std::string(param).c_str());
+      if (seconds <= 0) {
+        response.status = 400;
+        response.body = "seconds must be a positive number\n";
+        return response;
+      }
+    }
+    const prof::Mode mode =
+        QueryParam(query, "mode") == "wall" ? prof::Mode::kWall
+                                            : prof::Mode::kCpu;
+    StatusOr<prof::ProfileResult> profile =
+        prof::Collect(mode, seconds * 1000.0);
+    if (!profile.ok()) {
+      response.status = 503;
+      response.body = std::string(profile.status().message()) + "\n";
+      return response;
+    }
+    if (QueryParam(query, "format") == "json") {
+      response.content_type = "application/json";
+      response.body = prof::RenderProfileJson(*profile);
+    } else {
+      response.body = prof::RenderCollapsed(*profile);
+    }
+    return response;
+  }
+  if (path == "/indexz") {
+    response.content_type = "application/json";
+    response.body = RenderIndexJson(indexed_);
     return response;
   }
   response.status = 404;

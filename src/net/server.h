@@ -40,8 +40,9 @@ struct ServerOptions {
   int drain_timeout_ms = 5000;
   /// Command-execution workers; 0 = ThreadPool::DefaultThreadCount().
   size_t num_workers = 0;
-  /// HTTP admin plane (GET /metrics, /healthz, /slowlog.json, /tracez)
-  /// on a second listener handled inline by the event loop. -1
+  /// HTTP admin plane (GET /metrics, /healthz, /slowlog.json, /tracez,
+  /// /statements.json, /profilez, /indexz) on a second listener handled
+  /// inline by the event loop. -1
   /// disables; 0 picks an ephemeral port (Server::admin_port() reports
   /// the real one). The admin listener keeps accepting during a drain
   /// so /healthz can answer 503 until the loop exits.
@@ -135,7 +136,8 @@ class Server {
   void HandleAdminEvent(int fd, uint32_t events);
   void UpdateAdminInterest(int fd);
   void CloseAdminConnection(int fd);
-  HttpResponse HandleAdminRequest(std::string_view path);
+  HttpResponse HandleAdminRequest(std::string_view path,
+                                  std::string_view query);
 
   const index::IndexedDocument& indexed_;
   const ServerOptions options_;

@@ -10,10 +10,13 @@
 #include "common/coding.h"
 #include "common/metrics.h"
 #include "common/process_metrics.h"
+#include "common/profiler.h"
+#include "common/statement_store.h"
 #include "common/string_util.h"
 #include "common/trace_store.h"
 #include "index/document_stats.h"
 #include "session/canvas_io.h"
+#include "twig/fingerprint.h"
 #include "twig/query_from_example.h"
 #include "twig/query_parser.h"
 #include "session/svg_export.h"
@@ -32,6 +35,7 @@ constexpr std::string_view kHelp =
     "SAVECANVAS <file> | LOADCANVAS <file> | HISTORY [prefix] |\n"
     "EXAMPLE <node#> | PARSE <query> |\n"
     "SLOWLOG GET [n]|LEN|RESET | TRACE LAST [n]|EXPORT [id] | CLIENTS |\n"
+    "STATEMENTS TOP [n]|BY-FINGERPRINT <fp>|RESET | PROFILE CPU|WALL [ms] |\n"
     "CHECKPOINT | UNDO | SHOW | RESET | HELP";
 
 StatusOr<int> ParseInt(std::string_view token) {
@@ -451,6 +455,73 @@ StatusOr<std::string> ProtocolInterpreter::ExecuteCommand(
   if (verb == "clients") {
     if (tokens.size() != 1) return Status::InvalidArgument("usage: CLIENTS");
     return RenderClientsText(ClientRegistry::Default().Snapshot());
+  }
+
+  if (verb == "statements") {
+    // pg_stat_statements over the wire: per-query-shape aggregates from
+    // the statement store (common/statement_store.h), keyed by the
+    // fingerprints SLOWLOG and CLIENTS also carry.
+    const std::string sub =
+        tokens.size() >= 2 ? ToLowerAscii(tokens[1]) : "top";
+    if (sub == "top" && tokens.size() <= 3) {
+      size_t count = 10;
+      if (tokens.size() == 3) {
+        LOTUSX_ASSIGN_OR_RETURN(int parsed, ParseInt(tokens[2]));
+        if (parsed <= 0) return Status::InvalidArgument("count must be > 0");
+        count = static_cast<size_t>(parsed);
+      }
+      return stmt::RenderStatementsText(
+          stmt::StatementStore::Default().Top(count));
+    }
+    if (sub == "by-fingerprint" && tokens.size() == 3) {
+      const uint64_t fingerprint = twig::ParseFingerprint(tokens[2]);
+      if (fingerprint == 0) {
+        return Status::InvalidArgument("bad fingerprint '" + tokens[2] + "'");
+      }
+      std::optional<stmt::StatementSnapshot> found =
+          stmt::StatementStore::Default().Find(fingerprint);
+      if (!found.has_value()) {
+        return Status::NotFound("statement " + tokens[2] +
+                                " not tracked (never seen or evicted)");
+      }
+      return stmt::RenderStatementsText({*std::move(found)});
+    }
+    if (sub == "reset" && tokens.size() == 2) {
+      stmt::StatementStore::Default().Reset();
+      return std::string("ok");
+    }
+    return Status::InvalidArgument(
+        "usage: STATEMENTS TOP [n] | BY-FINGERPRINT <fp> | RESET");
+  }
+
+  if (verb == "profile") {
+    // On-demand sampling profile, rendered as collapsed stacks
+    // (flamegraph.pl input). Blocks this command's worker for the
+    // window; the server keeps serving on its other workers.
+    if (tokens.size() < 2 || tokens.size() > 3) {
+      return Status::InvalidArgument("usage: PROFILE CPU|WALL [ms]");
+    }
+    const std::string sub = ToLowerAscii(tokens[1]);
+    prof::Mode mode;
+    if (sub == "cpu") {
+      mode = prof::Mode::kCpu;
+    } else if (sub == "wall") {
+      mode = prof::Mode::kWall;
+    } else {
+      return Status::InvalidArgument("usage: PROFILE CPU|WALL [ms]");
+    }
+    double duration_ms = 200;
+    if (tokens.size() == 3) {
+      LOTUSX_ASSIGN_OR_RETURN(int parsed, ParseInt(tokens[2]));
+      if (parsed <= 0) return Status::InvalidArgument("ms must be > 0");
+      duration_ms = parsed;
+    }
+    LOTUSX_ASSIGN_OR_RETURN(prof::ProfileResult result,
+                            prof::Collect(mode, duration_ms));
+    if (result.collapsed.empty()) {
+      return std::string("(no samples: process idle during window)");
+    }
+    return prof::RenderCollapsed(result);
   }
 
   if (verb == "find") {

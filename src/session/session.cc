@@ -1,7 +1,11 @@
 #include "session/session.h"
 
+#include "common/metrics.h"
+#include "common/statement_store.h"
+#include "common/timer.h"
 #include "common/trace.h"
 #include "twig/evaluator.h"
+#include "twig/fingerprint.h"
 #include "twig/plan/physical_plan.h"
 #include "twig/query_export.h"
 #include "twig/selectivity.h"
@@ -71,9 +75,47 @@ StatusOr<SearchResponse> Session::Run() const {
   }();
   LOTUSX_ASSIGN_OR_RETURN(twig::TwigQuery query, std::move(compiled));
   query_trace.set_query(query.ToString());
+
+  // Feed the statement store: canvas runs are the serving path (the TCP
+  // server's RUN lands here, not in Engine::Search), so the workload
+  // view must aggregate them too. Fingerprint the *requested* query —
+  // a rewrite is an execution detail of the same statement.
+  const bool record_statement = metrics::Enabled() && stmt::Enabled();
+  uint64_t fingerprint = 0;
+  std::string normalized_query;
+  Timer statement_timer;
+  if (record_statement) {
+    fingerprint = twig::FingerprintQuery(query, {}).value;
+    normalized_query = twig::NormalizedQueryText(query);
+    query_trace.set_fingerprint(fingerprint);
+  }
+  const auto record_execution = [&](bool error, const twig::EvalStats* stats,
+                                    uint64_t rows) {
+    if (!record_statement) return;
+    stmt::ExecutionRecord record;
+    record.fingerprint = fingerprint;
+    record.query_text = normalized_query;
+    record.error = error;
+    record.latency_usec = statement_timer.ElapsedMicros();
+    record.rows = rows;
+    if (stats != nullptr) {
+      record.algorithm = stats->algorithm;
+      record.blocks_decoded = stats->posting_blocks_decoded;
+      record.blocks_skipped = stats->posting_blocks_skipped;
+      record.bytes_decoded = stats->posting_bytes_decoded;
+      record.estimated_rows = stats->estimated_matches;
+      record.actual_rows = stats->matches;
+    }
+    stmt::StatementStore::Default().Record(record);
+  };
+
   SearchResponse response;
-  LOTUSX_ASSIGN_OR_RETURN(twig::QueryResult result,
-                          twig::Evaluate(indexed_, query));
+  StatusOr<twig::QueryResult> evaluated = twig::Evaluate(indexed_, query);
+  if (!evaluated.ok()) {
+    record_execution(true, nullptr, 0);
+    return evaluated.status();
+  }
+  twig::QueryResult result = *std::move(evaluated);
   response.executed_query = query;
   if (result.matches.empty() && options_.rewrite_on_empty) {
     trace::StageSpan span(trace::Stage::kRewrite);
@@ -97,6 +139,7 @@ StatusOr<SearchResponse> Session::Run() const {
     response.results = ranker_.Rank(response.executed_query, result.matches,
                                     ranking_options);
   }
+  record_execution(false, &response.stats, response.results.size());
   return response;
 }
 

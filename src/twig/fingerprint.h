@@ -1,0 +1,52 @@
+#ifndef LOTUSX_TWIG_FINGERPRINT_H_
+#define LOTUSX_TWIG_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "twig/evaluator.h"
+#include "twig/twig_query.h"
+
+namespace lotusx::twig {
+
+/// A canonicalized query shape: the 64-bit fingerprint plus the value
+/// literals that were normalized out of it. Two queries share a
+/// fingerprint exactly when they have the same tree structure, tags,
+/// axes, order constraints, output node, predicate *operators*, and
+/// evaluation options — the predicate *texts* are excluded, so
+/// //book[title="XML"] and //book[title="SQL"] collapse to one shape.
+/// This is what the statement store aggregates by (pg_stat_statements
+/// keys on the post-parse-analysis query tree the same way).
+struct QueryFingerprint {
+  uint64_t value = 0;
+  /// Predicate texts in query-node order, one entry per active
+  /// predicate. Lets a caller reconstruct "which literals ran under
+  /// this shape" without them polluting the key.
+  std::vector<std::string> literals;
+};
+
+/// Computes the fingerprint of `query` under `options`. Deterministic
+/// across processes and runs (no pointer or ASLR inputs), and never 0
+/// for a non-empty query (0 is the "no fingerprint" sentinel
+/// throughout the introspection layer).
+QueryFingerprint FingerprintQuery(const TwigQuery& query,
+                                  const EvalOptions& options = {});
+
+/// Canonical rendering of a query with literals normalized out:
+/// ToString() with every active predicate's text replaced by `?`.
+/// This is the statement text the store displays for the shape.
+std::string NormalizedQueryText(const TwigQuery& query);
+
+/// "0x%016x" rendering used by STATEMENTS / /statements.json — same
+/// shape as trace IDs so the two join visually in logs.
+std::string FormatFingerprint(uint64_t fingerprint);
+
+/// Inverse of FormatFingerprint; accepts with or without the 0x
+/// prefix. Returns 0 (the sentinel) on malformed input.
+uint64_t ParseFingerprint(std::string_view text);
+
+}  // namespace lotusx::twig
+
+#endif  // LOTUSX_TWIG_FINGERPRINT_H_

@@ -39,6 +39,11 @@ struct EvalStats {
   uint64_t posting_blocks_decoded = 0;
   uint64_t posting_blocks_skipped = 0;
   uint64_t posting_bytes_decoded = 0;
+  /// Planner's match-cardinality estimate for the executed plan, carried
+  /// alongside the actuals so the statement store can aggregate
+  /// estimated-vs-actual row error per query shape. Negative when the
+  /// execution had no planning step (cache hits, errors).
+  double estimated_matches = -1;
   double elapsed_ms = 0;
 };
 

@@ -211,6 +211,7 @@ StatusOr<QueryResult> ExecutePlan(const index::IndexedDocument& indexed,
     slice.elapsed_ms = op.actual_ms;
     plan->stats.slices.push_back(std::move(slice));
   }
+  result.stats.estimated_matches = plan->estimate.match_cardinality;
   plan->stats.totals = result.stats;
   return result;
 }

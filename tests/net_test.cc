@@ -18,8 +18,10 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/statement_store.h"
 #include "common/trace.h"
 #include "common/trace_store.h"
+#include "twig/fingerprint.h"
 #include "net/http_admin.h"
 #include "net/line_framer.h"
 #include "net/server.h"
@@ -428,9 +430,16 @@ TEST_F(NetServerTest, ConcurrentClientsGetIsolatedSessions) {
 // ------------------------------------------------------------ HTTP admin
 
 /// Collects handler calls and returns a canned response per path.
+/// Records "path?query" when the request carried a query string so the
+/// tests can assert the split.
 HttpHandler EchoHandler(std::vector<std::string>* paths) {
-  return [paths](std::string_view path) {
-    paths->push_back(std::string(path));
+  return [paths](std::string_view path, std::string_view query) {
+    std::string recorded(path);
+    if (!query.empty()) {
+      recorded += '?';
+      recorded += query;
+    }
+    paths->push_back(std::move(recorded));
     HttpResponse response;
     if (path == "/missing") {
       response.status = 404;
@@ -482,14 +491,17 @@ TEST(HttpParserTest, AnswersPipelinedGetsInOrder) {
   EXPECT_LT(first, second);
 }
 
-TEST(HttpParserTest, StripsTheQueryString) {
+TEST(HttpParserTest, SplitsTheQueryStringFromThePath) {
   HttpConnectionState state;
   std::vector<std::string> paths;
   std::string out;
   EXPECT_TRUE(state.Feed("GET /slowlog.json?n=5 HTTP/1.1\r\n\r\n",
                          EchoHandler(&paths), &out));
   ASSERT_EQ(paths.size(), 1u);
-  EXPECT_EQ(paths[0], "/slowlog.json");
+  // The handler sees the bare path plus the raw query string; the
+  // canned response keys off the path alone.
+  EXPECT_EQ(paths[0], "/slowlog.json?n=5");
+  EXPECT_NE(out.find("hello /slowlog.json\n"), std::string::npos) << out;
 }
 
 TEST(HttpParserTest, HeadOmitsTheBody) {
@@ -733,6 +745,105 @@ TEST_F(AdminPlaneTest, ClientsVerbSeesTheConnection) {
       << frames[1].payload;
   EXPECT_NE(frames[1].payload.find("last_verb=CLIENTS"), std::string::npos)
       << frames[1].payload;
+  // Cumulative command count: HELP plus the CLIENTS rendering itself.
+  EXPECT_NE(frames[1].payload.find("commands=2"), std::string::npos)
+      << frames[1].payload;
+}
+
+TEST_F(AdminPlaneTest, ClientsVerbJoinsSearchesToTheirFingerprint) {
+  stmt::StatementStore::Default().Reset();
+  auto server = StartWithAdmin();
+  ASSERT_NE(server, nullptr);
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+
+  // Before any search runs, no fingerprint is shown.
+  ASSERT_TRUE(client.Send("CLIENTS\n"));
+  std::vector<Frame> frames = client.ReadFrames(1);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload.find("fingerprint="), std::string::npos)
+      << frames[0].payload;
+
+  ASSERT_TRUE(client.Send(
+      "ADD 0 0 article\nADD 0 100 author\nEDGE 1 2 /\nRUN\nCLIENTS\n"));
+  frames = client.ReadFrames(5);
+  ASSERT_EQ(frames.size(), 5u);
+  ASSERT_TRUE(frames[4].ok) << frames[4].payload;
+  const std::string& clients = frames[4].payload;
+  const size_t at = clients.find("fingerprint=0x");
+  ASSERT_NE(at, std::string::npos)
+      << "RUN must stamp its statement fingerprint: " << clients;
+  // A non-search command afterwards must NOT erase it (CLIENTS itself
+  // already ran after RUN in this batch), and the fingerprint joins the
+  // statement store's row for the same shape.
+  const std::string fingerprint = clients.substr(at + 12, 18);
+  EXPECT_TRUE(stmt::StatementStore::Default()
+                  .Find(twig::ParseFingerprint(fingerprint))
+                  .has_value())
+      << fingerprint << " not tracked by the statement store";
+}
+
+TEST_F(AdminPlaneTest, HealthzServesJsonIdentity) {
+  auto server = StartWithAdmin();
+  ASSERT_NE(server, nullptr);
+  const std::string response = AdminGet(server->admin_port(), "/healthz");
+  EXPECT_NE(response.find(" 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("application/json"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos) << response;
+  EXPECT_NE(response.find("\"uptime_sec\":"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"version\":\""), std::string::npos) << response;
+  EXPECT_NE(response.find("\"git_sha\":\""), std::string::npos) << response;
+  EXPECT_NE(response.find("\"draining\":false"), std::string::npos)
+      << response;
+}
+
+TEST_F(AdminPlaneTest, StatementsJsonServesWorkloadAggregates) {
+  stmt::StatementStore::Default().Reset();
+  auto server = StartWithAdmin();
+  ASSERT_NE(server, nullptr);
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(
+      "ADD 0 0 article\nADD 0 100 author\nEDGE 1 2 /\nRUN\nRUN\n"));
+  ASSERT_EQ(client.ReadFrames(5).size(), 5u);
+
+  const std::string response =
+      AdminGet(server->admin_port(), "/statements.json");
+  EXPECT_NE(response.find("application/json"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"statements\":["), std::string::npos) << response;
+  EXPECT_NE(response.find("\"fingerprint\":\"0x"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"calls\":2"), std::string::npos)
+      << "two RUNs of one shape must aggregate: " << response;
+}
+
+TEST_F(AdminPlaneTest, IndexzRendersIndexAccounting) {
+  auto server = StartWithAdmin();
+  ASSERT_NE(server, nullptr);
+  const std::string response = AdminGet(server->admin_port(), "/indexz");
+  EXPECT_NE(response.find(" 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"document\":{\"nodes\":"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"tag_streams\":"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"posting_blocks\":{"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"total_bytes\":"), std::string::npos) << response;
+}
+
+TEST_F(AdminPlaneTest, ProfilezCollectsOverTheQueryString) {
+  auto server = StartWithAdmin();
+  ASSERT_NE(server, nullptr);
+  // Wall mode: the loop thread (blocked inside Collect) and the pool
+  // workers are registered, so samples are guaranteed even when idle.
+  const std::string response = AdminGet(
+      server->admin_port(), "/profilez?seconds=0.05&mode=wall");
+  EXPECT_NE(response.find(" 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("event-loop;"), std::string::npos)
+      << "the loop thread's own stack must appear: " << response;
+
+  const std::string bad =
+      AdminGet(server->admin_port(), "/profilez?seconds=bogus");
+  EXPECT_NE(bad.find(" 400 Bad Request"), std::string::npos) << bad;
 }
 
 TEST_F(AdminPlaneTest, SlowlogVerbRoundTripsOverTheWire) {

@@ -1,0 +1,357 @@
+// Statement-store coverage in three tiers:
+//   * unit — aggregation, Top ordering, LRU eviction + counter, Reset;
+//   * concurrency — N recording threads vs a single-threaded oracle of
+//     per-fingerprint totals, and RESET racing live scrapes (both run
+//     under tsan in CI — keep the suite names in ci.yml's regex);
+//   * engine consistency — a scripted Engine workload whose STATEMENTS
+//     aggregates must equal the totals summed off the returned
+//     EvalStats, the same numbers EXPLAIN ANALYZE prints.
+
+#include "common/statement_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "lotusx/engine.h"
+#include "tests/test_util.h"
+#include "twig/fingerprint.h"
+
+namespace lotusx::stmt {
+namespace {
+
+ExecutionRecord MakeRecord(uint64_t fingerprint, double latency_usec = 100,
+                           uint64_t rows = 1) {
+  ExecutionRecord record;
+  record.fingerprint = fingerprint;
+  record.query_text = "//q[?]";
+  record.algorithm = "tjfast";
+  record.latency_usec = latency_usec;
+  record.rows = rows;
+  record.actual_rows = rows;
+  return record;
+}
+
+// ------------------------------------------------------------------ unit
+
+TEST(StatementStoreTest, AggregatesOneShapeAcrossExecutions) {
+  StatementStore store(64);
+  ExecutionRecord first = MakeRecord(42, /*latency_usec=*/100, /*rows=*/3);
+  first.blocks_decoded = 10;
+  first.blocks_skipped = 4;
+  first.bytes_decoded = 1000;
+  first.estimated_rows = 6;  // |6-3|/3 = 1.0 relative error
+  store.Record(first);
+
+  ExecutionRecord second = MakeRecord(42, /*latency_usec=*/300, /*rows=*/3);
+  second.blocks_decoded = 2;
+  second.estimated_rows = 3;  // exact -> 0 error
+  store.Record(second);
+
+  ExecutionRecord error = MakeRecord(42, /*latency_usec=*/50, /*rows=*/0);
+  error.error = true;
+  error.algorithm = {};
+  store.Record(error);
+
+  ExecutionRecord hit = MakeRecord(42, /*latency_usec=*/5, /*rows=*/3);
+  hit.cache_hit = true;
+  hit.algorithm = {};
+  store.Record(hit);
+
+  std::optional<StatementSnapshot> found = store.Find(42);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->calls, 4u);
+  EXPECT_EQ(found->errors, 1u);
+  EXPECT_EQ(found->cache_hits, 1u);
+  EXPECT_EQ(found->rows, 9u);
+  EXPECT_EQ(found->blocks_decoded, 12u);
+  EXPECT_EQ(found->blocks_skipped, 4u);
+  EXPECT_EQ(found->bytes_decoded, 1000u);
+  EXPECT_DOUBLE_EQ(found->total_usec, 455.0);
+  EXPECT_EQ(found->latency_usec.count, 4u);
+  EXPECT_EQ(found->query_text, "//q[?]");
+
+  // Plan distribution: only the two planned executions contribute, and
+  // both carried estimates -> mean relative error (1.0 + 0.0) / 2.
+  ASSERT_EQ(found->plans.size(), 1u);
+  EXPECT_EQ(found->plans[0].algorithm, "tjfast");
+  EXPECT_EQ(found->plans[0].calls, 2u);
+  EXPECT_EQ(found->plans[0].estimated, 2u);
+  EXPECT_DOUBLE_EQ(found->plans[0].MeanRowError(), 0.5);
+}
+
+TEST(StatementStoreTest, QueryTextIsFirstSighting) {
+  StatementStore store(64);
+  ExecutionRecord first = MakeRecord(7);
+  first.query_text = "//a[?]";
+  store.Record(first);
+  ExecutionRecord second = MakeRecord(7);
+  second.query_text = "//something-else";
+  store.Record(second);
+  ASSERT_TRUE(store.Find(7).has_value());
+  EXPECT_EQ(store.Find(7)->query_text, "//a[?]");
+}
+
+TEST(StatementStoreTest, TopOrdersByTotalTimeDescending) {
+  StatementStore store(64);
+  store.Record(MakeRecord(1, /*latency_usec=*/10));
+  store.Record(MakeRecord(2, /*latency_usec=*/1000));
+  store.Record(MakeRecord(3, /*latency_usec=*/200));
+  store.Record(MakeRecord(3, /*latency_usec=*/200));
+
+  std::vector<StatementSnapshot> top = store.Top(10);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].fingerprint, 2u);
+  EXPECT_EQ(top[1].fingerprint, 3u);
+  EXPECT_EQ(top[2].fingerprint, 1u);
+
+  // And n truncates after the sort, not before.
+  top = store.Top(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].fingerprint, 2u);
+}
+
+TEST(StatementStoreTest, EvictsLeastRecentlyExecutedShape) {
+  // capacity 8 over 8 shards -> one entry per shard. Fingerprints
+  // 8/16/24 all land in shard 0, forcing evictions there.
+  StatementStore store(8);
+  store.Record(MakeRecord(8));
+  store.Record(MakeRecord(16));  // evicts 8
+  store.Record(MakeRecord(16));
+  store.Record(MakeRecord(24));  // evicts 16
+  EXPECT_EQ(store.evictions(), 2u);
+  EXPECT_FALSE(store.Find(8).has_value());
+  EXPECT_FALSE(store.Find(16).has_value());
+  ASSERT_TRUE(store.Find(24).has_value());
+
+  // A re-arriving evicted shape starts fresh (its history is gone).
+  store.Record(MakeRecord(16));  // evicts 24
+  EXPECT_EQ(store.evictions(), 3u);
+  EXPECT_EQ(store.Find(16)->calls, 1u);
+}
+
+TEST(StatementStoreTest, EvictionBumpsTheRegistryCounter) {
+  metrics::Registry registry;
+  StatementStore store(8, &registry);
+  metrics::Counter* evicted =
+      registry.GetCounter("lotusx_evicted_statements_total");
+  store.Record(MakeRecord(8));
+  store.Record(MakeRecord(16));
+  EXPECT_EQ(evicted->value(), 1u);
+}
+
+TEST(StatementStoreTest, ResetDropsEntriesButKeepsEvictionHistory) {
+  StatementStore store(8);
+  store.Record(MakeRecord(8));
+  store.Record(MakeRecord(16));
+  ASSERT_EQ(store.evictions(), 1u);
+  store.Reset();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.Top(10).empty());
+  EXPECT_EQ(store.evictions(), 1u) << "evictions are lifetime-cumulative";
+}
+
+TEST(StatementStoreTest, RenderersCarryTheAggregates) {
+  StatementStore store(64);
+  ExecutionRecord record = MakeRecord(0xabcdef, /*latency_usec=*/100,
+                                      /*rows=*/2);
+  record.query_text = "//book[\"?\"]";
+  store.Record(record);
+
+  const std::string text = RenderStatementsText(store.Top(10));
+  EXPECT_NE(text.find("fingerprint=0x0000000000abcdef"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("calls=1"), std::string::npos) << text;
+  EXPECT_NE(text.find("tjfast"), std::string::npos) << text;
+
+  const std::string json = RenderStatementsJson(store.Top(10));
+  EXPECT_NE(json.find("\"statements\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"fingerprint\":\"0x0000000000abcdef\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"calls\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"latency_usec\""), std::string::npos) << json;
+  // Escaping: the quote inside the query text must not break the JSON.
+  EXPECT_NE(json.find("\\\""), std::string::npos) << json;
+}
+
+TEST(StatementStoreTest, KillSwitchRoundTrips) {
+  const bool was = SetEnabled(false);
+  EXPECT_FALSE(Enabled());
+  SetEnabled(true);
+  EXPECT_TRUE(Enabled());
+  SetEnabled(was);
+}
+
+// ----------------------------------------------------------- concurrency
+
+TEST(StatementStoreConcurrencyTest, MatchesSingleThreadedOracle) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  constexpr uint64_t kShapes = 13;  // spans every shard, forces sharing
+
+  StatementStore store(64);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Deterministic per-thread schedule (no randomness: the oracle
+        // below replays exactly this).
+        const uint64_t fingerprint = 1 + (t * kPerThread + i) % kShapes;
+        store.Record(MakeRecord(fingerprint, /*latency_usec=*/10,
+                                /*rows=*/fingerprint));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Single-threaded oracle of per-fingerprint calls and rows.
+  std::map<uint64_t, uint64_t> calls;
+  std::map<uint64_t, uint64_t> rows;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const uint64_t fingerprint = 1 + (t * kPerThread + i) % kShapes;
+      calls[fingerprint] += 1;
+      rows[fingerprint] += fingerprint;
+    }
+  }
+
+  ASSERT_EQ(store.size(), kShapes) << "capacity 64 must not evict here";
+  for (const auto& [fingerprint, expected_calls] : calls) {
+    std::optional<StatementSnapshot> found = store.Find(fingerprint);
+    ASSERT_TRUE(found.has_value()) << fingerprint;
+    EXPECT_EQ(found->calls, expected_calls) << fingerprint;
+    EXPECT_EQ(found->rows, rows[fingerprint]) << fingerprint;
+    EXPECT_EQ(found->latency_usec.count, expected_calls) << fingerprint;
+  }
+}
+
+TEST(StatementStoreConcurrencyTest, ResetRacesScrapesAndWriters) {
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 3000;
+
+  StatementStore store(32);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        store.Record(MakeRecord(1 + (t + i) % 40));
+      }
+    });
+  }
+  threads.emplace_back([&store] {  // scraper
+    for (int i = 0; i < 200; ++i) {
+      for (const StatementSnapshot& snapshot : store.Top(10)) {
+        // Internal consistency must hold in every snapshot, even ones
+        // taken mid-reset.
+        EXPECT_GE(snapshot.calls, snapshot.errors + snapshot.cache_hits);
+      }
+      (void)store.size();
+      (void)RenderStatementsJson(store.Top(5));
+    }
+  });
+  threads.emplace_back([&store] {  // resetter
+    for (int i = 0; i < 50; ++i) store.Reset();
+  });
+  for (std::thread& thread : threads) thread.join();
+
+  store.Reset();
+  EXPECT_EQ(store.size(), 0u);
+}
+
+// ---------------------------------------------- engine-level consistency
+
+TEST(StatementStoreEngineTest, AggregatesMatchExplainAnalyzeTotals) {
+  // The scripted workload: the same shape three times with different
+  // literals plus one distinct shape. The STATEMENTS row must equal the
+  // totals summed off the EvalStats Engine returns — the same numbers
+  // EXPLAIN ANALYZE renders per query.
+  StatusOr<Engine> engine = Engine::FromXmlText(R"(<dblp>
+    <article><author>jiaheng lu</author><title>twig joins</title></article>
+    <article><author>chunbin lin</author><title>lotusx</title></article>
+    <article><author>ting chen</author><title>xml search</title></article>
+  </dblp>)");
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  StatementStore& store = StatementStore::Default();
+  store.Reset();
+  ASSERT_TRUE(metrics::Enabled());
+  ASSERT_TRUE(Enabled());
+
+  SearchOptions options;
+  options.rewrite_on_empty = false;
+
+  const std::vector<std::string> same_shape = {
+      "//article[author[=\"jiaheng lu\"]]/title",
+      "//article[author[=\"chunbin lin\"]]/title",
+      "//article[author[=\"nobody\"]]/title",
+  };
+  uint64_t expected_rows = 0;
+  uint64_t expected_blocks_decoded = 0;
+  uint64_t expected_blocks_skipped = 0;
+  uint64_t expected_bytes = 0;
+  for (const std::string& query_text : same_shape) {
+    StatusOr<SearchResult> result = engine->Search(query_text, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    expected_rows += result->results.size();
+    expected_blocks_decoded += result->stats.posting_blocks_decoded;
+    expected_blocks_skipped += result->stats.posting_blocks_skipped;
+    expected_bytes += result->stats.posting_bytes_decoded;
+  }
+  // A structurally different query lands in its own row.
+  ASSERT_TRUE(engine->Search("//article/author", options).ok());
+
+  // The store keys on the parsed query + eval options, exactly as the
+  // engine does.
+  StatusOr<SearchResult> parsed = engine->Search(same_shape[0], options);
+  ASSERT_TRUE(parsed.ok());
+  const uint64_t fingerprint =
+      twig::FingerprintQuery(parsed->executed_query, options.eval).value;
+  expected_rows += parsed->results.size();
+  expected_blocks_decoded += parsed->stats.posting_blocks_decoded;
+  expected_blocks_skipped += parsed->stats.posting_blocks_skipped;
+  expected_bytes += parsed->stats.posting_bytes_decoded;
+
+  std::optional<StatementSnapshot> row = store.Find(fingerprint);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->calls, 4u) << "three literals + the re-run collapse";
+  EXPECT_EQ(row->errors, 0u);
+  EXPECT_EQ(row->rows, expected_rows);
+  EXPECT_EQ(row->blocks_decoded, expected_blocks_decoded);
+  EXPECT_EQ(row->blocks_skipped, expected_blocks_skipped);
+  EXPECT_EQ(row->bytes_decoded, expected_bytes);
+  EXPECT_EQ(row->latency_usec.count, 4u);
+  ASSERT_FALSE(row->plans.empty());
+  EXPECT_EQ(row->plans[0].calls, 4u);
+  EXPECT_GT(row->plans[0].estimated, 0u)
+      << "planned executions must carry cardinality estimates";
+
+  // The distinct shape must NOT have merged into this row.
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(StatementStoreEngineTest, KillSwitchStopsRecording) {
+  StatusOr<Engine> engine =
+      Engine::FromXmlText("<a><b>x</b></a>");
+  ASSERT_TRUE(engine.ok());
+  StatementStore& store = StatementStore::Default();
+  store.Reset();
+
+  const bool was = SetEnabled(false);
+  ASSERT_TRUE(engine->Search("//a/b").ok());
+  EXPECT_EQ(store.size(), 0u) << "disabled store must see nothing";
+  SetEnabled(true);
+  ASSERT_TRUE(engine->Search("//a/b").ok());
+  EXPECT_EQ(store.size(), 1u);
+  SetEnabled(was);
+  store.Reset();
+}
+
+}  // namespace
+}  // namespace lotusx::stmt

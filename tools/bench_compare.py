@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Diff bench --json output against committed baselines.
+
+Every LotusX bench binary except bench_micro (google-benchmark, which
+has its own reporter) writes its results as a JSON array via --json:
+
+    {"name": "postings_encode", "params": "...", "reps": 12,
+     "p50_ns": ..., "p95_ns": ..., "p99_ns": ..., "mean_ns": ...,
+     "bytes_per_op": ..., "allocs_per_op": ...}
+
+Baselines live in bench/baselines/<bench>.json with the same schema
+plus an optional per-record "gated" field naming the metrics that are
+enforced for that record:
+
+    "gated": ["p50_ns"]                        # wall-time gate
+    "gated": ["bytes_per_op", "allocs_per_op"] # allocation gate
+    "gated": true                              # shorthand for ["p50_ns"]
+
+A gated metric regresses when the current value exceeds the baseline
+by more than --threshold-pct (default 20). Only gated records can fail
+the run; everything else is reported for trend-reading. The committed
+baselines gate wall time only on records whose p50 is deterministic
+(memory-accounting series) and gate allocation counts elsewhere:
+smoke-mode p50s swing far more than 20% run-to-run on shared CI
+runners, while bytes/allocs per op are exact and catch the same
+accidental-work regressions (an extra copy, a dropped reserve, a
+disabled kill switch re-enabling aggregation).
+
+Records are paired by (name, ordinal-within-name) per file: series
+names repeat across parameter sweeps, and params strings carry
+machine-dependent values (worker counts), so params are shown for
+context but never matched on.
+
+Usage:
+  tools/bench_compare.py --current bench-json/
+      [--baselines bench/baselines] [--threshold-pct 20] [--update]
+
+--update rewrites each baseline file that has a current counterpart
+from the current run, preserving the existing gated flags by
+(name, ordinal). New baseline files start ungated; tag records by
+hand (or with a one-off script) after checking their stability.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+GATE_METRICS = ("p50_ns", "bytes_per_op", "allocs_per_op")
+
+
+def load_records(path):
+    with open(path) as f:
+        records = json.load(f)
+    if not isinstance(records, list):
+        raise ValueError(f"{path}: expected a JSON array of records")
+    return records
+
+
+def gated_metrics(record):
+    gated = record.get("gated", [])
+    if gated is True:
+        return ["p50_ns"]
+    if gated in (False, None):
+        return []
+    for metric in gated:
+        if metric not in GATE_METRICS:
+            raise ValueError(f"unknown gated metric {metric!r} "
+                             f"(expected one of {GATE_METRICS})")
+    return list(gated)
+
+
+def pair_key(records):
+    """Yield (name, ordinal) keys, counting repeats of each name."""
+    seen = {}
+    for record in records:
+        name = record["name"]
+        ordinal = seen.get(name, 0)
+        seen[name] = ordinal + 1
+        yield (name, ordinal), record
+
+
+def compare_file(bench, baseline_records, current_records, threshold_pct):
+    """Return (lines, regressions) for one bench file."""
+    current_by_key = dict(pair_key(current_records))
+    lines = []
+    regressions = []
+    for key, base in pair_key(baseline_records):
+        name, ordinal = key
+        label = f"{bench}:{name}[{ordinal}]"
+        gates = gated_metrics(base)
+        current = current_by_key.get(key)
+        if current is None:
+            if gates:
+                regressions.append(f"{label}: gated record missing from "
+                                   "current run (bench renamed or dropped?)")
+            else:
+                lines.append(f"  {label}: missing from current run")
+            continue
+        for metric in GATE_METRICS:
+            base_value = float(base.get(metric, 0.0))
+            cur_value = float(current.get(metric, 0.0))
+            if base_value <= 0.0:
+                continue
+            delta_pct = (cur_value - base_value) / base_value * 100.0
+            gate = "GATED" if metric in gates else "     "
+            lines.append(f"  {label} {metric:>13s} {gate} "
+                         f"{base_value:>14.1f} -> {cur_value:>14.1f} "
+                         f"({delta_pct:+7.1f}%)")
+            if metric in gates and delta_pct > threshold_pct:
+                regressions.append(
+                    f"{label}: {metric} regressed {delta_pct:+.1f}% "
+                    f"({base_value:.1f} -> {cur_value:.1f}, "
+                    f"threshold {threshold_pct:.0f}%)")
+    return lines, regressions
+
+
+def update_baseline(baseline_path, baseline_records, current_records):
+    """Rewrite a baseline from the current run, keeping gated flags."""
+    flags = {key: record.get("gated")
+             for key, record in pair_key(baseline_records)
+             if record.get("gated")}
+    updated = []
+    for key, record in pair_key(current_records):
+        record = dict(record)
+        record.pop("gated", None)
+        if key in flags:
+            record["gated"] = flags[key]
+        updated.append(record)
+    with open(baseline_path, "w") as f:
+        json.dump(updated, f, indent=1)
+        f.write("\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare bench --json output against baselines.")
+    parser.add_argument("--current", required=True,
+                        help="directory of <bench>.json files from this run")
+    parser.add_argument("--baselines", default="bench/baselines",
+                        help="directory of committed baseline files")
+    parser.add_argument("--threshold-pct", type=float, default=20.0,
+                        help="gated regression threshold (default 20)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite baselines from the current run, "
+                             "preserving gated flags")
+    args = parser.parse_args()
+
+    baseline_files = sorted(f for f in os.listdir(args.baselines)
+                            if f.endswith(".json"))
+    if not baseline_files:
+        print(f"no baseline files in {args.baselines}", file=sys.stderr)
+        return 2
+
+    all_regressions = []
+    compared = 0
+    for filename in baseline_files:
+        bench = filename[:-len(".json")]
+        baseline_path = os.path.join(args.baselines, filename)
+        current_path = os.path.join(args.current, filename)
+        baseline_records = load_records(baseline_path)
+        if not os.path.exists(current_path):
+            message = f"{bench}: no current run ({current_path} not found)"
+            if any(gated_metrics(r) for r in baseline_records):
+                all_regressions.append(message)
+            else:
+                print(message)
+            continue
+        current_records = load_records(current_path)
+        if args.update:
+            update_baseline(baseline_path, baseline_records, current_records)
+            print(f"updated {baseline_path} "
+                  f"({len(current_records)} records)")
+            continue
+        lines, regressions = compare_file(
+            bench, baseline_records, current_records, args.threshold_pct)
+        print(f"{bench}:")
+        for line in lines:
+            print(line)
+        all_regressions.extend(regressions)
+        compared += 1
+
+    if args.update:
+        return 0
+    print()
+    if all_regressions:
+        print(f"{len(all_regressions)} gated regression(s):")
+        for regression in all_regressions:
+            print(f"  {regression}")
+        return 1
+    print(f"ok: no gated regressions across {compared} bench file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

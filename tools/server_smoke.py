@@ -6,9 +6,10 @@ enabled and every query traced (LOTUSX_SLOW_QUERY_MS=0,
 LOTUSX_TRACE_SAMPLE=1), drives a scripted TCP session — including a
 pipelined batch written in one send() — checks every response frame,
 the STATS counters, the admin endpoints (/healthz, /metrics,
-/slowlog.json), and the SLOWLOG -> TRACE EXPORT round trip, then sends
-SIGTERM and asserts /healthz turns 503 while draining and the process
-exits 0.
+/slowlog.json, /statements.json, /profilez), the SLOWLOG -> TRACE
+EXPORT round trip, and the STATEMENTS workload aggregates (monotonic
+call counters across pipelined load), then sends SIGTERM and asserts
+/healthz turns 503 while draining and the process exits 0.
 
 Usage: tools/server_smoke.py path/to/lotusx_server
 """
@@ -196,7 +197,13 @@ def main():
 
         # --- admin plane -----------------------------------------------
         status, body = admin_get(host, admin_port, "/healthz")
-        assert status == 200 and body == "ok\n", (status, body)
+        assert status == 200, (status, body)
+        health = json.loads(body)
+        assert health["status"] == "ok", health
+        assert health["draining"] is False, health
+        assert health["uptime_sec"] >= 0, health
+        assert health["version"], health
+        assert health["git_sha"], health
 
         status, body = admin_get(host, admin_port, "/metrics")
         assert status == 200, status
@@ -268,6 +275,56 @@ def main():
             assert event["ph"] == "X" and "ts" in event and "dur" in event
         print("slowlog/trace round trip OK")
 
+        # --- workload introspection ------------------------------------
+        # The RUN from the batch was fingerprinted and aggregated; the
+        # STATEMENTS verb and /statements.json must both show it, and
+        # its call counter must climb monotonically under more load.
+        sock.sendall(b"STATEMENTS TOP 10\n")
+        ((ok, payload),) = read_frames(sock, parser, 1)
+        assert ok and "fingerprint=0x" in payload, payload
+        match = re.search(r"calls=(\d+)", payload)
+        assert match, payload
+        first_calls = int(match.group(1))
+        assert first_calls >= 1, payload
+
+        sock.sendall(b"RUN\nRUN\nRUN\n")
+        frames = read_frames(sock, parser, 3)
+        assert all(ok for ok, _ in frames), frames
+        sock.sendall(b"STATEMENTS TOP 10\n")
+        ((ok, payload),) = read_frames(sock, parser, 1)
+        assert ok, payload
+        match = re.search(r"calls=(\d+)", payload)
+        assert match, payload
+        assert int(match.group(1)) >= first_calls + 3, (
+            f"statement calls not monotonic: {first_calls} -> {payload!r}"
+        )
+
+        status, body = admin_get(host, admin_port, "/statements.json")
+        assert status == 200, (status, body)
+        statements = json.loads(body)["statements"]
+        assert statements, "empty /statements.json after traffic"
+        top = max(statements, key=lambda s: s["calls"])
+        assert top["calls"] >= first_calls + 3, top
+        assert re.fullmatch(r"0x[0-9a-f]{16}", top["fingerprint"]), top
+        assert top["latency_usec"]["p50"] >= 0, top
+
+        # A short wall profile over the admin plane: the collapsed
+        # stacks must be non-empty, flamegraph-shaped ("frames count"
+        # per line), and include the registered event-loop thread.
+        status, body = admin_get(
+            host, admin_port, "/profilez?seconds=0.2&mode=wall",
+            deadline_s=15,
+        )
+        assert status == 200, (status, body)
+        stacks = body.strip().splitlines()
+        assert stacks, "/profilez returned no samples"
+        for line in stacks:
+            assert re.fullmatch(r".+ \d+", line), f"bad stack line {line!r}"
+        assert any(line.startswith("event-loop;") for line in stacks), (
+            f"no event-loop samples in {stacks[:5]}"
+        )
+        print("workload introspection OK")
+
         # --- graceful drain --------------------------------------------
         # Queue responses far beyond the (clamped) socket buffers and
         # leave them unread: the connection cannot flush, so the drain
@@ -282,7 +339,9 @@ def main():
         while True:
             status, body = admin_get(host, admin_port, "/healthz")
             if status == 503:
-                assert "draining" in body, body
+                health = json.loads(body)
+                assert health["status"] == "draining", health
+                assert health["draining"] is True, health
                 break
             assert time.monotonic() < deadline, (
                 f"/healthz never turned 503 (last: {status} {body!r})"
